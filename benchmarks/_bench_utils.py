@@ -1,0 +1,8 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def report(text: str) -> None:
+    """Print an experiment report under the benchmark output (use ``-s`` to see it)."""
+    print("\n" + text + "\n")

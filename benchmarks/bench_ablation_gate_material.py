@@ -1,0 +1,22 @@
+"""Ablation: SiO2 vs HfO2 gate dielectric across all three devices.
+
+The paper's motivation for trying both dielectrics is the threshold/drive
+trade-off.  This bench sweeps the full device matrix and reports the summary
+table of Section III-B.
+"""
+
+from _bench_utils import report
+
+from repro.experiments import run_all_device_iv
+from repro.experiments.fig5to7_device_iv import comparison_report
+
+
+def test_gate_material_ablation(benchmark):
+    results = benchmark.pedantic(run_all_device_iv, rounds=1, iterations=1)
+    for kind in ("square", "cross"):
+        hfo2 = results[(kind, "HfO2")]
+        sio2 = results[(kind, "SiO2")]
+        # High-k gate: lower threshold and higher drive current.
+        assert hfo2.summary.threshold_v < sio2.summary.threshold_v
+        assert hfo2.summary.on_current_a > sio2.summary.on_current_a
+    report(comparison_report(results))

@@ -1,0 +1,53 @@
+"""Ablation: lattice size vs product count and evaluation cost.
+
+Quantifies the claim of Section II that the number of products of the
+lattice function grows dramatically with lattice size (enabling a rich set
+of realizable functions), and times the path enumeration that the synthesis
+flow relies on.
+"""
+
+from _bench_utils import report
+
+from repro.analysis.reporting import Table
+from repro.core.paths import PAPER_TABLE_I, count_lattice_products
+
+SIZES = ((3, 3), (4, 4), (5, 5), (6, 6), (7, 6))
+
+
+def test_lattice_size_scaling(benchmark):
+    def run_all():
+        return {size: count_lattice_products(*size) for size in SIZES}
+
+    counts = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    table = Table(
+        ["lattice", "products (computed)", "products (paper)"],
+        title="Ablation — lattice size vs number of products",
+    )
+    for size, count in counts.items():
+        table.add_row([f"{size[0]}x{size[1]}", count, PAPER_TABLE_I[size]])
+    report(table.render())
+
+    values = list(counts.values())
+    assert all(b > a for a, b in zip(values, values[1:]))
+    assert all(counts[size] == PAPER_TABLE_I[size] for size in SIZES)
+
+
+def test_synthesis_cost_by_function(benchmark):
+    """Time the dual-product synthesis across benchmark functions."""
+    from repro.core.boolean import majority, xor
+    from repro.core.synthesis import synthesize_dual_product
+
+    targets = {
+        "maj3": majority(("a", "b", "c")),
+        "xor3": xor(("a", "b", "c")),
+        "maj5": majority(("a", "b", "c", "d", "e")),
+    }
+
+    def run_all():
+        return {name: synthesize_dual_product(f).lattice.shape for name, f in targets.items()}
+
+    shapes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert shapes["maj3"] == (3, 3)
+    assert shapes["xor3"] == (4, 4)
+    report("dual-product lattice sizes: " + ", ".join(f"{k}: {v[0]}x{v[1]}" for k, v in shapes.items()))

@@ -1,0 +1,51 @@
+"""Ablation: pull-up resistor value vs output levels and rise time.
+
+Section V picks a 500 kOhm pull-up; Section VI argues a complementary
+lattice pull-up would remove the resulting rise-time penalty.  This bench
+quantifies the trade-off: a smaller pull-up speeds up the rising edge but
+degrades the zero-state output level (higher static drop and power).
+"""
+
+from _bench_utils import report
+
+from repro.analysis.reporting import Table, format_engineering
+from repro.experiments import run_fig11
+
+PULLUPS_OHM = (100e3, 500e3, 2e6)
+
+
+def test_pullup_resistor_ablation(benchmark, switch_model):
+    def run_all():
+        return {
+            pullup: run_fig11(
+                model=switch_model,
+                pullup_ohm=pullup,
+                step_duration_s=60e-9,
+                timestep_s=1e-9,
+            )
+            for pullup in PULLUPS_OHM
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    table = Table(
+        ["pull-up [ohm]", "zero-state output [V]", "rise time", "fall time", "correct"],
+        title="Ablation — pull-up resistor value (Fig. 11 circuit)",
+    )
+    for pullup, result in sorted(results.items()):
+        table.add_row(
+            [
+                f"{pullup:g}",
+                f"{result.zero_state_output_v:.3f}",
+                format_engineering(result.rise_time_s, "s"),
+                format_engineering(result.fall_time_s, "s"),
+                "yes" if result.functionally_correct else "NO",
+            ]
+        )
+    report(table.render())
+
+    small, nominal, large = (results[p] for p in PULLUPS_OHM)
+    # Stronger pull-up (smaller resistor): faster rise, higher V_OL.
+    assert small.rise_time_s < large.rise_time_s
+    assert small.zero_state_output_v > large.zero_state_output_v
+    assert nominal.functionally_correct

@@ -1,0 +1,37 @@
+"""Ablation: supply voltage vs series-switch drive capability.
+
+Extends Fig. 12a: the chain current at several supply voltages, quantifying
+how much headroom a higher supply buys for long series paths (relevant to
+how large a lattice one supply can drive).
+"""
+
+from _bench_utils import report
+
+from repro.analysis.reporting import Table, format_engineering
+from repro.circuits.series_chain import current_versus_chain_length
+
+SUPPLIES_V = (0.8, 1.2, 1.8)
+LENGTHS = (1, 5, 11, 21)
+
+
+def test_supply_voltage_ablation(benchmark, switch_model):
+    def run_all():
+        return {
+            supply: current_versus_chain_length(
+                LENGTHS, drive_v=supply, gate_v=supply, model=switch_model
+            )
+            for supply in SUPPLIES_V
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    table = Table(
+        ["supply [V]"] + [f"I({n} switches)" for n in LENGTHS],
+        title="Ablation — chain current vs supply voltage",
+    )
+    for supply, currents in sorted(results.items()):
+        table.add_row([f"{supply:g}"] + [format_engineering(currents[n], "A") for n in LENGTHS])
+    report(table.render())
+
+    for length in LENGTHS:
+        assert results[0.8][length] < results[1.2][length] < results[1.8][length]

@@ -1,0 +1,14 @@
+"""Benchmark: Fig. 10 — level-1 parameter extraction from the Id-Vd curve."""
+
+from _bench_utils import report
+
+from repro.experiments import run_fig10
+
+
+def test_fig10_level1_fit(benchmark):
+    result = benchmark(run_fig10)
+    # Fig. 10 shows the fitted level-1 curve tracking the TCAD data closely.
+    assert result.output_fit.success
+    assert result.output_fit.relative_rms_error < 0.1
+    assert result.output_fit.parameters.kp_a_per_v2 > 0
+    report(result.report())

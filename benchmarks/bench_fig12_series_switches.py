@@ -1,0 +1,21 @@
+"""Benchmark: Fig. 12 — drive capability of series-connected switches."""
+
+from _bench_utils import report
+
+from repro.experiments import run_fig12
+from repro.experiments.fig12_series_switches import DEFAULT_LENGTHS
+
+
+def test_fig12_series_switch_drive(benchmark, switch_model):
+    result = benchmark.pedantic(
+        run_fig12,
+        kwargs={"lengths": DEFAULT_LENGTHS, "model": switch_model},
+        rounds=1,
+        iterations=1,
+    )
+    # Paper: current falls from 11.12 uA (1 switch) to 0.52 uA (21 switches),
+    # a ~21x drop, while the voltage needed for constant current grows far
+    # slower than the number of switches.
+    assert 10.0 < result.current_ratio() < 40.0
+    assert result.is_sublinear_voltage()
+    report(result.report())

@@ -1,0 +1,11 @@
+"""Benchmark: Fig. 3 — XOR3 realized on 3x4 and 3x3 lattices."""
+
+from _bench_utils import report
+
+from repro.experiments import run_fig3
+
+
+def test_fig3_xor3_realizations(benchmark):
+    result = benchmark(run_fig3)
+    assert result.all_correct
+    report(result.report())

@@ -1,0 +1,22 @@
+"""Benchmark: Fig. 5 — square-shaped device I-V (HfO2 and SiO2 gates)."""
+
+from _bench_utils import report
+
+from repro.experiments import run_device_iv
+
+
+def test_fig5_square_hfo2(benchmark):
+    result = benchmark(run_device_iv, "square", "HfO2")
+    # Paper: Vth ~ 0.16 V, on/off ~ 1e6, on-current ~ 1.2 mA.
+    assert 0.05 < result.summary.threshold_v < 0.4
+    assert 1e5 < result.on_off_ratio < 1e7
+    assert 1e-4 < result.summary.on_current_a < 1e-2
+    report(result.report())
+
+
+def test_fig5_square_sio2(benchmark):
+    result = benchmark(run_device_iv, "square", "SiO2")
+    # Paper: Vth ~ 1.36 V, on/off ~ 1e5.
+    assert 1.0 < result.summary.threshold_v < 2.0
+    assert 1e4 < result.on_off_ratio < 1e6
+    report(result.report())

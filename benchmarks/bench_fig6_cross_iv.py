@@ -1,0 +1,21 @@
+"""Benchmark: Fig. 6 — cross-shaped device I-V (HfO2 and SiO2 gates)."""
+
+from _bench_utils import report
+
+from repro.experiments import run_device_iv
+
+
+def test_fig6_cross_hfo2(benchmark):
+    result = benchmark(run_device_iv, "cross", "HfO2")
+    # Paper: Vth ~ 0.27 V, on/off ~ 1e6, current lower than the square device.
+    assert 0.1 < result.summary.threshold_v < 0.5
+    assert 1e5 < result.on_off_ratio < 1e7
+    report(result.report())
+
+
+def test_fig6_cross_sio2(benchmark):
+    result = benchmark(run_device_iv, "cross", "SiO2")
+    # Paper: Vth ~ 1.76 V, on/off ~ 1e4.
+    assert 1.3 < result.summary.threshold_v < 2.5
+    assert 1e3 < result.on_off_ratio < 1e6
+    report(result.report())

@@ -1,0 +1,22 @@
+"""Benchmark: Fig. 7 — junctionless (depletion-mode) device I-V."""
+
+from _bench_utils import report
+
+from repro.experiments import run_device_iv
+
+
+def test_fig7_junctionless_hfo2(benchmark):
+    result = benchmark(run_device_iv, "junctionless", "HfO2")
+    # Paper: Vth ~ -0.57 V, on/off ~ 1e8, on-current ~ 60 uA.
+    assert result.analytic_threshold_v < 0.0
+    assert result.on_off_ratio > 1e7
+    assert 1e-5 < result.summary.on_current_a < 3e-4
+    report(result.report())
+
+
+def test_fig7_junctionless_sio2(benchmark):
+    result = benchmark(run_device_iv, "junctionless", "SiO2")
+    # Paper: Vth ~ -4.8 V, on/off ~ 1e7.
+    assert result.analytic_threshold_v < -1.0
+    assert result.on_off_ratio > 1e6
+    report(result.report())

@@ -1,0 +1,14 @@
+"""Benchmark: Fig. 8 — current-density profiles of the three device shapes."""
+
+from _bench_utils import report
+
+from repro.devices.specs import DeviceKind
+from repro.experiments import run_fig8
+
+
+def test_fig8_current_density_profiles(benchmark):
+    result = benchmark.pedantic(run_fig8, kwargs={"mesh_size": 61}, rounds=1, iterations=1)
+    # Paper observation: the cross-shaped gate yields a more uniform current
+    # vector profile across the terminals than the square-shaped gate.
+    assert result.source_uniformity[DeviceKind.CROSS] < result.source_uniformity[DeviceKind.SQUARE]
+    report(result.report())

@@ -1,0 +1,14 @@
+"""Benchmark: Fig. 9 — six-MOSFET four-terminal switch model."""
+
+from _bench_utils import report
+
+from repro.experiments import run_fig9
+
+
+def test_fig9_switch_model(benchmark, switch_model):
+    result = benchmark.pedantic(run_fig9, kwargs={"model": switch_model}, rounds=1, iterations=1)
+    # The design goal of the two transistor types: similar I-V between any
+    # two terminals, and a clear on/off behaviour for every pair.
+    assert result.symmetry_spread() < 0.6
+    assert result.worst_on_off_ratio() > 1e2
+    report(result.report())

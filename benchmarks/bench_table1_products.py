@@ -1,0 +1,29 @@
+"""Benchmark: Table I — product counts of the m x n lattice function.
+
+Regenerates the Table I grid (default cap 7x7 for runtime; every computed
+entry is checked digit-for-digit against the paper) and times the counting.
+Set the environment variable ``REPRO_TABLE1_FULL=1`` to compute the full 9x9
+table (the 9x9 entry alone enumerates 38.9 million products).
+"""
+
+import os
+
+from _bench_utils import report
+
+from repro.core.paths import count_lattice_products
+from repro.experiments import run_table1
+
+_FULL = os.environ.get("REPRO_TABLE1_FULL", "0") == "1"
+_MAX = 9 if _FULL else 7
+
+
+def test_table1_counts(benchmark):
+    result = benchmark.pedantic(run_table1, kwargs={"max_rows": _MAX, "max_cols": _MAX}, rounds=1, iterations=1)
+    assert result.all_match
+    report(result.report())
+
+
+def test_table1_single_7x7_entry(benchmark):
+    """Time the single heaviest default entry (7x7, 26 317 products)."""
+    count = benchmark(count_lattice_products, 7, 7)
+    assert count == 26317

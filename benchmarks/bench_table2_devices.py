@@ -1,0 +1,12 @@
+"""Benchmark: Table II — device inventory and derived electrostatics."""
+
+from _bench_utils import report
+
+from repro.experiments import run_table2
+
+
+def test_table2_device_inventory(benchmark):
+    result = benchmark(run_table2)
+    assert len(result.rows) == 3
+    assert len(result.electrostatics) == 6
+    report(result.report())

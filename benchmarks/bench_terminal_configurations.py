@@ -1,0 +1,16 @@
+"""Benchmark: Section III-B — the sixteen drain/source/float operating cases."""
+
+from _bench_utils import report
+
+from repro.experiments.terminal_configurations import run_terminal_configuration_sweep
+
+
+def test_sixteen_terminal_configurations(benchmark):
+    result = benchmark.pedantic(run_terminal_configuration_sweep, rounds=1, iterations=1)
+    # Paper: "results show good correlations between the symmetric simulations
+    # and the devices behave as a four-terminal switch under the given
+    # operating conditions".
+    assert len(result.on_currents_a) == 16
+    assert result.worst_category_spread() < 0.5
+    assert result.worst_on_off_ratio() > 1e4
+    report(result.report())

@@ -1,0 +1,26 @@
+"""Benchmark-session fixtures.
+
+The benchmarks use pytest-benchmark to time each experiment harness and print
+the paper-style report of the result so the reproduced rows can be compared
+with the paper side by side (``pytest benchmarks/ --benchmark-only -s``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for path in (os.path.join(_ROOT, "src"), os.path.dirname(os.path.abspath(__file__))):
+    if path not in sys.path:
+        sys.path.append(path)
+
+
+@pytest.fixture(scope="session")
+def switch_model():
+    """The extracted (square/HfO2) switch model shared by the circuit benches."""
+    from repro.circuits.sizing import default_switch_model
+
+    return default_switch_model()

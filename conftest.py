@@ -1,0 +1,14 @@
+"""Test-session bootstrap.
+
+Makes the in-repo ``src/`` layout importable even when the package has not
+been installed (useful in offline environments where ``pip install -e .``
+cannot build an editable wheel); an installed ``repro`` always takes
+precedence because ``site-packages`` paths come first.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.append(_SRC)

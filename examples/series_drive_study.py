@@ -1,0 +1,42 @@
+"""The Fig. 12 drive study, extended with a supply-voltage sweep.
+
+Reproduces both Fig. 12 measurements (current at constant voltage, voltage
+for constant current, as a function of the number of series switches) and
+then asks the follow-up question the paper's conclusion motivates: how much
+drive headroom does a higher supply buy for long switch chains?
+
+Run with ``python examples/series_drive_study.py``.
+"""
+
+from repro.analysis.reporting import Table, format_engineering
+from repro.circuits.series_chain import current_versus_chain_length
+from repro.circuits.sizing import default_switch_model
+from repro.experiments.fig12_series_switches import run_fig12
+
+
+def main() -> None:
+    model = default_switch_model()
+
+    result = run_fig12(model=model)
+    print(result.report())
+
+    print(
+        f"\nCurrent drop from 1 to {result.lengths[-1]} switches: "
+        f"{result.current_ratio():.1f}x (paper: ~21x); required supply grows only "
+        f"{result.voltage_growth():.1f}x over the same range."
+    )
+
+    lengths = (1, 5, 11, 21)
+    supplies = (0.8, 1.0, 1.2, 1.5, 1.8)
+    table = Table(
+        ["supply [V]"] + [f"{n} switches" for n in lengths],
+        title="Chain current vs supply voltage (extension of Fig. 12a)",
+    )
+    for supply in supplies:
+        currents = current_versus_chain_length(lengths, drive_v=supply, gate_v=supply, model=model)
+        table.add_row([f"{supply:g}"] + [format_engineering(currents[n], "A") for n in lengths])
+    print("\n" + table.render())
+
+
+if __name__ == "__main__":
+    main()

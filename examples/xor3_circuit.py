@@ -1,0 +1,50 @@
+"""The Fig. 11 experiment in detail: the XOR3 lattice as a pull-down network.
+
+Builds the paper's circuit (3x3 XOR3 lattice, 500 kOhm pull-up, 1.2 V supply,
+10 fF output load, 1 fF node capacitors), steps the inputs through all eight
+combinations and prints the settled output per vector together with the
+rise/fall times — then repeats the run on the larger 3x4 realization to show
+the cost of the extra column.
+
+Run with ``python examples/xor3_circuit.py``.
+"""
+
+from repro.analysis.reporting import Table, format_engineering
+from repro.circuits.sizing import default_switch_model
+from repro.core.library import xor3_lattice_3x3, xor3_lattice_3x4
+from repro.experiments.fig11_xor3_transient import run_fig11
+
+
+def main() -> None:
+    model = default_switch_model()
+
+    print("=== 3x3 XOR3 lattice (Fig. 3b / Fig. 11) ===")
+    result_3x3 = run_fig11(lattice=xor3_lattice_3x3(), model=model)
+    print(result_3x3.report())
+
+    print("\n=== 3x4 XOR3 lattice (Fig. 3a) in the same circuit ===")
+    result_3x4 = run_fig11(lattice=xor3_lattice_3x4(), model=model)
+    print(result_3x4.report())
+
+    summary = Table(
+        ["realization", "switches", "zero-state output", "rise time", "fall time"],
+        title="Realization comparison",
+    )
+    for name, result, size in (
+        ("3x3", result_3x3, 9),
+        ("3x4", result_3x4, 12),
+    ):
+        summary.add_row(
+            [
+                name,
+                size,
+                f"{result.zero_state_output_v:.3f} V",
+                format_engineering(result.rise_time_s, "s"),
+                format_engineering(result.fall_time_s, "s"),
+            ]
+        )
+    print("\n" + summary.render())
+
+
+if __name__ == "__main__":
+    main()

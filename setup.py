@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so the
+package can be installed in editable mode in offline environments whose
+setuptools lacks the PEP 660 editable-wheel path (``pip install -e .
+--no-use-pep517 --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""repro — four-terminal switching lattices, from logic to circuits.
+
+A reproduction of *"Realization of Four-Terminal Switching Lattices:
+Technology Development and Circuit Modeling"* (DATE 2019).  The package
+covers the paper's whole stack:
+
+* :mod:`repro.core` — switching lattices as a computing model: lattice
+  functions, irredundant products (Table I), evaluation and synthesis,
+  including the XOR3 realizations of Fig. 3;
+* :mod:`repro.devices` — the three candidate device structures of Table II;
+* :mod:`repro.tcad` — a TCAD-substitute device simulator producing the I-V
+  curves, thresholds, on/off ratios and current-density fields of Figs. 5-8;
+* :mod:`repro.fitting` — level-1 MOSFET parameter extraction (Fig. 10);
+* :mod:`repro.spice` — a small MNA circuit simulator with the six-MOSFET
+  switch model of Fig. 9;
+* :mod:`repro.circuits` — lattice netlists, the XOR3 transient bench
+  (Fig. 11) and the series-switch drive study (Fig. 12);
+* :mod:`repro.analysis` — waveform and I-V measurements, report tables;
+* :mod:`repro.experiments` — one module per table/figure of the paper.
+
+Quickstart::
+
+    from repro.core import xor3_lattice_3x3, lattice_function
+    from repro.circuits import build_lattice_circuit
+    from repro.circuits.testbench import InputSequence
+    from repro.spice import transient_analysis
+
+    lattice = xor3_lattice_3x3()
+    print(lattice_function(lattice).sop_string())
+
+    sequence = InputSequence.exhaustive(("a", "b", "c"), step_duration_s=100e-9)
+    bench = build_lattice_circuit(lattice, input_sequence=sequence)
+    result = transient_analysis(bench.circuit, sequence.total_duration_s, 1e-9)
+    print(result.voltage("out")[-1])
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "constants",
+    "core",
+    "devices",
+    "tcad",
+    "fitting",
+    "spice",
+    "circuits",
+    "analysis",
+    "experiments",
+]

@@ -1,0 +1,31 @@
+"""Measurement utilities: waveform metrics, I-V metrics, and report tables."""
+
+from repro.analysis.waveform_metrics import (
+    LogicLevels,
+    fall_time,
+    rise_time,
+    settled_value,
+    steady_state_levels,
+    edge_times,
+)
+from repro.analysis.iv_metrics import (
+    IVSummary,
+    summarize_transfer_curve,
+    on_resistance_from_curve,
+)
+from repro.analysis.reporting import Table, format_table, format_engineering
+
+__all__ = [
+    "LogicLevels",
+    "fall_time",
+    "rise_time",
+    "settled_value",
+    "steady_state_levels",
+    "edge_times",
+    "IVSummary",
+    "summarize_transfer_curve",
+    "on_resistance_from_curve",
+    "Table",
+    "format_table",
+    "format_engineering",
+]

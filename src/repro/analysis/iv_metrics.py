@@ -1,0 +1,109 @@
+"""I-V curve summaries used when reporting the device results of Figs. 5-7."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.fitting.threshold import (
+    constant_current_threshold,
+    max_gm_threshold,
+    on_off_ratio,
+)
+
+
+@dataclass(frozen=True)
+class IVSummary:
+    """Scalar figures of merit of one device transfer characteristic.
+
+    Attributes
+    ----------
+    threshold_v:
+        Threshold voltage extracted from the linear-region transfer curve.
+    on_current_a / off_current_a:
+        Drain current at Vgs = 5 V / 0 V in the saturation sweep.
+    on_off_ratio:
+        Their ratio.
+    max_transconductance_s:
+        Peak ``gm`` of the linear-region curve.
+    """
+
+    threshold_v: float
+    on_current_a: float
+    off_current_a: float
+    on_off_ratio: float
+    max_transconductance_s: float
+
+    def describe(self) -> str:
+        """One-line report in the style of Section III-B."""
+        return (
+            f"Vth = {self.threshold_v:+.2f} V, Ion = {self.on_current_a:.3e} A, "
+            f"Ioff = {self.off_current_a:.3e} A, Ion/Ioff = {self.on_off_ratio:.1e}"
+        )
+
+
+def summarize_transfer_curve(
+    vgs_linear: np.ndarray,
+    ids_linear: np.ndarray,
+    vgs_saturation: np.ndarray,
+    ids_saturation: np.ndarray,
+    threshold_method: str = "max_gm",
+    criterion_a: float = 1e-7,
+) -> IVSummary:
+    """Build an :class:`IVSummary` from the linear and saturation transfer curves.
+
+    Parameters
+    ----------
+    vgs_linear, ids_linear:
+        The Vds = 10 mV sweep (threshold extraction).
+    vgs_saturation, ids_saturation:
+        The Vds = 5 V sweep (Ion, Ioff, on/off ratio).
+    threshold_method:
+        ``"max_gm"`` (default) or ``"constant_current"``.
+    criterion_a:
+        Criterion current of the constant-current method.
+    """
+    vgs_linear = np.asarray(vgs_linear, dtype=float)
+    ids_linear = np.asarray(ids_linear, dtype=float)
+    vgs_saturation = np.asarray(vgs_saturation, dtype=float)
+    ids_saturation = np.asarray(ids_saturation, dtype=float)
+
+    if threshold_method == "max_gm":
+        vth = max_gm_threshold(vgs_linear, ids_linear)
+    elif threshold_method == "constant_current":
+        vth = constant_current_threshold(vgs_linear, ids_linear, criterion_a)
+    else:
+        raise ValueError("threshold_method must be 'max_gm' or 'constant_current'")
+
+    ion = float(np.interp(5.0, vgs_saturation, ids_saturation))
+    ioff = float(np.interp(0.0, vgs_saturation, ids_saturation))
+    ratio = on_off_ratio(vgs_saturation, ids_saturation)
+    gm = np.gradient(ids_linear, vgs_linear)
+    return IVSummary(
+        threshold_v=float(vth),
+        on_current_a=ion,
+        off_current_a=ioff,
+        on_off_ratio=float(ratio),
+        max_transconductance_s=float(np.max(gm)),
+    )
+
+
+def on_resistance_from_curve(
+    vds: np.ndarray, ids: np.ndarray, bias_v: float = 0.1
+) -> float:
+    """Small-signal on-resistance [ohm] around a given drain bias.
+
+    Uses the local slope of the output characteristic; ``inf`` when the curve
+    carries no current there.
+    """
+    vds = np.asarray(vds, dtype=float)
+    ids = np.asarray(ids, dtype=float)
+    if vds.shape != ids.shape or vds.ndim != 1:
+        raise ValueError("vds and ids must be 1-D arrays of the same shape")
+    conductance = np.gradient(ids, vds)
+    g = float(np.interp(bias_v, vds, conductance))
+    if g <= 0.0:
+        return float("inf")
+    return 1.0 / g

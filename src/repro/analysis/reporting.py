@@ -1,0 +1,99 @@
+"""Plain-text report tables for the benchmarks and EXPERIMENTS.md.
+
+The benchmark harness prints the rows the paper reports (Table I counts,
+Vth / on-off ratios, Fig. 12 series data) so that a reader can compare them
+side by side with the paper.  :class:`Table` keeps that formatting in one
+place.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+
+_SI_PREFIXES = (
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+)
+
+
+def format_engineering(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format a value with an SI prefix: ``format_engineering(5.5e-6, "A")`` -> ``"5.5 uA"``.
+
+    ``nan`` and ``inf`` are passed through textually; zero is ``"0 <unit>"``.
+    """
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "nan"
+    if math.isinf(value):
+        return ("-inf" if value < 0 else "inf") + (f" {unit}" if unit else "")
+    if value == 0.0:
+        return f"0 {unit}".strip()
+    magnitude = abs(value)
+    for scale, prefix in _SI_PREFIXES:
+        if magnitude >= scale:
+            scaled = value / scale
+            return f"{scaled:.{digits}g} {prefix}{unit}".strip()
+    scale, prefix = _SI_PREFIXES[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit}".strip()
+
+
+@dataclass
+class Table:
+    """A simple column-aligned text table.
+
+    >>> table = Table(["n", "value"])
+    >>> table.add_row([1, "abc"])
+    >>> print(table.render())  # doctest: +NORMALIZE_WHITESPACE
+    n | value
+    --+------
+    1 | abc
+    """
+
+    headers: Sequence[str]
+    rows: List[List[str]] = field(default_factory=list)
+    title: Optional[str] = None
+
+    def add_row(self, values: Iterable[object]) -> None:
+        row = [str(value) for value in values]
+        if len(row) != len(self.headers):
+            raise ValueError(f"expected {len(self.headers)} columns, got {len(row)}")
+        self.rows.append(row)
+
+    def render(self) -> str:
+        headers = [str(h) for h in self.headers]
+        widths = [len(h) for h in headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def format_row(cells: Sequence[str]) -> str:
+            return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(format_row(headers))
+        lines.append("-+-".join("-" * width for width in widths))
+        lines.extend(format_row(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Iterable[object]], title: Optional[str] = None) -> str:
+    """One-shot helper: build and render a :class:`Table`."""
+    table = Table(list(headers), title=title)
+    for row in rows:
+        table.add_row(row)
+    return table.render()

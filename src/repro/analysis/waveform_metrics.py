@@ -1,0 +1,148 @@
+"""Waveform measurements: rise/fall times and logic levels.
+
+The Fig. 11 experiment reports the zero-state output voltage (~0.22 V in the
+paper), the rise time (~11.3 ns) and the fall time (~4.7 ns) of the lattice
+output.  These helpers extract those numbers from transient waveforms using
+the standard 10 %-90 % edge definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LogicLevels:
+    """Steady-state logic levels observed on a waveform.
+
+    Attributes
+    ----------
+    low_v / high_v:
+        The settled low and high output voltages.
+    """
+
+    low_v: float
+    high_v: float
+
+    @property
+    def swing_v(self) -> float:
+        return self.high_v - self.low_v
+
+    def threshold(self, fraction: float) -> float:
+        """Voltage at ``fraction`` of the swing above the low level."""
+        return self.low_v + fraction * self.swing_v
+
+
+def _validate(time_s: np.ndarray, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    time_s = np.asarray(time_s, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if time_s.ndim != 1 or time_s.shape != values.shape:
+        raise ValueError("time and value arrays must be 1-D and the same length")
+    if len(time_s) < 3:
+        raise ValueError("at least three samples are required")
+    if np.any(np.diff(time_s) <= 0.0):
+        raise ValueError("time values must be strictly increasing")
+    return time_s, values
+
+
+def settled_value(
+    time_s: np.ndarray,
+    values: np.ndarray,
+    window_start_s: float,
+    window_end_s: Optional[float] = None,
+) -> float:
+    """Mean waveform value over a late window (the settled output level)."""
+    time_s, values = _validate(time_s, values)
+    if window_end_s is None:
+        window_end_s = float(time_s[-1])
+    if window_end_s <= window_start_s:
+        raise ValueError("the settling window must have positive width")
+    mask = (time_s >= window_start_s) & (time_s <= window_end_s)
+    if not np.any(mask):
+        raise ValueError("the settling window contains no samples")
+    return float(np.mean(values[mask]))
+
+
+def steady_state_levels(time_s: np.ndarray, values: np.ndarray, tail_fraction: float = 0.2) -> LogicLevels:
+    """Estimate the low and high logic levels from waveform extremes.
+
+    Takes the means of the lowest and highest ``tail_fraction`` of samples,
+    which is robust to edges and small ringing.
+    """
+    time_s, values = _validate(time_s, values)
+    if not 0.0 < tail_fraction <= 0.5:
+        raise ValueError("tail_fraction must be in (0, 0.5]")
+    ordered = np.sort(values)
+    count = max(int(len(ordered) * tail_fraction), 1)
+    return LogicLevels(low_v=float(np.mean(ordered[:count])), high_v=float(np.mean(ordered[-count:])))
+
+
+def _crossing_time(
+    time_s: np.ndarray, values: np.ndarray, level: float, start_index: int, rising: bool
+) -> Optional[float]:
+    """First time after ``start_index`` at which the waveform crosses ``level``."""
+    for i in range(max(start_index, 1), len(values)):
+        previous, current = values[i - 1], values[i]
+        crossed = previous < level <= current if rising else previous > level >= current
+        if crossed and current != previous:
+            fraction = (level - previous) / (current - previous)
+            return float(time_s[i - 1] + fraction * (time_s[i] - time_s[i - 1]))
+    return None
+
+
+def edge_times(
+    time_s: np.ndarray,
+    values: np.ndarray,
+    levels: Optional[LogicLevels] = None,
+    low_fraction: float = 0.1,
+    high_fraction: float = 0.9,
+) -> Tuple[List[float], List[float]]:
+    """10 %/90 % rise and fall durations of every edge in the waveform.
+
+    Returns ``(rise_times, fall_times)`` lists; empty lists mean the waveform
+    never completed an edge of that polarity.
+    """
+    time_s, values = _validate(time_s, values)
+    if levels is None:
+        levels = steady_state_levels(time_s, values)
+    if levels.swing_v <= 0.0:
+        return [], []
+    low_level = levels.threshold(low_fraction)
+    high_level = levels.threshold(high_fraction)
+
+    rise_times: List[float] = []
+    fall_times: List[float] = []
+    index = 1
+    while index < len(values):
+        previous, current = values[index - 1], values[index]
+        if previous < low_level <= current or (previous <= low_level and current > low_level):
+            start = _crossing_time(time_s, values, low_level, index, rising=True)
+            end = _crossing_time(time_s, values, high_level, index, rising=True)
+            if start is not None and end is not None and end > start:
+                rise_times.append(end - start)
+                index = int(np.searchsorted(time_s, end)) + 1
+                continue
+        if previous > high_level >= current or (previous >= high_level and current < high_level):
+            start = _crossing_time(time_s, values, high_level, index, rising=False)
+            end = _crossing_time(time_s, values, low_level, index, rising=False)
+            if start is not None and end is not None and end > start:
+                fall_times.append(end - start)
+                index = int(np.searchsorted(time_s, end)) + 1
+                continue
+        index += 1
+    return rise_times, fall_times
+
+
+def rise_time(time_s: np.ndarray, values: np.ndarray, levels: Optional[LogicLevels] = None) -> float:
+    """First 10 %-90 % rise time of the waveform (``nan`` if it never rises)."""
+    rises, _ = edge_times(time_s, values, levels)
+    return rises[0] if rises else float("nan")
+
+
+def fall_time(time_s: np.ndarray, values: np.ndarray, levels: Optional[LogicLevels] = None) -> float:
+    """First 90 %-10 % fall time of the waveform (``nan`` if it never falls)."""
+    _, falls = edge_times(time_s, values, levels)
+    return falls[0] if falls else float("nan")

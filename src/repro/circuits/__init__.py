@@ -1,0 +1,52 @@
+"""Lattice-level circuits: netlist builders and test benches (Section V).
+
+This package turns :class:`~repro.core.lattice.Lattice` objects into circuits
+for the SPICE-style simulator:
+
+* :mod:`repro.circuits.lattice_netlist` — the pull-down lattice with its
+  500 kOhm pull-up resistor, supply, terminal capacitors and output load,
+  exactly as in the paper's XOR3 experiment (Fig. 11);
+* :mod:`repro.circuits.series_chain` — chains of four-terminal switches in
+  series for the drive-capability study (Fig. 12);
+* :mod:`repro.circuits.testbench` — input stimulus generation (input vector
+  sequences as piecewise-linear gate waveforms);
+* :mod:`repro.circuits.sizing` — derivation of the switch model parameters
+  from the TCAD-substitute data (the Section IV extraction), cached so the
+  many circuit benches do not re-run the device simulation.
+"""
+
+from repro.circuits.sizing import (
+    default_switch_model,
+    extract_square_device_parameters,
+    switch_model_from_spec,
+)
+from repro.circuits.lattice_netlist import LatticeCircuit, build_lattice_circuit
+from repro.circuits.complementary import (
+    ComplementaryLatticeCircuit,
+    build_complementary_lattice_circuit,
+    complement_lattice,
+)
+from repro.circuits.series_chain import SeriesChainCircuit, build_series_chain
+from repro.circuits.testbench import (
+    InputSequence,
+    all_input_vectors,
+    gray_code_vectors,
+    input_waveforms,
+)
+
+__all__ = [
+    "default_switch_model",
+    "extract_square_device_parameters",
+    "switch_model_from_spec",
+    "LatticeCircuit",
+    "build_lattice_circuit",
+    "ComplementaryLatticeCircuit",
+    "build_complementary_lattice_circuit",
+    "complement_lattice",
+    "SeriesChainCircuit",
+    "build_series_chain",
+    "InputSequence",
+    "all_input_vectors",
+    "gray_code_vectors",
+    "input_waveforms",
+]

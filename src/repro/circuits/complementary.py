@@ -1,0 +1,232 @@
+"""Complementary lattice circuits (the Section VI-A extension).
+
+The paper's conclusion proposes replacing the pull-up resistor of the
+Section V circuit with a second switching lattice so that the circuit becomes
+fully complementary: the pull-down lattice realizes the target function ``f``
+(connecting the output to ground when ``f = 1``) and the pull-up lattice
+realizes its complement ``f'`` (connecting the output to the supply when
+``f = 0``).  The expected benefits — near-zero static current and a full-rail,
+faster rising edge — are exactly what :func:`build_complementary_lattice_circuit`
+lets one quantify against the resistive-pull-up circuit of Fig. 11.
+
+Both networks are built from the same n-type four-terminal switch model, so
+the pull-up lattice passes a degraded high level (one threshold drop below
+the supply), which the comparison also exposes — a known limitation the paper
+would face with a single device polarity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.circuits.lattice_netlist import (
+    DEFAULT_NODE_CAPACITANCE_F,
+    DEFAULT_OUTPUT_CAPACITANCE_F,
+    DEFAULT_SUPPLY_V,
+    OUTPUT_NODE,
+    SUPPLY_NODE,
+)
+from repro.circuits.sizing import default_switch_model
+from repro.circuits.testbench import InputSequence, input_waveforms
+from repro.core.boolean import Literal
+from repro.core.evaluation import evaluate_lattice, lattice_function
+from repro.core.lattice import Cell, Lattice
+from repro.core.synthesis import synthesize_dual_product
+from repro.spice.elements.capacitor import Capacitor
+from repro.spice.elements.sources import VoltageSource
+from repro.spice.elements.switch4t import FourTerminalSwitchModel, add_four_terminal_switch
+from repro.spice.netlist import Circuit, GROUND
+from repro.spice.waveforms import DC, Waveform
+
+
+@dataclass
+class ComplementaryLatticeCircuit:
+    """A lattice pull-down network with a lattice pull-up network.
+
+    Attributes
+    ----------
+    circuit:
+        The SPICE circuit.
+    pulldown / pullup:
+        The two lattices (pull-down realizes ``f``, pull-up realizes ``f'``).
+    supply_v:
+        Supply voltage.
+    gate_sources:
+        Voltage sources driving each literal's gate node.
+    input_sequence:
+        The stimulus, if the circuit was built for a transient run.
+    """
+
+    circuit: Circuit
+    pulldown: Lattice
+    pullup: Lattice
+    supply_v: float
+    gate_sources: Dict[str, VoltageSource]
+    input_sequence: Optional[InputSequence]
+
+    @property
+    def output_node(self) -> str:
+        return OUTPUT_NODE
+
+    @property
+    def supply_node(self) -> str:
+        return SUPPLY_NODE
+
+    def expected_output_level(self, assignment: Mapping[str, bool]) -> bool:
+        """The output is the complement of the pull-down lattice's function."""
+        return not evaluate_lattice(self.pulldown, assignment)
+
+    def supply_source_name(self) -> str:
+        return "vdd_supply"
+
+
+def complement_lattice(lattice: Lattice) -> Lattice:
+    """A lattice realizing the complement of ``lattice``'s function.
+
+    Uses the dual-product synthesis on the complemented Boolean function, so
+    the result is correct by construction (and verified by the caller's
+    tests); its size is governed by the ISOP covers of ``f'`` and its dual.
+    """
+    target = lattice_function(lattice)
+    return synthesize_dual_product(~target).lattice
+
+
+def _instantiate_lattice(
+    circuit: Circuit,
+    lattice: Lattice,
+    prefix: str,
+    top_node: str,
+    bottom_node: str,
+    model: FourTerminalSwitchModel,
+    gate_node_of: Dict[str, str],
+    node_capacitance_f: float,
+) -> None:
+    """Expand one lattice between two plate nodes.
+
+    Cell terminals follow the same scheme as the Fig. 11 builder, with all
+    internal node names namespaced by ``prefix`` so two lattices can coexist
+    in one circuit.
+    """
+    def terminal_nodes(cell: Cell) -> Dict[str, str]:
+        r, c = cell
+        north = top_node if r == 0 else f"{prefix}_v_{r - 1}_{c}"
+        south = bottom_node if r == lattice.rows - 1 else f"{prefix}_v_{r}_{c}"
+        west = f"{prefix}_wl_{r}" if c == 0 else f"{prefix}_h_{r}_{c - 1}"
+        east = f"{prefix}_wr_{r}" if c == lattice.cols - 1 else f"{prefix}_h_{r}_{c}"
+        return {"T1": north, "T2": south, "T3": west, "T4": east}
+
+    internal_nodes = set()
+    for cell, switch in lattice.switches():
+        if switch.is_constant and switch.control is False:
+            continue
+        nodes = terminal_nodes(cell)
+        internal_nodes.update(
+            node for node in nodes.values() if node not in (GROUND, top_node, bottom_node)
+        )
+        gate_node = SUPPLY_NODE if switch.is_constant else gate_node_of[str(switch)]
+        add_four_terminal_switch(
+            circuit,
+            f"{prefix}_x_{cell[0]}_{cell[1]}",
+            nodes,
+            gate_node,
+            model,
+            add_terminal_capacitors=False,
+        )
+
+    if node_capacitance_f > 0.0:
+        for node in sorted(internal_nodes):
+            Capacitor(circuit, f"{prefix}_c_{node}", node, GROUND, node_capacitance_f)
+
+
+def build_complementary_lattice_circuit(
+    pulldown: Lattice,
+    pullup: Optional[Lattice] = None,
+    model: Optional[FourTerminalSwitchModel] = None,
+    input_sequence: Optional[InputSequence] = None,
+    static_assignment: Optional[Mapping[str, bool]] = None,
+    supply_v: float = DEFAULT_SUPPLY_V,
+    output_capacitance_f: float = DEFAULT_OUTPUT_CAPACITANCE_F,
+    node_capacitance_f: float = DEFAULT_NODE_CAPACITANCE_F,
+    title: Optional[str] = None,
+) -> ComplementaryLatticeCircuit:
+    """Build the complementary (lattice pull-up) variant of the Fig. 11 circuit.
+
+    Parameters
+    ----------
+    pulldown:
+        Lattice realizing the target function ``f`` (output pulled low when
+        ``f = 1``).
+    pullup:
+        Lattice realizing ``f'``; synthesized automatically with
+        :func:`complement_lattice` when omitted.
+    model, input_sequence, static_assignment, supply_v, ...:
+        As for :func:`repro.circuits.lattice_netlist.build_lattice_circuit`.
+    """
+    if input_sequence is not None and static_assignment is not None:
+        raise ValueError("give either an input sequence or a static assignment, not both")
+    if model is None:
+        model = default_switch_model()
+    if pullup is None:
+        pullup = complement_lattice(pulldown)
+
+    extra = set(pullup.variables()) - set(pulldown.variables())
+    if extra:
+        raise ValueError(
+            f"the pull-up lattice uses inputs {sorted(extra)} the pull-down lattice does not"
+        )
+
+    circuit = Circuit(title or f"complementary_{pulldown.rows}x{pulldown.cols}")
+    VoltageSource(circuit, "vdd_supply", SUPPLY_NODE, GROUND, DC(supply_v))
+    Capacitor(circuit, "c_out", OUTPUT_NODE, GROUND, output_capacitance_f)
+
+    literals_used = sorted(
+        {
+            str(switch)
+            for lattice in (pulldown, pullup)
+            for _, switch in lattice.switches()
+            if not switch.is_constant
+        }
+    )
+    waveforms: Dict[str, Waveform] = {}
+    if input_sequence is not None:
+        waveforms = dict(input_waveforms(input_sequence))
+
+    gate_sources: Dict[str, VoltageSource] = {}
+    gate_node_of: Dict[str, str] = {}
+    for literal_text in literals_used:
+        gate_node = "g_" + literal_text.replace("'", "_n")
+        gate_node_of[literal_text] = gate_node
+        if input_sequence is not None:
+            if literal_text not in waveforms:
+                raise ValueError(f"the input sequence does not drive literal {literal_text!r}")
+            value: Waveform = waveforms[literal_text]
+        elif static_assignment is not None:
+            literal = Literal.parse(literal_text)
+            if literal.variable not in static_assignment:
+                raise ValueError(f"static assignment is missing input {literal.variable!r}")
+            logic = bool(static_assignment[literal.variable]) ^ literal.negated
+            value = DC(supply_v if logic else 0.0)
+        else:
+            value = DC(0.0)
+        gate_sources[literal_text] = VoltageSource(
+            circuit, f"vg_{gate_node[2:]}", gate_node, GROUND, value
+        )
+
+    # Pull-up lattice between the supply and the output, pull-down between
+    # the output and ground.
+    _instantiate_lattice(
+        circuit, pullup, "pu", SUPPLY_NODE, OUTPUT_NODE, model, gate_node_of, node_capacitance_f
+    )
+    _instantiate_lattice(
+        circuit, pulldown, "pd", OUTPUT_NODE, GROUND, model, gate_node_of, node_capacitance_f
+    )
+
+    return ComplementaryLatticeCircuit(
+        circuit=circuit,
+        pulldown=pulldown,
+        pullup=pullup,
+        supply_v=supply_v,
+        gate_sources=gate_sources,
+        input_sequence=input_sequence,
+    )

@@ -1,0 +1,232 @@
+"""Lattice-to-netlist translation: the circuit of the paper's Fig. 11 bench.
+
+The circuit structure follows Section V exactly:
+
+* the switching lattice is the pull-down network between the output node
+  (the lattice's top plate) and ground (the bottom plate);
+* a pull-up resistor (500 kOhm by default) connects the output node to the
+  supply (1.2 V by default), so the circuit computes the *inverse* of the
+  lattice function;
+* a 10 fF load capacitor sits on the output node and a 1 fF grounded
+  capacitor on every internal lattice node;
+* each switch becomes the six-MOSFET model of Fig. 9 with its gate driven by
+  the voltage source of its literal (or tied to the supply / ground for
+  constant-1 / constant-0 cells).
+
+Node naming: the four terminals of the switch at lattice cell (r, c) map to
+
+* north  — ``out`` for row 0, otherwise ``v_{r-1}_{c}`` (junction above);
+* south  — ground for the last row, otherwise ``v_{r}_{c}``;
+* west   — ``h_{r}_{c-1}`` shared with the left neighbour, or the dangling
+  node ``wl_{r}`` on the left edge;
+* east   — ``h_{r}_{c}`` shared with the right neighbour, or ``wr_{r}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.lattice import Cell, Lattice
+from repro.core.boolean import Literal
+from repro.circuits.sizing import default_switch_model
+from repro.circuits.testbench import InputSequence, input_waveforms
+from repro.spice.elements.capacitor import Capacitor
+from repro.spice.elements.resistor import Resistor
+from repro.spice.elements.sources import VoltageSource
+from repro.spice.elements.switch4t import FourTerminalSwitchModel, add_four_terminal_switch
+from repro.spice.netlist import Circuit, GROUND
+from repro.spice.waveforms import DC, Waveform
+
+#: Default values from Section V of the paper.
+DEFAULT_SUPPLY_V = 1.2
+DEFAULT_PULLUP_OHM = 500e3
+DEFAULT_OUTPUT_CAPACITANCE_F = 10e-15
+DEFAULT_NODE_CAPACITANCE_F = 1e-15
+
+#: Node names used by the builder.
+SUPPLY_NODE = "vdd"
+OUTPUT_NODE = "out"
+
+
+@dataclass
+class LatticeCircuit:
+    """A lattice mapped to a circuit, with bookkeeping for analyses.
+
+    Attributes
+    ----------
+    circuit:
+        The SPICE circuit.
+    lattice:
+        The source lattice.
+    supply_v / pullup_ohm:
+        Values used during construction.
+    gate_sources:
+        Voltage sources driving each literal's gate node, keyed by literal
+        string (``"a"``, ``"a'"``).
+    input_sequence:
+        The stimulus the gate sources follow (``None`` for static circuits).
+    terminal_nodes:
+        Mapping from each lattice cell to its four terminal node names.
+    """
+
+    circuit: Circuit
+    lattice: Lattice
+    supply_v: float
+    pullup_ohm: float
+    gate_sources: Dict[str, VoltageSource]
+    input_sequence: Optional[InputSequence]
+    terminal_nodes: Dict[Cell, Dict[str, str]]
+
+    @property
+    def output_node(self) -> str:
+        """Name of the output node (the lattice top plate)."""
+        return OUTPUT_NODE
+
+    @property
+    def supply_node(self) -> str:
+        return SUPPLY_NODE
+
+    def expected_output_level(self, assignment: Mapping[str, bool]) -> bool:
+        """Logic level the output should settle to for an input assignment.
+
+        The lattice is the pull-down network, so the output is the
+        *complement* of the lattice function.
+        """
+        from repro.core.evaluation import evaluate_lattice
+
+        return not evaluate_lattice(self.lattice, assignment)
+
+
+def _terminal_nodes_for_cell(lattice: Lattice, cell: Cell) -> Dict[str, str]:
+    """Circuit node names of the four terminals of the switch at ``cell``."""
+    r, c = cell
+    north = OUTPUT_NODE if r == 0 else f"v_{r - 1}_{c}"
+    south = GROUND if r == lattice.rows - 1 else f"v_{r}_{c}"
+    west = f"wl_{r}" if c == 0 else f"h_{r}_{c - 1}"
+    east = f"wr_{r}" if c == lattice.cols - 1 else f"h_{r}_{c}"
+    return {"T1": north, "T2": south, "T3": west, "T4": east}
+
+
+def build_lattice_circuit(
+    lattice: Lattice,
+    model: Optional[FourTerminalSwitchModel] = None,
+    input_sequence: Optional[InputSequence] = None,
+    static_assignment: Optional[Mapping[str, bool]] = None,
+    supply_v: float = DEFAULT_SUPPLY_V,
+    pullup_ohm: float = DEFAULT_PULLUP_OHM,
+    output_capacitance_f: float = DEFAULT_OUTPUT_CAPACITANCE_F,
+    node_capacitance_f: float = DEFAULT_NODE_CAPACITANCE_F,
+    title: Optional[str] = None,
+) -> LatticeCircuit:
+    """Build the pull-up-resistor lattice circuit of Section V.
+
+    Exactly one of ``input_sequence`` (transient stimulus) and
+    ``static_assignment`` (fixed DC input levels) should be given; with
+    neither, all inputs default to logic 0.
+
+    Parameters
+    ----------
+    lattice:
+        The switching lattice acting as the pull-down network.
+    model:
+        Switch transistor model; defaults to the cached extraction from the
+        square/HfO2 device.
+    input_sequence:
+        Stimulus for transient analysis; gate sources get piecewise-linear
+        waveforms.
+    static_assignment:
+        Constant input values for DC analyses.
+    supply_v, pullup_ohm, output_capacitance_f, node_capacitance_f:
+        Circuit constants (paper defaults).
+    """
+    if input_sequence is not None and static_assignment is not None:
+        raise ValueError("give either an input sequence or a static assignment, not both")
+    if model is None:
+        model = default_switch_model()
+
+    circuit = Circuit(title or f"lattice_{lattice.rows}x{lattice.cols}")
+
+    # Supply, pull-up and output load.
+    VoltageSource(circuit, "vdd_supply", SUPPLY_NODE, GROUND, DC(supply_v))
+    Resistor(circuit, "r_pullup", SUPPLY_NODE, OUTPUT_NODE, pullup_ohm)
+    Capacitor(circuit, "c_out", OUTPUT_NODE, GROUND, output_capacitance_f)
+
+    # Gate drive: one node + source per literal that appears in the lattice.
+    literals_used = sorted(
+        {str(switch) for _, switch in lattice.switches() if not switch.is_constant}
+    )
+    gate_sources: Dict[str, VoltageSource] = {}
+    waveforms: Dict[str, Waveform] = {}
+    if input_sequence is not None:
+        waveforms = dict(input_waveforms(input_sequence))
+    for literal_text in literals_used:
+        gate_node = _gate_node_name(literal_text)
+        if input_sequence is not None:
+            if literal_text not in waveforms:
+                raise ValueError(
+                    f"the input sequence does not drive literal {literal_text!r}"
+                )
+            value: Waveform = waveforms[literal_text]
+        elif static_assignment is not None:
+            literal = Literal.parse(literal_text)
+            if literal.variable not in static_assignment:
+                raise ValueError(f"static assignment is missing input {literal.variable!r}")
+            logic = bool(static_assignment[literal.variable]) ^ literal.negated
+            value = DC(supply_v if logic else 0.0)
+        else:
+            value = DC(0.0)
+        gate_sources[literal_text] = VoltageSource(
+            circuit, f"vg_{_sanitize(literal_text)}", gate_node, GROUND, value
+        )
+
+    # Switches.
+    terminal_nodes: Dict[Cell, Dict[str, str]] = {}
+    for cell, switch in lattice.switches():
+        if switch.is_constant and switch.control is False:
+            continue  # an always-OFF site contributes nothing
+        nodes = _terminal_nodes_for_cell(lattice, cell)
+        terminal_nodes[cell] = nodes
+        if switch.is_constant:
+            gate_node = SUPPLY_NODE  # constant 1: gate hard-wired to the supply
+        else:
+            gate_node = _gate_node_name(str(switch))
+        add_four_terminal_switch(
+            circuit,
+            f"x_{cell[0]}_{cell[1]}",
+            nodes,
+            gate_node,
+            model,
+            add_terminal_capacitors=False,
+        )
+
+    # One grounded capacitor per distinct lattice node (paper: 1 fF each).
+    if node_capacitance_f > 0.0:
+        internal_nodes = sorted(
+            {
+                node
+                for nodes in terminal_nodes.values()
+                for node in nodes.values()
+                if node not in (GROUND, OUTPUT_NODE)
+            }
+        )
+        for node in internal_nodes:
+            Capacitor(circuit, f"c_node_{node}", node, GROUND, node_capacitance_f)
+
+    return LatticeCircuit(
+        circuit=circuit,
+        lattice=lattice,
+        supply_v=supply_v,
+        pullup_ohm=pullup_ohm,
+        gate_sources=gate_sources,
+        input_sequence=input_sequence,
+        terminal_nodes=terminal_nodes,
+    )
+
+
+def _gate_node_name(literal_text: str) -> str:
+    return f"g_{_sanitize(literal_text)}"
+
+
+def _sanitize(literal_text: str) -> str:
+    return literal_text.replace("'", "_n")

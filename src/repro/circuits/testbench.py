@@ -1,0 +1,174 @@
+"""Input stimulus generation for lattice circuits.
+
+The transient experiment of Fig. 11 drives the XOR3 lattice through input
+combinations and observes the output.  :class:`InputSequence` describes a
+sequence of input vectors held for a fixed duration each;
+:func:`input_waveforms` turns it into one piecewise-linear gate waveform per
+literal (a positive literal follows the input value, a negated literal its
+complement), which is exactly what the lattice netlist builder needs to
+instantiate its gate voltage sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.spice.waveforms import PiecewiseLinear
+
+
+def all_input_vectors(variables: Sequence[str]) -> List[Dict[str, bool]]:
+    """All ``2**n`` input assignments in binary counting order.
+
+    Variable ``k`` is bit ``k`` of the vector index, consistent with the
+    minterm numbering of :class:`repro.core.boolean.BooleanFunction`.
+    """
+    variables = list(variables)
+    vectors = []
+    for index in range(1 << len(variables)):
+        vectors.append({name: bool((index >> bit) & 1) for bit, name in enumerate(variables)})
+    return vectors
+
+
+def gray_code_vectors(variables: Sequence[str]) -> List[Dict[str, bool]]:
+    """All input assignments in Gray-code order (one bit flips per step).
+
+    Useful for transient runs: single-input transitions make rise/fall times
+    attributable to one switching event.
+    """
+    variables = list(variables)
+    vectors = []
+    for index in range(1 << len(variables)):
+        gray = index ^ (index >> 1)
+        vectors.append({name: bool((gray >> bit) & 1) for bit, name in enumerate(variables)})
+    return vectors
+
+
+@dataclass(frozen=True)
+class InputSequence:
+    """A sequence of input vectors applied back to back.
+
+    Attributes
+    ----------
+    variables:
+        Input variable names.
+    vectors:
+        The input assignments, applied in order.
+    step_duration_s:
+        How long each vector is held.
+    high_level_v / low_level_v:
+        Gate voltages representing logic 1 and logic 0.
+    transition_s:
+        Edge duration between vectors.
+    """
+
+    variables: Tuple[str, ...]
+    vectors: Tuple[Tuple[bool, ...], ...]
+    step_duration_s: float = 100e-9
+    high_level_v: float = 1.2
+    low_level_v: float = 0.0
+    transition_s: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if not self.variables:
+            raise ValueError("an input sequence needs at least one variable")
+        if not self.vectors:
+            raise ValueError("an input sequence needs at least one vector")
+        for vector in self.vectors:
+            if len(vector) != len(self.variables):
+                raise ValueError("every vector must assign all variables")
+        if self.step_duration_s <= 0.0:
+            raise ValueError("step duration must be positive")
+        if not 0.0 < self.transition_s < self.step_duration_s:
+            raise ValueError("transition time must be positive and shorter than the step")
+
+    @classmethod
+    def from_assignments(
+        cls,
+        variables: Sequence[str],
+        assignments: Sequence[Mapping[str, bool]],
+        step_duration_s: float = 100e-9,
+        high_level_v: float = 1.2,
+        low_level_v: float = 0.0,
+        transition_s: float = 1e-9,
+    ) -> "InputSequence":
+        """Build a sequence from dict assignments (missing keys are an error)."""
+        variables = tuple(variables)
+        vectors = []
+        for assignment in assignments:
+            missing = set(variables) - set(assignment)
+            if missing:
+                raise ValueError(f"assignment is missing variables {sorted(missing)}")
+            vectors.append(tuple(bool(assignment[name]) for name in variables))
+        return cls(
+            variables=variables,
+            vectors=tuple(vectors),
+            step_duration_s=step_duration_s,
+            high_level_v=high_level_v,
+            low_level_v=low_level_v,
+            transition_s=transition_s,
+        )
+
+    @classmethod
+    def exhaustive(
+        cls,
+        variables: Sequence[str],
+        step_duration_s: float = 100e-9,
+        high_level_v: float = 1.2,
+        gray: bool = False,
+        transition_s: float = 1e-9,
+    ) -> "InputSequence":
+        """All input combinations, in counting or Gray-code order."""
+        assignments = gray_code_vectors(variables) if gray else all_input_vectors(variables)
+        return cls.from_assignments(
+            variables,
+            assignments,
+            step_duration_s=step_duration_s,
+            high_level_v=high_level_v,
+            transition_s=transition_s,
+        )
+
+    @property
+    def total_duration_s(self) -> float:
+        """Total length of the stimulus."""
+        return self.step_duration_s * len(self.vectors)
+
+    def value_at_step(self, variable: str, step: int) -> bool:
+        """Logic value of one variable during one step."""
+        bit = self.variables.index(variable)
+        return self.vectors[step][bit]
+
+    def assignment_at_step(self, step: int) -> Dict[str, bool]:
+        """The full input assignment of one step."""
+        return {name: self.vectors[step][bit] for bit, name in enumerate(self.variables)}
+
+    def sample_window(self, step: int, fraction: float = 0.9) -> float:
+        """A time late inside a step, where the output has settled."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        return (step + fraction) * self.step_duration_s
+
+
+def input_waveforms(sequence: InputSequence) -> Dict[str, PiecewiseLinear]:
+    """One gate waveform per literal appearing in a lattice.
+
+    Returns waveforms keyed by literal string: ``"a"`` follows the value of
+    ``a`` in the sequence, ``"a'"`` its complement.  Both are always
+    generated; the netlist builder instantiates only the ones its lattice
+    actually uses.
+    """
+    waveforms: Dict[str, PiecewiseLinear] = {}
+    for variable in sequence.variables:
+        true_levels = []
+        complement_levels = []
+        for step in range(len(sequence.vectors)):
+            value = sequence.value_at_step(variable, step)
+            true_levels.append(sequence.high_level_v if value else sequence.low_level_v)
+            complement_levels.append(sequence.low_level_v if value else sequence.high_level_v)
+        waveforms[variable] = PiecewiseLinear.steps(
+            true_levels, sequence.step_duration_s, transition_s=sequence.transition_s
+        )
+        waveforms[f"{variable}'"] = PiecewiseLinear.steps(
+            complement_levels, sequence.step_duration_s, transition_s=sequence.transition_s
+        )
+    return waveforms

@@ -1,0 +1,58 @@
+"""Physical constants used throughout the TCAD-substitute and device models.
+
+All values are in SI units unless the name says otherwise.  The constants are
+kept in a single module so that every physics expression in :mod:`repro.tcad`
+and :mod:`repro.devices` references the same numbers.
+"""
+
+from __future__ import annotations
+
+#: Elementary charge [C].
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380649e-23
+
+#: Vacuum permittivity [F/m].
+VACUUM_PERMITTIVITY = 8.8541878128e-12
+
+#: Default simulation temperature [K].
+ROOM_TEMPERATURE = 300.0
+
+#: Intrinsic carrier concentration of silicon at 300 K [cm^-3].
+SILICON_NI_CM3 = 1.0e10
+
+#: Relative permittivity of bulk silicon.
+SILICON_EPS_R = 11.7
+
+#: Relative permittivity of thermally grown SiO2.
+SIO2_EPS_R = 3.9
+
+#: Relative permittivity of atomic-layer-deposited HfO2 (high-k dielectric).
+HFO2_EPS_R = 25.0
+
+#: Silicon band gap at 300 K [eV].
+SILICON_BANDGAP_EV = 1.12
+
+#: Effective density of states, conduction band, silicon at 300 K [cm^-3].
+SILICON_NC_CM3 = 2.8e19
+
+#: Effective density of states, valence band, silicon at 300 K [cm^-3].
+SILICON_NV_CM3 = 1.04e19
+
+#: Low-field electron mobility in lightly doped silicon [cm^2/(V*s)].
+SILICON_ELECTRON_MOBILITY = 1350.0
+
+#: Low-field hole mobility in lightly doped silicon [cm^2/(V*s)].
+SILICON_HOLE_MOBILITY = 480.0
+
+
+def thermal_voltage(temperature_k: float = ROOM_TEMPERATURE) -> float:
+    """Return the thermal voltage ``kT/q`` in volts at ``temperature_k``.
+
+    >>> round(thermal_voltage(300.0), 5)
+    0.02585
+    """
+    if temperature_k <= 0.0:
+        raise ValueError(f"temperature must be positive, got {temperature_k}")
+    return BOLTZMANN * temperature_k / ELEMENTARY_CHARGE

@@ -1,0 +1,81 @@
+"""Core switching-lattice model: the paper's primary contribution.
+
+A *four-terminal switch* connects all four of its terminals when its control
+input is 1 and disconnects them when it is 0.  A *switching lattice* is an
+m x n grid of such switches, each connected to its horizontal and vertical
+neighbours, with a common top plate above the first row and a common bottom
+plate below the last row.  The lattice computes the Boolean function that is
+1 exactly when the switches that are ON form a path from the top plate to the
+bottom plate (Section II of the paper).
+
+This subpackage provides:
+
+* :mod:`repro.core.boolean` — Boolean functions, cubes, ISOP, duals;
+* :mod:`repro.core.switch` — the four-terminal switch abstraction;
+* :mod:`repro.core.lattice` — the lattice container and literal assignment;
+* :mod:`repro.core.paths` — irredundant path/product enumeration (Table I);
+* :mod:`repro.core.evaluation` — lattice function evaluation and truth tables;
+* :mod:`repro.core.synthesis` — dual-based and exhaustive lattice synthesis;
+* :mod:`repro.core.library` — known realizations, including Fig. 3's XOR3.
+"""
+
+from repro.core.boolean import BooleanFunction, Cube, Literal
+from repro.core.switch import FourTerminalSwitch, SwitchState
+from repro.core.lattice import Lattice
+from repro.core.paths import (
+    PAPER_TABLE_I,
+    count_lattice_products,
+    enumerate_lattice_products,
+    lattice_function_products,
+    lattice_function_string,
+    product_count_table,
+)
+from repro.core.evaluation import (
+    connectivity,
+    evaluate_lattice,
+    lattice_truth_table,
+    lattice_function,
+    implements,
+)
+from repro.core.synthesis import (
+    SynthesisResult,
+    synthesize_dual_product,
+    exhaustive_synthesis,
+)
+from repro.core.library import (
+    xor3_lattice_3x3,
+    xor3_lattice_3x4,
+    and_lattice,
+    or_lattice,
+    majority3_lattice,
+    known_realizations,
+)
+
+__all__ = [
+    "BooleanFunction",
+    "Cube",
+    "Literal",
+    "FourTerminalSwitch",
+    "SwitchState",
+    "Lattice",
+    "PAPER_TABLE_I",
+    "count_lattice_products",
+    "enumerate_lattice_products",
+    "lattice_function_products",
+    "lattice_function_string",
+    "product_count_table",
+    "connectivity",
+    "evaluate_lattice",
+    "lattice_truth_table",
+    "lattice_function",
+    "implements",
+    "SynthesisResult",
+    "synthesize_dual_product",
+    "exhaustive_synthesis",
+    "xor3_lattice_3x3",
+    "xor3_lattice_3x4",
+    "and_lattice",
+    "or_lattice",
+    "majority3_lattice",
+    "known_realizations",
+]

@@ -1,0 +1,561 @@
+"""Boolean function machinery used by the lattice synthesis algorithms.
+
+Functions are represented over an ordered tuple of named variables with the
+on-set stored as an integer bitmask over the ``2**n`` minterms (minterm ``i``
+corresponds to the assignment whose bit ``k`` gives the value of variable
+``k``).  This keeps every set operation a single integer operation and makes
+the irredundant sum-of-products (ISOP) recursion straightforward.
+
+The module provides the three ingredients the synthesis algorithms of
+Section II need:
+
+* :class:`Literal` and :class:`Cube` — products of literals;
+* :class:`BooleanFunction` — evaluation, cofactors, prime implicants,
+  Minato-Morreale ISOP, and the Boolean dual ``f^D(x) = ~f(~x)``;
+* constructors for the common gates used in the paper (XOR3, AND, OR,
+  majority) via :func:`xor`, :func:`and_function`, :func:`or_function`,
+  :func:`majority`, and :func:`parse_sop`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass
+from functools import reduce
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Literal:
+    """A variable or its complement.
+
+    ``Literal("a")`` is the positive literal *a*; ``Literal("a", negated=True)``
+    is *a'*.  Literals are ordered by variable name then polarity so cube
+    string representations are deterministic.
+    """
+
+    variable: str
+    negated: bool = False
+
+    def __invert__(self) -> "Literal":
+        """Return the complemented literal."""
+        return Literal(self.variable, not self.negated)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Value of the literal under a variable assignment.
+
+        Raises ``KeyError`` if the variable is not assigned.
+        """
+        value = bool(assignment[self.variable])
+        return (not value) if self.negated else value
+
+    def __str__(self) -> str:
+        return f"{self.variable}'" if self.negated else self.variable
+
+    @classmethod
+    def parse(cls, text: str) -> "Literal":
+        """Parse ``"a"``, ``"a'"``, ``"!a"`` or ``"~a"`` into a literal."""
+        text = text.strip()
+        if not text:
+            raise ValueError("empty literal")
+        if text.endswith("'"):
+            return cls(text[:-1].strip(), negated=True)
+        if text[0] in "!~":
+            return cls(text[1:].strip(), negated=True)
+        return cls(text, negated=False)
+
+
+@dataclass(frozen=True)
+class Cube:
+    """A product (conjunction) of literals.
+
+    A cube may not contain a variable in both polarities — that product would
+    be identically 0 and is rejected to catch synthesis bugs early.  The empty
+    cube is the constant-1 product (tautology cube).
+    """
+
+    literals: FrozenSet[Literal]
+
+    def __post_init__(self) -> None:
+        variables = [lit.variable for lit in self.literals]
+        if len(variables) != len(set(variables)):
+            raise ValueError(f"cube {sorted(map(str, self.literals))} mentions a variable twice")
+
+    @classmethod
+    def from_literals(cls, literals: Iterable[Literal]) -> "Cube":
+        return cls(frozenset(literals))
+
+    @classmethod
+    def parse(cls, text: str) -> "Cube":
+        """Parse a product such as ``"a b' c"`` or ``"ab'c"`` (single-letter vars)."""
+        text = text.strip()
+        if not text or text == "1":
+            return cls(frozenset())
+        if " " in text or "*" in text or "&" in text:
+            tokens = [t for t in re.split(r"[\s*&]+", text) if t]
+        else:
+            # Compact form: single-letter variables with an optional digit
+            # suffix, e.g. "ab'c" or "x1x4x7".  Multi-letter names need the
+            # separated form ("foo bar'").
+            tokens = re.findall(r"[A-Za-z]\d*'?", text)
+            if "".join(tokens) != text:
+                raise ValueError(f"cannot tokenize product {text!r}")
+        return cls(frozenset(Literal.parse(token) for token in tokens))
+
+    @property
+    def variables(self) -> FrozenSet[str]:
+        return frozenset(lit.variable for lit in self.literals)
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Value of the product under an assignment."""
+        return all(lit.evaluate(assignment) for lit in self.literals)
+
+    def contains(self, other: "Cube") -> bool:
+        """True when this cube's literal set is a subset of ``other``'s.
+
+        A cube with fewer literals covers more minterms, so ``p.contains(q)``
+        means ``q`` implies ``p`` (``q``'s on-set is inside ``p``'s).
+        """
+        return self.literals <= other.literals
+
+    def __str__(self) -> str:
+        if not self.literals:
+            return "1"
+        return "".join(str(lit) for lit in sorted(self.literals))
+
+
+def _popcount(mask: int) -> int:
+    return bin(mask).count("1")
+
+
+class BooleanFunction:
+    """A completely specified Boolean function over named variables.
+
+    Parameters
+    ----------
+    variables:
+        Ordered variable names.  Variable ``k`` corresponds to bit ``k`` of a
+        minterm index.
+    onset_mask:
+        Integer whose bit ``i`` is 1 iff minterm ``i`` belongs to the on-set.
+    """
+
+    __slots__ = ("_variables", "_onset", "_nvars", "_universe")
+
+    def __init__(self, variables: Sequence[str], onset_mask: int):
+        variables = tuple(variables)
+        if len(set(variables)) != len(variables):
+            raise ValueError("variable names must be unique")
+        if not variables:
+            raise ValueError("a Boolean function needs at least one variable")
+        nvars = len(variables)
+        universe = (1 << (1 << nvars)) - 1
+        if onset_mask < 0 or onset_mask > universe:
+            raise ValueError("onset mask out of range for the given variable count")
+        self._variables = variables
+        self._nvars = nvars
+        self._onset = onset_mask
+        self._universe = universe
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_truth_table(cls, variables: Sequence[str], values: Sequence[int]) -> "BooleanFunction":
+        """Build a function from an explicit truth table.
+
+        ``values[i]`` is the output for minterm ``i`` (variable ``k`` = bit
+        ``k`` of ``i``).  The table length must be ``2**len(variables)``.
+        """
+        variables = tuple(variables)
+        expected = 1 << len(variables)
+        if len(values) != expected:
+            raise ValueError(f"truth table must have {expected} entries, got {len(values)}")
+        mask = 0
+        for index, value in enumerate(values):
+            if value not in (0, 1, True, False):
+                raise ValueError(f"truth table entries must be 0/1, got {value!r}")
+            if value:
+                mask |= 1 << index
+        return cls(variables, mask)
+
+    @classmethod
+    def from_minterms(cls, variables: Sequence[str], minterms: Iterable[int]) -> "BooleanFunction":
+        """Build a function from the indices of its on-set minterms."""
+        variables = tuple(variables)
+        nvars = len(variables)
+        mask = 0
+        for minterm in minterms:
+            if not 0 <= minterm < (1 << nvars):
+                raise ValueError(f"minterm {minterm} out of range for {nvars} variables")
+            mask |= 1 << minterm
+        return cls(variables, mask)
+
+    @classmethod
+    def from_cubes(cls, variables: Sequence[str], cubes: Iterable[Cube]) -> "BooleanFunction":
+        """Build the function that is the OR of the given products."""
+        variables = tuple(variables)
+        function = cls(variables, 0)
+        mask = 0
+        for cube in cubes:
+            unknown = cube.variables - set(variables)
+            if unknown:
+                raise ValueError(f"cube {cube} uses variables {sorted(unknown)} not in {variables}")
+            mask |= function._cube_mask(cube)
+        return cls(variables, mask)
+
+    @classmethod
+    def from_callable(cls, variables: Sequence[str], func) -> "BooleanFunction":
+        """Build a function by evaluating ``func(assignment_dict) -> bool``."""
+        variables = tuple(variables)
+        mask = 0
+        for minterm in range(1 << len(variables)):
+            assignment = {v: bool((minterm >> k) & 1) for k, v in enumerate(variables)}
+            if func(assignment):
+                mask |= 1 << minterm
+        return cls(variables, mask)
+
+    @classmethod
+    def constant(cls, variables: Sequence[str], value: bool) -> "BooleanFunction":
+        """The constant 0 or constant 1 function over the given variables."""
+        variables = tuple(variables)
+        universe = (1 << (1 << len(variables))) - 1
+        return cls(variables, universe if value else 0)
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        return self._variables
+
+    @property
+    def num_variables(self) -> int:
+        return self._nvars
+
+    @property
+    def onset_mask(self) -> int:
+        return self._onset
+
+    def onset_minterms(self) -> List[int]:
+        """Indices of the minterms where the function is 1."""
+        return [i for i in range(1 << self._nvars) if (self._onset >> i) & 1]
+
+    def onset_size(self) -> int:
+        return _popcount(self._onset)
+
+    @property
+    def is_constant_zero(self) -> bool:
+        return self._onset == 0
+
+    @property
+    def is_constant_one(self) -> bool:
+        return self._onset == self._universe
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate the function for a dict assignment of every variable."""
+        minterm = 0
+        for bit, variable in enumerate(self._variables):
+            if variable not in assignment:
+                raise KeyError(f"assignment missing variable {variable!r}")
+            if assignment[variable]:
+                minterm |= 1 << bit
+        return bool((self._onset >> minterm) & 1)
+
+    def evaluate_minterm(self, minterm: int) -> bool:
+        """Evaluate at an integer minterm index."""
+        if not 0 <= minterm < (1 << self._nvars):
+            raise ValueError(f"minterm {minterm} out of range")
+        return bool((self._onset >> minterm) & 1)
+
+    def truth_table(self) -> List[int]:
+        """Return the truth table as a list of 0/1 of length ``2**n``."""
+        return [(self._onset >> i) & 1 for i in range(1 << self._nvars)]
+
+    # ------------------------------------------------------------------ #
+    # algebra
+    # ------------------------------------------------------------------ #
+
+    def _check_compatible(self, other: "BooleanFunction") -> None:
+        if self._variables != other._variables:
+            raise ValueError(
+                f"functions are over different variables: {self._variables} vs {other._variables}"
+            )
+
+    def __invert__(self) -> "BooleanFunction":
+        return BooleanFunction(self._variables, self._universe & ~self._onset)
+
+    def __and__(self, other: "BooleanFunction") -> "BooleanFunction":
+        self._check_compatible(other)
+        return BooleanFunction(self._variables, self._onset & other._onset)
+
+    def __or__(self, other: "BooleanFunction") -> "BooleanFunction":
+        self._check_compatible(other)
+        return BooleanFunction(self._variables, self._onset | other._onset)
+
+    def __xor__(self, other: "BooleanFunction") -> "BooleanFunction":
+        self._check_compatible(other)
+        return BooleanFunction(self._variables, self._onset ^ other._onset)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BooleanFunction):
+            return NotImplemented
+        return self._variables == other._variables and self._onset == other._onset
+
+    def __hash__(self) -> int:
+        return hash((self._variables, self._onset))
+
+    def implies(self, other: "BooleanFunction") -> bool:
+        """True when this function's on-set is contained in ``other``'s."""
+        self._check_compatible(other)
+        return (self._onset & ~other._onset) == 0
+
+    def dual(self) -> "BooleanFunction":
+        """The Boolean dual ``f^D(x1..xn) = ~f(~x1..~xn)``.
+
+        The dual is the key ingredient of the Altun-Riedel lattice synthesis
+        method: the lattice realizes ``f`` top-to-bottom and ``f^D``
+        left-to-right.
+        """
+        all_ones = (1 << self._nvars) - 1
+        mask = 0
+        for minterm in range(1 << self._nvars):
+            complemented = minterm ^ all_ones
+            if not ((self._onset >> complemented) & 1):
+                mask |= 1 << minterm
+        return BooleanFunction(self._variables, mask)
+
+    def is_self_dual(self) -> bool:
+        """True when ``f == f^D`` (parity of an odd number of variables is)."""
+        return self == self.dual()
+
+    def cofactor(self, variable: str, value: bool) -> "BooleanFunction":
+        """Shannon cofactor with respect to one variable.
+
+        The result is still expressed over the full variable tuple (the
+        cofactored variable simply becomes irrelevant), which keeps masks
+        aligned across the ISOP recursion.
+        """
+        if variable not in self._variables:
+            raise ValueError(f"unknown variable {variable!r}")
+        bit = self._variables.index(variable)
+        mask = 0
+        for minterm in range(1 << self._nvars):
+            forced = (minterm | (1 << bit)) if value else (minterm & ~(1 << bit))
+            if (self._onset >> forced) & 1:
+                mask |= 1 << minterm
+        return BooleanFunction(self._variables, mask)
+
+    def depends_on(self, variable: str) -> bool:
+        """True when the function value actually depends on ``variable``."""
+        return self.cofactor(variable, False) != self.cofactor(variable, True)
+
+    def support(self) -> Tuple[str, ...]:
+        """Variables the function actually depends on."""
+        return tuple(v for v in self._variables if self.depends_on(v))
+
+    def is_monotone(self) -> bool:
+        """True when the function is positive unate in every variable."""
+        for variable in self._variables:
+            if not self.cofactor(variable, False).implies(self.cofactor(variable, True)):
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # covers
+    # ------------------------------------------------------------------ #
+
+    def _cube_mask(self, cube: Cube) -> int:
+        """On-set mask of a cube over this function's variables."""
+        care_bits = 0
+        value_bits = 0
+        for literal in cube.literals:
+            if literal.variable not in self._variables:
+                raise ValueError(f"cube {cube} uses unknown variable {literal.variable!r}")
+            bit = self._variables.index(literal.variable)
+            care_bits |= 1 << bit
+            if not literal.negated:
+                value_bits |= 1 << bit
+        mask = 0
+        for minterm in range(1 << self._nvars):
+            if (minterm & care_bits) == value_bits:
+                mask |= 1 << minterm
+        return mask
+
+    def cover_mask(self, cubes: Iterable[Cube]) -> int:
+        """On-set mask of the OR of several cubes."""
+        return reduce(lambda acc, cube: acc | self._cube_mask(cube), cubes, 0)
+
+    def is_cover(self, cubes: Iterable[Cube]) -> bool:
+        """True when the OR of ``cubes`` equals this function exactly."""
+        return self.cover_mask(cubes) == self._onset
+
+    def is_implicant(self, cube: Cube) -> bool:
+        """True when the cube's on-set lies inside the function's on-set."""
+        return (self._cube_mask(cube) & ~self._onset) == 0
+
+    def prime_implicants(self) -> List[Cube]:
+        """All prime implicants, by iterative consensus/absorption (Quine).
+
+        Exponential in the variable count; intended for the small functions
+        (a handful of variables) used in lattice synthesis.
+        """
+        # Start from minterm cubes.
+        cubes: Dict[Tuple[int, int], None] = {}
+        for minterm in self.onset_minterms():
+            care = (1 << self._nvars) - 1
+            cubes[(care, minterm)] = None
+
+        # Repeatedly merge cube pairs that differ in exactly one cared bit.
+        current = set(cubes)
+        primes: set = set()
+        while current:
+            merged_from: set = set()
+            next_level: set = set()
+            grouped = sorted(current)
+            for (care_a, val_a), (care_b, val_b) in itertools.combinations(grouped, 2):
+                if care_a != care_b:
+                    continue
+                differ = val_a ^ val_b
+                if _popcount(differ) == 1 and (differ & care_a):
+                    new_care = care_a & ~differ
+                    new_val = val_a & new_care
+                    next_level.add((new_care, new_val))
+                    merged_from.add((care_a, val_a))
+                    merged_from.add((care_b, val_b))
+            primes |= current - merged_from
+            current = next_level
+
+        result = []
+        for care, value in sorted(primes):
+            literals = []
+            for bit, variable in enumerate(self._variables):
+                if care & (1 << bit):
+                    literals.append(Literal(variable, negated=not (value >> bit) & 1))
+            cube = Cube.from_literals(literals)
+            if self.is_implicant(cube):
+                result.append(cube)
+        return result
+
+    def isop(self) -> List[Cube]:
+        """An irredundant sum-of-products cover (Minato-Morreale recursion).
+
+        The returned cubes cover the function exactly and no cube can be
+        dropped without uncovering part of the on-set.  The minimal SOP forms
+        mentioned in Section I for diode/FET arrays — and the covers consumed
+        by the dual-product lattice synthesis — are exactly such ISOPs.
+        """
+        cover = self._isop_interval(self._onset, self._onset, 0)
+        assert self.is_cover(cover), "ISOP construction failed to cover the function"
+        return cover
+
+    def _isop_interval(self, lower: int, upper: int, depth: int) -> List[Cube]:
+        """ISOP of any function in the interval [lower, upper] (masks)."""
+        if lower == 0:
+            return []
+        if upper == self._universe:
+            return [Cube(frozenset())]
+        if depth >= self._nvars:
+            # lower must be 0 here for a consistent interval; guarded above.
+            raise RuntimeError("ISOP recursion exhausted variables with a non-empty lower bound")
+
+        variable = self._variables[depth]
+        lower_f = BooleanFunction(self._variables, lower)
+        upper_f = BooleanFunction(self._variables, upper)
+        l0 = lower_f.cofactor(variable, False).onset_mask
+        l1 = lower_f.cofactor(variable, True).onset_mask
+        u0 = upper_f.cofactor(variable, False).onset_mask
+        u1 = upper_f.cofactor(variable, True).onset_mask
+
+        cover0 = self._isop_interval(l0 & ~u1, u0, depth + 1)
+        cover1 = self._isop_interval(l1 & ~u0, u1, depth + 1)
+
+        covered0 = self.cover_mask(cover0)
+        covered1 = self.cover_mask(cover1)
+        remaining = (l0 & ~covered0) | (l1 & ~covered1)
+        cover_star = self._isop_interval(remaining, u0 & u1, depth + 1)
+
+        negative = Literal(variable, negated=True)
+        positive = Literal(variable, negated=False)
+        result = [Cube(cube.literals | {negative}) for cube in cover0]
+        result += [Cube(cube.literals | {positive}) for cube in cover1]
+        result += cover_star
+        return result
+
+    def sop_string(self, cubes: Optional[Sequence[Cube]] = None) -> str:
+        """Readable sum-of-products string, computing an ISOP if none given."""
+        if cubes is None:
+            cubes = self.isop()
+        if not cubes:
+            return "0"
+        return " + ".join(str(cube) for cube in cubes)
+
+    def __repr__(self) -> str:
+        return f"BooleanFunction(variables={self._variables}, onset=0x{self._onset:x})"
+
+
+# ---------------------------------------------------------------------- #
+# convenience constructors for common gates
+# ---------------------------------------------------------------------- #
+
+
+def xor(variables: Sequence[str]) -> BooleanFunction:
+    """Parity (XOR) of the given variables.  ``xor(["a","b","c"])`` is XOR3."""
+    variables = tuple(variables)
+    mask = 0
+    for minterm in range(1 << len(variables)):
+        if _popcount(minterm) % 2 == 1:
+            mask |= 1 << minterm
+    return BooleanFunction(variables, mask)
+
+
+def xnor(variables: Sequence[str]) -> BooleanFunction:
+    """Complement of the parity function."""
+    return ~xor(variables)
+
+
+def and_function(variables: Sequence[str]) -> BooleanFunction:
+    """AND of all the given variables."""
+    variables = tuple(variables)
+    return BooleanFunction(variables, 1 << ((1 << len(variables)) - 1))
+
+
+def or_function(variables: Sequence[str]) -> BooleanFunction:
+    """OR of all the given variables."""
+    variables = tuple(variables)
+    universe = (1 << (1 << len(variables))) - 1
+    return BooleanFunction(variables, universe & ~1)
+
+
+def majority(variables: Sequence[str]) -> BooleanFunction:
+    """Majority function of an odd number of variables."""
+    variables = tuple(variables)
+    if len(variables) % 2 == 0:
+        raise ValueError("majority needs an odd number of variables")
+    threshold = len(variables) // 2 + 1
+    mask = 0
+    for minterm in range(1 << len(variables)):
+        if _popcount(minterm) >= threshold:
+            mask |= 1 << minterm
+    return BooleanFunction(variables, mask)
+
+
+def parse_sop(variables: Sequence[str], expression: str) -> BooleanFunction:
+    """Parse a sum-of-products expression such as ``"ab'c + a'bc'"``.
+
+    Products are separated by ``+``; each product is parsed by
+    :meth:`Cube.parse`.  ``"0"`` and ``"1"`` denote the constants.
+    """
+    expression = expression.strip()
+    if expression == "0":
+        return BooleanFunction.constant(variables, False)
+    if expression == "1":
+        return BooleanFunction.constant(variables, True)
+    cubes = [Cube.parse(term) for term in expression.split("+")]
+    return BooleanFunction.from_cubes(variables, cubes)

@@ -1,0 +1,121 @@
+"""Evaluation of switching lattices by top-to-bottom connectivity.
+
+The defining property of the lattice computing model (Section II) is that the
+output is 1 exactly when the switches that are ON form a path of 4-adjacent
+cells from the top plate (row 0) to the bottom plate (last row).  These
+helpers evaluate that connectivity for single assignments, build complete
+truth tables, and check a lattice against a target
+:class:`~repro.core.boolean.BooleanFunction`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.boolean import BooleanFunction
+from repro.core.lattice import Lattice
+
+
+def connectivity(on_grid: Sequence[Sequence[bool]]) -> bool:
+    """True when the ON cells of a grid connect the top row to the bottom row.
+
+    ``on_grid`` is a rectangular nested sequence of booleans (row 0 touches
+    the top plate).  Connectivity uses 4-adjacency, matching the lattice
+    wiring where every switch is connected to its horizontal and vertical
+    neighbours.
+    """
+    rows = len(on_grid)
+    if rows == 0:
+        raise ValueError("the grid must have at least one row")
+    cols = len(on_grid[0])
+    if cols == 0:
+        raise ValueError("the grid must have at least one column")
+    for r, row in enumerate(on_grid):
+        if len(row) != cols:
+            raise ValueError(f"row {r} has {len(row)} entries, expected {cols}")
+
+    queue = deque((0, c) for c in range(cols) if on_grid[0][c])
+    visited = set(queue)
+    while queue:
+        r, c = queue.popleft()
+        if r == rows - 1:
+            return True
+        for nr, nc in ((r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1)):
+            if 0 <= nr < rows and 0 <= nc < cols and (nr, nc) not in visited and on_grid[nr][nc]:
+                visited.add((nr, nc))
+                queue.append((nr, nc))
+    return False
+
+
+def evaluate_lattice(lattice: Lattice, assignment: Mapping[str, bool]) -> bool:
+    """Evaluate a lattice's Boolean function for one input assignment."""
+    return connectivity(lattice.on_grid(assignment))
+
+
+def lattice_truth_table(
+    lattice: Lattice, variables: Optional[Sequence[str]] = None
+) -> Tuple[Tuple[str, ...], List[int]]:
+    """Complete truth table of a lattice.
+
+    Parameters
+    ----------
+    lattice:
+        The lattice to evaluate.
+    variables:
+        Variable ordering for the table.  Defaults to the lattice's own
+        sorted variable list; a superset may be supplied to compare against a
+        target function over more variables.
+
+    Returns
+    -------
+    (variables, values):
+        The variable ordering used and the list of outputs for minterms
+        ``0 .. 2**n - 1`` (variable ``k`` is bit ``k`` of the minterm index).
+    """
+    if variables is None:
+        variables = lattice.variables()
+    variables = tuple(variables)
+    missing = set(lattice.variables()) - set(variables)
+    if missing:
+        raise ValueError(f"variable list is missing lattice inputs: {sorted(missing)}")
+    if not variables:
+        # A lattice of constants: its function is a constant.
+        value = int(evaluate_lattice(lattice, {}))
+        return (), [value]
+
+    values = []
+    for minterm in range(1 << len(variables)):
+        assignment = {name: bool((minterm >> bit) & 1) for bit, name in enumerate(variables)}
+        values.append(int(evaluate_lattice(lattice, assignment)))
+    return variables, values
+
+
+def lattice_function(
+    lattice: Lattice, variables: Optional[Sequence[str]] = None
+) -> BooleanFunction:
+    """The lattice's Boolean function as a :class:`BooleanFunction`.
+
+    Raises ``ValueError`` for a lattice of constants only (a Boolean function
+    object needs at least one variable); use :func:`evaluate_lattice` there.
+    """
+    names, values = lattice_truth_table(lattice, variables)
+    if not names:
+        raise ValueError("the lattice uses no variables; its function is a constant")
+    return BooleanFunction.from_truth_table(names, values)
+
+
+def implements(lattice: Lattice, target: BooleanFunction) -> bool:
+    """True when the lattice realizes ``target`` exactly.
+
+    The lattice is evaluated over the target's variable ordering, so the
+    lattice may use any subset of the target's variables (cells carrying
+    constants are fine) but must not use variables outside it.
+    """
+    extra = set(lattice.variables()) - set(target.variables)
+    if extra:
+        raise ValueError(
+            f"lattice uses variables {sorted(extra)} that the target function does not have"
+        )
+    _, values = lattice_truth_table(lattice, target.variables)
+    return values == target.truth_table()

@@ -1,0 +1,210 @@
+"""The switching lattice container (Fig. 2b of the paper).
+
+A :class:`Lattice` is an ``m x n`` grid of :class:`~repro.core.switch.FourTerminalSwitch`
+objects.  Row 0 touches the top plate and row ``m-1`` touches the bottom
+plate; each switch is connected to its horizontal and vertical neighbours.
+The lattice's Boolean function — 1 exactly when the ON switches connect the
+two plates — is computed in :mod:`repro.core.evaluation`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.boolean import Literal
+from repro.core.switch import ControlInput, FourTerminalSwitch
+
+#: A cell position as (row, column), 0-based, row 0 at the top plate.
+Cell = Tuple[int, int]
+
+
+class Lattice:
+    """An m x n switching lattice with an assignment of control inputs.
+
+    Parameters
+    ----------
+    rows, cols:
+        Lattice dimensions; both must be at least 1.
+    switches:
+        Optional initial assignment: a row-major nested sequence of switch
+        specifications (anything :meth:`FourTerminalSwitch.from_spec`
+        accepts).  Cells left unspecified default to the constant 0 switch,
+        i.e. an unused site.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        switches: Optional[Sequence[Sequence[Union[str, int, bool, Literal, FourTerminalSwitch]]]] = None,
+    ):
+        if rows < 1 or cols < 1:
+            raise ValueError(f"lattice dimensions must be at least 1x1, got {rows}x{cols}")
+        self._rows = rows
+        self._cols = cols
+        self._grid: List[List[FourTerminalSwitch]] = [
+            [FourTerminalSwitch(False) for _ in range(cols)] for _ in range(rows)
+        ]
+        if switches is not None:
+            if len(switches) != rows:
+                raise ValueError(f"expected {rows} rows of switches, got {len(switches)}")
+            for r, row in enumerate(switches):
+                if len(row) != cols:
+                    raise ValueError(f"row {r} has {len(row)} entries, expected {cols}")
+                for c, spec in enumerate(row):
+                    self._grid[r][c] = FourTerminalSwitch.from_spec(spec)
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_strings(cls, rows: Sequence[str]) -> "Lattice":
+        """Build a lattice from whitespace-separated literal strings.
+
+        >>> lattice = Lattice.from_strings(["a b", "c 1"])
+        >>> lattice.shape
+        (2, 2)
+        """
+        parsed = [row.split() for row in rows]
+        if not parsed or not parsed[0]:
+            raise ValueError("at least one non-empty row is required")
+        cols = len(parsed[0])
+        return cls(len(parsed), cols, parsed)
+
+    @classmethod
+    def identity(cls, rows: int, cols: int, prefix: str = "x") -> "Lattice":
+        """A lattice whose cells carry distinct positive literals x1..x(m*n).
+
+        This is the configuration of Fig. 2b whose lattice function (Fig. 2c,
+        Table I) the path-enumeration code characterizes.
+        """
+        specs = [
+            [Literal(f"{prefix}{r * cols + c + 1}") for c in range(cols)]
+            for r in range(rows)
+        ]
+        return cls(rows, cols, specs)
+
+    # ------------------------------------------------------------------ #
+    # shape and access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def rows(self) -> int:
+        return self._rows
+
+    @property
+    def cols(self) -> int:
+        return self._cols
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self._rows, self._cols)
+
+    @property
+    def size(self) -> int:
+        """Total number of switch sites."""
+        return self._rows * self._cols
+
+    def __getitem__(self, cell: Cell) -> FourTerminalSwitch:
+        r, c = cell
+        self._check_cell(r, c)
+        return self._grid[r][c]
+
+    def __setitem__(self, cell: Cell, spec: Union[str, int, bool, Literal, FourTerminalSwitch]) -> None:
+        r, c = cell
+        self._check_cell(r, c)
+        self._grid[r][c] = FourTerminalSwitch.from_spec(spec)
+
+    def _check_cell(self, r: int, c: int) -> None:
+        if not (0 <= r < self._rows and 0 <= c < self._cols):
+            raise IndexError(f"cell ({r}, {c}) outside a {self._rows}x{self._cols} lattice")
+
+    def cells(self) -> Iterator[Cell]:
+        """Iterate over all cell coordinates in row-major order."""
+        for r in range(self._rows):
+            for c in range(self._cols):
+                yield (r, c)
+
+    def switches(self) -> Iterator[Tuple[Cell, FourTerminalSwitch]]:
+        """Iterate over ``((row, col), switch)`` pairs in row-major order."""
+        for cell in self.cells():
+            yield cell, self[cell]
+
+    def top_cells(self) -> Tuple[Cell, ...]:
+        """Cells of the first row (touching the top plate)."""
+        return tuple((0, c) for c in range(self._cols))
+
+    def bottom_cells(self) -> Tuple[Cell, ...]:
+        """Cells of the last row (touching the bottom plate)."""
+        return tuple((self._rows - 1, c) for c in range(self._cols))
+
+    def neighbors(self, cell: Cell) -> Tuple[Cell, ...]:
+        """The 4-connected neighbours of a cell inside the lattice."""
+        r, c = cell
+        self._check_cell(r, c)
+        candidates = ((r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1))
+        return tuple(
+            (rr, cc) for rr, cc in candidates if 0 <= rr < self._rows and 0 <= cc < self._cols
+        )
+
+    # ------------------------------------------------------------------ #
+    # content queries
+    # ------------------------------------------------------------------ #
+
+    def variables(self) -> Tuple[str, ...]:
+        """Sorted names of the input variables used by the lattice."""
+        names = {switch.variable for _, switch in self.switches() if switch.variable is not None}
+        return tuple(sorted(names))
+
+    def switch_count(self) -> int:
+        """Number of sites whose control is not the constant 0.
+
+        Constant-0 sites are unused; algorithms comparing lattice costs count
+        the used switches only.
+        """
+        return sum(
+            1
+            for _, switch in self.switches()
+            if not (switch.is_constant and switch.control is False)
+        )
+
+    def on_grid(self, assignment: Mapping[str, bool]) -> List[List[bool]]:
+        """Boolean grid of switch states under an input assignment."""
+        return [
+            [self._grid[r][c].is_on(assignment) for c in range(self._cols)]
+            for r in range(self._rows)
+        ]
+
+    def with_assignment(
+        self, mapping: Mapping[Cell, Union[str, int, bool, Literal, FourTerminalSwitch]]
+    ) -> "Lattice":
+        """Return a copy of the lattice with some cells reassigned."""
+        copy = Lattice(self._rows, self._cols, [[self._grid[r][c] for c in range(self._cols)] for r in range(self._rows)])
+        for cell, spec in mapping.items():
+            copy[cell] = spec
+        return copy
+
+    def to_strings(self) -> List[str]:
+        """Render the assignment as a list of whitespace-separated rows."""
+        width = max(len(str(switch)) for _, switch in self.switches())
+        return [
+            " ".join(str(self._grid[r][c]).ljust(width) for c in range(self._cols)).rstrip()
+            for r in range(self._rows)
+        ]
+
+    def __str__(self) -> str:
+        return "\n".join(self.to_strings())
+
+    def __repr__(self) -> str:
+        return f"Lattice(rows={self._rows}, cols={self._cols})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Lattice):
+            return NotImplemented
+        if self.shape != other.shape:
+            return False
+        return all(self[cell] == other[cell] for cell in self.cells())
+
+    def __hash__(self) -> int:
+        return hash((self.shape, tuple(switch for _, switch in self.switches())))

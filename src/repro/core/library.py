@@ -1,0 +1,146 @@
+"""Library of known lattice realizations, including Fig. 3 of the paper.
+
+The paper's running example is the 3-input XOR gate
+``out = abc + ab'c' + a'bc' + a'b'c`` realized on a 3x4 lattice (Fig. 3a) and
+on the minimum-size 3x3 lattice (Fig. 3b).  The realizations below are
+verified against the target functions by the test-suite through exhaustive
+evaluation; the 3x3 XOR3 lattice uses one constant-1 site, like the paper's.
+
+Every factory returns a fresh :class:`~repro.core.lattice.Lattice`, so callers
+may freely modify the result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.boolean import (
+    BooleanFunction,
+    and_function,
+    majority,
+    or_function,
+    xor,
+)
+from repro.core.lattice import Lattice
+from repro.core.synthesis import synthesize_dual_product
+
+
+def xor3_function(variables: Sequence[str] = ("a", "b", "c")) -> BooleanFunction:
+    """The XOR3 target function used throughout the paper."""
+    if len(variables) != 3:
+        raise ValueError("XOR3 needs exactly three variables")
+    return xor(variables)
+
+
+def xor3_lattice_3x4() -> Lattice:
+    """A 3x4 realization of XOR3 (the size of Fig. 3a).
+
+    Each column implements one product of the parity function; the middle row
+    alternates ``b`` and ``b'`` so that every path crossing between columns
+    passes through complementary literals and contributes nothing.
+    """
+    return Lattice.from_strings(
+        [
+            "a  a  a' a'",
+            "b  b' b  b'",
+            "c  c' c' c ",
+        ]
+    )
+
+
+def xor3_lattice_3x3() -> Lattice:
+    """A minimum-size 3x3 realization of XOR3 (the size of Fig. 3b).
+
+    The centre site carries the constant 1; the four L-shaped paths through
+    it implement the four products of the parity function while all three
+    straight columns and both long paths contain complementary literals and
+    vanish:
+
+    ========  ========  ========
+    ``b'``     ``c``     ``b``
+    ``a``      ``1``     ``a'``
+    ``b``      ``c'``    ``b'``
+    ========  ========  ========
+    """
+    return Lattice.from_strings(
+        [
+            "b' c  b ",
+            "a  1  a'",
+            "b  c' b'",
+        ]
+    )
+
+
+def and_lattice(variables: Sequence[str]) -> Lattice:
+    """An n x 1 lattice realizing the AND of ``variables`` (a single column)."""
+    if not variables:
+        raise ValueError("AND needs at least one variable")
+    return Lattice(len(variables), 1, [[name] for name in variables])
+
+
+def or_lattice(variables: Sequence[str]) -> Lattice:
+    """A 1 x n lattice realizing the OR of ``variables`` (a single row)."""
+    if not variables:
+        raise ValueError("OR needs at least one variable")
+    return Lattice(1, len(variables), [list(variables)])
+
+
+def majority3_lattice(variables: Sequence[str] = ("a", "b", "c")) -> Lattice:
+    """A 2x3 realization of the 3-input majority function.
+
+    Columns give the products ``ab``, ``bc``... combined with the cross paths
+    the lattice function is ``ab + bc + ca``, verified by the tests.
+    """
+    if len(variables) != 3:
+        raise ValueError("majority-of-three needs exactly three variables")
+    a, b, c = variables
+    return Lattice(2, 3, [[a, c, a], [b, b, c]])
+
+
+def half_adder_sum_lattice(variables: Sequence[str] = ("a", "b")) -> Lattice:
+    """A 2x2 realization of the half-adder sum ``a XOR b``."""
+    if len(variables) != 2:
+        raise ValueError("the half-adder sum needs exactly two variables")
+    a, b = variables
+    return Lattice(2, 2, [[a, f"{a}'"], [f"{b}'", b]])
+
+
+def known_realizations() -> Dict[str, Tuple[Lattice, BooleanFunction]]:
+    """All library realizations with their target functions.
+
+    Returns a mapping from a descriptive name to ``(lattice, target)`` pairs;
+    the test-suite checks every pair by exhaustive evaluation.
+    """
+    a_b_c = ("a", "b", "c")
+    realizations: Dict[str, Tuple[Lattice, BooleanFunction]] = {
+        "xor3_3x4": (xor3_lattice_3x4(), xor3_function()),
+        "xor3_3x3": (xor3_lattice_3x3(), xor3_function()),
+        "and3": (and_lattice(a_b_c), and_function(a_b_c)),
+        "or3": (or_lattice(a_b_c), or_function(a_b_c)),
+        "and2": (and_lattice(("a", "b")), and_function(("a", "b"))),
+        "or2": (or_lattice(("a", "b")), or_function(("a", "b"))),
+        "maj3": (majority3_lattice(a_b_c), majority(a_b_c)),
+        "xor2_2x2": (half_adder_sum_lattice(("a", "b")), xor(("a", "b"))),
+    }
+    return realizations
+
+
+def dual_product_realizations() -> Dict[str, Tuple[Lattice, BooleanFunction]]:
+    """Dual-product (Altun-Riedel) syntheses of a few benchmark functions.
+
+    These complement the hand-crafted library entries and exercise the
+    synthesis path on functions with differently sized ISOP covers.
+    """
+    targets = {
+        "maj3": majority(("a", "b", "c")),
+        "xor3": xor(("a", "b", "c")),
+        "and4": and_function(("a", "b", "c", "d")),
+        "or4": or_function(("a", "b", "c", "d")),
+        "mux": BooleanFunction.from_callable(
+            ("s", "d0", "d1"), lambda env: env["d1"] if env["s"] else env["d0"]
+        ),
+    }
+    return {
+        name: (synthesize_dual_product(function).lattice, function)
+        for name, function in targets.items()
+    }

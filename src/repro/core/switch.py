@@ -1,0 +1,100 @@
+"""The four-terminal switch abstraction (Fig. 2a of the paper).
+
+A four-terminal switch has four symmetric terminals and one control input.
+When the control input is 1, all four terminals are mutually connected (ON);
+when it is 0, all four terminals are mutually disconnected (OFF).  In a
+lattice the control input is driven by a literal of the target function or by
+a constant, which is what :class:`FourTerminalSwitch` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Mapping, Optional, Union
+
+from repro.core.boolean import Literal
+
+#: What may drive the control input of a switch: a literal, or a constant 0/1.
+ControlInput = Union[Literal, bool]
+
+
+class SwitchState(Enum):
+    """Conduction state of a four-terminal switch."""
+
+    OFF = 0
+    ON = 1
+
+    def __bool__(self) -> bool:
+        return self is SwitchState.ON
+
+
+@dataclass(frozen=True)
+class FourTerminalSwitch:
+    """One crosspoint of a switching lattice.
+
+    Attributes
+    ----------
+    control:
+        The literal or constant driving the control input.  Constants are
+        useful fillers: a constant-0 switch isolates its site, a constant-1
+        switch behaves as a hard-wired connection.
+    """
+
+    control: ControlInput
+
+    @classmethod
+    def from_spec(cls, spec: Union[str, int, bool, Literal, None]) -> "FourTerminalSwitch":
+        """Build a switch from a compact specification.
+
+        Accepted forms: a :class:`~repro.core.boolean.Literal`, a literal
+        string (``"a"``, ``"b'"``), ``0``/``1``/``False``/``True`` for
+        constants, and ``"0"``/``"1"`` strings.
+        """
+        if isinstance(spec, FourTerminalSwitch):
+            return spec
+        if isinstance(spec, Literal):
+            return cls(spec)
+        if isinstance(spec, bool):
+            return cls(spec)
+        if isinstance(spec, int):
+            if spec in (0, 1):
+                return cls(bool(spec))
+            raise ValueError(f"integer switch control must be 0 or 1, got {spec}")
+        if isinstance(spec, str):
+            text = spec.strip()
+            if text in ("0", "1"):
+                return cls(text == "1")
+            return cls(Literal.parse(text))
+        raise TypeError(f"cannot build a switch from {spec!r}")
+
+    @property
+    def is_constant(self) -> bool:
+        """True when the control input is a hard-wired 0 or 1."""
+        return isinstance(self.control, bool)
+
+    @property
+    def variable(self) -> Optional[str]:
+        """Name of the controlling variable, or ``None`` for constants."""
+        if isinstance(self.control, Literal):
+            return self.control.variable
+        return None
+
+    def state(self, assignment: Mapping[str, bool]) -> SwitchState:
+        """Conduction state under an input assignment.
+
+        The assignment must provide a value for the controlling variable
+        unless the control is a constant.
+        """
+        if isinstance(self.control, bool):
+            return SwitchState.ON if self.control else SwitchState.OFF
+        return SwitchState.ON if self.control.evaluate(assignment) else SwitchState.OFF
+
+    def is_on(self, assignment: Mapping[str, bool]) -> bool:
+        """Shorthand for ``bool(self.state(assignment))``."""
+        return bool(self.state(assignment))
+
+    def __str__(self) -> str:
+        if isinstance(self.control, bool):
+            return "1" if self.control else "0"
+        return str(self.control)

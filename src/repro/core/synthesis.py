@@ -1,0 +1,275 @@
+"""Lattice synthesis: mapping Boolean functions onto switching lattices.
+
+Section II of the paper points to the synthesis algorithms of the NANOxCOMP
+project ([2]-[4], [9], [13] in the paper) that map the literals of a target
+function onto the control inputs of a lattice of minimum size.  This module
+implements two of them:
+
+* :func:`synthesize_dual_product` — the classic Altun-Riedel dual-product
+  construction: the columns of the lattice correspond to the products of an
+  irredundant sum-of-products (ISOP) of the target ``f``, the rows to the
+  products of an ISOP of the dual ``f^D``, and every cell is assigned a
+  literal shared by its row product and its column product.  The resulting
+  lattice realizes ``f`` between the top and bottom plates (and ``f^D``
+  between the left and right plates).  Correct for any non-constant target;
+  the size is |ISOP(f^D)| x |ISOP(f)|.
+* :func:`exhaustive_synthesis` — a branch-and-bound search over all literal
+  and constant assignments of a fixed lattice size, used to find minimum-size
+  realizations of small functions (it is how one shows that XOR3 fits in a
+  3x3 lattice but not in anything smaller, cf. Fig. 3b).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.boolean import BooleanFunction, Cube, Literal
+from repro.core.evaluation import implements, lattice_truth_table
+from repro.core.lattice import Lattice
+from repro.core.switch import FourTerminalSwitch
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of a synthesis run.
+
+    Attributes
+    ----------
+    lattice:
+        The synthesized lattice (``None`` when an exhaustive search proved
+        the target does not fit the requested size).
+    target:
+        The target function.
+    method:
+        Name of the algorithm that produced the result.
+    column_cover / row_cover:
+        For the dual-product method, the ISOP covers of ``f`` and ``f^D``
+        that define the lattice columns and rows.
+    explored:
+        Number of assignments explored by the exhaustive search.
+    """
+
+    lattice: Optional[Lattice]
+    target: BooleanFunction
+    method: str
+    column_cover: List[Cube] = field(default_factory=list)
+    row_cover: List[Cube] = field(default_factory=list)
+    explored: int = 0
+
+    @property
+    def found(self) -> bool:
+        return self.lattice is not None
+
+    @property
+    def switch_count(self) -> Optional[int]:
+        """Number of lattice sites of the solution, or ``None`` if not found."""
+        return self.lattice.size if self.lattice else None
+
+    def verify(self) -> bool:
+        """Re-check that the synthesized lattice implements the target."""
+        if self.lattice is None:
+            return False
+        return implements(self.lattice, self.target)
+
+
+def synthesize_dual_product(target: BooleanFunction) -> SynthesisResult:
+    """Altun-Riedel dual-product synthesis of ``target``.
+
+    Raises
+    ------
+    ValueError
+        If the target is a constant function (constants need no lattice) or
+        if a row/column product pair shares no literal, which the underlying
+        theorem rules out for ISOP covers and therefore indicates a bug in
+        the covers handed to the construction.
+    """
+    if target.is_constant_zero or target.is_constant_one:
+        raise ValueError("constant functions are not synthesized onto lattices")
+
+    column_cover = target.isop()
+    row_cover = target.dual().isop()
+
+    rows = len(row_cover)
+    cols = len(column_cover)
+    lattice = Lattice(rows, cols)
+    for r, row_product in enumerate(row_cover):
+        for c, col_product in enumerate(column_cover):
+            shared = row_product.literals & col_product.literals
+            if not shared:
+                raise ValueError(
+                    "dual-product synthesis found a row/column product pair with no "
+                    f"shared literal: {row_product} / {col_product}"
+                )
+            literal = min(shared)  # deterministic choice
+            lattice[(r, c)] = literal
+
+    result = SynthesisResult(
+        lattice=lattice,
+        target=target,
+        method="dual-product",
+        column_cover=column_cover,
+        row_cover=row_cover,
+    )
+    if not result.verify():
+        raise AssertionError("dual-product synthesis produced an incorrect lattice")
+    return result
+
+
+def _candidate_controls(
+    target: BooleanFunction, allow_constants: bool
+) -> List[FourTerminalSwitch]:
+    """The control inputs the exhaustive search may assign to a cell."""
+    controls: List[FourTerminalSwitch] = []
+    for variable in target.variables:
+        controls.append(FourTerminalSwitch(Literal(variable)))
+        controls.append(FourTerminalSwitch(Literal(variable, negated=True)))
+    if allow_constants:
+        controls.append(FourTerminalSwitch(True))
+        controls.append(FourTerminalSwitch(False))
+    return controls
+
+
+def exhaustive_synthesis(
+    target: BooleanFunction,
+    rows: int,
+    cols: int,
+    allow_constants: bool = True,
+    max_assignments: int = 50_000_000,
+) -> SynthesisResult:
+    """Branch-and-bound search for a ``rows x cols`` realization of ``target``.
+
+    The search assigns cells in row-major order and prunes a partial
+    assignment as soon as it can no longer lead to the target: because the
+    lattice function is monotone in the switch states, filling the remaining
+    cells with constant 1 gives an upper bound of the achievable function and
+    filling them with constant 0 gives a lower bound; the target must lie
+    between the two.
+
+    Parameters
+    ----------
+    target:
+        The function to realize.
+    rows, cols:
+        The lattice size to try.
+    allow_constants:
+        Whether cells may be assigned the constants 0/1 in addition to
+        literals of the target's variables.
+    max_assignments:
+        Safety cap on the number of explored (partial) assignments; the
+        search raises ``RuntimeError`` when the cap is hit so callers never
+        mistake an aborted search for a proof of infeasibility.
+
+    Returns
+    -------
+    SynthesisResult
+        With ``lattice=None`` when the target provably does not fit.
+    """
+    if target.is_constant_zero or target.is_constant_one:
+        raise ValueError("constant functions are not synthesized onto lattices")
+
+    controls = _candidate_controls(target, allow_constants)
+    lattice = Lattice(rows, cols)
+    cells = list(lattice.cells())
+    explored = 0
+    target_table = target.truth_table()
+    variables = target.variables
+
+    def bounds_ok(position: int) -> bool:
+        """Check the lower/upper reachable-function bounds for the prefix."""
+        for fill, comparator in ((True, "upper"), (False, "lower")):
+            for cell in cells[position:]:
+                lattice[cell] = fill
+            _, table = lattice_truth_table(lattice, variables)
+            if comparator == "upper":
+                # Every target-1 point must still be reachable.
+                if any(t == 1 and v == 0 for t, v in zip(target_table, table)):
+                    return False
+            else:
+                # No target-0 point may already be forced to 1.
+                if any(t == 0 and v == 1 for t, v in zip(target_table, table)):
+                    return False
+        return True
+
+    def search(position: int) -> Optional[Lattice]:
+        nonlocal explored
+        if position == len(cells):
+            _, table = lattice_truth_table(lattice, variables)
+            if table == target_table:
+                return Lattice(rows, cols, [[lattice[(r, c)] for c in range(cols)] for r in range(rows)])
+            return None
+        for control in controls:
+            explored += 1
+            if explored > max_assignments:
+                raise RuntimeError(
+                    f"exhaustive synthesis exceeded the cap of {max_assignments} assignments"
+                )
+            lattice[cells[position]] = control
+            if bounds_ok(position + 1):
+                found = search(position + 1)
+                if found is not None:
+                    return found
+        lattice[cells[position]] = False
+        return None
+
+    solution = search(0)
+    return SynthesisResult(
+        lattice=solution,
+        target=target,
+        method="exhaustive",
+        explored=explored,
+    )
+
+
+def minimum_lattice(
+    target: BooleanFunction,
+    max_sites: Optional[int] = None,
+    allow_constants: bool = True,
+    max_assignments: int = 50_000_000,
+) -> SynthesisResult:
+    """Search lattice sizes in order of site count for the smallest realization.
+
+    Candidate sizes are every (rows, cols) pair ordered by ``rows*cols`` then
+    by aspect-ratio balance, capped either by ``max_sites`` or by the size of
+    the dual-product solution (which always exists and is an upper bound).
+    """
+    upper_bound = synthesize_dual_product(target)
+    cap = max_sites if max_sites is not None else upper_bound.lattice.size
+
+    sizes = sorted(
+        (
+            (r, c)
+            for r in range(1, cap + 1)
+            for c in range(1, cap + 1)
+            if r * c <= cap
+        ),
+        key=lambda rc: (rc[0] * rc[1], abs(rc[0] - rc[1])),
+    )
+    best: Optional[SynthesisResult] = None
+    for rows, cols in sizes:
+        if best is not None and rows * cols >= best.lattice.size:
+            break
+        result = exhaustive_synthesis(
+            target, rows, cols, allow_constants=allow_constants, max_assignments=max_assignments
+        )
+        if result.found:
+            best = result
+            break
+    if best is not None:
+        return best
+    return upper_bound
+
+
+def lattice_products_as_cubes(lattice: Lattice) -> List[Cube]:
+    """The lattice function's products translated to :class:`Cube` objects.
+
+    Convenience wrapper over :func:`repro.core.paths.lattice_function_products`
+    used by reporting code and tests.
+    """
+    from repro.core.paths import lattice_function_products
+
+    cubes = []
+    for product in lattice_function_products(lattice):
+        cubes.append(Cube(frozenset(Literal.parse(text) for text in product)))
+    return cubes

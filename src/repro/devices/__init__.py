@@ -1,0 +1,60 @@
+"""Device descriptions of the four-terminal switch candidates.
+
+This subpackage encodes Table II of the paper: the three device structures
+(square-shaped gate, cross-shaped gate, junctionless) with their geometries,
+doping profiles, and gate materials, plus the sixteen drain/source/float
+terminal configurations explored in the TCAD study.
+"""
+
+from repro.devices.materials import (
+    GateDielectric,
+    SemiconductorMaterial,
+    SILICON,
+    SIO2,
+    HFO2,
+    gate_dielectric_by_name,
+)
+from repro.devices.geometry import BoxDimensions, DeviceGeometry
+from repro.devices.specs import (
+    DeviceKind,
+    DeviceOperation,
+    DeviceSpec,
+    CROSS_SHAPED_SPEC,
+    JUNCTIONLESS_SPEC,
+    SQUARE_SHAPED_SPEC,
+    TABLE_II_SPECS,
+    device_spec,
+)
+from repro.devices.terminals import (
+    Terminal,
+    TerminalRole,
+    TerminalConfiguration,
+    ALL_TERMINAL_CONFIGURATIONS,
+    DSSS,
+    configuration_by_name,
+)
+
+__all__ = [
+    "GateDielectric",
+    "SemiconductorMaterial",
+    "SILICON",
+    "SIO2",
+    "HFO2",
+    "gate_dielectric_by_name",
+    "BoxDimensions",
+    "DeviceGeometry",
+    "DeviceKind",
+    "DeviceOperation",
+    "DeviceSpec",
+    "SQUARE_SHAPED_SPEC",
+    "CROSS_SHAPED_SPEC",
+    "JUNCTIONLESS_SPEC",
+    "TABLE_II_SPECS",
+    "device_spec",
+    "Terminal",
+    "TerminalRole",
+    "TerminalConfiguration",
+    "ALL_TERMINAL_CONFIGURATIONS",
+    "DSSS",
+    "configuration_by_name",
+]

@@ -1,0 +1,284 @@
+"""Geometric description of the four-terminal devices.
+
+Table II of the paper gives the device, electrode and gate dimensions of the
+three structures.  The geometry object derives the quantities the rest of the
+code needs: channel widths and lengths of the six terminal-pair channels,
+electrode positions, and the footprint used by the 2-D field solver.
+
+Terminal naming follows the paper: the four electrodes T1..T4 sit at fixed
+locations on the four sides of a square substrate:
+
+::
+
+            T1 (north)
+         +-----------+
+         |           |
+    T3   |   gate    |   T4
+  (west) |           | (east)
+         +-----------+
+            T2 (south)
+
+The six terminal pairs therefore split into four *adjacent* pairs
+(T1-T3, T1-T4, T2-T3, T2-T4) and two *opposite* pairs (T1-T2, T3-T4).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from repro.devices.terminals import Terminal
+
+
+@dataclass(frozen=True)
+class BoxDimensions:
+    """A rectangular box ``width x depth x height`` in metres."""
+
+    width_m: float
+    depth_m: float
+    height_m: float
+
+    def __post_init__(self) -> None:
+        for name in ("width_m", "depth_m", "height_m"):
+            value = getattr(self, name)
+            if value <= 0.0:
+                raise ValueError(f"{name} must be positive, got {value}")
+
+    @property
+    def footprint_area_m2(self) -> float:
+        """Area of the box seen from the top (width x depth)."""
+        return self.width_m * self.depth_m
+
+    @property
+    def volume_m3(self) -> float:
+        return self.width_m * self.depth_m * self.height_m
+
+    @staticmethod
+    def from_nm(width_nm: float, depth_nm: float, height_nm: float) -> "BoxDimensions":
+        """Build a box from dimensions given in nanometres (as in Table II)."""
+        return BoxDimensions(width_nm * 1e-9, depth_nm * 1e-9, height_nm * 1e-9)
+
+
+#: Pairs of terminals that share a corner of the square substrate.
+ADJACENT_PAIRS: Tuple[Tuple[Terminal, Terminal], ...] = (
+    (Terminal.T1, Terminal.T3),
+    (Terminal.T1, Terminal.T4),
+    (Terminal.T2, Terminal.T3),
+    (Terminal.T2, Terminal.T4),
+)
+
+#: Pairs of terminals that face each other across the substrate.
+OPPOSITE_PAIRS: Tuple[Tuple[Terminal, Terminal], ...] = (
+    (Terminal.T1, Terminal.T2),
+    (Terminal.T3, Terminal.T4),
+)
+
+#: All C(4,2)=6 terminal pairs, i.e. all conduction channels of the device.
+ALL_PAIRS: Tuple[Tuple[Terminal, Terminal], ...] = ADJACENT_PAIRS + OPPOSITE_PAIRS
+
+
+def canonical_pair(a: Terminal, b: Terminal) -> Tuple[Terminal, Terminal]:
+    """Return the pair ``(a, b)`` ordered by terminal index.
+
+    The channel dictionaries are keyed by canonical pairs so that
+    ``(T3, T1)`` and ``(T1, T3)`` address the same channel.
+    """
+    if a == b:
+        raise ValueError(f"a terminal pair needs two distinct terminals, got {a} twice")
+    return (a, b) if a.value < b.value else (b, a)
+
+
+@dataclass(frozen=True)
+class DeviceGeometry:
+    """Geometry of one four-terminal device.
+
+    Attributes
+    ----------
+    name:
+        Geometry name (``"square"``, ``"cross"``, ``"junctionless"``).
+    device_box / electrode_box / gate_box:
+        Outer dimensions as given in Table II.
+    gate_oxide_thickness_m:
+        Thickness of the gate dielectric between gate electrode and channel.
+    channel_lengths_m:
+        Effective channel length of each terminal-pair channel, keyed by
+        canonical pair.  Adjacent pairs are shorter than opposite pairs for
+        the square gate, which is exactly the asymmetry the paper compensates
+        with two MOSFET types (Type A / Type B) in the circuit model.
+    channel_widths_m:
+        Effective channel width per pair.
+    """
+
+    name: str
+    device_box: BoxDimensions
+    electrode_box: BoxDimensions
+    gate_box: BoxDimensions
+    gate_oxide_thickness_m: float
+    channel_lengths_m: Mapping[Tuple[Terminal, Terminal], float] = field(repr=False)
+    channel_widths_m: Mapping[Tuple[Terminal, Terminal], float] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.gate_oxide_thickness_m <= 0.0:
+            raise ValueError("gate oxide thickness must be positive")
+        pairs = set(canonical_pair(*p) for p in ALL_PAIRS)
+        if set(self.channel_lengths_m) != pairs:
+            raise ValueError("channel_lengths_m must define all six terminal pairs")
+        if set(self.channel_widths_m) != pairs:
+            raise ValueError("channel_widths_m must define all six terminal pairs")
+        for mapping_name in ("channel_lengths_m", "channel_widths_m"):
+            for pair, value in getattr(self, mapping_name).items():
+                if value <= 0.0:
+                    raise ValueError(f"{mapping_name}[{pair}] must be positive, got {value}")
+
+    def channel_length(self, a: Terminal, b: Terminal) -> float:
+        """Effective channel length [m] between terminals ``a`` and ``b``."""
+        return self.channel_lengths_m[canonical_pair(a, b)]
+
+    def channel_width(self, a: Terminal, b: Terminal) -> float:
+        """Effective channel width [m] between terminals ``a`` and ``b``."""
+        return self.channel_widths_m[canonical_pair(a, b)]
+
+    def width_over_length(self, a: Terminal, b: Terminal) -> float:
+        """The W/L aspect ratio of the channel between ``a`` and ``b``."""
+        return self.channel_width(a, b) / self.channel_length(a, b)
+
+    def aspect_ratio_spread(self) -> float:
+        """Relative spread of W/L across the six channels.
+
+        Defined as ``(max - min) / mean`` of the six W/L values.  A perfectly
+        symmetric device has spread 0; the paper observes that the cross
+        shaped gate is more symmetric than the square shaped one.
+        """
+        ratios = [self.width_over_length(a, b) for a, b in ALL_PAIRS]
+        mean = sum(ratios) / len(ratios)
+        return (max(ratios) - min(ratios)) / mean
+
+    def symmetry_groups(self) -> Dict[str, Tuple[Tuple[Terminal, Terminal], ...]]:
+        """Return the adjacent/opposite channel grouping used by the model."""
+        return {"adjacent": ADJACENT_PAIRS, "opposite": OPPOSITE_PAIRS}
+
+
+def _uniform_channels(
+    adjacent_length_m: float,
+    opposite_length_m: float,
+    width_m: float,
+) -> Tuple[Dict[Tuple[Terminal, Terminal], float], Dict[Tuple[Terminal, Terminal], float]]:
+    """Build channel length/width maps with one value per symmetry group."""
+    lengths: Dict[Tuple[Terminal, Terminal], float] = {}
+    widths: Dict[Tuple[Terminal, Terminal], float] = {}
+    for pair in ADJACENT_PAIRS:
+        lengths[canonical_pair(*pair)] = adjacent_length_m
+        widths[canonical_pair(*pair)] = width_m
+    for pair in OPPOSITE_PAIRS:
+        lengths[canonical_pair(*pair)] = opposite_length_m
+        widths[canonical_pair(*pair)] = width_m
+    return lengths, widths
+
+
+def square_gate_geometry() -> DeviceGeometry:
+    """Geometry of the enhancement-type square-shaped device of Table II.
+
+    Device 2400x2400x730 nm, electrodes 700x200x200 nm, gate 1000x1000x30 nm.
+    The electrodes sit at the middle of each side, so the straight-line
+    distance between adjacent electrodes (measured corner to corner under the
+    gate) is shorter than the distance between opposite electrodes.  The
+    effective lengths below are the values the paper's circuit model uses:
+    0.35 um for the Type A (adjacent) channels and 0.5 um for the Type B
+    (opposite) channels, with the electrode width of 0.7 um acting as W.
+    """
+    lengths, widths = _uniform_channels(
+        adjacent_length_m=0.35e-6,
+        opposite_length_m=0.50e-6,
+        width_m=0.70e-6,
+    )
+    return DeviceGeometry(
+        name="square",
+        device_box=BoxDimensions.from_nm(2400, 2400, 730),
+        electrode_box=BoxDimensions.from_nm(700, 200, 200),
+        gate_box=BoxDimensions.from_nm(1000, 1000, 30),
+        gate_oxide_thickness_m=30e-9,
+        channel_lengths_m=lengths,
+        channel_widths_m=widths,
+    )
+
+
+def cross_gate_geometry() -> DeviceGeometry:
+    """Geometry of the enhancement-type cross-shaped device of Table II.
+
+    The gate is a cross of arm width 200 nm and height 30 nm.  Because the
+    current is funnelled through the 200 nm wide arms, the effective channel
+    width drops (lower on-current than the square device) while the arm
+    length between any two electrodes is nearly identical, which is why the
+    paper reports better terminal symmetry for the cross gate.
+    """
+    arm_width = 200e-9
+    lengths, widths = _uniform_channels(
+        adjacent_length_m=0.50e-6,
+        opposite_length_m=0.52e-6,
+        width_m=arm_width,
+    )
+    return DeviceGeometry(
+        name="cross",
+        device_box=BoxDimensions.from_nm(2400, 2400, 730),
+        electrode_box=BoxDimensions.from_nm(700, 200, 200),
+        gate_box=BoxDimensions.from_nm(200, 200, 30),
+        gate_oxide_thickness_m=30e-9,
+        channel_lengths_m=lengths,
+        channel_widths_m=widths,
+    )
+
+
+def junctionless_geometry() -> DeviceGeometry:
+    """Geometry of the depletion-type junctionless device of Table II.
+
+    The device is a 24x24x8 nm silicon nano-square with 24x2x2 nm n-type
+    electrodes and a 4x4x3 nm all-around gate.  All six channels share the
+    same nanometre-scale dimensions, so the device is intrinsically symmetric.
+    """
+    lengths, widths = _uniform_channels(
+        adjacent_length_m=10e-9,
+        opposite_length_m=11e-9,
+        width_m=2e-9,
+    )
+    return DeviceGeometry(
+        name="junctionless",
+        device_box=BoxDimensions.from_nm(24, 24, 8),
+        electrode_box=BoxDimensions.from_nm(24, 2, 2),
+        gate_box=BoxDimensions.from_nm(4, 4, 3),
+        gate_oxide_thickness_m=3e-9,
+        channel_lengths_m=lengths,
+        channel_widths_m=widths,
+    )
+
+
+def electrode_centres_normalized() -> Dict[Terminal, Tuple[float, float]]:
+    """Electrode centre positions on the unit square used by the field solver.
+
+    The coordinates are (x, y) with x to the east and y to the north, both in
+    [0, 1].  T1 is north, T2 south, T3 west, T4 east, matching the module
+    docstring figure.
+    """
+    return {
+        Terminal.T1: (0.5, 0.95),
+        Terminal.T2: (0.5, 0.05),
+        Terminal.T3: (0.05, 0.5),
+        Terminal.T4: (0.95, 0.5),
+    }
+
+
+def pair_distance_normalized(a: Terminal, b: Terminal) -> float:
+    """Euclidean distance between two electrode centres on the unit square."""
+    centres = electrode_centres_normalized()
+    xa, ya = centres[a]
+    xb, yb = centres[b]
+    return math.hypot(xa - xb, ya - yb)
+
+
+def all_pair_distances() -> Dict[Tuple[Terminal, Terminal], float]:
+    """Distances for all six canonical terminal pairs on the unit square."""
+    return {
+        canonical_pair(a, b): pair_distance_normalized(a, b)
+        for a, b in itertools.combinations(list(Terminal), 2)
+    }

@@ -1,0 +1,148 @@
+"""Material models: semiconductors and gate dielectrics.
+
+The paper compares two gate dielectrics, conventional SiO2 and high-k HfO2,
+on silicon devices doped as listed in Table II.  The classes here hold the
+material parameters that the TCAD-substitute needs to compute oxide
+capacitance, flat-band voltage, bulk potential, and threshold voltage.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro import constants
+
+
+@dataclass(frozen=True)
+class SemiconductorMaterial:
+    """A semiconductor described by the parameters the charge-sheet model uses.
+
+    Attributes
+    ----------
+    name:
+        Human readable material name (``"Si"``).
+    relative_permittivity:
+        Static dielectric constant.
+    bandgap_ev:
+        Band gap at 300 K in eV.
+    intrinsic_concentration_cm3:
+        Intrinsic carrier concentration at 300 K in cm^-3.
+    electron_mobility_cm2:
+        Low-field electron mobility in cm^2/(V s).
+    hole_mobility_cm2:
+        Low-field hole mobility in cm^2/(V s).
+    """
+
+    name: str
+    relative_permittivity: float
+    bandgap_ev: float
+    intrinsic_concentration_cm3: float
+    electron_mobility_cm2: float
+    hole_mobility_cm2: float
+
+    @property
+    def permittivity(self) -> float:
+        """Absolute permittivity in F/m."""
+        return self.relative_permittivity * constants.VACUUM_PERMITTIVITY
+
+    def bulk_potential(self, doping_cm3: float, temperature_k: float = constants.ROOM_TEMPERATURE) -> float:
+        """Return the bulk Fermi potential ``phi_F`` [V] for an acceptor doping.
+
+        ``phi_F = Vt * ln(Na / ni)`` — positive for p-type material.
+
+        Parameters
+        ----------
+        doping_cm3:
+            Net acceptor (or donor) concentration in cm^-3.  Must be positive.
+        temperature_k:
+            Lattice temperature.
+        """
+        if doping_cm3 <= 0.0:
+            raise ValueError(f"doping must be positive, got {doping_cm3}")
+        vt = constants.thermal_voltage(temperature_k)
+        return vt * math.log(doping_cm3 / self.intrinsic_concentration_cm3)
+
+    def debye_length_m(self, doping_cm3: float, temperature_k: float = constants.ROOM_TEMPERATURE) -> float:
+        """Extrinsic Debye length [m] for the given doping concentration."""
+        if doping_cm3 <= 0.0:
+            raise ValueError(f"doping must be positive, got {doping_cm3}")
+        vt = constants.thermal_voltage(temperature_k)
+        doping_m3 = doping_cm3 * 1.0e6
+        return math.sqrt(self.permittivity * vt / (constants.ELEMENTARY_CHARGE * doping_m3))
+
+
+@dataclass(frozen=True)
+class GateDielectric:
+    """A gate dielectric material (SiO2 or HfO2 in the paper).
+
+    Attributes
+    ----------
+    name:
+        Material name used in reports (``"SiO2"``, ``"HfO2"``).
+    relative_permittivity:
+        Static dielectric constant of the insulator.
+    breakdown_field_v_per_m:
+        Approximate dielectric breakdown field, used only for sanity checks.
+    """
+
+    name: str
+    relative_permittivity: float
+    breakdown_field_v_per_m: float
+
+    @property
+    def permittivity(self) -> float:
+        """Absolute permittivity in F/m."""
+        return self.relative_permittivity * constants.VACUUM_PERMITTIVITY
+
+    def capacitance_per_area(self, thickness_m: float) -> float:
+        """Oxide capacitance per unit area ``Cox = eps / t_ox`` [F/m^2]."""
+        if thickness_m <= 0.0:
+            raise ValueError(f"oxide thickness must be positive, got {thickness_m}")
+        return self.permittivity / thickness_m
+
+    def max_voltage(self, thickness_m: float) -> float:
+        """Largest gate voltage the dielectric sustains before breakdown [V]."""
+        if thickness_m <= 0.0:
+            raise ValueError(f"oxide thickness must be positive, got {thickness_m}")
+        return self.breakdown_field_v_per_m * thickness_m
+
+
+#: Bulk crystalline silicon used for substrate and electrodes.
+SILICON = SemiconductorMaterial(
+    name="Si",
+    relative_permittivity=constants.SILICON_EPS_R,
+    bandgap_ev=constants.SILICON_BANDGAP_EV,
+    intrinsic_concentration_cm3=constants.SILICON_NI_CM3,
+    electron_mobility_cm2=constants.SILICON_ELECTRON_MOBILITY,
+    hole_mobility_cm2=constants.SILICON_HOLE_MOBILITY,
+)
+
+#: Thermally grown silicon dioxide gate dielectric.
+SIO2 = GateDielectric(
+    name="SiO2",
+    relative_permittivity=constants.SIO2_EPS_R,
+    breakdown_field_v_per_m=1.0e9,
+)
+
+#: High-k hafnium dioxide gate dielectric.
+HFO2 = GateDielectric(
+    name="HfO2",
+    relative_permittivity=constants.HFO2_EPS_R,
+    breakdown_field_v_per_m=4.0e8,
+)
+
+_DIELECTRICS = {d.name.lower(): d for d in (SIO2, HFO2)}
+
+
+def gate_dielectric_by_name(name: str) -> GateDielectric:
+    """Look up a gate dielectric by case-insensitive name.
+
+    >>> gate_dielectric_by_name("hfo2").relative_permittivity
+    25.0
+    """
+    try:
+        return _DIELECTRICS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(d.name for d in _DIELECTRICS.values()))
+        raise KeyError(f"unknown gate dielectric {name!r}; known materials: {known}") from None

@@ -1,0 +1,253 @@
+"""Device specifications — the contents of Table II of the paper.
+
+A :class:`DeviceSpec` bundles a geometry, a doping profile, and the materials
+of gate, electrodes, and substrate.  Specs are the single input of the
+TCAD-substitute simulator (:mod:`repro.tcad.simulator`) and of the circuit
+model extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Dict, Tuple
+
+from repro.devices.geometry import (
+    DeviceGeometry,
+    cross_gate_geometry,
+    junctionless_geometry,
+    square_gate_geometry,
+)
+from repro.devices.materials import (
+    GateDielectric,
+    SemiconductorMaterial,
+    HFO2,
+    SILICON,
+    SIO2,
+    gate_dielectric_by_name,
+)
+
+
+class DeviceKind(Enum):
+    """The three device structures compared in the paper."""
+
+    SQUARE = "square"
+    CROSS = "cross"
+    JUNCTIONLESS = "junctionless"
+
+    @classmethod
+    def from_name(cls, name: str) -> "DeviceKind":
+        """Parse a device kind from its lowercase name."""
+        try:
+            return cls(name.strip().lower())
+        except ValueError:
+            known = ", ".join(k.value for k in cls)
+            raise ValueError(f"unknown device kind {name!r}; known kinds: {known}") from None
+
+
+class DeviceOperation(Enum):
+    """Whether the device is enhancement mode or depletion mode."""
+
+    ENHANCEMENT = "enhancement"
+    DEPLETION = "depletion"
+
+
+@dataclass(frozen=True)
+class DopingProfile:
+    """Doping of substrate and electrodes as listed in Table II.
+
+    Attributes
+    ----------
+    substrate_dopant / electrode_dopant:
+        Chemical symbol of the dopant species (``"B"`` boron acceptor,
+        ``"P"`` phosphorus donor).
+    substrate_concentration_cm3 / electrode_concentration_cm3:
+        Concentrations in cm^-3.  For the junctionless device the substrate is
+        SiO2 (insulating), which is encoded with a zero substrate
+        concentration and the ``substrate_is_insulator`` flag on the spec.
+    """
+
+    substrate_dopant: str
+    substrate_concentration_cm3: float
+    electrode_dopant: str
+    electrode_concentration_cm3: float
+
+    def __post_init__(self) -> None:
+        if self.substrate_concentration_cm3 < 0.0:
+            raise ValueError("substrate concentration cannot be negative")
+        if self.electrode_concentration_cm3 <= 0.0:
+            raise ValueError("electrode concentration must be positive")
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Full description of one four-terminal device candidate.
+
+    Attributes
+    ----------
+    kind:
+        Which of the three structures this is.
+    operation:
+        Enhancement (square, cross) or depletion (junctionless).
+    geometry:
+        Dimensions and per-pair channel geometry.
+    gate_dielectric:
+        SiO2 or HfO2.
+    doping:
+        Substrate and electrode doping.
+    substrate_material / electrode_material:
+        Semiconductors (silicon in the paper).
+    substrate_is_insulator:
+        True for the junctionless device, whose body sits on SiO2.
+    body_doping_cm3:
+        Doping of the conduction body.  For enhancement devices this is the
+        p-type substrate doping (channel must be inverted); for the
+        junctionless device it is the n-type electrode/body doping (channel
+        must be depleted to turn the device off).
+    """
+
+    kind: DeviceKind
+    operation: DeviceOperation
+    geometry: DeviceGeometry
+    gate_dielectric: GateDielectric
+    doping: DopingProfile
+    substrate_material: SemiconductorMaterial = SILICON
+    electrode_material: SemiconductorMaterial = SILICON
+    substrate_is_insulator: bool = False
+
+    @property
+    def name(self) -> str:
+        """Readable name, e.g. ``"square/HfO2"``."""
+        return f"{self.kind.value}/{self.gate_dielectric.name}"
+
+    @property
+    def is_enhancement(self) -> bool:
+        return self.operation is DeviceOperation.ENHANCEMENT
+
+    @property
+    def is_depletion(self) -> bool:
+        return self.operation is DeviceOperation.DEPLETION
+
+    @property
+    def body_doping_cm3(self) -> float:
+        """Doping concentration of the conduction body (see class docstring)."""
+        if self.is_enhancement:
+            return self.doping.substrate_concentration_cm3
+        return self.doping.electrode_concentration_cm3
+
+    @property
+    def oxide_capacitance_per_area(self) -> float:
+        """Gate oxide capacitance per unit area [F/m^2]."""
+        return self.gate_dielectric.capacitance_per_area(self.geometry.gate_oxide_thickness_m)
+
+    def with_gate_dielectric(self, dielectric: GateDielectric) -> "DeviceSpec":
+        """Return a copy of this spec with a different gate dielectric."""
+        return replace(self, gate_dielectric=dielectric)
+
+    def table_row(self) -> Dict[str, str]:
+        """One row of Table II as printable strings (used by the bench)."""
+        geometry = self.geometry
+
+        def fmt_box(box) -> str:
+            to_nm = lambda metres: f"{metres * 1e9:g}"
+            return f"{to_nm(box.width_m)}x{to_nm(box.depth_m)}x{to_nm(box.height_m)} nm"
+
+        substrate = "SiO2" if self.substrate_is_insulator else (
+            f"{'p' if self.doping.substrate_dopant == 'B' else 'n'}-type Si"
+        )
+        return {
+            "device": self.kind.value,
+            "operation": self.operation.value,
+            "device_size": fmt_box(geometry.device_box),
+            "electrode_size": fmt_box(geometry.electrode_box),
+            "gate_size": fmt_box(geometry.gate_box),
+            "substrate_doping": (
+                "-" if self.substrate_is_insulator
+                else f"{self.doping.substrate_dopant}, {self.doping.substrate_concentration_cm3:.0e} cm^-3"
+            ),
+            "electrode_doping": (
+                f"{self.doping.electrode_dopant}, {self.doping.electrode_concentration_cm3:.0e} cm^-3"
+            ),
+            "gate_material": self.gate_dielectric.name,
+            "electrode_material": "n-type Si",
+            "substrate_material": substrate,
+        }
+
+
+_ENHANCEMENT_DOPING = DopingProfile(
+    substrate_dopant="B",
+    substrate_concentration_cm3=1.0e17,
+    electrode_dopant="P",
+    electrode_concentration_cm3=1.0e20,
+)
+
+_JUNCTIONLESS_DOPING = DopingProfile(
+    substrate_dopant="-",
+    substrate_concentration_cm3=0.0,
+    electrode_dopant="P",
+    electrode_concentration_cm3=1.0e20,
+)
+
+
+SQUARE_SHAPED_SPEC = DeviceSpec(
+    kind=DeviceKind.SQUARE,
+    operation=DeviceOperation.ENHANCEMENT,
+    geometry=square_gate_geometry(),
+    gate_dielectric=HFO2,
+    doping=_ENHANCEMENT_DOPING,
+)
+"""Enhancement-type square-shaped device with the default HfO2 gate."""
+
+CROSS_SHAPED_SPEC = DeviceSpec(
+    kind=DeviceKind.CROSS,
+    operation=DeviceOperation.ENHANCEMENT,
+    geometry=cross_gate_geometry(),
+    gate_dielectric=HFO2,
+    doping=_ENHANCEMENT_DOPING,
+)
+"""Enhancement-type cross-shaped device with the default HfO2 gate."""
+
+JUNCTIONLESS_SPEC = DeviceSpec(
+    kind=DeviceKind.JUNCTIONLESS,
+    operation=DeviceOperation.DEPLETION,
+    geometry=junctionless_geometry(),
+    gate_dielectric=HFO2,
+    doping=_JUNCTIONLESS_DOPING,
+    substrate_is_insulator=True,
+)
+"""Depletion-type junctionless device with the default HfO2 gate."""
+
+
+#: The Table II device inventory with the default (HfO2) gate dielectric.
+TABLE_II_SPECS: Tuple[DeviceSpec, ...] = (
+    SQUARE_SHAPED_SPEC,
+    CROSS_SHAPED_SPEC,
+    JUNCTIONLESS_SPEC,
+)
+
+_SPEC_BY_KIND: Dict[DeviceKind, DeviceSpec] = {spec.kind: spec for spec in TABLE_II_SPECS}
+
+
+def device_spec(kind: "DeviceKind | str", gate_material: "GateDielectric | str" = HFO2) -> DeviceSpec:
+    """Build the Table II spec for ``kind`` with the requested gate dielectric.
+
+    Parameters
+    ----------
+    kind:
+        A :class:`DeviceKind` or its name (``"square"``, ``"cross"``,
+        ``"junctionless"``).
+    gate_material:
+        A :class:`~repro.devices.materials.GateDielectric` or its name
+        (``"SiO2"`` or ``"HfO2"``).
+
+    >>> device_spec("square", "SiO2").gate_dielectric.name
+    'SiO2'
+    """
+    if isinstance(kind, str):
+        kind = DeviceKind.from_name(kind)
+    if isinstance(gate_material, str):
+        gate_material = gate_dielectric_by_name(gate_material)
+    base = _SPEC_BY_KIND[kind]
+    if gate_material == base.gate_dielectric:
+        return base
+    return base.with_gate_dielectric(gate_material)

@@ -1,0 +1,178 @@
+"""Terminal roles and the sixteen drain/source/float configurations.
+
+Section III-B of the paper explores the device in sixteen operating cases in
+which each of the four fixed electrodes T1..T4 acts as a drain (D), a source
+(S), or floats (F):
+
+* 1 drain - 1 source: ``DSFF``, ``SFDF``
+* 1 drain - 3 sources: ``DSSS``, ``SDSS``, ``SSDS``, ``SSSD``
+* 2 drains - 2 sources: ``DDSS``, ``SDDS``, ``DSDS``, ``DSSD``, ``SDSD``, ``SSDD``
+* 3 drains - 1 source: ``DDDS``, ``SDDD``, ``DDSD``, ``DSDD``
+
+A configuration string assigns roles position-by-position to T1, T2, T3, T4;
+``DSSS`` means T1 is the drain and T2, T3, T4 are sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, IntEnum
+from typing import Dict, Mapping, Tuple
+
+
+class Terminal(IntEnum):
+    """One of the four fixed electrodes of the device."""
+
+    T1 = 1
+    T2 = 2
+    T3 = 3
+    T4 = 4
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+class TerminalRole(Enum):
+    """Role of a terminal in a TCAD run: drain, source, or floating."""
+
+    DRAIN = "D"
+    SOURCE = "S"
+    FLOAT = "F"
+
+    @classmethod
+    def from_letter(cls, letter: str) -> "TerminalRole":
+        """Parse a single-letter role code (case insensitive)."""
+        try:
+            return _ROLE_BY_LETTER[letter.upper()]
+        except KeyError:
+            raise ValueError(f"unknown terminal role letter {letter!r}; expected D, S or F") from None
+
+
+_ROLE_BY_LETTER: Dict[str, TerminalRole] = {role.value: role for role in TerminalRole}
+
+
+@dataclass(frozen=True)
+class TerminalConfiguration:
+    """An assignment of roles to the four terminals.
+
+    Attributes
+    ----------
+    name:
+        The four-letter code, e.g. ``"DSSS"``.
+    roles:
+        Mapping from each :class:`Terminal` to its :class:`TerminalRole`.
+    """
+
+    name: str
+    roles: Mapping[Terminal, TerminalRole]
+
+    def __post_init__(self) -> None:
+        if set(self.roles) != set(Terminal):
+            raise ValueError("a terminal configuration must assign a role to all four terminals")
+        if not self.drains:
+            raise ValueError(f"configuration {self.name!r} has no drain terminal")
+        if not self.sources:
+            raise ValueError(f"configuration {self.name!r} has no source terminal")
+
+    @classmethod
+    def from_string(cls, code: str) -> "TerminalConfiguration":
+        """Build a configuration from a four-letter code such as ``"DSSS"``.
+
+        >>> cfg = TerminalConfiguration.from_string("DSSS")
+        >>> cfg.roles[Terminal.T1]
+        <TerminalRole.DRAIN: 'D'>
+        """
+        code = code.strip().upper()
+        if len(code) != 4:
+            raise ValueError(f"a configuration code must have four letters, got {code!r}")
+        roles = {
+            terminal: TerminalRole.from_letter(letter)
+            for terminal, letter in zip(Terminal, code)
+        }
+        return cls(name=code, roles=roles)
+
+    @property
+    def drains(self) -> Tuple[Terminal, ...]:
+        """Terminals acting as drains, in T1..T4 order."""
+        return tuple(t for t in Terminal if self.roles[t] is TerminalRole.DRAIN)
+
+    @property
+    def sources(self) -> Tuple[Terminal, ...]:
+        """Terminals acting as sources, in T1..T4 order."""
+        return tuple(t for t in Terminal if self.roles[t] is TerminalRole.SOURCE)
+
+    @property
+    def floating(self) -> Tuple[Terminal, ...]:
+        """Floating terminals, in T1..T4 order."""
+        return tuple(t for t in Terminal if self.roles[t] is TerminalRole.FLOAT)
+
+    @property
+    def is_symmetric(self) -> bool:
+        """True when drains and sources are balanced (same count) or mirrored.
+
+        The paper groups the sixteen cases into symmetric and non-symmetric
+        operating conditions; the 2-drain/2-source cases are the symmetric
+        ones, the rest are non-symmetric.
+        """
+        return len(self.drains) == len(self.sources)
+
+    def category(self) -> str:
+        """Human readable category, e.g. ``"1 drain - 3 sources"``."""
+        n_drains = len(self.drains)
+        n_sources = len(self.sources)
+        drain_word = "drain" if n_drains == 1 else "drains"
+        source_word = "source" if n_sources == 1 else "sources"
+        return f"{n_drains} {drain_word} - {n_sources} {source_word}"
+
+    def role_of(self, terminal: Terminal) -> TerminalRole:
+        """Role of a single terminal."""
+        return self.roles[terminal]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+#: The sixteen cases listed in Section III-B, in the paper's order.
+_CONFIGURATION_CODES: Tuple[str, ...] = (
+    # 1 drain - 1 source
+    "DSFF",
+    "SFDF",
+    # 1 drain - 3 sources
+    "DSSS",
+    "SDSS",
+    "SSDS",
+    "SSSD",
+    # 2 drains - 2 sources
+    "DDSS",
+    "SDDS",
+    "DSDS",
+    "DSSD",
+    "SDSD",
+    "SSDD",
+    # 3 drains - 1 source
+    "DDDS",
+    "SDDD",
+    "DDSD",
+    "DSDD",
+)
+
+#: All sixteen configurations of the paper, keyed by their code.
+ALL_TERMINAL_CONFIGURATIONS: Dict[str, TerminalConfiguration] = {
+    code: TerminalConfiguration.from_string(code) for code in _CONFIGURATION_CODES
+}
+
+#: The configuration used for every figure in the paper (T1 drain, rest sources).
+DSSS = ALL_TERMINAL_CONFIGURATIONS["DSSS"]
+
+
+def configuration_by_name(code: str) -> TerminalConfiguration:
+    """Return one of the sixteen standard configurations, or build a custom one.
+
+    Codes outside the standard sixteen are still accepted as long as they are
+    valid (four letters from D/S/F with at least one drain and one source);
+    this lets users explore additional operating conditions.
+    """
+    code = code.strip().upper()
+    if code in ALL_TERMINAL_CONFIGURATIONS:
+        return ALL_TERMINAL_CONFIGURATIONS[code]
+    return TerminalConfiguration.from_string(code)

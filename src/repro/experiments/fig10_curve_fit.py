@@ -1,0 +1,81 @@
+"""Fig. 10 — level-1 MOSFET fit to the square device's Id-Vd curve."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.reporting import Table, format_engineering
+from repro.devices.specs import DeviceSpec, device_spec
+from repro.devices.terminals import DSSS
+from repro.fitting.extraction import FitResult, fit_level1_parameters, fit_output_curve
+from repro.spice.elements.switch4t import CHANNEL_WIDTH_M, TYPE_A_LENGTH_M
+from repro.tcad.simulator import DeviceSimulator
+
+
+@dataclass
+class Fig10Result:
+    """Curve-fit outcome for the Fig. 10 scenario.
+
+    Attributes
+    ----------
+    spec:
+        The device whose data was fitted (square / HfO2 in the paper).
+    vds / ids:
+        The simulated Id-Vd data at Vgs = 5 V (the points of Fig. 10).
+    output_fit:
+        Fit to the Id-Vd curve alone (exactly Fig. 10).
+    combined_fit:
+        Fit to both the Id-Vg and Id-Vd scenarios (what Section IV uses to
+        parameterize the circuit model).
+    """
+
+    spec: DeviceSpec
+    vds: np.ndarray
+    ids: np.ndarray
+    output_fit: FitResult
+    combined_fit: FitResult
+
+    def fitted_curve(self) -> np.ndarray:
+        """The fitted Id-Vd curve evaluated on the measurement grid."""
+        return self.output_fit.predicted(np.full_like(self.vds, 5.0), self.vds)
+
+    def report(self) -> str:
+        table = Table(
+            ["fit", "Kp [A/V^2]", "Vth [V]", "lambda [1/V]", "relative RMS error"],
+            title=f"Fig. 10 — level-1 fit to the {self.spec.name} Id-Vd data (Vgs = 5 V, DSSS)",
+        )
+        for name, fit in (("Id-Vd only (Fig. 10)", self.output_fit), ("Id-Vg + Id-Vd (Section IV)", self.combined_fit)):
+            p = fit.parameters
+            table.add_row(
+                [
+                    name,
+                    f"{p.kp_a_per_v2:.3e}",
+                    f"{p.vth_v:+.3f}",
+                    f"{p.lambda_per_v:.3f}",
+                    f"{fit.relative_rms_error:.4f}",
+                ]
+            )
+        peak = format_engineering(float(np.max(self.ids)), "A")
+        return table.render() + f"\npeak measured current: {peak}"
+
+
+def run_fig10(gate_material: str = "HfO2", points: int = 41) -> Fig10Result:
+    """Simulate the square device and fit the level-1 equations to its data."""
+    spec = device_spec("square", gate_material)
+    simulator = DeviceSimulator(spec)
+
+    vds, ids = simulator.idvd_samples(DSSS, vgs=5.0, vds_values=np.linspace(0.0, 5.0, points))
+    output_fit = fit_output_curve(vds, ids, vgs=5.0, width_m=CHANNEL_WIDTH_M, length_m=TYPE_A_LENGTH_M)
+
+    vgs, idvg = simulator.idvg_samples(DSSS, vds=5.0, vgs_values=np.linspace(0.0, 5.0, points))
+    combined_fit = fit_level1_parameters(
+        [
+            (vgs, np.full_like(vgs, 5.0), idvg),
+            (np.full_like(vds, 5.0), vds, ids),
+        ],
+        width_m=CHANNEL_WIDTH_M,
+        length_m=TYPE_A_LENGTH_M,
+    )
+    return Fig10Result(spec=spec, vds=vds, ids=ids, output_fit=output_fit, combined_fit=combined_fit)

@@ -1,0 +1,161 @@
+"""Fig. 11 — transient analysis of the XOR3 lattice circuit.
+
+The circuit is the paper's: the 3x3 XOR3 lattice as the pull-down network,
+a 500 kOhm pull-up to a 1.2 V supply, a 10 fF output capacitor and 1 fF
+terminal capacitors.  The inputs step through all eight combinations; the
+output is the *inverse* of XOR3.  The result reports the quantities the
+paper quotes: the zero-state output voltage, the rise time and the fall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.reporting import Table, format_engineering
+from repro.analysis.waveform_metrics import LogicLevels, edge_times, steady_state_levels
+from repro.circuits.lattice_netlist import LatticeCircuit, build_lattice_circuit
+from repro.circuits.sizing import default_switch_model
+from repro.circuits.testbench import InputSequence
+from repro.core.evaluation import evaluate_lattice
+from repro.core.lattice import Lattice
+from repro.core.library import xor3_lattice_3x3
+from repro.spice.elements.switch4t import FourTerminalSwitchModel
+from repro.spice.transient import TransientResult, transient_analysis
+
+#: Values reported in Section V for comparison in reports.
+PAPER_ZERO_STATE_V = 0.22
+PAPER_RISE_TIME_S = 11.3e-9
+PAPER_FALL_TIME_S = 4.7e-9
+
+
+@dataclass
+class Fig11Result:
+    """Transient waveforms and the paper's figures of merit.
+
+    Attributes
+    ----------
+    bench:
+        The lattice circuit that was simulated.
+    sequence:
+        The input stimulus.
+    transient:
+        Raw transient result.
+    levels:
+        Low/high output levels observed.
+    rise_time_s / fall_time_s:
+        First 10-90 % rise and 90-10 % fall durations of the output.
+    samples:
+        Per-step settled output voltage, expected logic level and pass/fail.
+    """
+
+    bench: LatticeCircuit
+    sequence: InputSequence
+    transient: TransientResult
+    levels: LogicLevels
+    rise_time_s: float
+    fall_time_s: float
+    samples: List[Tuple[Dict[str, bool], float, bool, bool]]
+
+    @property
+    def zero_state_output_v(self) -> float:
+        """The settled logic-low output voltage (paper: ~0.22 V)."""
+        return self.levels.low_v
+
+    @property
+    def functionally_correct(self) -> bool:
+        """True when every settled sample matches the expected logic level."""
+        return all(ok for _, _, _, ok in self.samples)
+
+    def report(self) -> str:
+        table = Table(
+            ["quantity", "this model", "paper"],
+            title="Fig. 11 — XOR3 lattice transient (inverse of XOR3 at the output)",
+        )
+        table.add_row(["zero-state output", f"{self.zero_state_output_v:.3f} V", f"{PAPER_ZERO_STATE_V:.2f} V"])
+        table.add_row(["one-state output", f"{self.levels.high_v:.3f} V", "~1.2 V"])
+        table.add_row(["rise time (10-90 %)", format_engineering(self.rise_time_s, "s"), "11.3 ns"])
+        table.add_row(["fall time (90-10 %)", format_engineering(self.fall_time_s, "s"), "4.7 ns"])
+        table.add_row(["functionally correct", "yes" if self.functionally_correct else "NO", "yes"])
+
+        detail = Table(["a", "b", "c", "output [V]", "expected level", "ok"], title="Settled output per input vector")
+        for assignment, voltage, expect_high, ok in self.samples:
+            detail.add_row(
+                [
+                    int(assignment["a"]),
+                    int(assignment["b"]),
+                    int(assignment["c"]),
+                    f"{voltage:.3f}",
+                    "high" if expect_high else "low",
+                    "yes" if ok else "NO",
+                ]
+            )
+        return table.render() + "\n\n" + detail.render()
+
+
+def run_fig11(
+    lattice: Optional[Lattice] = None,
+    model: Optional[FourTerminalSwitchModel] = None,
+    supply_v: float = 1.2,
+    pullup_ohm: float = 500e3,
+    step_duration_s: float = 100e-9,
+    timestep_s: float = 1e-9,
+    gray_order: bool = False,
+) -> Fig11Result:
+    """Run the Fig. 11 transient experiment.
+
+    Parameters
+    ----------
+    lattice:
+        The pull-down lattice (defaults to the 3x3 XOR3 realization).
+    model:
+        Switch model (defaults to the cached square/HfO2 extraction).
+    supply_v / pullup_ohm:
+        Circuit constants (paper defaults: 1.2 V, 500 kOhm).
+    step_duration_s / timestep_s:
+        Stimulus step length and transient timestep.
+    gray_order:
+        Drive the inputs in Gray-code order instead of counting order.
+    """
+    if lattice is None:
+        lattice = xor3_lattice_3x3()
+    if model is None:
+        model = default_switch_model()
+
+    variables = lattice.variables()
+    sequence = InputSequence.exhaustive(
+        variables, step_duration_s=step_duration_s, high_level_v=supply_v, gray=gray_order
+    )
+    bench = build_lattice_circuit(
+        lattice,
+        model=model,
+        input_sequence=sequence,
+        supply_v=supply_v,
+        pullup_ohm=pullup_ohm,
+    )
+    transient = transient_analysis(bench.circuit, sequence.total_duration_s, timestep_s)
+
+    vout = transient.voltage(bench.output_node)
+    levels = steady_state_levels(transient.time_s, vout)
+    rises, falls = edge_times(transient.time_s, vout, levels)
+
+    threshold = supply_v / 2.0
+    samples: List[Tuple[Dict[str, bool], float, bool, bool]] = []
+    for step in range(len(sequence.vectors)):
+        assignment = sequence.assignment_at_step(step)
+        voltage = transient.sample_voltage(bench.output_node, sequence.sample_window(step))
+        expect_high = not evaluate_lattice(lattice, assignment)
+        ok = (voltage > threshold) == expect_high
+        samples.append((assignment, voltage, expect_high, ok))
+
+    return Fig11Result(
+        bench=bench,
+        sequence=sequence,
+        transient=transient,
+        levels=levels,
+        rise_time_s=rises[0] if rises else float("nan"),
+        fall_time_s=falls[0] if falls else float("nan"),
+        samples=samples,
+    )

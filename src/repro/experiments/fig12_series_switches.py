@@ -1,0 +1,142 @@
+"""Fig. 12 — drive capability of four-terminal switches in series.
+
+Two measurements on chains of 1..21 switches with all gates ON:
+
+* Fig. 12a — current through the chain at a constant 1.2 V supply;
+* Fig. 12b — supply voltage required for a constant target current.
+
+The paper takes the constant-current target as "the value for two switches at
+1.2 V" (5.5 uA on their model); the experiment follows that *definition* and
+additionally records the value in the paper's units so both can be compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.reporting import Table, format_engineering
+from repro.circuits.series_chain import (
+    build_series_chain,
+    current_versus_chain_length,
+    voltage_versus_chain_length,
+)
+from repro.circuits.sizing import default_switch_model
+from repro.spice.elements.switch4t import FourTerminalSwitchModel
+
+#: Chain lengths reported in Fig. 12 (1 to 21 switches, odd counts).
+DEFAULT_LENGTHS = tuple(range(1, 22, 2))
+
+#: Values the paper reports, for side-by-side comparison in reports.
+PAPER_CURRENT_1_SWITCH_A = 11.12e-6
+PAPER_CURRENT_21_SWITCHES_A = 0.52e-6
+PAPER_TARGET_CURRENT_A = 5.5e-6
+PAPER_VOLTAGE_21_SWITCHES_V = 2.5
+
+
+@dataclass
+class Fig12Result:
+    """Series-switch drive study results.
+
+    Attributes
+    ----------
+    lengths:
+        The chain lengths simulated.
+    currents_a:
+        Fig. 12a — chain current at the constant supply voltage, per length.
+    target_current_a:
+        The constant-current target used for Fig. 12b (the current of the
+        two-switch chain at the nominal supply, per the paper's definition).
+    voltages_v:
+        Fig. 12b — supply voltage needed for the target current, per length.
+    supply_v:
+        The nominal supply of the constant-voltage test (1.2 V).
+    """
+
+    lengths: List[int]
+    currents_a: Dict[int, float]
+    target_current_a: float
+    voltages_v: Dict[int, float]
+    supply_v: float
+
+    def current_ratio(self) -> float:
+        """I(1 switch) / I(longest chain) — the paper's ~21x decrease."""
+        first = self.currents_a[self.lengths[0]]
+        last = self.currents_a[self.lengths[-1]]
+        return first / last if last > 0 else float("inf")
+
+    def voltage_growth(self) -> float:
+        """V(longest chain) / V(shortest chain) of the constant-current test."""
+        first = self.voltages_v[self.lengths[0]]
+        last = self.voltages_v[self.lengths[-1]]
+        return last / first if first > 0 else float("inf")
+
+    def is_sublinear_voltage(self) -> bool:
+        """True when the required voltage grows slower than the chain length.
+
+        This is the paper's headline observation: the supply voltage required
+        does not scale linearly with the number of series switches, so large
+        lattices remain drivable.
+        """
+        n_ratio = self.lengths[-1] / self.lengths[0]
+        return self.voltage_growth() < n_ratio
+
+    def report(self) -> str:
+        table = Table(
+            ["switches in series", f"I @ {self.supply_v:g} V", "V for constant current"],
+            title=(
+                "Fig. 12 — series-switch drive study "
+                f"(constant-current target {format_engineering(self.target_current_a, 'A')})"
+            ),
+        )
+        for length in self.lengths:
+            table.add_row(
+                [
+                    length,
+                    format_engineering(self.currents_a[length], "A"),
+                    f"{self.voltages_v[length]:.3f} V",
+                ]
+            )
+        footer = (
+            f"I(1)/I({self.lengths[-1]}) = {self.current_ratio():.1f}  "
+            f"(paper: {PAPER_CURRENT_1_SWITCH_A / PAPER_CURRENT_21_SWITCHES_A:.1f});  "
+            f"V({self.lengths[-1]})/V({self.lengths[0]}) = {self.voltage_growth():.2f}, "
+            f"sub-linear in N: {'yes' if self.is_sublinear_voltage() else 'NO'}"
+        )
+        return table.render() + "\n" + footer
+
+
+def run_fig12(
+    lengths: Sequence[int] = DEFAULT_LENGTHS,
+    supply_v: float = 1.2,
+    model: Optional[FourTerminalSwitchModel] = None,
+    target_current_a: Optional[float] = None,
+    max_voltage_v: float = 6.0,
+) -> Fig12Result:
+    """Run both Fig. 12 measurements.
+
+    ``target_current_a`` defaults to the paper's definition — the current of
+    the two-switch chain at the nominal supply voltage.
+    """
+    lengths = sorted(set(int(n) for n in lengths))
+    if not lengths or lengths[0] < 1:
+        raise ValueError("chain lengths must be positive integers")
+    if model is None:
+        model = default_switch_model()
+
+    currents = current_versus_chain_length(lengths, drive_v=supply_v, gate_v=supply_v, model=model)
+
+    if target_current_a is None:
+        two_switch = build_series_chain(2, model=model)
+        target_current_a = two_switch.chain_current(supply_v, supply_v)
+
+    voltages = voltage_versus_chain_length(
+        lengths, target_current_a, model=model, max_voltage_v=max_voltage_v
+    )
+    return Fig12Result(
+        lengths=list(lengths),
+        currents_a=dict(currents),
+        target_current_a=float(target_current_a),
+        voltages_v=dict(voltages),
+        supply_v=supply_v,
+    )

@@ -1,0 +1,142 @@
+"""Figs. 5-7 — I-V characteristics of the three devices (DSSS case).
+
+One run covers a single device/gate-material combination and produces the
+three sweep set-ups of Section III-B plus the scalar figures of merit the
+paper quotes (threshold voltage and on/off ratio).  ``run_all_device_iv``
+covers the six combinations and reproduces the Section III-B comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.iv_metrics import IVSummary, summarize_transfer_curve
+from repro.analysis.reporting import Table, format_engineering
+from repro.devices.specs import DeviceSpec, device_spec
+from repro.devices.terminals import DSSS, Terminal, TerminalConfiguration
+from repro.tcad.simulator import DeviceSimulator, SweepResult
+
+#: The Vth / on-off values quoted in Section III-B, for side-by-side reports.
+PAPER_REPORTED: Dict[Tuple[str, str], Dict[str, float]] = {
+    ("square", "HfO2"): {"vth_v": 0.16, "on_off": 1e6},
+    ("square", "SiO2"): {"vth_v": 1.36, "on_off": 1e5},
+    ("cross", "HfO2"): {"vth_v": 0.27, "on_off": 1e6},
+    ("cross", "SiO2"): {"vth_v": 1.76, "on_off": 1e4},
+    ("junctionless", "HfO2"): {"vth_v": -0.57, "on_off": 1e8},
+    ("junctionless", "SiO2"): {"vth_v": -4.8, "on_off": 1e7},
+}
+
+
+@dataclass
+class DeviceIVResult:
+    """Sweeps and figures of merit of one device/gate-material combination.
+
+    Attributes
+    ----------
+    spec:
+        The simulated device.
+    linear / saturation / output:
+        The three sweep results (Id-Vg @ 10 mV, Id-Vg @ 5 V, Id-Vd @ 5 V).
+    summary:
+        Scalar figures of merit extracted from the curves.
+    analytic_threshold_v:
+        The closed-form threshold of the electrostatic model (for reference).
+    """
+
+    spec: DeviceSpec
+    linear: SweepResult
+    saturation: SweepResult
+    output: SweepResult
+    summary: IVSummary
+    analytic_threshold_v: float
+    on_off_ratio: float
+
+    @property
+    def paper_values(self) -> Optional[Dict[str, float]]:
+        return PAPER_REPORTED.get((self.spec.kind.value, self.spec.gate_dielectric.name))
+
+    def terminal_symmetry(self) -> float:
+        """Source-terminal current spread of the saturation sweep."""
+        return self.saturation.terminal_symmetry()
+
+    def report(self) -> str:
+        paper = self.paper_values or {}
+        rows = [
+            ("threshold (extracted)", f"{self.summary.threshold_v:+.3f} V", f"{paper.get('vth_v', float('nan')):+.2f} V"),
+            ("threshold (analytic)", f"{self.analytic_threshold_v:+.3f} V", ""),
+            ("Ion (Vgs=Vds=5 V)", format_engineering(self.summary.on_current_a, "A"), ""),
+            ("Ion/Ioff", f"{self.on_off_ratio:.2e}", f"{paper.get('on_off', float('nan')):.0e}"),
+            ("source-current spread", f"{self.terminal_symmetry():.3f}", ""),
+        ]
+        table = Table(
+            ["quantity", "this model", "paper"],
+            title=f"Device I-V ({self.spec.name}, DSSS case)",
+        )
+        for row in rows:
+            table.add_row(row)
+        return table.render()
+
+
+def run_device_iv(
+    kind: str,
+    gate_material: str = "HfO2",
+    configuration: TerminalConfiguration = DSSS,
+) -> DeviceIVResult:
+    """Run the three paper sweeps for one device/gate-material combination."""
+    spec = device_spec(kind, gate_material)
+    simulator = DeviceSimulator(spec)
+    linear = simulator.transfer_curve_linear(configuration)
+    saturation = simulator.transfer_curve_saturation(configuration)
+    output = simulator.output_curve(configuration)
+
+    summary = summarize_transfer_curve(
+        linear.voltages,
+        np.abs(linear.drain_current),
+        saturation.voltages,
+        np.abs(saturation.drain_current),
+    )
+    from repro.tcad.electrostatics import threshold_voltage
+
+    return DeviceIVResult(
+        spec=spec,
+        linear=linear,
+        saturation=saturation,
+        output=output,
+        summary=summary,
+        analytic_threshold_v=threshold_voltage(spec),
+        on_off_ratio=simulator.on_off_ratio(configuration),
+    )
+
+
+def run_all_device_iv(gate_materials: Tuple[str, ...] = ("HfO2", "SiO2")) -> Dict[Tuple[str, str], DeviceIVResult]:
+    """Run Figs. 5, 6 and 7 for every device and the requested gate materials."""
+    results: Dict[Tuple[str, str], DeviceIVResult] = {}
+    for kind in ("square", "cross", "junctionless"):
+        for material in gate_materials:
+            results[(kind, material)] = run_device_iv(kind, material)
+    return results
+
+
+def comparison_report(results: Dict[Tuple[str, str], DeviceIVResult]) -> str:
+    """One summary table across all device/material combinations."""
+    table = Table(
+        ["device", "gate", "Vth model [V]", "Vth paper [V]", "Ion [A]", "Ion/Ioff model", "Ion/Ioff paper"],
+        title="Figs. 5-7 — device comparison (DSSS case)",
+    )
+    for (kind, material), result in sorted(results.items()):
+        paper = PAPER_REPORTED.get((kind, material), {})
+        table.add_row(
+            [
+                kind,
+                material,
+                f"{result.summary.threshold_v:+.3f}",
+                f"{paper.get('vth_v', float('nan')):+.2f}",
+                format_engineering(result.summary.on_current_a, "A"),
+                f"{result.on_off_ratio:.1e}",
+                f"{paper.get('on_off', float('nan')):.0e}",
+            ]
+        )
+    return table.render()

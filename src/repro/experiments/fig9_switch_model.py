@@ -1,0 +1,106 @@
+"""Fig. 9 — the six-MOSFET model of the square-shaped four-terminal switch."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.analysis.reporting import Table, format_engineering
+from repro.circuits.sizing import switch_model_from_spec
+from repro.devices.specs import device_spec
+from repro.spice.dcop import dc_operating_point
+from repro.spice.elements.sources import VoltageSource
+from repro.spice.elements.switch4t import (
+    FourTerminalSwitchModel,
+    TYPE_A_PAIRS,
+    TYPE_B_PAIRS,
+    add_four_terminal_switch,
+)
+from repro.spice.netlist import Circuit, GROUND
+
+
+@dataclass
+class Fig9Result:
+    """The switch model and a pairwise conduction check.
+
+    Attributes
+    ----------
+    model:
+        The six-MOSFET model built from the extracted parameters.
+    pair_currents_on / pair_currents_off:
+        Current driven through each terminal pair with the gate at the supply
+        voltage and at 0 V, with the rest of the terminals floating.
+    """
+
+    model: FourTerminalSwitchModel
+    pair_currents_on: Dict[Tuple[str, str], float]
+    pair_currents_off: Dict[Tuple[str, str], float]
+    bias_v: float
+
+    def symmetry_spread(self) -> float:
+        """Relative spread of the on-state pair currents (0 = perfectly symmetric)."""
+        values = list(self.pair_currents_on.values())
+        mean = sum(values) / len(values)
+        if mean == 0.0:
+            return 0.0
+        return (max(values) - min(values)) / mean
+
+    def worst_on_off_ratio(self) -> float:
+        """Smallest on/off current ratio across the six terminal pairs."""
+        ratios = []
+        for pair, on in self.pair_currents_on.items():
+            off = self.pair_currents_off[pair]
+            ratios.append(on / off if off > 0 else float("inf"))
+        return min(ratios)
+
+    def report(self) -> str:
+        table = Table(
+            ["terminal pair", "type", "I(on) @ %.1f V" % self.bias_v, "I(off)"],
+            title="Fig. 9 — six-MOSFET switch model, per-pair conduction",
+        )
+        for pair in list(TYPE_A_PAIRS) + list(TYPE_B_PAIRS):
+            kind = "A" if pair in TYPE_A_PAIRS else "B"
+            table.add_row(
+                [
+                    f"{pair[0]}-{pair[1]}",
+                    kind,
+                    format_engineering(self.pair_currents_on[pair], "A"),
+                    format_engineering(self.pair_currents_off[pair], "A"),
+                ]
+            )
+        header = (
+            f"model: Kp = {self.model.type_a.kp_a_per_v2:.3e} A/V^2, "
+            f"Vth = {self.model.type_a.vth_v:.3f} V, lambda = {self.model.type_a.lambda_per_v:.3f} 1/V\n"
+            f"Type A: W/L = {self.model.type_a.width_m * 1e6:.2f}/{self.model.type_a.length_m * 1e6:.2f} um, "
+            f"Type B: W/L = {self.model.type_b.width_m * 1e6:.2f}/{self.model.type_b.length_m * 1e6:.2f} um"
+        )
+        return header + "\n" + table.render()
+
+
+def _pair_current(
+    model: FourTerminalSwitchModel, pair: Tuple[str, str], gate_v: float, bias_v: float
+) -> float:
+    """DC current through one terminal pair with the other two terminals floating."""
+    circuit = Circuit(f"pair_{pair[0]}{pair[1]}")
+    VoltageSource(circuit, "v_bias", "drive", GROUND, bias_v)
+    VoltageSource(circuit, "v_gate", "gate", GROUND, gate_v)
+    nodes = {name: f"t_{name.lower()}" for name in ("T1", "T2", "T3", "T4")}
+    nodes[pair[0]] = "drive"
+    nodes[pair[1]] = GROUND
+    add_four_terminal_switch(circuit, "dut", nodes, "gate", model, add_terminal_capacitors=False)
+    point = dc_operating_point(circuit)
+    return abs(point.source_current("v_bias"))
+
+
+def run_fig9(
+    gate_material: str = "HfO2",
+    supply_v: float = 1.2,
+    model: FourTerminalSwitchModel = None,
+) -> Fig9Result:
+    """Build the switch model and measure every terminal pair's conduction."""
+    if model is None:
+        model = switch_model_from_spec(device_spec("square", gate_material))
+    pairs = list(TYPE_A_PAIRS) + list(TYPE_B_PAIRS)
+    on = {pair: _pair_current(model, pair, gate_v=supply_v, bias_v=supply_v) for pair in pairs}
+    off = {pair: _pair_current(model, pair, gate_v=0.0, bias_v=supply_v) for pair in pairs}
+    return Fig9Result(model=model, pair_currents_on=on, pair_currents_off=off, bias_v=supply_v)

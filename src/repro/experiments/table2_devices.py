@@ -1,0 +1,52 @@
+"""Table II — structural features of the three four-terminal devices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.reporting import Table
+from repro.devices.materials import HFO2, SIO2
+from repro.devices.specs import DeviceSpec, TABLE_II_SPECS
+from repro.tcad.electrostatics import MOSElectrostatics
+
+
+@dataclass
+class Table2Result:
+    """The device inventory plus derived electrostatics.
+
+    Attributes
+    ----------
+    rows:
+        One dict per device with the Table II fields.
+    electrostatics:
+        Derived quantities (Cox, Vth) per device/gate-material combination,
+        keyed by ``"<kind>/<material>"``.
+    """
+
+    rows: List[Dict[str, str]]
+    electrostatics: Dict[str, MOSElectrostatics]
+
+    def report(self) -> str:
+        columns = list(self.rows[0].keys())
+        table = Table(columns, title="Table II — structural features of the four-terminal devices")
+        for row in self.rows:
+            table.add_row([row[c] for c in columns])
+        derived = Table(
+            ["device/gate", "Cox [mF/m^2]", "Vth [V]"],
+            title="Derived electrostatics (model inputs for Figs. 5-7)",
+        )
+        for name, es in sorted(self.electrostatics.items()):
+            derived.add_row([name, f"{es.oxide_capacitance_f_per_m2 * 1e3:.3f}", f"{es.threshold_v:+.3f}"])
+        return table.render() + "\n\n" + derived.render()
+
+
+def run_table2() -> Table2Result:
+    """Collect the Table II rows and the derived electrostatics."""
+    rows = [spec.table_row() for spec in TABLE_II_SPECS]
+    electrostatics = {}
+    for spec in TABLE_II_SPECS:
+        for dielectric in (HFO2, SIO2):
+            variant = spec.with_gate_dielectric(dielectric)
+            electrostatics[variant.name] = MOSElectrostatics.from_spec(variant)
+    return Table2Result(rows=rows, electrostatics=electrostatics)

@@ -1,0 +1,31 @@
+"""Parameter extraction: fitting level-1 MOSFET equations to device data.
+
+Section IV of the paper fits the TCAD I-V data of the square-shaped device to
+the standard level-1 MOSFET equations with the MATLAB Curve Fitting Toolbox,
+extracting ``Kp``, ``Vth`` and ``lambda`` for the SPICE model.  This package
+performs the same extraction with :func:`scipy.optimize.least_squares`, plus
+the threshold-voltage and on/off-ratio extraction used when reporting the
+TCAD results of Section III.
+"""
+
+from repro.fitting.level1 import Level1Parameters, level1_current, level1_current_array
+from repro.fitting.extraction import FitResult, fit_level1_parameters, fit_output_curve
+from repro.fitting.threshold import (
+    constant_current_threshold,
+    max_gm_threshold,
+    linear_extrapolation_threshold,
+    on_off_ratio,
+)
+
+__all__ = [
+    "Level1Parameters",
+    "level1_current",
+    "level1_current_array",
+    "FitResult",
+    "fit_level1_parameters",
+    "fit_output_curve",
+    "constant_current_threshold",
+    "max_gm_threshold",
+    "linear_extrapolation_threshold",
+    "on_off_ratio",
+]

@@ -1,0 +1,108 @@
+"""Threshold-voltage and on/off-ratio extraction from transfer curves.
+
+Section III-B quotes, for every device/gate-material combination, a threshold
+voltage and an on/off ratio read from the simulated transfer curves.  The
+helpers here implement the three standard extraction methods so the
+benchmarks can report values obtained the same way:
+
+* constant-current threshold — Vgs at which the drain current crosses a
+  fixed criterion current (scaled by W/L when requested);
+* maximum-gm (linear extrapolation at the point of maximum transconductance);
+* simple linear extrapolation from the steepest part of the curve.
+
+``on_off_ratio`` implements the paper's definition: Ion is the drain current
+at ``Vgs = 5 V`` and Ioff at ``Vgs = 0 V``, both with ``Vds = 5 V``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _validate_curve(vgs: np.ndarray, ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    vgs = np.asarray(vgs, dtype=float)
+    ids = np.asarray(ids, dtype=float)
+    if vgs.ndim != 1 or vgs.shape != ids.shape:
+        raise ValueError("vgs and ids must be 1-D arrays of the same length")
+    if len(vgs) < 3:
+        raise ValueError("at least three sweep points are required")
+    if np.any(np.diff(vgs) <= 0.0):
+        raise ValueError("vgs must be strictly increasing")
+    return vgs, ids
+
+
+def constant_current_threshold(
+    vgs: np.ndarray,
+    ids: np.ndarray,
+    criterion_a: float = 1e-7,
+) -> float:
+    """Vgs at which the current first crosses ``criterion_a`` (interpolated).
+
+    Returns ``nan`` when the curve never reaches the criterion, and the first
+    sweep point when the device is already above the criterion at the start
+    (normally-on depletion devices swept from 0 V).
+    """
+    vgs, ids = _validate_curve(vgs, ids)
+    if criterion_a <= 0.0:
+        raise ValueError("the criterion current must be positive")
+    above = ids >= criterion_a
+    if not np.any(above):
+        return float("nan")
+    first = int(np.argmax(above))
+    if first == 0:
+        return float(vgs[0])
+    # Interpolate in log-current for a smooth crossing.
+    i0, i1 = max(ids[first - 1], 1e-30), max(ids[first], 1e-30)
+    v0, v1 = vgs[first - 1], vgs[first]
+    fraction = (np.log10(criterion_a) - np.log10(i0)) / (np.log10(i1) - np.log10(i0))
+    return float(v0 + fraction * (v1 - v0))
+
+
+def max_gm_threshold(vgs: np.ndarray, ids: np.ndarray) -> float:
+    """Threshold by linear extrapolation at the maximum-transconductance point.
+
+    ``Vth = Vgs* - Ids*/gm*`` evaluated where ``gm = dIds/dVgs`` peaks; for a
+    linear-region sweep this is the textbook extraction the paper's TCAD tool
+    reports.
+    """
+    vgs, ids = _validate_curve(vgs, ids)
+    gm = np.gradient(ids, vgs)
+    peak = int(np.argmax(gm))
+    if gm[peak] <= 0.0:
+        return float("nan")
+    return float(vgs[peak] - ids[peak] / gm[peak])
+
+
+def linear_extrapolation_threshold(vgs: np.ndarray, ids: np.ndarray, fraction: float = 0.5) -> float:
+    """Threshold by extrapolating a straight line fitted above ``fraction*max``.
+
+    A robust alternative when the gm curve is noisy: fit the portion of the
+    transfer curve above the given fraction of the maximum current and return
+    its x-axis intercept.
+    """
+    vgs, ids = _validate_curve(vgs, ids)
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("fraction must be in (0, 1)")
+    mask = ids >= fraction * np.max(ids)
+    if np.count_nonzero(mask) < 2:
+        return float("nan")
+    slope, intercept = np.polyfit(vgs[mask], ids[mask], 1)
+    if slope <= 0.0:
+        return float("nan")
+    return float(-intercept / slope)
+
+
+def on_off_ratio(vgs: np.ndarray, ids: np.ndarray, on_vgs: float = 5.0, off_vgs: float = 0.0) -> float:
+    """``Ion/Ioff`` from a saturation transfer curve.
+
+    Ion is the current at ``on_vgs`` and Ioff at ``off_vgs`` (both
+    interpolated); infinite when Ioff is exactly zero.
+    """
+    vgs, ids = _validate_curve(vgs, ids)
+    ion = float(np.interp(on_vgs, vgs, ids))
+    ioff = float(np.interp(off_vgs, vgs, ids))
+    if ioff <= 0.0:
+        return float("inf")
+    return ion / ioff

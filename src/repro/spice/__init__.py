@@ -1,0 +1,52 @@
+"""A small SPICE-style circuit simulator (modified nodal analysis).
+
+Section V of the paper runs SPICE simulations of switching-lattice circuits
+built from the six-MOSFET switch model of Fig. 9.  This package provides the
+simulator those experiments need:
+
+* :mod:`repro.spice.netlist` — circuits, nodes, element registration;
+* :mod:`repro.spice.elements` — resistor, capacitor, independent sources,
+  the level-1 MOSFET, and the four-terminal switch subcircuit of Fig. 9;
+* :mod:`repro.spice.dcop` — Newton-Raphson DC operating point;
+* :mod:`repro.spice.dcsweep` — DC sweeps with solution continuation;
+* :mod:`repro.spice.transient` — backward-Euler / trapezoidal transient
+  analysis with per-step Newton iteration;
+* :mod:`repro.spice.waveforms` — DC, pulse and piecewise-linear stimuli.
+
+The engine is deliberately small (dense MNA matrices, level-1 devices); the
+circuits of the paper — a lattice pull-down network, a pull-up resistor and
+femto-farad load capacitors — are well inside its comfort zone.
+"""
+
+from repro.spice.netlist import Circuit, GROUND
+from repro.spice.waveforms import DC, Pulse, PiecewiseLinear, Waveform
+from repro.spice.elements.resistor import Resistor
+from repro.spice.elements.capacitor import Capacitor
+from repro.spice.elements.sources import VoltageSource, CurrentSource
+from repro.spice.elements.mosfet import MOSFET
+from repro.spice.elements.switch4t import FourTerminalSwitchModel, add_four_terminal_switch
+from repro.spice.dcop import OperatingPoint, dc_operating_point
+from repro.spice.dcsweep import DCSweepResult, dc_sweep
+from repro.spice.transient import TransientResult, transient_analysis
+
+__all__ = [
+    "Circuit",
+    "GROUND",
+    "DC",
+    "Pulse",
+    "PiecewiseLinear",
+    "Waveform",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+    "MOSFET",
+    "FourTerminalSwitchModel",
+    "add_four_terminal_switch",
+    "OperatingPoint",
+    "dc_operating_point",
+    "DCSweepResult",
+    "dc_sweep",
+    "TransientResult",
+    "transient_analysis",
+]

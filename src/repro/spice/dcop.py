@@ -1,0 +1,183 @@
+"""Newton-Raphson DC operating-point analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.spice.netlist import AnalysisState, Circuit
+from repro.spice.elements.sources import VoltageSource
+
+
+@dataclass
+class OperatingPoint:
+    """Converged DC solution of a circuit.
+
+    Attributes
+    ----------
+    circuit:
+        The analysed circuit (kept for node-name lookups).
+    solution:
+        Raw MNA unknown vector (node voltages then branch currents).
+    iterations:
+        Newton iterations used.
+    converged:
+        Whether the iteration met its tolerances.
+    max_residual:
+        Final maximum absolute update (V) across unknowns.
+    """
+
+    circuit: Circuit
+    solution: np.ndarray
+    iterations: int
+    converged: bool
+    max_residual: float
+
+    def voltage(self, node_name: str) -> float:
+        """Voltage of a named node [V]."""
+        index = self.circuit.node_index(node_name)
+        if index < 0:
+            return 0.0
+        return float(self.solution[index])
+
+    def voltages(self) -> Dict[str, float]:
+        """All node voltages by name."""
+        return {name: self.voltage(name) for name in self.circuit.node_names}
+
+    def source_current(self, source: "VoltageSource | str") -> float:
+        """Current through a voltage source [A].
+
+        Positive current flows from the positive terminal through the source
+        to the negative terminal (the usual SPICE convention, so a supply
+        sourcing current reports a negative value).
+        """
+        if isinstance(source, str):
+            source = self.circuit.element(source)
+        if not isinstance(source, VoltageSource):
+            raise TypeError("source_current expects a VoltageSource or its name")
+        return float(self.solution[source.branch_position(self.circuit)])
+
+    def as_state(self) -> AnalysisState:
+        """Wrap the solution in an :class:`AnalysisState` (for element queries)."""
+        return AnalysisState(solution=self.solution.copy())
+
+
+def _newton_loop(
+    circuit: Circuit,
+    solution: np.ndarray,
+    max_iterations: int,
+    tolerance_v: float,
+    gmin: float,
+    damping_v: float,
+    time_s: float,
+):
+    """One Newton-Raphson run at a fixed ``gmin``.
+
+    Returns ``(solution, iterations, converged, max_update)``.
+    """
+    converged = False
+    max_update = float("inf")
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        state = AnalysisState(solution=solution, time_s=time_s, timestep_s=None, gmin=gmin)
+        system = circuit.assemble(state)
+        try:
+            new_solution = np.linalg.solve(system.matrix, system.rhs)
+        except np.linalg.LinAlgError:
+            # Singular matrix: bump gmin an order of magnitude and retry.
+            gmin = max(gmin * 10.0, 1e-12)
+            continue
+
+        update = new_solution - solution
+        max_update = float(np.max(np.abs(update))) if update.size else 0.0
+        # Per-unknown clamp: a runaway node (e.g. a floating terminal hanging
+        # off a cut-off transistor) must not stall the rest of the circuit.
+        update = np.clip(update, -damping_v, damping_v)
+        solution = solution + update
+
+        if max_update < tolerance_v:
+            converged = True
+            break
+    return solution, iteration, converged, max_update
+
+
+def dc_operating_point(
+    circuit: Circuit,
+    initial_guess: Optional[np.ndarray] = None,
+    max_iterations: int = 300,
+    tolerance_v: float = 1e-7,
+    gmin: float = 1e-9,
+    damping_v: float = 0.6,
+    time_s: float = 0.0,
+) -> OperatingPoint:
+    """Solve the DC operating point of ``circuit`` by Newton-Raphson iteration.
+
+    A plain damped Newton iteration is tried first.  If it fails to converge
+    (large lattice circuits occasionally fall into small limit cycles around
+    the cutoff of floating-terminal transistors), the solver falls back to
+    gmin stepping: it re-solves with a strongly increased node-to-ground
+    conductance — which makes the problem almost linear — and then relaxes
+    the extra conductance decade by decade, reusing each solution as the next
+    starting point.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to solve.
+    initial_guess:
+        Optional starting solution (e.g. the previous point of a DC sweep);
+        zeros otherwise.
+    max_iterations / tolerance_v:
+        Newton controls.  Convergence is declared when the largest update of
+        any unknown is below ``tolerance_v``.
+    gmin:
+        Conductance added from every node to ground.
+    damping_v:
+        Maximum per-iteration change of any unknown; larger Newton steps are
+        clamped, which keeps the square-law devices from overshooting.
+    time_s:
+        Time at which time-dependent sources are evaluated (used by the
+        transient analysis to reuse this routine for its initial point).
+    """
+    if circuit.system_size == 0:
+        raise ValueError("the circuit has no unknowns to solve for")
+    solution = (
+        initial_guess.copy() if initial_guess is not None else circuit.initial_solution()
+    )
+    if solution.shape != (circuit.system_size,):
+        raise ValueError(
+            f"initial guess has shape {solution.shape}, expected ({circuit.system_size},)"
+        )
+
+    solution, iterations, converged, max_update = _newton_loop(
+        circuit, solution, max_iterations, tolerance_v, gmin, damping_v, time_s
+    )
+    total_iterations = iterations
+
+    if not converged:
+        # gmin stepping: start almost linear, relax towards the target gmin.
+        # Intermediate stages only provide the starting point of the next
+        # stage; what matters is that the final stage (at the target gmin)
+        # converges.
+        stepped_solution = circuit.initial_solution()
+        stepping_gmins = [1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, gmin]
+        final_ok = False
+        for step_gmin in stepping_gmins:
+            stepped_solution, used, step_ok, max_update = _newton_loop(
+                circuit, stepped_solution, max_iterations, tolerance_v, step_gmin, damping_v, time_s
+            )
+            total_iterations += used
+            final_ok = step_ok
+        if final_ok:
+            solution = stepped_solution
+            converged = True
+
+    return OperatingPoint(
+        circuit=circuit,
+        solution=solution,
+        iterations=total_iterations,
+        converged=converged,
+        max_residual=max_update,
+    )

@@ -1,0 +1,101 @@
+"""DC sweep analysis: repeated operating points with solution continuation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.spice.dcop import OperatingPoint, dc_operating_point
+from repro.spice.elements.sources import CurrentSource, VoltageSource
+from repro.spice.netlist import Circuit
+
+
+@dataclass
+class DCSweepResult:
+    """Result of a DC sweep.
+
+    Attributes
+    ----------
+    circuit:
+        The swept circuit.
+    values:
+        The swept source values.
+    points:
+        The converged :class:`OperatingPoint` of every sweep value.
+    """
+
+    circuit: Circuit
+    values: np.ndarray
+    points: List[OperatingPoint]
+
+    def voltage(self, node_name: str) -> np.ndarray:
+        """Voltage of a node across the sweep [V]."""
+        return np.array([point.voltage(node_name) for point in self.points])
+
+    def source_current(self, source_name: str) -> np.ndarray:
+        """Current through a voltage source across the sweep [A]."""
+        return np.array([point.source_current(source_name) for point in self.points])
+
+    @property
+    def all_converged(self) -> bool:
+        return all(point.converged for point in self.points)
+
+    def find_value_for_voltage(self, node_name: str, target_v: float) -> float:
+        """Swept value at which a node voltage crosses ``target_v`` (interpolated)."""
+        voltages = self.voltage(node_name)
+        return _interpolate_crossing(self.values, voltages, target_v)
+
+    def find_value_for_current(self, source_name: str, target_a: float) -> float:
+        """Swept value at which a source current magnitude crosses ``target_a``."""
+        currents = np.abs(self.source_current(source_name))
+        return _interpolate_crossing(self.values, currents, target_a)
+
+
+def _interpolate_crossing(xs: np.ndarray, ys: np.ndarray, target: float) -> float:
+    """First x at which y crosses target, by linear interpolation (nan if never)."""
+    for i in range(1, len(xs)):
+        y0, y1 = ys[i - 1], ys[i]
+        if (y0 - target) * (y1 - target) <= 0.0 and y0 != y1:
+            fraction = (target - y0) / (y1 - y0)
+            return float(xs[i - 1] + fraction * (xs[i] - xs[i - 1]))
+    return float("nan")
+
+
+def dc_sweep(
+    circuit: Circuit,
+    source: Union[VoltageSource, CurrentSource, str],
+    values: Sequence[float],
+    gmin: float = 1e-12,
+    max_iterations: int = 200,
+) -> DCSweepResult:
+    """Sweep an independent source and solve the operating point at each value.
+
+    Each point starts the Newton iteration from the previous point's solution
+    (continuation), which is both faster and more robust than starting from
+    zero for every value.
+    """
+    if isinstance(source, str):
+        source = circuit.element(source)
+    if not isinstance(source, (VoltageSource, CurrentSource)):
+        raise TypeError("dc_sweep needs a VoltageSource or CurrentSource (or its name)")
+    values_array = np.asarray(list(values), dtype=float)
+    if values_array.size == 0:
+        raise ValueError("at least one sweep value is required")
+
+    points: List[OperatingPoint] = []
+    guess: Optional[np.ndarray] = None
+    original_waveform = source.waveform
+    try:
+        for value in values_array:
+            source.set_level(float(value))
+            point = dc_operating_point(
+                circuit, initial_guess=guess, gmin=gmin, max_iterations=max_iterations
+            )
+            points.append(point)
+            guess = point.solution.copy()
+    finally:
+        source.waveform = original_waveform
+
+    return DCSweepResult(circuit=circuit, values=values_array, points=points)

@@ -1,0 +1,17 @@
+"""Circuit elements of the SPICE-style simulator."""
+
+from repro.spice.elements.resistor import Resistor
+from repro.spice.elements.capacitor import Capacitor
+from repro.spice.elements.sources import VoltageSource, CurrentSource
+from repro.spice.elements.mosfet import MOSFET
+from repro.spice.elements.switch4t import FourTerminalSwitchModel, add_four_terminal_switch
+
+__all__ = [
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+    "MOSFET",
+    "FourTerminalSwitchModel",
+    "add_four_terminal_switch",
+]

@@ -1,0 +1,174 @@
+"""The six-MOSFET four-terminal switch model of Fig. 9.
+
+The square-shaped device has six conduction paths between its four terminals
+(one per terminal pair).  The paper models it with six n-type level-1
+MOSFETs sharing a single gate: four *Type A* transistors for the adjacent
+terminal pairs (effective channel length 0.35 um) and two *Type B*
+transistors for the opposite pairs (0.5 um), all with the electrode width of
+0.7 um.  The model also places a small grounded capacitor on every terminal
+(1 fF in the paper's circuit simulations).
+
+:func:`add_four_terminal_switch` expands the subcircuit into an existing
+:class:`~repro.spice.netlist.Circuit`; :class:`FourTerminalSwitchModel`
+carries the parameter sets so lattice builders can derive them once from the
+fitted TCAD data and reuse them for every switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.fitting.level1 import Level1Parameters
+from repro.spice.elements.capacitor import Capacitor
+from repro.spice.elements.mosfet import MOSFET
+from repro.spice.netlist import Circuit
+
+#: Adjacent terminal pairs (Type A transistors), using paper terminal names.
+TYPE_A_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("T1", "T3"),
+    ("T1", "T4"),
+    ("T2", "T3"),
+    ("T2", "T4"),
+)
+
+#: Opposite terminal pairs (Type B transistors).
+TYPE_B_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("T1", "T2"),
+    ("T3", "T4"),
+)
+
+#: Channel length of the Type A (adjacent-pair) transistors [m].
+TYPE_A_LENGTH_M = 0.35e-6
+
+#: Channel length of the Type B (opposite-pair) transistors [m].
+TYPE_B_LENGTH_M = 0.50e-6
+
+#: Channel width shared by both types (electrode width) [m].
+CHANNEL_WIDTH_M = 0.70e-6
+
+#: Grounded capacitance placed on every terminal in the paper's simulations.
+TERMINAL_CAPACITANCE_F = 1e-15
+
+
+@dataclass(frozen=True)
+class FourTerminalSwitchModel:
+    """Parameter bundle of the six-MOSFET switch subcircuit.
+
+    Attributes
+    ----------
+    type_a / type_b:
+        Level-1 parameter sets of the adjacent-pair and opposite-pair
+        transistors.
+    terminal_capacitance_f:
+        Grounded capacitance added at each terminal node (0 disables it).
+    """
+
+    type_a: Level1Parameters
+    type_b: Level1Parameters
+    terminal_capacitance_f: float = TERMINAL_CAPACITANCE_F
+
+    @classmethod
+    def from_process(
+        cls,
+        kp_a_per_v2: float,
+        vth_v: float,
+        lambda_per_v: float,
+        terminal_capacitance_f: float = TERMINAL_CAPACITANCE_F,
+    ) -> "FourTerminalSwitchModel":
+        """Build the model from process-level ``Kp``/``Vth``/``lambda``.
+
+        The two transistor types share the process parameters and differ only
+        in channel length, exactly as in Section IV of the paper.
+        """
+        type_a = Level1Parameters(
+            kp_a_per_v2=kp_a_per_v2,
+            vth_v=vth_v,
+            lambda_per_v=lambda_per_v,
+            width_m=CHANNEL_WIDTH_M,
+            length_m=TYPE_A_LENGTH_M,
+        )
+        type_b = Level1Parameters(
+            kp_a_per_v2=kp_a_per_v2,
+            vth_v=vth_v,
+            lambda_per_v=lambda_per_v,
+            width_m=CHANNEL_WIDTH_M,
+            length_m=TYPE_B_LENGTH_M,
+        )
+        return cls(type_a=type_a, type_b=type_b, terminal_capacitance_f=terminal_capacitance_f)
+
+    @classmethod
+    def from_fit(cls, fit_parameters: Level1Parameters,
+                 terminal_capacitance_f: float = TERMINAL_CAPACITANCE_F) -> "FourTerminalSwitchModel":
+        """Build the model from a :class:`Level1Parameters` produced by the extraction."""
+        return cls.from_process(
+            kp_a_per_v2=fit_parameters.kp_a_per_v2,
+            vth_v=fit_parameters.vth_v,
+            lambda_per_v=fit_parameters.lambda_per_v,
+            terminal_capacitance_f=terminal_capacitance_f,
+        )
+
+
+def add_four_terminal_switch(
+    circuit: Circuit,
+    name: str,
+    terminal_nodes: Dict[str, str],
+    gate_node: str,
+    model: FourTerminalSwitchModel,
+    add_terminal_capacitors: bool = True,
+) -> Dict[str, MOSFET]:
+    """Expand one four-terminal switch into ``circuit``.
+
+    Parameters
+    ----------
+    circuit:
+        Target circuit.
+    name:
+        Instance name; element names are prefixed with it.
+    terminal_nodes:
+        Mapping from the switch-local terminal names ``"T1".."T4"`` to
+        circuit node names.
+    gate_node:
+        Circuit node driving the common gate (the switch's control input).
+    model:
+        Transistor parameters.
+    add_terminal_capacitors:
+        Whether to add the grounded 1 fF terminal capacitors.  When several
+        switches share a node (as in a lattice), the caller typically adds
+        one capacitor per *node* instead and disables this flag.
+
+    Returns
+    -------
+    dict
+        The six MOSFET elements keyed by ``"T1T3"``-style pair names.
+    """
+    missing = {"T1", "T2", "T3", "T4"} - set(terminal_nodes)
+    if missing:
+        raise ValueError(f"terminal_nodes is missing {sorted(missing)}")
+
+    transistors: Dict[str, MOSFET] = {}
+    for pair_list, parameters, type_name in (
+        (TYPE_A_PAIRS, model.type_a, "a"),
+        (TYPE_B_PAIRS, model.type_b, "b"),
+    ):
+        for terminal_a, terminal_b in pair_list:
+            element_name = f"{name}_m{type_name}_{terminal_a.lower()}{terminal_b.lower()}"
+            transistors[f"{terminal_a}{terminal_b}"] = MOSFET(
+                circuit,
+                element_name,
+                drain=terminal_nodes[terminal_a],
+                gate=gate_node,
+                source=terminal_nodes[terminal_b],
+                parameters=parameters,
+            )
+
+    if add_terminal_capacitors and model.terminal_capacitance_f > 0.0:
+        for terminal, node in sorted(terminal_nodes.items()):
+            Capacitor(
+                circuit,
+                f"{name}_c_{terminal.lower()}",
+                node,
+                "0",
+                model.terminal_capacitance_f,
+            )
+    return transistors

@@ -1,0 +1,171 @@
+"""Transient analysis with backward-Euler or trapezoidal integration.
+
+The analysis starts from a DC operating point at ``t = 0`` (all capacitors
+open) and then marches with a fixed timestep; at every step the nonlinear
+system is re-solved by Newton iteration with the capacitor companion models
+of the selected integration method.  Fixed stepping is entirely adequate for
+the paper's circuits, whose time constants are set by the 500 kOhm pull-up
+and femto-farad load capacitors (tens of nanoseconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.spice.dcop import dc_operating_point
+from repro.spice.elements.capacitor import Capacitor
+from repro.spice.elements.sources import VoltageSource
+from repro.spice.netlist import AnalysisState, Circuit
+
+
+@dataclass
+class TransientResult:
+    """Waveforms produced by a transient analysis.
+
+    Attributes
+    ----------
+    circuit:
+        The analysed circuit.
+    time_s:
+        Time points (including t = 0).
+    solutions:
+        Matrix of MNA solutions, one row per time point.
+    converged:
+        False if any time step failed to converge (the run still completes).
+    """
+
+    circuit: Circuit
+    time_s: np.ndarray
+    solutions: np.ndarray
+    converged: bool
+
+    def voltage(self, node_name: str) -> np.ndarray:
+        """Waveform of a named node [V] (zeros for ground)."""
+        index = self.circuit.node_index(node_name)
+        if index < 0:
+            return np.zeros_like(self.time_s)
+        return self.solutions[:, index]
+
+    def source_current(self, source_name: str) -> np.ndarray:
+        """Current waveform through a voltage source [A]."""
+        source = self.circuit.element(source_name)
+        if not isinstance(source, VoltageSource):
+            raise TypeError("source_current expects the name of a VoltageSource")
+        return self.solutions[:, source.branch_position(self.circuit)]
+
+    def sample_voltage(self, node_name: str, time_s: float) -> float:
+        """Node voltage interpolated at an arbitrary time."""
+        return float(np.interp(time_s, self.time_s, self.voltage(node_name)))
+
+    def final_voltages(self) -> Dict[str, float]:
+        """Node voltages at the final time point."""
+        return {
+            name: float(self.solutions[-1, self.circuit.node_index(name)])
+            for name in self.circuit.node_names
+        }
+
+
+def transient_analysis(
+    circuit: Circuit,
+    stop_time_s: float,
+    timestep_s: float,
+    integration: str = "be",
+    max_newton_iterations: int = 100,
+    tolerance_v: float = 1e-6,
+    gmin: float = 1e-9,
+    use_initial_conditions: bool = False,
+) -> TransientResult:
+    """Run a fixed-step transient analysis.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to simulate.
+    stop_time_s / timestep_s:
+        Simulation span and fixed step.
+    integration:
+        ``"be"`` (backward Euler, default — very robust) or ``"trap"``
+        (trapezoidal, second order).
+    max_newton_iterations / tolerance_v:
+        Per-step Newton controls.
+    gmin:
+        Node-to-ground minimum conductance.
+    use_initial_conditions:
+        When True the analysis starts from all-zero node voltages (plus the
+        capacitor initial conditions) instead of the DC operating point at
+        ``t = 0`` — the equivalent of SPICE's ``UIC``.
+    """
+    if stop_time_s <= 0.0 or timestep_s <= 0.0:
+        raise ValueError("stop time and timestep must be positive")
+    if timestep_s > stop_time_s:
+        raise ValueError("the timestep cannot exceed the stop time")
+    if integration not in ("be", "trap"):
+        raise ValueError("integration must be 'be' or 'trap'")
+
+    capacitors = [element for element in circuit.elements if isinstance(element, Capacitor)]
+    for capacitor in capacitors:
+        capacitor.reset()
+
+    steps = int(round(stop_time_s / timestep_s))
+    times = np.linspace(0.0, steps * timestep_s, steps + 1)
+
+    if use_initial_conditions:
+        current_solution = circuit.initial_solution()
+    else:
+        initial_point = dc_operating_point(circuit, gmin=gmin, time_s=0.0)
+        current_solution = initial_point.solution.copy()
+
+    solutions = np.zeros((steps + 1, circuit.system_size))
+    solutions[0] = current_solution
+    all_converged = True
+
+    previous_solution = current_solution.copy()
+    for step in range(1, steps + 1):
+        time = times[step]
+        solution = current_solution.copy()
+        converged = False
+        for _ in range(max_newton_iterations):
+            state = AnalysisState(
+                solution=solution,
+                time_s=time,
+                timestep_s=timestep_s,
+                previous_solution=previous_solution,
+                integration=integration,
+                gmin=gmin,
+            )
+            system = circuit.assemble(state)
+            new_solution = np.linalg.solve(system.matrix, system.rhs)
+            update = new_solution - solution
+            max_update = float(np.max(np.abs(update))) if update.size else 0.0
+            update = np.clip(update, -1.0, 1.0)
+            solution = solution + update
+            if max_update < tolerance_v:
+                converged = True
+                break
+        if not converged:
+            all_converged = False
+
+        final_state = AnalysisState(
+            solution=solution,
+            time_s=time,
+            timestep_s=timestep_s,
+            previous_solution=previous_solution,
+            integration=integration,
+            gmin=gmin,
+        )
+        for capacitor in capacitors:
+            capacitor.update_history(final_state)
+
+        solutions[step] = solution
+        previous_solution = solution.copy()
+        current_solution = solution
+
+    return TransientResult(
+        circuit=circuit,
+        time_s=times,
+        solutions=solutions,
+        converged=all_converged,
+    )

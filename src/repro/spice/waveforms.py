@@ -1,0 +1,150 @@
+"""Source waveforms: DC, pulse and piecewise-linear stimuli.
+
+These mirror the SPICE ``DC``, ``PULSE`` and ``PWL`` source specifications
+that the paper's transient test bench (Fig. 11) needs to drive the lattice
+inputs through all combinations of the XOR3 inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+
+class Waveform:
+    """Base class of source waveforms: ``value(t)`` returns volts (or amps)."""
+
+    def value(self, time_s: float) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __call__(self, time_s: float) -> float:
+        return self.value(time_s)
+
+
+@dataclass(frozen=True)
+class DC(Waveform):
+    """A constant source value."""
+
+    level: float
+
+    def value(self, time_s: float) -> float:
+        return self.level
+
+
+@dataclass(frozen=True)
+class Pulse(Waveform):
+    """A SPICE-style periodic pulse.
+
+    Attributes
+    ----------
+    initial / pulsed:
+        The two levels.
+    delay_s:
+        Time before the first transition.
+    rise_s / fall_s:
+        Edge durations (must be positive to keep the waveform continuous).
+    width_s:
+        Time spent at the pulsed level.
+    period_s:
+        Repetition period; 0 or ``None`` makes the pulse one-shot.
+    """
+
+    initial: float
+    pulsed: float
+    delay_s: float = 0.0
+    rise_s: float = 1e-12
+    fall_s: float = 1e-12
+    width_s: float = 1e-9
+    period_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rise_s <= 0.0 or self.fall_s <= 0.0:
+            raise ValueError("rise and fall times must be positive")
+        if self.width_s < 0.0:
+            raise ValueError("pulse width cannot be negative")
+
+    def value(self, time_s: float) -> float:
+        t = time_s - self.delay_s
+        if t < 0.0:
+            return self.initial
+        if self.period_s and self.period_s > 0.0:
+            t = t % self.period_s
+        if t < self.rise_s:
+            return self.initial + (self.pulsed - self.initial) * t / self.rise_s
+        t -= self.rise_s
+        if t < self.width_s:
+            return self.pulsed
+        t -= self.width_s
+        if t < self.fall_s:
+            return self.pulsed + (self.initial - self.pulsed) * t / self.fall_s
+        return self.initial
+
+
+@dataclass(frozen=True)
+class PiecewiseLinear(Waveform):
+    """A PWL waveform defined by (time, value) breakpoints.
+
+    Before the first breakpoint the first value holds; after the last
+    breakpoint the last value holds; in between the waveform interpolates
+    linearly.  Breakpoint times must be strictly increasing.
+    """
+
+    points: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 1:
+            raise ValueError("a PWL waveform needs at least one breakpoint")
+        times = [t for t, _ in self.points]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("PWL breakpoint times must be strictly increasing")
+
+    @classmethod
+    def from_pairs(cls, pairs: Sequence[Tuple[float, float]]) -> "PiecewiseLinear":
+        return cls(tuple((float(t), float(v)) for t, v in pairs))
+
+    @classmethod
+    def steps(
+        cls,
+        levels: Sequence[float],
+        step_duration_s: float,
+        transition_s: float = 1e-10,
+        start_time_s: float = 0.0,
+    ) -> "PiecewiseLinear":
+        """A staircase waveform holding each level for ``step_duration_s``.
+
+        Used to drive lattice inputs through a sequence of logic values; the
+        short ``transition_s`` ramp keeps the waveform continuous for the
+        transient integrator.
+        """
+        if step_duration_s <= 0.0:
+            raise ValueError("step duration must be positive")
+        if transition_s <= 0.0 or transition_s >= step_duration_s:
+            raise ValueError("transition time must be positive and shorter than the step")
+        if not levels:
+            raise ValueError("at least one level is required")
+        points: List[Tuple[float, float]] = []
+        time = start_time_s
+        points.append((time, levels[0]))
+        for index, level in enumerate(levels):
+            hold_end = start_time_s + (index + 1) * step_duration_s
+            points.append((hold_end - transition_s, level))
+            if index + 1 < len(levels):
+                points.append((hold_end, levels[index + 1]))
+        deduped = [points[0]]
+        for t, v in points[1:]:
+            if t > deduped[-1][0]:
+                deduped.append((t, v))
+        return cls(tuple(deduped))
+
+    def value(self, time_s: float) -> float:
+        points = self.points
+        if time_s <= points[0][0]:
+            return points[0][1]
+        if time_s >= points[-1][0]:
+            return points[-1][1]
+        for (t0, v0), (t1, v1) in zip(points, points[1:]):
+            if t0 <= time_s <= t1:
+                if t1 == t0:
+                    return v1
+                return v0 + (v1 - v0) * (time_s - t0) / (t1 - t0)
+        return points[-1][1]

@@ -1,0 +1,62 @@
+"""TCAD-substitute device simulator.
+
+The paper characterizes the four-terminal switch candidates with commercial
+3-D TCAD simulations.  That tool chain is not available here, so this
+subpackage provides a physics-based substitute that reproduces the
+*observables* the paper extracts from TCAD:
+
+* terminal I-V curves for the three sweep set-ups of Section III-B
+  (Id-Vg at Vds = 10 mV, Id-Vg at Vds = 5 V, Id-Vd at Vgs = 5 V);
+* threshold voltages and on/off ratios for each device/gate-material
+  combination (square, cross, junctionless x SiO2, HfO2);
+* current-density vector profiles over the device footprint (Fig. 8).
+
+The model combines textbook MOS electrostatics (flat-band voltage, body
+effect, charge-sheet surface potential, depletion-mode threshold for the
+junctionless body) computed from the Table II material/doping data, a
+square-law channel model with sub-threshold conduction for each of the six
+terminal-pair channels, and a nodal Newton solver for operating conditions
+with floating terminals.  Device-level calibration constants (effective
+channel mobility, junction leakage floor) are documented in
+:mod:`repro.tcad.calibration`.
+"""
+
+from repro.tcad.electrostatics import (
+    MOSElectrostatics,
+    body_effect_coefficient,
+    flat_band_voltage,
+    threshold_voltage,
+    subthreshold_swing,
+)
+from repro.tcad.calibration import DeviceCalibration, default_calibration
+from repro.tcad.channel import ChannelModel, ChannelParameters
+from repro.tcad.network import TerminalNetwork, NetworkSolution
+from repro.tcad.simulator import DeviceSimulator, IVCurve, SweepResult
+from repro.tcad.sweeps import SweepSetup, PAPER_SWEEP_SETUPS
+from repro.tcad.mesh import RectilinearMesh
+from repro.tcad.field import CurrentDensityField, solve_current_density
+from repro.tcad.poisson1d import Poisson1DSolver, Poisson1DResult
+
+__all__ = [
+    "MOSElectrostatics",
+    "body_effect_coefficient",
+    "flat_band_voltage",
+    "threshold_voltage",
+    "subthreshold_swing",
+    "DeviceCalibration",
+    "default_calibration",
+    "ChannelModel",
+    "ChannelParameters",
+    "TerminalNetwork",
+    "NetworkSolution",
+    "DeviceSimulator",
+    "IVCurve",
+    "SweepResult",
+    "SweepSetup",
+    "PAPER_SWEEP_SETUPS",
+    "RectilinearMesh",
+    "CurrentDensityField",
+    "solve_current_density",
+    "Poisson1DSolver",
+    "Poisson1DResult",
+]

@@ -1,0 +1,191 @@
+"""Per-terminal-pair channel model of the four-terminal device.
+
+Each of the six terminal pairs of the device forms a gate-controlled channel.
+Above threshold the channel follows the square-law (level-1) MOSFET relation
+with channel-length modulation; below threshold it conducts the exponential
+diffusion current with the device's sub-threshold swing; a constant leakage
+floor represents junction/substrate leakage.  The channel is symmetric: for a
+negative terminal-pair voltage the roles of source and drain swap, which is
+essential for lattice operation where current may flow through a switch in
+either direction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro import constants
+from repro.devices.specs import DeviceSpec
+from repro.devices.terminals import Terminal
+from repro.tcad.calibration import DeviceCalibration, default_calibration
+from repro.tcad.electrostatics import ideality_factor, threshold_voltage
+
+
+@dataclass(frozen=True)
+class ChannelParameters:
+    """Electrical parameters of one terminal-pair channel.
+
+    Attributes
+    ----------
+    width_m / length_m:
+        Effective channel geometry of the pair.
+    threshold_v:
+        Threshold voltage (negative for the depletion-mode device).
+    transconductance_a_per_v2:
+        ``Kp * W / L`` with ``Kp = mu_eff * Cox``.
+    ideality:
+        Sub-threshold ideality factor ``n``.
+    lambda_per_v:
+        Channel-length modulation.
+    leakage_a:
+        Off-state floor current.
+    """
+
+    width_m: float
+    length_m: float
+    threshold_v: float
+    transconductance_a_per_v2: float
+    ideality: float
+    lambda_per_v: float
+    leakage_a: float
+
+    @property
+    def aspect_ratio(self) -> float:
+        return self.width_m / self.length_m
+
+
+class ChannelModel:
+    """Current model of the channel between two terminals of one device.
+
+    Parameters
+    ----------
+    spec:
+        The device description (geometry, doping, gate material).
+    terminal_a, terminal_b:
+        The two terminals the channel connects.
+    calibration:
+        Device-kind calibration constants; defaults to
+        :func:`repro.tcad.calibration.default_calibration`.
+    temperature_k:
+        Lattice temperature.
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        terminal_a: Terminal,
+        terminal_b: Terminal,
+        calibration: DeviceCalibration = None,
+        temperature_k: float = constants.ROOM_TEMPERATURE,
+    ):
+        if calibration is None:
+            calibration = default_calibration(spec)
+        self._spec = spec
+        self._terminals = (terminal_a, terminal_b)
+        self._calibration = calibration
+        self._temperature_k = temperature_k
+
+        width = spec.geometry.channel_width(terminal_a, terminal_b)
+        length = spec.geometry.channel_length(terminal_a, terminal_b)
+        vth = threshold_voltage(spec, channel_width_m=width, temperature_k=temperature_k)
+        kp = calibration.effective_mobility_m2 * spec.oxide_capacitance_per_area
+        self._parameters = ChannelParameters(
+            width_m=width,
+            length_m=length,
+            threshold_v=vth,
+            transconductance_a_per_v2=kp * width / length,
+            ideality=ideality_factor(spec, temperature_k),
+            lambda_per_v=calibration.channel_length_modulation,
+            leakage_a=calibration.leakage_floor_a,
+        )
+
+    @property
+    def spec(self) -> DeviceSpec:
+        return self._spec
+
+    @property
+    def terminals(self) -> tuple:
+        return self._terminals
+
+    @property
+    def parameters(self) -> ChannelParameters:
+        return self._parameters
+
+    # ------------------------------------------------------------------ #
+    # current model
+    # ------------------------------------------------------------------ #
+
+    def current(self, v_gate: float, v_a: float, v_b: float) -> float:
+        """Current flowing from terminal ``a`` into terminal ``b`` [A].
+
+        The sign convention is positive when conventional current enters the
+        channel at terminal ``a`` (i.e. ``a`` is the drain).  The model is
+        symmetric: ``current(vg, va, vb) == -current(vg, vb, va)``.
+        """
+        if v_a >= v_b:
+            return self._forward_current(v_gate - v_b, v_a - v_b)
+        return -self._forward_current(v_gate - v_a, v_b - v_a)
+
+    def _forward_current(self, vgs: float, vds: float) -> float:
+        """Drain current for a non-negative drain-source voltage."""
+        if vds < 0.0:
+            raise ValueError("forward current expects vds >= 0")
+        if vds == 0.0:
+            return 0.0
+        p = self._parameters
+        vt = constants.thermal_voltage(self._temperature_k)
+        overdrive = vgs - p.threshold_v
+
+        if overdrive <= 0.0:
+            # Sub-threshold diffusion current with the device's swing, plus
+            # the leakage floor so the off-state never drops to exactly zero.
+            subthreshold = (
+                p.transconductance_a_per_v2
+                * (p.ideality - 1.0 if p.ideality > 1.0 else 0.5)
+                * vt**2
+                * math.exp(overdrive / (p.ideality * vt))
+                * (1.0 - math.exp(-vds / vt))
+            )
+            return subthreshold + p.leakage_a * (1.0 - math.exp(-vds / vt))
+
+        if vds <= overdrive:
+            current = (
+                p.transconductance_a_per_v2
+                * (overdrive * vds - 0.5 * vds * vds)
+                * (1.0 + p.lambda_per_v * vds)
+            )
+        else:
+            current = (
+                0.5
+                * p.transconductance_a_per_v2
+                * overdrive
+                * overdrive
+                * (1.0 + p.lambda_per_v * vds)
+            )
+        current += p.leakage_a * (1.0 - math.exp(-vds / vt))
+
+        # First-order series-resistance correction of the electrode extensions.
+        r_series = self._calibration.series_resistance_ohm
+        if r_series > 0.0 and current > 0.0:
+            current = current / (1.0 + current * r_series / max(vds, 1e-12))
+        return current
+
+    def conductance(self, v_gate: float, v_a: float, v_b: float, delta: float = 1e-6) -> float:
+        """Numerical small-signal conductance dI/d(v_a - v_b) [S].
+
+        Used by the floating-terminal Newton solver.  Central difference with
+        a small voltage perturbation; always at least a tiny positive value so
+        the Jacobian never becomes singular.
+        """
+        plus = self.current(v_gate, v_a + delta, v_b)
+        minus = self.current(v_gate, v_a - delta, v_b)
+        g = (plus - minus) / (2.0 * delta)
+        return max(g, 1e-15)
+
+    def on_resistance(self, v_gate: float, v_bias: float = 0.05) -> float:
+        """Small-signal on-resistance [ohm] at a small drain bias."""
+        current = self.current(v_gate, v_bias, 0.0)
+        if current <= 0.0:
+            return float("inf")
+        return v_bias / current

@@ -1,0 +1,246 @@
+"""MOS electrostatics of the four-terminal devices.
+
+Threshold voltages of the enhancement devices follow the standard long-channel
+MOS relation
+
+``Vth = V_FB + 2*phi_F + sqrt(2*q*eps_Si*N_A*2*phi_F) / Cox + dVth_narrow``
+
+where the last term is the narrow-width correction that matters for the
+cross-shaped gate (its 200 nm arms add fringing depletion charge that the
+gate must support, raising Vth — exactly the square-vs-cross Vth shift the
+paper reports).  The depletion-mode junctionless device instead turns *off*
+when the gate depletes its thin n-type body, giving the negative threshold
+
+``Vth = V_FB - q*N_D*t_body/Cox - q*N_D*t_body^2 / (2*eps_Si)``
+
+Both expressions react to the gate dielectric through ``Cox``, which is what
+moves Vth from ~0.16 V (HfO2) to ~1.36 V (SiO2) on the square device.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from scipy.optimize import brentq
+
+from repro import constants
+from repro.devices.specs import DeviceSpec
+from repro.devices.terminals import Terminal
+
+
+#: Gate work-function difference to p-type silicon [V] used for the
+#: enhancement devices.  The value corresponds to a mid-gap-ish metal gate /
+#: n+ poly stack and is chosen so the square/HfO2 device lands at the
+#: paper's 0.16 V threshold; see DESIGN.md (fidelity notes).
+ENHANCEMENT_GATE_WORKFUNCTION_DIFFERENCE_V = -0.90
+
+#: Gate work-function difference for the junctionless device's all-around
+#: gate over its n-type body [V].
+JUNCTIONLESS_GATE_WORKFUNCTION_DIFFERENCE_V = -0.10
+
+#: Scale factor of the narrow-width threshold correction.  The textbook
+#: fringing-box estimate overestimates the shift for the cross gate; 0.6
+#: reproduces the square-to-cross Vth increase reported in the paper.
+NARROW_WIDTH_FACTOR = 0.6
+
+
+def flat_band_voltage(spec: DeviceSpec) -> float:
+    """Flat-band voltage of the gate stack [V].
+
+    Interface/fixed oxide charge is neglected (the paper's devices are
+    idealized TCAD structures), so the flat-band voltage equals the gate
+    work-function difference.
+    """
+    if spec.is_enhancement:
+        return ENHANCEMENT_GATE_WORKFUNCTION_DIFFERENCE_V
+    return JUNCTIONLESS_GATE_WORKFUNCTION_DIFFERENCE_V
+
+
+def bulk_potential(spec: DeviceSpec, temperature_k: float = constants.ROOM_TEMPERATURE) -> float:
+    """Bulk Fermi potential ``phi_F`` of the conduction body [V]."""
+    return spec.substrate_material.bulk_potential(spec.body_doping_cm3, temperature_k)
+
+
+def body_effect_coefficient(spec: DeviceSpec) -> float:
+    """Body-effect (back-gate) coefficient ``gamma = sqrt(2 q eps N) / Cox``."""
+    doping_m3 = spec.body_doping_cm3 * 1.0e6
+    eps_si = spec.substrate_material.permittivity
+    cox = spec.oxide_capacitance_per_area
+    return math.sqrt(2.0 * constants.ELEMENTARY_CHARGE * eps_si * doping_m3) / cox
+
+
+def depletion_width_max(spec: DeviceSpec, temperature_k: float = constants.ROOM_TEMPERATURE) -> float:
+    """Maximum depletion width under the gate at strong inversion [m]."""
+    phi_f = bulk_potential(spec, temperature_k)
+    doping_m3 = spec.body_doping_cm3 * 1.0e6
+    eps_si = spec.substrate_material.permittivity
+    return math.sqrt(4.0 * eps_si * phi_f / (constants.ELEMENTARY_CHARGE * doping_m3))
+
+
+def narrow_width_correction(
+    spec: DeviceSpec,
+    channel_width_m: float,
+    temperature_k: float = constants.ROOM_TEMPERATURE,
+) -> float:
+    """Narrow-width threshold increase [V] for a channel of the given width.
+
+    Uses the classic quarter-cylinder fringing-depletion estimate
+    ``dVth = factor * pi * q * N_A * x_dmax^2 / (2 * Cox * W)``; negligible
+    for the 700 nm wide square-gate channels, significant for the 200 nm
+    cross-gate arms.
+    """
+    if spec.is_depletion:
+        return 0.0
+    x_dmax = depletion_width_max(spec, temperature_k)
+    doping_m3 = spec.body_doping_cm3 * 1.0e6
+    cox = spec.oxide_capacitance_per_area
+    correction = (
+        math.pi
+        * constants.ELEMENTARY_CHARGE
+        * doping_m3
+        * x_dmax**2
+        / (2.0 * cox * channel_width_m)
+    )
+    return NARROW_WIDTH_FACTOR * correction
+
+
+def threshold_voltage(
+    spec: DeviceSpec,
+    channel_width_m: Optional[float] = None,
+    temperature_k: float = constants.ROOM_TEMPERATURE,
+) -> float:
+    """Threshold voltage of the device [V].
+
+    Positive for the enhancement devices, negative for the depletion-type
+    junctionless device.  ``channel_width_m`` defaults to the device's
+    typical channel width (used for the narrow-width correction only).
+    """
+    if channel_width_m is None:
+        channel_width_m = spec.geometry.channel_width(Terminal.T1, Terminal.T3)
+
+    vfb = flat_band_voltage(spec)
+    cox = spec.oxide_capacitance_per_area
+
+    if spec.is_enhancement:
+        phi_f = bulk_potential(spec, temperature_k)
+        doping_m3 = spec.body_doping_cm3 * 1.0e6
+        eps_si = spec.substrate_material.permittivity
+        depletion_charge = math.sqrt(
+            2.0 * constants.ELEMENTARY_CHARGE * eps_si * doping_m3 * 2.0 * phi_f
+        )
+        vth = vfb + 2.0 * phi_f + depletion_charge / cox
+        vth += narrow_width_correction(spec, channel_width_m, temperature_k)
+        return vth
+
+    # Depletion-mode junctionless device: the gate must fully deplete the
+    # n-type body to cut the channel off.
+    doping_m3 = spec.body_doping_cm3 * 1.0e6
+    eps_si = spec.substrate_material.permittivity
+    body_thickness = spec.geometry.electrode_box.height_m
+    sheet_charge = constants.ELEMENTARY_CHARGE * doping_m3 * body_thickness
+    vth = vfb - sheet_charge / cox - sheet_charge * body_thickness / (2.0 * eps_si)
+    return vth
+
+
+def subthreshold_swing(
+    spec: DeviceSpec, temperature_k: float = constants.ROOM_TEMPERATURE
+) -> float:
+    """Sub-threshold swing [V/decade].
+
+    ``S = ln(10) * n * kT/q`` with the ideality factor
+    ``n = 1 + C_dep/Cox``; the junctionless all-around gate has excellent
+    electrostatic control and is modelled with ``n`` close to 1.
+    """
+    vt = constants.thermal_voltage(temperature_k)
+    return math.log(10.0) * ideality_factor(spec, temperature_k) * vt
+
+
+def ideality_factor(
+    spec: DeviceSpec, temperature_k: float = constants.ROOM_TEMPERATURE
+) -> float:
+    """Sub-threshold ideality factor ``n = 1 + C_dep / Cox``."""
+    if spec.is_depletion:
+        return 1.1
+    eps_si = spec.substrate_material.permittivity
+    c_dep = eps_si / depletion_width_max(spec, temperature_k)
+    return 1.0 + c_dep / spec.oxide_capacitance_per_area
+
+
+def surface_potential(
+    spec: DeviceSpec,
+    gate_voltage: float,
+    temperature_k: float = constants.ROOM_TEMPERATURE,
+) -> float:
+    """Surface potential ``psi_s`` [V] of an enhancement device at ``Vgs``.
+
+    Solves the implicit charge-sheet relation
+
+    ``Vg = V_FB + psi_s + gamma * sqrt(psi_s + Vt * exp((psi_s - 2 phi_F)/Vt))``
+
+    numerically with a bracketed root finder.  Only meaningful for the
+    enhancement devices; raises ``ValueError`` for the junctionless one.
+    """
+    if spec.is_depletion:
+        raise ValueError("surface_potential applies to the enhancement devices only")
+    vt = constants.thermal_voltage(temperature_k)
+    vfb = flat_band_voltage(spec)
+    gamma = body_effect_coefficient(spec)
+    phi_f = bulk_potential(spec, temperature_k)
+
+    overdrive = gate_voltage - vfb
+    if overdrive <= 0.0:
+        return 0.0
+
+    def residual(psi_s: float) -> float:
+        inversion = vt * math.exp(min((psi_s - 2.0 * phi_f) / vt, 60.0))
+        return vfb + psi_s + gamma * math.sqrt(max(psi_s + inversion, 1e-30)) - gate_voltage
+
+    upper = 2.0 * phi_f + 10.0 * vt + max(overdrive, 0.0)
+    # residual(0+) < 0 because overdrive > 0; residual(upper) > 0 because the
+    # inversion term explodes well before psi_s reaches the gate overdrive.
+    lower = 1e-9
+    if residual(lower) > 0.0:
+        return 0.0
+    return float(brentq(residual, lower, upper, xtol=1e-9, rtol=1e-12))
+
+
+@dataclass(frozen=True)
+class MOSElectrostatics:
+    """Bundle of the electrostatic quantities of one device/gate-material combo.
+
+    Produced by :meth:`from_spec` and consumed by the channel model, the
+    SPICE parameter extraction and the reports.
+    """
+
+    spec: DeviceSpec
+    flat_band_v: float
+    bulk_potential_v: float
+    body_effect: float
+    threshold_v: float
+    subthreshold_swing_v_per_decade: float
+    oxide_capacitance_f_per_m2: float
+
+    @classmethod
+    def from_spec(
+        cls, spec: DeviceSpec, temperature_k: float = constants.ROOM_TEMPERATURE
+    ) -> "MOSElectrostatics":
+        phi_f = bulk_potential(spec, temperature_k) if spec.is_enhancement else 0.0
+        return cls(
+            spec=spec,
+            flat_band_v=flat_band_voltage(spec),
+            bulk_potential_v=phi_f,
+            body_effect=body_effect_coefficient(spec),
+            threshold_v=threshold_voltage(spec, temperature_k=temperature_k),
+            subthreshold_swing_v_per_decade=subthreshold_swing(spec, temperature_k),
+            oxide_capacitance_f_per_m2=spec.oxide_capacitance_per_area,
+        )
+
+    def summary(self) -> str:
+        """One-line report used by the examples and benchmarks."""
+        return (
+            f"{self.spec.name}: Vth = {self.threshold_v:+.3f} V, "
+            f"Cox = {self.oxide_capacitance_f_per_m2 * 1e3:.3f} mF/m^2, "
+            f"S = {self.subthreshold_swing_v_per_decade * 1e3:.0f} mV/dec"
+        )

@@ -1,0 +1,122 @@
+"""Rectilinear 2-D mesh used by the current-density field solver.
+
+The field solver works on the top view of the device footprint (the plane of
+the four electrodes and the gate).  A :class:`RectilinearMesh` is a uniform
+grid over the unit square with helpers to rasterize the electrode pads and
+the gate region of each device shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from repro.devices.geometry import electrode_centres_normalized
+from repro.devices.specs import DeviceKind
+from repro.devices.terminals import Terminal
+
+
+@dataclass(frozen=True)
+class RectilinearMesh:
+    """Uniform nx x ny grid over the unit square.
+
+    Node ``(i, j)`` sits at ``(x, y) = (i*hx, j*hy)`` with ``x`` to the east
+    and ``y`` to the north, matching the electrode layout of
+    :func:`repro.devices.geometry.electrode_centres_normalized`.
+    """
+
+    nx: int
+    ny: int
+
+    def __post_init__(self) -> None:
+        if self.nx < 3 or self.ny < 3:
+            raise ValueError("the mesh needs at least 3 nodes per direction")
+
+    @property
+    def hx(self) -> float:
+        return 1.0 / (self.nx - 1)
+
+    @property
+    def hy(self) -> float:
+        return 1.0 / (self.ny - 1)
+
+    @property
+    def node_count(self) -> int:
+        return self.nx * self.ny
+
+    def index(self, i: int, j: int) -> int:
+        """Flat index of node (i, j)."""
+        if not (0 <= i < self.nx and 0 <= j < self.ny):
+            raise IndexError(f"node ({i}, {j}) outside a {self.nx}x{self.ny} mesh")
+        return j * self.nx + i
+
+    def coordinates(self, i: int, j: int) -> Tuple[float, float]:
+        """Physical (x, y) coordinates of node (i, j) on the unit square."""
+        return i * self.hx, j * self.hy
+
+    def nodes(self) -> Iterator[Tuple[int, int]]:
+        for j in range(self.ny):
+            for i in range(self.nx):
+                yield i, j
+
+    def meshgrid(self) -> Tuple[np.ndarray, np.ndarray]:
+        """X and Y coordinate arrays of shape (ny, nx)."""
+        x = np.linspace(0.0, 1.0, self.nx)
+        y = np.linspace(0.0, 1.0, self.ny)
+        return np.meshgrid(x, y)
+
+    # ------------------------------------------------------------------ #
+    # region rasterization
+    # ------------------------------------------------------------------ #
+
+    def electrode_masks(self, pad_half_width: float = 0.12) -> Dict[Terminal, np.ndarray]:
+        """Boolean masks (ny, nx) of the four electrode pads.
+
+        Each pad is a small rectangle centred on the electrode position and
+        hugging its side of the square, sized so pads never overlap.
+        """
+        xs, ys = self.meshgrid()
+        masks: Dict[Terminal, np.ndarray] = {}
+        for terminal, (cx, cy) in electrode_centres_normalized().items():
+            if terminal in (Terminal.T1, Terminal.T2):
+                mask = (np.abs(xs - cx) <= pad_half_width) & (np.abs(ys - cy) <= 0.05)
+            else:
+                mask = (np.abs(xs - cx) <= 0.05) & (np.abs(ys - cy) <= pad_half_width)
+            masks[terminal] = mask
+        return masks
+
+    def gate_mask(self, kind: DeviceKind, arm_half_width: float = 0.12) -> np.ndarray:
+        """Boolean mask (ny, nx) of the gate-covered (conducting) region.
+
+        * square gate: a centred square covering most of the footprint;
+        * cross gate: two perpendicular arms of width ``2*arm_half_width``;
+        * junctionless: the whole footprint conducts (thin doped body).
+        """
+        xs, ys = self.meshgrid()
+        if kind is DeviceKind.SQUARE:
+            return (np.abs(xs - 0.5) <= 0.45) & (np.abs(ys - 0.5) <= 0.45)
+        if kind is DeviceKind.CROSS:
+            horizontal = (np.abs(ys - 0.5) <= arm_half_width) & (np.abs(xs - 0.5) <= 0.48)
+            vertical = (np.abs(xs - 0.5) <= arm_half_width) & (np.abs(ys - 0.5) <= 0.48)
+            return horizontal | vertical
+        if kind is DeviceKind.JUNCTIONLESS:
+            return np.ones_like(xs, dtype=bool)
+        raise ValueError(f"unknown device kind {kind!r}")
+
+    def conductivity_map(
+        self,
+        kind: DeviceKind,
+        on_conductivity: float = 1.0,
+        off_conductivity: float = 1e-6,
+    ) -> np.ndarray:
+        """Sheet-conductivity map: high under the gate, low elsewhere.
+
+        The electrode pads are always highly conducting (degenerately doped).
+        """
+        sigma = np.full((self.ny, self.nx), off_conductivity, dtype=float)
+        sigma[self.gate_mask(kind)] = on_conductivity
+        for mask in self.electrode_masks().values():
+            sigma[mask] = on_conductivity * 10.0
+        return sigma

@@ -1,0 +1,229 @@
+"""1-D nonlinear Poisson solver through the MOS gate stack.
+
+A small drift-diffusion-style building block of the TCAD substitute: it
+solves the electrostatic potential along a vertical cut through the gate
+dielectric and the silicon body with Boltzmann carrier statistics,
+
+``d/dx (eps(x) dphi/dx) = -q (p(phi) - n(phi) + N_D - N_A)``
+
+with the gate potential applied at the top of the dielectric and charge
+neutrality deep in the substrate.  It provides an independent, more physical
+estimate of the surface potential and inversion charge that the charge-sheet
+expressions of :mod:`repro.tcad.electrostatics` approximate; the test-suite
+cross-checks the two.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro import constants
+from repro.devices.specs import DeviceSpec
+
+
+@dataclass
+class Poisson1DResult:
+    """Solution of a 1-D Poisson solve.
+
+    Attributes
+    ----------
+    depth_m:
+        Node positions measured from the oxide/semiconductor interface into
+        the substrate [m] (negative values are inside the oxide).
+    potential_v:
+        Electrostatic potential relative to the neutral bulk [V].
+    electron_density_cm3 / hole_density_cm3:
+        Carrier densities at each semiconductor node [cm^-3]; zero inside
+        the oxide.
+    surface_potential_v:
+        Potential at the oxide/semiconductor interface [V].
+    inversion_charge_c_per_m2:
+        Integrated mobile electron charge per unit area [C/m^2].
+    converged:
+        Whether the Newton loop met its tolerance.
+    iterations:
+        Newton iterations used.
+    """
+
+    depth_m: np.ndarray
+    potential_v: np.ndarray
+    electron_density_cm3: np.ndarray
+    hole_density_cm3: np.ndarray
+    surface_potential_v: float
+    inversion_charge_c_per_m2: float
+    converged: bool
+    iterations: int
+
+
+class Poisson1DSolver:
+    """Vertical 1-D MOS Poisson solver for an enhancement-type device.
+
+    Parameters
+    ----------
+    spec:
+        Device spec; only the gate dielectric, oxide thickness and substrate
+        doping are used.
+    semiconductor_depth_m:
+        Depth of the simulated substrate region.
+    oxide_nodes / semiconductor_nodes:
+        Grid resolution of the two regions.
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        semiconductor_depth_m: float = 400e-9,
+        oxide_nodes: int = 16,
+        semiconductor_nodes: int = 161,
+        temperature_k: float = constants.ROOM_TEMPERATURE,
+    ):
+        if spec.is_depletion:
+            raise ValueError("the 1-D solver models the enhancement (inversion-mode) devices")
+        if oxide_nodes < 3 or semiconductor_nodes < 11:
+            raise ValueError("grid too coarse for a meaningful solution")
+        self._spec = spec
+        self._temperature_k = temperature_k
+        self._vt = constants.thermal_voltage(temperature_k)
+        self._ni_m3 = spec.substrate_material.intrinsic_concentration_cm3 * 1e6
+        self._na_m3 = spec.doping.substrate_concentration_cm3 * 1e6
+
+        t_ox = spec.geometry.gate_oxide_thickness_m
+        oxide_x = np.linspace(-t_ox, 0.0, oxide_nodes, endpoint=False)
+        semiconductor_x = np.linspace(0.0, semiconductor_depth_m, semiconductor_nodes)
+        self._x = np.concatenate([oxide_x, semiconductor_x])
+        self._interface_index = oxide_nodes
+        self._eps = np.where(
+            self._x < 0.0,
+            spec.gate_dielectric.permittivity,
+            spec.substrate_material.permittivity,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _charge_density(self, phi: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Net charge density [C/m^3] and its derivative w.r.t. potential.
+
+        The neutral bulk is the potential reference: ``p = Na`` and
+        ``n = ni^2/Na`` at ``phi = 0``.
+        """
+        rho = np.zeros_like(phi)
+        drho = np.zeros_like(phi)
+        semiconductor = np.arange(len(phi)) >= self._interface_index
+        q = constants.ELEMENTARY_CHARGE
+        vt = self._vt
+        p0 = self._na_m3
+        n0 = self._ni_m3**2 / self._na_m3
+
+        ratio = np.clip(phi[semiconductor] / vt, -80.0, 80.0)
+        p = p0 * np.exp(-ratio)
+        n = n0 * np.exp(ratio)
+        rho[semiconductor] = q * (p - n - self._na_m3 + n0)
+        drho[semiconductor] = q * (-p / vt - n / vt)
+        return rho, drho
+
+    def solve(self, gate_voltage: float, max_iterations: int = 80, tolerance: float = 1e-10) -> Poisson1DResult:
+        """Solve the stack for one gate voltage (relative to the neutral bulk).
+
+        The applied boundary value at the gate node is the gate voltage minus
+        the flat-band voltage, so ``gate_voltage`` is directly comparable to
+        the Vgs used elsewhere.
+        """
+        from repro.tcad.electrostatics import flat_band_voltage
+
+        x = self._x
+        n_nodes = len(x)
+        phi = np.zeros(n_nodes)
+        gate_value = gate_voltage - flat_band_voltage(self._spec)
+        phi[0] = gate_value
+
+        converged = False
+        iteration = 0
+        for iteration in range(1, max_iterations + 1):
+            rho, drho = self._charge_density(phi)
+            residual = np.zeros(n_nodes)
+            main = np.zeros(n_nodes)
+            lower = np.zeros(n_nodes - 1)
+            upper = np.zeros(n_nodes - 1)
+
+            # Dirichlet at the gate and at the deep substrate contact.
+            main[0] = 1.0
+            residual[0] = phi[0] - gate_value
+            main[-1] = 1.0
+            residual[-1] = phi[-1] - 0.0
+
+            for k in range(1, n_nodes - 1):
+                h_minus = x[k] - x[k - 1]
+                h_plus = x[k + 1] - x[k]
+                eps_minus = 0.5 * (self._eps[k] + self._eps[k - 1])
+                eps_plus = 0.5 * (self._eps[k] + self._eps[k + 1])
+                a = eps_minus / h_minus
+                c = eps_plus / h_plus
+                flux = a * (phi[k - 1] - phi[k]) + c * (phi[k + 1] - phi[k])
+                volume = 0.5 * (h_minus + h_plus)
+                residual[k] = flux + rho[k] * volume
+                lower[k - 1] = a
+                upper[k] = c
+                main[k] = -(a + c) + drho[k] * volume
+
+            if np.max(np.abs(residual[1:-1])) < tolerance:
+                converged = True
+                break
+
+            delta = _solve_tridiagonal(lower, main, upper, -residual)
+            # Damp the Newton step to keep the Boltzmann terms in range.
+            step = np.clip(delta, -0.5, 0.5)
+            phi = phi + step
+
+        semiconductor = np.arange(n_nodes) >= self._interface_index
+        ratio = np.clip(phi[semiconductor] / self._vt, -80.0, 80.0)
+        n0 = self._ni_m3**2 / self._na_m3
+        electrons_m3 = n0 * np.exp(ratio)
+        holes_m3 = self._na_m3 * np.exp(-ratio)
+
+        electron_profile = np.zeros(n_nodes)
+        hole_profile = np.zeros(n_nodes)
+        electron_profile[semiconductor] = electrons_m3 * 1e-6
+        hole_profile[semiconductor] = holes_m3 * 1e-6
+
+        depth = x[semiconductor]
+        inversion_charge = constants.ELEMENTARY_CHARGE * np.trapezoid(electrons_m3, depth)
+
+        return Poisson1DResult(
+            depth_m=x,
+            potential_v=phi,
+            electron_density_cm3=electron_profile,
+            hole_density_cm3=hole_profile,
+            surface_potential_v=float(phi[self._interface_index]),
+            inversion_charge_c_per_m2=float(inversion_charge),
+            converged=converged,
+            iterations=iteration,
+        )
+
+
+def _solve_tridiagonal(lower: np.ndarray, main: np.ndarray, upper: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Thomas algorithm for a tridiagonal system.
+
+    ``lower[i]`` couples row ``i+1`` to column ``i``; ``upper[i]`` couples row
+    ``i`` to column ``i+1``.
+    """
+    n = len(main)
+    if len(rhs) != n or len(lower) != n - 1 or len(upper) != n - 1:
+        raise ValueError("inconsistent tridiagonal system dimensions")
+    c_prime = np.zeros(n - 1)
+    d_prime = np.zeros(n)
+    c_prime[0] = upper[0] / main[0]
+    d_prime[0] = rhs[0] / main[0]
+    for i in range(1, n):
+        denom = main[i] - lower[i - 1] * c_prime[i - 1]
+        if i < n - 1:
+            c_prime[i] = upper[i] / denom
+        d_prime[i] = (rhs[i] - lower[i - 1] * d_prime[i - 1]) / denom
+    solution = np.zeros(n)
+    solution[-1] = d_prime[-1]
+    for i in range(n - 2, -1, -1):
+        solution[i] = d_prime[i] - c_prime[i] * solution[i + 1]
+    return solution

@@ -1,0 +1,295 @@
+"""Device-level simulator: runs the paper's sweeps on a device spec.
+
+:class:`DeviceSimulator` wires together the terminal network and the sweep
+set-ups.  For every sweep point it solves the operating point and records the
+current entering each terminal; the result objects expose the quantities the
+paper reports — the per-terminal I-V curves of Figs. 5-7, the threshold
+voltage (constant-current and max-gm extraction live in
+:mod:`repro.fitting.threshold`), and the on/off ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import constants
+from repro.devices.specs import DeviceSpec
+from repro.devices.terminals import (
+    Terminal,
+    TerminalConfiguration,
+    DSSS,
+)
+from repro.tcad.calibration import DeviceCalibration
+from repro.tcad.network import TerminalNetwork
+from repro.tcad.sweeps import (
+    SweepSetup,
+    idvd,
+    idvg_linear,
+    idvg_saturation,
+)
+
+
+@dataclass
+class IVCurve:
+    """One current-vs-voltage curve for a single terminal.
+
+    Attributes
+    ----------
+    terminal:
+        The terminal whose current is recorded.
+    voltages:
+        The swept voltage values [V].
+    currents:
+        The magnitude of the current entering the terminal at each point [A].
+        Magnitudes are reported because the paper's figures plot all four
+        terminals on a positive axis.
+    """
+
+    terminal: Terminal
+    voltages: np.ndarray
+    currents: np.ndarray
+
+    def maximum_current(self) -> float:
+        return float(np.max(self.currents))
+
+    def current_at(self, voltage: float) -> float:
+        """Linear interpolation of the current at an arbitrary voltage."""
+        return float(np.interp(voltage, self.voltages, self.currents))
+
+
+@dataclass
+class SweepResult:
+    """All terminal curves of one sweep on one device/configuration.
+
+    Attributes
+    ----------
+    spec / configuration / setup:
+        What was simulated.
+    curves:
+        Mapping from terminal to its :class:`IVCurve`.
+    drain_current:
+        Total (signed) current entering the drain terminals at each point [A].
+    """
+
+    spec: DeviceSpec
+    configuration: TerminalConfiguration
+    setup: SweepSetup
+    curves: Dict[Terminal, IVCurve]
+    drain_current: np.ndarray
+
+    @property
+    def voltages(self) -> np.ndarray:
+        return self.curves[Terminal.T1].voltages
+
+    def terminal_symmetry(self) -> float:
+        """Relative spread of the source-terminal peak currents.
+
+        The paper's symmetry criterion: the I-V of the terminal pairs should
+        be similar.  0 means the source terminals carry identical current;
+        the square device scores worse than the cross device here.
+        """
+        peaks = [
+            self.curves[t].maximum_current()
+            for t in self.configuration.sources
+        ]
+        if not peaks or max(peaks) == 0.0:
+            return 0.0
+        mean = sum(peaks) / len(peaks)
+        if mean == 0.0:
+            return 0.0
+        return (max(peaks) - min(peaks)) / mean
+
+
+class DeviceSimulator:
+    """Runs the paper's sweep set-ups on one device spec.
+
+    Parameters
+    ----------
+    spec:
+        The device to simulate.
+    calibration:
+        Optional calibration override (defaults per device kind).
+    temperature_k:
+        Lattice temperature.
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        calibration: Optional[DeviceCalibration] = None,
+        temperature_k: float = constants.ROOM_TEMPERATURE,
+    ):
+        self._spec = spec
+        self._network = TerminalNetwork(spec, calibration=calibration, temperature_k=temperature_k)
+
+    @property
+    def spec(self) -> DeviceSpec:
+        return self._spec
+
+    @property
+    def network(self) -> TerminalNetwork:
+        return self._network
+
+    # ------------------------------------------------------------------ #
+    # sweeps
+    # ------------------------------------------------------------------ #
+
+    def run_sweep(
+        self,
+        setup: SweepSetup,
+        configuration: TerminalConfiguration = DSSS,
+        source_voltage: float = 0.0,
+    ) -> SweepResult:
+        """Run one sweep set-up and collect every terminal's curve."""
+        voltages = setup.voltages()
+        per_terminal: Dict[Terminal, List[float]] = {t: [] for t in Terminal}
+        drain_totals: List[float] = []
+        for value in voltages:
+            vgs, vds = setup.bias_at(float(value))
+            solution = self._network.solve(
+                configuration,
+                gate_voltage=vgs,
+                drain_voltage=source_voltage + vds,
+                source_voltage=source_voltage,
+            )
+            for terminal in Terminal:
+                per_terminal[terminal].append(abs(solution.terminal_currents[terminal]))
+            drain_totals.append(solution.drain_current(configuration))
+
+        curves = {
+            terminal: IVCurve(terminal, voltages.copy(), np.array(values))
+            for terminal, values in per_terminal.items()
+        }
+        return SweepResult(
+            spec=self._spec,
+            configuration=configuration,
+            setup=setup,
+            curves=curves,
+            drain_current=np.array(drain_totals),
+        )
+
+    def transfer_curve_linear(self, configuration: TerminalConfiguration = DSSS) -> SweepResult:
+        """Set-up 1: Id-Vg at Vds = 10 mV."""
+        return self.run_sweep(idvg_linear(), configuration)
+
+    def transfer_curve_saturation(self, configuration: TerminalConfiguration = DSSS) -> SweepResult:
+        """Set-up 2: Id-Vg at Vds = 5 V."""
+        return self.run_sweep(idvg_saturation(), configuration)
+
+    def output_curve(self, configuration: TerminalConfiguration = DSSS) -> SweepResult:
+        """Set-up 3: Id-Vd at Vgs = 5 V."""
+        return self.run_sweep(idvd(), configuration)
+
+    def paper_sweeps(
+        self, configuration: TerminalConfiguration = DSSS
+    ) -> Tuple[SweepResult, SweepResult, SweepResult]:
+        """All three sweeps of Figs. 5-7 for one configuration."""
+        return (
+            self.transfer_curve_linear(configuration),
+            self.transfer_curve_saturation(configuration),
+            self.output_curve(configuration),
+        )
+
+    # ------------------------------------------------------------------ #
+    # scalar figures of merit
+    # ------------------------------------------------------------------ #
+
+    def on_current(
+        self,
+        configuration: TerminalConfiguration = DSSS,
+        vgs: float = 5.0,
+        vds: float = 5.0,
+    ) -> float:
+        """On-state drain current ``Ion`` [A] (Vgs = Vds = 5 V by default)."""
+        solution = self._network.solve(configuration, gate_voltage=vgs, drain_voltage=vds)
+        return abs(solution.drain_current(configuration))
+
+    def off_current(
+        self,
+        configuration: TerminalConfiguration = DSSS,
+        vgs: Optional[float] = None,
+        vds: float = 5.0,
+    ) -> float:
+        """Off-state drain current ``Ioff`` [A].
+
+        For the enhancement devices the paper's definition (``Vgs = 0 V``,
+        ``Vds = 5 V``) applies directly.  The depletion-mode junctionless
+        device is normally on at ``Vgs = 0``, so its off state is taken one
+        volt below its (negative) threshold instead; pass ``vgs`` explicitly
+        to override either default.
+        """
+        if vgs is None:
+            vgs = 0.0 if self._spec.is_enhancement else self.off_gate_voltage()
+        solution = self._network.solve(configuration, gate_voltage=vgs, drain_voltage=vds)
+        return abs(solution.drain_current(configuration))
+
+    def off_gate_voltage(self) -> float:
+        """Gate voltage used as the off state of a depletion-mode device."""
+        from repro.tcad.electrostatics import threshold_voltage
+
+        return threshold_voltage(self._spec) - 1.0
+
+    def on_off_ratio(
+        self,
+        configuration: TerminalConfiguration = DSSS,
+        off_vgs: Optional[float] = None,
+    ) -> float:
+        """``Ion / Ioff`` as defined in Section III-B of the paper."""
+        ioff = self.off_current(configuration, vgs=off_vgs)
+        if ioff == 0.0:
+            return float("inf")
+        return self.on_current(configuration) / ioff
+
+    def operating_point(
+        self,
+        configuration: TerminalConfiguration,
+        gate_voltage: float,
+        drain_voltage: float,
+        source_voltage: float = 0.0,
+    ):
+        """Expose a single operating-point solve (used by tests and examples)."""
+        return self._network.solve(
+            configuration,
+            gate_voltage=gate_voltage,
+            drain_voltage=drain_voltage,
+            source_voltage=source_voltage,
+        )
+
+    def idvd_samples(
+        self,
+        configuration: TerminalConfiguration = DSSS,
+        vgs: float = 5.0,
+        vds_values: Optional[Sequence[float]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Total drain current sampled over a list of drain voltages.
+
+        Convenience used by the level-1 parameter extraction (Fig. 10): the
+        fit consumes ``(vds, ids)`` arrays for a fixed ``vgs``.
+        """
+        if vds_values is None:
+            vds_values = np.linspace(0.0, 5.0, 51)
+        vds_array = np.asarray(list(vds_values), dtype=float)
+        currents = []
+        for vds in vds_array:
+            solution = self._network.solve(configuration, gate_voltage=vgs, drain_voltage=float(vds))
+            currents.append(abs(solution.drain_current(configuration)))
+        return vds_array, np.array(currents)
+
+    def idvg_samples(
+        self,
+        configuration: TerminalConfiguration = DSSS,
+        vds: float = 0.010,
+        vgs_values: Optional[Sequence[float]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Total drain current sampled over a list of gate voltages."""
+        if vgs_values is None:
+            vgs_values = np.linspace(0.0, 5.0, 51)
+        vgs_array = np.asarray(list(vgs_values), dtype=float)
+        currents = []
+        for vgs in vgs_array:
+            solution = self._network.solve(configuration, gate_voltage=float(vgs), drain_voltage=vds)
+            currents.append(abs(solution.drain_current(configuration)))
+        return vgs_array, np.array(currents)

@@ -1,0 +1,95 @@
+"""Sweep set-ups of the TCAD study (Section III-B).
+
+The paper uses three simulation set-ups for every device/gate-material/
+terminal-configuration combination:
+
+1. ``IDS``-``VGS`` transfer curve at ``VDS`` = 10 mV (linear region,
+   threshold-voltage extraction);
+2. ``IDS``-``VGS`` transfer curve at ``VDS`` = 5 V (saturation, on/off ratio);
+3. ``IDS``-``VDS`` output curve at ``VGS`` = 5 V (drive current).
+
+The source voltage is always 0 V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SweepSetup:
+    """One of the paper's sweep set-ups.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports (``"idvg_lin"``, ``"idvg_sat"``, ``"idvd"``).
+    swept:
+        Which voltage is swept: ``"vgs"`` or ``"vds"``.
+    fixed_vgs / fixed_vds:
+        The non-swept voltage (exactly one of them is meaningful).
+    start_v / stop_v:
+        Sweep range.
+    points:
+        Number of sweep points (inclusive of both ends).
+    """
+
+    name: str
+    swept: str
+    fixed_vgs: float
+    fixed_vds: float
+    start_v: float
+    stop_v: float
+    points: int = 51
+
+    def __post_init__(self) -> None:
+        if self.swept not in ("vgs", "vds"):
+            raise ValueError(f"swept must be 'vgs' or 'vds', got {self.swept!r}")
+        if self.points < 2:
+            raise ValueError("a sweep needs at least two points")
+        if self.stop_v <= self.start_v:
+            raise ValueError("stop_v must be greater than start_v")
+
+    def voltages(self) -> np.ndarray:
+        """The swept voltage values."""
+        return np.linspace(self.start_v, self.stop_v, self.points)
+
+    def bias_at(self, value: float) -> Tuple[float, float]:
+        """Return ``(vgs, vds)`` for one point of the sweep."""
+        if self.swept == "vgs":
+            return value, self.fixed_vds
+        return self.fixed_vgs, value
+
+    def describe(self) -> str:
+        if self.swept == "vgs":
+            return f"IDS-VGS with VDS = {self.fixed_vds:g} V"
+        return f"IDS-VDS with VGS = {self.fixed_vgs:g} V"
+
+
+def idvg_linear(start_v: float = 0.0, stop_v: float = 5.0, points: int = 51) -> SweepSetup:
+    """Set-up 1: transfer curve in the linear region (``VDS`` = 10 mV)."""
+    return SweepSetup("idvg_lin", "vgs", fixed_vgs=0.0, fixed_vds=0.010,
+                      start_v=start_v, stop_v=stop_v, points=points)
+
+
+def idvg_saturation(start_v: float = 0.0, stop_v: float = 5.0, points: int = 51) -> SweepSetup:
+    """Set-up 2: transfer curve in saturation (``VDS`` = 5 V)."""
+    return SweepSetup("idvg_sat", "vgs", fixed_vgs=0.0, fixed_vds=5.0,
+                      start_v=start_v, stop_v=stop_v, points=points)
+
+
+def idvd(start_v: float = 0.0, stop_v: float = 5.0, points: int = 51) -> SweepSetup:
+    """Set-up 3: output curve at full gate drive (``VGS`` = 5 V)."""
+    return SweepSetup("idvd", "vds", fixed_vgs=5.0, fixed_vds=0.0,
+                      start_v=start_v, stop_v=stop_v, points=points)
+
+
+#: The three sweep set-ups used for Figs. 5, 6 and 7, in the paper's order.
+PAPER_SWEEP_SETUPS: Tuple[SweepSetup, ...] = (
+    idvg_linear(),
+    idvg_saturation(),
+    idvd(),
+)

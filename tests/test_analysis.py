@@ -1,0 +1,160 @@
+"""Unit tests for repro.analysis: waveform metrics, I-V metrics, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.iv_metrics import on_resistance_from_curve, summarize_transfer_curve
+from repro.analysis.reporting import Table, format_engineering, format_table
+from repro.analysis.waveform_metrics import (
+    LogicLevels,
+    edge_times,
+    fall_time,
+    rise_time,
+    settled_value,
+    steady_state_levels,
+)
+
+
+def _rc_edge(t, start, level_from, level_to, tau):
+    """Exponential edge starting at ``start``."""
+    out = np.full_like(t, level_from, dtype=float)
+    mask = t >= start
+    out[mask] = level_to + (level_from - level_to) * np.exp(-(t[mask] - start) / tau)
+    return out
+
+
+class TestWaveformMetrics:
+    def _square_ish_waveform(self):
+        t = np.linspace(0, 200e-9, 2001)
+        rising = _rc_edge(t, 20e-9, 0.0, 1.2, 5e-9)
+        falling = _rc_edge(t, 120e-9, 1.2, 0.0, 2e-9)
+        values = np.where(t < 120e-9, rising, falling)
+        return t, values
+
+    def test_steady_state_levels(self):
+        t, v = self._square_ish_waveform()
+        levels = steady_state_levels(t, v)
+        assert levels.low_v == pytest.approx(0.0, abs=0.05)
+        assert levels.high_v == pytest.approx(1.2, abs=0.05)
+        assert levels.swing_v == pytest.approx(1.2, abs=0.1)
+
+    def test_logic_levels_threshold(self):
+        levels = LogicLevels(low_v=0.2, high_v=1.2)
+        assert levels.threshold(0.5) == pytest.approx(0.7)
+
+    def test_rise_time_of_rc_edge(self):
+        t, v = self._square_ish_waveform()
+        # 10-90% of an RC edge is ln(9) * tau ~ 2.197 tau.
+        assert rise_time(t, v) == pytest.approx(2.197 * 5e-9, rel=0.1)
+
+    def test_fall_time_of_rc_edge(self):
+        t, v = self._square_ish_waveform()
+        assert fall_time(t, v) == pytest.approx(2.197 * 2e-9, rel=0.15)
+
+    def test_edge_times_counts(self):
+        t, v = self._square_ish_waveform()
+        rises, falls = edge_times(t, v)
+        assert len(rises) >= 1
+        assert len(falls) >= 1
+
+    def test_flat_waveform_has_no_edges(self):
+        t = np.linspace(0, 1e-6, 101)
+        v = np.full_like(t, 0.7)
+        rises, falls = edge_times(t, v)
+        assert rises == [] and falls == []
+        assert np.isnan(rise_time(t, v))
+
+    def test_settled_value_window(self):
+        t = np.linspace(0, 100e-9, 101)
+        v = np.where(t < 50e-9, 0.0, 1.0)
+        assert settled_value(t, v, 80e-9) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            settled_value(t, v, 90e-9, 80e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            steady_state_levels(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        with pytest.raises(ValueError):
+            steady_state_levels(np.array([0.0, 1.0, 0.5]), np.array([0.0, 1.0, 1.0]))
+        t = np.linspace(0, 1, 10)
+        with pytest.raises(ValueError):
+            steady_state_levels(t, np.zeros(10), tail_fraction=0.9)
+
+
+class TestIVMetrics:
+    def _device_curves(self, vth=0.5):
+        vgs = np.linspace(0, 5, 101)
+        linear = np.where(vgs > vth, 1e-5 * (vgs - vth), 1e-12)
+        saturation = np.where(vgs > vth, 5e-4 * (vgs - vth) ** 2, 1e-9)
+        return vgs, linear, saturation
+
+    def test_summary_threshold(self):
+        vgs, linear, saturation = self._device_curves(vth=0.7)
+        summary = summarize_transfer_curve(vgs, linear, vgs, saturation)
+        assert summary.threshold_v == pytest.approx(0.7, abs=0.1)
+
+    def test_summary_on_off(self):
+        vgs, linear, saturation = self._device_curves()
+        summary = summarize_transfer_curve(vgs, linear, vgs, saturation)
+        assert summary.on_current_a == pytest.approx(saturation[-1], rel=1e-6)
+        assert summary.on_off_ratio > 1e5
+
+    def test_constant_current_method(self):
+        vgs, linear, saturation = self._device_curves(vth=1.0)
+        summary = summarize_transfer_curve(
+            vgs, linear, vgs, saturation, threshold_method="constant_current", criterion_a=1e-6
+        )
+        assert summary.threshold_v == pytest.approx(1.1, abs=0.1)
+
+    def test_unknown_method(self):
+        vgs, linear, saturation = self._device_curves()
+        with pytest.raises(ValueError):
+            summarize_transfer_curve(vgs, linear, vgs, saturation, threshold_method="magic")
+
+    def test_describe_string(self):
+        vgs, linear, saturation = self._device_curves()
+        text = summarize_transfer_curve(vgs, linear, vgs, saturation).describe()
+        assert "Vth" in text and "Ion/Ioff" in text
+
+    def test_on_resistance_from_curve(self):
+        vds = np.linspace(0, 1, 101)
+        ids = vds / 1e4  # a 10 kOhm resistor
+        assert on_resistance_from_curve(vds, ids) == pytest.approx(1e4, rel=0.05)
+
+    def test_on_resistance_no_current(self):
+        vds = np.linspace(0, 1, 11)
+        assert on_resistance_from_curve(vds, np.zeros_like(vds)) == float("inf")
+
+    def test_on_resistance_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            on_resistance_from_curve(np.linspace(0, 1, 5), np.zeros(4))
+
+
+class TestReporting:
+    def test_format_engineering_prefixes(self):
+        assert format_engineering(5.5e-6, "A") == "5.5 uA"
+        assert format_engineering(1.2e3, "ohm") == "1.2 kohm"
+        assert format_engineering(11.3e-9, "s") == "11.3 ns"
+        assert format_engineering(1e-15, "F") == "1 fF"
+
+    def test_format_engineering_specials(self):
+        assert format_engineering(0.0, "A") == "0 A"
+        assert format_engineering(float("nan")) == "nan"
+        assert "inf" in format_engineering(float("inf"), "A")
+
+    def test_table_rendering(self):
+        table = Table(["a", "b"], title="demo")
+        table.add_row([1, "xy"])
+        text = table.render()
+        assert "demo" in text
+        assert "a" in text.splitlines()[1]
+        assert "xy" in text
+
+    def test_table_row_length_check(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_format_table_helper(self):
+        text = format_table(["x"], [[1], [2]])
+        assert text.count("\n") == 3

@@ -1,0 +1,270 @@
+"""Unit tests for repro.core.boolean: literals, cubes and Boolean functions."""
+
+import pytest
+
+from repro.core.boolean import (
+    BooleanFunction,
+    Cube,
+    Literal,
+    and_function,
+    majority,
+    or_function,
+    parse_sop,
+    xnor,
+    xor,
+)
+
+
+class TestLiteral:
+    def test_parse_positive(self):
+        assert Literal.parse("a") == Literal("a", negated=False)
+
+    def test_parse_negated_apostrophe(self):
+        assert Literal.parse("a'") == Literal("a", negated=True)
+
+    def test_parse_negated_bang_and_tilde(self):
+        assert Literal.parse("!x1") == Literal("x1", negated=True)
+        assert Literal.parse("~x1") == Literal("x1", negated=True)
+
+    def test_parse_empty_raises(self):
+        with pytest.raises(ValueError):
+            Literal.parse("")
+
+    def test_invert(self):
+        assert ~Literal("a") == Literal("a", negated=True)
+        assert ~~Literal("a") == Literal("a")
+
+    def test_evaluate(self):
+        assert Literal("a").evaluate({"a": True}) is True
+        assert Literal("a", negated=True).evaluate({"a": True}) is False
+
+    def test_evaluate_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            Literal("a").evaluate({"b": True})
+
+    def test_str(self):
+        assert str(Literal("a")) == "a"
+        assert str(Literal("a", negated=True)) == "a'"
+
+
+class TestCube:
+    def test_parse_spaced(self):
+        cube = Cube.parse("a b' c")
+        assert cube.variables == frozenset({"a", "b", "c"})
+        assert Literal("b", negated=True) in cube.literals
+
+    def test_parse_compact(self):
+        cube = Cube.parse("ab'c")
+        assert len(cube) == 3
+
+    def test_parse_constant_one(self):
+        assert len(Cube.parse("1")) == 0
+
+    def test_contradictory_cube_rejected(self):
+        with pytest.raises(ValueError):
+            Cube.from_literals([Literal("a"), Literal("a", negated=True)])
+
+    def test_evaluate(self):
+        cube = Cube.parse("a b'")
+        assert cube.evaluate({"a": True, "b": False}) is True
+        assert cube.evaluate({"a": True, "b": True}) is False
+
+    def test_contains(self):
+        big = Cube.parse("a")
+        small = Cube.parse("a b")
+        assert big.contains(small)
+        assert not small.contains(big)
+
+    def test_str_sorted(self):
+        assert str(Cube.parse("c a b'")) == "ab'c"
+
+
+class TestBooleanFunctionConstruction:
+    def test_from_truth_table(self):
+        f = BooleanFunction.from_truth_table(("a", "b"), [0, 1, 1, 0])
+        assert f.onset_minterms() == [1, 2]
+
+    def test_from_truth_table_wrong_length(self):
+        with pytest.raises(ValueError):
+            BooleanFunction.from_truth_table(("a", "b"), [0, 1, 1])
+
+    def test_from_minterms(self):
+        f = BooleanFunction.from_minterms(("a", "b", "c"), [0, 7])
+        assert f.evaluate({"a": False, "b": False, "c": False})
+        assert f.evaluate({"a": True, "b": True, "c": True})
+        assert not f.evaluate({"a": True, "b": False, "c": False})
+
+    def test_from_minterms_out_of_range(self):
+        with pytest.raises(ValueError):
+            BooleanFunction.from_minterms(("a",), [2])
+
+    def test_from_cubes(self):
+        f = BooleanFunction.from_cubes(("a", "b"), [Cube.parse("a"), Cube.parse("b")])
+        assert f == or_function(("a", "b"))
+
+    def test_from_cubes_unknown_variable(self):
+        with pytest.raises(ValueError):
+            BooleanFunction.from_cubes(("a",), [Cube.parse("b")])
+
+    def test_from_callable(self):
+        f = BooleanFunction.from_callable(("a", "b"), lambda env: env["a"] and not env["b"])
+        assert f.onset_minterms() == [1]
+
+    def test_constant(self):
+        zero = BooleanFunction.constant(("a", "b"), False)
+        one = BooleanFunction.constant(("a", "b"), True)
+        assert zero.is_constant_zero and not zero.is_constant_one
+        assert one.is_constant_one and not one.is_constant_zero
+
+    def test_duplicate_variables_rejected(self):
+        with pytest.raises(ValueError):
+            BooleanFunction(("a", "a"), 0)
+
+    def test_empty_variables_rejected(self):
+        with pytest.raises(ValueError):
+            BooleanFunction((), 0)
+
+
+class TestBooleanFunctionAlgebra:
+    def test_invert(self):
+        f = xor(("a", "b"))
+        assert (~f) == xnor(("a", "b"))
+
+    def test_and_or_xor_operators(self):
+        a_and_b = and_function(("a", "b"))
+        a_or_b = or_function(("a", "b"))
+        assert (a_and_b | a_or_b) == a_or_b
+        assert (a_and_b & a_or_b) == a_and_b
+        assert (a_or_b ^ a_and_b) == xor(("a", "b"))
+
+    def test_mismatched_variables_raise(self):
+        with pytest.raises(ValueError):
+            _ = xor(("a", "b")) & xor(("a", "c"))
+
+    def test_implies(self):
+        assert and_function(("a", "b")).implies(or_function(("a", "b")))
+        assert not or_function(("a", "b")).implies(and_function(("a", "b")))
+
+    def test_cofactor(self):
+        f = xor(("a", "b"))
+        cof = f.cofactor("a", True)
+        # XOR with a=1 is b'
+        assert cof.evaluate({"a": True, "b": False})
+        assert cof.evaluate({"a": False, "b": False})
+        assert not cof.evaluate({"a": False, "b": True})
+
+    def test_depends_on_and_support(self):
+        f = parse_sop(("a", "b", "c"), "ab + ab'")
+        assert f.depends_on("a")
+        assert not f.depends_on("b")
+        assert f.support() == ("a",)
+
+    def test_is_monotone(self):
+        assert and_function(("a", "b", "c")).is_monotone()
+        assert or_function(("a", "b")).is_monotone()
+        assert majority(("a", "b", "c")).is_monotone()
+        assert not xor(("a", "b")).is_monotone()
+
+    def test_evaluate_missing_variable(self):
+        with pytest.raises(KeyError):
+            xor(("a", "b")).evaluate({"a": True})
+
+
+class TestDual:
+    def test_and_dual_is_or(self):
+        assert and_function(("a", "b")).dual() == or_function(("a", "b"))
+
+    def test_dual_involution(self):
+        f = parse_sop(("a", "b", "c"), "ab + bc' + a'c")
+        assert f.dual().dual() == f
+
+    def test_xor3_self_dual(self):
+        assert xor(("a", "b", "c")).is_self_dual()
+
+    def test_xor2_not_self_dual(self):
+        assert not xor(("a", "b")).is_self_dual()
+
+    def test_majority_self_dual(self):
+        assert majority(("a", "b", "c")).is_self_dual()
+
+
+class TestCoversAndISOP:
+    @pytest.mark.parametrize(
+        "expression",
+        ["ab + a'c", "abc + a'b'c' + ab'c", "a + b'c", "ab'c + a'bc + abc'", "a'b' + ab"],
+    )
+    def test_isop_covers_function(self, expression):
+        f = parse_sop(("a", "b", "c"), expression)
+        cover = f.isop()
+        assert f.is_cover(cover)
+        for cube in cover:
+            assert f.is_implicant(cube)
+
+    def test_isop_irredundant(self):
+        f = parse_sop(("a", "b", "c"), "ab + bc + ac")
+        cover = f.isop()
+        for skipped in range(len(cover)):
+            reduced = [c for i, c in enumerate(cover) if i != skipped]
+            assert not f.is_cover(reduced), "dropping any ISOP cube must uncover the function"
+
+    def test_isop_of_constant_one(self):
+        f = BooleanFunction.constant(("a", "b"), True)
+        cover = f.isop()
+        assert len(cover) == 1 and len(cover[0]) == 0
+
+    def test_isop_of_constant_zero(self):
+        f = BooleanFunction.constant(("a", "b"), False)
+        assert f.isop() == []
+
+    def test_xor3_isop_has_four_products(self):
+        cover = xor(("a", "b", "c")).isop()
+        assert len(cover) == 4
+        assert all(len(cube) == 3 for cube in cover)
+
+    def test_prime_implicants_majority(self):
+        primes = majority(("a", "b", "c")).prime_implicants()
+        as_strings = sorted(str(p) for p in primes)
+        assert as_strings == ["ab", "ac", "bc"]
+
+    def test_prime_implicants_cover(self):
+        f = parse_sop(("a", "b", "c"), "ab + bc + ac")
+        assert f.is_cover(f.prime_implicants())
+
+    def test_is_implicant(self):
+        f = or_function(("a", "b"))
+        assert f.is_implicant(Cube.parse("a"))
+        assert f.is_implicant(Cube.parse("ab"))
+        assert not f.is_implicant(Cube.parse("a'b'"))
+
+    def test_sop_string_constant_zero(self):
+        assert BooleanFunction.constant(("a",), False).sop_string() == "0"
+
+
+class TestGateConstructors:
+    def test_xor_truth_table(self):
+        f = xor(("a", "b", "c"))
+        assert f.onset_size() == 4
+        assert f.evaluate({"a": True, "b": False, "c": False})
+        assert not f.evaluate({"a": True, "b": True, "c": False})
+
+    def test_and_or(self):
+        assert and_function(("a", "b", "c")).onset_minterms() == [7]
+        assert or_function(("a", "b", "c")).onset_size() == 7
+
+    def test_majority_requires_odd(self):
+        with pytest.raises(ValueError):
+            majority(("a", "b"))
+
+    def test_majority5(self):
+        f = majority(("a", "b", "c", "d", "e"))
+        assert f.evaluate(dict(a=True, b=True, c=True, d=False, e=False))
+        assert not f.evaluate(dict(a=True, b=True, c=False, d=False, e=False))
+
+    def test_parse_sop_constants(self):
+        assert parse_sop(("a",), "0").is_constant_zero
+        assert parse_sop(("a",), "1").is_constant_one
+
+    def test_parse_sop_roundtrip(self):
+        f = parse_sop(("a", "b", "c"), "ab'c + a'b")
+        g = parse_sop(("a", "b", "c"), f.sop_string())
+        assert f == g

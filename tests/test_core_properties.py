@@ -1,0 +1,149 @@
+"""Property-based tests (hypothesis) on the core Boolean/lattice machinery."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.boolean import BooleanFunction, xor
+from repro.core.evaluation import connectivity, implements, lattice_function
+from repro.core.lattice import Lattice
+from repro.core.paths import enumerate_lattice_products, lattice_function_products
+from repro.core.synthesis import synthesize_dual_product
+
+VARIABLES_3 = ("a", "b", "c")
+
+
+def functions(num_vars: int):
+    """Strategy generating completely specified Boolean functions."""
+    names = tuple("abcdefgh"[:num_vars])
+    return st.integers(min_value=0, max_value=(1 << (1 << num_vars)) - 1).map(
+        lambda mask: BooleanFunction(names, mask)
+    )
+
+
+@st.composite
+def literal_grids(draw, max_rows=3, max_cols=3):
+    """Random lattices over variables a, b, c with constants allowed."""
+    rows = draw(st.integers(min_value=1, max_value=max_rows))
+    cols = draw(st.integers(min_value=1, max_value=max_cols))
+    cell = st.sampled_from(["a", "a'", "b", "b'", "c", "c'", "0", "1"])
+    grid = draw(st.lists(st.lists(cell, min_size=cols, max_size=cols), min_size=rows, max_size=rows))
+    return Lattice(rows, cols, grid)
+
+
+class TestBooleanFunctionProperties:
+    @given(functions(3))
+    @settings(max_examples=60, deadline=None)
+    def test_double_complement_is_identity(self, f):
+        assert ~(~f) == f
+
+    @given(functions(3))
+    @settings(max_examples=60, deadline=None)
+    def test_dual_is_involution(self, f):
+        assert f.dual().dual() == f
+
+    @given(functions(3))
+    @settings(max_examples=60, deadline=None)
+    def test_dual_equals_complement_of_complemented_inputs(self, f):
+        dual = f.dual()
+        for minterm in range(8):
+            assignment = {v: bool((minterm >> k) & 1) for k, v in enumerate(f.variables)}
+            complemented = {v: not value for v, value in assignment.items()}
+            assert dual.evaluate(assignment) == (not f.evaluate(complemented))
+
+    @given(functions(3))
+    @settings(max_examples=40, deadline=None)
+    def test_isop_covers_exactly(self, f):
+        cover = f.isop()
+        assert f.is_cover(cover)
+        assert all(f.is_implicant(cube) for cube in cover)
+
+    @given(functions(3))
+    @settings(max_examples=40, deadline=None)
+    def test_prime_implicants_cover_exactly(self, f):
+        primes = f.prime_implicants()
+        assert f.is_cover(primes) or f.is_constant_zero
+
+    @given(functions(3), functions(3))
+    @settings(max_examples=60, deadline=None)
+    def test_de_morgan(self, f, g):
+        assert ~(f & g) == (~f | ~g)
+        assert ~(f | g) == (~f & ~g)
+
+    @given(functions(3))
+    @settings(max_examples=30, deadline=None)
+    def test_dual_product_synthesis_correct_for_nonconstant(self, f):
+        if f.is_constant_zero or f.is_constant_one:
+            return
+        result = synthesize_dual_product(f)
+        assert implements(result.lattice, f)
+
+
+class TestLatticeProperties:
+    @given(literal_grids())
+    @settings(max_examples=60, deadline=None)
+    def test_products_match_connectivity_evaluation(self, lattice):
+        """The SOP built from irredundant paths equals the connectivity function."""
+        products = lattice_function_products(lattice)
+        for minterm in range(8):
+            assignment = {v: bool((minterm >> k) & 1) for k, v in enumerate(VARIABLES_3)}
+            by_products = any(
+                all(
+                    (assignment[p[:-1]] is False) if p.endswith("'") else (assignment[p] is True)
+                    for p in product
+                )
+                for product in products
+            )
+            grid = lattice.on_grid(assignment)
+            assert by_products == connectivity(grid)
+
+    @given(literal_grids())
+    @settings(max_examples=60, deadline=None)
+    def test_lattice_function_is_monotone_in_switch_states(self, lattice):
+        """Turning one more switch ON can never turn the output from 1 to 0."""
+        assignment = {v: True for v in VARIABLES_3}
+        grid = lattice.on_grid(assignment)
+        baseline = connectivity(grid)
+        for r in range(lattice.rows):
+            for c in range(lattice.cols):
+                if not grid[r][c]:
+                    upgraded = [list(row) for row in grid]
+                    upgraded[r][c] = True
+                    assert connectivity(upgraded) >= baseline
+
+    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_identity_lattice_products_are_irredundant(self, rows, cols):
+        products = [frozenset(p) for p in enumerate_lattice_products(rows, cols)]
+        assert len(products) == len(set(products))
+        for a in products:
+            assert not any(b < a for b in products)
+
+    @given(st.integers(min_value=2, max_value=5), st.integers(min_value=2, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_adding_a_column_adds_products(self, rows, cols):
+        from repro.core.paths import count_lattice_products
+
+        assert count_lattice_products(rows, cols + 1) > count_lattice_products(rows, cols)
+
+    @given(literal_grids(max_rows=2, max_cols=3))
+    @settings(max_examples=40, deadline=None)
+    def test_evaluation_consistent_with_boolean_function(self, lattice):
+        if not lattice.variables():
+            return
+        function = lattice_function(lattice)
+        for minterm in range(1 << len(function.variables)):
+            assignment = {
+                v: bool((minterm >> k) & 1) for k, v in enumerate(function.variables)
+            }
+            assert function.evaluate(assignment) == connectivity(lattice.on_grid(assignment))
+
+
+class TestXor3RealizationProperty:
+    @given(st.tuples(st.booleans(), st.booleans(), st.booleans()))
+    @settings(max_examples=8, deadline=None)
+    def test_3x3_matches_parity(self, bits):
+        lattice = __import__("repro.core.library", fromlist=["xor3_lattice_3x3"]).xor3_lattice_3x3()
+        a, b, c = bits
+        expected = (a + b + c) % 2 == 1
+        assignment = {"a": a, "b": b, "c": c}
+        assert connectivity(lattice.on_grid(assignment)) == expected

@@ -1,0 +1,229 @@
+"""Unit tests for repro.devices: materials, geometry, specs, terminals."""
+
+import math
+
+import pytest
+
+from repro import constants
+from repro.devices.geometry import (
+    ADJACENT_PAIRS,
+    ALL_PAIRS,
+    BoxDimensions,
+    OPPOSITE_PAIRS,
+    all_pair_distances,
+    canonical_pair,
+    cross_gate_geometry,
+    junctionless_geometry,
+    square_gate_geometry,
+)
+from repro.devices.materials import HFO2, SILICON, SIO2, gate_dielectric_by_name
+from repro.devices.specs import (
+    CROSS_SHAPED_SPEC,
+    DeviceKind,
+    DeviceOperation,
+    DopingProfile,
+    JUNCTIONLESS_SPEC,
+    SQUARE_SHAPED_SPEC,
+    TABLE_II_SPECS,
+    device_spec,
+)
+from repro.devices.terminals import (
+    ALL_TERMINAL_CONFIGURATIONS,
+    DSSS,
+    Terminal,
+    TerminalConfiguration,
+    TerminalRole,
+    configuration_by_name,
+)
+
+
+class TestMaterials:
+    def test_thermal_voltage(self):
+        assert constants.thermal_voltage(300.0) == pytest.approx(0.02585, rel=1e-3)
+
+    def test_thermal_voltage_invalid(self):
+        with pytest.raises(ValueError):
+            constants.thermal_voltage(0.0)
+
+    def test_silicon_bulk_potential(self):
+        phi_f = SILICON.bulk_potential(1e17)
+        assert 0.40 < phi_f < 0.43
+
+    def test_bulk_potential_invalid_doping(self):
+        with pytest.raises(ValueError):
+            SILICON.bulk_potential(0.0)
+
+    def test_debye_length_decreases_with_doping(self):
+        assert SILICON.debye_length_m(1e18) < SILICON.debye_length_m(1e16)
+
+    def test_dielectric_permittivity_ordering(self):
+        assert HFO2.relative_permittivity > SIO2.relative_permittivity
+
+    def test_capacitance_per_area(self):
+        cox = SIO2.capacitance_per_area(30e-9)
+        expected = 3.9 * constants.VACUUM_PERMITTIVITY / 30e-9
+        assert cox == pytest.approx(expected)
+
+    def test_capacitance_invalid_thickness(self):
+        with pytest.raises(ValueError):
+            SIO2.capacitance_per_area(0.0)
+
+    def test_gate_dielectric_lookup(self):
+        assert gate_dielectric_by_name("hfo2") is HFO2
+        assert gate_dielectric_by_name("SiO2") is SIO2
+
+    def test_gate_dielectric_unknown(self):
+        with pytest.raises(KeyError):
+            gate_dielectric_by_name("Al2O3")
+
+
+class TestGeometry:
+    def test_box_from_nm(self):
+        box = BoxDimensions.from_nm(2400, 2400, 730)
+        assert box.width_m == pytest.approx(2.4e-6)
+        assert box.volume_m3 == pytest.approx(2.4e-6 * 2.4e-6 * 0.73e-6)
+
+    def test_box_invalid(self):
+        with pytest.raises(ValueError):
+            BoxDimensions(1.0, -1.0, 1.0)
+
+    def test_canonical_pair_orders(self):
+        assert canonical_pair(Terminal.T4, Terminal.T1) == (Terminal.T1, Terminal.T4)
+
+    def test_canonical_pair_same_terminal(self):
+        with pytest.raises(ValueError):
+            canonical_pair(Terminal.T1, Terminal.T1)
+
+    def test_six_pairs(self):
+        assert len(ALL_PAIRS) == 6
+        assert len(ADJACENT_PAIRS) == 4
+        assert len(OPPOSITE_PAIRS) == 2
+
+    def test_square_geometry_type_lengths(self):
+        geom = square_gate_geometry()
+        assert geom.channel_length(Terminal.T1, Terminal.T3) == pytest.approx(0.35e-6)
+        assert geom.channel_length(Terminal.T1, Terminal.T2) == pytest.approx(0.50e-6)
+
+    def test_square_less_symmetric_than_cross(self):
+        assert square_gate_geometry().aspect_ratio_spread() > cross_gate_geometry().aspect_ratio_spread()
+
+    def test_cross_narrower_channel(self):
+        assert cross_gate_geometry().channel_width(Terminal.T1, Terminal.T3) < \
+            square_gate_geometry().channel_width(Terminal.T1, Terminal.T3)
+
+    def test_junctionless_nanoscale(self):
+        geom = junctionless_geometry()
+        assert geom.device_box.width_m == pytest.approx(24e-9)
+        assert geom.gate_oxide_thickness_m == pytest.approx(3e-9)
+
+    def test_pair_distances_opposite_larger(self):
+        distances = all_pair_distances()
+        adjacent = distances[canonical_pair(Terminal.T1, Terminal.T3)]
+        opposite = distances[canonical_pair(Terminal.T1, Terminal.T2)]
+        assert opposite > adjacent
+
+    def test_symmetry_groups(self):
+        groups = square_gate_geometry().symmetry_groups()
+        assert set(groups) == {"adjacent", "opposite"}
+
+
+class TestTerminals:
+    def test_sixteen_standard_configurations(self):
+        assert len(ALL_TERMINAL_CONFIGURATIONS) == 16
+
+    def test_dsss_roles(self):
+        assert DSSS.roles[Terminal.T1] is TerminalRole.DRAIN
+        assert DSSS.drains == (Terminal.T1,)
+        assert DSSS.sources == (Terminal.T2, Terminal.T3, Terminal.T4)
+        assert DSSS.floating == ()
+
+    def test_from_string_validation(self):
+        with pytest.raises(ValueError):
+            TerminalConfiguration.from_string("DSX")
+        with pytest.raises(ValueError):
+            TerminalConfiguration.from_string("DSXSA")
+
+    def test_needs_drain_and_source(self):
+        with pytest.raises(ValueError):
+            TerminalConfiguration.from_string("DDDD")
+        with pytest.raises(ValueError):
+            TerminalConfiguration.from_string("SSFF")
+
+    def test_symmetric_classification(self):
+        assert configuration_by_name("DDSS").is_symmetric
+        assert configuration_by_name("DSFF").is_symmetric
+        assert not configuration_by_name("DSSS").is_symmetric
+
+    def test_category_strings(self):
+        assert configuration_by_name("DSSS").category() == "1 drain - 3 sources"
+        assert configuration_by_name("DDSD").category() == "3 drains - 1 source"
+
+    def test_configuration_by_name_custom(self):
+        custom = configuration_by_name("DFSF")
+        assert custom.floating == (Terminal.T2, Terminal.T4)
+
+    def test_role_from_letter(self):
+        assert TerminalRole.from_letter("d") is TerminalRole.DRAIN
+        with pytest.raises(ValueError):
+            TerminalRole.from_letter("Q")
+
+    def test_paper_category_counts(self):
+        categories = {}
+        for configuration in ALL_TERMINAL_CONFIGURATIONS.values():
+            categories.setdefault(configuration.category(), 0)
+            categories[configuration.category()] += 1
+        assert categories["1 drain - 1 source"] == 2
+        assert categories["1 drain - 3 sources"] == 4
+        assert categories["2 drains - 2 sources"] == 6
+        assert categories["3 drains - 1 source"] == 4
+
+
+class TestSpecs:
+    def test_table_ii_has_three_devices(self):
+        assert len(TABLE_II_SPECS) == 3
+        assert {spec.kind for spec in TABLE_II_SPECS} == set(DeviceKind)
+
+    def test_enhancement_vs_depletion(self):
+        assert SQUARE_SHAPED_SPEC.operation is DeviceOperation.ENHANCEMENT
+        assert CROSS_SHAPED_SPEC.is_enhancement
+        assert JUNCTIONLESS_SPEC.is_depletion
+
+    def test_default_gate_is_hfo2(self):
+        assert SQUARE_SHAPED_SPEC.gate_dielectric is HFO2
+
+    def test_device_spec_lookup_with_material(self):
+        spec = device_spec("square", "SiO2")
+        assert spec.gate_dielectric is SIO2
+        assert spec.kind is DeviceKind.SQUARE
+
+    def test_device_spec_unknown_kind(self):
+        with pytest.raises(ValueError):
+            device_spec("round")
+
+    def test_body_doping(self):
+        assert SQUARE_SHAPED_SPEC.body_doping_cm3 == pytest.approx(1e17)
+        assert JUNCTIONLESS_SPEC.body_doping_cm3 == pytest.approx(1e20)
+
+    def test_oxide_capacitance_scales_with_material(self):
+        hfo2 = device_spec("square", "HfO2").oxide_capacitance_per_area
+        sio2 = device_spec("square", "SiO2").oxide_capacitance_per_area
+        assert hfo2 / sio2 == pytest.approx(25.0 / 3.9, rel=1e-6)
+
+    def test_doping_profile_validation(self):
+        with pytest.raises(ValueError):
+            DopingProfile("B", -1.0, "P", 1e20)
+        with pytest.raises(ValueError):
+            DopingProfile("B", 1e17, "P", 0.0)
+
+    def test_table_row_fields(self):
+        row = SQUARE_SHAPED_SPEC.table_row()
+        assert row["device"] == "square"
+        assert "2400" in row["device_size"]
+        assert row["gate_material"] == "HfO2"
+        junctionless_row = JUNCTIONLESS_SPEC.table_row()
+        assert junctionless_row["substrate_material"] == "SiO2"
+
+    def test_with_gate_dielectric_returns_copy(self):
+        copy = SQUARE_SHAPED_SPEC.with_gate_dielectric(SIO2)
+        assert copy.gate_dielectric is SIO2
+        assert SQUARE_SHAPED_SPEC.gate_dielectric is HFO2

@@ -1,0 +1,201 @@
+"""Unit tests for repro.fitting: level-1 equations, extraction, threshold methods."""
+
+import numpy as np
+import pytest
+
+from repro.fitting.extraction import fit_level1_parameters, fit_output_curve
+from repro.fitting.level1 import (
+    Level1Parameters,
+    level1_current,
+    level1_current_array,
+    on_resistance,
+    saturation_voltage,
+)
+from repro.fitting.threshold import (
+    constant_current_threshold,
+    linear_extrapolation_threshold,
+    max_gm_threshold,
+    on_off_ratio,
+)
+
+REFERENCE = Level1Parameters(kp_a_per_v2=5e-5, vth_v=0.4, lambda_per_v=0.04, width_m=0.7e-6, length_m=0.35e-6)
+
+
+class TestLevel1Equations:
+    def test_cutoff(self):
+        assert level1_current(REFERENCE, 0.3, 1.0) == 0.0
+
+    def test_triode_value(self):
+        vgs, vds = 2.0, 0.5
+        expected = REFERENCE.beta * ((vgs - 0.4) * vds - 0.5 * vds**2) * (1 + 0.04 * vds)
+        assert level1_current(REFERENCE, vgs, vds) == pytest.approx(expected)
+
+    def test_saturation_value(self):
+        vgs, vds = 2.0, 3.0
+        expected = 0.5 * REFERENCE.beta * (vgs - 0.4) ** 2 * (1 + 0.04 * vds)
+        assert level1_current(REFERENCE, vgs, vds) == pytest.approx(expected)
+
+    def test_continuity_at_saturation_boundary(self):
+        vgs = 2.0
+        boundary = vgs - REFERENCE.vth_v
+        below = level1_current(REFERENCE, vgs, boundary - 1e-9)
+        above = level1_current(REFERENCE, vgs, boundary + 1e-9)
+        assert below == pytest.approx(above, rel=1e-6)
+
+    def test_negative_vds_antisymmetric_behaviour(self):
+        forward = level1_current(REFERENCE, 2.0, 1.0)
+        reverse = level1_current(REFERENCE, 2.0 - 1.0, -1.0)
+        assert reverse == pytest.approx(-forward)
+
+    def test_array_matches_scalar(self):
+        vgs = np.linspace(0, 5, 21)
+        vds = np.full_like(vgs, 2.0)
+        array = level1_current_array(REFERENCE, vgs, vds)
+        scalars = np.array([level1_current(REFERENCE, g, 2.0) for g in vgs])
+        assert np.allclose(array, scalars)
+
+    def test_array_rejects_negative_vds(self):
+        with pytest.raises(ValueError):
+            level1_current_array(REFERENCE, 1.0, np.array([-0.1, 0.5]))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Level1Parameters(kp_a_per_v2=0.0, vth_v=0.4, lambda_per_v=0.0)
+        with pytest.raises(ValueError):
+            Level1Parameters(kp_a_per_v2=1e-5, vth_v=0.4, lambda_per_v=-0.1)
+
+    def test_scaled_geometry(self):
+        scaled = REFERENCE.scaled(width_m=0.7e-6, length_m=0.5e-6)
+        assert scaled.kp_a_per_v2 == REFERENCE.kp_a_per_v2
+        assert scaled.aspect_ratio == pytest.approx(1.4)
+
+    def test_saturation_voltage(self):
+        assert saturation_voltage(REFERENCE, 2.0) == pytest.approx(1.6)
+        assert saturation_voltage(REFERENCE, 0.1) == 0.0
+
+    def test_on_resistance(self):
+        assert on_resistance(REFERENCE, 0.2) == float("inf")
+        expected = 1.0 / (REFERENCE.beta * 1.6)
+        assert on_resistance(REFERENCE, 2.0) == pytest.approx(expected)
+
+
+class TestExtraction:
+    def _synthetic_data(self, noise=0.0, seed=0):
+        rng = np.random.default_rng(seed)
+        vds = np.linspace(0, 5, 41)
+        vgs = np.full_like(vds, 5.0)
+        ids = level1_current_array(REFERENCE, vgs, vds)
+        if noise:
+            ids = ids * (1.0 + noise * rng.standard_normal(ids.shape))
+            ids = np.clip(ids, 0.0, None)
+        return vds, ids
+
+    def test_recovers_parameters_exactly_from_clean_data(self):
+        vds, ids = self._synthetic_data()
+        fit = fit_output_curve(vds, ids, vgs=5.0, width_m=REFERENCE.width_m, length_m=REFERENCE.length_m)
+        assert fit.parameters.kp_a_per_v2 == pytest.approx(REFERENCE.kp_a_per_v2, rel=0.02)
+        assert fit.parameters.vth_v == pytest.approx(REFERENCE.vth_v, abs=0.05)
+        assert fit.parameters.lambda_per_v == pytest.approx(REFERENCE.lambda_per_v, abs=0.02)
+        assert fit.relative_rms_error < 1e-3
+
+    def test_robust_to_small_noise(self):
+        vds, ids = self._synthetic_data(noise=0.02)
+        fit = fit_output_curve(vds, ids, vgs=5.0, width_m=REFERENCE.width_m, length_m=REFERENCE.length_m)
+        assert fit.parameters.kp_a_per_v2 == pytest.approx(REFERENCE.kp_a_per_v2, rel=0.15)
+        assert fit.relative_rms_error < 0.05
+
+    def test_combined_datasets_improve_vth(self):
+        vds, ids_out = self._synthetic_data()
+        vgs_sweep = np.linspace(0, 5, 41)
+        ids_transfer = level1_current_array(REFERENCE, vgs_sweep, np.full_like(vgs_sweep, 5.0))
+        fit = fit_level1_parameters(
+            [(vgs_sweep, np.full_like(vgs_sweep, 5.0), ids_transfer), (np.full_like(vds, 5.0), vds, ids_out)],
+            width_m=REFERENCE.width_m,
+            length_m=REFERENCE.length_m,
+        )
+        assert fit.parameters.vth_v == pytest.approx(REFERENCE.vth_v, abs=0.02)
+
+    def test_rejects_empty_datasets(self):
+        with pytest.raises(ValueError):
+            fit_level1_parameters([], width_m=1e-6, length_m=1e-6)
+
+    def test_rejects_negative_currents(self):
+        vds = np.linspace(0, 5, 11)
+        with pytest.raises(ValueError):
+            fit_output_curve(vds, -np.ones_like(vds), vgs=5.0, width_m=1e-6, length_m=1e-6)
+
+    def test_rejects_all_zero_currents(self):
+        vds = np.linspace(0, 5, 11)
+        with pytest.raises(ValueError):
+            fit_output_curve(vds, np.zeros_like(vds), vgs=5.0, width_m=1e-6, length_m=1e-6)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_output_curve(np.linspace(0, 5, 11), np.ones(10), vgs=5.0, width_m=1e-6, length_m=1e-6)
+
+    def test_kp_scales_with_assumed_geometry(self):
+        vds, ids = self._synthetic_data()
+        fit_wide = fit_output_curve(vds, ids, vgs=5.0, width_m=1.4e-6, length_m=0.35e-6)
+        fit_ref = fit_output_curve(vds, ids, vgs=5.0, width_m=0.7e-6, length_m=0.35e-6)
+        assert fit_wide.parameters.kp_a_per_v2 == pytest.approx(0.5 * fit_ref.parameters.kp_a_per_v2, rel=0.05)
+
+    def test_predicted_matches_data(self):
+        vds, ids = self._synthetic_data()
+        fit = fit_output_curve(vds, ids, vgs=5.0, width_m=REFERENCE.width_m, length_m=REFERENCE.length_m)
+        predicted = fit.predicted(np.full_like(vds, 5.0), vds)
+        assert np.allclose(predicted, ids, rtol=1e-2, atol=1e-9)
+
+
+class TestThresholdExtraction:
+    def _transfer_curve(self, vth=0.8, slope=1e-4):
+        vgs = np.linspace(0, 5, 101)
+        ids = np.where(vgs > vth, slope * (vgs - vth), 1e-12)
+        return vgs, ids
+
+    def test_max_gm_threshold(self):
+        vgs, ids = self._transfer_curve(vth=0.8)
+        assert max_gm_threshold(vgs, ids) == pytest.approx(0.8, abs=0.1)
+
+    def test_linear_extrapolation_threshold(self):
+        vgs, ids = self._transfer_curve(vth=1.2)
+        assert linear_extrapolation_threshold(vgs, ids) == pytest.approx(1.2, abs=0.1)
+
+    def test_constant_current_threshold(self):
+        vgs, ids = self._transfer_curve(vth=0.5, slope=1e-5)
+        vth = constant_current_threshold(vgs, ids, criterion_a=1e-6)
+        assert vth == pytest.approx(0.6, abs=0.05)
+
+    def test_constant_current_not_reached(self):
+        vgs, ids = self._transfer_curve(slope=1e-9)
+        assert np.isnan(constant_current_threshold(vgs, ids, criterion_a=1.0))
+
+    def test_constant_current_already_on(self):
+        vgs = np.linspace(0, 5, 11)
+        ids = np.full_like(vgs, 1e-3)
+        assert constant_current_threshold(vgs, ids, criterion_a=1e-6) == 0.0
+
+    def test_constant_current_invalid_criterion(self):
+        vgs, ids = self._transfer_curve()
+        with pytest.raises(ValueError):
+            constant_current_threshold(vgs, ids, criterion_a=0.0)
+
+    def test_on_off_ratio(self):
+        vgs = np.linspace(0, 5, 51)
+        ids = 1e-9 + 1e-3 * np.clip(vgs - 1.0, 0.0, None) ** 2
+        ratio = on_off_ratio(vgs, ids)
+        assert ratio == pytest.approx((1e-9 + 1e-3 * 16) / 1e-9, rel=1e-3)
+
+    def test_on_off_ratio_infinite_for_zero_off(self):
+        vgs = np.linspace(0, 5, 51)
+        ids = np.clip(vgs - 1.0, 0.0, None)
+        assert on_off_ratio(vgs, ids) == float("inf")
+
+    def test_curve_validation(self):
+        with pytest.raises(ValueError):
+            max_gm_threshold(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        with pytest.raises(ValueError):
+            max_gm_threshold(np.array([0.0, 1.0, 0.5]), np.array([0.0, 1.0, 2.0]))
+
+    def test_flat_curve_returns_nan(self):
+        vgs = np.linspace(0, 5, 11)
+        assert np.isnan(max_gm_threshold(vgs, np.zeros_like(vgs)))

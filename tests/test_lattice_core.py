@@ -1,0 +1,228 @@
+"""Unit tests for repro.core.switch, repro.core.lattice and repro.core.evaluation."""
+
+import pytest
+
+from repro.core.boolean import Literal, and_function, or_function, xor
+from repro.core.evaluation import (
+    connectivity,
+    evaluate_lattice,
+    implements,
+    lattice_function,
+    lattice_truth_table,
+)
+from repro.core.lattice import Lattice
+from repro.core.switch import FourTerminalSwitch, SwitchState
+
+
+class TestFourTerminalSwitch:
+    def test_from_literal_string(self):
+        switch = FourTerminalSwitch.from_spec("a'")
+        assert switch.variable == "a"
+        assert not switch.is_constant
+
+    def test_from_constant(self):
+        assert FourTerminalSwitch.from_spec(1).is_constant
+        assert FourTerminalSwitch.from_spec("0").is_constant
+        assert FourTerminalSwitch.from_spec(True).control is True
+
+    def test_from_literal_object(self):
+        switch = FourTerminalSwitch.from_spec(Literal("b", negated=True))
+        assert str(switch) == "b'"
+
+    def test_invalid_integer(self):
+        with pytest.raises(ValueError):
+            FourTerminalSwitch.from_spec(2)
+
+    def test_invalid_type(self):
+        with pytest.raises(TypeError):
+            FourTerminalSwitch.from_spec(3.14)
+
+    def test_state_on_off(self):
+        switch = FourTerminalSwitch.from_spec("a")
+        assert switch.state({"a": True}) is SwitchState.ON
+        assert switch.state({"a": False}) is SwitchState.OFF
+        assert switch.is_on({"a": True})
+
+    def test_negated_state(self):
+        switch = FourTerminalSwitch.from_spec("a'")
+        assert switch.is_on({"a": False})
+        assert not switch.is_on({"a": True})
+
+    def test_constant_state_ignores_assignment(self):
+        assert FourTerminalSwitch(True).is_on({})
+        assert not FourTerminalSwitch(False).is_on({})
+
+    def test_switch_state_bool(self):
+        assert bool(SwitchState.ON) is True
+        assert bool(SwitchState.OFF) is False
+
+
+class TestLatticeContainer:
+    def test_shape_and_size(self):
+        lattice = Lattice(3, 4)
+        assert lattice.shape == (3, 4)
+        assert lattice.size == 12
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Lattice(0, 3)
+
+    def test_default_cells_are_off(self):
+        lattice = Lattice(2, 2)
+        assert all(switch.is_constant and switch.control is False for _, switch in lattice.switches())
+
+    def test_from_strings(self):
+        lattice = Lattice.from_strings(["a b'", "1 c"])
+        assert str(lattice[(0, 1)]) == "b'"
+        assert lattice[(1, 0)].is_constant
+
+    def test_from_strings_ragged_raises(self):
+        with pytest.raises(ValueError):
+            Lattice.from_strings(["a b", "c"])
+
+    def test_setitem_getitem(self):
+        lattice = Lattice(2, 2)
+        lattice[(0, 0)] = "x1"
+        assert lattice[(0, 0)].variable == "x1"
+
+    def test_out_of_range_cell(self):
+        lattice = Lattice(2, 2)
+        with pytest.raises(IndexError):
+            _ = lattice[(2, 0)]
+
+    def test_identity_lattice_variables(self):
+        lattice = Lattice.identity(2, 3)
+        assert lattice.variables() == ("x1", "x2", "x3", "x4", "x5", "x6")
+
+    def test_top_bottom_cells(self):
+        lattice = Lattice(3, 2)
+        assert lattice.top_cells() == ((0, 0), (0, 1))
+        assert lattice.bottom_cells() == ((2, 0), (2, 1))
+
+    def test_neighbors_corner_and_interior(self):
+        lattice = Lattice(3, 3)
+        assert set(lattice.neighbors((0, 0))) == {(1, 0), (0, 1)}
+        assert set(lattice.neighbors((1, 1))) == {(0, 1), (2, 1), (1, 0), (1, 2)}
+
+    def test_switch_count_ignores_constant_zero(self):
+        lattice = Lattice.from_strings(["a 0", "1 b"])
+        assert lattice.switch_count() == 3
+
+    def test_with_assignment_copies(self):
+        original = Lattice.from_strings(["a b", "c d"])
+        modified = original.with_assignment({(0, 0): "z"})
+        assert original[(0, 0)].variable == "a"
+        assert modified[(0, 0)].variable == "z"
+
+    def test_to_strings_roundtrip(self):
+        lattice = Lattice.from_strings(["a b'", "1 c"])
+        rebuilt = Lattice.from_strings(lattice.to_strings())
+        assert rebuilt == lattice
+
+    def test_equality_and_hash(self):
+        a = Lattice.from_strings(["a b", "c d"])
+        b = Lattice.from_strings(["a b", "c d"])
+        c = Lattice.from_strings(["a b", "c e"])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_on_grid(self):
+        lattice = Lattice.from_strings(["a a'", "1 0"])
+        grid = lattice.on_grid({"a": True})
+        assert grid == [[True, False], [True, False]]
+
+
+class TestConnectivity:
+    def test_straight_column(self):
+        assert connectivity([[True], [True], [True]])
+
+    def test_broken_column(self):
+        assert not connectivity([[True], [False], [True]])
+
+    def test_zigzag_path(self):
+        grid = [
+            [True, False, False],
+            [True, True, False],
+            [False, True, True],
+        ]
+        assert connectivity(grid)
+
+    def test_diagonal_only_does_not_connect(self):
+        grid = [
+            [True, False],
+            [False, True],
+        ]
+        assert not connectivity(grid)
+
+    def test_single_row(self):
+        assert connectivity([[False, True, False]])
+        assert not connectivity([[False, False]])
+
+    def test_empty_grid_raises(self):
+        with pytest.raises(ValueError):
+            connectivity([])
+
+    def test_ragged_grid_raises(self):
+        with pytest.raises(ValueError):
+            connectivity([[True, True], [True]])
+
+
+class TestEvaluation:
+    def test_and_column(self):
+        lattice = Lattice(3, 1, [["a"], ["b"], ["c"]])
+        assert evaluate_lattice(lattice, {"a": True, "b": True, "c": True})
+        assert not evaluate_lattice(lattice, {"a": True, "b": False, "c": True})
+
+    def test_or_row(self):
+        lattice = Lattice(1, 3, [["a", "b", "c"]])
+        assert evaluate_lattice(lattice, {"a": False, "b": True, "c": False})
+        assert not evaluate_lattice(lattice, {"a": False, "b": False, "c": False})
+
+    def test_truth_table_ordering(self):
+        lattice = Lattice(2, 1, [["a"], ["b"]])
+        variables, values = lattice_truth_table(lattice)
+        assert variables == ("a", "b")
+        # AND: only minterm 3 (a=1, b=1) is on.
+        assert values == [0, 0, 0, 1]
+
+    def test_truth_table_with_superset_variables(self):
+        lattice = Lattice(1, 1, [["a"]])
+        variables, values = lattice_truth_table(lattice, ("a", "b"))
+        assert variables == ("a", "b")
+        assert values == [0, 1, 0, 1]
+
+    def test_truth_table_missing_variable_raises(self):
+        lattice = Lattice(1, 1, [["a"]])
+        with pytest.raises(ValueError):
+            lattice_truth_table(lattice, ("b",))
+
+    def test_lattice_function_matches_target(self):
+        lattice = Lattice(2, 1, [["a"], ["b"]])
+        assert lattice_function(lattice) == and_function(("a", "b"))
+
+    def test_lattice_function_constant_lattice_raises(self):
+        lattice = Lattice.from_strings(["1", "1"])
+        with pytest.raises(ValueError):
+            lattice_function(lattice)
+
+    def test_implements(self):
+        lattice = Lattice(1, 2, [["a", "b"]])
+        assert implements(lattice, or_function(("a", "b")))
+        assert not implements(lattice, and_function(("a", "b")))
+
+    def test_implements_extra_variable_raises(self):
+        lattice = Lattice(1, 2, [["a", "z"]])
+        with pytest.raises(ValueError):
+            implements(lattice, or_function(("a", "b")))
+
+    def test_constant_one_cell_bridges(self):
+        lattice = Lattice.from_strings(["a", "1", "b"])
+        assert lattice_function(lattice) == and_function(("a", "b"))
+
+    def test_constant_zero_cell_blocks(self):
+        lattice = Lattice.from_strings(["a", "0", "b"])
+        assert not evaluate_lattice(lattice, {"a": True, "b": True})
+
+    def test_negated_literals(self):
+        lattice = Lattice(2, 2, [["a", "a'"], ["b'", "b"]])
+        assert lattice_function(lattice) == xor(("a", "b"))

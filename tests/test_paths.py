@@ -1,0 +1,147 @@
+"""Unit tests for repro.core.paths — Table I and the Fig. 2c lattice function."""
+
+import pytest
+
+from repro.core.lattice import Lattice
+from repro.core.paths import (
+    PAPER_TABLE_I,
+    count_lattice_products,
+    enumerate_lattice_products,
+    fig2c_products,
+    lattice_function_products,
+    lattice_function_string,
+    paper_product_count,
+    product_count_table,
+)
+
+
+class TestEnumeration:
+    def test_single_row_products(self):
+        products = list(enumerate_lattice_products(1, 4))
+        assert products == [((0, 0),), ((0, 1),), ((0, 2),), ((0, 3),)]
+
+    def test_two_by_two_products(self):
+        products = {frozenset(p) for p in enumerate_lattice_products(2, 2)}
+        assert products == {frozenset({(0, 0), (1, 0)}), frozenset({(0, 1), (1, 1)})}
+
+    def test_paths_start_top_end_bottom(self):
+        for path in enumerate_lattice_products(4, 3):
+            assert path[0][0] == 0
+            assert path[-1][0] == 3
+            # only the first cell is in the top row, only the last in the bottom row
+            assert sum(1 for r, _ in path if r == 0) == 1
+            assert sum(1 for r, _ in path if r == 3) == 1
+
+    def test_paths_are_connected_and_simple(self):
+        for path in enumerate_lattice_products(4, 4):
+            assert len(set(path)) == len(path)
+            for (r1, c1), (r2, c2) in zip(path, path[1:]):
+                assert abs(r1 - r2) + abs(c1 - c2) == 1
+
+    def test_paths_are_chordless(self):
+        for path in enumerate_lattice_products(4, 4):
+            cells = set(path)
+            for i, (r, c) in enumerate(path):
+                neighbours_on_path = sum(
+                    1
+                    for rr, cc in ((r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1))
+                    if (rr, cc) in cells
+                )
+                expected = 1 if i in (0, len(path) - 1) else 2
+                assert neighbours_on_path == expected
+
+    def test_no_product_contains_another(self):
+        products = [frozenset(p) for p in enumerate_lattice_products(4, 3)]
+        for i, a in enumerate(products):
+            for j, b in enumerate(products):
+                if i != j:
+                    assert not (a < b), "an irredundant product list may not contain subsets"
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            count_lattice_products(0, 3)
+
+
+class TestTableI:
+    @pytest.mark.parametrize("rows", range(2, 7))
+    @pytest.mark.parametrize("cols", range(2, 7))
+    def test_matches_paper_up_to_6x6(self, rows, cols):
+        assert count_lattice_products(rows, cols) == PAPER_TABLE_I[(rows, cols)]
+
+    @pytest.mark.parametrize(
+        "rows,cols",
+        [(2, 9), (3, 9), (9, 2), (7, 7), (4, 8), (8, 4), (5, 8), (7, 5)],
+    )
+    def test_matches_paper_rectangular_cases(self, rows, cols):
+        assert count_lattice_products(rows, cols) == PAPER_TABLE_I[(rows, cols)]
+
+    def test_table_is_not_symmetric(self):
+        # The paper highlights that m x n and n x m differ (e.g. 6x6 vs 9x4).
+        assert PAPER_TABLE_I[(6, 3)] != PAPER_TABLE_I[(3, 6)]
+        assert count_lattice_products(6, 3) != count_lattice_products(3, 6)
+
+    def test_product_count_table_subset(self):
+        table = product_count_table(max_rows=4, max_cols=4)
+        assert set(table) == {(r, c) for r in range(2, 5) for c in range(2, 5)}
+        assert all(table[key] == PAPER_TABLE_I[key] for key in table)
+
+    def test_product_count_table_empty_raises(self):
+        with pytest.raises(ValueError):
+            product_count_table(max_rows=2, max_cols=2, min_rows=3)
+
+    def test_paper_product_count_lookup(self):
+        assert paper_product_count(9, 9) == 38930447
+        assert paper_product_count(10, 10) is None
+
+    def test_paper_table_has_64_entries(self):
+        assert len(PAPER_TABLE_I) == 64
+
+    def test_counts_grow_with_size(self):
+        assert count_lattice_products(5, 5) > count_lattice_products(4, 5) > count_lattice_products(4, 4)
+
+
+class TestLatticeFunctionProducts:
+    def test_fig2c_products(self):
+        lattice = Lattice.identity(3, 3)
+        products = lattice_function_products(lattice)
+        expected = set()
+        for text in fig2c_products():
+            literals = frozenset("x" + digits for digits in text.split("x") if digits)
+            expected.add(literals)
+        assert {frozenset(p) for p in products} == expected
+
+    def test_fig2c_string_has_nine_terms(self):
+        text = lattice_function_string(Lattice.identity(3, 3))
+        assert text.count("+") == 8
+
+    def test_constant_zero_cells_removed(self):
+        lattice = Lattice.from_strings(["a b", "0 c"])
+        products = lattice_function_products(lattice)
+        assert frozenset({"b", "c"}) in products
+        assert all("0" not in p for p in products)
+
+    def test_constant_one_cells_dropped_from_product(self):
+        lattice = Lattice.from_strings(["a", "1", "b"])
+        products = lattice_function_products(lattice)
+        assert products == [frozenset({"a", "b"})]
+
+    def test_contradictory_paths_removed(self):
+        lattice = Lattice.from_strings(["a", "a'"])
+        assert lattice_function_products(lattice) == []
+        assert lattice_function_string(lattice) == "0"
+
+    def test_repeated_literal_collapses(self):
+        lattice = Lattice.from_strings(["a", "a"])
+        assert lattice_function_products(lattice) == [frozenset({"a"})]
+
+    def test_xor3_3x3_has_four_products(self, xor3_3x3):
+        products = lattice_function_products(xor3_3x3)
+        assert len(products) == 4
+        assert all(len(p) == 3 for p in products)
+
+    def test_superset_products_removed(self):
+        # Column 'a' alone connects top to bottom; the path through b is redundant.
+        lattice = Lattice.from_strings(["a b", "a b", "a 0"])
+        products = lattice_function_products(lattice)
+        assert frozenset({"a"}) in products
+        assert not any(p > frozenset({"a"}) for p in products)

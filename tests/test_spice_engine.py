@@ -1,0 +1,364 @@
+"""Unit tests for the SPICE engine: netlist, elements, DC, sweep, transient."""
+
+import numpy as np
+import pytest
+
+from repro.fitting.level1 import Level1Parameters
+from repro.spice import (
+    DC,
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    MOSFET,
+    PiecewiseLinear,
+    Pulse,
+    Resistor,
+    VoltageSource,
+    dc_operating_point,
+    dc_sweep,
+    transient_analysis,
+)
+from repro.spice.netlist import AnalysisState
+
+NMOS = Level1Parameters(kp_a_per_v2=4e-5, vth_v=0.18, lambda_per_v=0.05, width_m=0.7e-6, length_m=0.35e-6)
+
+
+class TestCircuitContainer:
+    def test_ground_aliases(self):
+        circuit = Circuit()
+        assert circuit.node("0") == -1
+        assert circuit.node("gnd") == -1
+        assert circuit.node("GND") == -1
+
+    def test_node_creation_and_lookup(self):
+        circuit = Circuit()
+        index = circuit.node("a")
+        assert circuit.node("a") == index
+        assert circuit.node_index("a") == index
+        assert circuit.num_nodes == 1
+
+    def test_unknown_node_lookup_raises(self):
+        circuit = Circuit()
+        with pytest.raises(KeyError):
+            circuit.node_index("missing")
+
+    def test_invalid_node_name(self):
+        circuit = Circuit()
+        with pytest.raises(ValueError):
+            circuit.node("")
+
+    def test_duplicate_element_names_rejected(self):
+        circuit = Circuit()
+        Resistor(circuit, "r1", "a", "0", 100.0)
+        with pytest.raises(ValueError):
+            Resistor(circuit, "r1", "a", "b", 100.0)
+
+    def test_element_lookup(self):
+        circuit = Circuit()
+        resistor = Resistor(circuit, "r1", "a", "0", 100.0)
+        assert circuit.element("r1") is resistor
+        assert "r1" in circuit
+        with pytest.raises(KeyError):
+            circuit.element("r2")
+
+    def test_system_size_includes_branches(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "a", "0", 1.0)
+        Resistor(circuit, "r1", "a", "0", 100.0)
+        assert circuit.num_nodes == 1
+        assert circuit.num_branches == 1
+        assert circuit.system_size == 2
+
+    def test_summary(self):
+        circuit = Circuit("test")
+        Resistor(circuit, "r1", "a", "0", 100.0)
+        assert "Resistor" in circuit.summary()
+
+
+class TestWaveforms:
+    def test_dc(self):
+        assert DC(2.5).value(1e-3) == 2.5
+
+    def test_pulse_levels(self):
+        pulse = Pulse(0.0, 1.0, delay_s=1e-9, rise_s=1e-10, fall_s=1e-10, width_s=5e-9)
+        assert pulse.value(0.0) == 0.0
+        assert pulse.value(2e-9) == pytest.approx(1.0)
+        assert pulse.value(1e-9 + 1e-10 + 5e-9 + 1e-10 + 1e-9) == pytest.approx(0.0)
+
+    def test_pulse_periodic(self):
+        pulse = Pulse(0.0, 1.0, rise_s=1e-10, fall_s=1e-10, width_s=4e-9, period_s=10e-9)
+        assert pulse.value(2e-9) == pytest.approx(pulse.value(12e-9))
+
+    def test_pulse_validation(self):
+        with pytest.raises(ValueError):
+            Pulse(0.0, 1.0, rise_s=0.0)
+
+    def test_pwl_interpolation(self):
+        pwl = PiecewiseLinear.from_pairs([(0.0, 0.0), (1.0, 2.0)])
+        assert pwl.value(-1.0) == 0.0
+        assert pwl.value(0.5) == pytest.approx(1.0)
+        assert pwl.value(2.0) == 2.0
+
+    def test_pwl_requires_increasing_times(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear.from_pairs([(1.0, 0.0), (0.5, 1.0)])
+
+    def test_pwl_steps(self):
+        steps = PiecewiseLinear.steps([0.0, 1.2, 0.0], 10e-9, transition_s=1e-9)
+        assert steps.value(5e-9) == pytest.approx(0.0)
+        assert steps.value(15e-9) == pytest.approx(1.2)
+        assert steps.value(25e-9) == pytest.approx(0.0)
+
+    def test_pwl_steps_validation(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear.steps([1.0], 1e-9, transition_s=1e-9)
+        with pytest.raises(ValueError):
+            PiecewiseLinear.steps([], 1e-8)
+
+
+class TestLinearCircuits:
+    def test_voltage_divider(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "in", "0", 2.0)
+        Resistor(circuit, "r1", "in", "mid", 1e3)
+        Resistor(circuit, "r2", "mid", "0", 3e3)
+        op = dc_operating_point(circuit)
+        assert op.converged
+        # gmin (1 nS to ground on every node) perturbs the ideal divider by
+        # a few microvolts at most.
+        assert op.voltage("mid") == pytest.approx(1.5, abs=1e-4)
+
+    def test_source_current_convention(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "in", "0", 1.0)
+        Resistor(circuit, "r1", "in", "0", 1e3)
+        op = dc_operating_point(circuit)
+        # The supply sources 1 mA, so the branch current is -1 mA.
+        assert op.source_current("v1") == pytest.approx(-1e-3, rel=1e-6)
+
+    def test_current_source_into_resistor(self):
+        circuit = Circuit()
+        CurrentSource(circuit, "i1", "0", "a", 1e-3)
+        Resistor(circuit, "r1", "a", "0", 1e3)
+        op = dc_operating_point(circuit)
+        assert op.voltage("a") == pytest.approx(1.0, rel=1e-6)
+
+    def test_resistor_validation(self):
+        circuit = Circuit()
+        with pytest.raises(ValueError):
+            Resistor(circuit, "r1", "a", "0", 0.0)
+
+    def test_capacitor_validation(self):
+        circuit = Circuit()
+        with pytest.raises(ValueError):
+            Capacitor(circuit, "c1", "a", "0", -1e-15)
+
+    def test_capacitor_open_in_dc(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "in", "0", 1.0)
+        Resistor(circuit, "r1", "in", "out", 1e3)
+        Capacitor(circuit, "c1", "out", "0", 1e-12)
+        op = dc_operating_point(circuit)
+        assert op.voltage("out") == pytest.approx(1.0, abs=1e-3)
+
+    def test_voltages_dict(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "a", "0", 1.0)
+        Resistor(circuit, "r1", "a", "b", 1e3)
+        Resistor(circuit, "r2", "b", "0", 1e3)
+        op = dc_operating_point(circuit)
+        voltages = op.voltages()
+        assert set(voltages) == {"a", "b"}
+
+    def test_series_resistors_with_two_sources(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "a", "0", 2.0)
+        VoltageSource(circuit, "v2", "c", "0", 1.0)
+        Resistor(circuit, "r1", "a", "b", 1e3)
+        Resistor(circuit, "r2", "b", "c", 1e3)
+        op = dc_operating_point(circuit)
+        assert op.voltage("b") == pytest.approx(1.5, abs=1e-6)
+
+
+class TestMOSFETElement:
+    def _common_source(self, vgs, vdd=1.2, rload=500e3):
+        circuit = Circuit()
+        VoltageSource(circuit, "vdd", "vdd", "0", vdd)
+        VoltageSource(circuit, "vg", "g", "0", vgs)
+        Resistor(circuit, "rl", "vdd", "d", rload)
+        MOSFET(circuit, "m1", "d", "g", "0", NMOS)
+        return circuit
+
+    def test_off_state_output_high(self):
+        op = dc_operating_point(self._common_source(vgs=0.0))
+        assert op.converged
+        assert op.voltage("d") > 1.15
+
+    def test_on_state_output_low(self):
+        op = dc_operating_point(self._common_source(vgs=1.2))
+        assert op.converged
+        assert op.voltage("d") < 0.1
+
+    def test_matches_level1_in_saturation(self):
+        # Force a known operating point: ideal sources on all terminals.
+        circuit = Circuit()
+        VoltageSource(circuit, "vd", "d", "0", 3.0)
+        VoltageSource(circuit, "vg", "g", "0", 2.0)
+        mosfet = MOSFET(circuit, "m1", "d", "g", "0", NMOS)
+        op = dc_operating_point(circuit)
+        measured = -op.source_current("vd")
+        from repro.fitting.level1 import level1_current
+
+        expected = level1_current(NMOS, 2.0, 3.0)
+        assert measured == pytest.approx(expected, rel=0.02)
+
+    def test_symmetric_conduction(self):
+        # Swap drain and source: the device must conduct the same magnitude.
+        def chain(reversed_nodes):
+            circuit = Circuit()
+            VoltageSource(circuit, "vin", "a", "0", 1.0)
+            VoltageSource(circuit, "vg", "g", "0", 1.2)
+            if reversed_nodes:
+                MOSFET(circuit, "m1", "0", "g", "a", NMOS)
+            else:
+                MOSFET(circuit, "m1", "a", "g", "0", NMOS)
+            return abs(dc_operating_point(circuit).source_current("vin"))
+
+        assert chain(False) == pytest.approx(chain(True), rel=1e-6)
+
+    def test_channel_current_reporting(self):
+        circuit = self._common_source(vgs=1.2)
+        op = dc_operating_point(circuit)
+        mosfet = circuit.element("m1")
+        current = mosfet.channel_current(AnalysisState(solution=op.solution))
+        # Must equal the pull-up resistor current at the operating point.
+        resistor_current = (op.voltage("vdd") - op.voltage("d")) / 500e3
+        assert current == pytest.approx(resistor_current, rel=0.05)
+
+    def test_subthreshold_smoothing_continuous(self):
+        mosfet_params = NMOS
+        circuit = Circuit()
+        MOSFET(circuit, "m1", "d", "g", "0", mosfet_params)
+        element = circuit.element("m1")
+        just_below, _, _ = element._evaluate(mosfet_params.vth_v - 1e-6, 1.0)
+        just_above, _, _ = element._evaluate(mosfet_params.vth_v + 1e-6, 1.0)
+        assert just_below == pytest.approx(just_above, rel=1e-3)
+
+
+class TestDCSweep:
+    def test_resistor_sweep_linear(self):
+        circuit = Circuit()
+        source = VoltageSource(circuit, "v1", "a", "0", 0.0)
+        Resistor(circuit, "r1", "a", "0", 1e3)
+        sweep = dc_sweep(circuit, source, np.linspace(0, 1, 6))
+        assert sweep.all_converged
+        currents = -sweep.source_current("v1")
+        assert np.allclose(currents, sweep.values / 1e3, rtol=1e-6)
+
+    def test_sweep_restores_waveform(self):
+        circuit = Circuit()
+        source = VoltageSource(circuit, "v1", "a", "0", DC(5.0))
+        Resistor(circuit, "r1", "a", "0", 1e3)
+        dc_sweep(circuit, "v1", [0.0, 1.0])
+        assert source.value_at(0.0) == 5.0
+
+    def test_find_value_for_voltage(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "vin", "in", "0", 0.0)
+        Resistor(circuit, "r1", "in", "out", 1e3)
+        Resistor(circuit, "r2", "out", "0", 1e3)
+        sweep = dc_sweep(circuit, "vin", np.linspace(0, 2, 21))
+        assert sweep.find_value_for_voltage("out", 0.5) == pytest.approx(1.0, abs=0.01)
+
+    def test_find_value_never_crossing_is_nan(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "vin", "in", "0", 0.0)
+        Resistor(circuit, "r1", "in", "0", 1e3)
+        sweep = dc_sweep(circuit, "vin", np.linspace(0, 1, 5))
+        assert np.isnan(sweep.find_value_for_voltage("in", 5.0))
+
+    def test_sweep_requires_source(self):
+        circuit = Circuit()
+        Resistor(circuit, "r1", "a", "0", 1e3)
+        with pytest.raises(TypeError):
+            dc_sweep(circuit, "r1", [0.0, 1.0])
+
+    def test_nmos_transfer_sweep_monotone(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "vdd", "vdd", "0", 1.2)
+        gate = VoltageSource(circuit, "vg", "g", "0", 0.0)
+        Resistor(circuit, "rl", "vdd", "d", 100e3)
+        MOSFET(circuit, "m1", "d", "g", "0", NMOS)
+        sweep = dc_sweep(circuit, gate, np.linspace(0, 1.2, 13))
+        vout = sweep.voltage("d")
+        assert np.all(np.diff(vout) <= 1e-9)
+
+
+class TestTransient:
+    def test_rc_charging_curve(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "in", "0", Pulse(0.0, 1.0, delay_s=0.0, rise_s=1e-12, width_s=1.0))
+        Resistor(circuit, "r1", "in", "out", 1e3)
+        Capacitor(circuit, "c1", "out", "0", 1e-9)
+        result = transient_analysis(circuit, 5e-6, 1e-8)
+        tau_value = result.sample_voltage("out", 1e-6)
+        assert tau_value == pytest.approx(1.0 - np.exp(-1.0), abs=0.02)
+        assert result.voltage("out")[-1] == pytest.approx(1.0, abs=0.01)
+
+    def test_both_integration_methods_track_rc_charging(self):
+        def run(integration):
+            circuit = Circuit()
+            VoltageSource(circuit, "v1", "in", "0", DC(1.0))
+            Resistor(circuit, "r1", "in", "out", 1e3)
+            Capacitor(circuit, "c1", "out", "0", 1e-9)
+            result = transient_analysis(
+                circuit, 2e-6, 5e-8, integration=integration, use_initial_conditions=True
+            )
+            return result.sample_voltage("out", 1e-6)
+
+        exact = 1.0 - np.exp(-1.0)
+        assert abs(run("be") - exact) < 0.03
+        assert abs(run("trap") - exact) < 0.03
+
+    def test_initial_condition_from_dc(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "in", "0", 1.0)
+        Resistor(circuit, "r1", "in", "out", 1e3)
+        Capacitor(circuit, "c1", "out", "0", 1e-12)
+        result = transient_analysis(circuit, 1e-8, 1e-10)
+        assert result.voltage("out")[0] == pytest.approx(1.0, abs=1e-3)
+
+    def test_use_initial_conditions_starts_at_zero(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "in", "0", 1.0)
+        Resistor(circuit, "r1", "in", "out", 1e3)
+        Capacitor(circuit, "c1", "out", "0", 1e-9)
+        result = transient_analysis(circuit, 1e-7, 1e-9, use_initial_conditions=True)
+        assert result.voltage("out")[0] == pytest.approx(0.0, abs=1e-6)
+        assert result.voltage("out")[-1] > 0.05
+
+    def test_validation(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "in", "0", 1.0)
+        Resistor(circuit, "r1", "in", "0", 1e3)
+        with pytest.raises(ValueError):
+            transient_analysis(circuit, -1.0, 1e-9)
+        with pytest.raises(ValueError):
+            transient_analysis(circuit, 1e-9, 1e-6)
+        with pytest.raises(ValueError):
+            transient_analysis(circuit, 1e-6, 1e-9, integration="gear")
+
+    def test_source_current_waveform(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "in", "0", 1.0)
+        Resistor(circuit, "r1", "in", "0", 1e3)
+        result = transient_analysis(circuit, 1e-8, 1e-9)
+        assert np.allclose(result.source_current("v1"), -1e-3, rtol=1e-6)
+
+    def test_final_voltages(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "in", "0", 1.0)
+        Resistor(circuit, "r1", "in", "out", 1e3)
+        Resistor(circuit, "r2", "out", "0", 1e3)
+        result = transient_analysis(circuit, 1e-8, 1e-9)
+        assert result.final_voltages()["out"] == pytest.approx(0.5, abs=1e-6)

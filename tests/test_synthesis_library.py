@@ -1,0 +1,162 @@
+"""Unit tests for repro.core.synthesis and repro.core.library."""
+
+import pytest
+
+from repro.core.boolean import BooleanFunction, and_function, majority, or_function, parse_sop, xor
+from repro.core.evaluation import implements, lattice_function
+from repro.core.library import (
+    and_lattice,
+    dual_product_realizations,
+    half_adder_sum_lattice,
+    known_realizations,
+    majority3_lattice,
+    or_lattice,
+    xor3_function,
+    xor3_lattice_3x3,
+    xor3_lattice_3x4,
+)
+from repro.core.synthesis import (
+    exhaustive_synthesis,
+    lattice_products_as_cubes,
+    minimum_lattice,
+    synthesize_dual_product,
+)
+
+
+class TestDualProductSynthesis:
+    @pytest.mark.parametrize(
+        "expression",
+        ["ab + bc + ac", "ab + a'c", "a + bc", "ab'c + a'bc + abc'", "abc"],
+    )
+    def test_synthesized_lattice_implements_target(self, expression):
+        target = parse_sop(("a", "b", "c"), expression)
+        result = synthesize_dual_product(target)
+        assert result.found
+        assert result.verify()
+        assert implements(result.lattice, target)
+
+    def test_lattice_size_is_cover_product(self):
+        target = majority(("a", "b", "c"))
+        result = synthesize_dual_product(target)
+        assert result.lattice.shape == (len(result.row_cover), len(result.column_cover))
+
+    def test_xor3_dual_product_is_4x4(self):
+        result = synthesize_dual_product(xor(("a", "b", "c")))
+        assert result.lattice.shape == (4, 4)
+
+    def test_majority_dual_product_is_3x3(self):
+        result = synthesize_dual_product(majority(("a", "b", "c")))
+        assert result.lattice.shape == (3, 3)
+
+    def test_constant_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_dual_product(BooleanFunction.constant(("a",), True))
+
+    def test_left_right_function_is_dual(self):
+        # The dual-product lattice realizes f top-to-bottom; transposing it
+        # (so left-right becomes top-bottom) must realize the dual function.
+        target = parse_sop(("a", "b", "c"), "ab + bc")
+        result = synthesize_dual_product(target)
+        lattice = result.lattice
+        from repro.core.lattice import Lattice
+
+        transposed = Lattice(
+            lattice.cols,
+            lattice.rows,
+            [[lattice[(r, c)] for r in range(lattice.rows)] for c in range(lattice.cols)],
+        )
+        assert lattice_function(transposed, target.variables) == target.dual()
+
+    def test_single_variable_function(self):
+        target = parse_sop(("a", "b"), "a")
+        result = synthesize_dual_product(target)
+        assert implements(result.lattice, target)
+
+
+class TestExhaustiveSynthesis:
+    def test_finds_or2_in_1x2(self):
+        result = exhaustive_synthesis(or_function(("a", "b")), 1, 2, allow_constants=False)
+        assert result.found
+        assert implements(result.lattice, or_function(("a", "b")))
+
+    def test_finds_and2_in_2x1(self):
+        result = exhaustive_synthesis(and_function(("a", "b")), 2, 1, allow_constants=False)
+        assert result.found
+
+    def test_and2_does_not_fit_1x1(self):
+        result = exhaustive_synthesis(and_function(("a", "b")), 1, 1)
+        assert not result.found
+        assert result.explored > 0
+
+    def test_xor2_fits_2x2_but_not_1x2(self):
+        target = xor(("a", "b"))
+        assert not exhaustive_synthesis(target, 1, 2).found
+        found = exhaustive_synthesis(target, 2, 2, allow_constants=False)
+        assert found.found and implements(found.lattice, target)
+
+    def test_assignment_cap_raises(self):
+        with pytest.raises(RuntimeError):
+            exhaustive_synthesis(xor(("a", "b", "c")), 3, 3, max_assignments=50)
+
+    def test_minimum_lattice_or3(self):
+        result = minimum_lattice(or_function(("a", "b", "c")))
+        assert result.found
+        assert result.lattice.size == 3
+
+    def test_minimum_lattice_and2(self):
+        result = minimum_lattice(and_function(("a", "b")))
+        assert result.found
+        assert result.lattice.size == 2
+
+
+class TestLibrary:
+    def test_all_known_realizations_verified(self):
+        for name, (lattice, target) in known_realizations().items():
+            assert implements(lattice, target), f"library entry {name} is wrong"
+
+    def test_xor3_3x3_size(self):
+        assert xor3_lattice_3x3().shape == (3, 3)
+
+    def test_xor3_3x4_size(self):
+        assert xor3_lattice_3x4().shape == (3, 4)
+
+    def test_xor3_3x3_uses_one_constant(self):
+        lattice = xor3_lattice_3x3()
+        constants = [switch for _, switch in lattice.switches() if switch.is_constant]
+        assert len(constants) == 1 and constants[0].control is True
+
+    def test_xor3_function_variables(self):
+        assert xor3_function().variables == ("a", "b", "c")
+        with pytest.raises(ValueError):
+            xor3_function(("a", "b"))
+
+    def test_and_or_lattice_shapes(self):
+        assert and_lattice(("a", "b", "c", "d")).shape == (4, 1)
+        assert or_lattice(("a", "b", "c", "d")).shape == (1, 4)
+
+    def test_and_or_empty_variables(self):
+        with pytest.raises(ValueError):
+            and_lattice(())
+        with pytest.raises(ValueError):
+            or_lattice(())
+
+    def test_majority_lattice(self):
+        assert implements(majority3_lattice(), majority(("a", "b", "c")))
+
+    def test_half_adder_sum(self):
+        assert implements(half_adder_sum_lattice(), xor(("a", "b")))
+
+    def test_dual_product_realizations_all_correct(self):
+        for name, (lattice, target) in dual_product_realizations().items():
+            assert implements(lattice, target), f"dual-product entry {name} is wrong"
+
+    def test_library_returns_fresh_objects(self):
+        first = xor3_lattice_3x3()
+        first[(0, 0)] = "z"
+        second = xor3_lattice_3x3()
+        assert second[(0, 0)].variable != "z"
+
+    def test_lattice_products_as_cubes(self, xor3_3x3, xor3):
+        cubes = lattice_products_as_cubes(xor3_3x3)
+        assert len(cubes) == 4
+        assert xor3.is_cover(cubes)

@@ -1,0 +1,45 @@
+"""Tests for the Section III-B sixteen-configuration sweep experiment."""
+
+import pytest
+
+from repro.experiments.terminal_configurations import run_terminal_configuration_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_terminal_configuration_sweep("square", "HfO2")
+
+
+class TestConfigurationSweep:
+    def test_covers_all_sixteen_cases(self, sweep):
+        assert len(sweep.on_currents_a) == 16
+        assert len(sweep.off_currents_a) == 16
+
+    def test_every_case_switches(self, sweep):
+        # Each operating condition must behave as a switch: large on/off gap.
+        assert sweep.worst_on_off_ratio() > 1e4
+
+    def test_symmetric_cases_correlate(self, sweep):
+        # The paper's observation: configurations related by the device
+        # symmetry carry essentially the same per-drain current.
+        assert sweep.category_spread("1 drain - 3 sources") < 0.2
+        assert sweep.category_spread("3 drains - 1 source") < 0.2
+        assert sweep.worst_category_spread() < 0.5
+
+    def test_more_sources_more_current(self, sweep):
+        # With one drain, adding source terminals adds parallel channels.
+        assert sweep.on_currents_a["DSSS"] > sweep.on_currents_a["DSFF"]
+
+    def test_per_drain_current_normalization(self, sweep):
+        assert sweep.per_drain_current("DDSS") == pytest.approx(
+            sweep.on_currents_a["DDSS"] / 2.0
+        )
+
+    def test_report_lists_every_case(self, sweep):
+        text = sweep.report()
+        for code in ("DSFF", "DSSS", "DDSS", "DSDD"):
+            assert code in text
+
+    def test_junctionless_sweep_also_switches(self):
+        sweep = run_terminal_configuration_sweep("junctionless", "HfO2")
+        assert sweep.worst_on_off_ratio() > 1e5
