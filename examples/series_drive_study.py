@@ -11,7 +11,7 @@ Run with ``python examples/series_drive_study.py``.
 from repro.analysis.reporting import Table, format_engineering
 from repro.circuits.series_chain import current_versus_chain_length
 from repro.circuits.sizing import default_switch_model
-from repro.experiments.fig12_series_switches import run_fig12
+from repro.experiments.fig12_series_switches import run_fig12, run_fig12_drive_curves
 
 
 def main() -> None:
@@ -36,6 +36,22 @@ def main() -> None:
         currents = current_versus_chain_length(lengths, drive_v=supply, gate_v=supply, model=model)
         table.add_row([f"{supply:g}"] + [format_engineering(currents[n], "A") for n in lengths])
     print("\n" + table.render())
+
+    # Gate-overdrive study: a whole family of chain I-V curves batched
+    # through one compiled circuit (AnalysisEngine.sweep_many).
+    curves = run_fig12_drive_curves(num_switches=11, model=model)
+    overdrive = Table(
+        ["gate [V]", "I @ 0.6 V drive", "I @ 1.2 V drive"],
+        title="11-switch chain drive current vs gate voltage (one compiled circuit)",
+    )
+    for gate_v, sweep in curves.items():
+        current = -sweep.source_current("v_drive")
+        half = current[len(current) // 2]
+        overdrive.add_row(
+            [f"{gate_v:g}", format_engineering(abs(half), "A"),
+             format_engineering(abs(current[-1]), "A")]
+        )
+    print("\n" + overdrive.render())
 
 
 if __name__ == "__main__":

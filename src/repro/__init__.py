@@ -11,8 +11,9 @@ covers the paper's whole stack:
 * :mod:`repro.tcad` — a TCAD-substitute device simulator producing the I-V
   curves, thresholds, on/off ratios and current-density fields of Figs. 5-8;
 * :mod:`repro.fitting` — level-1 MOSFET parameter extraction (Fig. 10);
-* :mod:`repro.spice` — a small MNA circuit simulator with the six-MOSFET
-  switch model of Fig. 9;
+* :mod:`repro.spice` — an MNA circuit simulator with the six-MOSFET switch
+  model of Fig. 9, built around a compiled analysis engine (vectorized
+  assembly, one shared Newton loop, batched sweeps);
 * :mod:`repro.circuits` — lattice netlists, the XOR3 transient bench
   (Fig. 11) and the series-switch drive study (Fig. 12);
 * :mod:`repro.analysis` — waveform and I-V measurements, report tables;
@@ -23,14 +24,13 @@ Quickstart::
     from repro.core import xor3_lattice_3x3, lattice_function
     from repro.circuits import build_lattice_circuit
     from repro.circuits.testbench import InputSequence
-    from repro.spice import transient_analysis
 
     lattice = xor3_lattice_3x3()
     print(lattice_function(lattice).sop_string())
 
     sequence = InputSequence.exhaustive(("a", "b", "c"), step_duration_s=100e-9)
     bench = build_lattice_circuit(lattice, input_sequence=sequence)
-    result = transient_analysis(bench.circuit, sequence.total_duration_s, 1e-9)
+    result = bench.run_transient(timestep_s=1e-9)
     print(result.voltage("out")[-1])
 """
 

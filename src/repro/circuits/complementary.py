@@ -26,6 +26,7 @@ from repro.circuits.lattice_netlist import (
     DEFAULT_SUPPLY_V,
     OUTPUT_NODE,
     SUPPLY_NODE,
+    BenchAnalysisMixin,
 )
 from repro.circuits.sizing import default_switch_model
 from repro.circuits.testbench import InputSequence, input_waveforms
@@ -41,7 +42,7 @@ from repro.spice.waveforms import DC, Waveform
 
 
 @dataclass
-class ComplementaryLatticeCircuit:
+class ComplementaryLatticeCircuit(BenchAnalysisMixin):
     """A lattice pull-down network with a lattice pull-up network.
 
     Attributes

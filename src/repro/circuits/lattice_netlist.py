@@ -49,8 +49,46 @@ SUPPLY_NODE = "vdd"
 OUTPUT_NODE = "out"
 
 
+class BenchAnalysisMixin:
+    """Engine-backed analysis methods shared by the lattice bench types.
+
+    Expects the host class to provide ``circuit`` and ``input_sequence``
+    attributes (both bench dataclasses do).
+    """
+
+    def solve_operating_point(self, **kwargs):
+        """DC operating point through the circuit's cached analysis engine."""
+        from repro.spice.engine import get_engine
+
+        return get_engine(self.circuit).solve_dc(**kwargs)
+
+    def run_transient(
+        self,
+        timestep_s: float = 1e-9,
+        stop_time_s: Optional[float] = None,
+        integration: str = "be",
+        **kwargs,
+    ):
+        """Transient analysis through the circuit's cached analysis engine.
+
+        ``stop_time_s`` defaults to the input sequence's total duration when
+        the bench was built with one.
+        """
+        from repro.spice.engine import get_engine
+
+        if stop_time_s is None:
+            if self.input_sequence is None:
+                raise ValueError(
+                    "stop_time_s is required when the bench has no input sequence"
+                )
+            stop_time_s = self.input_sequence.total_duration_s
+        return get_engine(self.circuit).solve_transient(
+            stop_time_s, timestep_s, integration=integration, **kwargs
+        )
+
+
 @dataclass
-class LatticeCircuit:
+class LatticeCircuit(BenchAnalysisMixin):
     """A lattice mapped to a circuit, with bookkeeping for analyses.
 
     Attributes

@@ -20,11 +20,12 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.circuits.sizing import default_switch_model
-from repro.spice.dcop import OperatingPoint, dc_operating_point
-from repro.spice.dcsweep import DCSweepResult, dc_sweep
+from repro.spice.dcop import OperatingPoint
+from repro.spice.dcsweep import DCSweepResult, interpolate_crossing
 from repro.spice.elements.capacitor import Capacitor
 from repro.spice.elements.sources import VoltageSource
 from repro.spice.elements.switch4t import FourTerminalSwitchModel, add_four_terminal_switch
+from repro.spice.engine import get_engine
 from repro.spice.netlist import Circuit, GROUND
 from repro.spice.waveforms import DC
 
@@ -54,11 +55,15 @@ class SeriesChainCircuit:
     gate_source: VoltageSource
 
     def chain_current(self, drive_v: float, gate_v: float = 1.2) -> float:
-        """DC current through the chain for the given bias [A]."""
+        """DC current through the chain for the given bias [A].
+
+        Repeated calls reuse the compiled analysis structure cached on the
+        circuit, so bias studies pay the compile cost only once.
+        """
         self.drive_source.set_level(drive_v)
         self.gate_source.set_level(gate_v)
-        point = dc_operating_point(self.circuit)
-        return abs(point.source_current(DRIVE_SOURCE_NAME))
+        point = get_engine(self.circuit).solve_dc()
+        return abs(point.source_current(self.drive_source))
 
     def voltage_for_current(
         self,
@@ -76,38 +81,53 @@ class SeriesChainCircuit:
         instead.  Returns ``nan`` when the target current is not reached below
         ``max_voltage_v``.
         """
+        engine = get_engine(self.circuit)
         if not tie_gate_to_drive:
             if gate_v is None:
                 raise ValueError("gate_v is required when the gate does not follow the drive")
             self.gate_source.set_level(gate_v)
-            sweep = dc_sweep(
-                self.circuit,
-                DRIVE_SOURCE_NAME,
-                np.linspace(0.0, max_voltage_v, points),
+            sweep = engine.dc_sweep(
+                self.drive_source, np.linspace(0.0, max_voltage_v, points)
             )
             return sweep.find_value_for_current(DRIVE_SOURCE_NAME, target_current_a)
 
+        # The gate follows the drive, so this is not a plain single-source
+        # sweep; run the warm-started continuation manually on the engine and
+        # reuse the sweep layer's crossing interpolation.
+        engine.compiled.refresh_values()
         voltages = np.linspace(0.0, max_voltage_v, points)
-        currents = []
+        currents = np.empty_like(voltages)
         guess = None
-        for voltage in voltages:
+        for i, voltage in enumerate(voltages):
             self.drive_source.set_level(float(voltage))
             self.gate_source.set_level(float(voltage))
-            point = dc_operating_point(self.circuit, initial_guess=guess)
+            point = engine.solve_dc(initial_guess=guess, refresh=False)
             guess = point.solution.copy()
-            currents.append(abs(point.source_current(DRIVE_SOURCE_NAME)))
-        currents_arr = np.asarray(currents)
-        for i in range(1, len(voltages)):
-            lo, hi = currents_arr[i - 1], currents_arr[i]
-            if (lo - target_current_a) * (hi - target_current_a) <= 0.0 and lo != hi:
-                fraction = (target_current_a - lo) / (hi - lo)
-                return float(voltages[i - 1] + fraction * (voltages[i] - voltages[i - 1]))
-        return float("nan")
+            currents[i] = abs(point.source_current(self.drive_source))
+        return interpolate_crossing(voltages, currents, target_current_a)
 
     def sweep_drive(self, values: Sequence[float], gate_v: float = 1.2) -> DCSweepResult:
         """DC sweep of the drive voltage at a fixed gate voltage."""
         self.gate_source.set_level(gate_v)
-        return dc_sweep(self.circuit, DRIVE_SOURCE_NAME, values)
+        return get_engine(self.circuit).dc_sweep(self.drive_source, values)
+
+    def sweep_drive_family(
+        self, values: Sequence[float], gate_levels: Sequence[float]
+    ) -> Dict[float, DCSweepResult]:
+        """Drive sweeps at several gate voltages through one compiled circuit.
+
+        Runs :meth:`repro.spice.engine.AnalysisEngine.sweep_many` with one
+        family per gate level: the compiled structure is shared across the
+        whole batch and each family is seeded with the previous family's
+        solution, so the full drive study costs one compile and mostly
+        one-or-two-iteration warm-started solves.
+        """
+        families = {float(gate_v): values for gate_v in gate_levels}
+        return get_engine(self.circuit).sweep_many(
+            self.drive_source,
+            families,
+            configure=lambda gate_v: self.gate_source.set_level(gate_v),
+        )
 
 
 def build_series_chain(

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Sequence, Tuple
 
+import numpy as np
+
 from repro.spice.waveforms import PiecewiseLinear
 
 
@@ -147,6 +149,17 @@ class InputSequence:
         if not 0.0 < fraction <= 1.0:
             raise ValueError("fraction must be in (0, 1]")
         return (step + fraction) * self.step_duration_s
+
+    def sample_times(self, fraction: float = 0.9) -> np.ndarray:
+        """Settled sample times of every step at once (one per vector).
+
+        Companion of :meth:`sample_window` for batched post-processing: feed
+        the result to :meth:`repro.spice.transient.TransientResult.sample_voltages`
+        to read the settled output of a whole transient run in one call.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        return (np.arange(len(self.vectors)) + fraction) * self.step_duration_s
 
 
 def input_waveforms(sequence: InputSequence) -> Dict[str, PiecewiseLinear]:

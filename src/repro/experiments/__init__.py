@@ -29,7 +29,11 @@ from repro.experiments.fig8_current_density import Fig8Result, run_fig8
 from repro.experiments.fig9_switch_model import Fig9Result, run_fig9
 from repro.experiments.fig10_curve_fit import Fig10Result, run_fig10
 from repro.experiments.fig11_xor3_transient import Fig11Result, run_fig11
-from repro.experiments.fig12_series_switches import Fig12Result, run_fig12
+from repro.experiments.fig12_series_switches import (
+    Fig12Result,
+    run_fig12,
+    run_fig12_drive_curves,
+)
 from repro.experiments.terminal_configurations import (
     ConfigurationSweepResult,
     run_terminal_configuration_sweep,
@@ -55,6 +59,7 @@ __all__ = [
     "run_fig11",
     "Fig12Result",
     "run_fig12",
+    "run_fig12_drive_curves",
     "ConfigurationSweepResult",
     "run_terminal_configuration_sweep",
 ]

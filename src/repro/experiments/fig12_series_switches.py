@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.analysis.reporting import Table, format_engineering
 from repro.circuits.series_chain import (
     build_series_chain,
@@ -22,6 +24,7 @@ from repro.circuits.series_chain import (
     voltage_versus_chain_length,
 )
 from repro.circuits.sizing import default_switch_model
+from repro.spice.dcsweep import DCSweepResult
 from repro.spice.elements.switch4t import FourTerminalSwitchModel
 
 #: Chain lengths reported in Fig. 12 (1 to 21 switches, odd counts).
@@ -140,3 +143,24 @@ def run_fig12(
         voltages_v=dict(voltages),
         supply_v=supply_v,
     )
+
+
+def run_fig12_drive_curves(
+    num_switches: int = 11,
+    gate_levels: Sequence[float] = (0.6, 0.9, 1.2, 1.5, 1.8),
+    max_drive_v: float = 1.2,
+    points: int = 25,
+    model: Optional[FourTerminalSwitchModel] = None,
+) -> Dict[float, DCSweepResult]:
+    """Chain I-V curves at several gate voltages (a Fig. 12 extension).
+
+    Batches the whole family of drive sweeps through one compiled circuit
+    via :meth:`repro.spice.engine.AnalysisEngine.sweep_many`, quantifying
+    how much drive capability a higher gate overdrive buys a long chain.
+    Returns one :class:`~repro.spice.dcsweep.DCSweepResult` per gate level.
+    """
+    if model is None:
+        model = default_switch_model()
+    chain = build_series_chain(num_switches, model=model)
+    values = np.linspace(0.0, max_drive_v, points)
+    return chain.sweep_drive_family(values, gate_levels)

@@ -8,8 +8,8 @@ from typing import Dict, Tuple
 from repro.analysis.reporting import Table, format_engineering
 from repro.circuits.sizing import switch_model_from_spec
 from repro.devices.specs import device_spec
-from repro.spice.dcop import dc_operating_point
 from repro.spice.elements.sources import VoltageSource
+from repro.spice.engine import get_engine
 from repro.spice.elements.switch4t import (
     FourTerminalSwitchModel,
     TYPE_A_PAIRS,
@@ -77,19 +77,27 @@ class Fig9Result:
         return header + "\n" + table.render()
 
 
-def _pair_current(
-    model: FourTerminalSwitchModel, pair: Tuple[str, str], gate_v: float, bias_v: float
-) -> float:
-    """DC current through one terminal pair with the other two terminals floating."""
+def _pair_currents(
+    model: FourTerminalSwitchModel, pair: Tuple[str, str], bias_v: float
+) -> Tuple[float, float]:
+    """On/off DC currents through one terminal pair (other terminals floating).
+
+    One circuit serves both measurements: the gate source is re-levelled
+    between the solves, so the compiled analysis structure is built once per
+    pair instead of once per (pair, gate level).
+    """
     circuit = Circuit(f"pair_{pair[0]}{pair[1]}")
     VoltageSource(circuit, "v_bias", "drive", GROUND, bias_v)
-    VoltageSource(circuit, "v_gate", "gate", GROUND, gate_v)
+    gate = VoltageSource(circuit, "v_gate", "gate", GROUND, bias_v)
     nodes = {name: f"t_{name.lower()}" for name in ("T1", "T2", "T3", "T4")}
     nodes[pair[0]] = "drive"
     nodes[pair[1]] = GROUND
     add_four_terminal_switch(circuit, "dut", nodes, "gate", model, add_terminal_capacitors=False)
-    point = dc_operating_point(circuit)
-    return abs(point.source_current("v_bias"))
+    engine = get_engine(circuit)
+    on = abs(engine.solve_dc().source_current("v_bias"))
+    gate.set_level(0.0)
+    off = abs(engine.solve_dc().source_current("v_bias"))
+    return on, off
 
 
 def run_fig9(
@@ -101,6 +109,8 @@ def run_fig9(
     if model is None:
         model = switch_model_from_spec(device_spec("square", gate_material))
     pairs = list(TYPE_A_PAIRS) + list(TYPE_B_PAIRS)
-    on = {pair: _pair_current(model, pair, gate_v=supply_v, bias_v=supply_v) for pair in pairs}
-    off = {pair: _pair_current(model, pair, gate_v=0.0, bias_v=supply_v) for pair in pairs}
+    on = {}
+    off = {}
+    for pair in pairs:
+        on[pair], off[pair] = _pair_currents(model, pair, bias_v=supply_v)
     return Fig9Result(model=model, pair_currents_on=on, pair_currents_off=off, bias_v=supply_v)

@@ -1,30 +1,62 @@
-"""A small SPICE-style circuit simulator (modified nodal analysis).
+"""A small SPICE-style circuit simulator built around one analysis engine.
 
 Section V of the paper runs SPICE simulations of switching-lattice circuits
 built from the six-MOSFET switch model of Fig. 9.  This package provides the
-simulator those experiments need:
+simulator those experiments need, organised around a single compiled
+analysis engine:
 
-* :mod:`repro.spice.netlist` — circuits, nodes, element registration;
+* :mod:`repro.spice.netlist` — circuits, nodes, element registration and the
+  legacy per-element ``stamp()`` assembly (kept as the compatibility path
+  and testing oracle);
 * :mod:`repro.spice.elements` — resistor, capacitor, independent sources,
   the level-1 MOSFET, and the four-terminal switch subcircuit of Fig. 9;
-* :mod:`repro.spice.dcop` — Newton-Raphson DC operating point;
-* :mod:`repro.spice.dcsweep` — DC sweeps with solution continuation;
-* :mod:`repro.spice.transient` — backward-Euler / trapezoidal transient
-  analysis with per-step Newton iteration;
+* :mod:`repro.spice.engine` — the core: :class:`~repro.spice.engine.CompiledCircuit`
+  walks a circuit once and emits per-element-class index arrays, so every
+  Newton iteration assembles the Jacobian/RHS with vectorized ``np.add.at``
+  scatter; :class:`~repro.spice.engine.AnalysisEngine` owns the one Newton
+  loop in the package plus its gmin-stepping and source-stepping fallbacks;
 * :mod:`repro.spice.waveforms` — DC, pulse and piecewise-linear stimuli.
 
-The engine is deliberately small (dense MNA matrices, level-1 devices); the
-circuits of the paper — a lattice pull-down network, a pull-up resistor and
-femto-farad load capacitors — are well inside its comfort zone.
+The analyses are thin frontends over the engine:
+
+* :func:`~repro.spice.dcop.dc_operating_point` — Newton-Raphson DC solve
+  with automatic convergence fallbacks, returning an
+  :class:`~repro.spice.dcop.OperatingPoint`;
+* :func:`~repro.spice.dcsweep.dc_sweep` — DC sweeps with warm-start
+  continuation over one compiled structure, returning a
+  :class:`~repro.spice.dcsweep.DCSweepResult`;
+* :func:`~repro.spice.engine.sweep_many` — a *family* of sweeps (e.g. one
+  per gate voltage of a drive study) batched through one compiled circuit
+  with per-point continuation;
+* :func:`~repro.spice.transient.transient_analysis` — backward-Euler /
+  trapezoidal transient with per-step Newton iteration, returning a
+  :class:`~repro.spice.transient.TransientResult`.
+
+Typical use::
+
+    from repro.spice import Circuit, Resistor, VoltageSource, dc_operating_point
+
+    circuit = Circuit()
+    VoltageSource(circuit, "vin", "in", "0", 1.2)
+    Resistor(circuit, "r1", "in", "out", 1e3)
+    Resistor(circuit, "r2", "out", "0", 1e3)
+    print(dc_operating_point(circuit).voltage("out"))
+
+Repeated analyses on one circuit (sweeps, parameter studies, Monte Carlo)
+share the compiled structure automatically — :func:`~repro.spice.engine.get_engine`
+caches the engine on the circuit and recompiles only when the topology
+changes.  Custom elements only need ``name`` and ``stamp(system, state)``;
+the engine routes them through the compatibility path unchanged.
 """
 
-from repro.spice.netlist import Circuit, GROUND
+from repro.spice.netlist import Circuit, GROUND, MNASystem, AnalysisState
 from repro.spice.waveforms import DC, Pulse, PiecewiseLinear, Waveform
 from repro.spice.elements.resistor import Resistor
 from repro.spice.elements.capacitor import Capacitor
 from repro.spice.elements.sources import VoltageSource, CurrentSource
 from repro.spice.elements.mosfet import MOSFET
 from repro.spice.elements.switch4t import FourTerminalSwitchModel, add_four_terminal_switch
+from repro.spice.engine import AnalysisEngine, CompiledCircuit, get_engine, sweep_many
 from repro.spice.dcop import OperatingPoint, dc_operating_point
 from repro.spice.dcsweep import DCSweepResult, dc_sweep
 from repro.spice.transient import TransientResult, transient_analysis
@@ -32,6 +64,8 @@ from repro.spice.transient import TransientResult, transient_analysis
 __all__ = [
     "Circuit",
     "GROUND",
+    "MNASystem",
+    "AnalysisState",
     "DC",
     "Pulse",
     "PiecewiseLinear",
@@ -43,6 +77,10 @@ __all__ = [
     "MOSFET",
     "FourTerminalSwitchModel",
     "add_four_terminal_switch",
+    "AnalysisEngine",
+    "CompiledCircuit",
+    "get_engine",
+    "sweep_many",
     "OperatingPoint",
     "dc_operating_point",
     "DCSweepResult",

@@ -1,4 +1,10 @@
-"""Newton-Raphson DC operating-point analysis."""
+"""DC operating-point analysis (thin frontend over the analysis engine).
+
+The Newton iteration, gmin stepping and source stepping all live in
+:class:`repro.spice.engine.AnalysisEngine`; this module keeps the stable
+:func:`dc_operating_point` entry point and the :class:`OperatingPoint`
+result type.
+"""
 
 from __future__ import annotations
 
@@ -9,6 +15,7 @@ import numpy as np
 
 from repro.spice.netlist import AnalysisState, Circuit
 from repro.spice.elements.sources import VoltageSource
+from repro.spice.engine import get_engine
 
 
 @dataclass
@@ -22,7 +29,7 @@ class OperatingPoint:
     solution:
         Raw MNA unknown vector (node voltages then branch currents).
     iterations:
-        Newton iterations used.
+        Newton iterations used (summed across fallback stages).
     converged:
         Whether the iteration met its tolerances.
     max_residual:
@@ -64,45 +71,6 @@ class OperatingPoint:
         return AnalysisState(solution=self.solution.copy())
 
 
-def _newton_loop(
-    circuit: Circuit,
-    solution: np.ndarray,
-    max_iterations: int,
-    tolerance_v: float,
-    gmin: float,
-    damping_v: float,
-    time_s: float,
-):
-    """One Newton-Raphson run at a fixed ``gmin``.
-
-    Returns ``(solution, iterations, converged, max_update)``.
-    """
-    converged = False
-    max_update = float("inf")
-    iteration = 0
-    for iteration in range(1, max_iterations + 1):
-        state = AnalysisState(solution=solution, time_s=time_s, timestep_s=None, gmin=gmin)
-        system = circuit.assemble(state)
-        try:
-            new_solution = np.linalg.solve(system.matrix, system.rhs)
-        except np.linalg.LinAlgError:
-            # Singular matrix: bump gmin an order of magnitude and retry.
-            gmin = max(gmin * 10.0, 1e-12)
-            continue
-
-        update = new_solution - solution
-        max_update = float(np.max(np.abs(update))) if update.size else 0.0
-        # Per-unknown clamp: a runaway node (e.g. a floating terminal hanging
-        # off a cut-off transistor) must not stall the rest of the circuit.
-        update = np.clip(update, -damping_v, damping_v)
-        solution = solution + update
-
-        if max_update < tolerance_v:
-            converged = True
-            break
-    return solution, iteration, converged, max_update
-
-
 def dc_operating_point(
     circuit: Circuit,
     initial_guess: Optional[np.ndarray] = None,
@@ -114,13 +82,11 @@ def dc_operating_point(
 ) -> OperatingPoint:
     """Solve the DC operating point of ``circuit`` by Newton-Raphson iteration.
 
-    A plain damped Newton iteration is tried first.  If it fails to converge
-    (large lattice circuits occasionally fall into small limit cycles around
-    the cutoff of floating-terminal transistors), the solver falls back to
-    gmin stepping: it re-solves with a strongly increased node-to-ground
-    conductance — which makes the problem almost linear — and then relaxes
-    the extra conductance decade by decade, reusing each solution as the next
-    starting point.
+    Delegates to the circuit's cached :class:`~repro.spice.engine.AnalysisEngine`:
+    a plain damped Newton iteration is tried first, then gmin stepping (the
+    node-to-ground conductance is strongly increased and relaxed decade by
+    decade) and finally source stepping (all independent sources ramp from
+    10 % to full drive with solution continuation).
 
     Parameters
     ----------
@@ -141,43 +107,11 @@ def dc_operating_point(
         Time at which time-dependent sources are evaluated (used by the
         transient analysis to reuse this routine for its initial point).
     """
-    if circuit.system_size == 0:
-        raise ValueError("the circuit has no unknowns to solve for")
-    solution = (
-        initial_guess.copy() if initial_guess is not None else circuit.initial_solution()
-    )
-    if solution.shape != (circuit.system_size,):
-        raise ValueError(
-            f"initial guess has shape {solution.shape}, expected ({circuit.system_size},)"
-        )
-
-    solution, iterations, converged, max_update = _newton_loop(
-        circuit, solution, max_iterations, tolerance_v, gmin, damping_v, time_s
-    )
-    total_iterations = iterations
-
-    if not converged:
-        # gmin stepping: start almost linear, relax towards the target gmin.
-        # Intermediate stages only provide the starting point of the next
-        # stage; what matters is that the final stage (at the target gmin)
-        # converges.
-        stepped_solution = circuit.initial_solution()
-        stepping_gmins = [1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, gmin]
-        final_ok = False
-        for step_gmin in stepping_gmins:
-            stepped_solution, used, step_ok, max_update = _newton_loop(
-                circuit, stepped_solution, max_iterations, tolerance_v, step_gmin, damping_v, time_s
-            )
-            total_iterations += used
-            final_ok = step_ok
-        if final_ok:
-            solution = stepped_solution
-            converged = True
-
-    return OperatingPoint(
-        circuit=circuit,
-        solution=solution,
-        iterations=total_iterations,
-        converged=converged,
-        max_residual=max_update,
+    return get_engine(circuit).solve_dc(
+        initial_guess=initial_guess,
+        max_iterations=max_iterations,
+        tolerance_v=tolerance_v,
+        gmin=gmin,
+        damping_v=damping_v,
+        time_s=time_s,
     )

@@ -1,14 +1,21 @@
-"""DC sweep analysis: repeated operating points with solution continuation."""
+"""DC sweep analysis (thin frontend over the analysis engine).
+
+The per-point Newton solves and the warm-start continuation live in
+:class:`repro.spice.engine.AnalysisEngine`; this module keeps the stable
+:func:`dc_sweep` entry point, the :class:`DCSweepResult` type (with
+vectorized waveform extraction) and the crossing interpolation helper.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.spice.dcop import OperatingPoint, dc_operating_point
+from repro.spice.dcop import OperatingPoint
 from repro.spice.elements.sources import CurrentSource, VoltageSource
+from repro.spice.engine import get_engine
 from repro.spice.netlist import Circuit
 
 
@@ -29,14 +36,36 @@ class DCSweepResult:
     circuit: Circuit
     values: np.ndarray
     points: List[OperatingPoint]
+    _solutions: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @property
+    def solutions(self) -> np.ndarray:
+        """All sweep solutions stacked, one row per point (built lazily)."""
+        if self._solutions is None:
+            self._solutions = np.vstack([point.solution for point in self.points])
+        return self._solutions
 
     def voltage(self, node_name: str) -> np.ndarray:
         """Voltage of a node across the sweep [V]."""
-        return np.array([point.voltage(node_name) for point in self.points])
+        index = self.circuit.node_index(node_name)
+        if index < 0:
+            return np.zeros(len(self.points))
+        return self.solutions[:, index].copy()
 
-    def source_current(self, source_name: str) -> np.ndarray:
-        """Current through a voltage source across the sweep [A]."""
-        return np.array([point.source_current(source_name) for point in self.points])
+    def source_current(self, source: Union[VoltageSource, str]) -> np.ndarray:
+        """Current through a voltage source across the sweep [A].
+
+        The source's branch position is resolved once (and cached on the
+        source during compilation), so extraction is a single column slice
+        instead of a per-point name lookup.
+        """
+        if isinstance(source, str):
+            source = self.circuit.element(source)
+        if not isinstance(source, VoltageSource):
+            raise TypeError("source_current expects a VoltageSource or its name")
+        return self.solutions[:, source.branch_position(self.circuit)].copy()
 
     @property
     def all_converged(self) -> bool:
@@ -45,22 +74,41 @@ class DCSweepResult:
     def find_value_for_voltage(self, node_name: str, target_v: float) -> float:
         """Swept value at which a node voltage crosses ``target_v`` (interpolated)."""
         voltages = self.voltage(node_name)
-        return _interpolate_crossing(self.values, voltages, target_v)
+        return interpolate_crossing(self.values, voltages, target_v)
 
     def find_value_for_current(self, source_name: str, target_a: float) -> float:
         """Swept value at which a source current magnitude crosses ``target_a``."""
         currents = np.abs(self.source_current(source_name))
-        return _interpolate_crossing(self.values, currents, target_a)
+        return interpolate_crossing(self.values, currents, target_a)
 
 
-def _interpolate_crossing(xs: np.ndarray, ys: np.ndarray, target: float) -> float:
-    """First x at which y crosses target, by linear interpolation (nan if never)."""
-    for i in range(1, len(xs)):
-        y0, y1 = ys[i - 1], ys[i]
-        if (y0 - target) * (y1 - target) <= 0.0 and y0 != y1:
-            fraction = (target - y0) / (y1 - y0)
-            return float(xs[i - 1] + fraction * (xs[i] - xs[i - 1]))
-    return float("nan")
+def interpolate_crossing(xs: np.ndarray, ys: np.ndarray, target: float) -> float:
+    """First x at which y crosses target, by linear interpolation (nan if never).
+
+    A sign-change scan over ``ys - target`` replaces the Python loop; a first
+    point already sitting exactly on the target is reported as a crossing at
+    ``xs[0]`` (the loop-based version skipped it when the curve stayed flat).
+    Public so other layers (e.g. the series-chain drive study) can reuse it
+    on curves they compute themselves.
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if ys.size == 0:
+        return float("nan")
+    signs = np.sign(ys - target)
+    if signs[0] == 0.0:
+        return float(xs[0])
+    crossing = (signs[:-1] * signs[1:] <= 0.0) & (ys[:-1] != ys[1:])
+    indices = np.flatnonzero(crossing)
+    if indices.size == 0:
+        return float("nan")
+    i = int(indices[0])
+    fraction = (target - ys[i]) / (ys[i + 1] - ys[i])
+    return float(xs[i] + fraction * (xs[i + 1] - xs[i]))
+
+
+#: Backwards-compatible alias (the helper predates its public export).
+_interpolate_crossing = interpolate_crossing
 
 
 def dc_sweep(
@@ -72,30 +120,13 @@ def dc_sweep(
 ) -> DCSweepResult:
     """Sweep an independent source and solve the operating point at each value.
 
-    Each point starts the Newton iteration from the previous point's solution
+    Delegates to the circuit's cached :class:`~repro.spice.engine.AnalysisEngine`:
+    the compiled assembly structure is shared across all points and each
+    point starts the Newton iteration from the previous point's solution
     (continuation), which is both faster and more robust than starting from
-    zero for every value.
+    zero for every value.  See :func:`repro.spice.engine.sweep_many` for
+    running a whole family of sweeps through one compiled circuit.
     """
-    if isinstance(source, str):
-        source = circuit.element(source)
-    if not isinstance(source, (VoltageSource, CurrentSource)):
-        raise TypeError("dc_sweep needs a VoltageSource or CurrentSource (or its name)")
-    values_array = np.asarray(list(values), dtype=float)
-    if values_array.size == 0:
-        raise ValueError("at least one sweep value is required")
-
-    points: List[OperatingPoint] = []
-    guess: Optional[np.ndarray] = None
-    original_waveform = source.waveform
-    try:
-        for value in values_array:
-            source.set_level(float(value))
-            point = dc_operating_point(
-                circuit, initial_guess=guess, gmin=gmin, max_iterations=max_iterations
-            )
-            points.append(point)
-            guess = point.solution.copy()
-    finally:
-        source.waveform = original_waveform
-
-    return DCSweepResult(circuit=circuit, values=values_array, points=points)
+    return get_engine(circuit).dc_sweep(
+        source, values, gmin=gmin, max_iterations=max_iterations
+    )

@@ -1,4 +1,10 @@
-"""Linear capacitor element with backward-Euler / trapezoidal companions."""
+"""Linear capacitor element with backward-Euler / trapezoidal companions.
+
+During compiled transient analysis the engine stamps the companion
+conductances into its cached base matrix (the timestep is fixed) and keeps
+the trapezoidal history currents in one vector for all capacitors;
+``stamp()``/``update_history()`` remain as the reference/compatibility path.
+"""
 
 from __future__ import annotations
 

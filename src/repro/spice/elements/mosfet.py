@@ -11,14 +11,56 @@ equivalent current source (the standard MOSFET companion model).
 The bulk terminal is taken as grounded (as in the paper's circuit model) and
 the body effect is absorbed in the threshold voltage of the extracted
 parameters.
+
+The scalar :meth:`MOSFET._evaluate` / :meth:`MOSFET.stamp` pair is the
+reference (and compatibility) path; the analysis engine evaluates whole
+device populations at once through :func:`evaluate_level1_arrays`, which
+mirrors the scalar math element-wise.
 """
 
 from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.fitting.level1 import Level1Parameters
 from repro.spice.netlist import AnalysisState, Circuit, MNASystem
+
+
+def evaluate_level1_arrays(vgs, vds, beta, vth_v, lambda_per_v, smoothing_v):
+    """Vectorized smoothed level-1 evaluation for oriented channels.
+
+    All arguments are arrays of equal length (one entry per device) with the
+    channels already oriented so ``vds >= 0``.  Returns ``(ids, gm, gds)``
+    arrays, matching :meth:`MOSFET._evaluate` element-wise — including the
+    smooth sub-threshold transition and its large-|x| guard branches.
+    """
+    x = (vgs - vth_v) / smoothing_v
+    # exp() is only ever taken of a clamped-from-above argument: beyond the
+    # x > 40 guard the exact linear branch is used, so clamping cannot leak
+    # into the result; below -40 exp underflows harmlessly to 0.  The scalar
+    # path's explicit x < -40 branch needs no counterpart here: for ex below
+    # ~4e-18, log1p(ex) and ex/(1+ex) round to exactly ex in doubles, so the
+    # smooth branch already reproduces it bit-for-bit.
+    ex = np.exp(np.minimum(x, 45.0))
+    linear = x > 40.0
+    veff = np.where(linear, vgs - vth_v, smoothing_v * np.log1p(ex))
+    dveff = np.where(linear, 1.0, ex / (1.0 + ex))
+
+    clm = 1.0 + lambda_per_v * vds
+    triode = vds <= veff
+    body_triode = veff * vds - 0.5 * vds * vds
+    body_sat = 0.5 * veff * veff
+    body = np.where(triode, body_triode, body_sat)
+    ids = beta * body * clm
+    gm = beta * np.where(triode, vds, veff) * clm * dveff
+    gds = np.where(
+        triode,
+        beta * (veff - vds) * clm + beta * body_triode * lambda_per_v,
+        beta * body_sat * lambda_per_v,
+    )
+    return ids, gm, gds
 
 
 class MOSFET:

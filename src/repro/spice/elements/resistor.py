@@ -1,4 +1,10 @@
-"""Linear resistor element."""
+"""Linear resistor element.
+
+Resistor conductances never change between Newton iterations, so the
+analysis engine folds them into its cached base matrix at compile time;
+``stamp()`` remains as the reference/compatibility path (and is what any
+subclass overriding the element's behavior falls back to).
+"""
 
 from __future__ import annotations
 

@@ -1,4 +1,10 @@
-"""Independent voltage and current sources."""
+"""Independent voltage and current sources.
+
+The analysis engine folds the structural +/-1 branch entries of voltage
+sources into its cached base matrix and re-reads each source's waveform on
+every assembly, so ``set_level()`` during sweeps is honoured without
+recompiling; ``stamp()`` remains as the reference/compatibility path.
+"""
 
 from __future__ import annotations
 
@@ -46,7 +52,7 @@ class VoltageSource:
         self._node_plus_name = node_plus
         self._node_minus_name = node_minus
         self._branch = circuit.allocate_branch()
-        self._num_nodes_hint = None
+        self._branch_position_cache = None
         circuit.add(self)
 
     @property
@@ -71,8 +77,18 @@ class VoltageSource:
         )
 
     def branch_position(self, circuit: Circuit) -> int:
-        """Index of this source's current in the solution vector."""
-        return circuit.num_nodes + self._branch
+        """Index of this source's current in the solution vector.
+
+        The position is cached against the circuit's revision so sweep and
+        transient results can extract current waveforms with a plain column
+        slice; adding nodes or elements invalidates the cache.
+        """
+        cached = self._branch_position_cache
+        if cached is not None and cached[0] is circuit and cached[1] == circuit.revision:
+            return cached[2]
+        position = circuit.num_nodes + self._branch
+        self._branch_position_cache = (circuit, circuit.revision, position)
+        return position
 
     def __repr__(self) -> str:
         return f"VoltageSource({self.name}, {self._node_plus_name}-{self._node_minus_name})"

@@ -11,7 +11,11 @@ transistors for the opposite pairs (0.5 um), all with the electrode width of
 :func:`add_four_terminal_switch` expands the subcircuit into an existing
 :class:`~repro.spice.netlist.Circuit`; :class:`FourTerminalSwitchModel`
 carries the parameter sets so lattice builders can derive them once from the
-fitted TCAD data and reuse them for every switch.
+fitted TCAD data and reuse them for every switch.  The expansion produces
+plain :class:`~repro.spice.elements.mosfet.MOSFET` and
+:class:`~repro.spice.elements.capacitor.Capacitor` elements, so whole
+lattices of switches compile into the vectorized analysis engine with no
+per-switch Python cost during Newton iterations.
 """
 
 from __future__ import annotations

@@ -1,0 +1,842 @@
+"""The unified analysis engine: compiled sparse stamping and batched sweeps.
+
+All analyses (DC operating point, DC sweeps, transient) run through one
+:class:`AnalysisEngine`, which owns the Newton-Raphson loop and its
+convergence fallbacks (gmin stepping, source stepping).  The engine compiles
+a :class:`~repro.spice.netlist.Circuit` once into per-element-class index
+arrays (:class:`CompiledCircuit`) so each Newton iteration assembles the
+Jacobian and right-hand side with vectorized ``np.add.at`` scatter instead of
+per-element Python ``stamp()`` calls.
+
+Compilation notes
+-----------------
+* **Ghost row/column.**  The assembly arrays carry one extra trailing row,
+  column and solution slot for the ground node.  Node index ``-1`` (ground)
+  then addresses the ghost slot through ordinary NumPy indexing, so stamps
+  and gathers need no per-entry ground checks; the ghost row/column is simply
+  dropped before the linear solve.
+* **Static stamps.**  Resistor conductances and the structural +/-1 entries
+  of voltage-source branches never change, so they are accumulated into a
+  base matrix once per ``(gmin, timestep, integration)`` context; capacitor
+  companion conductances join them during transient analysis.  Each Newton
+  iteration copies the base and adds only the nonlinear (MOSFET) stamps.
+* **Compatibility path.**  Elements whose exact type the compiler does not
+  recognize (including subclasses of the built-in elements that override
+  ``stamp()``) keep working: their ``stamp()`` is called per iteration
+  against an :class:`~repro.spice.netlist.MNASystem` view of the engine's
+  assembly buffers.
+* **Invalidation.**  The compiled structure caches the circuit's
+  :attr:`~repro.spice.netlist.Circuit.revision` and recompiles transparently
+  when elements or nodes are added.
+
+Use :func:`get_engine` to obtain the engine cached on a circuit; the
+``dc_operating_point`` / ``dc_sweep`` / ``transient_analysis`` frontends are
+thin wrappers over it and remain the stable public API.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.spice.netlist import AnalysisState, Circuit, MNASystem
+from repro.spice.elements.capacitor import Capacitor
+from repro.spice.elements.mosfet import MOSFET
+from repro.spice.elements.resistor import Resistor
+from repro.spice.elements.sources import CurrentSource, VoltageSource
+
+#: gmin ladder of the gmin-stepping fallback (relaxed decade by decade).
+GMIN_LADDER: Tuple[float, ...] = (1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8)
+
+#: Source scale ladder of the source-stepping fallback (ramped to full drive).
+SOURCE_LADDER: Tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 1.0)
+
+
+class CompiledCircuit:
+    """Precomputed index arrays for vectorized MNA assembly.
+
+    Walks the circuit's elements once, grouping them by exact type:
+
+    * resistors and voltage-source branch structure become a static COO
+      triplet folded into cached base matrices;
+    * capacitors become index/value arrays for companion-model stamping;
+    * MOSFETs become terminal-index and parameter arrays evaluated with the
+      vectorized level-1 model of :func:`repro.spice.elements.mosfet.evaluate_level1_arrays`;
+    * independent sources become row/node arrays plus waveform references
+      (re-read on every assembly, so ``set_level`` during sweeps is honoured);
+    * everything else falls back to the per-element ``stamp()`` path.
+    """
+
+    #: Dense base matrices retained per (gmin, timestep, integration)
+    #: context; LRU-bounded so gmin/timestep studies on large circuits do
+    #: not accumulate O(size^2) memory per visited context.
+    BASE_CACHE_LIMIT = 8
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self.revision = circuit.revision
+        self.num_nodes = circuit.num_nodes
+        self.size = circuit.system_size
+        ghost = self.size + 1
+
+        resistors: List[Resistor] = []
+        capacitors: List[Capacitor] = []
+        mosfets: List[MOSFET] = []
+        self.voltage_sources: List[VoltageSource] = []
+        self.current_sources: List[CurrentSource] = []
+        self.custom_elements: List[object] = []
+        for element in circuit.elements:
+            kind = type(element)
+            if kind is Resistor:
+                resistors.append(element)
+            elif kind is Capacitor:
+                capacitors.append(element)
+            elif kind is MOSFET:
+                mosfets.append(element)
+            elif kind is VoltageSource:
+                self.voltage_sources.append(element)
+            elif kind is CurrentSource:
+                self.current_sources.append(element)
+            else:
+                self.custom_elements.append(element)
+
+        # All compiled node indices are stored with ground (-1) remapped to
+        # the ghost slot ``size``, so gathers and flat-index scatters need no
+        # special-casing (the ghost row/column is trimmed before the solve).
+        def gi(index: int) -> int:
+            return index if index >= 0 else self.size
+
+        # Static stamps: resistor conductances + voltage-source branch rows.
+        self.resistors = resistors
+        self.mosfets = mosfets
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        for resistor in resistors:
+            a, b, g = gi(resistor._node_a), gi(resistor._node_b), resistor.conductance
+            rows += [a, b, a, b]
+            cols += [a, b, b, a]
+            vals += [g, g, -g, -g]
+        self.vs_rows = np.array(
+            [self.num_nodes + source._branch for source in self.voltage_sources], dtype=int
+        )
+        for source, row in zip(self.voltage_sources, self.vs_rows):
+            plus, minus = gi(source._node_plus), gi(source._node_minus)
+            rows += [row, plus, row, minus]
+            cols += [plus, row, minus, row]
+            vals += [1.0, 1.0, -1.0, -1.0]
+        self._static_rows = np.array(rows, dtype=int)
+        self._static_cols = np.array(cols, dtype=int)
+        self._static_vals = np.array(vals, dtype=float)
+
+        self.is_plus = np.array([gi(s._node_plus) for s in self.current_sources], dtype=int)
+        self.is_minus = np.array([gi(s._node_minus) for s in self.current_sources], dtype=int)
+
+        self.capacitors = capacitors
+        self.cap_a = np.array([gi(c._node_a) for c in capacitors], dtype=int)
+        self.cap_b = np.array([gi(c._node_b) for c in capacitors], dtype=int)
+        self.cap_c = np.array([c.capacitance_f for c in capacitors], dtype=float)
+        self.cap_v0 = np.array([c.initial_voltage_v for c in capacitors], dtype=float)
+
+        self.mos_d = np.array([gi(m._drain) for m in mosfets], dtype=int)
+        self.mos_g = np.array([gi(m._gate) for m in mosfets], dtype=int)
+        self.mos_s = np.array([gi(m._source) for m in mosfets], dtype=int)
+        self.mos_beta = np.array([m.parameters.beta for m in mosfets], dtype=float)
+        self.mos_vth = np.array([m.parameters.vth_v for m in mosfets], dtype=float)
+        self.mos_lambda = np.array([m.parameters.lambda_per_v for m in mosfets], dtype=float)
+        self.mos_gmin = np.array([m.CHANNEL_GMIN for m in mosfets], dtype=float)
+        self.mos_w = np.array([m.SMOOTHING_V for m in mosfets], dtype=float)
+
+        self.num_mosfets = len(mosfets)
+        self.num_capacitors = len(capacitors)
+        self._ghost = ghost
+        self._base_cache: Dict[Hashable, np.ndarray] = {}
+        self._source_value_cache = None
+
+    def refresh_values(self) -> None:
+        """Re-read element *values* without recompiling the structure.
+
+        The compiled arrays snapshot element parameters (conductances,
+        capacitances, MOSFET parameter sets); topology changes are caught
+        through the circuit revision, but in-place parameter mutation (e.g.
+        ``resistor.resistance_ohm = ...`` between Monte-Carlo trials) is
+        not.  The analyses therefore call this once per solve: it rebuilds
+        the value arrays (cheap — a few reads per element) and drops the
+        cached base matrices only when something actually changed.
+        """
+        if self.resistors:
+            conductances = np.array([r.conductance for r in self.resistors], dtype=float)
+            n4 = 4 * len(self.resistors)
+            new_vals = np.empty(n4)
+            new_vals[0::4] = conductances
+            new_vals[1::4] = conductances
+            new_vals[2::4] = -conductances
+            new_vals[3::4] = -conductances
+            if not np.array_equal(new_vals, self._static_vals[:n4]):
+                self._static_vals = np.concatenate((new_vals, self._static_vals[n4:]))
+                self._base_cache.clear()
+        if self.capacitors:
+            new_c = np.array([c.capacitance_f for c in self.capacitors], dtype=float)
+            if not np.array_equal(new_c, self.cap_c):
+                self.cap_c = new_c
+                self._base_cache.clear()
+            self.cap_v0 = np.array(
+                [c.initial_voltage_v for c in self.capacitors], dtype=float
+            )
+        if self.mosfets:
+            self.mos_beta = np.array([m.parameters.beta for m in self.mosfets], dtype=float)
+            self.mos_vth = np.array([m.parameters.vth_v for m in self.mosfets], dtype=float)
+            self.mos_lambda = np.array(
+                [m.parameters.lambda_per_v for m in self.mosfets], dtype=float
+            )
+            self.mos_gmin = np.array([m.CHANNEL_GMIN for m in self.mosfets], dtype=float)
+            self.mos_w = np.array([m.SMOOTHING_V for m in self.mosfets], dtype=float)
+
+    # ------------------------------------------------------------------ #
+    # assembly
+    # ------------------------------------------------------------------ #
+
+    def _capacitor_conductance(self, timestep_s: float, integration: str) -> np.ndarray:
+        factor = 2.0 if integration == "trap" else 1.0
+        return factor * self.cap_c / timestep_s
+
+    def _base_matrix(
+        self,
+        gmin: float,
+        timestep_s: Optional[float],
+        integration: str,
+        cache: bool = True,
+    ) -> np.ndarray:
+        """The cached linear part of the Jacobian for one analysis context.
+
+        ``cache=False`` builds the base without retaining it — used for the
+        one-off bumped-gmin retries after a singular solve, which would
+        otherwise grow the cache with matrices that are never reused.
+        """
+        key = (gmin, timestep_s, integration if timestep_s is not None else "dc")
+        base = self._base_cache.get(key)
+        if base is not None:
+            # LRU touch: re-insert so timestep/gmin studies evict the
+            # least-recently-used context first.
+            self._base_cache.pop(key)
+            self._base_cache[key] = base
+        else:
+            base = np.zeros((self._ghost, self._ghost))
+            if self._static_rows.size:
+                np.add.at(base, (self._static_rows, self._static_cols), self._static_vals)
+            node_diag = np.arange(self.num_nodes)
+            base[node_diag, node_diag] += gmin
+            if timestep_s is not None and self.num_capacitors:
+                g = self._capacitor_conductance(timestep_s, integration)
+                np.add.at(
+                    base,
+                    (
+                        np.concatenate((self.cap_a, self.cap_b, self.cap_a, self.cap_b)),
+                        np.concatenate((self.cap_a, self.cap_b, self.cap_b, self.cap_a)),
+                    ),
+                    np.concatenate((g, g, -g, -g)),
+                )
+            if cache:
+                if len(self._base_cache) >= self.BASE_CACHE_LIMIT:
+                    self._base_cache.pop(next(iter(self._base_cache)))
+                self._base_cache[key] = base
+        return base
+
+    def _source_values(
+        self, time_s: float, source_scale: float
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+        """Scaled independent-source values at ``time_s`` (memoized).
+
+        Source values are constant across the Newton iterations of one
+        solve, so re-evaluating the waveforms per assembly is pure overhead.
+        The memo is keyed on the time, the scale and the *identity* of every
+        waveform object (strong references held in the cache, so a swapped
+        waveform — e.g. ``set_level`` between sweep points — can never alias
+        a freed object's id and serve stale values).
+        """
+        if not self.voltage_sources and not self.current_sources:
+            return None, None
+        v_waveforms = [s.waveform for s in self.voltage_sources]
+        i_waveforms = [s.waveform for s in self.current_sources]
+        cache = self._source_value_cache
+        if (
+            cache is not None
+            and cache[0] == time_s
+            and cache[1] == source_scale
+            and all(a is b for a, b in zip(cache[2], v_waveforms))
+            and all(a is b for a, b in zip(cache[3], i_waveforms))
+        ):
+            return cache[4], cache[5]
+        v_values = (
+            source_scale
+            * np.fromiter(
+                (w.value(time_s) for w in v_waveforms),
+                dtype=float,
+                count=len(v_waveforms),
+            )
+            if v_waveforms
+            else None
+        )
+        i_values = (
+            source_scale
+            * np.fromiter(
+                (w.value(time_s) for w in i_waveforms),
+                dtype=float,
+                count=len(i_waveforms),
+            )
+            if i_waveforms
+            else None
+        )
+        self._source_value_cache = (
+            time_s,
+            source_scale,
+            v_waveforms,
+            i_waveforms,
+            v_values,
+            i_values,
+        )
+        return v_values, i_values
+
+    def _pad(self, vector: np.ndarray) -> np.ndarray:
+        """Append the ghost (ground) slot so index -1 gathers 0."""
+        padded = np.empty(self.size + 1)
+        padded[: self.size] = vector
+        padded[self.size] = 0.0
+        return padded
+
+    def assemble(
+        self,
+        state: AnalysisState,
+        source_scale: float = 1.0,
+        cap_history: Optional[np.ndarray] = None,
+        cache_base: bool = True,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Assemble the linearized system at ``state``.
+
+        Returns views of the matrix and right-hand side with the ghost
+        row/column already trimmed, ready for ``np.linalg.solve``.
+
+        ``source_scale`` scales every independent source (used by the
+        source-stepping fallback).  ``cap_history`` supplies the trapezoidal
+        capacitor history currents; when omitted they are read from the
+        elements, matching the legacy stamp path.
+        """
+        matrix = self._base_matrix(
+            state.gmin, state.timestep_s, state.integration, cache=cache_base
+        ).copy()
+        rhs = np.zeros(self._ghost)
+
+        time_s = state.time_s
+        v_values, i_values = self._source_values(time_s, source_scale)
+        if v_values is not None:
+            rhs[self.vs_rows] += v_values
+        if i_values is not None:
+            np.add.at(rhs, self.is_plus, -i_values)
+            np.add.at(rhs, self.is_minus, i_values)
+
+        if state.timestep_s is not None and self.num_capacitors:
+            g = self._capacitor_conductance(state.timestep_s, state.integration)
+            if state.previous_solution is not None:
+                prev = self._pad(state.previous_solution)
+                v_prev = prev[self.cap_a] - prev[self.cap_b]
+            else:
+                v_prev = self.cap_v0
+            i_eq = g * v_prev
+            if state.integration == "trap":
+                if cap_history is None:
+                    cap_history = np.array(
+                        [c._previous_current for c in self.capacitors], dtype=float
+                    )
+                i_eq = i_eq + cap_history
+            np.add.at(rhs, self.cap_a, i_eq)
+            np.add.at(rhs, self.cap_b, -i_eq)
+
+        if self.num_mosfets:
+            self._stamp_mosfets(matrix, rhs, self._pad(state.solution))
+
+        if self.custom_elements:
+            system = MNASystem(
+                self.num_nodes,
+                self.size - self.num_nodes,
+                matrix=matrix[: self.size, : self.size],
+                rhs=rhs[: self.size],
+            )
+            for element in self.custom_elements:
+                element.stamp(system, state)
+
+        return matrix[: self.size, : self.size], rhs[: self.size]
+
+    def _stamp_mosfets(self, matrix: np.ndarray, rhs: np.ndarray, solution: np.ndarray) -> None:
+        """Vectorized level-1 companion-model stamps for every MOSFET."""
+        from repro.spice.elements.mosfet import evaluate_level1_arrays
+
+        vd = solution[self.mos_d]
+        vg = solution[self.mos_g]
+        vs = solution[self.mos_s]
+        # Orient every channel so its higher diffusion terminal is the drain
+        # (the element does the same; the conduction is symmetric).
+        forward = vd >= vs
+        drain = np.where(forward, self.mos_d, self.mos_s)
+        source = np.where(forward, self.mos_s, self.mos_d)
+        v_source = np.where(forward, vs, vd)
+        vgs = vg - v_source
+        vds = np.abs(vd - vs)
+
+        ids, gm, gds = evaluate_level1_arrays(
+            vgs, vds, self.mos_beta, self.mos_vth, self.mos_lambda, self.mos_w
+        )
+        gds = gds + self.mos_gmin
+        i_eq = ids - gm * vgs - gds * vds
+
+        gate = self.mos_g
+        rows = np.concatenate((drain, source, drain, source, drain, drain, source, source))
+        cols = np.concatenate((drain, source, source, drain, gate, source, gate, source))
+        vals = np.concatenate((gds, gds, -gds, -gds, gm, -gm, -gm, gm))
+        # bincount over the raveled matrix is markedly faster than np.add.at
+        # for this many entries (duplicates are accumulated either way).
+        ghost = self._ghost
+        flat = matrix.reshape(-1)
+        flat += np.bincount(rows * ghost + cols, weights=vals, minlength=ghost * ghost)
+        rhs += np.bincount(
+            np.concatenate((drain, source)),
+            weights=np.concatenate((-i_eq, i_eq)),
+            minlength=ghost,
+        )
+
+
+class AnalysisEngine:
+    """Shared Newton-Raphson solver over a compiled circuit.
+
+    The engine owns the iteration loop and the convergence fallbacks; the
+    analyses are thin drivers over it:
+
+    * :meth:`solve_dc` — damped Newton with gmin-stepping and source-stepping
+      fallbacks (the DC operating point);
+    * :meth:`dc_sweep` — repeated operating points with warm-start
+      continuation, reusing the compiled structure across points;
+    * :meth:`sweep_many` — a family of sweeps through one compiled circuit
+      (per-point continuation inside each family, the previous family's
+      solution seeding the next);
+    * :meth:`solve_transient` — fixed-step integration with per-step Newton
+      iteration and vectorized capacitor history updates.
+    """
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self._compiled: Optional[CompiledCircuit] = None
+
+    @property
+    def compiled(self) -> CompiledCircuit:
+        """The compiled structure, recompiled when the circuit changed."""
+        if self._compiled is None or self._compiled.revision != self.circuit.revision:
+            self._compiled = CompiledCircuit(self.circuit)
+        return self._compiled
+
+    def assemble_system(
+        self, state: AnalysisState, source_scale: float = 1.0
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Assemble (matrix, rhs) at ``state`` through the compiled path."""
+        return self.compiled.assemble(state, source_scale=source_scale)
+
+    # ------------------------------------------------------------------ #
+    # the Newton loop (the only copy in the package)
+    # ------------------------------------------------------------------ #
+
+    def _newton(
+        self,
+        solution: np.ndarray,
+        *,
+        gmin: float,
+        max_iterations: int,
+        tolerance_v: float,
+        damping_v: float,
+        time_s: float = 0.0,
+        timestep_s: Optional[float] = None,
+        previous_solution: Optional[np.ndarray] = None,
+        integration: str = "be",
+        source_scale: float = 1.0,
+        cap_history: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, int, bool, float]:
+        """One Newton-Raphson run; returns (solution, iterations, converged, max_update).
+
+        A singular Jacobian bumps ``gmin`` an order of magnitude and retries
+        instead of raising, so structurally defective circuits report
+        non-convergence rather than blowing up the caller.
+        """
+        compiled = self.compiled
+        converged = False
+        max_update = float("inf")
+        iteration = 0
+        gmin_bumped = False
+        for iteration in range(1, max_iterations + 1):
+            state = AnalysisState(
+                solution=solution,
+                time_s=time_s,
+                timestep_s=timestep_s,
+                previous_solution=previous_solution,
+                integration=integration,
+                gmin=gmin,
+            )
+            matrix, rhs = compiled.assemble(
+                state, source_scale, cap_history, cache_base=not gmin_bumped
+            )
+            try:
+                new_solution = np.linalg.solve(matrix, rhs)
+            except np.linalg.LinAlgError:
+                gmin = max(gmin * 10.0, 1e-12)
+                gmin_bumped = True
+                continue
+
+            update = new_solution - solution
+            max_update = float(np.max(np.abs(update))) if update.size else 0.0
+            # Per-unknown clamp: a runaway node (e.g. a floating terminal
+            # hanging off a cut-off transistor) must not stall the rest.
+            update = np.clip(update, -damping_v, damping_v)
+            solution = solution + update
+
+            if max_update < tolerance_v:
+                converged = True
+                break
+        return solution, iteration, converged, max_update
+
+    # ------------------------------------------------------------------ #
+    # DC operating point
+    # ------------------------------------------------------------------ #
+
+    def solve_dc(
+        self,
+        initial_guess: Optional[np.ndarray] = None,
+        max_iterations: int = 300,
+        tolerance_v: float = 1e-7,
+        gmin: float = 1e-9,
+        damping_v: float = 0.6,
+        time_s: float = 0.0,
+        refresh: bool = True,
+    ):
+        """Solve the DC operating point; returns an ``OperatingPoint``.
+
+        A plain damped Newton iteration is tried first.  If it fails, the
+        engine falls back to gmin stepping (re-solving with a strongly
+        increased node-to-ground conductance relaxed decade by decade) and,
+        if that also fails, to source stepping (ramping every independent
+        source from 10 % to full drive with solution continuation).
+
+        ``refresh`` re-reads element parameter values before solving so
+        in-place mutations are honoured; batch drivers that refresh once up
+        front (sweeps, transient) pass ``False`` for the inner solves.
+        """
+        from repro.spice.dcop import OperatingPoint
+
+        circuit = self.circuit
+        if circuit.system_size == 0:
+            raise ValueError("the circuit has no unknowns to solve for")
+        if refresh:
+            self.compiled.refresh_values()
+        solution = (
+            initial_guess.copy() if initial_guess is not None else circuit.initial_solution()
+        )
+        if solution.shape != (circuit.system_size,):
+            raise ValueError(
+                f"initial guess has shape {solution.shape}, expected ({circuit.system_size},)"
+            )
+
+        controls = dict(
+            max_iterations=max_iterations,
+            tolerance_v=tolerance_v,
+            damping_v=damping_v,
+            time_s=time_s,
+        )
+        solution, iterations, converged, max_update = self._newton(
+            solution, gmin=gmin, **controls
+        )
+        total_iterations = iterations
+
+        if not converged:
+            # gmin stepping: start almost linear, relax towards the target
+            # gmin; intermediate stages only seed the next one.
+            stepped = circuit.initial_solution()
+            final_ok = False
+            for step_gmin in GMIN_LADDER + (gmin,):
+                stepped, used, final_ok, max_update = self._newton(
+                    stepped, gmin=step_gmin, **controls
+                )
+                total_iterations += used
+            if final_ok:
+                solution = stepped
+                converged = True
+
+        if not converged:
+            # Source stepping: ramp all independent sources up from 10 %,
+            # reusing each stage's solution; only full drive must converge.
+            stepped = circuit.initial_solution()
+            final_ok = False
+            for scale in SOURCE_LADDER:
+                stepped, used, final_ok, max_update = self._newton(
+                    stepped, gmin=gmin, source_scale=scale, **controls
+                )
+                total_iterations += used
+            if final_ok:
+                solution = stepped
+                converged = True
+
+        return OperatingPoint(
+            circuit=circuit,
+            solution=solution,
+            iterations=total_iterations,
+            converged=converged,
+            max_residual=max_update,
+        )
+
+    # ------------------------------------------------------------------ #
+    # DC sweeps
+    # ------------------------------------------------------------------ #
+
+    def dc_sweep(
+        self,
+        source: Union[VoltageSource, CurrentSource, str],
+        values: Sequence[float],
+        gmin: float = 1e-12,
+        max_iterations: int = 200,
+        warm_start: bool = True,
+        initial_guess: Optional[np.ndarray] = None,
+    ):
+        """Sweep an independent source; returns a ``DCSweepResult``.
+
+        Each point starts the Newton iteration from the previous point's
+        solution (continuation) unless ``warm_start`` is disabled; the first
+        point can be seeded with ``initial_guess`` (used by
+        :meth:`sweep_many` to chain families).
+        """
+        from repro.spice.dcsweep import DCSweepResult
+
+        source = self._resolve_source(source)
+        values_array = np.asarray(list(values), dtype=float)
+        if values_array.size == 0:
+            raise ValueError("at least one sweep value is required")
+
+        self.compiled.refresh_values()
+        points = []
+        guess = initial_guess
+        original_waveform = source.waveform
+        try:
+            for value in values_array:
+                source.set_level(float(value))
+                point = self.solve_dc(
+                    initial_guess=guess,
+                    gmin=gmin,
+                    max_iterations=max_iterations,
+                    refresh=False,
+                )
+                points.append(point)
+                guess = point.solution.copy() if warm_start else initial_guess
+        finally:
+            source.waveform = original_waveform
+
+        return DCSweepResult(circuit=self.circuit, values=values_array, points=points)
+
+    def sweep_many(
+        self,
+        source: Union[VoltageSource, CurrentSource, str],
+        families: Mapping[Hashable, Sequence[float]],
+        configure: Optional[Callable[[Hashable], None]] = None,
+        gmin: float = 1e-12,
+        max_iterations: int = 200,
+    ) -> Dict[Hashable, object]:
+        """Run a family of DC sweeps through one compiled circuit.
+
+        ``families`` maps a label to the sweep values of that member (e.g.
+        one gate voltage per family in the series-switch drive study).
+        ``configure(label)`` is called before each family so the caller can
+        reconfigure other sources.  Every family warm-starts internally and
+        is seeded with the first-point solution of the previous family, so
+        the whole batch shares both the compiled structure and continuation.
+
+        Returns an ordered dict of ``DCSweepResult`` keyed by label.
+        """
+        source = self._resolve_source(source)
+        results: Dict[Hashable, object] = {}
+        seed: Optional[np.ndarray] = None
+        for label, values in families.items():
+            if configure is not None:
+                configure(label)
+            sweep = self.dc_sweep(
+                source,
+                values,
+                gmin=gmin,
+                max_iterations=max_iterations,
+                initial_guess=seed,
+            )
+            results[label] = sweep
+            seed = sweep.points[0].solution.copy()
+        return results
+
+    def _resolve_source(self, source) -> Union[VoltageSource, CurrentSource]:
+        if isinstance(source, str):
+            source = self.circuit.element(source)
+        if not isinstance(source, (VoltageSource, CurrentSource)):
+            raise TypeError("dc_sweep needs a VoltageSource or CurrentSource (or its name)")
+        return source
+
+    # ------------------------------------------------------------------ #
+    # transient analysis
+    # ------------------------------------------------------------------ #
+
+    def solve_transient(
+        self,
+        stop_time_s: float,
+        timestep_s: float,
+        integration: str = "be",
+        max_newton_iterations: int = 100,
+        tolerance_v: float = 1e-6,
+        gmin: float = 1e-9,
+        use_initial_conditions: bool = False,
+    ):
+        """Fixed-step transient analysis; returns a ``TransientResult``.
+
+        Starts from the DC operating point at ``t = 0`` (or from zero with
+        ``use_initial_conditions``) and marches with per-step Newton
+        iteration; capacitor companion histories are updated vectorized
+        after every accepted step.
+        """
+        from repro.spice.transient import TransientResult
+
+        if stop_time_s <= 0.0 or timestep_s <= 0.0:
+            raise ValueError("stop time and timestep must be positive")
+        if timestep_s > stop_time_s:
+            raise ValueError("the timestep cannot exceed the stop time")
+        if integration not in ("be", "trap"):
+            raise ValueError("integration must be 'be' or 'trap'")
+
+        circuit = self.circuit
+        compiled = self.compiled
+        compiled.refresh_values()
+        cap_history = np.zeros(compiled.num_capacitors)
+        for capacitor in compiled.capacitors:
+            capacitor.reset()
+        history_elements = [
+            element
+            for element in compiled.custom_elements
+            if callable(getattr(element, "update_history", None))
+        ]
+        for element in history_elements:
+            if callable(getattr(element, "reset", None)):
+                element.reset()
+
+        steps = int(round(stop_time_s / timestep_s))
+        times = np.linspace(0.0, steps * timestep_s, steps + 1)
+
+        if use_initial_conditions:
+            current_solution = circuit.initial_solution()
+        else:
+            current_solution = self.solve_dc(
+                gmin=gmin, time_s=0.0, refresh=False
+            ).solution.copy()
+
+        solutions = np.zeros((steps + 1, circuit.system_size))
+        solutions[0] = current_solution
+        all_converged = True
+
+        cap_g = (
+            compiled._capacitor_conductance(timestep_s, integration)
+            if compiled.num_capacitors
+            else None
+        )
+        previous_solution = current_solution.copy()
+        for step in range(1, steps + 1):
+            time = times[step]
+            solution, _, converged, _ = self._newton(
+                current_solution.copy(),
+                gmin=gmin,
+                max_iterations=max_newton_iterations,
+                tolerance_v=tolerance_v,
+                damping_v=1.0,
+                time_s=time,
+                timestep_s=timestep_s,
+                previous_solution=previous_solution,
+                integration=integration,
+                cap_history=cap_history if integration == "trap" else None,
+            )
+            if not converged:
+                all_converged = False
+
+            if cap_g is not None and integration == "trap":
+                # Backward Euler needs no history (its companion current
+                # only uses the previous voltage, gathered during assembly).
+                now = compiled._pad(solution)
+                prev = compiled._pad(previous_solution)
+                dv = (now[compiled.cap_a] - now[compiled.cap_b]) - (
+                    prev[compiled.cap_a] - prev[compiled.cap_b]
+                )
+                cap_history = cap_g * dv - cap_history
+            if history_elements:
+                final_state = AnalysisState(
+                    solution=solution,
+                    time_s=time,
+                    timestep_s=timestep_s,
+                    previous_solution=previous_solution,
+                    integration=integration,
+                    gmin=gmin,
+                )
+                for element in history_elements:
+                    element.update_history(final_state)
+
+            solutions[step] = solution
+            previous_solution = solution.copy()
+            current_solution = solution
+
+        if compiled.num_capacitors:
+            # Mirror the final companion history onto the elements so the
+            # legacy stamp path (the reference oracle) agrees with the
+            # engine's state after the run, exactly as the per-element
+            # update_history() calls used to leave it.
+            if integration == "trap":
+                final_history = cap_history
+            else:
+                now = compiled._pad(solutions[-1])
+                prev = compiled._pad(solutions[-2])
+                dv = (now[compiled.cap_a] - now[compiled.cap_b]) - (
+                    prev[compiled.cap_a] - prev[compiled.cap_b]
+                )
+                final_history = (compiled.cap_c / timestep_s) * dv
+            for capacitor, history in zip(compiled.capacitors, final_history):
+                capacitor._previous_current = float(history)
+
+        return TransientResult(
+            circuit=circuit,
+            time_s=times,
+            solutions=solutions,
+            converged=all_converged,
+        )
+
+
+def get_engine(circuit: Circuit) -> AnalysisEngine:
+    """The :class:`AnalysisEngine` cached on ``circuit``.
+
+    Creating the engine is cheap; the compiled structure inside it is built
+    lazily and recompiled only when the circuit's topology changes, so
+    repeated analyses on one circuit (sweeps, parameter studies) share all
+    precomputed index arrays.
+    """
+    engine = getattr(circuit, "_analysis_engine", None)
+    if engine is None:
+        engine = AnalysisEngine(circuit)
+        circuit._analysis_engine = engine
+    return engine
+
+
+def sweep_many(
+    circuit: Circuit,
+    source: Union[VoltageSource, CurrentSource, str],
+    families: Mapping[Hashable, Sequence[float]],
+    configure: Optional[Callable[[Hashable], None]] = None,
+    gmin: float = 1e-12,
+    max_iterations: int = 200,
+) -> Dict[Hashable, object]:
+    """Run a family of DC sweeps through one compiled circuit.
+
+    Convenience wrapper over :meth:`AnalysisEngine.sweep_many`; see there.
+    """
+    return get_engine(circuit).sweep_many(
+        source, families, configure=configure, gmin=gmin, max_iterations=max_iterations
+    )

@@ -71,13 +71,25 @@ class AnalysisState:
 
 
 class MNASystem:
-    """Dense MNA matrix/right-hand-side under assembly for one Newton step."""
+    """Dense MNA matrix/right-hand-side under assembly for one Newton step.
 
-    def __init__(self, num_nodes: int, num_branches: int):
+    ``matrix`` and ``rhs`` may be supplied by the caller so stamps can be
+    accumulated into externally owned buffers; the compiled analysis engine
+    uses this to route legacy ``stamp()`` calls of custom elements into its
+    own assembly arrays.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        num_branches: int,
+        matrix: Optional[np.ndarray] = None,
+        rhs: Optional[np.ndarray] = None,
+    ):
         size = num_nodes + num_branches
         self._num_nodes = num_nodes
-        self.matrix = np.zeros((size, size))
-        self.rhs = np.zeros(size)
+        self.matrix = np.zeros((size, size)) if matrix is None else matrix
+        self.rhs = np.zeros(size) if rhs is None else rhs
 
     @property
     def size(self) -> int:
@@ -143,6 +155,8 @@ class Circuit:
         self._elements: List[object] = []
         self._element_names: Dict[str, object] = {}
         self._num_branches = 0
+        self._revision = 0
+        self._analysis_engine = None
 
     # ------------------------------------------------------------------ #
     # nodes
@@ -157,6 +171,7 @@ class Circuit:
         if name not in self._node_index:
             self._node_index[name] = len(self._node_names)
             self._node_names.append(name)
+            self._revision += 1
         return self._node_index[name]
 
     @property
@@ -193,7 +208,17 @@ class Circuit:
         """Reserve a branch-current unknown (used by voltage sources)."""
         index = self._num_branches
         self._num_branches += 1
+        self._revision += 1
         return index
+
+    @property
+    def revision(self) -> int:
+        """Monotonic counter bumped whenever the topology changes.
+
+        Compiled analysis structures cache against this value so they can
+        detect that nodes, branches or elements were added and recompile.
+        """
+        return self._revision
 
     # ------------------------------------------------------------------ #
     # elements
@@ -210,6 +235,7 @@ class Circuit:
             raise TypeError(f"element {name!r} does not implement stamp()")
         self._element_names[name] = element
         self._elements.append(element)
+        self._revision += 1
 
     @property
     def elements(self) -> Tuple[object, ...]:
@@ -233,7 +259,14 @@ class Circuit:
     # ------------------------------------------------------------------ #
 
     def assemble(self, state: AnalysisState) -> MNASystem:
-        """Assemble the MNA system for the given analysis state."""
+        """Assemble the MNA system by calling every element's ``stamp()``.
+
+        This is the legacy per-element reference path.  The analyses go
+        through :class:`repro.spice.engine.AnalysisEngine`, which compiles
+        the circuit once and assembles with vectorized scatter operations;
+        this method remains as the compatibility path for custom elements
+        and as the oracle the engine is tested (and benchmarked) against.
+        """
         system = MNASystem(self.num_nodes, self.num_branches)
         for node in range(self.num_nodes):
             system.add_conductance(node, -1, state.gmin)

@@ -1,24 +1,24 @@
-"""Transient analysis with backward-Euler or trapezoidal integration.
+"""Transient analysis (thin frontend over the analysis engine).
 
-The analysis starts from a DC operating point at ``t = 0`` (all capacitors
-open) and then marches with a fixed timestep; at every step the nonlinear
-system is re-solved by Newton iteration with the capacitor companion models
-of the selected integration method.  Fixed stepping is entirely adequate for
-the paper's circuits, whose time constants are set by the 500 kOhm pull-up
-and femto-farad load capacitors (tens of nanoseconds).
+The time-marching loop, the per-step Newton iteration and the vectorized
+capacitor companion-history updates live in
+:class:`repro.spice.engine.AnalysisEngine`; this module keeps the stable
+:func:`transient_analysis` entry point and the :class:`TransientResult`
+type.  Backward-Euler and trapezoidal integration with a fixed timestep are
+entirely adequate for the paper's circuits, whose time constants are set by
+the 500 kOhm pull-up and femto-farad load capacitors (tens of nanoseconds).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Sequence
 
 import numpy as np
 
-from repro.spice.dcop import dc_operating_point
-from repro.spice.elements.capacitor import Capacitor
 from repro.spice.elements.sources import VoltageSource
-from repro.spice.netlist import AnalysisState, Circuit
+from repro.spice.engine import get_engine
+from repro.spice.netlist import Circuit
 
 
 @dataclass
@@ -60,6 +60,10 @@ class TransientResult:
         """Node voltage interpolated at an arbitrary time."""
         return float(np.interp(time_s, self.time_s, self.voltage(node_name)))
 
+    def sample_voltages(self, node_name: str, times_s: Sequence[float]) -> np.ndarray:
+        """Node voltage interpolated at several times at once [V]."""
+        return np.interp(np.asarray(times_s, dtype=float), self.time_s, self.voltage(node_name))
+
     def final_voltages(self) -> Dict[str, float]:
         """Node voltages at the final time point."""
         return {
@@ -80,6 +84,12 @@ def transient_analysis(
 ) -> TransientResult:
     """Run a fixed-step transient analysis.
 
+    Delegates to the circuit's cached :class:`~repro.spice.engine.AnalysisEngine`,
+    which starts from a DC operating point at ``t = 0`` (all capacitors open)
+    and then marches with a fixed timestep, re-solving the nonlinear system
+    at every step by Newton iteration with the capacitor companion models of
+    the selected integration method.
+
     Parameters
     ----------
     circuit:
@@ -98,74 +108,12 @@ def transient_analysis(
         capacitor initial conditions) instead of the DC operating point at
         ``t = 0`` — the equivalent of SPICE's ``UIC``.
     """
-    if stop_time_s <= 0.0 or timestep_s <= 0.0:
-        raise ValueError("stop time and timestep must be positive")
-    if timestep_s > stop_time_s:
-        raise ValueError("the timestep cannot exceed the stop time")
-    if integration not in ("be", "trap"):
-        raise ValueError("integration must be 'be' or 'trap'")
-
-    capacitors = [element for element in circuit.elements if isinstance(element, Capacitor)]
-    for capacitor in capacitors:
-        capacitor.reset()
-
-    steps = int(round(stop_time_s / timestep_s))
-    times = np.linspace(0.0, steps * timestep_s, steps + 1)
-
-    if use_initial_conditions:
-        current_solution = circuit.initial_solution()
-    else:
-        initial_point = dc_operating_point(circuit, gmin=gmin, time_s=0.0)
-        current_solution = initial_point.solution.copy()
-
-    solutions = np.zeros((steps + 1, circuit.system_size))
-    solutions[0] = current_solution
-    all_converged = True
-
-    previous_solution = current_solution.copy()
-    for step in range(1, steps + 1):
-        time = times[step]
-        solution = current_solution.copy()
-        converged = False
-        for _ in range(max_newton_iterations):
-            state = AnalysisState(
-                solution=solution,
-                time_s=time,
-                timestep_s=timestep_s,
-                previous_solution=previous_solution,
-                integration=integration,
-                gmin=gmin,
-            )
-            system = circuit.assemble(state)
-            new_solution = np.linalg.solve(system.matrix, system.rhs)
-            update = new_solution - solution
-            max_update = float(np.max(np.abs(update))) if update.size else 0.0
-            update = np.clip(update, -1.0, 1.0)
-            solution = solution + update
-            if max_update < tolerance_v:
-                converged = True
-                break
-        if not converged:
-            all_converged = False
-
-        final_state = AnalysisState(
-            solution=solution,
-            time_s=time,
-            timestep_s=timestep_s,
-            previous_solution=previous_solution,
-            integration=integration,
-            gmin=gmin,
-        )
-        for capacitor in capacitors:
-            capacitor.update_history(final_state)
-
-        solutions[step] = solution
-        previous_solution = solution.copy()
-        current_solution = solution
-
-    return TransientResult(
-        circuit=circuit,
-        time_s=times,
-        solutions=solutions,
-        converged=all_converged,
+    return get_engine(circuit).solve_transient(
+        stop_time_s,
+        timestep_s,
+        integration=integration,
+        max_newton_iterations=max_newton_iterations,
+        tolerance_v=tolerance_v,
+        gmin=gmin,
+        use_initial_conditions=use_initial_conditions,
     )

@@ -7,6 +7,7 @@ inputs through all combinations of the XOR3 inputs.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
@@ -136,15 +137,26 @@ class PiecewiseLinear(Waveform):
                 deduped.append((t, v))
         return cls(tuple(deduped))
 
+    @property
+    def _times(self) -> Tuple[float, ...]:
+        # Cached breakpoint times for O(log n) lookups; the dataclass is
+        # frozen, so the cache is written through object.__setattr__.
+        times = self.__dict__.get("_times_cache")
+        if times is None:
+            times = tuple(t for t, _ in self.points)
+            object.__setattr__(self, "_times_cache", times)
+        return times
+
     def value(self, time_s: float) -> float:
         points = self.points
         if time_s <= points[0][0]:
             return points[0][1]
         if time_s >= points[-1][0]:
             return points[-1][1]
-        for (t0, v0), (t1, v1) in zip(points, points[1:]):
-            if t0 <= time_s <= t1:
-                if t1 == t0:
-                    return v1
-                return v0 + (v1 - v0) * (time_s - t0) / (t1 - t0)
-        return points[-1][1]
+        # Binary search for the enclosing segment (breakpoint times are
+        # strictly increasing); transient analyses call this once per source
+        # per Newton solve, so the lookup is on a warm path.
+        i = bisect_right(self._times, time_s)
+        t0, v0 = points[i - 1]
+        t1, v1 = points[i]
+        return v0 + (v1 - v0) * (time_s - t0) / (t1 - t0)

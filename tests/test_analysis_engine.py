@@ -1,0 +1,414 @@
+"""Tests for the unified analysis engine: compiled assembly, fallbacks, sweeps.
+
+The legacy per-element ``stamp()`` assembly (``Circuit.assemble``) is kept as
+the oracle: the compiled engine must reproduce its matrices bit-for-bit (to
+floating-point tolerance) in every analysis context, and the solver-level
+tests exercise the convergence fallbacks the three analyses share.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fitting.level1 import Level1Parameters
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    MOSFET,
+    Resistor,
+    VoltageSource,
+    dc_operating_point,
+    dc_sweep,
+    get_engine,
+    sweep_many,
+    transient_analysis,
+)
+from repro.spice.dcsweep import _interpolate_crossing
+from repro.spice.engine import AnalysisEngine, CompiledCircuit
+from repro.spice.netlist import AnalysisState
+
+NMOS = Level1Parameters(
+    kp_a_per_v2=4e-5, vth_v=0.18, lambda_per_v=0.05, width_m=0.7e-6, length_m=0.35e-6
+)
+
+
+def _mixed_circuit():
+    """A circuit exercising every compiled element class at once."""
+    circuit = Circuit("mixed")
+    VoltageSource(circuit, "vdd", "vdd", "0", 1.2)
+    VoltageSource(circuit, "vg", "g", "0", 0.7)
+    CurrentSource(circuit, "ib", "0", "mid", 1e-6)
+    Resistor(circuit, "r1", "vdd", "d", 200e3)
+    Resistor(circuit, "r2", "mid", "0", 50e3)
+    Capacitor(circuit, "c1", "d", "0", 2e-15)
+    Capacitor(circuit, "c2", "mid", "d", 1e-15)
+    MOSFET(circuit, "m1", "d", "g", "0", NMOS)
+    MOSFET(circuit, "m2", "mid", "g", "d", NMOS)
+    return circuit
+
+
+class TestCompiledAssemblyParity:
+    @pytest.mark.parametrize("timestep_s", [None, 1e-9])
+    @pytest.mark.parametrize("integration", ["be", "trap"])
+    def test_matches_legacy_stamp_path(self, timestep_s, integration):
+        circuit = _mixed_circuit()
+        engine = get_engine(circuit)
+        rng = np.random.default_rng(42)
+        solution = rng.uniform(-0.5, 1.5, circuit.system_size)
+        previous = rng.uniform(-0.5, 1.5, circuit.system_size)
+        state = AnalysisState(
+            solution=solution,
+            time_s=3e-9,
+            timestep_s=timestep_s,
+            previous_solution=previous if timestep_s is not None else None,
+            integration=integration,
+            gmin=1e-9,
+        )
+        legacy = circuit.assemble(state)
+        matrix, rhs = engine.assemble_system(state)
+        assert np.allclose(matrix, legacy.matrix, rtol=1e-12, atol=1e-18)
+        assert np.allclose(rhs, legacy.rhs, rtol=1e-12, atol=1e-18)
+
+    def test_custom_element_compatibility_path(self):
+        class TwoKilohm:
+            """A custom element only implementing the legacy stamp protocol."""
+
+            name = "x_custom"
+
+            def __init__(self, circuit, node_a, node_b):
+                self._a = circuit.node(node_a)
+                self._b = circuit.node(node_b)
+                circuit.add(self)
+
+            def stamp(self, system, state):
+                system.add_conductance(self._a, self._b, 1.0 / 2e3)
+
+        reference = Circuit()
+        VoltageSource(reference, "v1", "in", "0", 1.0)
+        Resistor(reference, "r1", "in", "out", 1e3)
+        Resistor(reference, "r2", "out", "0", 2e3)
+
+        custom = Circuit()
+        VoltageSource(custom, "v1", "in", "0", 1.0)
+        Resistor(custom, "r1", "in", "out", 1e3)
+        TwoKilohm(custom, "out", "0")
+        assert len(get_engine(custom).compiled.custom_elements) == 1
+
+        expected = dc_operating_point(reference)
+        got = dc_operating_point(custom)
+        assert got.converged
+        assert got.voltage("out") == pytest.approx(expected.voltage("out"), rel=1e-9)
+
+    def test_subclass_falls_back_to_stamp(self):
+        class ScaledResistor(Resistor):
+            def stamp(self, system, state):
+                system.add_conductance(self._node_a, self._node_b, 2.0 * self.conductance)
+
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "in", "0", 1.0)
+        ScaledResistor(circuit, "r1", "in", "out", 1e3)
+        Resistor(circuit, "r2", "out", "0", 1e3)
+        compiled = get_engine(circuit).compiled
+        assert len(compiled.custom_elements) == 1
+        op = dc_operating_point(circuit)
+        # The subclass behaves as 500 ohm, so the divider sits at 2/3 V.
+        assert op.voltage("out") == pytest.approx(2.0 / 3.0, abs=1e-4)
+
+    def test_recompiles_when_circuit_grows(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "in", "0", 1.0)
+        Resistor(circuit, "r1", "in", "0", 1e3)
+        engine = get_engine(circuit)
+        first = engine.compiled
+        assert engine.compiled is first  # unchanged topology: cached
+        Resistor(circuit, "r2", "in", "0", 1e3)
+        second = engine.compiled
+        assert second is not first
+        op = dc_operating_point(circuit)
+        assert op.source_current("v1") == pytest.approx(-2e-3, rel=1e-6)
+
+    def test_in_place_parameter_mutation_is_picked_up(self):
+        # The compiled arrays snapshot element values; refresh_values() at
+        # each solve must re-read them so parameter studies that mutate
+        # elements in place (Monte Carlo style) stay correct.
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "in", "0", 1.0)
+        resistor = Resistor(circuit, "r1", "in", "0", 1e3)
+        assert dc_operating_point(circuit).source_current("v1") == pytest.approx(
+            -1e-3, rel=1e-4
+        )
+        resistor.resistance_ohm = 2e3
+        assert dc_operating_point(circuit).source_current("v1") == pytest.approx(
+            -0.5e-3, rel=1e-4
+        )
+
+    def test_mosfet_parameter_swap_is_picked_up(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "vd", "d", "0", 1.0)
+        VoltageSource(circuit, "vg", "g", "0", 1.2)
+        mosfet = MOSFET(circuit, "m1", "d", "g", "0", NMOS)
+        before = abs(dc_operating_point(circuit).source_current("vd"))
+        mosfet.parameters = NMOS.scaled(width_m=2 * NMOS.width_m, length_m=NMOS.length_m)
+        after = abs(dc_operating_point(circuit).source_current("vd"))
+        assert after == pytest.approx(2.0 * before, rel=0.01)
+
+    def test_capacitance_mutation_invalidates_transient_base(self):
+        def run(circuit, capacitor, value):
+            capacitor.capacitance_f = value
+            result = transient_analysis(circuit, 2e-6, 2e-8, use_initial_conditions=True)
+            return result.sample_voltage("out", 1e-6)
+
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "in", "0", 1.0)
+        Resistor(circuit, "r1", "in", "out", 1e3)
+        capacitor = Capacitor(circuit, "c1", "out", "0", 1e-9)
+        at_tau = run(circuit, capacitor, 1e-9)
+        assert at_tau == pytest.approx(1.0 - np.exp(-1.0), abs=0.02)
+        # Doubling C doubles tau: at t = tau/2 the curve sits at 1 - e^-0.5.
+        slower = run(circuit, capacitor, 2e-9)
+        assert slower == pytest.approx(1.0 - np.exp(-0.5), abs=0.02)
+
+    def test_singular_retries_do_not_grow_base_cache(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "a", "0", 1.0)
+        VoltageSource(circuit, "v2", "a", "0", 2.0)
+        engine = get_engine(circuit)
+        op = dc_operating_point(circuit, max_iterations=50)
+        assert not op.converged
+        # Only the caller-requested gmin contexts are retained; the
+        # bumped-gmin retry matrices are built uncached.
+        assert len(engine.compiled._base_cache) <= len((1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8)) + 1
+
+    def test_get_engine_is_cached_on_circuit(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "in", "0", 1.0)
+        Resistor(circuit, "r1", "in", "0", 1e3)
+        assert get_engine(circuit) is get_engine(circuit)
+
+    def test_compiled_groups_element_classes(self):
+        compiled = CompiledCircuit(_mixed_circuit())
+        assert compiled.num_mosfets == 2
+        assert compiled.num_capacitors == 2
+        assert len(compiled.voltage_sources) == 2
+        assert len(compiled.current_sources) == 1
+        assert not compiled.custom_elements
+
+
+class TestSolverFallbacks:
+    def test_gmin_stepping_rescues_bad_initial_guess(self):
+        # A hopeless initial guess: the damped Newton clamps each update to
+        # 0.6 V, so it cannot walk back from 1e6 V within the iteration
+        # budget — only the gmin-stepping restart (from zeros) converges.
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "in", "0", 2.0)
+        Resistor(circuit, "r1", "in", "mid", 1e3)
+        Resistor(circuit, "r2", "mid", "0", 3e3)
+        bad_guess = np.full(circuit.system_size, 1e6)
+        op = dc_operating_point(circuit, initial_guess=bad_guess)
+        assert op.converged
+        assert op.voltage("mid") == pytest.approx(1.5, abs=1e-3)
+        # The fallback's iterations are accounted on top of the failed run.
+        assert op.iterations > 300
+
+    def test_singular_circuit_reports_nonconvergence(self):
+        # Two ideal voltage sources forcing different values onto one node:
+        # the MNA matrix is structurally singular, which no gmin bump fixes.
+        # The analysis must report the failure instead of raising.
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "a", "0", 1.0)
+        VoltageSource(circuit, "v2", "a", "0", 2.0)
+        op = dc_operating_point(circuit, max_iterations=30)
+        assert not op.converged
+        assert not np.isfinite(op.max_residual) or op.max_residual > 0.0
+
+    def test_source_stepping_ladder_reaches_full_drive(self):
+        # The source-stepping fallback must land on the true solution when
+        # driven through the ladder (exercised directly; healthy circuits
+        # never reach this stage).
+        circuit = Circuit()
+        VoltageSource(circuit, "vdd", "vdd", "0", 1.2)
+        Resistor(circuit, "rl", "vdd", "d", 500e3)
+        MOSFET(circuit, "m1", "d", "g", "0", NMOS)
+        VoltageSource(circuit, "vg", "g", "0", 1.2)
+        engine = get_engine(circuit)
+        solution = circuit.initial_solution()
+        for scale in (0.1, 0.25, 0.5, 0.75, 1.0):
+            solution, _, converged, _ = engine._newton(
+                solution,
+                gmin=1e-9,
+                max_iterations=300,
+                tolerance_v=1e-7,
+                damping_v=0.6,
+                source_scale=scale,
+            )
+        assert converged
+        reference = dc_operating_point(circuit)
+        assert solution[circuit.node_index("d")] == pytest.approx(
+            reference.voltage("d"), abs=1e-5
+        )
+
+
+class TestSweepContinuation:
+    def _transfer_circuit(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "vdd", "vdd", "0", 1.2)
+        gate = VoltageSource(circuit, "vg", "g", "0", 0.0)
+        Resistor(circuit, "rl", "vdd", "d", 100e3)
+        MOSFET(circuit, "m1", "d", "g", "0", NMOS)
+        return circuit, gate
+
+    def test_warm_start_matches_cold_start(self):
+        values = np.linspace(0.0, 1.2, 13)
+        circuit, gate = self._transfer_circuit()
+        warm = get_engine(circuit).dc_sweep(gate, values, warm_start=True)
+
+        cold_circuit, cold_gate = self._transfer_circuit()
+        cold = get_engine(cold_circuit).dc_sweep(cold_gate, values, warm_start=False)
+
+        assert warm.all_converged and cold.all_converged
+        assert np.allclose(warm.voltage("d"), cold.voltage("d"), atol=1e-5)
+
+    def test_sweep_many_matches_individual_sweeps(self):
+        values = np.linspace(0.0, 1.2, 7)
+        supplies = (1.0, 1.2)
+
+        circuit, gate = self._transfer_circuit()
+        supply = circuit.element("vdd")
+        family = sweep_many(
+            circuit,
+            gate,
+            {v: values for v in supplies},
+            configure=lambda v: supply.set_level(v),
+        )
+        assert list(family) == list(supplies)
+
+        for supply_v in supplies:
+            fresh_circuit, fresh_gate = self._transfer_circuit()
+            fresh_circuit.element("vdd").set_level(supply_v)
+            single = dc_sweep(fresh_circuit, fresh_gate, values)
+            assert np.allclose(
+                family[supply_v].voltage("d"), single.voltage("d"), atol=1e-5
+            )
+
+    def test_sweep_result_vectorized_extraction(self):
+        circuit, gate = self._transfer_circuit()
+        sweep = dc_sweep(circuit, gate, np.linspace(0.0, 1.2, 5))
+        # Column slices must agree with the per-point accessors.
+        per_point_v = np.array([p.voltage("d") for p in sweep.points])
+        per_point_i = np.array([p.source_current("vdd") for p in sweep.points])
+        assert np.array_equal(sweep.voltage("d"), per_point_v)
+        assert np.array_equal(sweep.source_current("vdd"), per_point_i)
+        assert sweep.solutions.shape == (5, circuit.system_size)
+
+    def test_sweep_restores_waveform_on_error(self):
+        from repro.spice.waveforms import DC
+
+        circuit, gate = self._transfer_circuit()
+        gate.waveform = DC(0.7)
+        with pytest.raises(ValueError):
+            dc_sweep(circuit, gate, [])
+        assert gate.value_at(0.0) == 0.7
+
+
+class TestInterpolateCrossing:
+    def test_first_point_exactly_on_target(self):
+        xs = np.array([0.0, 1.0, 2.0])
+        ys = np.array([5.0, 5.0, 7.0])
+        # The loop-based version skipped the flat start and reported x=1.
+        assert _interpolate_crossing(xs, ys, 5.0) == 0.0
+
+    def test_flat_curve_on_target_everywhere(self):
+        xs = np.array([0.0, 1.0])
+        ys = np.array([3.0, 3.0])
+        assert _interpolate_crossing(xs, ys, 3.0) == 0.0
+
+    def test_interior_crossing_interpolates(self):
+        xs = np.array([0.0, 1.0, 2.0])
+        ys = np.array([0.0, 1.0, 3.0])
+        assert _interpolate_crossing(xs, ys, 2.0) == pytest.approx(1.5)
+
+    def test_no_crossing_is_nan(self):
+        xs = np.array([0.0, 1.0])
+        ys = np.array([0.0, 1.0])
+        assert np.isnan(_interpolate_crossing(xs, ys, 5.0))
+
+    def test_empty_input_is_nan(self):
+        assert np.isnan(_interpolate_crossing(np.array([]), np.array([]), 1.0))
+
+    def test_descending_crossing(self):
+        xs = np.array([0.0, 1.0, 2.0])
+        ys = np.array([4.0, 2.0, 0.0])
+        assert _interpolate_crossing(xs, ys, 3.0) == pytest.approx(0.5)
+
+
+class TestBranchPositionCache:
+    def test_cache_invalidated_by_new_nodes(self):
+        circuit = Circuit()
+        source = VoltageSource(circuit, "v1", "a", "0", 1.0)
+        Resistor(circuit, "r1", "a", "0", 1e3)
+        first = source.branch_position(circuit)
+        assert first == circuit.num_nodes + source.branch
+        # Adding an element with a new node shifts every branch position.
+        Resistor(circuit, "r2", "b", "0", 1e3)
+        second = source.branch_position(circuit)
+        assert second == circuit.num_nodes + source.branch
+        assert second == first + 1
+
+    def test_revision_tracks_topology_changes(self):
+        circuit = Circuit()
+        before = circuit.revision
+        VoltageSource(circuit, "v1", "a", "0", 1.0)
+        assert circuit.revision > before
+        unchanged = circuit.revision
+        circuit.node("a")  # existing node: no change
+        assert circuit.revision == unchanged
+
+
+class TestEngineTransient:
+    def test_trapezoidal_history_matches_legacy_semantics(self):
+        # An RC charging curve under trapezoidal integration exercises the
+        # engine's vectorized capacitor history update.
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "in", "0", 1.0)
+        Resistor(circuit, "r1", "in", "out", 1e3)
+        Capacitor(circuit, "c1", "out", "0", 1e-9)
+        result = transient_analysis(
+            circuit, 2e-6, 2e-8, integration="trap", use_initial_conditions=True
+        )
+        exact = 1.0 - np.exp(-1.0)
+        assert result.sample_voltage("out", 1e-6) == pytest.approx(exact, abs=0.01)
+
+    def test_capacitor_history_written_back_after_transient(self):
+        # After an engine transient, the elements must carry the same
+        # companion history the legacy update_history() path would leave,
+        # so the stamp oracle stays valid for follow-up assemblies.
+        for integration in ("be", "trap"):
+            circuit = Circuit()
+            VoltageSource(circuit, "v1", "in", "0", 1.0)
+            Resistor(circuit, "r1", "in", "out", 1e3)
+            capacitor = Capacitor(circuit, "c1", "out", "0", 1e-9)
+            result = transient_analysis(
+                circuit, 1e-7, 1e-8, integration=integration, use_initial_conditions=True
+            )
+            v_now = result.solutions[-1, circuit.node_index("out")]
+            v_prev = result.solutions[-2, circuit.node_index("out")]
+            g = (2.0 if integration == "trap" else 1.0) * 1e-9 / 1e-8
+            # For BE the history is g*dv of the last step; for trap the
+            # recurrence g*dv - previous applies, checked via the element.
+            assert capacitor._previous_current != 0.0
+            if integration == "be":
+                assert capacitor._previous_current == pytest.approx(
+                    g * (v_now - v_prev), rel=1e-9
+                )
+
+    def test_engine_solve_transient_equals_frontend(self):
+        def build():
+            circuit = Circuit()
+            VoltageSource(circuit, "v1", "in", "0", 1.0)
+            Resistor(circuit, "r1", "in", "out", 1e3)
+            Capacitor(circuit, "c1", "out", "0", 1e-9)
+            return circuit
+
+        via_frontend = transient_analysis(build(), 1e-6, 1e-8)
+        via_engine = AnalysisEngine(build()).solve_transient(1e-6, 1e-8)
+        assert np.allclose(via_frontend.solutions, via_engine.solutions)
