@@ -2,7 +2,29 @@
 
 from __future__ import annotations
 
+import json
+import os
+from typing import Any, Dict
+
 
 def report(text: str) -> None:
     """Print an experiment report under the benchmark output (use ``-s`` to see it)."""
     print("\n" + text + "\n")
+
+
+def write_bench_json(filename: str, payload: Dict[str, Any]) -> None:
+    """Record benchmark figures for the CI perf-trajectory artifact.
+
+    Writes ``payload`` as JSON into the directory named by the
+    ``BENCH_JSON_DIR`` environment variable (``BENCH_engine.json``,
+    ``BENCH_montecarlo.json``, ...); a no-op when the variable is unset, so
+    local runs stay side-effect free.
+    """
+    directory = os.environ.get("BENCH_JSON_DIR")
+    if not directory:
+        return
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, filename)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -18,7 +18,7 @@ import time
 
 import numpy as np
 
-from _bench_utils import report
+from _bench_utils import report, write_bench_json
 
 from repro.circuits.lattice_netlist import build_lattice_circuit
 from repro.circuits.testbench import InputSequence
@@ -72,6 +72,17 @@ def test_compiled_assembly_speedup(benchmark, switch_model):
     benchmark.extra_info["speedup"] = speedup
 
     floor = float(os.environ.get("ENGINE_BENCH_MIN_SPEEDUP", "3.0"))
+    write_bench_json(
+        "BENCH_engine.json",
+        {
+            "benchmark": "engine_compiled_assembly",
+            "circuit": circuit.summary(),
+            "legacy_assembly_us": legacy_s * 1e6,
+            "compiled_assembly_us": engine_s * 1e6,
+            "speedup": speedup,
+            "acceptance_floor": floor,
+        },
+    )
     report(
         "Engine assembly on the Fig. 11 XOR3 transient testbench "
         f"({circuit.summary()}):\n"

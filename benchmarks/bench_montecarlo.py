@@ -1,0 +1,166 @@
+"""Benchmark: Monte-Carlo trials amortize compilation and netlist walks.
+
+The Monte-Carlo engine's claim is that a variability trial costs only an
+overlay swap plus the solve, because the circuit is compiled once.  This
+benchmark measures that directly on the Fig. 11 XOR3 lattice bench (54
+MOSFETs): a *cold* trial that rebuilds the netlist and recompiles for every
+parameter set — what a naive study would do — against the Monte-Carlo
+per-trial cost (seeded sampling + in-place array overlay + warm-started
+solve), and asserts the amortized trial is faster by a configurable floor.
+
+Run with ``pytest benchmarks/bench_montecarlo.py -s``.  The floor can be
+relaxed through ``MC_BENCH_MIN_SPEEDUP`` for noisy shared runners; the
+measured figures land in ``BENCH_montecarlo.json`` when ``BENCH_JSON_DIR``
+is set (the CI perf-trajectory artifact).
+"""
+
+import os
+import time
+from functools import partial
+
+from _bench_utils import report, write_bench_json
+
+from repro.circuits.lattice_netlist import build_lattice_circuit
+from repro.core.library import xor3_lattice_3x3
+from repro.spice.engine import get_engine
+from repro.spice.montecarlo import (
+    Gaussian,
+    MonteCarloEngine,
+    sample_overlay,
+    trial_generator,
+)
+
+#: Static input vector of the study: a=1, b=c=0 drives the output low.
+ASSIGNMENT = {"a": True, "b": False, "c": False}
+
+
+def _mc_trial(engine, trial, output_index=0, initial_guess=None):
+    op = engine.solve_dc(initial_guess=initial_guess, refresh=False)
+    return {"out_v": op.solution[output_index], "converged": float(op.converged)}
+
+
+def _cold_trial(lattice, model):
+    """Netlist re-walk + compile + solve: the cost Monte Carlo avoids."""
+    bench = build_lattice_circuit(lattice, model=model, static_assignment=ASSIGNMENT)
+    return get_engine(bench.circuit).solve_dc()
+
+
+def test_montecarlo_amortizes_compilation(benchmark, switch_model):
+    lattice = xor3_lattice_3x3()
+    bench = build_lattice_circuit(
+        lattice, model=switch_model, static_assignment=ASSIGNMENT
+    )
+    circuit = bench.circuit
+    nominal = get_engine(circuit).solve_dc()
+    assert nominal.converged
+
+    analysis = partial(
+        _mc_trial,
+        output_index=circuit.node_index(bench.output_node),
+        initial_guess=nominal.solution,
+    )
+    # 10 mV local Vth mismatch + 5 % beta spread: typical local-variation
+    # figures.  (Larger spreads move the weakly anchored lattice nodes
+    # further from the warm start and the Newton count — the dominant trial
+    # cost — grows with the spread, so the amortization ratio shrinks.)
+    montecarlo = MonteCarloEngine(
+        circuit,
+        perturbations={
+            "mos_vth": Gaussian(sigma=0.010),
+            "mos_beta": Gaussian(sigma=0.05, relative=True),
+        },
+        seed=7,
+    )
+
+    # Cold path: rebuild + recompile + solve per parameter set.
+    rounds, iterations = 5, 10
+    cold_s = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            _cold_trial(lattice, switch_model)
+        cold_s = min(cold_s, (time.perf_counter() - start) / iterations)
+
+    # The overheads in isolation: what a trial pays to obtain a perturbed
+    # circuit.  Cold pays a netlist walk plus compilation; Monte Carlo pays
+    # a seeded sample plus an in-place array overlay.
+    rebuild_s = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            fresh = build_lattice_circuit(
+                lattice, model=switch_model, static_assignment=ASSIGNMENT
+            )
+            get_engine(fresh.circuit).compiled.refresh_values()
+        rebuild_s = min(rebuild_s, (time.perf_counter() - start) / iterations)
+
+    compiled = get_engine(circuit).compiled
+    nominal_parameters = compiled.nominal_parameters()
+    overlay_s = float("inf")
+    try:
+        for _ in range(rounds):
+            start = time.perf_counter()
+            for trial in range(iterations):
+                rng = trial_generator(7, trial)
+                compiled.set_parameter_overlay(
+                    sample_overlay(montecarlo.perturbations, nominal_parameters, rng)
+                )
+            overlay_s = min(overlay_s, (time.perf_counter() - start) / iterations)
+    finally:
+        compiled.clear_parameter_overlay()
+
+    # Monte-Carlo path: overlay swap + warm-started solve per trial.
+    trials = 100
+    trial_s = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        result = montecarlo.run(analysis, trials=trials)
+        trial_s = min(trial_s, (time.perf_counter() - start) / trials)
+    assert all(record["converged"] == 1.0 for record in result.records)
+
+    speedup = cold_s / trial_s
+    overhead_ratio = rebuild_s / overlay_s
+    throughput = 1.0 / trial_s
+
+    benchmark.pedantic(
+        montecarlo.run, args=(analysis,), kwargs={"trials": 10}, rounds=3, iterations=1
+    )
+    benchmark.extra_info["cold_trial_us"] = cold_s * 1e6
+    benchmark.extra_info["mc_trial_us"] = trial_s * 1e6
+    benchmark.extra_info["rebuild_overhead_us"] = rebuild_s * 1e6
+    benchmark.extra_info["overlay_overhead_us"] = overlay_s * 1e6
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["overhead_ratio"] = overhead_ratio
+    benchmark.extra_info["trials_per_second"] = throughput
+
+    floor = float(os.environ.get("MC_BENCH_MIN_SPEEDUP", "1.3"))
+    write_bench_json(
+        "BENCH_montecarlo.json",
+        {
+            "benchmark": "montecarlo_trial_amortization",
+            "circuit": circuit.summary(),
+            "cold_trial_us": cold_s * 1e6,
+            "mc_trial_us": trial_s * 1e6,
+            "rebuild_overhead_us": rebuild_s * 1e6,
+            "overlay_overhead_us": overlay_s * 1e6,
+            "speedup": speedup,
+            "overhead_ratio": overhead_ratio,
+            "trials_per_second": throughput,
+            "acceptance_floor": floor,
+        },
+    )
+    report(
+        "Monte-Carlo trial cost on the XOR3 lattice bench "
+        f"({circuit.summary()}):\n"
+        f"  cold (rebuild+compile+solve): {cold_s * 1e6:8.1f} us/trial\n"
+        f"  amortized Monte-Carlo trial : {trial_s * 1e6:8.1f} us/trial "
+        f"({throughput:,.0f} trials/s)\n"
+        f"  end-to-end speedup          : {speedup:8.1f}x (acceptance floor: {floor:g}x)\n"
+        f"  perturbation overhead alone : rebuild+recompile {rebuild_s * 1e6:.0f} us "
+        f"vs overlay swap {overlay_s * 1e6:.0f} us ({overhead_ratio:.1f}x)"
+    )
+    # The end-to-end trial must beat a full rebuild+compile+solve, and the
+    # perturbation machinery itself must be decisively cheaper than the
+    # netlist walk it replaces.
+    assert speedup >= floor
+    assert overlay_s < rebuild_s

@@ -1,5 +1,11 @@
-"""Measurement utilities: waveform metrics, I-V metrics, and report tables."""
+"""Measurement utilities: waveform metrics, I-V metrics, variability
+statistics (Monte-Carlo percentiles and yield), and report tables."""
 
+from repro.analysis.variability import (
+    DistributionSummary,
+    summarize_samples,
+    yield_fraction,
+)
 from repro.analysis.waveform_metrics import (
     LogicLevels,
     fall_time,
@@ -16,6 +22,9 @@ from repro.analysis.iv_metrics import (
 from repro.analysis.reporting import Table, format_table, format_engineering
 
 __all__ = [
+    "DistributionSummary",
+    "summarize_samples",
+    "yield_fraction",
     "LogicLevels",
     "fall_time",
     "rise_time",

@@ -1,0 +1,108 @@
+"""Distribution statistics for Monte-Carlo and corner studies.
+
+The Monte-Carlo engine (:mod:`repro.spice.montecarlo`) produces one metrics
+record per trial — delays, logic levels, swings.  These helpers turn the
+metric columns into the numbers a variability study reports: percentile
+tables, spreads and parametric yield.  ``NaN`` samples (trials whose
+waveform never completed an edge, say) are excluded from the statistics but
+counted, and they always count against yield.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Summary statistics of one metric across Monte-Carlo trials.
+
+    Attributes
+    ----------
+    count:
+        Number of finite samples the statistics are computed from.
+    invalid:
+        Number of NaN/inf samples excluded (e.g. trials without a complete
+        output edge).
+    mean / std / minimum / maximum:
+        Moments and extremes of the finite samples.
+    percentiles:
+        Requested percentiles, keyed by the percentile value (``50.0`` is
+        the median).
+    """
+
+    count: int
+    invalid: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    percentiles: Dict[float, float]
+
+    @property
+    def median(self) -> float:
+        return self.percentiles.get(50.0, float("nan"))
+
+    def spread(self, low: float = 5.0, high: float = 95.0) -> float:
+        """Width of the central interval between two percentiles."""
+        if low not in self.percentiles or high not in self.percentiles:
+            raise KeyError(f"percentiles {low} and {high} were not computed")
+        return self.percentiles[high] - self.percentiles[low]
+
+
+def summarize_samples(
+    values: Sequence[float],
+    percentiles: Sequence[float] = (1, 5, 25, 50, 75, 95, 99),
+) -> DistributionSummary:
+    """Summarize one metric column (NaN/inf samples are excluded but counted)."""
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1:
+        raise ValueError("samples must form a 1-D array")
+    finite = values[np.isfinite(values)]
+    invalid = int(values.size - finite.size)
+    if finite.size == 0:
+        nan = float("nan")
+        return DistributionSummary(
+            count=0,
+            invalid=invalid,
+            mean=nan,
+            std=nan,
+            minimum=nan,
+            maximum=nan,
+            percentiles={float(p): nan for p in percentiles},
+        )
+    levels = np.asarray(sorted({float(p) for p in percentiles}), dtype=float)
+    computed = np.percentile(finite, levels)
+    return DistributionSummary(
+        count=int(finite.size),
+        invalid=invalid,
+        mean=float(np.mean(finite)),
+        std=float(np.std(finite)),
+        minimum=float(np.min(finite)),
+        maximum=float(np.max(finite)),
+        percentiles={float(p): float(v) for p, v in zip(levels, computed)},
+    )
+
+
+def yield_fraction(
+    values: Sequence[float],
+    lower: Optional[float] = None,
+    upper: Optional[float] = None,
+) -> float:
+    """Fraction of trials whose metric lies inside ``[lower, upper]``.
+
+    Non-finite samples always count as failing, so a trial whose output
+    never completed an edge cannot inflate the yield.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("at least one sample is required")
+    passing = np.isfinite(values)
+    if lower is not None:
+        passing &= values >= lower
+    if upper is not None:
+        passing &= values <= upper
+    return float(np.count_nonzero(passing)) / float(values.size)

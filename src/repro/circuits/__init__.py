@@ -12,7 +12,10 @@ for the SPICE-style simulator:
   sequences as piecewise-linear gate waveforms);
 * :mod:`repro.circuits.sizing` — derivation of the switch model parameters
   from the TCAD-substitute data (the Section IV extraction), cached so the
-  many circuit benches do not re-run the device simulation.
+  many circuit benches do not re-run the device simulation;
+* :mod:`repro.circuits.corners` — FF/SS/FS/SF process-corner analysis as
+  parameter overlays on the compiled engine (the deterministic sibling of
+  the Monte-Carlo subsystem).
 """
 
 from repro.circuits.sizing import (
@@ -33,6 +36,13 @@ from repro.circuits.testbench import (
     gray_code_vectors,
     input_waveforms,
 )
+from repro.circuits.corners import (
+    Corner,
+    applied_corner,
+    corner_overlay,
+    run_corners,
+    standard_corners,
+)
 
 __all__ = [
     "default_switch_model",
@@ -49,4 +59,9 @@ __all__ = [
     "all_input_vectors",
     "gray_code_vectors",
     "input_waveforms",
+    "Corner",
+    "applied_corner",
+    "corner_overlay",
+    "run_corners",
+    "standard_corners",
 ]

@@ -1,0 +1,141 @@
+"""Process-corner analysis (FF/SS/FS/SF) through the engine's overlays.
+
+Corner analysis is the deterministic sibling of Monte Carlo: instead of
+sampling parameter distributions, every transistor is pushed to an extreme
+of the process spread at once.  The corners are expressed as parameter
+overlays on the compiled circuit (shift every ``mos_vth``, scale every
+``mos_beta``), so running all five corners shares one compiled structure
+and never touches the netlist.
+
+The corner naming follows the usual convention adapted to this single-type
+(all-NMOS) process: the first letter rates the current drive (``F`` = fast:
+higher beta, lower Vth), the second the threshold in isolation.  With one
+device type the interesting skew corners are drive-vs-threshold:
+
+========  =======================  ======================
+corner    beta                     Vth
+========  =======================  ======================
+``TT``    nominal                  nominal
+``FF``    +spread (fast)           -shift (fast)
+``SS``    -spread (slow)           +shift (slow)
+``FS``    +spread (fast)           +shift (slow)
+``SF``    -spread (slow)           -shift (fast)
+========  =======================  ======================
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.spice.engine import AnalysisEngine, get_engine
+from repro.spice.netlist import Circuit
+
+#: Default fractional beta spread of the fast/slow corners (±10 %).
+DEFAULT_BETA_SPREAD = 0.10
+
+#: Default threshold shift of the fast/slow corners [V] (±45 mV ~ 3 sigma of
+#: a 15 mV local spread, a typical figure for aggressively scaled devices).
+DEFAULT_VTH_SHIFT_V = 0.045
+
+
+@dataclass(frozen=True)
+class Corner:
+    """One process corner: a global beta scale and threshold shift.
+
+    Attributes
+    ----------
+    name:
+        Conventional two-letter label (``"TT"``, ``"FF"``, ...).
+    beta_scale:
+        Multiplier applied to every MOSFET's beta.
+    vth_shift_v:
+        Shift added to every MOSFET's threshold voltage [V].
+    """
+
+    name: str
+    beta_scale: float
+    vth_shift_v: float
+
+
+def standard_corners(
+    beta_spread: float = DEFAULT_BETA_SPREAD,
+    vth_shift_v: float = DEFAULT_VTH_SHIFT_V,
+) -> Dict[str, Corner]:
+    """The five standard corners for a given spread (ordered TT first)."""
+    if beta_spread < 0.0 or vth_shift_v < 0.0:
+        raise ValueError("corner spreads must be non-negative")
+    return {
+        "TT": Corner("TT", 1.0, 0.0),
+        "FF": Corner("FF", 1.0 + beta_spread, -vth_shift_v),
+        "SS": Corner("SS", 1.0 - beta_spread, +vth_shift_v),
+        "FS": Corner("FS", 1.0 + beta_spread, +vth_shift_v),
+        "SF": Corner("SF", 1.0 - beta_spread, -vth_shift_v),
+    }
+
+
+def corner_overlay(circuit: Circuit, corner: Corner) -> Dict[str, np.ndarray]:
+    """The compiled parameter overlay realizing ``corner`` on ``circuit``."""
+    compiled = get_engine(circuit).compiled
+    compiled.refresh_values()
+    nominal = compiled.nominal_parameters()
+    return {
+        "mos_beta": nominal["mos_beta"] * corner.beta_scale,
+        "mos_vth": nominal["mos_vth"] + corner.vth_shift_v,
+    }
+
+
+@contextmanager
+def applied_corner(circuit: Circuit, corner: Corner) -> Iterator[AnalysisEngine]:
+    """Apply a corner for the duration of a ``with`` block.
+
+    Yields the circuit's analysis engine with the corner overlay active;
+    nominal parameters are restored on exit, even on error.
+    """
+    engine = get_engine(circuit)
+    compiled = engine.compiled
+    compiled.set_parameter_overlay(corner_overlay(circuit, corner))
+    try:
+        yield engine
+    finally:
+        # Bound once: if the block mutated the topology, solves inside it
+        # already raised; exiting must still restore the object we touched.
+        compiled.clear_parameter_overlay()
+
+
+def run_corners(
+    circuit: Circuit,
+    analysis: Callable[[AnalysisEngine, Corner], Any],
+    corners: Optional[Mapping[str, Corner] | Sequence[Corner]] = None,
+    beta_spread: float = DEFAULT_BETA_SPREAD,
+    vth_shift_v: float = DEFAULT_VTH_SHIFT_V,
+) -> Dict[str, Any]:
+    """Run an analysis at every corner, sharing one compiled circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit under study.
+    analysis:
+        ``(engine, corner) -> result``; called with the corner overlay
+        already applied.
+    corners:
+        Corners to run (mapping or sequence); defaults to the five
+        :func:`standard_corners` at the given spreads.
+
+    Returns an ordered dict of results keyed by corner name.
+    """
+    if corners is None:
+        corner_list = list(standard_corners(beta_spread, vth_shift_v).values())
+    elif isinstance(corners, Mapping):
+        corner_list = list(corners.values())
+    else:
+        corner_list = list(corners)
+    results: Dict[str, Any] = {}
+    for corner in corner_list:
+        with applied_corner(circuit, corner) as engine:
+            results[corner.name] = analysis(engine, corner)
+    return results

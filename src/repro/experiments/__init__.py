@@ -18,6 +18,7 @@ Module                           Paper content
 ``fig10_curve_fit``              Fig. 10 — level-1 fit to the Id-Vd curve
 ``fig11_xor3_transient``         Fig. 11 — XOR3 lattice transient
 ``fig12_series_switches``        Fig. 12 — series-switch drive study
+``variability_xor3``             Fig. 11 under Vth/beta process spread
 ===============================  =======================================
 """
 
@@ -37,6 +38,10 @@ from repro.experiments.fig12_series_switches import (
 from repro.experiments.terminal_configurations import (
     ConfigurationSweepResult,
     run_terminal_configuration_sweep,
+)
+from repro.experiments.variability_xor3 import (
+    VariabilityResult,
+    run_variability_xor3,
 )
 
 __all__ = [
@@ -62,4 +67,6 @@ __all__ = [
     "run_fig12_drive_curves",
     "ConfigurationSweepResult",
     "run_terminal_configuration_sweep",
+    "VariabilityResult",
+    "run_variability_xor3",
 ]

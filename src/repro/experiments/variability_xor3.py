@@ -1,0 +1,255 @@
+"""Fig. 11 under process variability: XOR3 delay distributions.
+
+The paper's Fig. 11 transient is a single-corner simulation.  This
+experiment reruns its circuit — the 3x3 XOR3 lattice with the 500 kOhm
+pull-up, 1.2 V supply and femto-farad load — hundreds of times with the
+transistor parameters perturbed per trial (threshold-voltage spread,
+beta spread), producing the rise/fall-delay and logic-level distributions a
+variability-aware reading of the figure calls for.
+
+Each trial drives a reduced stimulus that toggles a single input
+(``a``: 0 -> 1 -> 0 with ``b = c = 0``), so the output — the inverse of
+XOR3 — completes exactly one falling and one rising edge.  That keeps a
+500-trial study tractable (the full eight-vector exhaustive stimulus would
+cost about seven times more per trial) while measuring the same 10-90 %
+edges the paper reports.
+
+The study runs through :class:`repro.spice.montecarlo.MonteCarloEngine`:
+the lattice circuit is compiled once, each trial swaps the compiled
+``mos_vth``/``mos_beta`` arrays in place, and trials shard across a process
+pool with deterministic per-trial seed substreams — serial and multi-worker
+runs produce bit-identical distributions.
+
+Example — the end-to-end 500-trial study::
+
+    from repro.experiments.variability_xor3 import run_variability_xor3
+
+    result = run_variability_xor3(trials=500, seed=2019, workers=4)
+    print(result.report())
+    print(result.rise_summary.percentiles[95.0])   # 95th-percentile rise time
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import Dict, Optional
+
+from repro.analysis.reporting import Table, format_engineering
+from repro.analysis.variability import DistributionSummary
+from repro.analysis.waveform_metrics import edge_times, steady_state_levels
+from repro.circuits.lattice_netlist import LatticeCircuit, build_lattice_circuit
+from repro.circuits.sizing import default_switch_model
+from repro.circuits.testbench import InputSequence
+from repro.core.lattice import Lattice
+from repro.core.library import xor3_lattice_3x3
+from repro.spice.elements.switch4t import FourTerminalSwitchModel
+from repro.spice.engine import AnalysisEngine
+from repro.spice.montecarlo import Gaussian, MonteCarloEngine, MonteCarloResult
+
+#: Default local threshold-voltage spread (30 mV absolute sigma).
+DEFAULT_SIGMA_VTH_V = 0.030
+
+#: Default relative beta spread (5 % sigma).
+DEFAULT_SIGMA_BETA = 0.05
+
+
+def _toggle_sequence(
+    supply_v: float, step_duration_s: float, transition_s: float
+) -> InputSequence:
+    """a: 0 -> 1 -> 0 with b = c = 0; the output falls, then rises."""
+    return InputSequence.from_assignments(
+        ("a", "b", "c"),
+        [
+            {"a": False, "b": False, "c": False},
+            {"a": True, "b": False, "c": False},
+            {"a": False, "b": False, "c": False},
+        ],
+        step_duration_s=step_duration_s,
+        high_level_v=supply_v,
+        transition_s=transition_s,
+    )
+
+
+def delay_metrics_trial(
+    engine: AnalysisEngine,
+    trial: int,
+    output_index: int = 0,
+    stop_time_s: float = 120e-9,
+    timestep_s: float = 1e-9,
+) -> Dict[str, float]:
+    """One Monte-Carlo trial: transient solve plus edge/level extraction.
+
+    Module-level (and driven through :func:`functools.partial`) so the
+    process-pool workers can unpickle it.  Returns the metrics the study
+    aggregates; a waveform that never completes an edge reports ``nan`` for
+    that delay, which the aggregation layer counts against yield.
+    """
+    transient = engine.solve_transient(stop_time_s, timestep_s)
+    vout = transient.solutions[:, output_index]
+    levels = steady_state_levels(transient.time_s, vout)
+    rises, falls = edge_times(transient.time_s, vout, levels)
+    return {
+        "rise_time_s": rises[0] if rises else float("nan"),
+        "fall_time_s": falls[0] if falls else float("nan"),
+        "low_v": levels.low_v,
+        "high_v": levels.high_v,
+        "swing_v": levels.swing_v,
+        "converged": float(transient.converged),
+    }
+
+
+@dataclass
+class VariabilityResult:
+    """Delay and level distributions of the XOR3 lattice under spread.
+
+    Attributes
+    ----------
+    bench:
+        The (nominal) lattice circuit that was perturbed.
+    montecarlo:
+        Raw per-trial records (see :class:`~repro.spice.montecarlo.MonteCarloResult`).
+    sigma_vth_v / sigma_beta:
+        The applied spreads.
+    nominal:
+        Metrics of the unperturbed circuit, for reference against the
+        distributions.
+    """
+
+    bench: LatticeCircuit
+    montecarlo: MonteCarloResult
+    sigma_vth_v: float
+    sigma_beta: float
+    nominal: Dict[str, float]
+
+    @property
+    def rise_summary(self) -> DistributionSummary:
+        return self.montecarlo.summary("rise_time_s")
+
+    @property
+    def fall_summary(self) -> DistributionSummary:
+        return self.montecarlo.summary("fall_time_s")
+
+    @property
+    def swing_summary(self) -> DistributionSummary:
+        return self.montecarlo.summary("swing_v")
+
+    def functional_yield(self, min_swing_fraction: float = 0.5) -> float:
+        """Fraction of trials whose output swing clears the given fraction
+        of the supply (trials without a complete edge count as failures)."""
+        return self.montecarlo.yield_fraction(
+            "swing_v", lower=min_swing_fraction * self.bench.supply_v
+        )
+
+    def report(self) -> str:
+        table = Table(
+            ["quantity", "nominal", "median", "p5", "p95", "sigma"],
+            title=(
+                f"XOR3 lattice variability — {self.montecarlo.trials} trials, "
+                f"sigma(Vth) = {self.sigma_vth_v * 1e3:.0f} mV, "
+                f"sigma(beta)/beta = {self.sigma_beta * 1e2:.0f} %"
+            ),
+        )
+        rows = (
+            ("rise time (10-90 %)", "rise_time_s", "s"),
+            ("fall time (90-10 %)", "fall_time_s", "s"),
+            ("zero-state output", "low_v", "V"),
+            ("one-state output", "high_v", "V"),
+            ("output swing", "swing_v", "V"),
+        )
+        for label, key, unit in rows:
+            summary = self.montecarlo.summary(key)
+            table.add_row(
+                [
+                    label,
+                    format_engineering(self.nominal[key], unit),
+                    format_engineering(summary.median, unit),
+                    format_engineering(summary.percentiles[5.0], unit),
+                    format_engineering(summary.percentiles[95.0], unit),
+                    format_engineering(summary.std, unit),
+                ]
+            )
+        yield_line = (
+            f"functional yield (swing > half supply): "
+            f"{100.0 * self.functional_yield():.1f} %"
+        )
+        return table.render() + "\n" + yield_line
+
+
+def run_variability_xor3(
+    trials: int = 500,
+    seed: int = 2019,
+    sigma_vth_v: float = DEFAULT_SIGMA_VTH_V,
+    sigma_beta: float = DEFAULT_SIGMA_BETA,
+    correlated_beta: bool = False,
+    workers: Optional[int] = None,
+    lattice: Optional[Lattice] = None,
+    model: Optional[FourTerminalSwitchModel] = None,
+    supply_v: float = 1.2,
+    pullup_ohm: float = 500e3,
+    step_duration_s: float = 40e-9,
+    timestep_s: float = 1e-9,
+) -> VariabilityResult:
+    """Run the XOR3 variability study.
+
+    Parameters
+    ----------
+    trials / seed:
+        Monte-Carlo trial count and root seed.  Results are bit-identical
+        for a given seed, whatever ``workers`` is.
+    sigma_vth_v:
+        Absolute per-transistor threshold spread [V].
+    sigma_beta:
+        Relative per-transistor beta spread; ``correlated_beta=True`` turns
+        it into a single global (process-wide) draw per trial instead of
+        local mismatch.
+    workers:
+        Process-pool width (``None``/1 = serial in-process).
+    lattice / model / supply_v / pullup_ohm:
+        Circuit configuration (paper defaults).
+    step_duration_s / timestep_s:
+        Stimulus step length and transient timestep of the reduced
+        one-input toggle stimulus.
+    """
+    if lattice is None:
+        lattice = xor3_lattice_3x3()
+    if model is None:
+        model = default_switch_model()
+
+    sequence = _toggle_sequence(supply_v, step_duration_s, transition_s=1e-9)
+    bench = build_lattice_circuit(
+        lattice,
+        model=model,
+        input_sequence=sequence,
+        supply_v=supply_v,
+        pullup_ohm=pullup_ohm,
+    )
+    analysis = partial(
+        delay_metrics_trial,
+        output_index=bench.circuit.node_index(bench.output_node),
+        stop_time_s=sequence.total_duration_s,
+        timestep_s=timestep_s,
+    )
+
+    from repro.spice.engine import get_engine
+
+    nominal = analysis(get_engine(bench.circuit), -1)
+
+    montecarlo = MonteCarloEngine(
+        bench.circuit,
+        perturbations={
+            "mos_vth": Gaussian(sigma=sigma_vth_v),
+            "mos_beta": Gaussian(
+                sigma=sigma_beta, relative=True, correlated=correlated_beta
+            ),
+        },
+        seed=seed,
+    ).run(analysis, trials=trials, workers=workers)
+
+    return VariabilityResult(
+        bench=bench,
+        montecarlo=montecarlo,
+        sigma_vth_v=sigma_vth_v,
+        sigma_beta=sigma_beta,
+        nominal=nominal,
+    )

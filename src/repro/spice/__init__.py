@@ -15,7 +15,11 @@ analysis engine:
   Newton iteration assembles the Jacobian/RHS with vectorized ``np.add.at``
   scatter; :class:`~repro.spice.engine.AnalysisEngine` owns the one Newton
   loop in the package plus its gmin-stepping and source-stepping fallbacks;
-* :mod:`repro.spice.waveforms` — DC, pulse and piecewise-linear stimuli.
+* :mod:`repro.spice.waveforms` — DC, pulse and piecewise-linear stimuli;
+* :mod:`repro.spice.montecarlo` — Monte-Carlo variability analysis on the
+  compiled engine: seeded distributions perturb the compiled parameter
+  arrays in place (no netlist re-walk per trial) and trials shard across a
+  process pool with deterministic per-trial substreams.
 
 The analyses are thin frontends over the engine:
 
@@ -56,10 +60,25 @@ from repro.spice.elements.capacitor import Capacitor
 from repro.spice.elements.sources import VoltageSource, CurrentSource
 from repro.spice.elements.mosfet import MOSFET
 from repro.spice.elements.switch4t import FourTerminalSwitchModel, add_four_terminal_switch
-from repro.spice.engine import AnalysisEngine, CompiledCircuit, get_engine, sweep_many
-from repro.spice.dcop import OperatingPoint, dc_operating_point
+from repro.spice.engine import (
+    AnalysisEngine,
+    CompiledCircuit,
+    PERTURBABLE_PARAMETERS,
+    get_engine,
+    sweep_many,
+)
+from repro.spice.dcop import ConvergenceInfo, OperatingPoint, dc_operating_point
 from repro.spice.dcsweep import DCSweepResult, dc_sweep
 from repro.spice.transient import TransientResult, transient_analysis
+from repro.spice.montecarlo import (
+    Distribution,
+    Gaussian,
+    Lognormal,
+    MonteCarloEngine,
+    MonteCarloResult,
+    Uniform,
+    parallel_sweep_many,
+)
 
 __all__ = [
     "Circuit",
@@ -79,8 +98,17 @@ __all__ = [
     "add_four_terminal_switch",
     "AnalysisEngine",
     "CompiledCircuit",
+    "PERTURBABLE_PARAMETERS",
     "get_engine",
     "sweep_many",
+    "Distribution",
+    "Gaussian",
+    "Uniform",
+    "Lognormal",
+    "MonteCarloEngine",
+    "MonteCarloResult",
+    "parallel_sweep_many",
+    "ConvergenceInfo",
     "OperatingPoint",
     "dc_operating_point",
     "DCSweepResult",

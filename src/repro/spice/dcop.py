@@ -18,6 +18,33 @@ from repro.spice.elements.sources import VoltageSource
 from repro.spice.engine import get_engine
 
 
+@dataclass(frozen=True)
+class ConvergenceInfo:
+    """How a DC solve converged (or failed).
+
+    Attributes
+    ----------
+    strategy:
+        ``"newton"`` when the plain damped Newton iteration converged,
+        ``"gmin-stepping"`` / ``"source-stepping"`` when the corresponding
+        fallback rescued the solve, ``"failed"`` when nothing converged.
+    iterations:
+        Total Newton iterations spent, summed across all fallback stages.
+    final_max_update_v:
+        Largest per-unknown update of the last Newton iteration [V]; this is
+        the engine's convergence residual.
+    """
+
+    strategy: str
+    iterations: int
+    final_max_update_v: float
+
+    @property
+    def used_fallback(self) -> bool:
+        """True when a fallback strategy produced (or attempted) the result."""
+        return self.strategy != "newton"
+
+
 @dataclass
 class OperatingPoint:
     """Converged DC solution of a circuit.
@@ -34,6 +61,9 @@ class OperatingPoint:
         Whether the iteration met its tolerances.
     max_residual:
         Final maximum absolute update (V) across unknowns.
+    convergence_info:
+        Which strategy produced the solution (never silently: a solve that
+        needed gmin or source stepping reports it here).
     """
 
     circuit: Circuit
@@ -41,6 +71,7 @@ class OperatingPoint:
     iterations: int
     converged: bool
     max_residual: float
+    convergence_info: Optional[ConvergenceInfo] = None
 
     def voltage(self, node_name: str) -> float:
         """Voltage of a named node [V]."""

@@ -52,6 +52,26 @@ GMIN_LADDER: Tuple[float, ...] = (1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8)
 #: Source scale ladder of the source-stepping fallback (ramped to full drive).
 SOURCE_LADDER: Tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 1.0)
 
+#: Parameter vectors a compiled-circuit overlay may replace (one value per
+#: element of the corresponding class; the two ``*_scale`` vectors multiply
+#: the independent-source waveform values instead of replacing them).
+PERTURBABLE_PARAMETERS: Tuple[str, ...] = (
+    "mos_vth",
+    "mos_beta",
+    "mos_lambda",
+    "resistor_ohm",
+    "cap_c",
+    "vsource_scale",
+    "isource_scale",
+)
+
+
+def _same_optional(a: Optional[np.ndarray], b: Optional[np.ndarray]) -> bool:
+    """Equality over optional arrays (``None`` meaning the all-ones default)."""
+    if a is None or b is None:
+        return a is None and b is None
+    return np.array_equal(a, b)
+
 
 class CompiledCircuit:
     """Precomputed index arrays for vectorized MNA assembly.
@@ -153,6 +173,91 @@ class CompiledCircuit:
         self._ghost = ghost
         self._base_cache: Dict[Hashable, np.ndarray] = {}
         self._source_value_cache = None
+        #: Per-source waveform multipliers (``None`` means all-ones).
+        self.vs_scale: Optional[np.ndarray] = None
+        self.is_scale: Optional[np.ndarray] = None
+        self._overlay: Optional[Dict[str, np.ndarray]] = None
+
+    # ------------------------------------------------------------------ #
+    # parameter overlays (Monte Carlo / corner analysis)
+    # ------------------------------------------------------------------ #
+
+    def _parameter_lengths(self) -> Dict[str, int]:
+        return {
+            "mos_vth": self.num_mosfets,
+            "mos_beta": self.num_mosfets,
+            "mos_lambda": self.num_mosfets,
+            "resistor_ohm": len(self.resistors),
+            "cap_c": self.num_capacitors,
+            "vsource_scale": len(self.voltage_sources),
+            "isource_scale": len(self.current_sources),
+        }
+
+    def nominal_parameters(self) -> Dict[str, np.ndarray]:
+        """The element-derived nominal value of every perturbable vector.
+
+        Monte-Carlo samplers perturb around these; the arrays are fresh
+        copies, so mutating them never touches the compiled state.
+        """
+        return {
+            "mos_vth": np.array([m.parameters.vth_v for m in self.mosfets], dtype=float),
+            "mos_beta": np.array([m.parameters.beta for m in self.mosfets], dtype=float),
+            "mos_lambda": np.array(
+                [m.parameters.lambda_per_v for m in self.mosfets], dtype=float
+            ),
+            "resistor_ohm": np.array(
+                [r.resistance_ohm for r in self.resistors], dtype=float
+            ),
+            "cap_c": np.array([c.capacitance_f for c in self.capacitors], dtype=float),
+            "vsource_scale": np.ones(len(self.voltage_sources)),
+            "isource_scale": np.ones(len(self.current_sources)),
+        }
+
+    def set_parameter_overlay(self, overlay: Mapping[str, Sequence[float]]) -> None:
+        """Replace compiled parameter vectors without touching the elements.
+
+        ``overlay`` maps names from :data:`PERTURBABLE_PARAMETERS` to one
+        value per element of that class.  The overlay persists across
+        :meth:`refresh_values` (so it survives the per-solve refresh of the
+        analyses) until :meth:`clear_parameter_overlay` restores the
+        element-derived nominals.  This is the Monte-Carlo fast path: a
+        trial swaps parameter arrays in place instead of re-walking the
+        netlist or mutating element objects.
+        """
+        lengths = self._parameter_lengths()
+        cleaned: Dict[str, np.ndarray] = {}
+        for name, values in overlay.items():
+            if name not in lengths:
+                raise ValueError(
+                    f"unknown parameter {name!r}; expected one of {PERTURBABLE_PARAMETERS}"
+                )
+            array = np.array(values, dtype=float)
+            if array.shape != (lengths[name],):
+                raise ValueError(
+                    f"{name!r} overlay has shape {array.shape}, expected ({lengths[name]},)"
+                )
+            if name == "resistor_ohm" and np.any(array <= 0.0):
+                raise ValueError("resistor_ohm overlay values must be positive")
+            if name == "cap_c" and np.any(array < 0.0):
+                raise ValueError("cap_c overlay values must be non-negative")
+            cleaned[name] = array
+        self._overlay = cleaned or None
+        self.refresh_values()
+
+    def clear_parameter_overlay(self) -> None:
+        """Drop the active overlay and restore element-derived values."""
+        if self._overlay is not None:
+            self._overlay = None
+            self.refresh_values()
+
+    def __getstate__(self):
+        # The base-matrix LRU and the source-value memo are lazily rebuilt
+        # and can hold O(size^2) dense matrices; shipping them to process-
+        # pool workers is pure dead weight, so pickling drops them.
+        state = self.__dict__.copy()
+        state["_base_cache"] = {}
+        state["_source_value_cache"] = None
+        return state
 
     def refresh_values(self) -> None:
         """Re-read element *values* without recompiling the structure.
@@ -160,13 +265,22 @@ class CompiledCircuit:
         The compiled arrays snapshot element parameters (conductances,
         capacitances, MOSFET parameter sets); topology changes are caught
         through the circuit revision, but in-place parameter mutation (e.g.
-        ``resistor.resistance_ohm = ...`` between Monte-Carlo trials) is
-        not.  The analyses therefore call this once per solve: it rebuilds
-        the value arrays (cheap — a few reads per element) and drops the
-        cached base matrices only when something actually changed.
+        ``resistor.resistance_ohm = ...`` between runs) is not.  The
+        analyses therefore call this once per solve: it rebuilds the value
+        arrays (cheap — a few reads per element) and drops the cached base
+        matrices only when something actually changed.  An active parameter
+        overlay (:meth:`set_parameter_overlay`) takes precedence over the
+        element values it covers, so Monte-Carlo trials survive the refresh.
         """
+        overlay = self._overlay or {}
         if self.resistors:
-            conductances = np.array([r.conductance for r in self.resistors], dtype=float)
+            resistance = overlay.get("resistor_ohm")
+            if resistance is not None:
+                conductances = 1.0 / resistance
+            else:
+                conductances = np.array(
+                    [r.conductance for r in self.resistors], dtype=float
+                )
             n4 = 4 * len(self.resistors)
             new_vals = np.empty(n4)
             new_vals[0::4] = conductances
@@ -177,21 +291,54 @@ class CompiledCircuit:
                 self._static_vals = np.concatenate((new_vals, self._static_vals[n4:]))
                 self._base_cache.clear()
         if self.capacitors:
-            new_c = np.array([c.capacitance_f for c in self.capacitors], dtype=float)
+            new_c = overlay.get("cap_c")
+            if new_c is None:
+                new_c = np.array([c.capacitance_f for c in self.capacitors], dtype=float)
             if not np.array_equal(new_c, self.cap_c):
                 self.cap_c = new_c
                 self._base_cache.clear()
-            self.cap_v0 = np.array(
-                [c.initial_voltage_v for c in self.capacitors], dtype=float
-            )
+            if not overlay:
+                self.cap_v0 = np.array(
+                    [c.initial_voltage_v for c in self.capacitors], dtype=float
+                )
         if self.mosfets:
-            self.mos_beta = np.array([m.parameters.beta for m in self.mosfets], dtype=float)
-            self.mos_vth = np.array([m.parameters.vth_v for m in self.mosfets], dtype=float)
-            self.mos_lambda = np.array(
-                [m.parameters.lambda_per_v for m in self.mosfets], dtype=float
+            beta = overlay.get("mos_beta")
+            vth = overlay.get("mos_vth")
+            lam = overlay.get("mos_lambda")
+            self.mos_beta = (
+                beta
+                if beta is not None
+                else np.array([m.parameters.beta for m in self.mosfets], dtype=float)
             )
-            self.mos_gmin = np.array([m.CHANNEL_GMIN for m in self.mosfets], dtype=float)
-            self.mos_w = np.array([m.SMOOTHING_V for m in self.mosfets], dtype=float)
+            self.mos_vth = (
+                vth
+                if vth is not None
+                else np.array([m.parameters.vth_v for m in self.mosfets], dtype=float)
+            )
+            self.mos_lambda = (
+                lam
+                if lam is not None
+                else np.array(
+                    [m.parameters.lambda_per_v for m in self.mosfets], dtype=float
+                )
+            )
+            if not overlay:
+                # gmin/smoothing (and cap_v0 above) are not perturbable, so
+                # the per-trial overlay refresh — the Monte-Carlo hot path —
+                # skips their per-element Python walks; nominal refreshes
+                # keep honouring in-place element mutation as before.
+                self.mos_gmin = np.array(
+                    [m.CHANNEL_GMIN for m in self.mosfets], dtype=float
+                )
+                self.mos_w = np.array([m.SMOOTHING_V for m in self.mosfets], dtype=float)
+        vs_scale = overlay.get("vsource_scale")
+        is_scale = overlay.get("isource_scale")
+        if not _same_optional(vs_scale, self.vs_scale) or not _same_optional(
+            is_scale, self.is_scale
+        ):
+            self.vs_scale = vs_scale
+            self.is_scale = is_scale
+            self._source_value_cache = None
 
     # ------------------------------------------------------------------ #
     # assembly
@@ -278,6 +425,8 @@ class CompiledCircuit:
             if v_waveforms
             else None
         )
+        if v_values is not None and self.vs_scale is not None:
+            v_values = v_values * self.vs_scale
         i_values = (
             source_scale
             * np.fromiter(
@@ -288,6 +437,8 @@ class CompiledCircuit:
             if i_waveforms
             else None
         )
+        if i_values is not None and self.is_scale is not None:
+            i_values = i_values * self.is_scale
         self._source_value_cache = (
             time_s,
             source_scale,
@@ -428,10 +579,33 @@ class AnalysisEngine:
 
     @property
     def compiled(self) -> CompiledCircuit:
-        """The compiled structure, recompiled when the circuit changed."""
+        """The compiled structure, recompiled when the circuit changed.
+
+        Recompiling while a parameter overlay is active raises instead of
+        silently dropping the overlay: the perturbed vectors are sized for
+        the old element population, so carrying them over could mislabel a
+        Monte-Carlo trial or corner as nominal (or worse, misalign it).
+        """
         if self._compiled is None or self._compiled.revision != self.circuit.revision:
+            if self._compiled is not None and self._compiled._overlay is not None:
+                raise RuntimeError(
+                    "the circuit topology changed while a parameter overlay was "
+                    "active; call AnalysisEngine.clear_parameter_overlay() (or "
+                    "finish the Monte-Carlo/corner block) before adding elements "
+                    "or nodes"
+                )
             self._compiled = CompiledCircuit(self.circuit)
         return self._compiled
+
+    def clear_parameter_overlay(self) -> None:
+        """Drop any active parameter overlay without recompiling.
+
+        The recovery path for the topology-changed-under-overlay error:
+        unlike ``engine.compiled.clear_parameter_overlay()``, this works on
+        the stale compiled object directly, so it cannot re-raise.
+        """
+        if self._compiled is not None:
+            self._compiled.clear_parameter_overlay()
 
     def assemble_system(
         self, state: AnalysisState, source_scale: float = 1.0
@@ -525,8 +699,12 @@ class AnalysisEngine:
         ``refresh`` re-reads element parameter values before solving so
         in-place mutations are honoured; batch drivers that refresh once up
         front (sweeps, transient) pass ``False`` for the inner solves.
+
+        The returned point carries a
+        :class:`~repro.spice.dcop.ConvergenceInfo` naming the strategy that
+        produced it, so a solve rescued by a fallback is never silent.
         """
-        from repro.spice.dcop import OperatingPoint
+        from repro.spice.dcop import ConvergenceInfo, OperatingPoint
 
         circuit = self.circuit
         if circuit.system_size == 0:
@@ -551,6 +729,7 @@ class AnalysisEngine:
             solution, gmin=gmin, **controls
         )
         total_iterations = iterations
+        strategy = "newton"
 
         if not converged:
             # gmin stepping: start almost linear, relax towards the target
@@ -565,6 +744,7 @@ class AnalysisEngine:
             if final_ok:
                 solution = stepped
                 converged = True
+                strategy = "gmin-stepping"
 
         if not converged:
             # Source stepping: ramp all independent sources up from 10 %,
@@ -579,6 +759,10 @@ class AnalysisEngine:
             if final_ok:
                 solution = stepped
                 converged = True
+                strategy = "source-stepping"
+
+        if not converged:
+            strategy = "failed"
 
         return OperatingPoint(
             circuit=circuit,
@@ -586,6 +770,11 @@ class AnalysisEngine:
             iterations=total_iterations,
             converged=converged,
             max_residual=max_update,
+            convergence_info=ConvergenceInfo(
+                strategy=strategy,
+                iterations=total_iterations,
+                final_max_update_v=max_update,
+            ),
         )
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,580 @@
+"""Monte Carlo analysis on the compiled engine: perturb arrays, not netlists.
+
+A variability study re-solves one circuit hundreds of times with slightly
+different device parameters.  Re-walking the netlist (or mutating element
+objects) per trial would pay the full compilation cost every time; instead,
+:class:`MonteCarloEngine` compiles the circuit once and runs each trial by
+swapping the :class:`~repro.spice.engine.CompiledCircuit` parameter vectors
+in place through the engine's parameter-overlay facility
+(:meth:`~repro.spice.engine.CompiledCircuit.set_parameter_overlay`).  The
+perturbable vectors are ``mos_vth``, ``mos_beta``, ``mos_lambda``,
+``resistor_ohm``, ``cap_c`` and the independent-source multipliers
+``vsource_scale`` / ``isource_scale``.
+
+Reproducibility
+---------------
+Every trial draws from its own :class:`numpy.random.SeedSequence` substream,
+constructed as ``SeedSequence(entropy=seed, spawn_key=(trial,))`` — exactly
+the child that ``SeedSequence(seed).spawn(...)`` would hand out for that
+trial index.  Trial randomness therefore depends only on ``(seed, trial)``,
+never on how trials are chunked across workers, so a serial run and a
+4-worker process-pool run produce bit-identical results.
+
+Parallelism
+-----------
+:meth:`MonteCarloEngine.run` shards trials across a
+:class:`~concurrent.futures.ProcessPoolExecutor` in contiguous chunks.  The
+circuit — including its compiled state — is pickled to each worker once (at
+pool start-up, through the initializer), so workers skip compilation
+entirely and each chunk only pays the overlay swap plus the solve.  The
+``analysis`` callable must be picklable: a module-level function or a
+:func:`functools.partial` over one.
+
+:func:`parallel_sweep_many` applies the same sharding to independent
+``sweep_many`` families: each family is an independent DC sweep after the
+seed handoff, so families fan out across processes and the parent
+reassembles ordinary :class:`~repro.spice.dcsweep.DCSweepResult` objects.
+
+Example — a 500-trial XOR3 variability study end to end::
+
+    from repro.circuits import build_lattice_circuit, InputSequence
+    from repro.core.library import xor3_lattice_3x3
+    from repro.spice import Gaussian, MonteCarloEngine
+
+    bench = build_lattice_circuit(
+        xor3_lattice_3x3(),
+        input_sequence=InputSequence.exhaustive(("a", "b", "c"), step_duration_s=40e-9),
+    )
+
+    def settled_low(engine, trial):
+        op = engine.solve_dc(refresh=False)
+        return {"out_v": op.solution[engine.circuit.node_index("out")]}
+
+    mc = MonteCarloEngine(
+        bench.circuit,
+        perturbations={
+            "mos_vth": Gaussian(sigma=0.030),            # 30 mV local Vth spread
+            "mos_beta": Gaussian(sigma=0.05, relative=True, correlated=True),
+        },
+        seed=2019,
+    )
+    result = mc.run(settled_low, trials=500, workers=4)
+    print(result.summary("out_v").percentiles[50.0])
+
+(The full transient version of this study — delay distributions of the
+paper's Fig. 11 circuit — lives in
+:mod:`repro.experiments.variability_xor3`.)
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.spice.engine import AnalysisEngine, get_engine
+from repro.spice.netlist import Circuit
+
+#: Signature of a trial analysis: ``(engine, trial_index) -> metrics``.
+TrialAnalysis = Callable[[AnalysisEngine, int], Mapping[str, float]]
+
+
+# ---------------------------------------------------------------------- #
+# distributions
+# ---------------------------------------------------------------------- #
+
+
+class Distribution:
+    """Base class of the pluggable perturbation distributions.
+
+    A distribution turns the nominal value vector of one compiled parameter
+    (one entry per element) into a perturbed vector, drawing from the
+    trial's dedicated random generator.  ``correlated=True`` draws a single
+    variate shared by every element (global process shift); otherwise each
+    element gets an independent draw (local mismatch).
+
+    All shipped distributions reproduce the nominal vector *bit-for-bit*
+    when their spread parameter is zero, which the test-suite relies on.
+    """
+
+    def sample(self, rng: np.random.Generator, nominal: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+def _draws(rng: np.random.Generator, count: int, correlated: bool, uniform: bool) -> np.ndarray:
+    if uniform:
+        draw = rng.uniform(-1.0, 1.0, size=1 if correlated else count)
+    else:
+        draw = rng.standard_normal(size=1 if correlated else count)
+    if correlated:
+        draw = np.repeat(draw, count)
+    return draw
+
+
+@dataclass(frozen=True)
+class Gaussian(Distribution):
+    """Additive normal perturbation: ``nominal + sigma * N(0, 1)``.
+
+    ``relative=True`` interprets ``sigma`` as a fraction of each nominal
+    value's magnitude instead of an absolute spread.
+    """
+
+    sigma: float
+    relative: bool = False
+    correlated: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0.0:
+            raise ValueError("sigma must be non-negative")
+
+    def sample(self, rng: np.random.Generator, nominal: np.ndarray) -> np.ndarray:
+        draw = _draws(rng, nominal.size, self.correlated, uniform=False)
+        scale = self.sigma * np.abs(nominal) if self.relative else self.sigma
+        return nominal + scale * draw
+
+
+@dataclass(frozen=True)
+class Uniform(Distribution):
+    """Additive uniform perturbation: ``nominal + U(-halfwidth, +halfwidth)``."""
+
+    halfwidth: float
+    relative: bool = False
+    correlated: bool = False
+
+    def __post_init__(self) -> None:
+        if self.halfwidth < 0.0:
+            raise ValueError("halfwidth must be non-negative")
+
+    def sample(self, rng: np.random.Generator, nominal: np.ndarray) -> np.ndarray:
+        draw = _draws(rng, nominal.size, self.correlated, uniform=True)
+        scale = self.halfwidth * np.abs(nominal) if self.relative else self.halfwidth
+        return nominal + scale * draw
+
+
+@dataclass(frozen=True)
+class Lognormal(Distribution):
+    """Multiplicative perturbation: ``nominal * exp(sigma_ln * N(0, 1))``.
+
+    The natural choice for positive physical quantities (resistances,
+    capacitances, beta): the perturbed values never change sign and the
+    spread is relative by construction.
+    """
+
+    sigma_ln: float
+    correlated: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sigma_ln < 0.0:
+            raise ValueError("sigma_ln must be non-negative")
+
+    def sample(self, rng: np.random.Generator, nominal: np.ndarray) -> np.ndarray:
+        draw = _draws(rng, nominal.size, self.correlated, uniform=False)
+        return nominal * np.exp(self.sigma_ln * draw)
+
+
+# ---------------------------------------------------------------------- #
+# results
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class MonteCarloResult:
+    """Per-trial metric records plus distribution accessors.
+
+    Attributes
+    ----------
+    trials / seed:
+        Run configuration (kept so results are self-describing).
+    records:
+        One metrics mapping per trial, in trial order — identical regardless
+        of how the run was sharded across workers.
+    """
+
+    trials: int
+    seed: int
+    records: List[Dict[str, float]]
+    _columns: Dict[str, np.ndarray] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def keys(self) -> Tuple[str, ...]:
+        """Metric names present in the records."""
+        return tuple(self.records[0]) if self.records else ()
+
+    def samples(self, key: str) -> np.ndarray:
+        """All trial values of one metric, in trial order."""
+        column = self._columns.get(key)
+        if column is None:
+            column = np.array([record[key] for record in self.records], dtype=float)
+            self._columns[key] = column
+        return column
+
+    def summary(self, key: str, percentiles: Sequence[float] = (1, 5, 25, 50, 75, 95, 99)):
+        """Distribution summary of one metric (see :mod:`repro.analysis.variability`)."""
+        from repro.analysis.variability import summarize_samples
+
+        return summarize_samples(self.samples(key), percentiles=percentiles)
+
+    def yield_fraction(
+        self,
+        key: str,
+        lower: Optional[float] = None,
+        upper: Optional[float] = None,
+    ) -> float:
+        """Fraction of trials whose metric lies inside ``[lower, upper]``."""
+        from repro.analysis.variability import yield_fraction
+
+        return yield_fraction(self.samples(key), lower=lower, upper=upper)
+
+
+# ---------------------------------------------------------------------- #
+# trial execution (shared by the serial path and the pool workers)
+# ---------------------------------------------------------------------- #
+
+
+def trial_generator(seed: int, trial: int) -> np.random.Generator:
+    """The dedicated random generator of one trial.
+
+    Equivalent to child ``trial`` of ``SeedSequence(seed).spawn(...)`` but
+    constructed directly, so a worker handling trials ``[100, 150)`` never
+    has to spawn (or even know about) the first hundred children.
+    """
+    return np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(trial,)))
+
+
+def sample_overlay(
+    perturbations: Mapping[str, Distribution],
+    nominal: Mapping[str, np.ndarray],
+    rng: np.random.Generator,
+) -> Dict[str, np.ndarray]:
+    """Draw one trial's parameter overlay (deterministic in iteration order)."""
+    return {
+        name: perturbations[name].sample(rng, np.asarray(nominal[name], dtype=float))
+        for name in sorted(perturbations)
+    }
+
+
+def _effective_nominal(compiled) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+    """The trial centers and the base overlay to compose trials with.
+
+    A pre-existing overlay (e.g. an :func:`repro.circuits.corners.applied_corner`
+    block) shifts the trial centers: Monte Carlo then samples *around the
+    corner*, and the corner overlay is restored — not cleared — when the
+    trials finish.
+    """
+    base_overlay = dict(compiled._overlay) if compiled._overlay else {}
+    nominal = compiled.nominal_parameters()
+    nominal.update(base_overlay)
+    return nominal, base_overlay
+
+
+def _run_trial_block(
+    circuit: Circuit,
+    perturbations: Mapping[str, Distribution],
+    seed: int,
+    analysis: TrialAnalysis,
+    start: int,
+    count: int,
+) -> List[Dict[str, float]]:
+    """Run trials ``[start, start + count)`` on one (compiled) circuit."""
+    engine = get_engine(circuit)
+    compiled = engine.compiled
+    compiled.refresh_values()
+    nominal, base_overlay = _effective_nominal(compiled)
+    records: List[Dict[str, float]] = []
+    try:
+        for trial in range(start, start + count):
+            rng = trial_generator(seed, trial)
+            overlay = sample_overlay(perturbations, nominal, rng)
+            try:
+                compiled.set_parameter_overlay({**base_overlay, **overlay})
+            except ValueError as error:
+                raise ValueError(
+                    f"trial {trial} sampled an invalid parameter set ({error}); "
+                    "additive distributions can cross zero on positive-only "
+                    "parameters — use Lognormal for resistor_ohm/cap_c, or "
+                    "shrink the spread"
+                ) from error
+            metrics = analysis(engine, trial)
+            if not isinstance(metrics, Mapping):
+                raise TypeError(
+                    "a trial analysis must return a mapping of metric name to value, "
+                    f"got {type(metrics).__name__}"
+                )
+            records.append(dict(metrics))
+    finally:
+        if base_overlay:
+            compiled.set_parameter_overlay(base_overlay)
+        else:
+            compiled.clear_parameter_overlay()
+    return records
+
+
+_WORKER_STATE: Optional[Tuple[Circuit, Mapping[str, Distribution], int, TrialAnalysis]] = None
+
+
+def _worker_init(payload) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = payload
+
+
+def _worker_run_block(block: Tuple[int, int]) -> List[Dict[str, float]]:
+    circuit, perturbations, seed, analysis = _WORKER_STATE
+    return _run_trial_block(circuit, perturbations, seed, analysis, block[0], block[1])
+
+
+def _chunk_blocks(trials: int, workers: int, chunksize: Optional[int]) -> List[Tuple[int, int]]:
+    if chunksize is None:
+        # A few chunks per worker balances load without drowning the pool
+        # in tiny tasks.
+        chunksize = max(1, math.ceil(trials / (workers * 4)))
+    return [(start, min(chunksize, trials - start)) for start in range(0, trials, chunksize)]
+
+
+# ---------------------------------------------------------------------- #
+# the Monte Carlo engine
+# ---------------------------------------------------------------------- #
+
+
+class MonteCarloEngine:
+    """N-trial variability analysis over one compiled circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit under study; compiled once (through its cached
+        :class:`~repro.spice.engine.AnalysisEngine`) and perturbed in place
+        per trial.
+    perturbations:
+        Mapping from compiled parameter name (see
+        :data:`repro.spice.engine.PERTURBABLE_PARAMETERS`) to the
+        :class:`Distribution` perturbing it.
+    seed:
+        Root entropy of the per-trial substreams.  Two runs with the same
+        seed and trial count are bit-identical, whatever the worker count.
+
+    Runs compose with an active parameter overlay: inside an
+    :func:`repro.circuits.corners.applied_corner` block, trials sample
+    around the corner-shifted values and the corner overlay is restored
+    when the trials finish — Monte Carlo *at* a corner, not instead of it.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        perturbations: Mapping[str, Distribution],
+        seed: int = 0,
+    ):
+        if not perturbations:
+            raise ValueError("at least one perturbation is required")
+        compiled = get_engine(circuit).compiled
+        lengths = compiled._parameter_lengths()
+        for name, distribution in perturbations.items():
+            if name not in lengths:
+                raise ValueError(
+                    f"unknown parameter {name!r}; expected one of {sorted(lengths)}"
+                )
+            if lengths[name] == 0:
+                raise ValueError(
+                    f"cannot perturb {name!r}: the circuit has no such elements"
+                )
+            if not isinstance(distribution, Distribution):
+                raise TypeError(f"perturbation for {name!r} is not a Distribution")
+        self.circuit = circuit
+        self.perturbations: Dict[str, Distribution] = dict(perturbations)
+        self.seed = int(seed)
+
+    def sample_trial_overlay(self, trial: int) -> Dict[str, np.ndarray]:
+        """The exact parameter overlay trial ``trial`` would run with."""
+        compiled = get_engine(self.circuit).compiled
+        compiled.refresh_values()
+        nominal, base_overlay = _effective_nominal(compiled)
+        sampled = sample_overlay(
+            self.perturbations, nominal, trial_generator(self.seed, trial)
+        )
+        return {**base_overlay, **sampled}
+
+    def run(
+        self,
+        analysis: TrialAnalysis,
+        trials: int,
+        workers: Optional[int] = None,
+        chunksize: Optional[int] = None,
+    ) -> MonteCarloResult:
+        """Run ``trials`` perturbed solves and collect the metric records.
+
+        Parameters
+        ----------
+        analysis:
+            ``(engine, trial_index) -> {metric: value}``; called with the
+            overlay already applied.  Must be picklable when ``workers > 1``.
+        trials:
+            Number of trials.
+        workers:
+            ``None``/``0``/``1`` runs serially in this process; larger
+            values shard trial chunks across a process pool, shipping the
+            compiled circuit to each worker once.
+        chunksize:
+            Trials per pool task (defaults to about four chunks per worker).
+        """
+        if trials <= 0:
+            raise ValueError("at least one trial is required")
+        if workers is None or workers <= 1:
+            records = _run_trial_block(
+                self.circuit, self.perturbations, self.seed, analysis, 0, trials
+            )
+        else:
+            # Compile before pickling so every worker inherits the compiled
+            # index arrays instead of rebuilding them.
+            get_engine(self.circuit).compiled.refresh_values()
+            payload = (self.circuit, self.perturbations, self.seed, analysis)
+            blocks = _chunk_blocks(trials, workers, chunksize)
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(blocks)),
+                initializer=_worker_init,
+                initargs=(payload,),
+            ) as pool:
+                records = [
+                    record
+                    for block_records in pool.map(_worker_run_block, blocks)
+                    for record in block_records
+                ]
+        return MonteCarloResult(trials=trials, seed=self.seed, records=records)
+
+
+# ---------------------------------------------------------------------- #
+# parallel sweep families
+# ---------------------------------------------------------------------- #
+
+_SWEEP_STATE = None
+
+
+def _sweep_worker_init(payload) -> None:
+    global _SWEEP_STATE
+    _SWEEP_STATE = payload
+
+
+def _run_sweep_family(state, item):
+    label, values = item
+    circuit, source_name, configure, gmin, max_iterations = state
+    if configure is not None:
+        configure(circuit, label)
+    sweep = get_engine(circuit).dc_sweep(
+        source_name, values, gmin=gmin, max_iterations=max_iterations
+    )
+    return (
+        label,
+        sweep.values,
+        sweep.solutions,
+        [point.iterations for point in sweep.points],
+        [point.converged for point in sweep.points],
+        [point.max_residual for point in sweep.points],
+        [point.convergence_info for point in sweep.points],
+    )
+
+
+def _sweep_worker_run(item):
+    return _run_sweep_family(_SWEEP_STATE, item)
+
+
+def parallel_sweep_many(
+    circuit: Circuit,
+    source: Union[str, Any],
+    families: Mapping[Hashable, Sequence[float]],
+    configure: Optional[Callable[[Circuit, Hashable], None]] = None,
+    workers: int = 2,
+    gmin: float = 1e-12,
+    max_iterations: int = 200,
+) -> Dict[Hashable, Any]:
+    """Fan a family of DC sweeps out across worker processes.
+
+    The serial :func:`repro.spice.engine.sweep_many` chains families through
+    one compiled circuit with continuation seeding; after that seed handoff
+    the families are independent, so this variant ships the compiled circuit
+    to a process pool and runs one family per task.  Families cold-start
+    (no cross-family seeding), which may cost a few extra Newton iterations
+    per first point but returns the same converged solutions.
+
+    ``configure(circuit, label)`` — note the explicit circuit argument,
+    unlike the serial version's closure — must fully reconfigure the
+    circuit copy it is handed for a family and be picklable.  It always
+    operates on a pickled copy (even with ``workers=1``), so the caller's
+    circuit is never reconfigured behind its back, whatever the worker
+    count.
+
+    Returns an ordered dict of :class:`~repro.spice.dcsweep.DCSweepResult`
+    keyed by label, all bound to the *parent's* circuit.
+    """
+    import inspect
+    import pickle
+
+    from repro.spice.dcop import OperatingPoint
+    from repro.spice.dcsweep import DCSweepResult
+
+    if configure is not None:
+        # Fail at the call site, not inside a worker: a serial sweep_many
+        # closure (one ``label`` argument) is the likely mistake here.
+        try:
+            signature = inspect.signature(configure)
+            signature.bind(None, None)
+        except TypeError:
+            raise TypeError(
+                "parallel_sweep_many's configure takes (circuit, label) — "
+                "unlike the serial sweep_many closure, which only takes the "
+                "label — and must be a picklable module-level callable"
+            ) from None
+        except ValueError:
+            pass  # no introspectable signature (builtins); let it run
+
+    source_name = source if isinstance(source, str) else source.name
+    get_engine(circuit).compiled.refresh_values()
+    payload = (circuit, source_name, configure, gmin, max_iterations)
+    items = [
+        (label, np.asarray(list(values), dtype=float)) for label, values in families.items()
+    ]
+    if not items:
+        return {}
+
+    if workers <= 1:
+        local_state = None
+        if configure is not None:
+            # Same isolation as the pooled path: configure() runs on a copy.
+            local_state = pickle.loads(pickle.dumps(payload))
+        raw = [_run_sweep_family(local_state or payload, item) for item in items]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(items)),
+            initializer=_sweep_worker_init,
+            initargs=(payload,),
+        ) as pool:
+            raw = list(pool.map(_sweep_worker_run, items))
+
+    results: Dict[Hashable, Any] = {}
+    for label, values, solutions, iterations, converged, residuals, infos in raw:
+        points = [
+            OperatingPoint(
+                circuit=circuit,
+                solution=solutions[i],
+                iterations=iterations[i],
+                converged=converged[i],
+                max_residual=residuals[i],
+                convergence_info=infos[i],
+            )
+            for i in range(len(values))
+        ]
+        results[label] = DCSweepResult(circuit=circuit, values=values, points=points)
+    return results

@@ -221,6 +221,47 @@ class TestSolverFallbacks:
         assert not op.converged
         assert not np.isfinite(op.max_residual) or op.max_residual > 0.0
 
+    def test_convergence_info_reports_plain_newton(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "in", "0", 2.0)
+        Resistor(circuit, "r1", "in", "mid", 1e3)
+        Resistor(circuit, "r2", "mid", "0", 3e3)
+        op = dc_operating_point(circuit)
+        info = op.convergence_info
+        assert info is not None
+        assert info.strategy == "newton"
+        assert not info.used_fallback
+        assert info.iterations == op.iterations
+        assert info.final_max_update_v == op.max_residual
+        assert info.final_max_update_v < 1e-7
+
+    def test_convergence_info_reports_gmin_stepping(self):
+        # The bad-initial-guess circuit: plain Newton fails, gmin stepping
+        # rescues it — and the result must say so instead of succeeding
+        # silently.
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "in", "0", 2.0)
+        Resistor(circuit, "r1", "in", "mid", 1e3)
+        Resistor(circuit, "r2", "mid", "0", 3e3)
+        bad_guess = np.full(circuit.system_size, 1e6)
+        op = dc_operating_point(circuit, initial_guess=bad_guess)
+        assert op.converged
+        info = op.convergence_info
+        assert info.strategy == "gmin-stepping"
+        assert info.used_fallback
+        # The accounted iterations include the failed plain-Newton run.
+        assert info.iterations == op.iterations > 300
+        assert info.final_max_update_v < 1e-7
+
+    def test_convergence_info_reports_failure(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "a", "0", 1.0)
+        VoltageSource(circuit, "v2", "a", "0", 2.0)
+        op = dc_operating_point(circuit, max_iterations=30)
+        assert not op.converged
+        assert op.convergence_info.strategy == "failed"
+        assert op.convergence_info.used_fallback
+
     def test_source_stepping_ladder_reaches_full_drive(self):
         # The source-stepping fallback must land on the true solution when
         # driven through the ladder (exercised directly; healthy circuits

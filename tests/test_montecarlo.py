@@ -1,0 +1,531 @@
+"""Tests for the Monte-Carlo subsystem: distributions, overlays, pools, corners."""
+
+import numpy as np
+import pytest
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.analysis.variability import summarize_samples, yield_fraction
+from repro.circuits.corners import (
+    Corner,
+    applied_corner,
+    corner_overlay,
+    run_corners,
+    standard_corners,
+)
+from repro.fitting.level1 import Level1Parameters
+from repro.spice import (
+    Circuit,
+    Gaussian,
+    Lognormal,
+    MOSFET,
+    MonteCarloEngine,
+    Resistor,
+    Uniform,
+    VoltageSource,
+    dc_operating_point,
+    get_engine,
+    parallel_sweep_many,
+)
+from repro.spice.engine import sweep_many
+from repro.spice.montecarlo import sample_overlay, trial_generator
+
+NMOS = Level1Parameters(
+    kp_a_per_v2=4e-5, vth_v=0.18, lambda_per_v=0.05, width_m=0.7e-6, length_m=0.35e-6
+)
+
+
+def common_source_circuit():
+    """The canonical small nonlinear testbench: NMOS with resistive pull-up."""
+    circuit = Circuit()
+    VoltageSource(circuit, "vdd", "vdd", "0", 1.2)
+    VoltageSource(circuit, "vg", "g", "0", 1.2)
+    Resistor(circuit, "rl", "vdd", "d", 500e3)
+    MOSFET(circuit, "m1", "d", "g", "0", NMOS)
+    return circuit
+
+
+def drain_metrics(engine, trial):
+    """Module-level trial analysis so process-pool workers can unpickle it."""
+    op = engine.solve_dc(refresh=False)
+    return {
+        "d_v": op.solution[engine.circuit.node_index("d")],
+        "converged": float(op.converged),
+    }
+
+
+def configure_gate(circuit, label):
+    """Module-level sweep-family configure hook (picklable)."""
+    circuit.element("vg").set_level(float(label))
+
+
+class TestDistributions:
+    def test_gaussian_absolute_shifts_each_element(self):
+        rng = np.random.default_rng(0)
+        nominal = np.full(100, 5.0)
+        sampled = Gaussian(sigma=0.1).sample(rng, nominal)
+        assert sampled.shape == nominal.shape
+        assert np.std(sampled) == pytest.approx(0.1, rel=0.3)
+
+    def test_gaussian_relative_scales_with_nominal(self):
+        rng = np.random.default_rng(0)
+        nominal = np.array([1.0, 1000.0])
+        spreads = np.std(
+            [Gaussian(sigma=0.1, relative=True).sample(rng, nominal) for _ in range(500)],
+            axis=0,
+        )
+        assert spreads[1] / spreads[0] == pytest.approx(1000.0, rel=0.2)
+
+    def test_correlated_draw_is_shared(self):
+        rng = np.random.default_rng(1)
+        sampled = Gaussian(sigma=0.2, correlated=True).sample(rng, np.zeros(8))
+        assert np.all(sampled == sampled[0])
+        assert sampled[0] != 0.0
+
+    def test_uniform_stays_within_halfwidth(self):
+        rng = np.random.default_rng(2)
+        sampled = Uniform(halfwidth=0.5).sample(rng, np.zeros(1000))
+        assert np.all(np.abs(sampled) <= 0.5)
+
+    def test_lognormal_preserves_sign_and_spread(self):
+        rng = np.random.default_rng(3)
+        nominal = np.full(2000, 3.0)
+        sampled = Lognormal(sigma_ln=0.3).sample(rng, nominal)
+        assert np.all(sampled > 0.0)
+        assert np.std(np.log(sampled / 3.0)) == pytest.approx(0.3, rel=0.1)
+
+    def test_negative_spreads_rejected(self):
+        with pytest.raises(ValueError):
+            Gaussian(sigma=-1.0)
+        with pytest.raises(ValueError):
+            Uniform(halfwidth=-0.1)
+        with pytest.raises(ValueError):
+            Lognormal(sigma_ln=-0.1)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        kind=st.sampled_from(["gaussian", "uniform", "lognormal"]),
+        correlated=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_zero_spread_is_bitwise_identity(self, seed, kind, correlated):
+        # The zero-sigma property every distribution must satisfy: the
+        # nominal vector comes back bit for bit, whatever the rng state.
+        rng = np.random.default_rng(seed)
+        nominal = np.array([0.18, 1e-3, 500e3, 7.25e-5])
+        if kind == "gaussian":
+            dist = Gaussian(sigma=0.0, correlated=correlated)
+        elif kind == "uniform":
+            dist = Uniform(halfwidth=0.0, correlated=correlated)
+        else:
+            dist = Lognormal(sigma_ln=0.0, correlated=correlated)
+        sampled = dist.sample(rng, nominal)
+        assert np.array_equal(sampled, nominal)
+
+
+class TestParameterOverlay:
+    def test_unknown_parameter_rejected(self):
+        compiled = get_engine(common_source_circuit()).compiled
+        with pytest.raises(ValueError):
+            compiled.set_parameter_overlay({"mos_gamma": [1.0]})
+
+    def test_wrong_length_rejected(self):
+        compiled = get_engine(common_source_circuit()).compiled
+        with pytest.raises(ValueError):
+            compiled.set_parameter_overlay({"mos_vth": [0.1, 0.2]})
+
+    def test_nonpositive_resistance_rejected(self):
+        compiled = get_engine(common_source_circuit()).compiled
+        with pytest.raises(ValueError):
+            compiled.set_parameter_overlay({"resistor_ohm": [0.0]})
+
+    def test_vth_overlay_changes_solution_and_clear_restores(self):
+        circuit = common_source_circuit()
+        compiled = get_engine(circuit).compiled
+        nominal = dc_operating_point(circuit).voltage("d")
+        compiled.set_parameter_overlay({"mos_vth": [NMOS.vth_v + 0.9]})
+        raised_vth = dc_operating_point(circuit).voltage("d")
+        # A near-cutoff threshold weakens the pull-down: the drain rises.
+        assert raised_vth > nominal + 0.1
+        compiled.clear_parameter_overlay()
+        assert dc_operating_point(circuit).voltage("d") == nominal
+
+    def test_overlay_survives_per_solve_refresh(self):
+        # The analyses refresh element values before every solve; an active
+        # overlay must take precedence over the re-read elements.
+        circuit = common_source_circuit()
+        compiled = get_engine(circuit).compiled
+        compiled.set_parameter_overlay({"mos_vth": [NMOS.vth_v + 0.3]})
+        first = dc_operating_point(circuit).voltage("d")
+        second = dc_operating_point(circuit).voltage("d")
+        assert first == second
+        compiled.clear_parameter_overlay()
+
+    def test_resistor_overlay_matches_element_mutation(self):
+        def divider():
+            circuit = Circuit()
+            VoltageSource(circuit, "v1", "in", "0", 2.0)
+            Resistor(circuit, "r1", "in", "mid", 1e3)
+            Resistor(circuit, "r2", "mid", "0", 3e3)
+            return circuit
+
+        overlaid = divider()
+        get_engine(overlaid).compiled.set_parameter_overlay(
+            {"resistor_ohm": [1e3, 1e3]}
+        )
+        mutated = divider()
+        mutated.element("r2").resistance_ohm = 1e3
+        assert dc_operating_point(overlaid).voltage("mid") == pytest.approx(
+            dc_operating_point(mutated).voltage("mid"), abs=1e-9
+        )
+
+    def test_vsource_scale_halves_the_divider(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "in", "0", 2.0)
+        Resistor(circuit, "r1", "in", "mid", 1e3)
+        Resistor(circuit, "r2", "mid", "0", 1e3)
+        compiled = get_engine(circuit).compiled
+        compiled.set_parameter_overlay({"vsource_scale": [0.5]})
+        assert dc_operating_point(circuit).voltage("in") == pytest.approx(1.0, abs=1e-4)
+        compiled.clear_parameter_overlay()
+        assert dc_operating_point(circuit).voltage("in") == pytest.approx(2.0, abs=1e-4)
+
+    def test_capacitance_overlay_slows_rc_charging(self):
+        from repro.spice import Capacitor, transient_analysis
+
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "in", "0", 1.0)
+        Resistor(circuit, "r1", "in", "out", 1e3)
+        Capacitor(circuit, "c1", "out", "0", 1e-9)
+        compiled = get_engine(circuit).compiled
+        compiled.set_parameter_overlay({"cap_c": [2e-9]})
+        result = transient_analysis(circuit, 2e-6, 2e-8, use_initial_conditions=True)
+        # Doubled C doubles tau: at t = tau/2 the curve sits at 1 - e^-0.5.
+        assert result.sample_voltage("out", 1e-6) == pytest.approx(
+            1.0 - np.exp(-0.5), abs=0.02
+        )
+        compiled.clear_parameter_overlay()
+
+    def test_topology_change_under_overlay_raises_instead_of_dropping(self):
+        # Recompiling would silently discard the overlay (the perturbed
+        # vectors are sized for the old element population), so mutating
+        # the topology while one is active must fail loudly at the next
+        # solve instead of returning nominal results.
+        circuit = common_source_circuit()
+        compiled = get_engine(circuit).compiled
+        compiled.set_parameter_overlay({"mos_vth": [NMOS.vth_v + 0.1]})
+        Resistor(circuit, "r_probe", "d", "0", 1e9)
+        with pytest.raises(RuntimeError, match="overlay"):
+            dc_operating_point(circuit)
+        # The engine-level clear is the public recovery path (the compiled
+        # property itself raises while the stale overlay is active).
+        get_engine(circuit).clear_parameter_overlay()
+        assert dc_operating_point(circuit).converged
+
+    def test_pickling_drops_rebuildable_caches(self):
+        import pickle
+
+        circuit = common_source_circuit()
+        engine = get_engine(circuit)
+        engine.solve_dc()  # populate the base-matrix and source-value caches
+        assert engine.compiled._base_cache
+        restored = pickle.loads(pickle.dumps(circuit))
+        restored_compiled = get_engine(restored).compiled
+        assert restored_compiled._base_cache == {}
+        assert restored_compiled._source_value_cache is None
+        # The shipped compiled state still solves without recompiling.
+        assert restored_compiled.revision == restored.revision
+        assert get_engine(restored).solve_dc().converged
+
+    def test_nominal_parameters_are_copies(self):
+        compiled = get_engine(common_source_circuit()).compiled
+        nominal = compiled.nominal_parameters()
+        nominal["mos_vth"][0] = 99.0
+        assert compiled.nominal_parameters()["mos_vth"][0] == NMOS.vth_v
+
+
+class TestMonteCarloEngine:
+    def test_rejects_empty_or_unknown_perturbations(self):
+        circuit = common_source_circuit()
+        with pytest.raises(ValueError):
+            MonteCarloEngine(circuit, {})
+        with pytest.raises(ValueError):
+            MonteCarloEngine(circuit, {"mos_gamma": Gaussian(0.1)})
+        with pytest.raises(TypeError):
+            MonteCarloEngine(circuit, {"mos_vth": 0.1})
+
+    def test_rejects_perturbation_without_elements(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "a", "0", 1.0)
+        Resistor(circuit, "r1", "a", "0", 1e3)
+        with pytest.raises(ValueError):
+            MonteCarloEngine(circuit, {"mos_vth": Gaussian(0.1)})
+
+    def test_seeded_runs_are_reproducible(self):
+        circuit = common_source_circuit()
+        mc = MonteCarloEngine(circuit, {"mos_vth": Gaussian(0.05)}, seed=11)
+        first = mc.run(drain_metrics, trials=6)
+        second = mc.run(drain_metrics, trials=6)
+        assert first.records == second.records
+
+    def test_different_seeds_differ(self):
+        circuit = common_source_circuit()
+        a = MonteCarloEngine(circuit, {"mos_vth": Gaussian(0.05)}, seed=1).run(
+            drain_metrics, trials=4
+        )
+        b = MonteCarloEngine(circuit, {"mos_vth": Gaussian(0.05)}, seed=2).run(
+            drain_metrics, trials=4
+        )
+        assert a.records != b.records
+
+    def test_nominal_restored_after_run(self):
+        circuit = common_source_circuit()
+        nominal = dc_operating_point(circuit).voltage("d")
+        MonteCarloEngine(circuit, {"mos_vth": Gaussian(0.05)}, seed=3).run(
+            drain_metrics, trials=4
+        )
+        assert dc_operating_point(circuit).voltage("d") == nominal
+
+    def test_trial_overlay_matches_direct_sampling(self):
+        circuit = common_source_circuit()
+        mc = MonteCarloEngine(circuit, {"mos_vth": Gaussian(0.05)}, seed=21)
+        compiled = get_engine(circuit).compiled
+        expected = sample_overlay(
+            mc.perturbations, compiled.nominal_parameters(), trial_generator(21, 5)
+        )
+        overlay = mc.sample_trial_overlay(5)
+        assert np.array_equal(overlay["mos_vth"], expected["mos_vth"])
+
+    def test_analysis_must_return_mapping(self):
+        circuit = common_source_circuit()
+        mc = MonteCarloEngine(circuit, {"mos_vth": Gaussian(0.05)}, seed=0)
+        with pytest.raises(TypeError):
+            mc.run(lambda engine, trial: 1.0, trials=1)
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_zero_sigma_run_reproduces_nominal_bitwise(self, seed):
+        # A Monte-Carlo run with every spread at zero must be the nominal
+        # engine result bit for bit: same overlay values, same assembly,
+        # same solve.
+        circuit = common_source_circuit()
+        nominal = dc_operating_point(circuit).solution.copy()
+        index = circuit.node_index("d")
+        mc = MonteCarloEngine(
+            circuit,
+            {
+                "mos_vth": Gaussian(sigma=0.0),
+                "mos_beta": Lognormal(sigma_ln=0.0),
+                "resistor_ohm": Uniform(halfwidth=0.0, relative=True),
+                "vsource_scale": Gaussian(sigma=0.0, correlated=True),
+            },
+            seed=seed,
+        )
+        result = mc.run(drain_metrics, trials=3)
+        assert all(record["d_v"] == nominal[index] for record in result.records)
+
+    def test_composes_with_active_corner_overlay(self):
+        # Monte Carlo inside a corner block must sample around the corner
+        # and restore it afterwards — not silently run (and leave the
+        # circuit) at nominal.
+        circuit = common_source_circuit()
+        index = circuit.node_index("d")
+        mc = MonteCarloEngine(circuit, {"mos_vth": Gaussian(sigma=0.0)}, seed=4)
+        with applied_corner(circuit, Corner("SS", 0.9, +0.045)) as engine:
+            corner_value = engine.solve_dc().solution[index]
+            result = mc.run(drain_metrics, trials=2)
+            # Zero sigma: every trial reproduces the corner bit for bit.
+            assert all(record["d_v"] == corner_value for record in result.records)
+            # The corner overlay is restored for the rest of the block.
+            assert engine.solve_dc().solution[index] == corner_value
+        nominal = dc_operating_point(circuit).solution[index]
+        assert nominal != corner_value
+
+    def test_pool_sizes_agree_bitwise(self):
+        # The acceptance property of the sharding design: per-trial seed
+        # substreams depend only on (seed, trial), so serial and any-width
+        # process pools produce identical records.
+        circuit = common_source_circuit()
+        mc = MonteCarloEngine(
+            circuit,
+            {"mos_vth": Gaussian(0.03), "mos_beta": Gaussian(0.05, relative=True)},
+            seed=1234,
+        )
+        serial = mc.run(drain_metrics, trials=8)
+        two = mc.run(drain_metrics, trials=8, workers=2)
+        four = mc.run(drain_metrics, trials=8, workers=4, chunksize=1)
+        assert serial.records == two.records
+        assert serial.records == four.records
+
+    def test_result_accessors(self):
+        circuit = common_source_circuit()
+        mc = MonteCarloEngine(circuit, {"mos_vth": Gaussian(0.05)}, seed=5)
+        result = mc.run(drain_metrics, trials=16)
+        assert result.keys() == ("d_v", "converged")
+        samples = result.samples("d_v")
+        assert samples.shape == (16,)
+        summary = result.summary("d_v")
+        assert summary.count == 16
+        assert summary.minimum <= summary.median <= summary.maximum
+        assert result.yield_fraction("converged", lower=0.5) == 1.0
+
+
+class TestParallelSweepMany:
+    def test_matches_serial_sweep_many(self):
+        values = np.linspace(0.0, 1.2, 7)
+        families = {0.4: values, 0.8: values, 1.2: values}
+
+        serial_circuit = common_source_circuit()
+        serial = sweep_many(
+            serial_circuit,
+            "vdd",
+            families,
+            configure=lambda label: serial_circuit.element("vg").set_level(label),
+        )
+
+        pooled_circuit = common_source_circuit()
+        pooled = parallel_sweep_many(
+            pooled_circuit, "vdd", families, configure=configure_gate, workers=2
+        )
+
+        assert set(serial) == set(pooled)
+        for label in families:
+            assert pooled[label].all_converged
+            assert np.allclose(
+                serial[label].voltage("d"), pooled[label].voltage("d"), atol=1e-6
+            )
+            # The reassembled results are bound to the parent's circuit and
+            # keep their per-point convergence reporting.
+            assert pooled[label].circuit is pooled_circuit
+            assert all(
+                point.convergence_info is not None for point in pooled[label].points
+            )
+
+    def test_serial_fallback_path_leaves_caller_circuit_untouched(self):
+        circuit = common_source_circuit()
+        results = parallel_sweep_many(
+            circuit,
+            "vdd",
+            {0.6: np.linspace(0.0, 1.2, 5)},
+            configure=configure_gate,
+            workers=1,
+        )
+        assert results[0.6].all_converged
+        assert all(point.convergence_info is not None for point in results[0.6].points)
+        # configure() ran on a copy: the caller's gate source still sits at
+        # its original level, exactly as in the pooled path.
+        assert circuit.element("vg").value_at(0.0) == 1.2
+
+    def test_serial_style_configure_rejected_at_call_site(self):
+        # A serial sweep_many closure takes only the label; passing one here
+        # must fail immediately, not inside a worker process.
+        circuit = common_source_circuit()
+        with pytest.raises(TypeError, match="circuit, label"):
+            parallel_sweep_many(
+                circuit,
+                "vdd",
+                {0.6: [0.0, 1.2]},
+                configure=lambda label: None,
+                workers=2,
+            )
+
+
+class TestCorners:
+    def test_standard_corners_cover_the_grid(self):
+        corners = standard_corners()
+        assert set(corners) == {"TT", "FF", "SS", "FS", "SF"}
+        assert corners["TT"].beta_scale == 1.0 and corners["TT"].vth_shift_v == 0.0
+        assert corners["FF"].vth_shift_v < 0.0 < corners["SS"].vth_shift_v
+        assert corners["SS"].beta_scale < 1.0 < corners["FF"].beta_scale
+
+    def test_corner_overlay_shifts_all_devices(self):
+        circuit = common_source_circuit()
+        overlay = corner_overlay(circuit, Corner("FF", 1.1, -0.045))
+        assert overlay["mos_vth"][0] == pytest.approx(NMOS.vth_v - 0.045)
+        assert overlay["mos_beta"][0] == pytest.approx(1.1 * NMOS.beta)
+
+    def test_applied_corner_restores_on_exit(self):
+        circuit = common_source_circuit()
+        nominal = dc_operating_point(circuit).voltage("d")
+        with applied_corner(circuit, Corner("SS", 0.9, +0.045)) as engine:
+            slow = engine.solve_dc().solution[circuit.node_index("d")]
+        # The slow corner conducts less: the drain sits higher.
+        assert slow > nominal
+        assert dc_operating_point(circuit).voltage("d") == nominal
+
+    def test_run_corners_orders_results_physically(self):
+        circuit = common_source_circuit()
+
+        def drain(engine, corner):
+            return engine.solve_dc().solution[circuit.node_index("d")]
+
+        results = run_corners(circuit, drain)
+        assert set(results) == {"TT", "FF", "SS", "FS", "SF"}
+        # FF pulls hardest (lowest drain), SS weakest (highest drain),
+        # nominal in between.
+        assert results["FF"] < results["TT"] < results["SS"]
+
+    def test_negative_spread_rejected(self):
+        with pytest.raises(ValueError):
+            standard_corners(beta_spread=-0.1)
+
+
+class TestVariabilityStatistics:
+    def test_summary_basic_statistics(self):
+        summary = summarize_samples(np.arange(101, dtype=float))
+        assert summary.count == 101
+        assert summary.invalid == 0
+        assert summary.median == pytest.approx(50.0)
+        assert summary.percentiles[5.0] == pytest.approx(5.0)
+        assert summary.spread(5.0, 95.0) == pytest.approx(90.0)
+
+    def test_summary_excludes_but_counts_nans(self):
+        summary = summarize_samples([1.0, float("nan"), 3.0, float("inf")])
+        assert summary.count == 2
+        assert summary.invalid == 2
+        assert summary.mean == pytest.approx(2.0)
+
+    def test_summary_of_all_invalid_is_nan(self):
+        summary = summarize_samples([float("nan")])
+        assert summary.count == 0 and summary.invalid == 1
+        assert np.isnan(summary.median)
+
+    def test_yield_counts_nan_as_failure(self):
+        assert yield_fraction([1.0, float("nan"), 3.0], lower=0.0) == pytest.approx(2 / 3)
+
+    def test_yield_bounds(self):
+        values = [0.5, 1.5, 2.5, 3.5]
+        assert yield_fraction(values, lower=1.0, upper=3.0) == pytest.approx(0.5)
+        assert yield_fraction(values) == 1.0
+
+    def test_spread_requires_computed_percentiles(self):
+        summary = summarize_samples([1.0, 2.0], percentiles=(50,))
+        with pytest.raises(KeyError):
+            summary.spread(5.0, 95.0)
+
+
+class TestVariabilityExperiment:
+    def test_small_study_end_to_end(self):
+        from repro.experiments.variability_xor3 import run_variability_xor3
+
+        result = run_variability_xor3(
+            trials=4, seed=99, workers=None, timestep_s=2e-9, step_duration_s=30e-9
+        )
+        assert result.montecarlo.trials == 4
+        assert np.all(np.isfinite(result.montecarlo.samples("fall_time_s")))
+        assert result.functional_yield() == 1.0
+        report = result.report()
+        assert "rise time" in report and "functional yield" in report
+        # The nominal reference reproduces the unperturbed fall time.
+        assert result.nominal["fall_time_s"] > 0.0
+
+    def test_study_is_seed_reproducible_across_workers(self):
+        from repro.experiments.variability_xor3 import run_variability_xor3
+
+        serial = run_variability_xor3(
+            trials=4, seed=7, workers=None, timestep_s=2e-9, step_duration_s=30e-9
+        )
+        pooled = run_variability_xor3(
+            trials=4, seed=7, workers=2, timestep_s=2e-9, step_duration_s=30e-9
+        )
+        assert serial.montecarlo.records == pooled.montecarlo.records
