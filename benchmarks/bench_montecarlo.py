@@ -164,3 +164,92 @@ def test_montecarlo_amortizes_compilation(benchmark, switch_model):
     # netlist walk it replaces.
     assert speedup >= floor
     assert overlay_s < rebuild_s
+
+
+def test_batched_backend_beats_per_trial_dense(benchmark, switch_model):
+    """A >=64-trial XOR3 DC study through the batched backend vs per-trial.
+
+    The per-trial path pays one overlay swap plus one dense Newton solve per
+    trial; the batched path stacks every trial's parameter vectors and
+    solves each Newton round as one ``(trials, n, n)`` LAPACK call.  The
+    per-trial arithmetic is the same bit for bit, so the comparison is
+    pure solve-path overhead — and the records must agree exactly.
+    """
+    lattice = xor3_lattice_3x3()
+    bench = build_lattice_circuit(
+        lattice, model=switch_model, static_assignment=ASSIGNMENT
+    )
+    circuit = bench.circuit
+    nominal = get_engine(circuit).solve_dc()
+    assert nominal.converged
+    output_index = circuit.node_index(bench.output_node)
+
+    montecarlo = MonteCarloEngine(
+        circuit,
+        perturbations={
+            "mos_vth": Gaussian(sigma=0.010),
+            "mos_beta": Gaussian(sigma=0.05, relative=True),
+        },
+        seed=7,
+    )
+    analysis = partial(
+        _mc_trial, output_index=output_index, initial_guess=nominal.solution
+    )
+
+    trials = 128
+    serial_s = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        serial = montecarlo.run(analysis, trials=trials)
+        serial_s = min(serial_s, time.perf_counter() - start)
+
+    batched_s = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        batched = montecarlo.run_batched_dc(trials, initial_guess=nominal.solution)
+        batched_s = min(batched_s, time.perf_counter() - start)
+
+    serial_out = [record["out_v"] for record in serial.records]
+    batched_out = batched.voltage(bench.output_node)
+    assert list(batched_out) == serial_out  # bit-identical, not just close
+    assert batched.all_converged
+
+    speedup = serial_s / batched_s
+    floor = float(os.environ.get("MC_BATCH_MIN_SPEEDUP", "1.3"))
+
+    benchmark.pedantic(
+        montecarlo.run_batched_dc,
+        args=(trials,),
+        kwargs={"initial_guess": nominal.solution},
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["serial_trial_us"] = serial_s / trials * 1e6
+    benchmark.extra_info["batched_trial_us"] = batched_s / trials * 1e6
+    benchmark.extra_info["speedup"] = speedup
+
+    write_bench_json(
+        "BENCH_montecarlo_batched.json",
+        {
+            "benchmark": "montecarlo_batched_dc",
+            "circuit": circuit.summary(),
+            "trials": trials,
+            "serial_run_ms": serial_s * 1e3,
+            "batched_run_ms": batched_s * 1e3,
+            "serial_trial_us": serial_s / trials * 1e6,
+            "batched_trial_us": batched_s / trials * 1e6,
+            "speedup": speedup,
+            "acceptance_floor": floor,
+        },
+    )
+    report(
+        f"Batched vs per-trial Monte-Carlo DC solves ({trials} trials, "
+        f"{circuit.summary()}):\n"
+        f"  per-trial dense path: {serial_s * 1e3:7.1f} ms "
+        f"({serial_s / trials * 1e6:6.1f} us/trial)\n"
+        f"  batched backend     : {batched_s * 1e3:7.1f} ms "
+        f"({batched_s / trials * 1e6:6.1f} us/trial)\n"
+        f"  speedup             : {speedup:7.2f}x (acceptance floor: {floor:g}x; "
+        f"records bit-identical)"
+    )
+    assert speedup >= floor

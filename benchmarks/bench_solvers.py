@@ -1,0 +1,130 @@
+"""Benchmark: dense/sparse linear-solver crossover vs MNA matrix size.
+
+The solver seam's claim is that the dense LAPACK backend is right for the
+paper-scale circuits while the sparse SuperLU backend takes over on large
+lattices.  This benchmark sweeps size-parameterized identity-lattice
+circuits (:func:`repro.circuits.build_scalability_bench`), records for each
+size the raw per-solve time of both backends on the operating-point
+Jacobian plus the end-to-end warm DC solve time, and reports the crossover
+size where sparse first beats dense.
+
+Run with ``pytest benchmarks/bench_solvers.py -s``.  The figures land in
+``BENCH_solvers.json`` when ``BENCH_JSON_DIR`` is set (the CI
+perf-trajectory artifact); the lattice sizes can be overridden through
+``SOLVER_BENCH_GRIDS`` (comma-separated grid edge lengths).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from _bench_utils import report, write_bench_json
+
+from repro.circuits import build_scalability_bench
+from repro.spice.engine import get_engine
+from repro.spice.netlist import AnalysisState
+from repro.spice.solvers import DenseSolver, SparseSolver, scipy_available
+
+#: Grid edge lengths of the identity-lattice sweep (n x n switches each).
+GRIDS = tuple(
+    int(n) for n in os.environ.get("SOLVER_BENCH_GRIDS", "4,8,12").split(",")
+)
+
+
+def _best_solve_s(solver, matrix, rhs, rounds=5):
+    """Best-of-rounds per-solve time of one backend on a fixed system."""
+    reps = 100 if matrix.shape[0] < 150 else 20
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(reps):
+            solver.solve(matrix, rhs)
+        best = min(best, (time.perf_counter() - start) / reps)
+    return best
+
+
+def _best_dc_solve_s(engine, solution, solver_name, rounds=3):
+    """Best-of-rounds warm-started end-to-end DC solve time."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        op = engine.solve_dc(initial_guess=solution, refresh=False, solver=solver_name)
+        best = min(best, time.perf_counter() - start)
+        assert op.converged
+    return best
+
+
+@pytest.mark.skipif(not scipy_available(), reason="sparse backend needs scipy")
+def test_dense_sparse_crossover(benchmark, switch_model):
+    rows = []
+    for grid in GRIDS:
+        bench = build_scalability_bench(grid, model=switch_model)
+        engine = get_engine(bench.circuit)
+        dense_op = engine.solve_dc(solver="dense")
+        sparse_op = engine.solve_dc(solver="sparse")
+        assert dense_op.converged and sparse_op.converged
+        # Backend parity on the full unknown vector, size for size.
+        assert np.allclose(dense_op.solution, sparse_op.solution, rtol=1e-9, atol=1e-9)
+
+        matrix, rhs = engine.assemble_system(
+            AnalysisState(solution=dense_op.solution, gmin=1e-9)
+        )
+        dense = DenseSolver()
+        sparse = SparseSolver()
+        sparse.bind(engine.compiled)
+        rows.append(
+            {
+                "grid": grid,
+                "system_size": bench.circuit.system_size,
+                "dense_solve_us": _best_solve_s(dense, matrix, rhs) * 1e6,
+                "sparse_solve_us": _best_solve_s(sparse, matrix, rhs) * 1e6,
+                "dense_dc_ms": _best_dc_solve_s(engine, dense_op.solution, "dense") * 1e3,
+                "sparse_dc_ms": _best_dc_solve_s(engine, dense_op.solution, "sparse") * 1e3,
+            }
+        )
+
+    crossover_size = next(
+        (r["system_size"] for r in rows if r["sparse_solve_us"] < r["dense_solve_us"]),
+        None,
+    )
+    benchmark.pedantic(
+        get_engine(build_scalability_bench(GRIDS[0], model=switch_model).circuit).solve_dc,
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["crossover_size"] = crossover_size
+
+    write_bench_json(
+        "BENCH_solvers.json",
+        {
+            "benchmark": "dense_sparse_crossover",
+            "grids": list(GRIDS),
+            "rows": rows,
+            "crossover_size": crossover_size,
+        },
+    )
+    lines = [
+        "Dense vs sparse backend on identity-lattice circuits (raw solve of the"
+        " operating-point Jacobian / warm end-to-end DC solve):"
+    ]
+    for r in rows:
+        lines.append(
+            f"  {r['grid']:2d}x{r['grid']:<2d} (n={r['system_size']:4d}): "
+            f"dense {r['dense_solve_us']:8.1f} us | sparse {r['sparse_solve_us']:8.1f} us"
+            f"   DC: dense {r['dense_dc_ms']:7.2f} ms | sparse {r['sparse_dc_ms']:7.2f} ms"
+        )
+    lines.append(
+        f"  sparse-beats-dense crossover: n ~ {crossover_size}"
+        if crossover_size is not None
+        else "  no crossover inside the measured sizes (dense wins throughout)"
+    )
+    report("\n".join(lines))
+
+    # The recorded trajectory is the deliverable; the only hard expectation
+    # is that the backends agree (asserted above) and that the largest
+    # measured lattice shows sparse at least holding its own per raw solve.
+    largest = rows[-1]
+    max_ratio = float(os.environ.get("SOLVER_BENCH_MAX_SPARSE_RATIO", "2.0"))
+    assert largest["sparse_solve_us"] <= max_ratio * largest["dense_solve_us"]

@@ -1,0 +1,144 @@
+"""Benchmark-trend diff: compare the current BENCH_*.json against the last run.
+
+The CI benchmarks job writes ``BENCH_engine.json`` / ``BENCH_montecarlo.json``
+/ ``BENCH_solvers.json`` / ... per run (the perf-trajectory artifact).  This
+script diffs the current directory of artifacts against the previous run's
+and prints per-metric deltas so a perf regression is visible in the job log
+without blocking it:
+
+    python benchmarks/compare_bench.py CURRENT_DIR PREVIOUS_DIR
+
+Numeric leaf metrics are compared by relative change; moves beyond the
+warning threshold (20 % by default, ``--threshold``) in the *worsening*
+direction are flagged.  Metric direction is inferred from the name:
+times/counts (``*_us``, ``*_ms``, ``*_s``, ``*_steps``, ``*_err``) are
+lower-is-better, rates (``speedup``, ``*_per_second``, ``*_ratio``,
+``*_reduction``) higher-is-better; anything else is reported as informational
+only.  The exit code is always 0 — this is a trend report, not a gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, Iterator, Tuple
+
+#: Name suffixes implying "smaller is better" / "larger is better".
+LOWER_IS_BETTER = ("_us", "_ms", "_s", "_steps", "_err", "_iterations")
+HIGHER_IS_BETTER = ("speedup", "_per_second", "_ratio", "_reduction", "_fraction")
+
+
+def iter_metrics(payload, prefix: str = "") -> Iterator[Tuple[str, float]]:
+    """Flatten a BENCH payload to dotted-path numeric leaves."""
+    if isinstance(payload, dict):
+        for key, value in sorted(payload.items()):
+            yield from iter_metrics(value, f"{prefix}{key}.")
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            yield from iter_metrics(value, f"{prefix}{index}.")
+    elif isinstance(payload, bool):
+        return
+    elif isinstance(payload, (int, float)):
+        yield prefix.rstrip("."), float(payload)
+
+
+def direction(metric: str) -> int:
+    """-1 lower-is-better, +1 higher-is-better, 0 informational."""
+    leaf = metric.rsplit(".", 1)[-1]
+    # Descriptive measurements, not costs: the controller's step-size range
+    # and reference values move freely without being better or worse.
+    if leaf.endswith(("_step_s", "_ref_s")):
+        return 0
+    if leaf.endswith(HIGHER_IS_BETTER) or leaf in HIGHER_IS_BETTER:
+        return 1
+    if leaf.endswith(LOWER_IS_BETTER):
+        return -1
+    return 0
+
+
+def load_directory(directory: str) -> Dict[str, Dict[str, float]]:
+    """All BENCH_*.json files in a directory, flattened per file."""
+    found: Dict[str, Dict[str, float]] = {}
+    if not os.path.isdir(directory):
+        return found
+    for name in sorted(os.listdir(directory)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        try:
+            with open(os.path.join(directory, name), encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"  ! could not read {name}: {error}")
+            continue
+        found[name] = dict(iter_metrics(payload))
+    return found
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="directory with this run's BENCH_*.json")
+    parser.add_argument("previous", help="directory with the previous run's artifacts")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="relative worsening that triggers a warning (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_directory(args.current)
+    previous = load_directory(args.previous)
+    if not current:
+        print(f"no BENCH_*.json artifacts in {args.current!r}; nothing to compare")
+        return 0
+    if not previous:
+        print(
+            f"no previous artifacts in {args.previous!r} (first run, or the "
+            "download failed); skipping the trend diff"
+        )
+        return 0
+
+    warnings = 0
+    for filename, metrics in current.items():
+        baseline = previous.get(filename)
+        header = f"== {filename}"
+        if baseline is None:
+            print(f"{header} (new benchmark — no previous run)")
+            continue
+        print(header)
+        for metric, value in metrics.items():
+            old = baseline.get(metric)
+            if old is None:
+                print(f"   {metric}: {value:g} (new metric)")
+                continue
+            if old == 0.0:
+                delta_text = "prev 0"
+                worsened = False
+            else:
+                delta = (value - old) / abs(old)
+                sign = direction(metric)
+                worsened = sign != 0 and sign * delta < -args.threshold
+                delta_text = f"{delta:+.1%}"
+            flag = "  <-- WARNING: regression" if worsened else ""
+            if worsened or abs(value - old) > 1e-12 * max(abs(value), abs(old), 1.0):
+                print(f"   {metric}: {old:g} -> {value:g} ({delta_text}){flag}")
+            if worsened:
+                warnings += 1
+        removed = sorted(set(baseline) - set(metrics))
+        for metric in removed:
+            print(f"   {metric}: removed (was {baseline[metric]:g})")
+
+    if warnings:
+        print(
+            f"\n{warnings} metric(s) worsened by more than "
+            f"{args.threshold:.0%} — see warnings above (non-blocking)"
+        )
+    else:
+        print("\nno regressions beyond the warning threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

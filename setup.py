@@ -1,11 +1,33 @@
-"""Setup shim.
+"""Package metadata (kept in setup.py for offline editable installs).
 
-The project is fully described by ``pyproject.toml``; this file exists so the
-package can be installed in editable mode in offline environments whose
-setuptools lacks the PEP 660 editable-wheel path (``pip install -e .
---no-use-pep517 --no-build-isolation``).
+The environments this repository targets often lack the PEP 660
+editable-wheel path, so the project is installable with
+``pip install -e . --no-use-pep517 --no-build-isolation``.
+
+Only NumPy is required.  The sparse linear-solver backend
+(:class:`repro.spice.solvers.SparseSolver`) additionally needs SciPy and is
+published as the ``sparse`` extra — ``pip install repro[sparse]``; without
+it, the dense and batched backends work unchanged and the sparse backend
+fails at construction with an actionable message (the test-suite skips its
+cases), so a SciPy-free install stays fully functional.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-lattice-spice",
+    version="0.3.0",
+    description=(
+        "Reproduction of a DATE'19 switching-lattice logic paper: TCAD-style "
+        "device characterization, lattice synthesis and a compiled SPICE "
+        "engine with pluggable linear-solver backends"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        "sparse": ["scipy"],
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+)

@@ -23,7 +23,11 @@ from repro.circuits.sizing import (
     extract_square_device_parameters,
     switch_model_from_spec,
 )
-from repro.circuits.lattice_netlist import LatticeCircuit, build_lattice_circuit
+from repro.circuits.lattice_netlist import (
+    LatticeCircuit,
+    build_lattice_circuit,
+    build_scalability_bench,
+)
 from repro.circuits.complementary import (
     ComplementaryLatticeCircuit,
     build_complementary_lattice_circuit,
@@ -50,6 +54,7 @@ __all__ = [
     "switch_model_from_spec",
     "LatticeCircuit",
     "build_lattice_circuit",
+    "build_scalability_bench",
     "ComplementaryLatticeCircuit",
     "build_complementary_lattice_circuit",
     "complement_lattice",

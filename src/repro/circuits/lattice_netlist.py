@@ -156,6 +156,7 @@ def build_lattice_circuit(
     output_capacitance_f: float = DEFAULT_OUTPUT_CAPACITANCE_F,
     node_capacitance_f: float = DEFAULT_NODE_CAPACITANCE_F,
     title: Optional[str] = None,
+    shared_gate_drive: bool = False,
 ) -> LatticeCircuit:
     """Build the pull-up-resistor lattice circuit of Section V.
 
@@ -177,9 +178,24 @@ def build_lattice_circuit(
         Constant input values for DC analyses.
     supply_v, pullup_ohm, output_capacitance_f, node_capacitance_f:
         Circuit constants (paper defaults).
+    shared_gate_drive:
+        Large-lattice construction path for static (DC) studies: literals
+        that resolve to the same logic level share one gate node and one
+        voltage source instead of getting one source each.  An N x N
+        identity lattice carries N^2 distinct literals, so per-literal
+        sources add N^2 nodes *and* N^2 MNA branch rows that only ever sit
+        at one of two levels; sharing collapses them to at most two, which
+        shrinks the system the linear solver sees.  Only valid with a
+        static assignment (or no stimulus at all); ``gate_sources`` then
+        maps every literal to its shared source.
     """
     if input_sequence is not None and static_assignment is not None:
         raise ValueError("give either an input sequence or a static assignment, not both")
+    if shared_gate_drive and input_sequence is not None:
+        raise ValueError(
+            "shared_gate_drive collapses same-level gate nodes and is only "
+            "valid for static (DC) drive, not with an input sequence"
+        )
     if model is None:
         model = default_switch_model()
 
@@ -190,7 +206,8 @@ def build_lattice_circuit(
     Resistor(circuit, "r_pullup", SUPPLY_NODE, OUTPUT_NODE, pullup_ohm)
     Capacitor(circuit, "c_out", OUTPUT_NODE, GROUND, output_capacitance_f)
 
-    # Gate drive: one node + source per literal that appears in the lattice.
+    # Gate drive: one node + source per literal that appears in the lattice
+    # (or one per distinct static level on the shared-drive path).
     literals_used = sorted(
         {str(switch) for _, switch in lattice.switches() if not switch.is_constant}
     )
@@ -198,25 +215,48 @@ def build_lattice_circuit(
     waveforms: Dict[str, Waveform] = {}
     if input_sequence is not None:
         waveforms = dict(input_waveforms(input_sequence))
-    for literal_text in literals_used:
-        gate_node = _gate_node_name(literal_text)
-        if input_sequence is not None:
-            if literal_text not in waveforms:
-                raise ValueError(
-                    f"the input sequence does not drive literal {literal_text!r}"
+
+    def static_level(literal_text: str) -> float:
+        if static_assignment is None:
+            return 0.0
+        literal = Literal.parse(literal_text)
+        if literal.variable not in static_assignment:
+            raise ValueError(f"static assignment is missing input {literal.variable!r}")
+        logic = bool(static_assignment[literal.variable]) ^ literal.negated
+        return supply_v if logic else 0.0
+
+    gate_nodes: Dict[str, str] = {}
+    if shared_gate_drive:
+        shared_by_level: Dict[float, VoltageSource] = {}
+        shared_node_by_level: Dict[float, str] = {}
+        for literal_text in literals_used:
+            level = static_level(literal_text)
+            source = shared_by_level.get(level)
+            if source is None:
+                tag = "hi" if level > 0.0 else "lo"
+                node_name = f"g_shared_{tag}"
+                source = VoltageSource(
+                    circuit, f"vg_shared_{tag}", node_name, GROUND, DC(level)
                 )
-            value: Waveform = waveforms[literal_text]
-        elif static_assignment is not None:
-            literal = Literal.parse(literal_text)
-            if literal.variable not in static_assignment:
-                raise ValueError(f"static assignment is missing input {literal.variable!r}")
-            logic = bool(static_assignment[literal.variable]) ^ literal.negated
-            value = DC(supply_v if logic else 0.0)
-        else:
-            value = DC(0.0)
-        gate_sources[literal_text] = VoltageSource(
-            circuit, f"vg_{_sanitize(literal_text)}", gate_node, GROUND, value
-        )
+                shared_by_level[level] = source
+                shared_node_by_level[level] = node_name
+            gate_sources[literal_text] = source
+            gate_nodes[literal_text] = shared_node_by_level[level]
+    else:
+        for literal_text in literals_used:
+            gate_node = _gate_node_name(literal_text)
+            if input_sequence is not None:
+                if literal_text not in waveforms:
+                    raise ValueError(
+                        f"the input sequence does not drive literal {literal_text!r}"
+                    )
+                value: Waveform = waveforms[literal_text]
+            else:
+                value = DC(static_level(literal_text))
+            gate_sources[literal_text] = VoltageSource(
+                circuit, f"vg_{_sanitize(literal_text)}", gate_node, GROUND, value
+            )
+            gate_nodes[literal_text] = gate_node
 
     # Switches.
     terminal_nodes: Dict[Cell, Dict[str, str]] = {}
@@ -228,7 +268,7 @@ def build_lattice_circuit(
         if switch.is_constant:
             gate_node = SUPPLY_NODE  # constant 1: gate hard-wired to the supply
         else:
-            gate_node = _gate_node_name(str(switch))
+            gate_node = gate_nodes[str(switch)]
         add_four_terminal_switch(
             circuit,
             f"x_{cell[0]}_{cell[1]}",
@@ -259,6 +299,48 @@ def build_lattice_circuit(
         gate_sources=gate_sources,
         input_sequence=input_sequence,
         terminal_nodes=terminal_nodes,
+    )
+
+
+def build_scalability_bench(
+    rows: int,
+    cols: Optional[int] = None,
+    model: Optional[FourTerminalSwitchModel] = None,
+    on_variables: float = 0.5,
+    shared_gate_drive: bool = True,
+    node_capacitance_f: float = DEFAULT_NODE_CAPACITANCE_F,
+    **kwargs,
+) -> LatticeCircuit:
+    """A size-parameterized lattice circuit for solver-scaling studies.
+
+    Builds the Section-V circuit around an *identity* lattice (every cell a
+    distinct variable), which scales the MNA system roughly with
+    ``rows * cols`` switch models — the knob the dense/sparse solver
+    crossover benchmark sweeps.  The first ``on_variables`` fraction of the
+    variables (in lattice order) is driven high, the rest low, giving a
+    mixed conducting/cut-off network representative of real lattice
+    operating points.
+
+    Uses the :func:`build_lattice_circuit` shared-gate-drive construction
+    path by default, so the gate-source population does not balloon the
+    unknown vector with one branch row per literal.
+    """
+    if cols is None:
+        cols = rows
+    lattice = Lattice.identity(rows, cols)
+    variables = lattice.variables()
+    on_count = int(round(on_variables * len(variables)))
+    assignment = {
+        variable: index < on_count for index, variable in enumerate(variables)
+    }
+    return build_lattice_circuit(
+        lattice,
+        model=model,
+        static_assignment=assignment,
+        shared_gate_drive=shared_gate_drive,
+        node_capacitance_f=node_capacitance_f,
+        title=f"scalability_{rows}x{cols}",
+        **kwargs,
     )
 
 

@@ -103,6 +103,9 @@ def run_fig11(
     step_duration_s: float = 100e-9,
     timestep_s: float = 1e-9,
     gray_order: bool = False,
+    adaptive: bool = False,
+    solver=None,
+    **transient_kwargs,
 ) -> Fig11Result:
     """Run the Fig. 11 transient experiment.
 
@@ -115,9 +118,14 @@ def run_fig11(
     supply_v / pullup_ohm:
         Circuit constants (paper defaults: 1.2 V, 500 kOhm).
     step_duration_s / timestep_s:
-        Stimulus step length and transient timestep.
+        Stimulus step length and transient timestep (the initial step when
+        adaptive).
     gray_order:
         Drive the inputs in Gray-code order instead of counting order.
+    adaptive / solver / transient_kwargs:
+        Passed through to the engine's transient analysis: the LTE step
+        controller and the linear-solver backend (see
+        :func:`repro.spice.transient.transient_analysis`).
     """
     if lattice is None:
         lattice = xor3_lattice_3x3()
@@ -135,7 +143,9 @@ def run_fig11(
         supply_v=supply_v,
         pullup_ohm=pullup_ohm,
     )
-    transient = bench.run_transient(timestep_s=timestep_s)
+    transient = bench.run_transient(
+        timestep_s=timestep_s, adaptive=adaptive, solver=solver, **transient_kwargs
+    )
 
     vout = transient.voltage(bench.output_node)
     levels = steady_state_levels(transient.time_s, vout)

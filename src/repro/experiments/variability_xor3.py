@@ -77,6 +77,8 @@ def delay_metrics_trial(
     output_index: int = 0,
     stop_time_s: float = 120e-9,
     timestep_s: float = 1e-9,
+    adaptive: bool = False,
+    lte_tolerance_v: float = 2e-3,
 ) -> Dict[str, float]:
     """One Monte-Carlo trial: transient solve plus edge/level extraction.
 
@@ -84,8 +86,15 @@ def delay_metrics_trial(
     process-pool workers can unpickle it.  Returns the metrics the study
     aggregates; a waveform that never completes an edge reports ``nan`` for
     that delay, which the aggregation layer counts against yield.
+
+    ``adaptive=True`` routes the per-trial transient through the engine's
+    LTE step-size controller, which cuts the step count on the long settled
+    stretches of the toggle stimulus — the dominant per-trial cost of a
+    variability study.
     """
-    transient = engine.solve_transient(stop_time_s, timestep_s)
+    transient = engine.solve_transient(
+        stop_time_s, timestep_s, adaptive=adaptive, lte_tolerance_v=lte_tolerance_v
+    )
     vout = transient.solutions[:, output_index]
     levels = steady_state_levels(transient.time_s, vout)
     rises, falls = edge_times(transient.time_s, vout, levels)
@@ -189,6 +198,8 @@ def run_variability_xor3(
     pullup_ohm: float = 500e3,
     step_duration_s: float = 40e-9,
     timestep_s: float = 1e-9,
+    adaptive: bool = False,
+    lte_tolerance_v: float = 2e-3,
 ) -> VariabilityResult:
     """Run the XOR3 variability study.
 
@@ -210,6 +221,10 @@ def run_variability_xor3(
     step_duration_s / timestep_s:
         Stimulus step length and transient timestep of the reduced
         one-input toggle stimulus.
+    adaptive / lte_tolerance_v:
+        Route every per-trial transient through the engine's adaptive step
+        controller (``timestep_s`` becomes the initial step); cuts the
+        per-trial step count on the settled stretches of the stimulus.
     """
     if lattice is None:
         lattice = xor3_lattice_3x3()
@@ -229,6 +244,8 @@ def run_variability_xor3(
         output_index=bench.circuit.node_index(bench.output_node),
         stop_time_s=sequence.total_duration_s,
         timestep_s=timestep_s,
+        adaptive=adaptive,
+        lte_tolerance_v=lte_tolerance_v,
     )
 
     from repro.spice.engine import get_engine

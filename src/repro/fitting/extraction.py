@@ -14,7 +14,6 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
-from scipy.optimize import least_squares
 
 from repro.fitting.level1 import Level1Parameters, level1_current_array
 
@@ -116,6 +115,14 @@ def fit_level1_parameters(
         )
         model = level1_current_array(params, vgs, vds)
         return (model - ids) / scale
+
+    try:
+        from scipy.optimize import least_squares
+    except ImportError as error:  # pragma: no cover - depends on environment
+        raise ImportError(
+            "level-1 parameter extraction needs scipy; install the optional "
+            "extra (pip install scipy, or this package's [sparse] extra)"
+        ) from error
 
     theta0 = np.array([initial.kp_a_per_v2, initial.vth_v, initial.lambda_per_v])
     bounds = (np.array([1e-12, -10.0, 0.0]), np.array([1.0, 10.0, 2.0]))

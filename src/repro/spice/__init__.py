@@ -15,11 +15,21 @@ analysis engine:
   Newton iteration assembles the Jacobian/RHS with vectorized ``np.add.at``
   scatter; :class:`~repro.spice.engine.AnalysisEngine` owns the one Newton
   loop in the package plus its gmin-stepping and source-stepping fallbacks;
-* :mod:`repro.spice.waveforms` — DC, pulse and piecewise-linear stimuli;
+* :mod:`repro.spice.solvers` — the *solver seam*: pluggable
+  :class:`~repro.spice.solvers.LinearSolver` backends behind every Newton
+  iteration's linear solve — dense LAPACK (default), sparse SuperLU reusing
+  the compiled sparsity pattern (large lattices; optional scipy), and a
+  batched dense backend solving stacked ``(trials, n, n)`` systems in one
+  call.  Every analysis accepts ``solver="dense" | "sparse" | "batched"``
+  (or an instance);
+* :mod:`repro.spice.waveforms` — DC, pulse and piecewise-linear stimuli
+  (with breakpoint reporting for the adaptive transient controller);
 * :mod:`repro.spice.montecarlo` — Monte-Carlo variability analysis on the
   compiled engine: seeded distributions perturb the compiled parameter
-  arrays in place (no netlist re-walk per trial) and trials shard across a
-  process pool with deterministic per-trial substreams.
+  arrays in place (no netlist re-walk per trial), trials shard across a
+  process pool with deterministic per-trial substreams, and same-pattern
+  DC trials solve as one stacked batch through the batched backend
+  (:meth:`~repro.spice.montecarlo.MonteCarloEngine.run_batched_dc`).
 
 The analyses are thin frontends over the engine:
 
@@ -34,7 +44,11 @@ The analyses are thin frontends over the engine:
   with per-point continuation;
 * :func:`~repro.spice.transient.transient_analysis` — backward-Euler /
   trapezoidal transient with per-step Newton iteration, returning a
-  :class:`~repro.spice.transient.TransientResult`.
+  :class:`~repro.spice.transient.TransientResult`; ``adaptive=True``
+  switches the fixed-step march to an LTE-controlled step-size controller
+  (accept/reject with min/max clamps, stimulus breakpoints never skipped),
+  with per-run step-acceptance statistics on the result's
+  :class:`~repro.spice.transient.TransientConvergenceInfo`.
 
 Typical use::
 
@@ -67,9 +81,26 @@ from repro.spice.engine import (
     get_engine,
     sweep_many,
 )
-from repro.spice.dcop import ConvergenceInfo, OperatingPoint, dc_operating_point
+from repro.spice.solvers import (
+    BatchedDenseSolver,
+    DenseSolver,
+    LinearSolver,
+    SparseSolver,
+    available_backends,
+    get_solver,
+)
+from repro.spice.dcop import (
+    BatchedOperatingPoints,
+    ConvergenceInfo,
+    OperatingPoint,
+    dc_operating_point,
+)
 from repro.spice.dcsweep import DCSweepResult, dc_sweep
-from repro.spice.transient import TransientResult, transient_analysis
+from repro.spice.transient import (
+    TransientConvergenceInfo,
+    TransientResult,
+    transient_analysis,
+)
 from repro.spice.montecarlo import (
     Distribution,
     Gaussian,
@@ -101,6 +132,12 @@ __all__ = [
     "PERTURBABLE_PARAMETERS",
     "get_engine",
     "sweep_many",
+    "LinearSolver",
+    "DenseSolver",
+    "SparseSolver",
+    "BatchedDenseSolver",
+    "get_solver",
+    "available_backends",
     "Distribution",
     "Gaussian",
     "Uniform",
@@ -110,9 +147,11 @@ __all__ = [
     "parallel_sweep_many",
     "ConvergenceInfo",
     "OperatingPoint",
+    "BatchedOperatingPoints",
     "dc_operating_point",
     "DCSweepResult",
     "dc_sweep",
     "TransientResult",
+    "TransientConvergenceInfo",
     "transient_analysis",
 ]

@@ -9,13 +9,14 @@ result type.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.spice.netlist import AnalysisState, Circuit
 from repro.spice.elements.sources import VoltageSource
 from repro.spice.engine import get_engine
+from repro.spice.solvers import LinearSolver
 
 
 @dataclass(frozen=True)
@@ -102,6 +103,75 @@ class OperatingPoint:
         return AnalysisState(solution=self.solution.copy())
 
 
+@dataclass
+class BatchedOperatingPoints:
+    """Stacked DC solutions of many same-pattern trials (one solve batch).
+
+    Produced by :meth:`repro.spice.engine.AnalysisEngine.solve_dc_batched`:
+    all trials share the circuit topology, differing only in their compiled
+    parameter stacks, and the accessors extract whole per-trial columns at
+    once.
+
+    Attributes
+    ----------
+    circuit:
+        The analysed circuit.
+    solutions:
+        ``(trials, n)`` stack of MNA solutions, one row per trial.
+    iterations / converged / max_residuals:
+        Per-trial Newton statistics (arrays of length ``trials``).
+    strategies:
+        Per-trial convergence strategy: ``"batched-newton"`` for trials the
+        stacked Newton converged, otherwise the serial fallback's strategy
+        (``"newton"`` / ``"gmin-stepping"`` / ``"source-stepping"`` /
+        ``"failed"``).
+    """
+
+    circuit: Circuit
+    solutions: np.ndarray
+    iterations: np.ndarray
+    converged: np.ndarray
+    max_residuals: np.ndarray
+    strategies: Tuple[str, ...]
+
+    def __len__(self) -> int:
+        return self.solutions.shape[0]
+
+    @property
+    def all_converged(self) -> bool:
+        return bool(self.converged.all())
+
+    def voltage(self, node_name: str) -> np.ndarray:
+        """Voltage of a named node across all trials [V]."""
+        index = self.circuit.node_index(node_name)
+        if index < 0:
+            return np.zeros(len(self))
+        return self.solutions[:, index].copy()
+
+    def source_current(self, source: "VoltageSource | str") -> np.ndarray:
+        """Current through a voltage source across all trials [A]."""
+        if isinstance(source, str):
+            source = self.circuit.element(source)
+        if not isinstance(source, VoltageSource):
+            raise TypeError("source_current expects a VoltageSource or its name")
+        return self.solutions[:, source.branch_position(self.circuit)].copy()
+
+    def point(self, trial: int) -> OperatingPoint:
+        """One trial's result as an ordinary :class:`OperatingPoint`."""
+        return OperatingPoint(
+            circuit=self.circuit,
+            solution=self.solutions[trial],
+            iterations=int(self.iterations[trial]),
+            converged=bool(self.converged[trial]),
+            max_residual=float(self.max_residuals[trial]),
+            convergence_info=ConvergenceInfo(
+                strategy=self.strategies[trial],
+                iterations=int(self.iterations[trial]),
+                final_max_update_v=float(self.max_residuals[trial]),
+            ),
+        )
+
+
 def dc_operating_point(
     circuit: Circuit,
     initial_guess: Optional[np.ndarray] = None,
@@ -110,6 +180,7 @@ def dc_operating_point(
     gmin: float = 1e-9,
     damping_v: float = 0.6,
     time_s: float = 0.0,
+    solver: Union[None, str, LinearSolver] = None,
 ) -> OperatingPoint:
     """Solve the DC operating point of ``circuit`` by Newton-Raphson iteration.
 
@@ -137,6 +208,10 @@ def dc_operating_point(
     time_s:
         Time at which time-dependent sources are evaluated (used by the
         transient analysis to reuse this routine for its initial point).
+    solver:
+        Linear-solver backend for the Newton solves (a name such as
+        ``"sparse"`` or a :class:`~repro.spice.solvers.LinearSolver`
+        instance; the engine default when omitted).
     """
     return get_engine(circuit).solve_dc(
         initial_guess=initial_guess,
@@ -145,4 +220,5 @@ def dc_operating_point(
         gmin=gmin,
         damping_v=damping_v,
         time_s=time_s,
+        solver=solver,
     )

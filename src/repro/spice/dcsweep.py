@@ -117,6 +117,7 @@ def dc_sweep(
     values: Sequence[float],
     gmin: float = 1e-12,
     max_iterations: int = 200,
+    solver=None,
 ) -> DCSweepResult:
     """Sweep an independent source and solve the operating point at each value.
 
@@ -126,7 +127,11 @@ def dc_sweep(
     (continuation), which is both faster and more robust than starting from
     zero for every value.  See :func:`repro.spice.engine.sweep_many` for
     running a whole family of sweeps through one compiled circuit.
+
+    ``solver`` selects the linear-solver backend for every point (a name
+    such as ``"sparse"`` or a :class:`~repro.spice.solvers.LinearSolver`
+    instance; the engine default when omitted).
     """
     return get_engine(circuit).dc_sweep(
-        source, values, gmin=gmin, max_iterations=max_iterations
+        source, values, gmin=gmin, max_iterations=max_iterations, solver=solver
     )

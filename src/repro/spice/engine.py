@@ -32,6 +32,14 @@ Compilation notes
 Use :func:`get_engine` to obtain the engine cached on a circuit; the
 ``dc_operating_point`` / ``dc_sweep`` / ``transient_analysis`` frontends are
 thin wrappers over it and remain the stable public API.
+
+Solver seam
+-----------
+The final linear solve of every Newton iteration goes through a pluggable
+:class:`~repro.spice.solvers.LinearSolver` backend (dense LAPACK by default,
+sparse SuperLU for large lattices, a batched dense backend for stacked
+Monte-Carlo trials).  Every analysis accepts ``solver=`` (a backend name or
+instance); see :mod:`repro.spice.solvers`.
 """
 
 from __future__ import annotations
@@ -45,6 +53,7 @@ from repro.spice.elements.capacitor import Capacitor
 from repro.spice.elements.mosfet import MOSFET
 from repro.spice.elements.resistor import Resistor
 from repro.spice.elements.sources import CurrentSource, VoltageSource
+from repro.spice.solvers import LinearSolver, get_solver
 
 #: gmin ladder of the gmin-stepping fallback (relaxed decade by decade).
 GMIN_LADDER: Tuple[float, ...] = (1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8)
@@ -555,6 +564,162 @@ class CompiledCircuit:
             minlength=ghost,
         )
 
+    # ------------------------------------------------------------------ #
+    # batched assembly (stacked Monte-Carlo trials)
+    # ------------------------------------------------------------------ #
+
+    def assemble_batched(
+        self,
+        solutions: np.ndarray,
+        params: Optional[Mapping[str, np.ndarray]] = None,
+        gmin: float = 1e-9,
+        time_s: float = 0.0,
+        source_scale: float = 1.0,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Assemble ``(trials, n, n)`` DC systems for stacked parameter sets.
+
+        ``solutions`` is the ``(trials, n)`` stack of Newton iterates;
+        ``params`` maps perturbable parameter names (see
+        :data:`PERTURBABLE_PARAMETERS`) to ``(trials, count)`` stacks — any
+        parameter not given uses the compiled (possibly overlaid) value
+        vector for every trial.  The per-trial arithmetic mirrors
+        :meth:`assemble` operation for operation, so a trial's assembled
+        system is bit-identical to a serial assembly with the same
+        parameters; this is what makes the batched Monte-Carlo path
+        reproduce the per-trial path exactly.
+
+        DC only (no capacitor companion models), and circuits with custom
+        (compatibility-path) elements are rejected — their ``stamp()``
+        cannot be vectorized across trials.
+        """
+        if self.custom_elements:
+            raise ValueError(
+                "batched assembly does not support custom (stamp-path) elements; "
+                "run these circuits through the per-trial path"
+            )
+        params = dict(params or {})
+        solutions = np.asarray(solutions, dtype=float)
+        if solutions.ndim != 2 or solutions.shape[1] != self.size:
+            raise ValueError(
+                f"solutions stack has shape {solutions.shape}, expected "
+                f"(trials, {self.size})"
+            )
+        trials = solutions.shape[0]
+        ghost = self._ghost
+        cells = ghost * ghost
+        trial_offsets = np.arange(trials)[:, None]
+
+        # Static part: resistors + voltage-source branch structure, exactly
+        # the accumulation order of the serial base matrix.
+        matrices = np.zeros((trials, ghost, ghost))
+        flat_all = matrices.reshape(-1)
+        static_idx = self._static_rows * ghost + self._static_cols
+        resistance = params.get("resistor_ohm")
+        if static_idx.size:
+            if resistance is None:
+                matrices += np.bincount(
+                    static_idx, weights=self._static_vals, minlength=cells
+                ).reshape(ghost, ghost)
+            else:
+                conductance = 1.0 / np.asarray(resistance, dtype=float)
+                n4 = 4 * len(self.resistors)
+                vals = np.broadcast_to(
+                    self._static_vals, (trials, self._static_vals.size)
+                ).copy()
+                vals[:, 0:n4:4] = conductance
+                vals[:, 1:n4:4] = conductance
+                vals[:, 2:n4:4] = -conductance
+                vals[:, 3:n4:4] = -conductance
+                flat_all += np.bincount(
+                    (trial_offsets * cells + static_idx[None, :]).ravel(),
+                    weights=vals.ravel(),
+                    minlength=trials * cells,
+                )
+        node_diag = np.arange(self.num_nodes)
+        matrices[:, node_diag, node_diag] += gmin
+
+        # Independent sources (per-trial scale stacks compose exactly like
+        # the serial vs_scale/is_scale overlay multipliers).
+        rhs = np.zeros((trials, ghost))
+        rhs_flat = rhs.reshape(-1)
+        if self.voltage_sources:
+            v_values = source_scale * np.fromiter(
+                (s.waveform.value(time_s) for s in self.voltage_sources),
+                dtype=float,
+                count=len(self.voltage_sources),
+            )
+            vs_scale = params.get("vsource_scale", self.vs_scale)
+            if vs_scale is not None:
+                v_values = v_values * vs_scale
+            rhs[:, self.vs_rows] += v_values
+        if self.current_sources:
+            i_values = source_scale * np.fromiter(
+                (s.waveform.value(time_s) for s in self.current_sources),
+                dtype=float,
+                count=len(self.current_sources),
+            )
+            is_scale = params.get("isource_scale", self.is_scale)
+            if is_scale is not None:
+                i_values = i_values * is_scale
+            i_tile = np.broadcast_to(i_values, (trials, len(self.current_sources)))
+            source_idx = np.concatenate((self.is_plus, self.is_minus))
+            weights = np.concatenate((-i_tile, i_tile), axis=1)
+            rhs_flat += np.bincount(
+                (trial_offsets * ghost + source_idx[None, :]).ravel(),
+                weights=weights.ravel(),
+                minlength=trials * ghost,
+            )
+
+        # MOSFET companion stamps, vectorized over (trials, devices).
+        if self.num_mosfets:
+            from repro.spice.elements.mosfet import evaluate_level1_arrays
+
+            padded = np.empty((trials, self.size + 1))
+            padded[:, : self.size] = solutions
+            padded[:, self.size] = 0.0
+            vd = padded[:, self.mos_d]
+            vg = padded[:, self.mos_g]
+            vs = padded[:, self.mos_s]
+            forward = vd >= vs
+            drain = np.where(forward, self.mos_d, self.mos_s)
+            source = np.where(forward, self.mos_s, self.mos_d)
+            v_source = np.where(forward, vs, vd)
+            vgs = vg - v_source
+            vds = np.abs(vd - vs)
+
+            ids, gm, gds = evaluate_level1_arrays(
+                vgs,
+                vds,
+                params.get("mos_beta", self.mos_beta),
+                params.get("mos_vth", self.mos_vth),
+                params.get("mos_lambda", self.mos_lambda),
+                self.mos_w,
+            )
+            gds = gds + self.mos_gmin
+            i_eq = ids - gm * vgs - gds * vds
+
+            gate = np.broadcast_to(self.mos_g, drain.shape)
+            rows = np.concatenate(
+                (drain, source, drain, source, drain, drain, source, source), axis=1
+            )
+            cols = np.concatenate(
+                (drain, source, source, drain, gate, source, gate, source), axis=1
+            )
+            vals = np.concatenate((gds, gds, -gds, -gds, gm, -gm, -gm, gm), axis=1)
+            flat_all += np.bincount(
+                (trial_offsets * cells + rows * ghost + cols).ravel(),
+                weights=vals.ravel(),
+                minlength=trials * cells,
+            )
+            rhs_rows = np.concatenate((drain, source), axis=1)
+            rhs_flat += np.bincount(
+                (trial_offsets * ghost + rhs_rows).ravel(),
+                weights=np.concatenate((-i_eq, i_eq), axis=1).ravel(),
+                minlength=trials * ghost,
+            )
+
+        return matrices[:, : self.size, : self.size], rhs[:, : self.size]
+
 
 class AnalysisEngine:
     """Shared Newton-Raphson solver over a compiled circuit.
@@ -569,13 +734,32 @@ class AnalysisEngine:
     * :meth:`sweep_many` — a family of sweeps through one compiled circuit
       (per-point continuation inside each family, the previous family's
       solution seeding the next);
-    * :meth:`solve_transient` — fixed-step integration with per-step Newton
-      iteration and vectorized capacitor history updates.
+    * :meth:`solve_transient` — fixed-step or adaptive (LTE-controlled)
+      integration with per-step Newton iteration and vectorized capacitor
+      history updates;
+    * :meth:`solve_dc_batched` — stacked same-pattern operating points
+      (Monte-Carlo trials) solved in batched LAPACK calls.
+
+    Every linear solve routes through the engine's pluggable
+    :class:`~repro.spice.solvers.LinearSolver` backend (``solver=`` on each
+    analysis overrides the default per call).
     """
 
-    def __init__(self, circuit: Circuit):
+    def __init__(self, circuit: Circuit, solver: Union[None, str, LinearSolver] = None):
         self.circuit = circuit
         self._compiled: Optional[CompiledCircuit] = None
+        #: The engine's default linear-solver backend (see
+        #: :mod:`repro.spice.solvers`); every analysis accepts a per-call
+        #: ``solver=`` override without touching this default.
+        self.solver: LinearSolver = get_solver(solver)
+
+    def set_solver(self, solver: Union[None, str, LinearSolver]) -> LinearSolver:
+        """Set (and return) the engine's default linear-solver backend."""
+        self.solver = get_solver(solver)
+        return self.solver
+
+    def _resolve_solver(self, solver: Union[None, str, LinearSolver]) -> LinearSolver:
+        return self.solver if solver is None else get_solver(solver)
 
     @property
     def compiled(self) -> CompiledCircuit:
@@ -631,14 +815,20 @@ class AnalysisEngine:
         integration: str = "be",
         source_scale: float = 1.0,
         cap_history: Optional[np.ndarray] = None,
+        solver: Optional[LinearSolver] = None,
     ) -> Tuple[np.ndarray, int, bool, float]:
         """One Newton-Raphson run; returns (solution, iterations, converged, max_update).
 
-        A singular Jacobian bumps ``gmin`` an order of magnitude and retries
-        instead of raising, so structurally defective circuits report
-        non-convergence rather than blowing up the caller.
+        The linear solve of each iteration goes through ``solver`` (the
+        engine's default backend when omitted).  A singular Jacobian bumps
+        ``gmin`` an order of magnitude and retries instead of raising, so
+        structurally defective circuits report non-convergence rather than
+        blowing up the caller.
         """
         compiled = self.compiled
+        if solver is None:
+            solver = self.solver
+        solver.bind(compiled)
         converged = False
         max_update = float("inf")
         iteration = 0
@@ -656,7 +846,7 @@ class AnalysisEngine:
                 state, source_scale, cap_history, cache_base=not gmin_bumped
             )
             try:
-                new_solution = np.linalg.solve(matrix, rhs)
+                new_solution = solver.solve(matrix, rhs)
             except np.linalg.LinAlgError:
                 gmin = max(gmin * 10.0, 1e-12)
                 gmin_bumped = True
@@ -687,6 +877,7 @@ class AnalysisEngine:
         damping_v: float = 0.6,
         time_s: float = 0.0,
         refresh: bool = True,
+        solver: Union[None, str, LinearSolver] = None,
     ):
         """Solve the DC operating point; returns an ``OperatingPoint``.
 
@@ -699,6 +890,9 @@ class AnalysisEngine:
         ``refresh`` re-reads element parameter values before solving so
         in-place mutations are honoured; batch drivers that refresh once up
         front (sweeps, transient) pass ``False`` for the inner solves.
+        ``solver`` selects the linear-solver backend for this solve (name or
+        :class:`~repro.spice.solvers.LinearSolver` instance; the engine's
+        default backend when omitted).
 
         The returned point carries a
         :class:`~repro.spice.dcop.ConvergenceInfo` naming the strategy that
@@ -724,6 +918,7 @@ class AnalysisEngine:
             tolerance_v=tolerance_v,
             damping_v=damping_v,
             time_s=time_s,
+            solver=self._resolve_solver(solver),
         )
         solution, iterations, converged, max_update = self._newton(
             solution, gmin=gmin, **controls
@@ -778,6 +973,212 @@ class AnalysisEngine:
         )
 
     # ------------------------------------------------------------------ #
+    # batched DC solves (stacked Monte-Carlo trials)
+    # ------------------------------------------------------------------ #
+
+    def _newton_batched(
+        self,
+        solutions: np.ndarray,
+        params: Mapping[str, np.ndarray],
+        *,
+        gmin: float,
+        max_iterations: int,
+        tolerance_v: float,
+        damping_v: float,
+        time_s: float = 0.0,
+        solver: LinearSolver,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Newton iteration over stacked systems; one linear solve per round.
+
+        Mutates and returns ``solutions`` (``(trials, n)``) together with
+        per-trial ``(iterations, converged, max_updates)`` arrays.  Each
+        trial's update sequence — assembly, solve, damping clamp,
+        convergence test — is element-for-element the same arithmetic as a
+        serial :meth:`_newton` run with that trial's parameters, and a trial
+        is frozen the moment it converges, so batched results match the
+        per-trial path bit for bit.  A singular system anywhere in the
+        stack ends the batched run early; the affected trials stay
+        unconverged for the caller's per-trial fallback.
+        """
+        compiled = self.compiled
+        trials = solutions.shape[0]
+        iterations = np.zeros(trials, dtype=int)
+        converged = np.zeros(trials, dtype=bool)
+        max_updates = np.full(trials, np.inf)
+        active = np.ones(trials, dtype=bool)
+        solver.bind(compiled)
+        for iteration in range(1, max_iterations + 1):
+            index = np.flatnonzero(active)
+            subset = {name: stack[index] for name, stack in params.items()}
+            matrices, rhs = compiled.assemble_batched(
+                solutions[index], subset, gmin=gmin, time_s=time_s
+            )
+            try:
+                new_solutions = solver.solve_batched(matrices, rhs)
+            except np.linalg.LinAlgError:
+                # One singular trial poisons the whole stacked solve; hand
+                # the still-active trials to the caller's serial fallback,
+                # which retries each with the full gmin/source ladders.
+                break
+            update = new_solutions - solutions[index]
+            updates_max = (
+                np.max(np.abs(update), axis=1) if update.size else np.zeros(len(index))
+            )
+            update = np.clip(update, -damping_v, damping_v)
+            solutions[index] = solutions[index] + update
+            iterations[index] = iteration
+            max_updates[index] = updates_max
+            done = updates_max < tolerance_v
+            if done.any():
+                converged[index[done]] = True
+                active[index[done]] = False
+            if not active.any():
+                break
+        return solutions, iterations, converged, max_updates
+
+    def solve_dc_batched(
+        self,
+        params: Optional[Mapping[str, np.ndarray]] = None,
+        trials: Optional[int] = None,
+        initial_guess: Optional[np.ndarray] = None,
+        max_iterations: int = 300,
+        tolerance_v: float = 1e-7,
+        gmin: float = 1e-9,
+        damping_v: float = 0.6,
+        time_s: float = 0.0,
+        refresh: bool = True,
+        solver: Union[None, str, LinearSolver] = "batched",
+    ):
+        """Solve many same-pattern DC operating points in stacked batches.
+
+        ``params`` maps perturbable parameter names (see
+        :data:`PERTURBABLE_PARAMETERS`) to ``(trials, count)`` stacks — one
+        row per trial; parameters not given keep the compiled values for
+        every trial.  This is the Monte-Carlo fast path: all trials share
+        one compiled structure and every Newton round solves the whole
+        stack in a single batched LAPACK call instead of ``trials`` separate
+        dense solves.
+
+        ``initial_guess`` may be one ``(n,)`` vector (shared warm start) or
+        a ``(trials, n)`` stack.  Trials the plain batched Newton cannot
+        converge fall back to the serial :meth:`solve_dc` — with its full
+        gmin-stepping and source-stepping ladders — one by one, so the
+        result quality matches the per-trial path exactly.
+
+        Returns a :class:`~repro.spice.dcop.BatchedOperatingPoints`.
+        """
+        from repro.spice.dcop import BatchedOperatingPoints
+
+        circuit = self.circuit
+        if circuit.system_size == 0:
+            raise ValueError("the circuit has no unknowns to solve for")
+        compiled = self.compiled
+        if refresh:
+            compiled.refresh_values()
+        lengths = compiled._parameter_lengths()
+        stacks: Dict[str, np.ndarray] = {}
+        count = trials
+        for name, stack in (params or {}).items():
+            if name not in lengths:
+                raise ValueError(
+                    f"unknown parameter {name!r}; expected one of {PERTURBABLE_PARAMETERS}"
+                )
+            array = np.asarray(stack, dtype=float)
+            if array.ndim != 2 or array.shape[1] != lengths[name]:
+                raise ValueError(
+                    f"{name!r} stack has shape {array.shape}, expected "
+                    f"(trials, {lengths[name]})"
+                )
+            if count is None:
+                count = array.shape[0]
+            elif array.shape[0] != count:
+                raise ValueError(
+                    f"inconsistent trial counts: {name!r} has {array.shape[0]} rows, "
+                    f"expected {count}"
+                )
+            stacks[name] = array
+        if count is None:
+            raise ValueError("pass trials= when params carries no parameter stacks")
+        if count <= 0:
+            raise ValueError("at least one trial is required")
+
+        size = circuit.system_size
+        if initial_guess is None:
+            solutions = np.zeros((count, size))
+            guess_row = None
+        else:
+            guess = np.asarray(initial_guess, dtype=float)
+            if guess.shape == (size,):
+                solutions = np.tile(guess, (count, 1))
+                guess_row = guess
+            elif guess.shape == (count, size):
+                solutions = guess.copy()
+                guess_row = None
+            else:
+                raise ValueError(
+                    f"initial guess has shape {guess.shape}, expected ({size},) "
+                    f"or ({count}, {size})"
+                )
+        original_guesses = solutions.copy()
+
+        resolved = self._resolve_solver(solver)
+        solutions, iterations, converged, residuals = self._newton_batched(
+            solutions,
+            stacks,
+            gmin=gmin,
+            max_iterations=max_iterations,
+            tolerance_v=tolerance_v,
+            damping_v=damping_v,
+            time_s=time_s,
+            solver=resolved,
+        )
+        strategies = ["batched-newton" if ok else "failed" for ok in converged]
+
+        if not converged.all():
+            # Per-trial rescue through the serial path and its ladders; the
+            # trial overlay composes on top of any active base overlay
+            # (e.g. a corner) exactly like the serial Monte-Carlo path.
+            saved_overlay = dict(compiled._overlay) if compiled._overlay else None
+            try:
+                for trial in np.flatnonzero(~converged):
+                    overlay = dict(saved_overlay or {})
+                    overlay.update(
+                        {name: stack[trial] for name, stack in stacks.items()}
+                    )
+                    if overlay:
+                        compiled.set_parameter_overlay(overlay)
+                    point = self.solve_dc(
+                        initial_guess=(
+                            guess_row if guess_row is not None else original_guesses[trial]
+                        ),
+                        max_iterations=max_iterations,
+                        tolerance_v=tolerance_v,
+                        gmin=gmin,
+                        damping_v=damping_v,
+                        time_s=time_s,
+                        refresh=False,
+                    )
+                    solutions[trial] = point.solution
+                    iterations[trial] += point.iterations
+                    converged[trial] = point.converged
+                    residuals[trial] = point.max_residual
+                    strategies[trial] = point.convergence_info.strategy
+            finally:
+                if saved_overlay is not None:
+                    compiled.set_parameter_overlay(saved_overlay)
+                else:
+                    compiled.clear_parameter_overlay()
+
+        return BatchedOperatingPoints(
+            circuit=circuit,
+            solutions=solutions,
+            iterations=iterations,
+            converged=converged,
+            max_residuals=residuals,
+            strategies=tuple(strategies),
+        )
+
+    # ------------------------------------------------------------------ #
     # DC sweeps
     # ------------------------------------------------------------------ #
 
@@ -789,6 +1190,7 @@ class AnalysisEngine:
         max_iterations: int = 200,
         warm_start: bool = True,
         initial_guess: Optional[np.ndarray] = None,
+        solver: Union[None, str, LinearSolver] = None,
     ):
         """Sweep an independent source; returns a ``DCSweepResult``.
 
@@ -805,6 +1207,7 @@ class AnalysisEngine:
             raise ValueError("at least one sweep value is required")
 
         self.compiled.refresh_values()
+        solver = self._resolve_solver(solver)
         points = []
         guess = initial_guess
         original_waveform = source.waveform
@@ -816,6 +1219,7 @@ class AnalysisEngine:
                     gmin=gmin,
                     max_iterations=max_iterations,
                     refresh=False,
+                    solver=solver,
                 )
                 points.append(point)
                 guess = point.solution.copy() if warm_start else initial_guess
@@ -831,6 +1235,7 @@ class AnalysisEngine:
         configure: Optional[Callable[[Hashable], None]] = None,
         gmin: float = 1e-12,
         max_iterations: int = 200,
+        solver: Union[None, str, LinearSolver] = None,
     ) -> Dict[Hashable, object]:
         """Run a family of DC sweeps through one compiled circuit.
 
@@ -844,6 +1249,7 @@ class AnalysisEngine:
         Returns an ordered dict of ``DCSweepResult`` keyed by label.
         """
         source = self._resolve_source(source)
+        solver = self._resolve_solver(solver)
         results: Dict[Hashable, object] = {}
         seed: Optional[np.ndarray] = None
         for label, values in families.items():
@@ -855,6 +1261,7 @@ class AnalysisEngine:
                 gmin=gmin,
                 max_iterations=max_iterations,
                 initial_guess=seed,
+                solver=solver,
             )
             results[label] = sweep
             seed = sweep.points[0].solution.copy()
@@ -880,16 +1287,34 @@ class AnalysisEngine:
         tolerance_v: float = 1e-6,
         gmin: float = 1e-9,
         use_initial_conditions: bool = False,
+        adaptive: bool = False,
+        lte_tolerance_v: float = 2e-3,
+        min_timestep_s: Optional[float] = None,
+        max_timestep_s: Optional[float] = None,
+        solver: Union[None, str, LinearSolver] = None,
     ):
-        """Fixed-step transient analysis; returns a ``TransientResult``.
+        """Transient analysis; returns a ``TransientResult``.
 
         Starts from the DC operating point at ``t = 0`` (or from zero with
         ``use_initial_conditions``) and marches with per-step Newton
         iteration; capacitor companion histories are updated vectorized
         after every accepted step.
-        """
-        from repro.spice.transient import TransientResult
 
+        With ``adaptive=False`` (the default) the march uses the fixed
+        ``timestep_s`` grid, bit-compatible with the historical behaviour.
+        With ``adaptive=True`` an LTE-based step-size controller drives the
+        march: ``timestep_s`` becomes the initial step, each step's local
+        truncation error is estimated against a polynomial predictor and
+        the step is accepted/rejected against ``lte_tolerance_v``, with the
+        step size clamped to ``[min_timestep_s, max_timestep_s]``
+        (defaulting to ``timestep_s / 64`` and ``timestep_s * 64``).  The
+        controller never steps across a source-waveform breakpoint, so
+        stimulus edges cannot be skipped however large the step grows.
+
+        Either way the result carries a
+        :class:`~repro.spice.transient.TransientConvergenceInfo` with the
+        Newton totals and the controller's step-acceptance statistics.
+        """
         if stop_time_s <= 0.0 or timestep_s <= 0.0:
             raise ValueError("stop time and timestep must be positive")
         if timestep_s > stop_time_s:
@@ -897,10 +1322,8 @@ class AnalysisEngine:
         if integration not in ("be", "trap"):
             raise ValueError("integration must be 'be' or 'trap'")
 
-        circuit = self.circuit
         compiled = self.compiled
         compiled.refresh_values()
-        cap_history = np.zeros(compiled.num_capacitors)
         for capacitor in compiled.capacitors:
             capacitor.reset()
         history_elements = [
@@ -912,19 +1335,69 @@ class AnalysisEngine:
             if callable(getattr(element, "reset", None)):
                 element.reset()
 
+        if use_initial_conditions:
+            initial_solution = self.circuit.initial_solution()
+        else:
+            initial_solution = self.solve_dc(
+                gmin=gmin, time_s=0.0, refresh=False, solver=solver
+            ).solution.copy()
+
+        resolved = self._resolve_solver(solver)
+        controls = dict(
+            max_newton_iterations=max_newton_iterations,
+            tolerance_v=tolerance_v,
+            gmin=gmin,
+            integration=integration,
+            solver=resolved,
+        )
+        if adaptive:
+            return self._transient_adaptive(
+                initial_solution,
+                stop_time_s,
+                timestep_s,
+                lte_tolerance_v=lte_tolerance_v,
+                min_timestep_s=min_timestep_s,
+                max_timestep_s=max_timestep_s,
+                history_elements=history_elements,
+                **controls,
+            )
+        return self._transient_fixed(
+            initial_solution,
+            stop_time_s,
+            timestep_s,
+            history_elements=history_elements,
+            **controls,
+        )
+
+    def _transient_fixed(
+        self,
+        initial_solution: np.ndarray,
+        stop_time_s: float,
+        timestep_s: float,
+        *,
+        max_newton_iterations: int,
+        tolerance_v: float,
+        gmin: float,
+        integration: str,
+        solver: LinearSolver,
+        history_elements: Sequence[object],
+    ):
+        """The historical fixed-step march (bit-compatible parity mode)."""
+        from repro.spice.transient import TransientConvergenceInfo, TransientResult
+
+        circuit = self.circuit
+        compiled = self.compiled
+        cap_history = np.zeros(compiled.num_capacitors)
+
         steps = int(round(stop_time_s / timestep_s))
         times = np.linspace(0.0, steps * timestep_s, steps + 1)
 
-        if use_initial_conditions:
-            current_solution = circuit.initial_solution()
-        else:
-            current_solution = self.solve_dc(
-                gmin=gmin, time_s=0.0, refresh=False
-            ).solution.copy()
-
+        current_solution = initial_solution
         solutions = np.zeros((steps + 1, circuit.system_size))
         solutions[0] = current_solution
         all_converged = True
+        newton_total = 0
+        worst_residual = 0.0
 
         cap_g = (
             compiled._capacitor_conductance(timestep_s, integration)
@@ -934,7 +1407,7 @@ class AnalysisEngine:
         previous_solution = current_solution.copy()
         for step in range(1, steps + 1):
             time = times[step]
-            solution, _, converged, _ = self._newton(
+            solution, used, converged, residual = self._newton(
                 current_solution.copy(),
                 gmin=gmin,
                 max_iterations=max_newton_iterations,
@@ -945,7 +1418,10 @@ class AnalysisEngine:
                 previous_solution=previous_solution,
                 integration=integration,
                 cap_history=cap_history if integration == "trap" else None,
+                solver=solver,
             )
+            newton_total += used
+            worst_residual = max(worst_residual, residual)
             if not converged:
                 all_converged = False
 
@@ -974,29 +1450,241 @@ class AnalysisEngine:
             previous_solution = solution.copy()
             current_solution = solution
 
-        if compiled.num_capacitors:
-            # Mirror the final companion history onto the elements so the
-            # legacy stamp path (the reference oracle) agrees with the
-            # engine's state after the run, exactly as the per-element
-            # update_history() calls used to leave it.
-            if integration == "trap":
-                final_history = cap_history
-            else:
-                now = compiled._pad(solutions[-1])
-                prev = compiled._pad(solutions[-2])
-                dv = (now[compiled.cap_a] - now[compiled.cap_b]) - (
-                    prev[compiled.cap_a] - prev[compiled.cap_b]
-                )
-                final_history = (compiled.cap_c / timestep_s) * dv
-            for capacitor, history in zip(compiled.capacitors, final_history):
-                capacitor._previous_current = float(history)
+        self._mirror_capacitor_history(
+            cap_history, solutions[-1], solutions[-2], timestep_s, integration
+        )
 
         return TransientResult(
             circuit=circuit,
             time_s=times,
             solutions=solutions,
             converged=all_converged,
+            convergence_info=TransientConvergenceInfo(
+                strategy="fixed-step",
+                newton_iterations=newton_total,
+                max_newton_residual_v=worst_residual,
+                accepted_steps=steps,
+                rejected_steps=0,
+                min_step_s=timestep_s,
+                max_step_s=timestep_s,
+            ),
         )
+
+    def _transient_adaptive(
+        self,
+        initial_solution: np.ndarray,
+        stop_time_s: float,
+        timestep_s: float,
+        *,
+        lte_tolerance_v: float,
+        min_timestep_s: Optional[float],
+        max_timestep_s: Optional[float],
+        max_newton_iterations: int,
+        tolerance_v: float,
+        gmin: float,
+        integration: str,
+        solver: LinearSolver,
+        history_elements: Sequence[object],
+    ):
+        """LTE-controlled adaptive march (accept/reject with step clamps).
+
+        The local truncation error of each candidate step is estimated as
+        the deviation of the corrector solution from a linear predictor
+        extrapolated through the two previous accepted points — the
+        standard divided-difference estimate, whose leading term matches
+        the integrator's own error order.  Steps whose estimate exceeds
+        ``lte_tolerance_v`` are rejected and retried smaller (never below
+        ``min_timestep_s``); accepted steps grow the next proposal by the
+        usual safety-factored power law.  Candidate steps are clipped so a
+        step never crosses a source-waveform breakpoint or the stop time.
+        """
+        from repro.spice.transient import TransientConvergenceInfo, TransientResult
+
+        if lte_tolerance_v <= 0.0:
+            raise ValueError("lte_tolerance_v must be positive")
+        min_step = timestep_s / 64.0 if min_timestep_s is None else min_timestep_s
+        max_step = timestep_s * 64.0 if max_timestep_s is None else max_timestep_s
+        if min_step <= 0.0:
+            raise ValueError("min_timestep_s must be positive")
+        max_step = max(max_step, min_step)
+        # Error order of the estimate: BE is first order (LTE ~ h^2), trap
+        # second order (LTE ~ h^3); the controller exponent is 1/(order+1).
+        exponent = 0.5 if integration == "be" else 1.0 / 3.0
+        safety = 0.9
+
+        circuit = self.circuit
+        compiled = self.compiled
+        cap_history = np.zeros(compiled.num_capacitors)
+        breakpoints = self._waveform_breakpoints(stop_time_s)
+
+        times: List[float] = [0.0]
+        rows: List[np.ndarray] = [initial_solution.copy()]
+        previous_solution = initial_solution.copy()
+        older_solution: Optional[np.ndarray] = None
+        previous_dt: float = 0.0
+
+        time = 0.0
+        proposal = min(timestep_s, max_step)
+        accepted = 0
+        rejected = 0
+        newton_total = 0
+        worst_residual = 0.0
+        smallest_dt = float("inf")
+        largest_dt = 0.0
+        all_converged = True
+        time_floor = np.finfo(float).eps * max(stop_time_s, 1.0)
+
+        while time < stop_time_s - time_floor:
+            dt = min(proposal, max_step, stop_time_s - time)
+            clipped = dt < proposal
+            # Land exactly on the next stimulus breakpoint instead of
+            # stepping over it (breakpoints are strictly inside (0, stop)).
+            cursor = np.searchsorted(breakpoints, time + time_floor, side="right")
+            if cursor < breakpoints.size and time + dt > breakpoints[cursor]:
+                dt = breakpoints[cursor] - time
+                clipped = True
+
+            solution, used, converged, residual = self._newton(
+                previous_solution.copy(),
+                gmin=gmin,
+                max_iterations=max_newton_iterations,
+                tolerance_v=tolerance_v,
+                damping_v=1.0,
+                time_s=time + dt,
+                timestep_s=dt,
+                previous_solution=previous_solution,
+                integration=integration,
+                cap_history=cap_history if integration == "trap" else None,
+                solver=solver,
+            )
+            newton_total += used
+            can_shrink = dt > min_step * (1.0 + 1e-12)
+
+            if not converged and can_shrink:
+                rejected += 1
+                proposal = max(min_step, dt * 0.25)
+                continue
+
+            if older_solution is not None and previous_dt > 0.0:
+                predictor = previous_solution + (dt / previous_dt) * (
+                    previous_solution - older_solution
+                )
+                error = float(np.max(np.abs(solution - predictor)))
+            else:
+                error = 0.0  # no history yet: accept the first step
+
+            if error > lte_tolerance_v and can_shrink:
+                rejected += 1
+                shrink = safety * (lte_tolerance_v / error) ** exponent
+                proposal = max(min_step, dt * min(max(shrink, 0.1), 0.9))
+                continue
+
+            # Accept.
+            if not converged:
+                all_converged = False
+            worst_residual = max(worst_residual, residual)
+            time += dt
+            times.append(time)
+            rows.append(solution.copy())
+            accepted += 1
+            smallest_dt = min(smallest_dt, dt)
+            largest_dt = max(largest_dt, dt)
+
+            if compiled.num_capacitors and integration == "trap":
+                cap_g = compiled._capacitor_conductance(dt, integration)
+                now = compiled._pad(solution)
+                prev = compiled._pad(previous_solution)
+                dv = (now[compiled.cap_a] - now[compiled.cap_b]) - (
+                    prev[compiled.cap_a] - prev[compiled.cap_b]
+                )
+                cap_history = cap_g * dv - cap_history
+            if history_elements:
+                final_state = AnalysisState(
+                    solution=solution,
+                    time_s=time,
+                    timestep_s=dt,
+                    previous_solution=previous_solution,
+                    integration=integration,
+                    gmin=gmin,
+                )
+                for element in history_elements:
+                    element.update_history(final_state)
+
+            older_solution = previous_solution
+            previous_dt = dt
+            previous_solution = solution
+            if error > 0.0:
+                growth = safety * (lte_tolerance_v / error) ** exponent
+                grown = dt * min(max(growth, 0.2), 2.0)
+            else:
+                grown = dt * 2.0
+            # A breakpoint/stop-clipped step says nothing about the LTE the
+            # controller's preferred step would produce — keep the proposal.
+            proposal = min(max_step, max(min_step, max(grown, proposal) if clipped else grown))
+
+        solutions = np.vstack(rows)
+        time_axis = np.array(times)
+        if len(rows) >= 2:
+            self._mirror_capacitor_history(
+                cap_history, solutions[-1], solutions[-2], previous_dt, integration
+            )
+
+        return TransientResult(
+            circuit=circuit,
+            time_s=time_axis,
+            solutions=solutions,
+            converged=all_converged,
+            convergence_info=TransientConvergenceInfo(
+                strategy="adaptive",
+                newton_iterations=newton_total,
+                max_newton_residual_v=worst_residual,
+                accepted_steps=accepted,
+                rejected_steps=rejected,
+                min_step_s=smallest_dt if accepted else timestep_s,
+                max_step_s=largest_dt if accepted else timestep_s,
+            ),
+        )
+
+    def _waveform_breakpoints(self, stop_time_s: float) -> np.ndarray:
+        """Sorted source-waveform corner times strictly inside (0, stop)."""
+        compiled = self.compiled
+        collected = set()
+        for source in (*compiled.voltage_sources, *compiled.current_sources):
+            hook = getattr(source.waveform, "breakpoints", None)
+            if callable(hook):
+                collected.update(
+                    float(t) for t in hook(stop_time_s) if 0.0 < t < stop_time_s
+                )
+        return np.array(sorted(collected))
+
+    def _mirror_capacitor_history(
+        self,
+        cap_history: np.ndarray,
+        last_solution: np.ndarray,
+        previous_solution: np.ndarray,
+        last_timestep_s: float,
+        integration: str,
+    ) -> None:
+        """Mirror the final companion history onto the capacitor elements.
+
+        Keeps the legacy stamp path (the reference oracle) in agreement
+        with the engine's state after a transient run, exactly as the
+        per-element ``update_history()`` calls used to leave it.
+        """
+        compiled = self.compiled
+        if not compiled.num_capacitors:
+            return
+        if integration == "trap":
+            final_history = cap_history
+        else:
+            now = compiled._pad(last_solution)
+            prev = compiled._pad(previous_solution)
+            dv = (now[compiled.cap_a] - now[compiled.cap_b]) - (
+                prev[compiled.cap_a] - prev[compiled.cap_b]
+            )
+            final_history = (compiled.cap_c / last_timestep_s) * dv
+        for capacitor, history in zip(compiled.capacitors, final_history):
+            capacitor._previous_current = float(history)
 
 
 def get_engine(circuit: Circuit) -> AnalysisEngine:
@@ -1021,11 +1709,17 @@ def sweep_many(
     configure: Optional[Callable[[Hashable], None]] = None,
     gmin: float = 1e-12,
     max_iterations: int = 200,
+    solver: Union[None, str, LinearSolver] = None,
 ) -> Dict[Hashable, object]:
     """Run a family of DC sweeps through one compiled circuit.
 
     Convenience wrapper over :meth:`AnalysisEngine.sweep_many`; see there.
     """
     return get_engine(circuit).sweep_many(
-        source, families, configure=configure, gmin=gmin, max_iterations=max_iterations
+        source,
+        families,
+        configure=configure,
+        gmin=gmin,
+        max_iterations=max_iterations,
+        solver=solver,
     )

@@ -1,0 +1,259 @@
+"""Pluggable linear-solver backends for the analysis engine.
+
+Every Newton iteration of every analysis ends in one linear solve of the
+assembled MNA system.  :class:`~repro.spice.engine.AnalysisEngine` routes
+that solve through a :class:`LinearSolver` instance — the *solver seam* —
+so the backend can be swapped without touching the assembly or the
+iteration logic:
+
+* :class:`DenseSolver` — ``np.linalg.solve`` on the dense assembled matrix.
+  The default, and the reference the other backends are tested against.
+* :class:`SparseSolver` — SciPy sparse LU (SuperLU) on a CSC matrix whose
+  *structure* is precomputed once from the compiled circuit's index arrays
+  (:meth:`LinearSolver.bind`), so every Newton iteration and sweep point
+  only gathers the current numeric values into the fixed sparsity pattern.
+  Pays off on large lattices, where the MNA matrix is overwhelmingly empty.
+  Requires the optional ``scipy`` dependency — install it directly or
+  through this package's ``[sparse]`` extra.
+* :class:`BatchedDenseSolver` — stacks ``(trials, n, n)`` systems and
+  solves them in a single vectorized LAPACK call.  The Monte-Carlo engine
+  runs same-pattern trials through this backend
+  (:meth:`~repro.spice.montecarlo.MonteCarloEngine.run_batched_dc`); its
+  per-system results are bit-identical to :class:`DenseSolver` on the same
+  matrices.
+
+Select a backend by name through any analysis frontend::
+
+    dc_operating_point(circuit, solver="sparse")
+    transient_analysis(circuit, 1e-6, 1e-9, solver="dense")
+
+or hand a configured instance to ``get_solver`` / the engine directly.
+Backends signal a numerically singular system uniformly by raising
+``np.linalg.LinAlgError``, so the engine's gmin-bump retry works the same
+whichever backend is active.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Type, Union
+
+import numpy as np
+
+__all__ = [
+    "LinearSolver",
+    "DenseSolver",
+    "SparseSolver",
+    "BatchedDenseSolver",
+    "get_solver",
+    "available_backends",
+    "scipy_available",
+]
+
+
+def _import_scipy_sparse():
+    """Import hook for the optional SciPy dependency (monkeypatch point).
+
+    Returns ``(scipy.sparse, scipy.sparse.linalg)`` or raises ImportError
+    with an actionable message.  Kept as a module-level function so tests
+    (and environments without SciPy) exercise the failure path cleanly.
+    """
+    try:
+        import scipy.sparse
+        import scipy.sparse.linalg
+    except ImportError as error:  # pragma: no cover - depends on environment
+        raise ImportError(
+            "the sparse solver backend needs scipy; install the optional "
+            "extra (pip install scipy, or this package's [sparse] extra) or use solver='dense'"
+        ) from error
+    return scipy.sparse, scipy.sparse.linalg
+
+
+def scipy_available() -> bool:
+    """Whether the optional SciPy dependency (sparse backend) is importable."""
+    try:
+        _import_scipy_sparse()
+    except ImportError:
+        return False
+    return True
+
+
+class LinearSolver:
+    """Protocol of the engine's linear-solve seam.
+
+    A solver receives the assembled (ghost-trimmed) Jacobian and right-hand
+    side of one Newton iteration and returns the update's solution vector.
+    Implementations must raise ``np.linalg.LinAlgError`` on a singular
+    system so the engine's fallbacks (gmin bumping) stay backend-agnostic.
+
+    :meth:`bind` is an optional pre-solve hook: the engine calls it with the
+    active :class:`~repro.spice.engine.CompiledCircuit` before a Newton run
+    so structure-caching backends (sparse) can precompute their sparsity
+    pattern once per compiled topology.
+    """
+
+    #: Registry name of the backend (``solver="<name>"`` in the frontends).
+    name = "base"
+
+    def bind(self, compiled) -> None:
+        """Precompute per-topology structure (default: nothing to do)."""
+
+    def solve(self, matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        """Solve one ``(n, n)`` system; raises ``LinAlgError`` if singular."""
+        raise NotImplementedError
+
+    def solve_batched(self, matrices: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        """Solve stacked ``(T, n, n)`` systems against ``(T, n)`` vectors.
+
+        The base implementation loops over :meth:`solve`; backends with a
+        genuinely batched kernel (dense LAPACK) override it.
+        """
+        return np.stack([self.solve(m, r) for m, r in zip(matrices, rhs)])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class DenseSolver(LinearSolver):
+    """The default backend: one dense LAPACK solve per Newton iteration.
+
+    Its :meth:`solve_batched` deliberately loops — this is the *per-trial
+    dense path* the batched backend is benchmarked against.
+    """
+
+    name = "dense"
+
+    def solve(self, matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        return np.linalg.solve(matrix, rhs)
+
+
+class BatchedDenseSolver(DenseSolver):
+    """Dense backend whose batched solve is a single vectorized LAPACK call.
+
+    ``np.linalg.solve`` on a ``(T, n, n)`` stack dispatches one gufunc call
+    that factorizes every system without returning to Python, which is what
+    makes batched Monte-Carlo trials cheap.  Each system in the stack is
+    solved by the same LAPACK routine as a lone dense solve, so results are
+    bit-identical to :class:`DenseSolver` system for system.
+    """
+
+    name = "batched"
+
+    def solve_batched(self, matrices: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        return np.linalg.solve(matrices, rhs[..., np.newaxis])[..., 0]
+
+
+class SparseSolver(LinearSolver):
+    """SciPy SuperLU backend reusing the compiled circuit's sparsity pattern.
+
+    :meth:`bind` walks the compiled index arrays once per topology and
+    emits the CSC structure (column pointers + row indices) of every entry
+    any stamp can touch: the matrix diagonal, the static resistor and
+    voltage-source-branch entries, the capacitor companion entries and all
+    MOSFET conductance positions (both channel orientations).  Each solve
+    then only gathers the dense assembly's values at those positions —
+    no per-iteration structure analysis.
+
+    Circuits with custom (compatibility-path) elements have no precomputed
+    pattern; the solver falls back to converting the dense matrix per call,
+    which stays correct, just without the structural shortcut.
+    """
+
+    name = "sparse"
+
+    def __init__(self):
+        # Fail at construction, not mid-Newton, when scipy is missing.
+        _import_scipy_sparse()
+        self._bound_key: Optional[Tuple[int, int]] = None
+        self._size: Optional[int] = None
+        self._rows: Optional[np.ndarray] = None  # COO of the pattern
+        self._cols: Optional[np.ndarray] = None
+        self._indices: Optional[np.ndarray] = None  # CSC row indices
+        self._indptr: Optional[np.ndarray] = None  # CSC column pointers
+
+    def bind(self, compiled) -> None:
+        key = (id(compiled), compiled.revision)
+        if key == self._bound_key:
+            return
+        self._bound_key = key
+        self._size = None
+        if compiled.custom_elements:
+            return  # unknown stamps: no safe static pattern
+        size = compiled.size
+        rows = [np.arange(size), compiled._static_rows, compiled._static_cols]
+        cols = [np.arange(size), compiled._static_cols, compiled._static_rows]
+        if compiled.num_capacitors:
+            a, b = compiled.cap_a, compiled.cap_b
+            rows.append(np.concatenate((a, b, a, b)))
+            cols.append(np.concatenate((a, b, b, a)))
+        if compiled.num_mosfets:
+            d, g, s = compiled.mos_d, compiled.mos_g, compiled.mos_s
+            # Either channel orientation stamps rows {d, s} against columns
+            # {d, s, g}; the union covers both.
+            rows.append(np.concatenate((d, s, d, s, d, s)))
+            cols.append(np.concatenate((d, s, s, d, g, g)))
+        all_rows = np.concatenate(rows)
+        all_cols = np.concatenate(cols)
+        # Ghost (ground) entries are trimmed before the solve.
+        keep = (all_rows < size) & (all_cols < size)
+        all_rows, all_cols = all_rows[keep], all_cols[keep]
+        # Canonical CSC structure: sort by column, then row, drop duplicates.
+        order = np.lexsort((all_rows, all_cols))
+        all_rows, all_cols = all_rows[order], all_cols[order]
+        unique = np.ones(all_rows.size, dtype=bool)
+        unique[1:] = (all_rows[1:] != all_rows[:-1]) | (all_cols[1:] != all_cols[:-1])
+        self._rows = all_rows[unique]
+        self._cols = all_cols[unique]
+        self._indices = self._rows
+        self._indptr = np.zeros(size + 1, dtype=np.int64)
+        np.cumsum(np.bincount(self._cols, minlength=size), out=self._indptr[1:])
+        self._size = size
+
+    def solve(self, matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        sparse, sparse_linalg = _import_scipy_sparse()
+        if self._size == matrix.shape[0]:
+            data = matrix[self._rows, self._cols]
+            system = sparse.csc_matrix(
+                (data, self._indices, self._indptr), shape=matrix.shape
+            )
+        else:
+            system = sparse.csc_matrix(matrix)
+        try:
+            return sparse_linalg.splu(system).solve(rhs)
+        except RuntimeError as error:
+            # SuperLU reports an exactly singular factor as RuntimeError;
+            # normalize to the dense backend's exception so the engine's
+            # gmin-bump retry is backend-agnostic.
+            raise np.linalg.LinAlgError(str(error)) from error
+
+
+_BACKENDS: Dict[str, Type[LinearSolver]] = {
+    DenseSolver.name: DenseSolver,
+    SparseSolver.name: SparseSolver,
+    BatchedDenseSolver.name: BatchedDenseSolver,
+}
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of the backends constructible in this environment."""
+    names = [DenseSolver.name, BatchedDenseSolver.name]
+    if scipy_available():
+        names.insert(1, SparseSolver.name)
+    return tuple(names)
+
+
+def get_solver(spec: Union[None, str, LinearSolver] = None) -> LinearSolver:
+    """Resolve a solver spec: ``None`` (dense default), a name, or an instance."""
+    if spec is None:
+        return DenseSolver()
+    if isinstance(spec, LinearSolver):
+        return spec
+    if isinstance(spec, str):
+        backend = _BACKENDS.get(spec.lower())
+        if backend is None:
+            raise ValueError(
+                f"unknown solver backend {spec!r}; expected one of {sorted(_BACKENDS)}"
+            )
+        return backend()
+    raise TypeError(
+        f"solver must be None, a backend name or a LinearSolver instance, got {spec!r}"
+    )

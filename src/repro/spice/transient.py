@@ -3,22 +3,73 @@
 The time-marching loop, the per-step Newton iteration and the vectorized
 capacitor companion-history updates live in
 :class:`repro.spice.engine.AnalysisEngine`; this module keeps the stable
-:func:`transient_analysis` entry point and the :class:`TransientResult`
-type.  Backward-Euler and trapezoidal integration with a fixed timestep are
-entirely adequate for the paper's circuits, whose time constants are set by
-the 500 kOhm pull-up and femto-farad load capacitors (tens of nanoseconds).
+:func:`transient_analysis` entry point, the :class:`TransientResult` type
+and the :class:`TransientConvergenceInfo` step/Newton statistics record.
+
+Backward-Euler and trapezoidal integration are offered with either a fixed
+timestep (bit-compatible with the historical behaviour, and entirely
+adequate for the paper's circuits whose time constants are set by the
+500 kOhm pull-up and femto-farad load capacitors) or an adaptive LTE-based
+step-size controller (``adaptive=True``), which cuts the step count on
+waveforms with long settled stretches — the dominant per-trial cost of a
+Monte-Carlo transient study.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.spice.elements.sources import VoltageSource
 from repro.spice.engine import get_engine
 from repro.spice.netlist import Circuit
+from repro.spice.solvers import LinearSolver
+
+
+@dataclass(frozen=True)
+class TransientConvergenceInfo:
+    """How a transient march stepped and converged.
+
+    The transient counterpart of :class:`~repro.spice.dcop.ConvergenceInfo`:
+    attached to every :class:`TransientResult` so a run rescued by many
+    Newton iterations — or an adaptive run that rejected half its steps —
+    is never silent.
+
+    Attributes
+    ----------
+    strategy:
+        ``"fixed-step"`` or ``"adaptive"``.
+    newton_iterations:
+        Total Newton iterations summed over every attempted step.
+    max_newton_residual_v:
+        Worst final per-step Newton update [V] across accepted steps.
+    accepted_steps / rejected_steps:
+        Step-acceptance statistics of the controller (a fixed-step run
+        accepts every step by construction).
+    min_step_s / max_step_s:
+        Smallest and largest accepted step size [s].
+    """
+
+    strategy: str
+    newton_iterations: int
+    max_newton_residual_v: float
+    accepted_steps: int
+    rejected_steps: int
+    min_step_s: float
+    max_step_s: float
+
+    @property
+    def total_steps(self) -> int:
+        """Attempted steps (accepted + rejected)."""
+        return self.accepted_steps + self.rejected_steps
+
+    @property
+    def acceptance_fraction(self) -> float:
+        """Fraction of attempted steps that were accepted."""
+        total = self.total_steps
+        return float(self.accepted_steps) / total if total else 1.0
 
 
 @dataclass
@@ -30,17 +81,22 @@ class TransientResult:
     circuit:
         The analysed circuit.
     time_s:
-        Time points (including t = 0).
+        Time points (including t = 0).  Uniformly spaced for fixed-step
+        runs; the accepted-step grid for adaptive runs.
     solutions:
         Matrix of MNA solutions, one row per time point.
     converged:
         False if any time step failed to converge (the run still completes).
+    convergence_info:
+        Step-acceptance and Newton statistics of the march (see
+        :class:`TransientConvergenceInfo`).
     """
 
     circuit: Circuit
     time_s: np.ndarray
     solutions: np.ndarray
     converged: bool
+    convergence_info: Optional[TransientConvergenceInfo] = None
 
     def voltage(self, node_name: str) -> np.ndarray:
         """Waveform of a named node [V] (zeros for ground)."""
@@ -81,13 +137,18 @@ def transient_analysis(
     tolerance_v: float = 1e-6,
     gmin: float = 1e-9,
     use_initial_conditions: bool = False,
+    adaptive: bool = False,
+    lte_tolerance_v: float = 2e-3,
+    min_timestep_s: Optional[float] = None,
+    max_timestep_s: Optional[float] = None,
+    solver: Union[None, str, LinearSolver] = None,
 ) -> TransientResult:
-    """Run a fixed-step transient analysis.
+    """Run a transient analysis (fixed-step by default, adaptive on request).
 
     Delegates to the circuit's cached :class:`~repro.spice.engine.AnalysisEngine`,
     which starts from a DC operating point at ``t = 0`` (all capacitors open)
-    and then marches with a fixed timestep, re-solving the nonlinear system
-    at every step by Newton iteration with the capacitor companion models of
+    and then marches forward in time, re-solving the nonlinear system at
+    every step by Newton iteration with the capacitor companion models of
     the selected integration method.
 
     Parameters
@@ -95,7 +156,8 @@ def transient_analysis(
     circuit:
         The circuit to simulate.
     stop_time_s / timestep_s:
-        Simulation span and fixed step.
+        Simulation span and step size (the fixed step, or the adaptive
+        controller's initial step).
     integration:
         ``"be"`` (backward Euler, default — very robust) or ``"trap"``
         (trapezoidal, second order).
@@ -107,6 +169,17 @@ def transient_analysis(
         When True the analysis starts from all-zero node voltages (plus the
         capacitor initial conditions) instead of the DC operating point at
         ``t = 0`` — the equivalent of SPICE's ``UIC``.
+    adaptive / lte_tolerance_v / min_timestep_s / max_timestep_s:
+        Step-size controller: with ``adaptive=True`` each step's local
+        truncation error is estimated and the step accepted/rejected
+        against ``lte_tolerance_v``, with the step clamped to
+        ``[min_timestep_s, max_timestep_s]`` (defaults ``timestep_s / 64``
+        and ``timestep_s * 64``).  Stimulus-waveform breakpoints are never
+        stepped over.
+    solver:
+        Linear-solver backend for the per-step Newton solves (a name such
+        as ``"sparse"`` or a :class:`~repro.spice.solvers.LinearSolver`
+        instance; the engine default when omitted).
     """
     return get_engine(circuit).solve_transient(
         stop_time_s,
@@ -116,4 +189,9 @@ def transient_analysis(
         tolerance_v=tolerance_v,
         gmin=gmin,
         use_initial_conditions=use_initial_conditions,
+        adaptive=adaptive,
+        lte_tolerance_v=lte_tolerance_v,
+        min_timestep_s=min_timestep_s,
+        max_timestep_s=max_timestep_s,
+        solver=solver,
     )

@@ -18,6 +18,15 @@ class Waveform:
     def value(self, time_s: float) -> float:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def breakpoints(self, until_s: float) -> Tuple[float, ...]:
+        """Corner times of the waveform within ``[0, until_s]``.
+
+        The adaptive transient controller clips its steps so it never
+        integrates across a corner, whatever step size it has grown to.
+        Smooth/constant waveforms (the default) have none.
+        """
+        return ()
+
     def __call__(self, time_s: float) -> float:
         return self.value(time_s)
 
@@ -79,6 +88,42 @@ class Pulse(Waveform):
         if t < self.fall_s:
             return self.pulsed + (self.initial - self.pulsed) * t / self.fall_s
         return self.initial
+
+    def breakpoints(self, until_s: float) -> Tuple[float, ...]:
+        """The pulse corners (edge starts/ends), repeated for periodic pulses.
+
+        The corner count of a periodic pulse grows as ``until_s / period_s``;
+        a consumer landing on every corner (the adaptive transient
+        controller) does at least that much work anyway, so all corners in
+        the window are generated.  A pathological span/period ratio fails
+        loudly rather than silently dropping corners — stepping over
+        stimulus edges would corrupt the waveform without any warning.
+        """
+        corners = (
+            0.0,
+            self.rise_s,
+            self.rise_s + self.width_s,
+            self.rise_s + self.width_s + self.fall_s,
+        )
+        period = self.period_s if self.period_s and self.period_s > 0.0 else None
+        if period is not None and (until_s - self.delay_s) / period > 1_000_000:
+            raise ValueError(
+                f"a pulse with period {period:g} s has over 4 million corners "
+                f"within {until_s:g} s; an analysis resolving them is "
+                "infeasible — shorten the span, lengthen the period, or use "
+                "fixed-step integration"
+            )
+        times: List[float] = []
+        cycle = 0
+        while True:
+            offset = self.delay_s + (cycle * period if period else 0.0)
+            if offset > until_s:
+                break
+            times.extend(offset + corner for corner in corners)
+            cycle += 1
+            if period is None:
+                break
+        return tuple(t for t in times if 0.0 <= t <= until_s)
 
 
 @dataclass(frozen=True)
@@ -146,6 +191,10 @@ class PiecewiseLinear(Waveform):
             times = tuple(t for t, _ in self.points)
             object.__setattr__(self, "_times_cache", times)
         return times
+
+    def breakpoints(self, until_s: float) -> Tuple[float, ...]:
+        """The PWL breakpoint times themselves."""
+        return tuple(t for t in self._times if 0.0 <= t <= until_s)
 
     def value(self, time_s: float) -> float:
         points = self.points

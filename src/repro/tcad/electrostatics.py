@@ -23,8 +23,6 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
-from scipy.optimize import brentq
-
 from repro import constants
 from repro.devices.specs import DeviceSpec
 from repro.devices.terminals import Terminal
@@ -203,6 +201,13 @@ def surface_potential(
     lower = 1e-9
     if residual(lower) > 0.0:
         return 0.0
+    try:
+        from scipy.optimize import brentq
+    except ImportError as error:  # pragma: no cover - depends on environment
+        raise ImportError(
+            "surface-potential root finding needs scipy; install the "
+            "optional extra (pip install scipy, or this package's [sparse] extra)"
+        ) from error
     return float(brentq(residual, lower, upper, xtol=1e-9, rtol=1e-12))
 
 

@@ -21,8 +21,6 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np
-from scipy.sparse import lil_matrix
-from scipy.sparse.linalg import spsolve
 
 from repro.devices.specs import DeviceKind, DeviceSpec
 from repro.devices.terminals import Terminal, TerminalConfiguration, TerminalRole, DSSS
@@ -131,6 +129,15 @@ def solve_current_density(
             for i in range(nx):
                 if mask[j, i]:
                     dirichlet[mesh.index(i, j)] = value
+
+    try:
+        from scipy.sparse import lil_matrix
+        from scipy.sparse.linalg import spsolve
+    except ImportError as error:  # pragma: no cover - depends on environment
+        raise ImportError(
+            "the current-density field solver needs scipy; install the "
+            "optional extra (pip install scipy, or this package's [sparse] extra)"
+        ) from error
 
     matrix = lil_matrix((n, n))
     rhs = np.zeros(n)

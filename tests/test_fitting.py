@@ -18,6 +18,14 @@ from repro.fitting.threshold import (
     on_off_ratio,
 )
 
+from repro.spice.solvers import scipy_available
+
+#: Level-1 least-squares extraction needs the scipy extra; these cases skip
+#: on a scipy-free install (the closed-form fits stay fully tested).
+requires_scipy = pytest.mark.skipif(
+    not scipy_available(), reason="needs the scipy optional extra"
+)
+
 REFERENCE = Level1Parameters(kp_a_per_v2=5e-5, vth_v=0.4, lambda_per_v=0.04, width_m=0.7e-6, length_m=0.35e-6)
 
 
@@ -79,6 +87,7 @@ class TestLevel1Equations:
         assert on_resistance(REFERENCE, 2.0) == pytest.approx(expected)
 
 
+@requires_scipy
 class TestExtraction:
     def _synthetic_data(self, noise=0.0, seed=0):
         rng = np.random.default_rng(seed)

@@ -29,6 +29,13 @@ from repro.spice import (
 )
 from repro.spice.engine import sweep_many
 from repro.spice.montecarlo import sample_overlay, trial_generator
+from repro.spice.solvers import scipy_available
+
+#: The variability experiment extracts its switch model through the
+#: scipy-backed fit; it skips on a scipy-free install.
+requires_scipy = pytest.mark.skipif(
+    not scipy_available(), reason="needs the scipy optional extra"
+)
 
 NMOS = Level1Parameters(
     kp_a_per_v2=4e-5, vth_v=0.18, lambda_per_v=0.05, width_m=0.7e-6, length_m=0.35e-6
@@ -504,6 +511,7 @@ class TestVariabilityStatistics:
             summary.spread(5.0, 95.0)
 
 
+@requires_scipy
 class TestVariabilityExperiment:
     def test_small_study_end_to_end(self):
         from repro.experiments.variability_xor3 import run_variability_xor3

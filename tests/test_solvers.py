@@ -1,0 +1,557 @@
+"""Tests for the solver seam, adaptive transient stepping and batched solves.
+
+The dense LAPACK backend is the reference: the sparse and batched backends
+must reproduce its results on the paper's circuits (XOR3 lattice, series
+chain) to tight absolute tolerance — and the batched Monte-Carlo path must
+match the serial per-trial path *bit for bit*, which the zero-sigma
+hypothesis property pins down.
+"""
+
+import numpy as np
+import pytest
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.circuits import build_scalability_bench, build_series_chain
+from repro.circuits.lattice_netlist import build_lattice_circuit
+from repro.circuits.testbench import InputSequence
+from repro.core.library import xor3_lattice_3x3
+from repro.fitting.level1 import Level1Parameters
+from repro.spice import (
+    BatchedDenseSolver,
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    DenseSolver,
+    Gaussian,
+    LinearSolver,
+    MOSFET,
+    MonteCarloEngine,
+    Resistor,
+    SparseSolver,
+    VoltageSource,
+    available_backends,
+    dc_operating_point,
+    get_engine,
+    get_solver,
+    transient_analysis,
+)
+from repro.spice import solvers as solvers_module
+from repro.spice.netlist import AnalysisState
+from repro.spice.solvers import scipy_available
+from repro.spice.waveforms import DC, PiecewiseLinear, Pulse
+
+requires_scipy = pytest.mark.skipif(
+    not scipy_available(), reason="the sparse backend needs the scipy extra"
+)
+
+NMOS = Level1Parameters(
+    kp_a_per_v2=4e-5, vth_v=0.18, lambda_per_v=0.05, width_m=0.7e-6, length_m=0.35e-6
+)
+
+
+def common_source_circuit():
+    circuit = Circuit()
+    VoltageSource(circuit, "vdd", "vdd", "0", 1.2)
+    VoltageSource(circuit, "vg", "g", "0", 1.2)
+    Resistor(circuit, "rl", "vdd", "d", 500e3)
+    MOSFET(circuit, "m1", "d", "g", "0", NMOS)
+    return circuit
+
+
+def toggle_bench(switch_model, step_duration_s=30e-9):
+    """The reduced Fig. 11 toggle stimulus (a: 0 -> 1 -> 0, b = c = 0)."""
+    sequence = InputSequence.from_assignments(
+        ("a", "b", "c"),
+        [
+            {"a": False, "b": False, "c": False},
+            {"a": True, "b": False, "c": False},
+            {"a": False, "b": False, "c": False},
+        ],
+        step_duration_s=step_duration_s,
+        high_level_v=1.2,
+        transition_s=1e-9,
+    )
+    return build_lattice_circuit(
+        xor3_lattice_3x3(), model=switch_model, input_sequence=sequence
+    )
+
+
+class TestBackendRegistry:
+    def test_none_resolves_to_dense(self):
+        assert isinstance(get_solver(None), DenseSolver)
+
+    def test_names_resolve(self):
+        assert isinstance(get_solver("dense"), DenseSolver)
+        assert isinstance(get_solver("batched"), BatchedDenseSolver)
+
+    def test_instance_passes_through(self):
+        solver = DenseSolver()
+        assert get_solver(solver) is solver
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown solver backend"):
+            get_solver("quantum")
+        with pytest.raises(TypeError):
+            get_solver(42)
+
+    def test_available_backends_always_has_dense_and_batched(self):
+        names = available_backends()
+        assert "dense" in names and "batched" in names
+        assert ("sparse" in names) == scipy_available()
+
+    def test_engine_default_and_per_call_override(self):
+        circuit = common_source_circuit()
+        engine = get_engine(circuit)
+        assert isinstance(engine.solver, DenseSolver)
+        engine.set_solver("batched")
+        assert isinstance(engine.solver, BatchedDenseSolver)
+        assert engine.solve_dc().converged  # batched backend solves singly too
+        engine.set_solver(None)
+
+    def test_missing_scipy_fails_with_actionable_message(self, monkeypatch):
+        def no_scipy():
+            raise ImportError("pip install repro[sparse]")
+
+        monkeypatch.setattr(solvers_module, "_import_scipy_sparse", no_scipy)
+        assert not scipy_available()
+        assert "sparse" not in available_backends()
+        with pytest.raises(ImportError, match="sparse"):
+            get_solver("sparse")
+
+
+class TestBatchedSolveKernel:
+    def test_batched_matches_single_solves_bitwise(self):
+        rng = np.random.default_rng(7)
+        matrices = rng.normal(size=(6, 9, 9)) + 4.0 * np.eye(9)
+        rhs = rng.normal(size=(6, 9))
+        dense = DenseSolver()
+        batched = BatchedDenseSolver()
+        stacked = batched.solve_batched(matrices, rhs)
+        looped = dense.solve_batched(matrices, rhs)
+        assert np.array_equal(stacked, looped)
+
+    def test_base_class_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            LinearSolver().solve(np.eye(2), np.ones(2))
+
+
+@requires_scipy
+class TestSparseBackendParity:
+    def test_xor3_lattice_dc_parity(self, switch_model):
+        bench = build_lattice_circuit(
+            xor3_lattice_3x3(),
+            model=switch_model,
+            static_assignment={"a": True, "b": False, "c": False},
+        )
+        dense = dc_operating_point(bench.circuit, solver="dense")
+        sparse = dc_operating_point(bench.circuit, solver="sparse")
+        assert dense.converged and sparse.converged
+        assert np.allclose(dense.solution, sparse.solution, rtol=1e-10, atol=1e-12)
+
+    def test_series_chain_dc_parity(self, switch_model):
+        chain = build_series_chain(5, model=switch_model)
+        engine = get_engine(chain.circuit)
+        dense = engine.solve_dc(solver="dense")
+        sparse = engine.solve_dc(solver="sparse")
+        assert dense.converged and sparse.converged
+        assert np.allclose(dense.solution, sparse.solution, rtol=1e-10, atol=1e-14)
+
+    def test_transient_parity_with_capacitors(self):
+        def build():
+            circuit = Circuit()
+            VoltageSource(circuit, "v1", "in", "0", 1.0)
+            CurrentSource(circuit, "i1", "0", "out", 1e-7)
+            Resistor(circuit, "r1", "in", "out", 1e3)
+            Capacitor(circuit, "c1", "out", "0", 1e-9)
+            return circuit
+
+        dense = transient_analysis(
+            build(), 1e-6, 1e-8, integration="trap", solver="dense"
+        )
+        sparse = transient_analysis(
+            build(), 1e-6, 1e-8, integration="trap", solver="sparse"
+        )
+        assert np.allclose(dense.solutions, sparse.solutions, rtol=1e-10, atol=1e-12)
+
+    def test_pattern_gather_matches_direct_conversion(self, switch_model):
+        # The precomputed CSC pattern must cover every entry the assembly
+        # can touch: solving through the pattern and through a plain
+        # dense->sparse conversion must agree on a MOSFET-heavy Jacobian.
+        bench = build_scalability_bench(4, model=switch_model)
+        engine = get_engine(bench.circuit)
+        op = engine.solve_dc()
+        matrix, rhs = engine.assemble_system(
+            AnalysisState(solution=op.solution, gmin=1e-9)
+        )
+        patterned = SparseSolver()
+        patterned.bind(engine.compiled)
+        fallback = SparseSolver()  # never bound: per-call conversion
+        assert np.allclose(
+            patterned.solve(matrix, rhs), fallback.solve(matrix, rhs), atol=1e-12
+        )
+
+    def test_custom_element_falls_back_to_conversion(self):
+        class TwoKilohm:
+            name = "x_custom"
+
+            def __init__(self, circuit, node_a, node_b):
+                self._a = circuit.node(node_a)
+                self._b = circuit.node(node_b)
+                circuit.add(self)
+
+            def stamp(self, system, state):
+                system.add_conductance(self._a, self._b, 1.0 / 2e3)
+
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "in", "0", 1.0)
+        Resistor(circuit, "r1", "in", "out", 1e3)
+        TwoKilohm(circuit, "out", "0")
+        op = dc_operating_point(circuit, solver="sparse")
+        assert op.converged
+        # gmin (1e-9 S per node) pulls the ideal 2/3 V divider down by a
+        # few hundred nanovolts; dense and sparse must agree exactly there.
+        dense = dc_operating_point(circuit, solver="dense")
+        assert op.voltage("out") == pytest.approx(2.0 / 3.0, abs=1e-5)
+        assert op.voltage("out") == pytest.approx(dense.voltage("out"), abs=1e-12)
+
+    def test_singular_system_reports_nonconvergence_like_dense(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "a", "0", 1.0)
+        VoltageSource(circuit, "v2", "a", "0", 2.0)
+        op = dc_operating_point(circuit, max_iterations=30, solver="sparse")
+        assert not op.converged
+        assert op.convergence_info.strategy == "failed"
+
+    def test_bind_is_cached_per_compiled_revision(self):
+        circuit = common_source_circuit()
+        compiled = get_engine(circuit).compiled
+        solver = SparseSolver()
+        solver.bind(compiled)
+        first = solver._indptr
+        solver.bind(compiled)
+        assert solver._indptr is first  # unchanged topology: no rebuild
+
+
+class TestWaveformBreakpoints:
+    def test_dc_has_none(self):
+        assert DC(1.0).breakpoints(1.0) == ()
+
+    def test_pulse_corners(self):
+        pulse = Pulse(0.0, 1.0, delay_s=1e-9, rise_s=1e-9, fall_s=1e-9, width_s=2e-9)
+        assert pulse.breakpoints(10e-9) == (1e-9, 2e-9, 4e-9, 5e-9)
+
+    def test_periodic_pulse_repeats_and_clips(self):
+        pulse = Pulse(
+            0.0, 1.0, rise_s=1e-9, fall_s=1e-9, width_s=1e-9, period_s=10e-9
+        )
+        points = pulse.breakpoints(25e-9)
+        assert 10e-9 in points and 20e-9 in points
+        assert max(points) <= 25e-9
+
+    def test_pwl_returns_its_points(self):
+        pwl = PiecewiseLinear.from_pairs([(0.0, 0.0), (1e-9, 1.0), (5e-9, 0.5)])
+        assert pwl.breakpoints(2e-9) == (0.0, 1e-9)
+
+
+class TestAdaptiveTransient:
+    def test_rc_charging_accuracy(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "in", "0", 1.0)
+        Resistor(circuit, "r1", "in", "out", 1e3)
+        Capacitor(circuit, "c1", "out", "0", 1e-9)
+        result = transient_analysis(
+            circuit, 2e-6, 2e-8, use_initial_conditions=True, adaptive=True,
+            lte_tolerance_v=1e-3,
+        )
+        assert result.converged
+        exact = 1.0 - np.exp(-1.0)
+        assert result.sample_voltage("out", 1e-6) == pytest.approx(exact, abs=0.02)
+        info = result.convergence_info
+        assert info.strategy == "adaptive"
+        assert info.accepted_steps == len(result.time_s) - 1
+        assert info.min_step_s <= info.max_step_s
+        # The controller must actually have grown the step on the smooth tail.
+        assert info.max_step_s > 2e-8
+
+    def test_fixed_step_stats_attached(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "in", "0", 1.0)
+        Resistor(circuit, "r1", "in", "out", 1e3)
+        Capacitor(circuit, "c1", "out", "0", 1e-9)
+        result = transient_analysis(circuit, 1e-6, 1e-8, use_initial_conditions=True)
+        info = result.convergence_info
+        assert info.strategy == "fixed-step"
+        assert info.accepted_steps == 100
+        assert info.rejected_steps == 0
+        assert info.min_step_s == info.max_step_s == 1e-8
+        assert info.acceptance_fraction == 1.0
+        assert info.newton_iterations >= info.accepted_steps
+
+    def test_adaptive_waveform_parity_on_fig11_toggle(self, switch_model):
+        bench = toggle_bench(switch_model)
+        engine = get_engine(bench.circuit)
+        stop = bench.input_sequence.total_duration_s
+        fixed = engine.solve_transient(stop, 0.5e-9)
+        adaptive = engine.solve_transient(
+            stop, 1e-9, adaptive=True, lte_tolerance_v=1e-3
+        )
+        assert fixed.converged and adaptive.converged
+        grid = np.linspace(0.0, stop, 181)
+        out = bench.output_node
+        fixed_v = np.interp(grid, fixed.time_s, fixed.voltage(out))
+        adaptive_v = np.interp(grid, adaptive.time_s, adaptive.voltage(out))
+        # Pointwise comparison is only meaningful away from the fast edges,
+        # where a sub-step timing offset between two discretizations shows
+        # up as a large vertical difference; compare where the waveform is
+        # locally settled (|dV/dt| below 0.05 V/ns) and via edge metrics.
+        slope = np.gradient(fixed_v, grid)
+        settled = np.abs(slope) < 0.05e9
+        assert settled.sum() > 100
+        assert np.max(np.abs(fixed_v[settled] - adaptive_v[settled])) < 0.02
+
+        from repro.analysis.waveform_metrics import edge_times, steady_state_levels
+
+        def metrics(result):
+            values = result.voltage(out)
+            levels = steady_state_levels(result.time_s, values)
+            rises, falls = edge_times(result.time_s, values, levels)
+            return levels, rises[0], falls[0]
+
+        fixed_levels, fixed_rise, fixed_fall = metrics(fixed)
+        adaptive_levels, adaptive_rise, adaptive_fall = metrics(adaptive)
+        assert adaptive_levels.low_v == pytest.approx(fixed_levels.low_v, abs=0.01)
+        assert adaptive_levels.high_v == pytest.approx(fixed_levels.high_v, abs=0.01)
+        assert adaptive_rise == pytest.approx(fixed_rise, rel=0.10)
+        # The 0.5 ns fixed grid itself only coarsely resolves the ~1 ns
+        # fall, so the fall delays agree loosely.
+        assert adaptive_fall == pytest.approx(fixed_fall, rel=0.5)
+        # The controller spends sub-nanosecond steps only on the edges: its
+        # total attempt count stays well below the 0.125 ns uniform grid a
+        # fixed march needs to resolve the ~1 ns fall edge to the same
+        # accuracy (the crossover benchmark quantifies this precisely).
+        info = adaptive.convergence_info
+        assert info.total_steps < stop / 0.125e-9
+        assert info.min_step_s < 0.5e-9 < info.max_step_s
+
+    def test_breakpoints_are_never_stepped_over(self, switch_model):
+        bench = toggle_bench(switch_model)
+        engine = get_engine(bench.circuit)
+        stop = bench.input_sequence.total_duration_s
+        adaptive = engine.solve_transient(
+            stop, 1e-9, adaptive=True, lte_tolerance_v=5e-3
+        )
+        corners = engine._waveform_breakpoints(stop)
+        assert corners.size  # the PWL stimulus has corners inside the span
+        for corner in corners:
+            # Every stimulus corner is (within float noise) a time point.
+            assert np.min(np.abs(adaptive.time_s - corner)) < 1e-15
+
+    def test_step_clamps_are_honoured(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "in", "0", 1.0)
+        Resistor(circuit, "r1", "in", "out", 1e3)
+        Capacitor(circuit, "c1", "out", "0", 1e-9)
+        result = transient_analysis(
+            circuit, 1e-6, 1e-8, use_initial_conditions=True, adaptive=True,
+            lte_tolerance_v=1e-3, min_timestep_s=5e-9, max_timestep_s=4e-8,
+        )
+        info = result.convergence_info
+        assert info.min_step_s >= 5e-9 - 1e-20 or info.accepted_steps == 0
+        assert info.max_step_s <= 4e-8 + 1e-20
+
+    def test_adaptive_validates_controls(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "in", "0", 1.0)
+        Resistor(circuit, "r1", "in", "out", 1e3)
+        Capacitor(circuit, "c1", "out", "0", 1e-9)
+        with pytest.raises(ValueError, match="lte_tolerance_v"):
+            transient_analysis(circuit, 1e-6, 1e-8, adaptive=True, lte_tolerance_v=0.0)
+        with pytest.raises(ValueError, match="min_timestep_s"):
+            transient_analysis(circuit, 1e-6, 1e-8, adaptive=True, min_timestep_s=0.0)
+
+    @requires_scipy
+    def test_adaptive_with_sparse_backend(self):
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "in", "0", 1.0)
+        Resistor(circuit, "r1", "in", "out", 1e3)
+        Capacitor(circuit, "c1", "out", "0", 1e-9)
+        result = transient_analysis(
+            circuit, 2e-6, 2e-8, use_initial_conditions=True, adaptive=True,
+            solver="sparse",
+        )
+        assert result.converged
+        exact = 1.0 - np.exp(-1.0)
+        assert result.sample_voltage("out", 1e-6) == pytest.approx(exact, abs=0.02)
+
+
+def drain_metrics(engine, trial):
+    op = engine.solve_dc(refresh=False)
+    return {"d_v": op.solution[engine.circuit.node_index("d")]}
+
+
+class TestBatchedMonteCarlo:
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_zero_sigma_batched_is_bitwise_serial(self, seed):
+        # The acceptance property of the batched migration: at zero spread
+        # every batched trial must reproduce the serial per-trial path's
+        # result bit for bit — same assembly, same LAPACK routine, same
+        # damping arithmetic.
+        circuit = common_source_circuit()
+        index = circuit.node_index("d")
+        mc = MonteCarloEngine(
+            circuit,
+            {
+                "mos_vth": Gaussian(sigma=0.0),
+                "mos_beta": Gaussian(sigma=0.0, correlated=True),
+            },
+            seed=seed,
+        )
+        serial = mc.run(drain_metrics, trials=3)
+        batched = mc.run_batched_dc(3)
+        serial_v = np.array([record["d_v"] for record in serial.records])
+        assert np.array_equal(batched.solutions[:, index], serial_v)
+        assert batched.all_converged
+
+    def test_nonzero_sigma_batched_is_bitwise_serial(self):
+        circuit = common_source_circuit()
+        index = circuit.node_index("d")
+        mc = MonteCarloEngine(
+            circuit,
+            {"mos_vth": Gaussian(0.03), "mos_beta": Gaussian(0.05, relative=True)},
+            seed=1234,
+        )
+        serial = mc.run(drain_metrics, trials=12)
+        batched = mc.run_batched_dc(12)
+        serial_v = np.array([record["d_v"] for record in serial.records])
+        assert np.array_equal(batched.solutions[:, index], serial_v)
+
+    def test_batched_accessors(self):
+        circuit = common_source_circuit()
+        mc = MonteCarloEngine(circuit, {"mos_vth": Gaussian(0.03)}, seed=5)
+        batched = mc.run_batched_dc(6)
+        assert len(batched) == 6
+        assert batched.voltage("d").shape == (6,)
+        assert batched.voltage("0").tolist() == [0.0] * 6
+        assert batched.source_current("vdd").shape == (6,)
+        point = batched.point(2)
+        assert np.shares_memory(point.solution, batched.solutions)
+        assert np.array_equal(point.solution, batched.solutions[2])
+        assert point.convergence_info.strategy == batched.strategies[2]
+        assert set(batched.strategies) <= {
+            "batched-newton", "newton", "gmin-stepping", "source-stepping", "failed",
+        }
+
+    def test_stacked_overlays_match_per_trial_sampling(self):
+        circuit = common_source_circuit()
+        mc = MonteCarloEngine(
+            circuit,
+            {"mos_vth": Gaussian(0.03), "mos_beta": Gaussian(0.05, relative=True)},
+            seed=77,
+        )
+        stacks = mc.sample_stacked_overlays(4)
+        for trial in range(4):
+            single = mc.sample_trial_overlay(trial)
+            for name, stack in stacks.items():
+                assert np.array_equal(stack[trial], single[name])
+
+    def test_batched_composes_with_corner_overlay(self):
+        from repro.circuits.corners import Corner, applied_corner
+
+        circuit = common_source_circuit()
+        index = circuit.node_index("d")
+        mc = MonteCarloEngine(circuit, {"mos_vth": Gaussian(sigma=0.0)}, seed=4)
+        with applied_corner(circuit, Corner("SS", 0.9, +0.045)) as engine:
+            corner_value = engine.solve_dc().solution[index]
+            batched = mc.run_batched_dc(3)
+            assert all(v == corner_value for v in batched.solutions[:, index])
+            # The corner overlay survives the batched run.
+            assert engine.solve_dc().solution[index] == corner_value
+
+    def test_singular_trials_fall_back_to_serial_ladders(self):
+        # Conflicting ideal sources: the stacked solve is singular, so every
+        # trial must come back through the serial fallback reporting failure
+        # instead of raising out of the batched path.
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "a", "0", 1.0)
+        VoltageSource(circuit, "v2", "a", "0", 2.0)
+        Resistor(circuit, "r1", "a", "0", 1e3)
+        batched = get_engine(circuit).solve_dc_batched(
+            {"vsource_scale": np.ones((3, 2))}, max_iterations=30
+        )
+        assert not batched.all_converged
+        assert all(s == "failed" for s in batched.strategies)
+
+    def test_rescued_trials_match_serial_results(self):
+        # A hopeless shared initial guess: batched Newton cannot walk back
+        # within its budget, so every trial routes through the serial
+        # gmin-stepping rescue — and must land on the true solution.
+        circuit = Circuit()
+        VoltageSource(circuit, "v1", "in", "0", 2.0)
+        Resistor(circuit, "r1", "in", "mid", 1e3)
+        Resistor(circuit, "r2", "mid", "0", 3e3)
+        bad_guess = np.full(circuit.system_size, 1e6)
+        batched = get_engine(circuit).solve_dc_batched(
+            trials=2, initial_guess=bad_guess
+        )
+        assert batched.all_converged
+        assert set(batched.strategies) == {"gmin-stepping"}
+        assert batched.voltage("mid") == pytest.approx([1.5, 1.5], abs=1e-3)
+
+    def test_input_validation(self):
+        circuit = common_source_circuit()
+        engine = get_engine(circuit)
+        with pytest.raises(ValueError, match="unknown parameter"):
+            engine.solve_dc_batched({"mos_gamma": np.ones((2, 1))})
+        with pytest.raises(ValueError, match="expected"):
+            engine.solve_dc_batched({"mos_vth": np.ones((2, 3))})
+        with pytest.raises(ValueError, match="inconsistent"):
+            engine.solve_dc_batched(
+                {"mos_vth": np.ones((2, 1)), "resistor_ohm": np.ones((3, 1))}
+            )
+        with pytest.raises(ValueError, match="trials"):
+            engine.solve_dc_batched({})
+        with pytest.raises(ValueError, match="initial guess"):
+            engine.solve_dc_batched(trials=2, initial_guess=np.zeros(99))
+
+    def test_custom_elements_rejected(self):
+        class Probe:
+            name = "x_probe"
+
+            def __init__(self, circuit):
+                self._node = circuit.node("d")
+                circuit.add(self)
+
+            def stamp(self, system, state):
+                system.add_conductance(self._node, -1, 1e-9)
+
+        circuit = common_source_circuit()
+        Probe(circuit)
+        with pytest.raises(ValueError, match="custom"):
+            get_engine(circuit).solve_dc_batched(trials=2)
+
+    def test_batched_xor3_lattice_parity(self, switch_model):
+        # The acceptance circuit: a >=8-trial XOR3 study through both paths.
+        bench = build_lattice_circuit(
+            xor3_lattice_3x3(),
+            model=switch_model,
+            static_assignment={"a": True, "b": False, "c": False},
+        )
+        circuit = bench.circuit
+        nominal = get_engine(circuit).solve_dc()
+        index = circuit.node_index(bench.output_node)
+
+        def out_metric(engine, trial, guess=nominal.solution):
+            op = engine.solve_dc(initial_guess=guess, refresh=False)
+            return {"out_v": op.solution[index]}
+
+        mc = MonteCarloEngine(
+            circuit,
+            {"mos_vth": Gaussian(0.010), "mos_beta": Gaussian(0.05, relative=True)},
+            seed=7,
+        )
+        serial = mc.run(out_metric, trials=8)
+        batched = mc.run_batched_dc(8, initial_guess=nominal.solution)
+        serial_v = [record["out_v"] for record in serial.records]
+        assert list(batched.solutions[:, index]) == serial_v

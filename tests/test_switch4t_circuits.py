@@ -27,6 +27,13 @@ from repro.spice.elements.switch4t import (
     add_four_terminal_switch,
 )
 from repro.spice.netlist import GROUND
+from repro.spice.solvers import scipy_available
+
+#: The TCAD-substitute extraction path needs the scipy extra; these cases
+#: skip on a scipy-free install (the parametric model path stays tested).
+requires_scipy = pytest.mark.skipif(
+    not scipy_available(), reason="needs the scipy optional extra"
+)
 
 
 class TestSwitchModelConstruction:
@@ -107,6 +114,7 @@ class TestSwitchBehaviour:
 
 
 class TestSizingExtraction:
+    @requires_scipy
     def test_extraction_quality(self):
         fit = extract_square_device_parameters(points=21)
         assert fit.success
@@ -114,6 +122,7 @@ class TestSizingExtraction:
         assert 0.0 < fit.parameters.vth_v < 0.5
         assert fit.parameters.kp_a_per_v2 > 1e-6
 
+    @requires_scipy
     def test_switch_model_from_spec(self):
         model = switch_model_from_spec(points=15)
         assert model.type_a.vth_v == model.type_b.vth_v

@@ -21,6 +21,14 @@ from repro.tcad.network import TerminalNetwork
 from repro.tcad.simulator import DeviceSimulator
 from repro.tcad.sweeps import PAPER_SWEEP_SETUPS, SweepSetup, idvd, idvg_linear, idvg_saturation
 
+from repro.spice.solvers import scipy_available
+
+#: These cases drive scipy-backed device physics (field solves, root
+#: finding, extraction) and skip on a scipy-free install.
+requires_scipy = pytest.mark.skipif(
+    not scipy_available(), reason="needs the scipy optional extra"
+)
+
 
 class TestElectrostatics:
     def test_hfo2_threshold_near_paper(self):
@@ -76,11 +84,13 @@ class TestElectrostatics:
             device_spec("square", "HfO2")
         ) > 1.0
 
+    @requires_scipy
     def test_surface_potential_monotone(self):
         spec = device_spec("square", "HfO2")
         values = [surface_potential(spec, v) for v in (0.0, 0.5, 1.0, 2.0, 5.0)]
         assert all(b >= a for a, b in zip(values, values[1:]))
 
+    @requires_scipy
     def test_surface_potential_pins_near_2phif(self):
         spec = device_spec("square", "HfO2")
         phi_f = spec.substrate_material.bulk_potential(1e17)

@@ -10,6 +10,14 @@ from repro.tcad.field import solve_current_density
 from repro.tcad.mesh import RectilinearMesh
 from repro.tcad.poisson1d import Poisson1DSolver, _solve_tridiagonal
 
+from repro.spice.solvers import scipy_available
+
+#: These cases drive scipy-backed device physics (field solves, root
+#: finding, extraction) and skip on a scipy-free install.
+requires_scipy = pytest.mark.skipif(
+    not scipy_available(), reason="needs the scipy optional extra"
+)
+
 
 class TestMesh:
     def test_spacing(self):
@@ -54,6 +62,7 @@ class TestMesh:
         assert sigma.max() > 1e3 * sigma.min()
 
 
+@requires_scipy
 class TestCurrentDensityField:
     @pytest.fixture(scope="class")
     def square_field(self):
@@ -131,6 +140,7 @@ class TestPoisson1D:
         psi = [solver.solve(v).surface_potential_v for v in (0.5, 1.0, 2.0, 4.0)]
         assert all(b >= a for a, b in zip(psi, psi[1:]))
 
+    @requires_scipy
     def test_matches_charge_sheet_model(self, solver):
         spec = device_spec("square", "HfO2")
         gate_v = 3.0
