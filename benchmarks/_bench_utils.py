@@ -6,6 +6,11 @@ import json
 import os
 from typing import Any, Dict
 
+#: Version of the BENCH_*.json layout.  Stamped into every artifact so the
+#: trend-diff tooling can detect (and report, rather than mis-parse) a
+#: future format change.  Bump when the payload structure changes shape.
+BENCH_SCHEMA_VERSION = 1
+
 
 def report(text: str) -> None:
     """Print an experiment report under the benchmark output (use ``-s`` to see it)."""
@@ -18,13 +23,15 @@ def write_bench_json(filename: str, payload: Dict[str, Any]) -> None:
     Writes ``payload`` as JSON into the directory named by the
     ``BENCH_JSON_DIR`` environment variable (``BENCH_engine.json``,
     ``BENCH_montecarlo.json``, ...); a no-op when the variable is unset, so
-    local runs stay side-effect free.
+    local runs stay side-effect free.  Every file is stamped with
+    ``schema_version`` (see :data:`BENCH_SCHEMA_VERSION`).
     """
     directory = os.environ.get("BENCH_JSON_DIR")
     if not directory:
         return
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, filename)
+    stamped = {"schema_version": BENCH_SCHEMA_VERSION, **payload}
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
+        json.dump(stamped, handle, indent=2, sort_keys=True)
         handle.write("\n")

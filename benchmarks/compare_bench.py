@@ -31,9 +31,15 @@ HIGHER_IS_BETTER = ("speedup", "_per_second", "_ratio", "_reduction", "_fraction
 
 
 def iter_metrics(payload, prefix: str = "") -> Iterator[Tuple[str, float]]:
-    """Flatten a BENCH payload to dotted-path numeric leaves."""
+    """Flatten a BENCH payload to dotted-path numeric leaves.
+
+    ``schema_version`` is format metadata, not a measurement, and is
+    excluded (it is compared separately in :func:`main`).
+    """
     if isinstance(payload, dict):
         for key, value in sorted(payload.items()):
+            if not prefix and key == "schema_version":
+                continue
             yield from iter_metrics(value, f"{prefix}{key}.")
     elif isinstance(payload, list):
         for index, value in enumerate(payload):
@@ -58,9 +64,13 @@ def direction(metric: str) -> int:
     return 0
 
 
-def load_directory(directory: str) -> Dict[str, Dict[str, float]]:
-    """All BENCH_*.json files in a directory, flattened per file."""
-    found: Dict[str, Dict[str, float]] = {}
+def load_directory(directory: str) -> Dict[str, Tuple[Dict[str, float], object]]:
+    """All BENCH_*.json files in a directory: name -> (metrics, schema_version).
+
+    ``schema_version`` is ``None`` for artifacts written before the stamp
+    was introduced.
+    """
+    found: Dict[str, Tuple[Dict[str, float], object]] = {}
     if not os.path.isdir(directory):
         return found
     for name in sorted(os.listdir(directory)):
@@ -72,7 +82,8 @@ def load_directory(directory: str) -> Dict[str, Dict[str, float]]:
         except (OSError, json.JSONDecodeError) as error:
             print(f"  ! could not read {name}: {error}")
             continue
-        found[name] = dict(iter_metrics(payload))
+        version = payload.get("schema_version") if isinstance(payload, dict) else None
+        found[name] = (dict(iter_metrics(payload)), version)
     return found
 
 
@@ -101,17 +112,31 @@ def main(argv=None) -> int:
         return 0
 
     warnings = 0
-    for filename, metrics in current.items():
-        baseline = previous.get(filename)
+    added_metrics = 0
+    removed_metrics = 0
+    for filename, (metrics, version) in current.items():
+        entry = previous.get(filename)
         header = f"== {filename}"
-        if baseline is None:
+        if entry is None:
+            # Never skip one-sided files silently: a new benchmark's
+            # metrics are all "added" and listed as such.
             print(f"{header} (new benchmark — no previous run)")
+            for metric, value in metrics.items():
+                print(f"   {metric}: {value:g} (added)")
+                added_metrics += 1
             continue
+        baseline, previous_version = entry
         print(header)
+        if version != previous_version:
+            print(
+                f"   ! schema_version changed: {previous_version!r} -> {version!r} "
+                "(metric paths may not be comparable across the format change)"
+            )
         for metric, value in metrics.items():
             old = baseline.get(metric)
             if old is None:
-                print(f"   {metric}: {value:g} (new metric)")
+                print(f"   {metric}: {value:g} (added)")
+                added_metrics += 1
                 continue
             if old == 0.0:
                 delta_text = "prev 0"
@@ -129,7 +154,22 @@ def main(argv=None) -> int:
         removed = sorted(set(baseline) - set(metrics))
         for metric in removed:
             print(f"   {metric}: removed (was {baseline[metric]:g})")
+            removed_metrics += 1
 
+    # Benchmarks present only in the previous run would otherwise vanish
+    # without a trace (the loop above iterates current files only).
+    for filename in sorted(set(previous) - set(current)):
+        baseline, _ = previous[filename]
+        print(f"== {filename} (removed — present in the previous run only)")
+        for metric, value in sorted(baseline.items()):
+            print(f"   {metric}: removed (was {value:g})")
+            removed_metrics += 1
+
+    if added_metrics or removed_metrics:
+        print(
+            f"\nschema drift: {added_metrics} metric(s) added, "
+            f"{removed_metrics} removed since the previous run"
+        )
     if warnings:
         print(
             f"\n{warnings} metric(s) worsened by more than "

@@ -57,6 +57,30 @@ def main() -> None:
     bench = build_lattice_circuit(lattice, model=model, input_sequence=sequence)
     print("netlist summary:", bench.circuit.summary())
 
+    # 5. The declarative API: describe the study as a spec, let a Session
+    # run it.  Re-running an unchanged spec replays from the content-hash
+    # cache — zero Newton iterations the second time.
+    from repro.api import CircuitSpec, Session, Transient
+
+    session = Session()
+    spec = Transient(
+        circuit=CircuitSpec(
+            "repro.experiments.fig11_xor3_transient:build_fig11_bench",
+            params={"step_duration_s": 80e-9},
+        ),
+        timestep_s=1e-9,
+    )
+    first = session.run(spec)
+    print(
+        f"\nSession study: settled output {first.voltage('out')[-1]:.3f} V, "
+        f"{session.last_stats.newton_iterations} Newton iterations"
+    )
+    again = session.run(spec)
+    print(
+        f"cached re-run: from_cache={again.from_cache}, "
+        f"{session.last_stats.newton_iterations} Newton iterations"
+    )
+
 
 if __name__ == "__main__":
     main()

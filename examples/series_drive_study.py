@@ -5,11 +5,18 @@ for constant current, as a function of the number of series switches) and
 then asks the follow-up question the paper's conclusion motivates: how much
 drive headroom does a higher supply buy for long switch chains?
 
+The supply x chain-length table is a declarative product grid of
+:class:`repro.api.DCOp` specs dispatched through one
+:class:`repro.api.Session` — every (supply, length) cell is one spec, the
+session builds each distinct chain once and caches every result by content
+hash.
+
 Run with ``python examples/series_drive_study.py``.
 """
 
 from repro.analysis.reporting import Table, format_engineering
-from repro.circuits.series_chain import current_versus_chain_length
+from repro.api import CircuitSpec, DCOp, default_session, expand_grid
+from repro.circuits.series_chain import build_series_chain
 from repro.circuits.sizing import default_switch_model
 from repro.experiments.fig12_series_switches import run_fig12, run_fig12_drive_curves
 
@@ -26,23 +33,57 @@ def main() -> None:
         f"{result.voltage_growth():.1f}x over the same range."
     )
 
+    # Chain current vs supply voltage: a (supply x length) product grid of
+    # DCOp specs, one Session.run_many call.
+    session = default_session()
     lengths = (1, 5, 11, 21)
     supplies = (0.8, 1.0, 1.2, 1.5, 1.8)
+    template = DCOp(
+        circuit=CircuitSpec(
+            build_series_chain,
+            params={"num_switches": 1, "model": model, "drive_v": 1.2, "gate_v": 1.2},
+        )
+    )
+    specs = [
+        spec
+        for supply in supplies
+        for spec in expand_grid(
+            template,
+            {
+                "circuit.num_switches": lengths,
+                "circuit.drive_v": (supply,),
+                "circuit.gate_v": (supply,),
+            },
+        )
+    ]
+    study = session.run_many(specs)
+    currents = {}
+    for spec, point in zip(specs, study):
+        params = dict(spec.circuit.params)
+        key = (params["num_switches"], params["drive_v"])
+        currents[key] = abs(float(point.source_current("v_drive")))
+    print(
+        f"\ngrid study: {session.last_stats.computed} specs computed, "
+        f"{session.last_stats.cached} served from the content-hash cache"
+    )
+
     table = Table(
         ["supply [V]"] + [f"{n} switches" for n in lengths],
         title="Chain current vs supply voltage (extension of Fig. 12a)",
     )
     for supply in supplies:
-        currents = current_versus_chain_length(lengths, drive_v=supply, gate_v=supply, model=model)
-        table.add_row([f"{supply:g}"] + [format_engineering(currents[n], "A") for n in lengths])
+        table.add_row(
+            [f"{supply:g}"]
+            + [format_engineering(currents[(n, supply)], "A") for n in lengths]
+        )
     print("\n" + table.render())
 
-    # Gate-overdrive study: a whole family of chain I-V curves batched
-    # through one compiled circuit (AnalysisEngine.sweep_many).
+    # Gate-overdrive study: a grid of DCSweep specs (one chain per gate
+    # level) through the same session — see run_fig12_drive_curves.
     curves = run_fig12_drive_curves(num_switches=11, model=model)
     overdrive = Table(
         ["gate [V]", "I @ 0.6 V drive", "I @ 1.2 V drive"],
-        title="11-switch chain drive current vs gate voltage (one compiled circuit)",
+        title="11-switch chain drive current vs gate voltage (declarative grid)",
     )
     for gate_v, sweep in curves.items():
         current = -sweep.source_current("v_drive")

@@ -10,6 +10,7 @@ Run with ``python examples/xor3_circuit.py``.
 """
 
 from repro.analysis.reporting import Table, format_engineering
+from repro.api import default_session
 from repro.circuits.sizing import default_switch_model
 from repro.core.library import xor3_lattice_3x3, xor3_lattice_3x4
 from repro.experiments.fig11_xor3_transient import run_fig11
@@ -21,6 +22,15 @@ def main() -> None:
     print("=== 3x3 XOR3 lattice (Fig. 3b / Fig. 11) ===")
     result_3x3 = run_fig11(lattice=xor3_lattice_3x3(), model=model)
     print(result_3x3.report())
+
+    # run_fig11 routes through the shared repro.api session: an identical
+    # re-run replays from the content-hash cache without re-solving.
+    run_fig11(lattice=xor3_lattice_3x3(), model=model)
+    stats = default_session().last_stats
+    print(
+        f"\n(identical re-run: {stats.cached} cached result, "
+        f"{stats.newton_iterations} Newton iterations performed)"
+    )
 
     print("\n=== 3x4 XOR3 lattice (Fig. 3a) in the same circuit ===")
     result_3x4 = run_fig11(lattice=xor3_lattice_3x4(), model=model)

@@ -4,24 +4,34 @@ The paper's Fig. 11 transient is a single-corner simulation.  This example
 reruns its circuit 500 times with per-transistor threshold spread (30 mV
 sigma) and beta spread (5 % sigma), sharded across four worker processes,
 and prints the resulting delay/level distributions — then cross-checks the
-tails against the deterministic FF/SS/FS/SF process corners.
+tails against the deterministic FF/SS/FS/SF process corners, expressed as
+a declarative :class:`repro.api.Corners` spec over the same bench factory
+and dispatched through the shared session.
 
 The study is seeded: rerunning it (with any worker count) reproduces the
 same distributions bit for bit.
 
-Run with ``PYTHONPATH=src python examples/xor3_variability.py``.
+Run with ``PYTHONPATH=src python examples/xor3_variability.py``; set
+``EXAMPLES_SMOKE=1`` for the CI-sized variant (fewer trials, two workers).
 """
 
+import os
+
 from repro.analysis.reporting import Table, format_engineering
-from repro.circuits.corners import run_corners
+from repro.analysis.waveform_metrics import edge_times, steady_state_levels
+from repro.api import Corners, Transient, default_session
 from repro.experiments.variability_xor3 import (
-    delay_metrics_trial,
     run_variability_xor3,
+    variability_circuit_spec,
 )
+
+SMOKE = os.environ.get("EXAMPLES_SMOKE", "").lower() not in ("", "0", "false", "no")
 
 
 def main() -> None:
-    result = run_variability_xor3(trials=500, seed=2019, workers=4)
+    trials = 60 if SMOKE else 500
+    workers = 2 if SMOKE else 4
+    result = run_variability_xor3(trials=trials, seed=2019, workers=workers)
     print(result.report())
 
     rise = result.rise_summary
@@ -32,34 +42,43 @@ def main() -> None:
         f"(fall: {format_engineering(fall.spread(), 's')})."
     )
 
-    # Corner analysis on the same compiled circuit: the corners should
-    # bracket the Monte-Carlo tails.
-    bench = result.bench
+    # Corner analysis as a declarative spec: the same bench factory the
+    # study ran on, a Transient base analysis, all five corners — one
+    # Session.run.  The corners should bracket the Monte-Carlo tails.
+    # variability_circuit_spec() spells the factory params exactly like the
+    # study above did, so the session reuses the already-compiled bench.
+    session = default_session()
+    circuit_spec = variability_circuit_spec()
+    corners_result = session.run(Corners(base=Transient(circuit=circuit_spec)))
+    bench = session.build_circuit(circuit_spec)
     output_index = bench.circuit.node_index(bench.output_node)
 
-    def corner_metrics(engine, corner):
-        return delay_metrics_trial(
-            engine,
-            -1,
-            output_index=output_index,
-            stop_time_s=bench.input_sequence.total_duration_s,
-        )
-
-    corners = run_corners(bench.circuit, corner_metrics)
     table = Table(
         ["corner", "rise time", "fall time", "zero-state output"],
-        title="Process corners (same compiled circuit)",
+        title="Process corners (one Corners spec, one compiled circuit)",
     )
-    for name, metrics in corners.items():
+    for name, child in corners_result.children.items():
+        time_s = child.arrays["time_s"]
+        vout = child.arrays["solutions"][:, output_index]
+        levels = steady_state_levels(time_s, vout)
+        rises, falls = edge_times(time_s, vout, levels)
         table.add_row(
             [
                 name,
-                format_engineering(metrics["rise_time_s"], "s"),
-                format_engineering(metrics["fall_time_s"], "s"),
-                format_engineering(metrics["low_v"], "V"),
+                format_engineering(rises[0] if rises else float("nan"), "s"),
+                format_engineering(falls[0] if falls else float("nan"), "s"),
+                format_engineering(levels.low_v, "V"),
             ]
         )
     print("\n" + table.render())
+
+    # An identical re-run of the corner study replays from the cache —
+    # zero Newton iterations performed the second time.
+    session.run(Corners(base=Transient(circuit=circuit_spec)))
+    print(
+        f"\ncached corner re-run: {session.last_stats.cached} result(s) served "
+        f"from cache, {session.last_stats.newton_iterations} Newton iterations"
+    )
 
 
 if __name__ == "__main__":

@@ -17,24 +17,27 @@ covers the paper's whole stack:
 * :mod:`repro.circuits` — lattice netlists, the XOR3 transient bench
   (Fig. 11) and the series-switch drive study (Fig. 12);
 * :mod:`repro.analysis` — waveform and I-V measurements, report tables;
-* :mod:`repro.experiments` — one module per table/figure of the paper.
+* :mod:`repro.experiments` — one module per table/figure of the paper;
+* :mod:`repro.api` — the unified Study/Session layer: declarative specs
+  over every analysis, a shared result schema, content-hash caching and a
+  pluggable executor seam (the stable public surface).
 
 Quickstart::
 
-    from repro.core import xor3_lattice_3x3, lattice_function
-    from repro.circuits import build_lattice_circuit
-    from repro.circuits.testbench import InputSequence
+    from repro.api import CircuitSpec, Session, Transient
 
-    lattice = xor3_lattice_3x3()
-    print(lattice_function(lattice).sop_string())
-
-    sequence = InputSequence.exhaustive(("a", "b", "c"), step_duration_s=100e-9)
-    bench = build_lattice_circuit(lattice, input_sequence=sequence)
-    result = bench.run_transient(timestep_s=1e-9)
+    session = Session()
+    result = session.run(Transient(
+        circuit=CircuitSpec(
+            "repro.experiments.fig11_xor3_transient:build_fig11_bench",
+            params={"step_duration_s": 80e-9},
+        ),
+        timestep_s=1e-9,
+    ))
     print(result.voltage("out")[-1])
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "constants",
@@ -46,4 +49,5 @@ __all__ = [
     "circuits",
     "analysis",
     "experiments",
+    "api",
 ]

@@ -1,0 +1,87 @@
+"""repro.api — one declarative entry point over every analysis.
+
+The engine layers (PRs 1-3) left the package with many parallel entry
+points — ``dcop``/``dcsweep``/``transient``/``sweep_many``/
+``MonteCarloEngine``/``run_corners`` — each wired by hand at every call
+site.  This package replaces that wiring with a *declare, then run* model:
+
+1. **Specs** (:mod:`repro.api.specs`) — frozen dataclasses describing what
+   to compute: a :class:`CircuitSpec` (factory + parameters) plus an
+   analysis variant (:class:`DCOp`, :class:`DCSweep`, :class:`Transient`,
+   :class:`MonteCarlo`, :class:`Corners`) capturing every knob, solver
+   choice and seed.
+2. **Session** (:mod:`repro.api.session`) — builds and compiles each
+   circuit exactly once, dispatches any spec (single, list or
+   :func:`expand_grid` product) through the analysis engine, and returns
+   uniform :class:`Result` records with provenance.
+3. **Cache** (:mod:`repro.api.cache`) — results are stored under the
+   spec's content hash (:func:`spec_hash`), in memory and optionally on
+   disk, so re-running a study recomputes only what changed.
+4. **Executors** (:mod:`repro.api.executors`) — the placement seam:
+   :class:`SerialExecutor` (default) or :class:`ProcessExecutor`, which
+   fans independent specs of *any* analysis kind across worker processes
+   on pickled compiled circuits.
+
+Quickstart::
+
+    from repro.api import CircuitSpec, Session, Transient
+
+    bench = CircuitSpec(
+        "repro.experiments.fig11_xor3_transient:build_fig11_bench",
+        params={"step_duration_s": 80e-9},
+    )
+    session = Session(cache_dir=".study-cache")
+    result = session.run(Transient(circuit=bench, timestep_s=1e-9))
+    print(result.voltage("out")[-1], result.provenance["git"])
+
+    session.run(Transient(circuit=bench, timestep_s=1e-9))   # cache hit:
+    assert session.last_stats.newton_iterations == 0          # zero Newton work
+
+The legacy frontends (``dc_operating_point``, ``dc_sweep``,
+``transient_analysis``) remain as thin delegating wrappers and emit
+:class:`DeprecationWarning` pointing here; see the README migration table.
+"""
+
+from repro.api.cache import ResultCache
+from repro.api.executors import Executor, ProcessExecutor, SerialExecutor
+from repro.api.hashing import canonical, canonical_json, content_hash, spec_hash
+from repro.api.results import Result, ResultSet
+from repro.api.session import RunStats, Session, default_session
+from repro.api.specs import (
+    AnalysisSpec,
+    CircuitSpec,
+    Corners,
+    DCOp,
+    DCSweep,
+    MonteCarlo,
+    Transient,
+    circuit_of,
+    expand_grid,
+    resolve_factory,
+)
+
+__all__ = [
+    "AnalysisSpec",
+    "CircuitSpec",
+    "Corners",
+    "DCOp",
+    "DCSweep",
+    "MonteCarlo",
+    "Transient",
+    "circuit_of",
+    "expand_grid",
+    "resolve_factory",
+    "Result",
+    "ResultSet",
+    "ResultCache",
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "RunStats",
+    "Session",
+    "default_session",
+    "canonical",
+    "canonical_json",
+    "content_hash",
+    "spec_hash",
+]

@@ -1,0 +1,109 @@
+"""Content-hash result cache: in-memory always, on-disk JSON optionally.
+
+The cache keys on the spec's content hash
+(:func:`repro.api.hashing.spec_hash`), so re-running a study recomputes
+only the specs whose content actually changed — a knob tweak invalidates
+exactly the specs that depend on it, nothing else.
+
+With a ``directory``, every stored result is also written as
+``<hash>.json`` (the exact serialization of
+:mod:`repro.api.results`, bitwise round-trip safe), so a later process —
+or a later :class:`~repro.api.session.Session` — picks warm results up
+from disk.  Corrupt or version-mismatched files are treated as misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from repro.api.results import Result
+
+
+class ResultCache:
+    """spec hash -> :class:`~repro.api.results.Result` store.
+
+    The in-memory map is LRU-bounded (``max_memory_entries``) so a
+    long-lived session running many distinct specs cannot grow without
+    limit; evicted entries remain readable from the on-disk store when a
+    ``directory`` is configured.
+    """
+
+    def __init__(
+        self, directory: Optional[str] = None, max_memory_entries: int = 256
+    ):
+        if max_memory_entries < 1:
+            raise ValueError("at least one in-memory entry is required")
+        self._memory: Dict[str, Result] = {}
+        self.max_memory_entries = max_memory_entries
+        self.directory = directory
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+
+    def _remember(self, spec_hash: str, result: Result) -> None:
+        # Plain-dict LRU: re-insertion moves the key to the back, the
+        # front is the least recently used entry.
+        self._memory.pop(spec_hash, None)
+        self._memory[spec_hash] = result
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.pop(next(iter(self._memory)))
+
+    def _path(self, spec_hash: str) -> str:
+        return os.path.join(self.directory, f"{spec_hash}.json")
+
+    def get(self, spec_hash: str) -> Optional[Result]:
+        """The cached result for a spec hash, or ``None`` on a miss."""
+        result = self._memory.get(spec_hash)
+        if result is not None:
+            self._remember(spec_hash, result)  # LRU touch
+            return result
+        if self.directory is None:
+            return None
+        path = self._path(spec_hash)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                result = Result.from_jsonable(json.load(handle))
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            return None
+        self._remember(spec_hash, result)
+        return result
+
+    def put(self, spec_hash: str, result: Result) -> None:
+        """Store a result under its spec hash (memory, then disk if enabled)."""
+        self._remember(spec_hash, result)
+        if self.directory is None:
+            return
+        # Atomic replace so a crashed writer never leaves a half-written
+        # JSON file that later reads would have to treat as corruption.
+        fd, temp_path = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(result.to_jsonable(), handle, sort_keys=True)
+            os.replace(temp_path, self._path(spec_hash))
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, spec_hash: str) -> bool:
+        return self.get(spec_hash) is not None
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the in-memory store (and the on-disk files with ``disk=True``)."""
+        self._memory.clear()
+        if disk and self.directory is not None:
+            for name in os.listdir(self.directory):
+                if name.endswith(".json"):
+                    try:
+                        os.unlink(os.path.join(self.directory, name))
+                    except OSError:
+                        pass

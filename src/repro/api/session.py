@@ -1,0 +1,583 @@
+"""The Session façade: one declarative entry point over every analysis.
+
+A :class:`Session` takes :mod:`repro.api.specs` specs and returns
+:mod:`repro.api.results` records, owning everything in between:
+
+* **circuit reuse** — each distinct :class:`~repro.api.specs.CircuitSpec`
+  is built (and its engine compiled) exactly once per session, however
+  many analysis specs reference it;
+* **dispatch** — every spec kind routes through the same
+  :class:`~repro.spice.engine.AnalysisEngine` /
+  :class:`~repro.spice.montecarlo.MonteCarloEngine` machinery as the
+  legacy entry points, with the same defaults, so results are
+  bit-identical to the calls they replace;
+* **caching** — results are stored under the spec's content hash
+  (in-memory by default, on disk with ``cache_dir``); re-running an
+  unchanged spec performs zero Newton iterations (see
+  :attr:`Session.last_stats`);
+* **fan-out** — :meth:`Session.run_many` hands cache misses to the
+  pluggable :class:`~repro.api.executors.Executor` seam, so independent
+  specs of *any* analysis kind parallelize the same way Monte-Carlo
+  sweeps always did.
+
+Typical use::
+
+    from repro.api import CircuitSpec, DCOp, Session, expand_grid
+
+    chain = CircuitSpec(
+        "repro.circuits.series_chain:build_series_chain",
+        params={"num_switches": 11},
+    )
+    session = Session(cache_dir="study-cache")
+    point = session.run(DCOp(circuit=chain))
+    print(point.source_current("v_drive"))
+
+    specs = expand_grid(DCOp(circuit=chain), {"circuit.num_switches": (1, 5, 11, 21)})
+    study = session.run_many(specs)          # computed once ...
+    study = session.run_many(specs)          # ... instant replay from cache
+    assert session.last_stats.newton_iterations == 0
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import subprocess
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+import repro
+from repro.api.cache import ResultCache
+from repro.api.executors import Executor, SerialExecutor
+from repro.api.hashing import spec_hash
+from repro.api.results import Result, ResultSet, convergence_info_to_dict
+from repro.api.specs import (
+    AnalysisSpec,
+    CircuitSpec,
+    Corners,
+    DCOp,
+    DCSweep,
+    MonteCarlo,
+    Transient,
+    circuit_of,
+)
+from repro.spice.elements.sources import VoltageSource
+from repro.spice.engine import get_engine
+from repro.spice.netlist import Circuit
+
+
+# ---------------------------------------------------------------------- #
+# provenance
+# ---------------------------------------------------------------------- #
+
+
+@lru_cache(maxsize=1)
+def git_describe() -> str:
+    """A ``git describe`` of the source tree, or ``"unknown"`` outside git."""
+    try:
+        completed = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    text = completed.stdout.strip()
+    return text if completed.returncode == 0 and text else "unknown"
+
+
+@lru_cache(maxsize=1)
+def library_versions() -> Dict[str, str]:
+    """Versions of the libraries a result's numbers depend on."""
+    import platform
+
+    versions = {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "repro": getattr(repro, "__version__", "unknown"),
+    }
+    try:
+        from importlib.metadata import version
+
+        versions["scipy"] = version("scipy")
+    except Exception:
+        pass
+    return versions
+
+
+def build_provenance(content_hash: str) -> Dict[str, Any]:
+    """The provenance record attached to every computed result."""
+    return {
+        "spec_hash": content_hash,
+        "git": git_describe(),
+        "versions": dict(library_versions()),
+    }
+
+
+# ---------------------------------------------------------------------- #
+# run statistics
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class RunStats:
+    """What one ``run``/``run_many`` call actually did.
+
+    ``newton_iterations`` counts only iterations *performed* during the
+    call — results served from the cache contribute zero, which is how the
+    test-suite verifies that a cached re-run does no numerical work.
+    """
+
+    computed: int = 0
+    cached: int = 0
+    newton_iterations: int = 0
+
+    def absorb_computed(self, result: Result) -> None:
+        self.computed += 1
+        self.newton_iterations += result.newton_iterations
+
+    def absorb_cached(self) -> None:
+        self.cached += 1
+
+
+# ---------------------------------------------------------------------- #
+# the session
+# ---------------------------------------------------------------------- #
+
+
+class Session:
+    """Compile once, run any spec, cache by content (see module docstring).
+
+    Parameters
+    ----------
+    cache:
+        ``True`` (default) uses an in-memory :class:`~repro.api.cache.ResultCache`
+        (on-disk too when ``cache_dir`` is given); ``None``/``False``
+        disables caching; an explicit cache instance is used as-is.
+    cache_dir:
+        Directory of the on-disk JSON store (implies caching).
+    executor:
+        Default :class:`~repro.api.executors.Executor` for
+        :meth:`run_many` (serial when omitted).
+    """
+
+    def __init__(
+        self,
+        cache: Union[bool, None, ResultCache] = True,
+        cache_dir: Optional[str] = None,
+        executor: Optional[Executor] = None,
+    ):
+        if isinstance(cache, ResultCache):
+            self.cache: Optional[ResultCache] = cache
+        elif cache:
+            self.cache = ResultCache(directory=cache_dir)
+        else:
+            # An explicit opt-out wins even when a cache_dir is configured:
+            # cache=False/None must force recomputation.
+            self.cache = None
+        self.executor: Executor = executor or SerialExecutor()
+        self._built: Dict[str, Any] = {}
+        self.last_stats = RunStats()
+        self.total_stats = RunStats()
+
+    # ------------------------------------------------------------------ #
+    # circuits
+    # ------------------------------------------------------------------ #
+
+    def build_circuit(self, circuit_spec: CircuitSpec) -> Any:
+        """The factory's product for a circuit spec, built exactly once."""
+        key = circuit_spec.content_hash
+        built = self._built.get(key)
+        if built is None:
+            built = circuit_spec.build()
+            circuit_of(built)  # validate early: must carry a Circuit
+            self._built[key] = built
+        return built
+
+    def circuit(self, spec: Union[CircuitSpec, AnalysisSpec]) -> Circuit:
+        """The (shared) :class:`Circuit` behind a circuit or analysis spec."""
+        if isinstance(spec, AnalysisSpec):
+            spec = spec.circuit_spec()
+        return circuit_of(self.build_circuit(spec))
+
+    def prepare_circuits(self, specs: Sequence[AnalysisSpec]) -> Dict[str, Any]:
+        """Build + compile every distinct circuit of ``specs`` (for executors).
+
+        Returns the ``circuit-spec hash -> built object`` mapping executors
+        ship to worker processes; the compiled index arrays ride along in
+        the pickle, so workers never recompile.
+        """
+        prebuilt: Dict[str, Any] = {}
+        for spec in specs:
+            circuit_spec = spec.circuit_spec()
+            key = circuit_spec.content_hash
+            if key not in prebuilt:
+                built = self.build_circuit(circuit_spec)
+                get_engine(circuit_of(built)).compiled.refresh_values()
+                prebuilt[key] = built
+        return prebuilt
+
+    def adopt_circuits(self, prebuilt: Mapping[str, Any]) -> None:
+        """Adopt circuits built elsewhere (used by process-pool workers)."""
+        self._built.update(prebuilt)
+
+    # ------------------------------------------------------------------ #
+    # running specs
+    # ------------------------------------------------------------------ #
+
+    def run(self, spec: AnalysisSpec, use_cache: bool = True) -> Result:
+        """Run one spec (through the cache); returns its :class:`Result`."""
+        self.last_stats = RunStats()
+        result = self._run_one(spec, use_cache)
+        return result
+
+    def run_many(
+        self,
+        specs: Sequence[AnalysisSpec],
+        executor: Optional[Executor] = None,
+        use_cache: bool = True,
+    ) -> ResultSet:
+        """Run many specs; cache misses fan out through the executor seam.
+
+        Duplicate specs (same content hash) are computed once.  Results come
+        back in spec order whatever the executor's scheduling.
+        """
+        self.last_stats = RunStats()
+        executor = executor or self.executor
+        hashes = [spec_hash(spec) for spec in specs]
+
+        resolved: Dict[str, Result] = {}
+        pending: List[AnalysisSpec] = []
+        pending_hashes: List[str] = []
+        for spec, content in zip(specs, hashes):
+            if content in resolved or content in set(pending_hashes):
+                continue
+            cached = self.cache.get(content) if (self.cache and use_cache) else None
+            if cached is not None:
+                resolved[content] = dataclasses.replace(
+                    cached.copy(), from_cache=True
+                )
+                self.last_stats.absorb_cached()
+                self.total_stats.absorb_cached()
+            else:
+                pending.append(spec)
+                pending_hashes.append(content)
+
+        if pending:
+            computed = executor.run_specs(self, pending)
+            for content, result in zip(pending_hashes, computed):
+                if self.cache is not None:
+                    # The cache keeps its own copy so caller-side mutation
+                    # of the returned result can never poison later hits.
+                    self.cache.put(content, result.copy())
+                resolved[content] = result
+                self.last_stats.absorb_computed(result)
+                self.total_stats.absorb_computed(result)
+
+        # Duplicate-hash specs must not alias one mutable Result inside the
+        # returned set: hand out independent copies past the first slot.
+        ordered: List[Result] = []
+        seen: set = set()
+        for content in hashes:
+            result = resolved[content]
+            ordered.append(result.copy() if content in seen else result)
+            seen.add(content)
+        return ResultSet(results=ordered)
+
+    def _run_one(self, spec: AnalysisSpec, use_cache: bool) -> Result:
+        content = spec_hash(spec)
+        if self.cache is not None and use_cache:
+            cached = self.cache.get(content)
+            if cached is not None:
+                self.last_stats.absorb_cached()
+                self.total_stats.absorb_cached()
+                return dataclasses.replace(cached.copy(), from_cache=True)
+        result = self.compute(spec)
+        if self.cache is not None:
+            # The cache keeps its own copy so caller-side mutation of the
+            # returned result can never poison later hits.
+            self.cache.put(content, result.copy())
+        self.last_stats.absorb_computed(result)
+        self.total_stats.absorb_computed(result)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # computation (no cache involvement)
+    # ------------------------------------------------------------------ #
+
+    def compute(self, spec: AnalysisSpec) -> Result:
+        """Compute a spec unconditionally (no cache lookup or store)."""
+        built = self.build_circuit(spec.circuit_spec())
+        return self._compute_on_built(spec, built)
+
+    def _compute_on_built(self, spec: AnalysisSpec, built: Any) -> Result:
+        if isinstance(spec, DCOp):
+            return self._compute_dcop(spec, built)
+        if isinstance(spec, DCSweep):
+            return self._compute_dcsweep(spec, built)
+        if isinstance(spec, Transient):
+            return self._compute_transient(spec, built)
+        if isinstance(spec, MonteCarlo):
+            return self._compute_montecarlo(spec, built)
+        if isinstance(spec, Corners):
+            return self._compute_corners(spec, built)
+        raise TypeError(f"unknown analysis spec {type(spec).__qualname__}")
+
+    @staticmethod
+    def _meta(circuit: Circuit) -> Dict[str, Any]:
+        return {
+            "circuit": circuit.title,
+            "node_names": list(circuit.node_names),
+            "branch_positions": {
+                element.name: int(element.branch_position(circuit))
+                for element in circuit.elements
+                if isinstance(element, VoltageSource)
+            },
+        }
+
+    def _compute_dcop(self, spec: DCOp, built: Any) -> Result:
+        circuit = circuit_of(built)
+        point = get_engine(circuit).solve_dc(
+            max_iterations=spec.max_iterations,
+            tolerance_v=spec.tolerance_v,
+            gmin=spec.gmin,
+            damping_v=spec.damping_v,
+            time_s=spec.time_s,
+            solver=spec.solver,
+        )
+        info = convergence_info_to_dict(point.convergence_info)
+        return Result(
+            kind=spec.kind,
+            spec_hash=spec.content_hash,
+            arrays={"solution": point.solution.copy()},
+            scalars={
+                "converged": bool(point.converged),
+                "iterations": int(point.iterations),
+                "max_residual": float(point.max_residual),
+                "strategy": point.convergence_info.strategy,
+            },
+            convergence={"newton_iterations": int(point.iterations), "info": info},
+            provenance=build_provenance(spec.content_hash),
+            meta=self._meta(circuit),
+        )
+
+    def _compute_dcsweep(self, spec: DCSweep, built: Any) -> Result:
+        circuit = circuit_of(built)
+        sweep = get_engine(circuit).dc_sweep(
+            spec.source,
+            spec.values,
+            gmin=spec.gmin,
+            max_iterations=spec.max_iterations,
+            solver=spec.solver,
+        )
+        iterations = np.array([point.iterations for point in sweep.points], dtype=int)
+        converged = np.array([point.converged for point in sweep.points], dtype=bool)
+        residuals = np.array([point.max_residual for point in sweep.points], dtype=float)
+        per_point = [
+            convergence_info_to_dict(point.convergence_info) for point in sweep.points
+        ]
+        return Result(
+            kind=spec.kind,
+            spec_hash=spec.content_hash,
+            arrays={
+                "values": sweep.values.copy(),
+                "solutions": sweep.solutions.copy(),
+                "iterations": iterations,
+                "converged": converged,
+                "max_residuals": residuals,
+            },
+            scalars={
+                "converged": bool(converged.all()),
+                "points": len(sweep.points),
+                "source": spec.source,
+            },
+            convergence={
+                "newton_iterations": int(iterations.sum()),
+                "per_point": per_point,
+            },
+            provenance=build_provenance(spec.content_hash),
+            meta=self._meta(circuit),
+        )
+
+    def _resolve_stop_time(self, spec: Transient, built: Any) -> float:
+        if spec.stop_time_s is not None:
+            return spec.stop_time_s
+        sequence = getattr(built, "input_sequence", None)
+        duration = getattr(sequence, "total_duration_s", None)
+        if duration is None:
+            raise ValueError(
+                "Transient.stop_time_s=None needs a bench factory whose product "
+                "carries an input_sequence with a total duration"
+            )
+        return float(duration)
+
+    def _compute_transient(self, spec: Transient, built: Any) -> Result:
+        circuit = circuit_of(built)
+        transient = get_engine(circuit).solve_transient(
+            self._resolve_stop_time(spec, built),
+            spec.timestep_s,
+            integration=spec.integration,
+            max_newton_iterations=spec.max_newton_iterations,
+            tolerance_v=spec.tolerance_v,
+            gmin=spec.gmin,
+            use_initial_conditions=spec.use_initial_conditions,
+            adaptive=spec.adaptive,
+            lte_tolerance_v=spec.lte_tolerance_v,
+            min_timestep_s=spec.min_timestep_s,
+            max_timestep_s=spec.max_timestep_s,
+            solver=spec.solver,
+        )
+        info = transient.convergence_info
+        return Result(
+            kind=spec.kind,
+            spec_hash=spec.content_hash,
+            arrays={
+                "time_s": transient.time_s.copy(),
+                "solutions": transient.solutions.copy(),
+            },
+            scalars={
+                "converged": bool(transient.converged),
+                "strategy": info.strategy,
+                "accepted_steps": int(info.accepted_steps),
+                "rejected_steps": int(info.rejected_steps),
+            },
+            convergence={
+                "newton_iterations": int(info.newton_iterations),
+                "info": convergence_info_to_dict(info),
+            },
+            provenance=build_provenance(spec.content_hash),
+            meta=self._meta(circuit),
+        )
+
+    def _compute_montecarlo(self, spec: MonteCarlo, built: Any) -> Result:
+        from repro.spice.montecarlo import MonteCarloEngine
+
+        circuit = circuit_of(built)
+        engine = get_engine(circuit)
+        mc = MonteCarloEngine(circuit, dict(spec.perturbations), seed=spec.seed)
+        if spec.mode == "batched":
+            batch = mc.run_batched_dc(
+                spec.trials,
+                solver=spec.solver if spec.solver is not None else "batched",
+                max_iterations=spec.max_iterations,
+                tolerance_v=spec.tolerance_v,
+                gmin=spec.gmin,
+                damping_v=spec.damping_v,
+                time_s=spec.time_s,
+            )
+            solutions = batch.solutions.copy()
+            iterations = batch.iterations.copy()
+            converged = batch.converged.copy()
+            residuals = batch.max_residuals.copy()
+            strategies = list(batch.strategies)
+        else:
+            stacks = mc.sample_stacked_overlays(spec.trials)
+            compiled = engine.compiled
+            saved_overlay = dict(compiled._overlay) if compiled._overlay else None
+            solutions = np.zeros((spec.trials, circuit.system_size))
+            iterations = np.zeros(spec.trials, dtype=int)
+            converged = np.zeros(spec.trials, dtype=bool)
+            residuals = np.zeros(spec.trials, dtype=float)
+            strategies = []
+            try:
+                for trial in range(spec.trials):
+                    compiled.set_parameter_overlay(
+                        {name: stack[trial] for name, stack in stacks.items()}
+                    )
+                    point = engine.solve_dc(
+                        max_iterations=spec.max_iterations,
+                        tolerance_v=spec.tolerance_v,
+                        gmin=spec.gmin,
+                        damping_v=spec.damping_v,
+                        time_s=spec.time_s,
+                        refresh=False,
+                        solver=spec.solver,
+                    )
+                    solutions[trial] = point.solution
+                    iterations[trial] = point.iterations
+                    converged[trial] = point.converged
+                    residuals[trial] = point.max_residual
+                    strategies.append(point.convergence_info.strategy)
+            finally:
+                if saved_overlay is not None:
+                    compiled.set_parameter_overlay(saved_overlay)
+                else:
+                    compiled.clear_parameter_overlay()
+        return Result(
+            kind=spec.kind,
+            spec_hash=spec.content_hash,
+            arrays={
+                "solutions": solutions,
+                "iterations": np.asarray(iterations, dtype=int),
+                "converged": np.asarray(converged, dtype=bool),
+                "max_residuals": np.asarray(residuals, dtype=float),
+            },
+            scalars={
+                "converged": bool(np.all(converged)),
+                "trials": int(spec.trials),
+                "seed": int(spec.seed),
+                "mode": spec.mode,
+            },
+            convergence={
+                "newton_iterations": int(np.sum(iterations)),
+                "strategies": strategies,
+            },
+            provenance=build_provenance(spec.content_hash),
+            meta=self._meta(circuit),
+        )
+
+    def _compute_corners(self, spec: Corners, built: Any) -> Result:
+        from repro.circuits.corners import applied_corner, standard_corners
+        from repro.api.hashing import content_hash
+
+        circuit = circuit_of(built)
+        corner_map = standard_corners(spec.beta_spread, spec.vth_shift_v)
+        children: Dict[str, Result] = {}
+        for name in spec.corners:
+            with applied_corner(circuit, corner_map[name]):
+                child = self._compute_on_built(spec.base, built)
+            # A corner child is NOT the plain base computation — it ran
+            # under the corner overlay.  Re-identify it so FF/SS/... (and a
+            # nominal run of the same base spec) never share a hash.
+            child.spec_hash = content_hash(
+                {
+                    "corners_child": spec.content_hash,
+                    "base": spec.base.content_hash,
+                    "corner": name,
+                }
+            )
+            child.provenance["spec_hash"] = child.spec_hash
+            child.scalars["corner"] = name
+            children[name] = child
+        return Result(
+            kind=spec.kind,
+            spec_hash=spec.content_hash,
+            scalars={
+                "converged": all(child.converged for child in children.values()),
+                "corners": list(spec.corners),
+            },
+            convergence={"newton_iterations": 0},
+            provenance=build_provenance(spec.content_hash),
+            meta=self._meta(circuit),
+            children=children,
+        )
+
+
+_DEFAULT_SESSION: Optional[Session] = None
+
+
+def default_session() -> Session:
+    """The process-wide shared session (in-memory cache, serial executor).
+
+    The experiment frontends route through this session, so repeated runs
+    of the same figure within one process share circuits and results.
+    """
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = Session()
+    return _DEFAULT_SESSION

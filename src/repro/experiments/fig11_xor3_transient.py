@@ -95,6 +95,37 @@ class Fig11Result:
         return table.render() + "\n\n" + detail.render()
 
 
+def build_fig11_bench(
+    lattice: Optional[Lattice] = None,
+    model: Optional[FourTerminalSwitchModel] = None,
+    supply_v: float = 1.2,
+    pullup_ohm: float = 500e3,
+    step_duration_s: float = 100e-9,
+    gray_order: bool = False,
+) -> LatticeCircuit:
+    """The Fig. 11 bench as a circuit factory (spec-addressable).
+
+    Module-level so a :class:`repro.api.CircuitSpec` can name it — this is
+    the factory behind :func:`run_fig11`'s specs and the natural entry
+    point for custom Fig. 11 studies through :class:`repro.api.Session`.
+    """
+    if lattice is None:
+        lattice = xor3_lattice_3x3()
+    if model is None:
+        model = default_switch_model()
+    variables = lattice.variables()
+    sequence = InputSequence.exhaustive(
+        variables, step_duration_s=step_duration_s, high_level_v=supply_v, gray=gray_order
+    )
+    return build_lattice_circuit(
+        lattice,
+        model=model,
+        input_sequence=sequence,
+        supply_v=supply_v,
+        pullup_ohm=pullup_ohm,
+    )
+
+
 def run_fig11(
     lattice: Optional[Lattice] = None,
     model: Optional[FourTerminalSwitchModel] = None,
@@ -108,6 +139,11 @@ def run_fig11(
     **transient_kwargs,
 ) -> Fig11Result:
     """Run the Fig. 11 transient experiment.
+
+    Builds a :class:`repro.api.Transient` spec over
+    :func:`build_fig11_bench` and runs it through the shared
+    :func:`repro.api.default_session`, so repeated runs with identical
+    parameters replay from the content-hash cache instead of re-solving.
 
     Parameters
     ----------
@@ -123,29 +159,51 @@ def run_fig11(
     gray_order:
         Drive the inputs in Gray-code order instead of counting order.
     adaptive / solver / transient_kwargs:
-        Passed through to the engine's transient analysis: the LTE step
-        controller and the linear-solver backend (see
-        :func:`repro.spice.transient.transient_analysis`).
+        Transient-spec knobs: the LTE step controller and the linear-solver
+        backend (see :class:`repro.api.Transient`).  A ``solver`` given as
+        a :class:`~repro.spice.solvers.LinearSolver` *instance* (not
+        content-hashable, hence not spec-able) bypasses the session and
+        runs the bench directly, preserving the PR 3 calling convention.
     """
-    if lattice is None:
-        lattice = xor3_lattice_3x3()
-    if model is None:
-        model = default_switch_model()
+    from repro.api import CircuitSpec, Transient, default_session
 
-    variables = lattice.variables()
-    sequence = InputSequence.exhaustive(
-        variables, step_duration_s=step_duration_s, high_level_v=supply_v, gray=gray_order
+    session = default_session()
+    circuit_spec = CircuitSpec(
+        build_fig11_bench,
+        params={
+            "lattice": lattice,
+            "model": model,
+            "supply_v": supply_v,
+            "pullup_ohm": pullup_ohm,
+            "step_duration_s": step_duration_s,
+            "gray_order": gray_order,
+        },
     )
-    bench = build_lattice_circuit(
-        lattice,
-        model=model,
-        input_sequence=sequence,
-        supply_v=supply_v,
-        pullup_ohm=pullup_ohm,
-    )
-    transient = bench.run_transient(
-        timestep_s=timestep_s, adaptive=adaptive, solver=solver, **transient_kwargs
-    )
+    bench = session.build_circuit(circuit_spec)
+    if solver is None or isinstance(solver, str):
+        spec = Transient(
+            circuit=circuit_spec,
+            timestep_s=timestep_s,
+            adaptive=adaptive,
+            solver=solver,
+            **transient_kwargs,
+        )
+        result = session.run(spec)
+        transient = TransientResult(
+            circuit=bench.circuit,
+            time_s=result.arrays["time_s"],
+            solutions=result.arrays["solutions"],
+            converged=result.converged,
+            convergence_info=result.convergence_info,
+        )
+    else:
+        # Solver instances cannot be content-hashed into a spec; run the
+        # engine directly (uncached) exactly as before PR 4.
+        transient = bench.run_transient(
+            timestep_s=timestep_s, adaptive=adaptive, solver=solver, **transient_kwargs
+        )
+    lattice = bench.lattice
+    sequence = bench.input_sequence
 
     vout = transient.voltage(bench.output_node)
     levels = steady_state_levels(transient.time_s, vout)

@@ -13,18 +13,16 @@ additionally records the value in the paper's units so both can be compared.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.reporting import Table, format_engineering
 from repro.circuits.series_chain import (
     build_series_chain,
-    current_versus_chain_length,
     voltage_versus_chain_length,
 )
 from repro.circuits.sizing import default_switch_model
-from repro.spice.dcsweep import DCSweepResult
 from repro.spice.elements.switch4t import FourTerminalSwitchModel
 
 #: Chain lengths reported in Fig. 12 (1 to 21 switches, odd counts).
@@ -121,13 +119,34 @@ def run_fig12(
     ``target_current_a`` defaults to the paper's definition — the current of
     the two-switch chain at the nominal supply voltage.
     """
+    from repro.api import CircuitSpec, DCOp, default_session, expand_grid
+
     lengths = sorted(set(int(n) for n in lengths))
     if not lengths or lengths[0] < 1:
         raise ValueError("chain lengths must be positive integers")
     if model is None:
         model = default_switch_model()
 
-    currents = current_versus_chain_length(lengths, drive_v=supply_v, gate_v=supply_v, model=model)
+    # Fig. 12a as a declarative grid: one DCOp spec per chain length, all
+    # dispatched (and content-hash cached) through the shared session.
+    session = default_session()
+    template = DCOp(
+        circuit=CircuitSpec(
+            build_series_chain,
+            params={
+                "num_switches": lengths[0],
+                "model": model,
+                "drive_v": supply_v,
+                "gate_v": supply_v,
+            },
+        )
+    )
+    specs = expand_grid(template, {"circuit.num_switches": lengths})
+    study = session.run_many(specs)
+    currents = {
+        length: abs(float(result.source_current("v_drive")))
+        for length, result in zip(lengths, study)
+    }
 
     if target_current_a is None:
         two_switch = build_series_chain(2, model=model)
@@ -151,16 +170,37 @@ def run_fig12_drive_curves(
     max_drive_v: float = 1.2,
     points: int = 25,
     model: Optional[FourTerminalSwitchModel] = None,
-) -> Dict[float, DCSweepResult]:
+) -> "Dict[float, Any]":
     """Chain I-V curves at several gate voltages (a Fig. 12 extension).
 
-    Batches the whole family of drive sweeps through one compiled circuit
-    via :meth:`repro.spice.engine.AnalysisEngine.sweep_many`, quantifying
-    how much drive capability a higher gate overdrive buys a long chain.
-    Returns one :class:`~repro.spice.dcsweep.DCSweepResult` per gate level.
+    A declarative grid of :class:`repro.api.DCSweep` specs — one per gate
+    level, each on its own spec-built chain — dispatched through the shared
+    session, quantifying how much drive capability a higher gate overdrive
+    buys a long chain.
+
+    .. versionchanged::
+        Returns one :class:`repro.api.Result` per gate level (previously a
+        :class:`~repro.spice.dcsweep.DCSweepResult`); currents come out of
+        ``result.source_current("v_drive")``, solutions out of
+        ``result.arrays["solutions"]``.  The spec form trades the old
+        single-compiled-circuit warm seeding for content-hash caching and
+        executor fan-out; callers who want the imperative family sweep on
+        one compiled circuit should use
+        :meth:`repro.circuits.series_chain.SeriesChainCircuit.sweep_drive_family`.
     """
+    from repro.api import CircuitSpec, DCSweep, default_session, expand_grid
+
     if model is None:
         model = default_switch_model()
-    chain = build_series_chain(num_switches, model=model)
     values = np.linspace(0.0, max_drive_v, points)
-    return chain.sweep_drive_family(values, gate_levels)
+    template = DCSweep(
+        circuit=CircuitSpec(
+            build_series_chain,
+            params={"num_switches": num_switches, "model": model},
+        ),
+        source="v_drive",
+        values=values,
+    )
+    specs = expand_grid(template, {"circuit.gate_v": [float(g) for g in gate_levels]})
+    study = default_session().run_many(specs)
+    return {float(gate_v): result for gate_v, result in zip(gate_levels, study)}

@@ -71,6 +71,64 @@ def _toggle_sequence(
     )
 
 
+def build_variability_bench(
+    lattice: Optional[Lattice] = None,
+    model: Optional[FourTerminalSwitchModel] = None,
+    supply_v: float = 1.2,
+    pullup_ohm: float = 500e3,
+    step_duration_s: float = 40e-9,
+    transition_s: float = 1e-9,
+) -> LatticeCircuit:
+    """The study's bench (lattice + one-input toggle stimulus) as a factory.
+
+    Module-level so a :class:`repro.api.CircuitSpec` can name it; the
+    variability study and its corner cross-checks share the compiled bench
+    through the session this way.
+    """
+    if lattice is None:
+        lattice = xor3_lattice_3x3()
+    if model is None:
+        model = default_switch_model()
+    sequence = _toggle_sequence(supply_v, step_duration_s, transition_s=transition_s)
+    return build_lattice_circuit(
+        lattice,
+        model=model,
+        input_sequence=sequence,
+        supply_v=supply_v,
+        pullup_ohm=pullup_ohm,
+    )
+
+
+def variability_circuit_spec(
+    lattice: Optional[Lattice] = None,
+    model: Optional[FourTerminalSwitchModel] = None,
+    supply_v: float = 1.2,
+    pullup_ohm: float = 500e3,
+    step_duration_s: float = 40e-9,
+):
+    """The study's :class:`repro.api.CircuitSpec`, parameterized identically
+    everywhere.
+
+    Content hashing equalizes implicit and explicit *spec-field* defaults,
+    but factory ``params`` are hashed as given — so every caller must spell
+    them the same way to share the session-built bench.  This helper is
+    that single spelling; :func:`run_variability_xor3` and the examples
+    both use it.
+    """
+    from repro.api import CircuitSpec
+
+    return CircuitSpec(
+        build_variability_bench,
+        params={
+            "lattice": lattice,
+            "model": model,
+            "supply_v": supply_v,
+            "pullup_ohm": pullup_ohm,
+            "step_duration_s": step_duration_s,
+        },
+    )
+
+
 def delay_metrics_trial(
     engine: AnalysisEngine,
     trial: int,
@@ -95,16 +153,22 @@ def delay_metrics_trial(
     transient = engine.solve_transient(
         stop_time_s, timestep_s, adaptive=adaptive, lte_tolerance_v=lte_tolerance_v
     )
-    vout = transient.solutions[:, output_index]
-    levels = steady_state_levels(transient.time_s, vout)
-    rises, falls = edge_times(transient.time_s, vout, levels)
+    return _metrics_from_waveform(
+        transient.time_s, transient.solutions[:, output_index], transient.converged
+    )
+
+
+def _metrics_from_waveform(time_s, vout, converged: bool) -> Dict[str, float]:
+    """Edge/level metrics of one output waveform (shared trial/nominal path)."""
+    levels = steady_state_levels(time_s, vout)
+    rises, falls = edge_times(time_s, vout, levels)
     return {
         "rise_time_s": rises[0] if rises else float("nan"),
         "fall_time_s": falls[0] if falls else float("nan"),
         "low_v": levels.low_v,
         "high_v": levels.high_v,
         "swing_v": levels.swing_v,
-        "converged": float(transient.converged),
+        "converged": float(converged),
     }
 
 
@@ -226,31 +290,43 @@ def run_variability_xor3(
         controller (``timestep_s`` becomes the initial step); cuts the
         per-trial step count on the settled stretches of the stimulus.
     """
-    if lattice is None:
-        lattice = xor3_lattice_3x3()
-    if model is None:
-        model = default_switch_model()
+    from repro.api import Transient, default_session
 
-    sequence = _toggle_sequence(supply_v, step_duration_s, transition_s=1e-9)
-    bench = build_lattice_circuit(
-        lattice,
+    session = default_session()
+    circuit_spec = variability_circuit_spec(
+        lattice=lattice,
         model=model,
-        input_sequence=sequence,
         supply_v=supply_v,
         pullup_ohm=pullup_ohm,
+        step_duration_s=step_duration_s,
     )
+    bench = session.build_circuit(circuit_spec)
+    sequence = bench.input_sequence
+    output_index = bench.circuit.node_index(bench.output_node)
     analysis = partial(
         delay_metrics_trial,
-        output_index=bench.circuit.node_index(bench.output_node),
+        output_index=output_index,
         stop_time_s=sequence.total_duration_s,
         timestep_s=timestep_s,
         adaptive=adaptive,
         lte_tolerance_v=lte_tolerance_v,
     )
 
-    from repro.spice.engine import get_engine
-
-    nominal = analysis(get_engine(bench.circuit), -1)
+    # The nominal (unperturbed) reference goes through the declarative API,
+    # so an identical re-run replays from the session's content-hash cache.
+    nominal_result = session.run(
+        Transient(
+            circuit=circuit_spec,
+            timestep_s=timestep_s,
+            adaptive=adaptive,
+            lte_tolerance_v=lte_tolerance_v,
+        )
+    )
+    nominal = _metrics_from_waveform(
+        nominal_result.arrays["time_s"],
+        nominal_result.arrays["solutions"][:, output_index],
+        nominal_result.converged,
+    )
 
     montecarlo = MonteCarloEngine(
         bench.circuit,

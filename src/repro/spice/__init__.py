@@ -31,7 +31,10 @@ analysis engine:
   DC trials solve as one stacked batch through the batched backend
   (:meth:`~repro.spice.montecarlo.MonteCarloEngine.run_batched_dc`).
 
-The analyses are thin frontends over the engine:
+The preferred way to *run* analyses is the declarative layer in
+:mod:`repro.api` (specs + ``Session`` with content-hash caching and
+executor fan-out); the module-level frontends below remain as thin
+delegating wrappers and now emit ``DeprecationWarning``:
 
 * :func:`~repro.spice.dcop.dc_operating_point` — Newton-Raphson DC solve
   with automatic convergence fallbacks, returning an

@@ -212,7 +212,22 @@ def dc_operating_point(
         Linear-solver backend for the Newton solves (a name such as
         ``"sparse"`` or a :class:`~repro.spice.solvers.LinearSolver`
         instance; the engine default when omitted).
+
+    .. deprecated::
+        Build a :class:`repro.api.DCOp` spec and run it through
+        :meth:`repro.api.Session.run` instead (see the README migration
+        table); this wrapper remains for compatibility and will keep
+        delegating to the engine.
     """
+    import warnings
+
+    warnings.warn(
+        "dc_operating_point() is deprecated: build a repro.api.DCOp spec and "
+        "run it through repro.api.Session.run() (see the README migration "
+        "table)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return get_engine(circuit).solve_dc(
         initial_guess=initial_guess,
         max_iterations=max_iterations,

@@ -131,7 +131,21 @@ def dc_sweep(
     ``solver`` selects the linear-solver backend for every point (a name
     such as ``"sparse"`` or a :class:`~repro.spice.solvers.LinearSolver`
     instance; the engine default when omitted).
+
+    .. deprecated::
+        Build a :class:`repro.api.DCSweep` spec and run it through
+        :meth:`repro.api.Session.run` instead (see the README migration
+        table); this wrapper remains for compatibility and will keep
+        delegating to the engine.
     """
+    import warnings
+
+    warnings.warn(
+        "dc_sweep() is deprecated: build a repro.api.DCSweep spec and run it "
+        "through repro.api.Session.run() (see the README migration table)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return get_engine(circuit).dc_sweep(
         source, values, gmin=gmin, max_iterations=max_iterations, solver=solver
     )

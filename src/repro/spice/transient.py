@@ -180,7 +180,22 @@ def transient_analysis(
         Linear-solver backend for the per-step Newton solves (a name such
         as ``"sparse"`` or a :class:`~repro.spice.solvers.LinearSolver`
         instance; the engine default when omitted).
+
+    .. deprecated::
+        Build a :class:`repro.api.Transient` spec and run it through
+        :meth:`repro.api.Session.run` instead (see the README migration
+        table); this wrapper remains for compatibility and will keep
+        delegating to the engine.
     """
+    import warnings
+
+    warnings.warn(
+        "transient_analysis() is deprecated: build a repro.api.Transient spec "
+        "and run it through repro.api.Session.run() (see the README migration "
+        "table)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return get_engine(circuit).solve_transient(
         stop_time_s,
         timestep_s,

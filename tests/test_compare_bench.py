@@ -1,0 +1,110 @@
+"""Tests of the benchmark trend-diff tooling and the BENCH schema stamp."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _load(name: str):
+    path = os.path.join(_ROOT, "benchmarks", f"{name}.py")
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def compare_bench():
+    return _load("compare_bench")
+
+
+@pytest.fixture(scope="module")
+def bench_utils():
+    return _load("_bench_utils")
+
+
+def _write(directory, name, payload):
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, name), "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+class TestSchemaStamp:
+    def test_write_bench_json_stamps_schema_version(
+        self, bench_utils, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("BENCH_JSON_DIR", str(tmp_path))
+        bench_utils.write_bench_json("BENCH_stamp.json", {"solve_ms": 1.0})
+        with open(tmp_path / "BENCH_stamp.json", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["schema_version"] == bench_utils.BENCH_SCHEMA_VERSION
+        assert payload["solve_ms"] == 1.0
+
+    def test_write_bench_json_is_a_noop_without_the_env(
+        self, bench_utils, tmp_path, monkeypatch
+    ):
+        monkeypatch.delenv("BENCH_JSON_DIR", raising=False)
+        bench_utils.write_bench_json("BENCH_never.json", {"x": 1})
+        assert not (tmp_path / "BENCH_never.json").exists()
+
+    def test_schema_version_is_not_a_metric(self, compare_bench):
+        metrics = dict(
+            compare_bench.iter_metrics({"schema_version": 1, "solve_ms": 2.0})
+        )
+        assert "schema_version" not in metrics
+        assert metrics == {"solve_ms": 2.0}
+
+
+class TestTrendDiff:
+    def test_added_and_removed_metrics_are_reported(
+        self, compare_bench, tmp_path, capsys
+    ):
+        current = tmp_path / "current"
+        previous = tmp_path / "previous"
+        _write(current, "BENCH_a.json", {"schema_version": 1, "kept_ms": 2.0, "fresh_ms": 1.0})
+        _write(previous, "BENCH_a.json", {"schema_version": 1, "kept_ms": 2.0, "stale_ms": 9.0})
+        assert compare_bench.main([str(current), str(previous)]) == 0
+        out = capsys.readouterr().out
+        assert "fresh_ms: 1 (added)" in out
+        assert "stale_ms: removed (was 9)" in out
+        assert "1 metric(s) added, 1 removed" in out
+
+    def test_benchmark_files_in_only_one_run_are_reported(
+        self, compare_bench, tmp_path, capsys
+    ):
+        current = tmp_path / "current"
+        previous = tmp_path / "previous"
+        _write(current, "BENCH_new.json", {"schema_version": 1, "x_ms": 1.0})
+        _write(current, "BENCH_common.json", {"schema_version": 1, "y_ms": 1.0})
+        _write(previous, "BENCH_common.json", {"schema_version": 1, "y_ms": 1.0})
+        _write(previous, "BENCH_gone.json", {"schema_version": 1, "z_ms": 4.0})
+        assert compare_bench.main([str(current), str(previous)]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_new.json (new benchmark" in out
+        assert "x_ms: 1 (added)" in out
+        assert "BENCH_gone.json (removed — present in the previous run only)" in out
+        assert "z_ms: removed (was 4)" in out
+
+    def test_schema_version_change_is_flagged(self, compare_bench, tmp_path, capsys):
+        current = tmp_path / "current"
+        previous = tmp_path / "previous"
+        _write(current, "BENCH_a.json", {"schema_version": 2, "solve_ms": 1.0})
+        _write(previous, "BENCH_a.json", {"schema_version": 1, "solve_ms": 1.0})
+        compare_bench.main([str(current), str(previous)])
+        out = capsys.readouterr().out
+        assert "schema_version changed: 1 -> 2" in out
+
+    def test_regression_warning_still_fires(self, compare_bench, tmp_path, capsys):
+        current = tmp_path / "current"
+        previous = tmp_path / "previous"
+        _write(current, "BENCH_a.json", {"schema_version": 1, "solve_ms": 2.0})
+        _write(previous, "BENCH_a.json", {"schema_version": 1, "solve_ms": 1.0})
+        assert compare_bench.main([str(current), str(previous)]) == 0
+        out = capsys.readouterr().out
+        assert "WARNING: regression" in out
