@@ -17,7 +17,7 @@ def report(text: str) -> None:
     print("\n" + text + "\n")
 
 
-def write_bench_json(filename: str, payload: Dict[str, Any]) -> None:
+def write_bench_json(filename: str, payload: Dict[str, Any], merge: bool = False) -> None:
     """Record benchmark figures for the CI perf-trajectory artifact.
 
     Writes ``payload`` as JSON into the directory named by the
@@ -25,13 +25,28 @@ def write_bench_json(filename: str, payload: Dict[str, Any]) -> None:
     ``BENCH_montecarlo.json``, ...); a no-op when the variable is unset, so
     local runs stay side-effect free.  Every file is stamped with
     ``schema_version`` (see :data:`BENCH_SCHEMA_VERSION`).
+
+    ``merge=True`` folds ``payload`` into an existing file's top-level keys
+    instead of replacing it, so several benchmark cases can contribute to
+    one artifact (e.g. the Monte-Carlo trial-cost and batched-transient
+    cases both land in ``BENCH_montecarlo.json``) whatever order pytest
+    runs them in.  A corrupt existing file is treated as absent.
     """
     directory = os.environ.get("BENCH_JSON_DIR")
     if not directory:
         return
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, filename)
-    stamped = {"schema_version": BENCH_SCHEMA_VERSION, **payload}
+    existing: Dict[str, Any] = {}
+    if merge and os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                loaded = json.load(handle)
+            if isinstance(loaded, dict):
+                existing = loaded
+        except (OSError, json.JSONDecodeError):
+            existing = {}
+    stamped = {**existing, **payload, "schema_version": BENCH_SCHEMA_VERSION}
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(stamped, handle, indent=2, sort_keys=True)
         handle.write("\n")

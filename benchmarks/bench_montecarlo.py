@@ -136,7 +136,8 @@ def test_montecarlo_amortizes_compilation(benchmark, switch_model):
     floor = float(os.environ.get("MC_BENCH_MIN_SPEEDUP", "1.3"))
     write_bench_json(
         "BENCH_montecarlo.json",
-        {
+        merge=True,
+        payload={
             "benchmark": "montecarlo_trial_amortization",
             "circuit": circuit.summary(),
             "cold_trial_us": cold_s * 1e6,
@@ -250,6 +251,121 @@ def test_batched_backend_beats_per_trial_dense(benchmark, switch_model):
         f"  batched backend     : {batched_s * 1e3:7.1f} ms "
         f"({batched_s / trials * 1e6:6.1f} us/trial)\n"
         f"  speedup             : {speedup:7.2f}x (acceptance floor: {floor:g}x; "
+        f"records bit-identical)"
+    )
+    assert speedup >= floor
+
+
+def test_batched_transient_beats_per_trial(benchmark, switch_model):
+    """The 128-trial Fig. 11 variability study, lockstep vs per-trial.
+
+    The flagship workload: every trial is a full fixed-grid transient of
+    the XOR3 lattice bench under Vth/beta spread.  The per-trial path
+    marches each trial's own Python time loop (one dense solve per Newton
+    iteration per step); the lockstep path advances all trials together —
+    waveforms evaluated once per step, one stacked LAPACK call per Newton
+    round, converged trials frozen within the step.  The per-trial
+    arithmetic is bit-identical, so the delay records must agree exactly
+    while the wall clock drops by the acceptance floor (2x by default,
+    ``MC_TRANSIENT_MIN_SPEEDUP`` to relax on noisy runners).
+    """
+    from functools import partial as _partial
+
+    from repro.experiments.variability_xor3 import (
+        _metrics_from_waveform,
+        build_variability_bench,
+        delay_metrics_trial,
+    )
+
+    bench = build_variability_bench(model=switch_model)
+    circuit = bench.circuit
+    stop_time_s = bench.input_sequence.total_duration_s
+    timestep_s = 1e-9
+    output_index = circuit.node_index(bench.output_node)
+    montecarlo = MonteCarloEngine(
+        circuit,
+        perturbations={
+            "mos_vth": Gaussian(sigma=0.030),
+            "mos_beta": Gaussian(sigma=0.05, relative=True),
+        },
+        seed=2019,
+    )
+    analysis = _partial(
+        delay_metrics_trial,
+        output_index=output_index,
+        stop_time_s=stop_time_s,
+        timestep_s=timestep_s,
+    )
+
+    trials = 128
+    serial_s = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        serial = montecarlo.run(analysis, trials=trials)
+        serial_s = min(serial_s, time.perf_counter() - start)
+
+    batched_s = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        batched = montecarlo.run_batched_transient(trials, stop_time_s, timestep_s)
+        batched_s = min(batched_s, time.perf_counter() - start)
+
+    outputs = batched.voltage(bench.output_node)
+    batched_records = [
+        _metrics_from_waveform(batched.time_s, outputs[t], bool(batched.converged[t]))
+        for t in range(trials)
+    ]
+    # Bit-identical, not just close — NaN-aware, since a trial whose
+    # waveform never completes an edge legitimately reports nan delays.
+    assert len(batched_records) == len(serial.records)
+    for mine, reference in zip(batched_records, serial.records):
+        assert mine.keys() == reference.keys()
+        for key in mine:
+            a, b = mine[key], reference[key]
+            assert a == b or (a != a and b != b), key
+
+    speedup = serial_s / batched_s
+    floor = float(os.environ.get("MC_TRANSIENT_MIN_SPEEDUP", "2.0"))
+
+    benchmark.pedantic(
+        montecarlo.run_batched_transient,
+        args=(32, stop_time_s, timestep_s),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["serial_trial_ms"] = serial_s / trials * 1e3
+    benchmark.extra_info["batched_trial_ms"] = batched_s / trials * 1e3
+    benchmark.extra_info["speedup"] = speedup
+
+    write_bench_json(
+        "BENCH_montecarlo.json",
+        merge=True,
+        payload={
+            "batched_transient": {
+                "benchmark": "montecarlo_batched_transient_fig11",
+                "circuit": circuit.summary(),
+                "trials": trials,
+                "timesteps": int(round(stop_time_s / timestep_s)),
+                "serial_run_ms": serial_s * 1e3,
+                "batched_run_ms": batched_s * 1e3,
+                "serial_trial_ms": serial_s / trials * 1e3,
+                "batched_trial_ms": batched_s / trials * 1e3,
+                "lockstep_trials": int(
+                    sum(s == "lockstep" for s in batched.strategies)
+                ),
+                "speedup": speedup,
+                "acceptance_floor": floor,
+            }
+        },
+    )
+    report(
+        f"Lockstep vs per-trial Monte-Carlo transients ({trials} trials x "
+        f"{int(round(stop_time_s / timestep_s))} steps, {circuit.summary()}):\n"
+        f"  per-trial march : {serial_s * 1e3:8.1f} ms "
+        f"({serial_s / trials * 1e3:6.2f} ms/trial)\n"
+        f"  lockstep batched: {batched_s * 1e3:8.1f} ms "
+        f"({batched_s / trials * 1e3:6.2f} ms/trial)\n"
+        f"  speedup         : {speedup:8.2f}x (acceptance floor: {floor:g}x; "
         f"records bit-identical)"
     )
     assert speedup >= floor

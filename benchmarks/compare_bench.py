@@ -105,10 +105,18 @@ def main(argv=None) -> int:
         print(f"no BENCH_*.json artifacts in {args.current!r}; nothing to compare")
         return 0
     if not previous:
+        # First run on a fresh fork (or the artifact download failed / the
+        # old artifact expired): there is nothing to diff against, but this
+        # run's numbers still seed the next diff — say so explicitly and
+        # list what was recorded instead of skipping silently.
         print(
-            f"no previous artifacts in {args.previous!r} (first run, or the "
-            "download failed); skipping the trend diff"
+            f"no baseline — recording only (no previous artifacts in "
+            f"{args.previous!r}; this run's {len(current)} artifact(s) seed "
+            "the next diff):"
         )
+        for filename, (metrics, version) in current.items():
+            stamp = f", schema_version={version!r}" if version is not None else ""
+            print(f"  {filename}: {len(metrics)} metric(s){stamp}")
         return 0
 
     warnings = 0

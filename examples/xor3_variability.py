@@ -2,17 +2,23 @@
 
 The paper's Fig. 11 transient is a single-corner simulation.  This example
 reruns its circuit 500 times with per-transistor threshold spread (30 mV
-sigma) and beta spread (5 % sigma), sharded across four worker processes,
-and prints the resulting delay/level distributions — then cross-checks the
-tails against the deterministic FF/SS/FS/SF process corners, expressed as
-a declarative :class:`repro.api.Corners` spec over the same bench factory
+sigma) and beta spread (5 % sigma) as one declarative
+``MonteCarlo(base=Transient(...))`` spec: all trials march their
+transients in lockstep through the batched engine (one stacked LAPACK
+call per Newton round, waveforms evaluated once per step) and print the
+resulting delay/level distributions — then the tails are cross-checked
+against the deterministic FF/SS/FS/SF process corners, expressed as a
+declarative :class:`repro.api.Corners` spec over the same bench factory
 and dispatched through the shared session.
 
-The study is seeded: rerunning it (with any worker count) reproduces the
-same distributions bit for bit.
+The study is seeded: rerunning it reproduces the same distributions bit
+for bit (and the lockstep-batched records are bit-identical to the
+historical per-trial path on the same fixed grid), while an identical
+re-run within the process replays from the session's content-hash cache
+with zero Newton iterations.
 
 Run with ``PYTHONPATH=src python examples/xor3_variability.py``; set
-``EXAMPLES_SMOKE=1`` for the CI-sized variant (fewer trials, two workers).
+``EXAMPLES_SMOKE=1`` for the CI-sized variant (fewer trials).
 """
 
 import os
@@ -30,9 +36,18 @@ SMOKE = os.environ.get("EXAMPLES_SMOKE", "").lower() not in ("", "0", "false", "
 
 def main() -> None:
     trials = 60 if SMOKE else 500
-    workers = 2 if SMOKE else 4
-    result = run_variability_xor3(trials=trials, seed=2019, workers=workers)
+    # workers=None routes the study through the lockstep-batched
+    # MonteCarlo(base=Transient(...)) spec — the fastest path on any core
+    # count (pass workers=4 to fan per-trial solves across processes
+    # instead; the records are bit-identical either way).
+    result = run_variability_xor3(trials=trials, seed=2019, workers=None)
     print(result.report())
+
+    session = default_session()
+    print(
+        f"\nlockstep study: {session.last_stats.computed} computed result(s), "
+        f"{session.last_stats.newton_iterations} Newton iterations"
+    )
 
     rise = result.rise_summary
     fall = result.fall_summary

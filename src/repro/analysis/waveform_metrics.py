@@ -136,6 +136,68 @@ def edge_times(
     return rise_times, fall_times
 
 
+def edge_and_level_metrics(time_s: np.ndarray, values: np.ndarray) -> dict:
+    """The standard edge/level metric set of one output waveform.
+
+    The Fig. 11 variability study's per-trial metrics, as a module-level
+    *waveform-metric hook*: a ``MonteCarlo(base=Transient(...))`` spec names
+    it by its dotted path (``repro.analysis.waveform_metrics:edge_and_level_metrics``)
+    and the session applies it to every trial's output waveform.  A
+    waveform that never completes an edge reports ``nan`` for that delay,
+    which the aggregation layer counts against yield.
+    """
+    levels = steady_state_levels(time_s, values)
+    rises, falls = edge_times(time_s, values, levels)
+    return {
+        "rise_time_s": rises[0] if rises else float("nan"),
+        "fall_time_s": falls[0] if falls else float("nan"),
+        "low_v": levels.low_v,
+        "high_v": levels.high_v,
+        "swing_v": levels.swing_v,
+    }
+
+
+def delay_crossing(
+    time_s: np.ndarray,
+    values: np.ndarray,
+    fraction: float = 0.5,
+    reference_time_s: float = 0.0,
+) -> dict:
+    """First time the waveform crosses ``fraction`` of its swing, as a delay.
+
+    A waveform-metric hook for ``MonteCarlo(base=Transient(...))`` specs:
+    reports the first crossing (either polarity) of the
+    ``fraction``-of-swing threshold after ``reference_time_s``, as the
+    absolute crossing time and as the delay from the reference.  ``nan``
+    when the waveform never crosses (no swing, or it starts past the
+    threshold and never returns).
+    """
+    time_s, values = _validate(time_s, values)
+    levels = steady_state_levels(time_s, values)
+    if levels.swing_v <= 0.0:
+        return {"crossing_time_s": float("nan"), "crossing_delay_s": float("nan")}
+    threshold = levels.threshold(fraction)
+    start = max(int(np.searchsorted(time_s, reference_time_s, side="left")), 1)
+
+    def first_after(rising: bool) -> Optional[float]:
+        crossing = _crossing_time(time_s, values, threshold, start, rising=rising)
+        if crossing is not None and crossing < reference_time_s:
+            # The first examined segment straddles the reference and its
+            # interpolated crossing lies before it; every later segment
+            # starts at or after the reference, so one retry suffices.
+            crossing = _crossing_time(time_s, values, threshold, start + 1, rising=rising)
+        return crossing
+
+    candidates = [t for t in (first_after(False), first_after(True)) if t is not None]
+    if not candidates:
+        return {"crossing_time_s": float("nan"), "crossing_delay_s": float("nan")}
+    crossing = min(candidates)
+    return {
+        "crossing_time_s": crossing,
+        "crossing_delay_s": crossing - reference_time_s,
+    }
+
+
 def rise_time(time_s: np.ndarray, values: np.ndarray, levels: Optional[LogicLevels] = None) -> float:
     """First 10 %-90 % rise time of the waveform (``nan`` if it never rises)."""
     rises, _ = edge_times(time_s, values, levels)

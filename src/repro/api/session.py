@@ -460,6 +460,8 @@ class Session:
         circuit = circuit_of(built)
         engine = get_engine(circuit)
         mc = MonteCarloEngine(circuit, dict(spec.perturbations), seed=spec.seed)
+        if spec.base is not None:
+            return self._compute_montecarlo_transient(spec, built, mc)
         if spec.mode == "batched":
             batch = mc.run_batched_dc(
                 spec.trials,
@@ -529,6 +531,92 @@ class Session:
             },
             provenance=build_provenance(spec.content_hash),
             meta=self._meta(circuit),
+        )
+
+    def _compute_montecarlo_transient(self, spec: MonteCarlo, built: Any, mc) -> Result:
+        """A ``MonteCarlo(base=Transient(...))`` study: lockstep or per-trial.
+
+        Both modes march every trial on the base spec's fixed-step grid and
+        produce bit-identical waveforms; ``"batched"`` advances all trials
+        together (one batched LAPACK call per Newton round, waveforms
+        evaluated once per step).  The result keeps the shared time axis,
+        the per-trial waveform of ``metric_node`` and one column per
+        waveform-metric key, so the study round-trips through the JSON
+        schema and the cache without the full ``(trials, steps, n)`` stack.
+        """
+        from repro.api.specs import resolve_factory
+
+        base = spec.base
+        circuit = circuit_of(built)
+        stop_time_s = self._resolve_stop_time(base, built)
+        solver = spec.solver if spec.solver is not None else base.solver
+
+        controls = dict(
+            integration=base.integration,
+            max_newton_iterations=base.max_newton_iterations,
+            tolerance_v=base.tolerance_v,
+            gmin=base.gmin,
+            use_initial_conditions=base.use_initial_conditions,
+        )
+        if spec.mode == "batched":
+            batch = mc.run_batched_transient(
+                spec.trials,
+                stop_time_s,
+                base.timestep_s,
+                solver=solver if solver is not None else "batched",
+                **controls,
+            )
+        else:
+            batch = mc.run_per_trial_transient(
+                spec.trials, stop_time_s, base.timestep_s, solver=solver, **controls
+            )
+        time_s = batch.time_s.copy()
+        converged = batch.converged.copy()
+        iterations = batch.newton_iterations.copy()
+        residuals = batch.max_residuals.copy()
+        strategies = list(batch.strategies)
+
+        arrays: Dict[str, np.ndarray] = {
+            "time_s": time_s,
+            "converged": converged,
+            "iterations": iterations,
+            "max_residuals": residuals,
+        }
+        metric_keys: List[str] = []
+        if spec.metric_node:
+            outputs = batch.voltage(spec.metric_node)
+            arrays["outputs"] = outputs
+            if spec.metrics:
+                hooks = [resolve_factory(path) for path in spec.metrics]
+                records = []
+                for trial in range(spec.trials):
+                    merged: Dict[str, float] = {}
+                    for hook in hooks:
+                        merged.update(hook(time_s, outputs[trial]))
+                    records.append(merged)
+                metric_keys = list(records[0]) if records else []
+                for key in metric_keys:
+                    arrays[f"metric_{key}"] = np.array(
+                        [float(record.get(key, float("nan"))) for record in records]
+                    )
+        return Result(
+            kind=spec.kind,
+            spec_hash=spec.content_hash,
+            arrays=arrays,
+            scalars={
+                "converged": bool(np.all(converged)),
+                "trials": int(spec.trials),
+                "seed": int(spec.seed),
+                "mode": spec.mode,
+                "base_kind": base.kind,
+                "metric_node": spec.metric_node,
+            },
+            convergence={
+                "newton_iterations": int(np.sum(iterations)),
+                "strategies": strategies,
+            },
+            provenance=build_provenance(spec.content_hash),
+            meta={**self._meta(circuit), "metric_keys": metric_keys},
         )
 
     def _compute_corners(self, spec: Corners, built: Any) -> Result:

@@ -17,7 +17,8 @@ The variants mirror the engine's analyses one to one:
 :class:`DCSweep`          :meth:`~repro.spice.engine.AnalysisEngine.dc_sweep`
 :class:`Transient`        :meth:`~repro.spice.engine.AnalysisEngine.solve_transient`
 :class:`MonteCarlo`       :class:`~repro.spice.montecarlo.MonteCarloEngine`
-                          (DC trials, batched or per-trial)
+                          (DC trials, or ``base=Transient(...)`` lockstep
+                          transient trials; batched or per-trial)
 :class:`Corners`          :func:`~repro.circuits.corners.run_corners` around
                           any of the above
 ========================  =================================================
@@ -216,24 +217,44 @@ class Transient(AnalysisSpec):
 
 @dataclass(frozen=True)
 class MonteCarlo(AnalysisSpec):
-    """Monte-Carlo DC variability study (legacy: ``MonteCarloEngine``).
+    """Monte-Carlo variability study (legacy: ``MonteCarloEngine``).
 
     ``perturbations`` maps compiled parameter names (see
     :data:`repro.spice.engine.PERTURBABLE_PARAMETERS`) to the frozen
     :class:`~repro.spice.montecarlo.Distribution` dataclasses.  ``mode``
     selects the solve path: ``"batched"`` stacks all trials into batched
-    LAPACK Newton rounds (:meth:`~repro.spice.montecarlo.MonteCarloEngine.run_batched_dc`),
-    ``"per-trial"`` swaps overlays and solves trial by trial; both produce
-    bit-identical solutions.
+    LAPACK Newton rounds, ``"per-trial"`` swaps overlays and solves trial
+    by trial; both produce bit-identical solutions.
+
+    Two base analyses are supported:
+
+    * **DC** (the default): give ``circuit`` directly; every trial solves
+      the operating point with the DC knobs below
+      (:meth:`~repro.spice.montecarlo.MonteCarloEngine.run_batched_dc`).
+    * **Transient**: give ``base=Transient(...)`` instead of ``circuit``;
+      every trial marches that transient on its fixed-step grid
+      (:meth:`~repro.spice.montecarlo.MonteCarloEngine.run_batched_transient`
+      in ``"batched"`` mode — the lockstep march).  ``metric_node`` names
+      the output node whose per-trial waveform is kept, and ``metrics``
+      lists dotted-path *waveform-metric hooks* (module-level callables
+      ``(time_s, values) -> {name: value}``, e.g.
+      ``"repro.analysis.waveform_metrics:edge_and_level_metrics"`` or
+      ``"repro.analysis.waveform_metrics:delay_crossing"``) applied to
+      that waveform — so a Fig. 11-style delay study is fully declarative,
+      cacheable and hashable.  The base must use fixed-step integration
+      (``adaptive=False``): lockstep batching requires a shared grid.
     """
 
     kind = "montecarlo"
 
-    circuit: CircuitSpec
+    circuit: Optional[CircuitSpec] = None
+    base: Optional[Transient] = None
     perturbations: Tuple[Tuple[str, Distribution], ...] = ()
     trials: int = 1
     seed: int = 0
     mode: str = "batched"
+    metrics: Tuple[str, ...] = ()
+    metric_node: str = ""
     max_iterations: int = 300
     tolerance_v: float = 1e-7
     gmin: float = 1e-9
@@ -247,6 +268,48 @@ class MonteCarlo(AnalysisSpec):
             raise ValueError("mode must be 'batched' or 'per-trial'")
         if self.trials < 1:
             raise ValueError("at least one trial is required")
+        if (self.circuit is None) == (self.base is None):
+            raise ValueError(
+                "give exactly one of circuit= (DC trials) or base= "
+                "(a Transient spec for transient trials)"
+            )
+        if self.base is not None and not isinstance(self.base, Transient):
+            raise TypeError("MonteCarlo.base must be a Transient spec")
+        if self.base is not None and self.base.adaptive:
+            raise ValueError(
+                "MonteCarlo(base=Transient(adaptive=True)) is not supported: "
+                "lockstep batching (and per-trial record parity) needs the "
+                "shared fixed-step grid — use MonteCarloEngine.run for "
+                "adaptive per-trial marches"
+            )
+        if self.base is not None:
+            # The DC-trial Newton knobs have no effect on a transient study
+            # (the base spec carries its own controls); silently ignoring a
+            # non-default value would also split cache entries between
+            # specs that compute the same thing.
+            dc_knobs = ("max_iterations", "tolerance_v", "gmin", "damping_v", "time_s")
+            dc_defaults = {
+                f.name: f.default for f in fields(self) if f.name in dc_knobs
+            }
+            overridden = [
+                name for name in dc_knobs if getattr(self, name) != dc_defaults[name]
+            ]
+            if overridden:
+                raise ValueError(
+                    f"{overridden} are DC-trial knobs and have no effect with "
+                    "base=Transient(...); set the transient controls "
+                    "(max_newton_iterations, tolerance_v, gmin, ...) on the "
+                    "base spec instead"
+                )
+        metrics = tuple(str(path) for path in self.metrics)
+        object.__setattr__(self, "metrics", metrics)
+        if self.base is None and (metrics or self.metric_node):
+            raise ValueError(
+                "metrics/metric_node describe the output waveform of a "
+                "transient study; they need base=Transient(...)"
+            )
+        if metrics and not self.metric_node:
+            raise ValueError("metrics need metric_node (the waveform to measure)")
         perturbations = self.perturbations
         if isinstance(perturbations, Mapping):
             perturbations = tuple(sorted(perturbations.items()))
@@ -258,6 +321,11 @@ class MonteCarlo(AnalysisSpec):
             if not isinstance(distribution, Distribution):
                 raise TypeError(f"perturbation for {name!r} is not a Distribution")
         object.__setattr__(self, "perturbations", perturbations)
+
+    def circuit_spec(self) -> CircuitSpec:
+        if self.base is not None:
+            return self.base.circuit_spec()
+        return super().circuit_spec()
 
 
 @dataclass(frozen=True)
@@ -334,9 +402,12 @@ def expand_grid(
                     params = dict(circuit.params)
                     params[param] = value
                     new_circuit = replace(circuit, params=tuple(sorted(params.items())))
-                    if isinstance(variant, Corners):
+                    # Wrapper specs (Corners, MonteCarlo(base=...)) carry
+                    # the circuit on their base analysis, not on themselves.
+                    base = getattr(variant, "base", None)
+                    if base is not None:
                         expanded.append(
-                            replace(variant, base=replace(variant.base, circuit=new_circuit))
+                            replace(variant, base=replace(base, circuit=new_circuit))
                         )
                     else:
                         expanded.append(replace(variant, circuit=new_circuit))

@@ -14,11 +14,16 @@ XOR3 — completes exactly one falling and one rising edge.  That keeps a
 cost about seven times more per trial) while measuring the same 10-90 %
 edges the paper reports.
 
-The study runs through :class:`repro.spice.montecarlo.MonteCarloEngine`:
-the lattice circuit is compiled once, each trial swaps the compiled
-``mos_vth``/``mos_beta`` arrays in place, and trials shard across a process
-pool with deterministic per-trial seed substreams — serial and multi-worker
-runs produce bit-identical distributions.
+The study is one declarative ``MonteCarlo(base=Transient(...))`` spec run
+through the shared :class:`repro.api.Session`: the lattice circuit is
+compiled once, every trial's parameter stacks are sampled from
+deterministic per-trial seed substreams, and all trials march their
+transients in *lockstep* through the batched engine — each Newton round
+one stacked LAPACK call, waveforms evaluated once per step.  The records
+are bit-identical to the historical per-trial path (still available via
+``workers > 1`` for process fan-out, or ``adaptive=True`` for per-trial
+adaptive grids), and an identical re-run replays from the session's
+content-hash cache with zero Newton iterations.
 
 Example — the end-to-end 500-trial study::
 
@@ -37,7 +42,7 @@ from typing import Dict, Optional
 
 from repro.analysis.reporting import Table, format_engineering
 from repro.analysis.variability import DistributionSummary
-from repro.analysis.waveform_metrics import edge_times, steady_state_levels
+from repro.analysis.waveform_metrics import edge_and_level_metrics
 from repro.circuits.lattice_netlist import LatticeCircuit, build_lattice_circuit
 from repro.circuits.sizing import default_switch_model
 from repro.circuits.testbench import InputSequence
@@ -158,18 +163,34 @@ def delay_metrics_trial(
     )
 
 
+#: Dotted path of the study's waveform-metric hook, as a
+#: ``MonteCarlo(base=Transient(...))`` spec names it.
+METRIC_HOOK = "repro.analysis.waveform_metrics:edge_and_level_metrics"
+
+
 def _metrics_from_waveform(time_s, vout, converged: bool) -> Dict[str, float]:
-    """Edge/level metrics of one output waveform (shared trial/nominal path)."""
-    levels = steady_state_levels(time_s, vout)
-    rises, falls = edge_times(time_s, vout, levels)
-    return {
-        "rise_time_s": rises[0] if rises else float("nan"),
-        "fall_time_s": falls[0] if falls else float("nan"),
-        "low_v": levels.low_v,
-        "high_v": levels.high_v,
-        "swing_v": levels.swing_v,
-        "converged": float(converged),
-    }
+    """Edge/level metrics of one output waveform (shared trial/nominal path).
+
+    The metric set is the public :data:`METRIC_HOOK`
+    (:func:`repro.analysis.waveform_metrics.edge_and_level_metrics`) plus
+    the convergence flag the spec path appends from the solver statistics.
+    """
+    return {**edge_and_level_metrics(time_s, vout), "converged": float(converged)}
+
+
+def _records_from_spec_result(result) -> list:
+    """Legacy per-trial record dicts from a ``MonteCarlo(base=Transient(...))``
+    spec :class:`~repro.api.results.Result` (metric columns + converged flag)."""
+    keys = list(result.meta.get("metric_keys", ()))
+    converged = result.arrays["converged"]
+    columns = {key: result.arrays[f"metric_{key}"] for key in keys}
+    return [
+        {
+            **{key: float(columns[key][trial]) for key in keys},
+            "converged": float(converged[trial]),
+        }
+        for trial in range(len(converged))
+    ]
 
 
 @dataclass
@@ -271,7 +292,8 @@ def run_variability_xor3(
     ----------
     trials / seed:
         Monte-Carlo trial count and root seed.  Results are bit-identical
-        for a given seed, whatever ``workers`` is.
+        for a given seed, whatever ``workers`` is — and whichever of the
+        lockstep-batched or per-trial paths runs the study.
     sigma_vth_v:
         Absolute per-transistor threshold spread [V].
     sigma_beta:
@@ -279,7 +301,13 @@ def run_variability_xor3(
         it into a single global (process-wide) draw per trial instead of
         local mismatch.
     workers:
-        Process-pool width (``None``/1 = serial in-process).
+        ``None``/1 (the default) runs the study as one declarative
+        ``MonteCarlo(base=Transient(...))`` spec through the shared
+        session: all trials march in lockstep through the batched engine
+        (:meth:`~repro.spice.montecarlo.MonteCarloEngine.run_batched_transient`)
+        and an identical re-run replays from the content-hash cache with
+        zero Newton iterations.  Larger values keep the historical
+        process-pool fan-out of per-trial solves (bit-identical records).
     lattice / model / supply_v / pullup_ohm:
         Circuit configuration (paper defaults).
     step_duration_s / timestep_s:
@@ -289,8 +317,10 @@ def run_variability_xor3(
         Route every per-trial transient through the engine's adaptive step
         controller (``timestep_s`` becomes the initial step); cuts the
         per-trial step count on the settled stretches of the stimulus.
+        Adaptive grids differ per trial, so this disables the lockstep
+        batched path.
     """
-    from repro.api import Transient, default_session
+    from repro.api import MonteCarlo, Transient, default_session
 
     session = default_session()
     circuit_spec = variability_circuit_spec(
@@ -328,16 +358,38 @@ def run_variability_xor3(
         nominal_result.converged,
     )
 
-    montecarlo = MonteCarloEngine(
-        bench.circuit,
-        perturbations={
-            "mos_vth": Gaussian(sigma=sigma_vth_v),
-            "mos_beta": Gaussian(
-                sigma=sigma_beta, relative=True, correlated=correlated_beta
-            ),
-        },
-        seed=seed,
-    ).run(analysis, trials=trials, workers=workers)
+    perturbations = {
+        "mos_vth": Gaussian(sigma=sigma_vth_v),
+        "mos_beta": Gaussian(
+            sigma=sigma_beta, relative=True, correlated=correlated_beta
+        ),
+    }
+    if adaptive or (workers is not None and workers > 1):
+        # Adaptive per-trial grids cannot march in lockstep, and an explicit
+        # pool request keeps the historical process fan-out; both produce
+        # records bit-identical to the batched path on the same fixed grid.
+        montecarlo = MonteCarloEngine(
+            bench.circuit, perturbations=perturbations, seed=seed
+        ).run(analysis, trials=trials, workers=workers)
+    else:
+        # The flagship path: the whole study is one declarative
+        # MonteCarlo(base=Transient(...)) spec — all trials march in
+        # lockstep through the batched engine, and an identical re-run
+        # replays from the session cache with zero Newton work.
+        study = session.run(
+            MonteCarlo(
+                base=Transient(circuit=circuit_spec, timestep_s=timestep_s),
+                perturbations=perturbations,
+                trials=trials,
+                seed=seed,
+                mode="batched",
+                metrics=(METRIC_HOOK,),
+                metric_node=bench.output_node,
+            )
+        )
+        montecarlo = MonteCarloResult(
+            trials=trials, seed=seed, records=_records_from_spec_result(study)
+        )
 
     return VariabilityResult(
         bench=bench,

@@ -28,8 +28,12 @@ analysis engine:
   compiled engine: seeded distributions perturb the compiled parameter
   arrays in place (no netlist re-walk per trial), trials shard across a
   process pool with deterministic per-trial substreams, and same-pattern
-  DC trials solve as one stacked batch through the batched backend
-  (:meth:`~repro.spice.montecarlo.MonteCarloEngine.run_batched_dc`).
+  trials solve as one stacked batch through the batched backend — DC
+  operating points
+  (:meth:`~repro.spice.montecarlo.MonteCarloEngine.run_batched_dc`) and
+  lockstep fixed-step transients
+  (:meth:`~repro.spice.montecarlo.MonteCarloEngine.run_batched_transient`),
+  both bit-identical to the per-trial path.
 
 The preferred way to *run* analyses is the declarative layer in
 :mod:`repro.api` (specs + ``Session`` with content-hash caching and
@@ -100,6 +104,7 @@ from repro.spice.dcop import (
 )
 from repro.spice.dcsweep import DCSweepResult, dc_sweep
 from repro.spice.transient import (
+    BatchedTransientResult,
     TransientConvergenceInfo,
     TransientResult,
     transient_analysis,
@@ -156,5 +161,6 @@ __all__ = [
     "dc_sweep",
     "TransientResult",
     "TransientConvergenceInfo",
+    "BatchedTransientResult",
     "transient_analysis",
 ]

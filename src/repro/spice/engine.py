@@ -357,6 +357,18 @@ class CompiledCircuit:
         factor = 2.0 if integration == "trap" else 1.0
         return factor * self.cap_c / timestep_s
 
+    def _capacitor_conductance_stacked(
+        self, cap_c: np.ndarray, timestep_s: float, integration: str
+    ) -> np.ndarray:
+        """Per-trial companion conductances for a ``(trials, C)`` cap_c stack.
+
+        The elementwise arithmetic is :meth:`_capacitor_conductance`'s, so
+        a trial's conductances are bit-identical to a serial assembly with
+        that trial's cap_c overlay.
+        """
+        factor = 2.0 if integration == "trap" else 1.0
+        return factor * np.asarray(cap_c, dtype=float) / timestep_s
+
     def _base_matrix(
         self,
         gmin: float,
@@ -471,6 +483,8 @@ class CompiledCircuit:
         source_scale: float = 1.0,
         cap_history: Optional[np.ndarray] = None,
         cache_base: bool = True,
+        source_values: Optional[Tuple[Optional[np.ndarray], Optional[np.ndarray]]] = None,
+        cap_g: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Assemble the linearized system at ``state``.
 
@@ -481,6 +495,12 @@ class CompiledCircuit:
         source-stepping fallback).  ``cap_history`` supplies the trapezoidal
         capacitor history currents; when omitted they are read from the
         elements, matching the legacy stamp path.
+
+        ``source_values`` and ``cap_g`` let the Newton loop hand in the
+        per-solve invariants — the scaled independent-source values at
+        ``state.time_s`` and the capacitor companion conductances — computed
+        once per solve instead of once per iteration; when omitted they are
+        derived here as before (identical values either way).
         """
         matrix = self._base_matrix(
             state.gmin, state.timestep_s, state.integration, cache=cache_base
@@ -488,7 +508,10 @@ class CompiledCircuit:
         rhs = np.zeros(self._ghost)
 
         time_s = state.time_s
-        v_values, i_values = self._source_values(time_s, source_scale)
+        if source_values is None:
+            v_values, i_values = self._source_values(time_s, source_scale)
+        else:
+            v_values, i_values = source_values
         if v_values is not None:
             rhs[self.vs_rows] += v_values
         if i_values is not None:
@@ -496,7 +519,11 @@ class CompiledCircuit:
             np.add.at(rhs, self.is_minus, i_values)
 
         if state.timestep_s is not None and self.num_capacitors:
-            g = self._capacitor_conductance(state.timestep_s, state.integration)
+            g = (
+                cap_g
+                if cap_g is not None
+                else self._capacitor_conductance(state.timestep_s, state.integration)
+            )
             if state.previous_solution is not None:
                 prev = self._pad(state.previous_solution)
                 v_prev = prev[self.cap_a] - prev[self.cap_b]
@@ -575,22 +602,39 @@ class CompiledCircuit:
         gmin: float = 1e-9,
         time_s: float = 0.0,
         source_scale: float = 1.0,
+        timestep_s: Optional[float] = None,
+        integration: str = "be",
+        previous_solutions: Optional[np.ndarray] = None,
+        cap_history: Optional[np.ndarray] = None,
+        source_values: Optional[Tuple[Optional[np.ndarray], Optional[np.ndarray]]] = None,
+        cap_g_rows: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Assemble ``(trials, n, n)`` DC systems for stacked parameter sets.
+        """Assemble ``(trials, n, n)`` systems for stacked parameter sets.
 
         ``solutions`` is the ``(trials, n)`` stack of Newton iterates;
         ``params`` maps perturbable parameter names (see
         :data:`PERTURBABLE_PARAMETERS`) to ``(trials, count)`` stacks — any
         parameter not given uses the compiled (possibly overlaid) value
         vector for every trial.  The per-trial arithmetic mirrors
-        :meth:`assemble` operation for operation, so a trial's assembled
-        system is bit-identical to a serial assembly with the same
-        parameters; this is what makes the batched Monte-Carlo path
-        reproduce the per-trial path exactly.
+        :meth:`assemble` operation for operation — including the sequential
+        ``np.add.at`` accumulation order of entries that share a matrix
+        cell — so a trial's assembled system is bit-identical to a serial
+        assembly with the same parameters; this is what makes the batched
+        Monte-Carlo path reproduce the per-trial path exactly.
 
-        DC only (no capacitor companion models), and circuits with custom
-        (compatibility-path) elements are rejected — their ``stamp()``
-        cannot be vectorized across trials.
+        With ``timestep_s`` set the assembly includes the capacitor
+        companion models of the selected ``integration``:
+        ``previous_solutions`` is the ``(trials, n)`` stack of the last
+        accepted time point (``cap_v0`` when omitted, matching the serial
+        path's first-step semantics) and ``cap_history`` the ``(trials,
+        num_capacitors)`` trapezoidal history currents.  ``source_values``
+        optionally hands in the (already ``source_scale``-scaled) raw
+        waveform values so a lockstep march evaluates each waveform once
+        per timestep instead of once per Newton round; per-trial
+        ``vsource_scale``/``isource_scale`` stacks still compose on top.
+
+        Circuits with custom (compatibility-path) elements are rejected —
+        their ``stamp()`` cannot be vectorized across trials.
         """
         if self.custom_elements:
             raise ValueError(
@@ -609,54 +653,110 @@ class CompiledCircuit:
         cells = ghost * ghost
         trial_offsets = np.arange(trials)[:, None]
 
-        # Static part: resistors + voltage-source branch structure, exactly
-        # the accumulation order of the serial base matrix.
-        matrices = np.zeros((trials, ghost, ghost))
-        flat_all = matrices.reshape(-1)
-        static_idx = self._static_rows * ghost + self._static_cols
+        # Linear (trial-independent) part first.  When no stack perturbs the
+        # static stamps — no resistor_ohm rows, and no cap_c rows if this is
+        # a transient assembly — every trial's linear part is exactly the
+        # serial cached base matrix, so broadcast-copy it instead of
+        # re-accumulating it per round (the lockstep-march fast path).
         resistance = params.get("resistor_ohm")
-        if static_idx.size:
-            if resistance is None:
-                matrices += np.bincount(
-                    static_idx, weights=self._static_vals, minlength=cells
-                ).reshape(ghost, ghost)
-            else:
-                conductance = 1.0 / np.asarray(resistance, dtype=float)
-                n4 = 4 * len(self.resistors)
-                vals = np.broadcast_to(
-                    self._static_vals, (trials, self._static_vals.size)
-                ).copy()
-                vals[:, 0:n4:4] = conductance
-                vals[:, 1:n4:4] = conductance
-                vals[:, 2:n4:4] = -conductance
-                vals[:, 3:n4:4] = -conductance
-                flat_all += np.bincount(
-                    (trial_offsets * cells + static_idx[None, :]).ravel(),
-                    weights=vals.ravel(),
-                    minlength=trials * cells,
+        cap_c = params.get("cap_c") if timestep_s is not None else None
+        if timestep_s is None:
+            cap_g_rows = None  # companion models are transient-only
+        if cap_g_rows is None and timestep_s is not None and self.num_capacitors:
+            # ``cap_g_rows`` is a per-march invariant the lockstep caller
+            # hands in precomputed; derive it here for one-off assemblies.
+            if cap_c is None:
+                cap_g_rows = np.broadcast_to(
+                    self._capacitor_conductance(timestep_s, integration),
+                    (trials, self.num_capacitors),
                 )
-        node_diag = np.arange(self.num_nodes)
-        matrices[:, node_diag, node_diag] += gmin
+            else:
+                cap_g_rows = self._capacitor_conductance_stacked(
+                    cap_c, timestep_s, integration
+                )
+        if resistance is None and cap_c is None:
+            matrices = np.empty((trials, ghost, ghost))
+            matrices[:] = self._base_matrix(gmin, timestep_s, integration)
+            flat_all = matrices.reshape(-1)
+        else:
+            # Static part: resistors + voltage-source branch structure,
+            # exactly the accumulation order of the serial base matrix.
+            matrices = np.zeros((trials, ghost, ghost))
+            flat_all = matrices.reshape(-1)
+            static_idx = self._static_rows * ghost + self._static_cols
+            if static_idx.size:
+                if resistance is None:
+                    matrices += np.bincount(
+                        static_idx, weights=self._static_vals, minlength=cells
+                    ).reshape(ghost, ghost)
+                else:
+                    conductance = 1.0 / np.asarray(resistance, dtype=float)
+                    n4 = 4 * len(self.resistors)
+                    vals = np.broadcast_to(
+                        self._static_vals, (trials, self._static_vals.size)
+                    ).copy()
+                    vals[:, 0:n4:4] = conductance
+                    vals[:, 1:n4:4] = conductance
+                    vals[:, 2:n4:4] = -conductance
+                    vals[:, 3:n4:4] = -conductance
+                    flat_all += np.bincount(
+                        (trial_offsets * cells + static_idx[None, :]).ravel(),
+                        weights=vals.ravel(),
+                        minlength=trials * cells,
+                    )
+            node_diag = np.arange(self.num_nodes)
+            matrices[:, node_diag, node_diag] += gmin
+
+            # Capacitor companion conductances (transient only), stamped
+            # after the gmin diagonal exactly like the serial base matrix.
+            # np.add.at (not bincount) because capacitor entries may share
+            # cells with the static stamps (a pull-up resistor in parallel
+            # with the load capacitor) and the serial path accumulates
+            # those sequentially.
+            if cap_g_rows is not None:
+                cap_cells = (
+                    np.concatenate((self.cap_a, self.cap_b, self.cap_a, self.cap_b))
+                    * ghost
+                    + np.concatenate((self.cap_a, self.cap_b, self.cap_b, self.cap_a))
+                )
+                np.add.at(
+                    flat_all,
+                    (trial_offsets * cells + cap_cells[None, :]).ravel(),
+                    np.concatenate(
+                        (cap_g_rows, cap_g_rows, -cap_g_rows, -cap_g_rows), axis=1
+                    ).ravel(),
+                )
 
         # Independent sources (per-trial scale stacks compose exactly like
         # the serial vs_scale/is_scale overlay multipliers).
         rhs = np.zeros((trials, ghost))
         rhs_flat = rhs.reshape(-1)
+        raw_v, raw_i = source_values if source_values is not None else (None, None)
         if self.voltage_sources:
-            v_values = source_scale * np.fromiter(
-                (s.waveform.value(time_s) for s in self.voltage_sources),
-                dtype=float,
-                count=len(self.voltage_sources),
+            v_values = (
+                raw_v
+                if raw_v is not None
+                else source_scale
+                * np.fromiter(
+                    (s.waveform.value(time_s) for s in self.voltage_sources),
+                    dtype=float,
+                    count=len(self.voltage_sources),
+                )
             )
             vs_scale = params.get("vsource_scale", self.vs_scale)
             if vs_scale is not None:
                 v_values = v_values * vs_scale
             rhs[:, self.vs_rows] += v_values
         if self.current_sources:
-            i_values = source_scale * np.fromiter(
-                (s.waveform.value(time_s) for s in self.current_sources),
-                dtype=float,
-                count=len(self.current_sources),
+            i_values = (
+                raw_i
+                if raw_i is not None
+                else source_scale
+                * np.fromiter(
+                    (s.waveform.value(time_s) for s in self.current_sources),
+                    dtype=float,
+                    count=len(self.current_sources),
+                )
             )
             is_scale = params.get("isource_scale", self.is_scale)
             if is_scale is not None:
@@ -668,6 +768,37 @@ class CompiledCircuit:
                 (trial_offsets * ghost + source_idx[None, :]).ravel(),
                 weights=weights.ravel(),
                 minlength=trials * ghost,
+            )
+
+        # Capacitor companion history currents, added to the RHS after the
+        # sources and before the MOSFET stamps (the serial order).
+        if cap_g_rows is not None:
+            if previous_solutions is None:
+                v_prev = np.broadcast_to(self.cap_v0, (trials, self.num_capacitors))
+            else:
+                prev = np.empty((trials, self.size + 1))
+                prev[:, : self.size] = previous_solutions
+                prev[:, self.size] = 0.0
+                v_prev = prev[:, self.cap_a] - prev[:, self.cap_b]
+            i_eq = cap_g_rows * v_prev
+            if integration == "trap":
+                if cap_history is None:
+                    cap_history = np.broadcast_to(
+                        np.array(
+                            [c._previous_current for c in self.capacitors], dtype=float
+                        ),
+                        (trials, self.num_capacitors),
+                    )
+                i_eq = i_eq + cap_history
+            np.add.at(
+                rhs_flat,
+                (trial_offsets * ghost + self.cap_a[None, :]).ravel(),
+                i_eq.ravel(),
+            )
+            np.add.at(
+                rhs_flat,
+                (trial_offsets * ghost + self.cap_b[None, :]).ravel(),
+                (-i_eq).ravel(),
             )
 
         # MOSFET companion stamps, vectorized over (trials, devices).
@@ -738,7 +869,10 @@ class AnalysisEngine:
       integration with per-step Newton iteration and vectorized capacitor
       history updates;
     * :meth:`solve_dc_batched` — stacked same-pattern operating points
-      (Monte-Carlo trials) solved in batched LAPACK calls.
+      (Monte-Carlo trials) solved in batched LAPACK calls;
+    * :meth:`solve_transient_batched` — a lockstep fixed-step transient
+      march over stacked trials: shared waveform evaluation per step,
+      per-trial freeze-on-convergence, batched LAPACK Newton rounds.
 
     Every linear solve routes through the engine's pluggable
     :class:`~repro.spice.solvers.LinearSolver` backend (``solver=`` on each
@@ -833,6 +967,15 @@ class AnalysisEngine:
         max_update = float("inf")
         iteration = 0
         gmin_bumped = False
+        # Per-solve invariants, hoisted out of the iteration loop: the
+        # source waveform values (constant at one time point) and the
+        # capacitor companion conductances (set by the timestep alone).
+        source_values = compiled._source_values(time_s, source_scale)
+        cap_g = (
+            compiled._capacitor_conductance(timestep_s, integration)
+            if timestep_s is not None and compiled.num_capacitors
+            else None
+        )
         for iteration in range(1, max_iterations + 1):
             state = AnalysisState(
                 solution=solution,
@@ -843,7 +986,12 @@ class AnalysisEngine:
                 gmin=gmin,
             )
             matrix, rhs = compiled.assemble(
-                state, source_scale, cap_history, cache_base=not gmin_bumped
+                state,
+                source_scale,
+                cap_history,
+                cache_base=not gmin_bumped,
+                source_values=source_values,
+                cap_g=cap_g,
             )
             try:
                 new_solution = solver.solve(matrix, rhs)
@@ -986,40 +1134,85 @@ class AnalysisEngine:
         tolerance_v: float,
         damping_v: float,
         time_s: float = 0.0,
+        timestep_s: Optional[float] = None,
+        previous_solutions: Optional[np.ndarray] = None,
+        integration: str = "be",
+        cap_history: Optional[np.ndarray] = None,
+        source_values: Optional[Tuple[Optional[np.ndarray], Optional[np.ndarray]]] = None,
+        cap_g_rows: Optional[np.ndarray] = None,
+        source_scale: float = 1.0,
         solver: LinearSolver,
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Newton iteration over stacked systems; one linear solve per round.
 
         Mutates and returns ``solutions`` (``(trials, n)``) together with
-        per-trial ``(iterations, converged, max_updates)`` arrays.  Each
-        trial's update sequence — assembly, solve, damping clamp,
+        per-trial ``(iterations, converged, max_updates, poisoned)`` arrays.
+        Each trial's update sequence — assembly, solve, damping clamp,
         convergence test — is element-for-element the same arithmetic as a
         serial :meth:`_newton` run with that trial's parameters, and a trial
         is frozen the moment it converges, so batched results match the
         per-trial path bit for bit.  A singular system anywhere in the
-        stack ends the batched run early; the affected trials stay
-        unconverged for the caller's per-trial fallback.
+        stack ends the batched run early; every trial still active at the
+        abort comes back flagged in ``poisoned`` (a serial run would have
+        bumped gmin mid-iteration, so those trials' states no longer track
+        the serial path and must be rescued per trial by the caller).
+
+        With ``timestep_s`` set this is one lockstep *transient* Newton
+        round over the stack: ``previous_solutions``/``cap_history`` carry
+        the per-trial capacitor companion state and ``source_values`` the
+        waveform values evaluated once for the whole step.  ``source_scale``
+        scales every independent source (the batched source-stepping
+        ladder).
         """
         compiled = self.compiled
         trials = solutions.shape[0]
         iterations = np.zeros(trials, dtype=int)
         converged = np.zeros(trials, dtype=bool)
         max_updates = np.full(trials, np.inf)
+        poisoned = np.zeros(trials, dtype=bool)
         active = np.ones(trials, dtype=bool)
         solver.bind(compiled)
         for iteration in range(1, max_iterations + 1):
             index = np.flatnonzero(active)
             subset = {name: stack[index] for name, stack in params.items()}
             matrices, rhs = compiled.assemble_batched(
-                solutions[index], subset, gmin=gmin, time_s=time_s
+                solutions[index],
+                subset,
+                gmin=gmin,
+                time_s=time_s,
+                timestep_s=timestep_s,
+                integration=integration,
+                previous_solutions=(
+                    None if previous_solutions is None else previous_solutions[index]
+                ),
+                cap_history=None if cap_history is None else cap_history[index],
+                source_values=source_values,
+                cap_g_rows=None if cap_g_rows is None else cap_g_rows[index],
+                source_scale=source_scale,
             )
             try:
                 new_solutions = solver.solve_batched(matrices, rhs)
             except np.linalg.LinAlgError:
-                # One singular trial poisons the whole stacked solve; hand
-                # the still-active trials to the caller's serial fallback,
-                # which retries each with the full gmin/source ladders.
-                break
+                # A singular system anywhere raises for the whole stack.
+                # Isolate it: re-solve the round trial by trial (same
+                # LAPACK routine, bit-identical results), flag only the
+                # genuinely singular trials for the caller's serial rescue
+                # (a serial run bumps gmin mid-iteration there) and keep
+                # everyone else marching in lockstep.
+                new_solutions = np.empty_like(rhs)
+                bad = np.zeros(index.size, dtype=bool)
+                for row in range(index.size):
+                    try:
+                        new_solutions[row] = solver.solve(matrices[row], rhs[row])
+                    except np.linalg.LinAlgError:
+                        bad[row] = True
+                if bad.any():
+                    poisoned[index[bad]] = True
+                    active[index[bad]] = False
+                    index = index[~bad]
+                    new_solutions = new_solutions[~bad]
+                    if index.size == 0:
+                        break
             update = new_solutions - solutions[index]
             updates_max = (
                 np.max(np.abs(update), axis=1) if update.size else np.zeros(len(index))
@@ -1034,7 +1227,44 @@ class AnalysisEngine:
                 active[index[done]] = False
             if not active.any():
                 break
-        return solutions, iterations, converged, max_updates
+        return solutions, iterations, converged, max_updates, poisoned
+
+    def _parameter_stacks(
+        self,
+        params: Optional[Mapping[str, np.ndarray]],
+        trials: Optional[int],
+    ) -> Tuple[Dict[str, np.ndarray], int]:
+        """Validate ``(trials, count)`` parameter stacks; returns (stacks, trials).
+
+        Shared by :meth:`solve_dc_batched` and :meth:`solve_transient_batched`.
+        """
+        lengths = self.compiled._parameter_lengths()
+        stacks: Dict[str, np.ndarray] = {}
+        count = trials
+        for name, stack in (params or {}).items():
+            if name not in lengths:
+                raise ValueError(
+                    f"unknown parameter {name!r}; expected one of {PERTURBABLE_PARAMETERS}"
+                )
+            array = np.asarray(stack, dtype=float)
+            if array.ndim != 2 or array.shape[1] != lengths[name]:
+                raise ValueError(
+                    f"{name!r} stack has shape {array.shape}, expected "
+                    f"(trials, {lengths[name]})"
+                )
+            if count is None:
+                count = array.shape[0]
+            elif array.shape[0] != count:
+                raise ValueError(
+                    f"inconsistent trial counts: {name!r} has {array.shape[0]} rows, "
+                    f"expected {count}"
+                )
+            stacks[name] = array
+        if count is None:
+            raise ValueError("pass trials= when params carries no parameter stacks")
+        if count <= 0:
+            raise ValueError("at least one trial is required")
+        return stacks, count
 
     def solve_dc_batched(
         self,
@@ -1075,32 +1305,7 @@ class AnalysisEngine:
         compiled = self.compiled
         if refresh:
             compiled.refresh_values()
-        lengths = compiled._parameter_lengths()
-        stacks: Dict[str, np.ndarray] = {}
-        count = trials
-        for name, stack in (params or {}).items():
-            if name not in lengths:
-                raise ValueError(
-                    f"unknown parameter {name!r}; expected one of {PERTURBABLE_PARAMETERS}"
-                )
-            array = np.asarray(stack, dtype=float)
-            if array.ndim != 2 or array.shape[1] != lengths[name]:
-                raise ValueError(
-                    f"{name!r} stack has shape {array.shape}, expected "
-                    f"(trials, {lengths[name]})"
-                )
-            if count is None:
-                count = array.shape[0]
-            elif array.shape[0] != count:
-                raise ValueError(
-                    f"inconsistent trial counts: {name!r} has {array.shape[0]} rows, "
-                    f"expected {count}"
-                )
-            stacks[name] = array
-        if count is None:
-            raise ValueError("pass trials= when params carries no parameter stacks")
-        if count <= 0:
-            raise ValueError("at least one trial is required")
+        stacks, count = self._parameter_stacks(params, trials)
 
         size = circuit.system_size
         if initial_guess is None:
@@ -1122,7 +1327,7 @@ class AnalysisEngine:
         original_guesses = solutions.copy()
 
         resolved = self._resolve_solver(solver)
-        solutions, iterations, converged, residuals = self._newton_batched(
+        solutions, iterations, converged, residuals, poisoned = self._newton_batched(
             solutions,
             stacks,
             gmin=gmin,
@@ -1133,14 +1338,103 @@ class AnalysisEngine:
             solver=resolved,
         )
         strategies = ["batched-newton" if ok else "failed" for ok in converged]
+        # Trials caught in a singular batched solve no longer track the
+        # serial arithmetic (a serial run bumps gmin mid-iteration); they
+        # skip the batched ladders and go straight to the per-trial rescue.
+        tainted = poisoned.copy()
 
-        if not converged.all():
-            # Per-trial rescue through the serial path and its ladders; the
-            # trial overlay composes on top of any active base overlay
-            # (e.g. a corner) exactly like the serial Monte-Carlo path.
+        if not (converged | tainted).all():
+            # Batched gmin-stepping ladder: exactly the serial fallback's
+            # stage sequence (each stage seeds the next, converged or not,
+            # always starting from the zero initial solution), run over the
+            # whole failed subset with one batched solve per Newton round.
+            ladder_controls = dict(
+                max_iterations=max_iterations,
+                tolerance_v=tolerance_v,
+                damping_v=damping_v,
+                time_s=time_s,
+                solver=resolved,
+            )
+            ladder_idx = np.flatnonzero(~converged & ~tainted)
+            sub = {name: stack[ladder_idx] for name, stack in stacks.items()}
+            stepped = np.zeros((ladder_idx.size, size))
+            final_ok = np.zeros(ladder_idx.size, dtype=bool)
+            stage_resid = np.full(ladder_idx.size, np.inf)
+            for step_gmin in GMIN_LADDER + (gmin,):
+                stepped, used, final_ok, stage_resid, stage_poisoned = (
+                    self._newton_batched(
+                        stepped, sub, gmin=step_gmin, **ladder_controls
+                    )
+                )
+                iterations[ladder_idx] += used
+                if stage_poisoned.any():
+                    # Drop tainted trials from the remaining stages so one
+                    # singular trial cannot keep perturbing the stack.
+                    tainted[ladder_idx[stage_poisoned]] = True
+                    keep = ~stage_poisoned
+                    ladder_idx = ladder_idx[keep]
+                    sub = {name: rows[keep] for name, rows in sub.items()}
+                    stepped = stepped[keep]
+                    final_ok = final_ok[keep]
+                    stage_resid = stage_resid[keep]
+                    if ladder_idx.size == 0:
+                        break
+            # The in-loop trimming guarantees no tainted trial is left in
+            # ladder_idx, so the stage outcome arrays map one to one.
+            fixed = ladder_idx[final_ok]
+            solutions[fixed] = stepped[final_ok]
+            converged[fixed] = True
+            residuals[fixed] = stage_resid[final_ok]
+            for trial in fixed:
+                strategies[trial] = "gmin-stepping"
+
+            # Batched source-stepping ladder for what the gmin ladder left.
+            still = ladder_idx[~final_ok]
+            if still.size:
+                sub2 = {name: stack[still] for name, stack in stacks.items()}
+                stepped2 = np.zeros((still.size, size))
+                ok2 = np.zeros(still.size, dtype=bool)
+                res2 = np.full(still.size, np.inf)
+                for scale in SOURCE_LADDER:
+                    stepped2, used2, ok2, res2, poisoned2 = self._newton_batched(
+                        stepped2,
+                        sub2,
+                        gmin=gmin,
+                        source_scale=scale,
+                        **ladder_controls,
+                    )
+                    iterations[still] += used2
+                    if poisoned2.any():
+                        tainted[still[poisoned2]] = True
+                        keep = ~poisoned2
+                        still = still[keep]
+                        sub2 = {name: rows[keep] for name, rows in sub2.items()}
+                        stepped2 = stepped2[keep]
+                        ok2 = ok2[keep]
+                        res2 = res2[keep]
+                        if still.size == 0:
+                            break
+                good = still[ok2]
+                solutions[good] = stepped2[ok2]
+                converged[good] = True
+                # Serial solve_dc reports the last attempted Newton update,
+                # which after a source ladder is the final stage's — mirror
+                # that for the failures too (untainted ladder failures are
+                # final: the serial path would fail identically).
+                residuals[still] = res2
+                for trial in good:
+                    strategies[trial] = "source-stepping"
+
+        if (~converged & tainted).any():
+            # Per-trial rescue through the serial path and its ladders —
+            # only for trials whose batched arithmetic was cut short by a
+            # singular stacked solve (untainted failures already reproduced
+            # the serial ladders bit for bit and stay failed).  The trial
+            # overlay composes on top of any active base overlay (e.g. a
+            # corner) exactly like the serial Monte-Carlo path.
             saved_overlay = dict(compiled._overlay) if compiled._overlay else None
             try:
-                for trial in np.flatnonzero(~converged):
+                for trial in np.flatnonzero(~converged & tainted):
                     overlay = dict(saved_overlay or {})
                     overlay.update(
                         {name: stack[trial] for name, stack in stacks.items()}
@@ -1643,6 +1937,232 @@ class AnalysisEngine:
                 min_step_s=smallest_dt if accepted else timestep_s,
                 max_step_s=largest_dt if accepted else timestep_s,
             ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # batched transient (lockstep Monte-Carlo trial march)
+    # ------------------------------------------------------------------ #
+
+    def solve_transient_batched(
+        self,
+        stop_time_s: float,
+        timestep_s: float,
+        params: Optional[Mapping[str, np.ndarray]] = None,
+        trials: Optional[int] = None,
+        integration: str = "be",
+        max_newton_iterations: int = 100,
+        tolerance_v: float = 1e-6,
+        gmin: float = 1e-9,
+        use_initial_conditions: bool = False,
+        refresh: bool = True,
+        solver: Union[None, str, LinearSolver] = "batched",
+    ):
+        """Fixed-step transient analysis of many stacked trials in lockstep.
+
+        All trials share the circuit topology (and the fixed ``timestep_s``
+        grid) but carry their own parameter stacks (``params`` maps names
+        from :data:`PERTURBABLE_PARAMETERS` to ``(trials, count)`` rows).
+        Every timestep advances the whole stack together: each Newton round
+        assembles ``(trials, n, n)`` systems through
+        :meth:`CompiledCircuit.assemble_batched` and solves them in one
+        batched LAPACK call, with three structural savings over per-trial
+        marching:
+
+        * source waveforms and breakpoint-free step timing are evaluated
+          once per step, not once per trial;
+        * a trial is frozen the moment its step converges, so easy trials
+          stop paying Newton rounds for hard ones;
+        * per-trial capacitor companion histories advance vectorized.
+
+        The per-trial arithmetic — DC warm start, per-step Newton updates,
+        damping clamp, convergence test, capacitor history — mirrors
+        :meth:`solve_transient`'s fixed-step path operation for operation,
+        so every trial's waveform is bit-identical to a serial
+        ``solve_transient`` run with that trial's parameter overlay on the
+        same grid.  A trial whose step fails to converge (or hits a
+        singular system, which a serial run would rescue with a gmin bump)
+        is re-run through the serial :meth:`solve_transient` — with its
+        full fallback ladders — so result quality matches the per-trial
+        path exactly.
+
+        Adaptive stepping is *not* supported: lockstep batching requires
+        every trial to share the time grid.  Returns a
+        :class:`~repro.spice.transient.BatchedTransientResult`.
+        """
+        from repro.spice.transient import BatchedTransientResult
+
+        circuit = self.circuit
+        if circuit.system_size == 0:
+            raise ValueError("the circuit has no unknowns to solve for")
+        if stop_time_s <= 0.0 or timestep_s <= 0.0:
+            raise ValueError("stop time and timestep must be positive")
+        if timestep_s > stop_time_s:
+            raise ValueError("the timestep cannot exceed the stop time")
+        if integration not in ("be", "trap"):
+            raise ValueError("integration must be 'be' or 'trap'")
+        compiled = self.compiled
+        if compiled.custom_elements:
+            raise ValueError(
+                "batched transient does not support custom (stamp-path) elements; "
+                "run these circuits through the per-trial path"
+            )
+        if refresh:
+            compiled.refresh_values()
+        stacks, count = self._parameter_stacks(params, trials)
+        size = circuit.system_size
+        resolved = self._resolve_solver(solver)
+
+        # Per-trial DC warm start at t = 0, exactly like the serial path
+        # (solve_dc defaults; unconverged trials already fell back to the
+        # serial ladders inside solve_dc_batched, bit for bit).
+        if use_initial_conditions:
+            solutions = np.tile(circuit.initial_solution(), (count, 1))
+        else:
+            solutions = self.solve_dc_batched(
+                stacks, trials=count, gmin=gmin, time_s=0.0, refresh=False,
+                solver=resolved,
+            ).solutions.copy()
+
+        steps = int(round(stop_time_s / timestep_s))
+        times = np.linspace(0.0, steps * timestep_s, steps + 1)
+        waveforms = np.zeros((count, steps + 1, size))
+        waveforms[:, 0, :] = solutions
+        newton_totals = np.zeros(count, dtype=int)
+        worst_residuals = np.zeros(count)
+        failed = np.zeros(count, dtype=bool)
+        cap_history = np.zeros((count, compiled.num_capacitors))
+        cap_c_stack = stacks.get("cap_c")
+        if compiled.num_capacitors:
+            # March-wide invariant: the per-trial companion conductances,
+            # handed to every Newton round (and reused by the trapezoidal
+            # history update) instead of being re-derived per assembly.
+            if cap_c_stack is None:
+                cap_g = np.broadcast_to(
+                    compiled._capacitor_conductance(timestep_s, integration),
+                    (count, compiled.num_capacitors),
+                )
+            else:
+                cap_g = compiled._capacitor_conductance_stacked(
+                    cap_c_stack, timestep_s, integration
+                )
+        else:
+            cap_g = None
+
+        previous = solutions.copy()
+        current = solutions
+        for step in range(1, steps + 1):
+            time = times[step]
+            # Shared per-step invariants: every waveform is evaluated once
+            # for the whole stack (the serial path pays this per trial).
+            raw_v = (
+                1.0
+                * np.fromiter(
+                    (s.waveform.value(time) for s in compiled.voltage_sources),
+                    dtype=float,
+                    count=len(compiled.voltage_sources),
+                )
+                if compiled.voltage_sources
+                else None
+            )
+            raw_i = (
+                1.0
+                * np.fromiter(
+                    (s.waveform.value(time) for s in compiled.current_sources),
+                    dtype=float,
+                    count=len(compiled.current_sources),
+                )
+                if compiled.current_sources
+                else None
+            )
+            live = np.flatnonzero(~failed)
+            if live.size == 0:
+                break
+            subset = {name: stack[live] for name, stack in stacks.items()}
+            stepped, iters, conv, resid, _poisoned = self._newton_batched(
+                current[live].copy(),
+                subset,
+                gmin=gmin,
+                max_iterations=max_newton_iterations,
+                tolerance_v=tolerance_v,
+                damping_v=1.0,
+                time_s=time,
+                timestep_s=timestep_s,
+                previous_solutions=previous[live],
+                integration=integration,
+                cap_history=cap_history[live] if integration == "trap" else None,
+                source_values=(raw_v, raw_i),
+                cap_g_rows=None if cap_g is None else cap_g[live],
+                solver=resolved,
+            )
+            newton_totals[live] += iters
+            ok = live[conv]
+            # A trial that cannot converge this step (or sat in the stack
+            # when a singular system aborted the batched solve) leaves the
+            # lockstep march; the serial fallback below re-runs it whole.
+            failed[live[~conv]] = True
+            current[ok] = stepped[conv]
+            waveforms[ok, step, :] = current[ok]
+            worst_residuals[ok] = np.maximum(worst_residuals[ok], resid[conv])
+            if cap_g is not None and integration == "trap" and ok.size:
+                now_p = np.concatenate(
+                    (current[ok], np.zeros((ok.size, 1))), axis=1
+                )
+                prev_p = np.concatenate(
+                    (previous[ok], np.zeros((ok.size, 1))), axis=1
+                )
+                dv = (now_p[:, compiled.cap_a] - now_p[:, compiled.cap_b]) - (
+                    prev_p[:, compiled.cap_a] - prev_p[:, compiled.cap_b]
+                )
+                cap_history[ok] = cap_g[ok] * dv - cap_history[ok]
+            previous = current.copy()
+
+        converged = ~failed
+        strategies = ["lockstep"] * count
+
+        if failed.any():
+            # Whole-trial rescue through the serial path: solve_transient
+            # with the trial's overlay IS the per-trial reference, ladders
+            # and gmin bumps included, so the rescued waveform matches what
+            # a per-trial run would have produced bit for bit.
+            saved_overlay = dict(compiled._overlay) if compiled._overlay else None
+            try:
+                for trial in np.flatnonzero(failed):
+                    overlay = dict(saved_overlay or {})
+                    overlay.update(
+                        {name: stack[trial] for name, stack in stacks.items()}
+                    )
+                    if overlay:
+                        compiled.set_parameter_overlay(overlay)
+                    rescued = self.solve_transient(
+                        stop_time_s,
+                        timestep_s,
+                        integration=integration,
+                        max_newton_iterations=max_newton_iterations,
+                        tolerance_v=tolerance_v,
+                        gmin=gmin,
+                        use_initial_conditions=use_initial_conditions,
+                        solver=resolved,
+                    )
+                    waveforms[trial] = rescued.solutions
+                    converged[trial] = rescued.converged
+                    info = rescued.convergence_info
+                    newton_totals[trial] = info.newton_iterations
+                    worst_residuals[trial] = info.max_newton_residual_v
+                    strategies[trial] = "serial-fallback"
+            finally:
+                if saved_overlay is not None:
+                    compiled.set_parameter_overlay(saved_overlay)
+                else:
+                    compiled.clear_parameter_overlay()
+
+        return BatchedTransientResult(
+            circuit=circuit,
+            time_s=times,
+            solutions=waveforms,
+            converged=converged,
+            newton_iterations=newton_totals,
+            max_residuals=worst_residuals,
+            strategies=tuple(strategies),
         )
 
     def _waveform_breakpoints(self, stop_time_s: float) -> np.ndarray:

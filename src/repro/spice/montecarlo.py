@@ -37,14 +37,18 @@ reassembles ordinary :class:`~repro.spice.dcsweep.DCSweepResult` objects.
 
 Batched solves
 --------------
-Same-pattern DC trials need not be solved one at a time at all:
+Same-pattern trials need not be solved one at a time at all:
 :meth:`MonteCarloEngine.run_batched_dc` stacks every trial's parameter
 vectors (``(trials, count)`` per parameter), assembles ``(trials, n, n)``
 Jacobians vectorized over the stack and solves each Newton round through
 the batched dense backend of :mod:`repro.spice.solvers` — one LAPACK call
-per round instead of one per trial.  The per-trial arithmetic is
-bit-identical to the serial path, so results match ``run`` exactly (and
-reproduce the nominal solve bit for bit at zero spread).
+per round instead of one per trial.  :meth:`MonteCarloEngine.run_batched_transient`
+extends the same idea along the time axis: all trials march a fixed-step
+transient in *lockstep*, evaluating the stimulus waveforms once per step
+and freezing each trial within a step the moment it converges.  The
+per-trial arithmetic is bit-identical to the serial path in both cases,
+so results match ``run`` exactly (and reproduce the nominal solve bit for
+bit at zero spread).
 
 Example — a 500-trial XOR3 variability study end to end::
 
@@ -490,6 +494,129 @@ class MonteCarloEngine:
             time_s=time_s,
             refresh=False,
             solver=solver,
+        )
+
+    def run_batched_transient(
+        self,
+        trials: int,
+        stop_time_s: float,
+        timestep_s: float,
+        integration: str = "be",
+        max_newton_iterations: int = 100,
+        tolerance_v: float = 1e-6,
+        gmin: float = 1e-9,
+        use_initial_conditions: bool = False,
+        solver: Any = "batched",
+    ):
+        """March all trials' transients in lockstep on one fixed-step grid.
+
+        The batched counterpart of a :meth:`run` whose analysis calls
+        ``engine.solve_transient(stop_time_s, timestep_s)`` per trial: the
+        sampled parameter stacks (same :meth:`sample_stacked_overlays`
+        substreams, so trial ``t`` perturbs identically) are handed to
+        :meth:`~repro.spice.engine.AnalysisEngine.solve_transient_batched`,
+        which advances the whole ``(trials, n)`` stack one shared timestep
+        at a time — waveforms evaluated once per step, each Newton round
+        one batched LAPACK call, converged trials frozen within the step.
+        Every trial's waveform is bit-identical to the per-trial path on
+        the same grid (trials the lockstep march cannot converge are
+        re-run through the serial ``solve_transient`` ladders).
+
+        The Newton-control defaults match
+        :meth:`~repro.spice.engine.AnalysisEngine.solve_transient`, so a
+        serial trial analysis calling
+        ``engine.solve_transient(stop_time_s, timestep_s)`` and this path
+        produce identical waveforms.  Adaptive stepping cannot be batched
+        (lockstep needs the shared grid) — use :meth:`run` for adaptive
+        per-trial marches.
+
+        Returns a :class:`~repro.spice.transient.BatchedTransientResult`.
+        """
+        stacks = self.sample_stacked_overlays(trials)
+        return get_engine(self.circuit).solve_transient_batched(
+            stop_time_s,
+            timestep_s,
+            params=stacks,
+            trials=trials,
+            integration=integration,
+            max_newton_iterations=max_newton_iterations,
+            tolerance_v=tolerance_v,
+            gmin=gmin,
+            use_initial_conditions=use_initial_conditions,
+            refresh=False,
+            solver=solver,
+        )
+
+    def run_per_trial_transient(
+        self,
+        trials: int,
+        stop_time_s: float,
+        timestep_s: float,
+        integration: str = "be",
+        max_newton_iterations: int = 100,
+        tolerance_v: float = 1e-6,
+        gmin: float = 1e-9,
+        use_initial_conditions: bool = False,
+        solver: Any = None,
+    ):
+        """March each trial's transient serially, one overlay swap per trial.
+
+        The per-trial counterpart (and bit-for-bit oracle) of
+        :meth:`run_batched_transient`: same seeded
+        :meth:`sample_stacked_overlays` substreams, same fixed-step grid,
+        same :class:`~repro.spice.transient.BatchedTransientResult` shape —
+        only the marching differs (one full ``solve_transient`` per trial
+        instead of the lockstep batch).  A pre-existing base overlay (e.g.
+        an active corner) is composed into every trial and restored when
+        the trials finish.
+        """
+        from repro.spice.transient import BatchedTransientResult
+
+        engine = get_engine(self.circuit)
+        compiled = engine.compiled
+        stacks = self.sample_stacked_overlays(trials)
+        saved_overlay = dict(compiled._overlay) if compiled._overlay else None
+        rows = []
+        converged = np.zeros(trials, dtype=bool)
+        iterations = np.zeros(trials, dtype=int)
+        residuals = np.zeros(trials, dtype=float)
+        strategies = []
+        time_s = None
+        try:
+            for trial in range(trials):
+                compiled.set_parameter_overlay(
+                    {name: stack[trial] for name, stack in stacks.items()}
+                )
+                result = engine.solve_transient(
+                    stop_time_s,
+                    timestep_s,
+                    integration=integration,
+                    max_newton_iterations=max_newton_iterations,
+                    tolerance_v=tolerance_v,
+                    gmin=gmin,
+                    use_initial_conditions=use_initial_conditions,
+                    solver=solver,
+                )
+                info = result.convergence_info
+                time_s = result.time_s.copy()
+                rows.append(result.solutions)
+                converged[trial] = result.converged
+                iterations[trial] = info.newton_iterations
+                residuals[trial] = info.max_newton_residual_v
+                strategies.append(info.strategy)
+        finally:
+            if saved_overlay is not None:
+                compiled.set_parameter_overlay(saved_overlay)
+            else:
+                compiled.clear_parameter_overlay()
+        return BatchedTransientResult(
+            circuit=self.circuit,
+            time_s=time_s,
+            solutions=np.stack(rows),
+            converged=converged,
+            newton_iterations=iterations,
+            max_residuals=residuals,
+            strategies=tuple(strategies),
         )
 
     def run(

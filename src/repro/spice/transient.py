@@ -128,6 +128,82 @@ class TransientResult:
         }
 
 
+@dataclass
+class BatchedTransientResult:
+    """Stacked transient waveforms of many lockstep Monte-Carlo trials.
+
+    Produced by
+    :meth:`repro.spice.engine.AnalysisEngine.solve_transient_batched`: all
+    trials share the circuit topology and the fixed time grid, differing
+    only in their compiled parameter stacks.
+
+    Attributes
+    ----------
+    circuit:
+        The analysed circuit.
+    time_s:
+        The shared fixed-step time axis (including t = 0).
+    solutions:
+        ``(trials, steps + 1, n)`` stack of MNA solutions.
+    converged:
+        Per-trial flag: every timestep of the trial converged.
+    newton_iterations:
+        Per-trial Newton totals over the march (the t = 0 DC warm start is
+        not counted, matching :class:`TransientConvergenceInfo` semantics).
+    max_residuals:
+        Worst final per-step Newton update [V] per trial.
+    strategies:
+        ``"lockstep"`` for trials that completed the batched march,
+        ``"serial-fallback"`` for trials re-run through the serial
+        :meth:`~repro.spice.engine.AnalysisEngine.solve_transient` ladders.
+    """
+
+    circuit: Circuit
+    time_s: np.ndarray
+    solutions: np.ndarray
+    converged: np.ndarray
+    newton_iterations: np.ndarray
+    max_residuals: np.ndarray
+    strategies: tuple
+
+    def __len__(self) -> int:
+        return self.solutions.shape[0]
+
+    @property
+    def all_converged(self) -> bool:
+        return bool(self.converged.all())
+
+    @property
+    def total_newton_iterations(self) -> int:
+        return int(self.newton_iterations.sum())
+
+    def voltage(self, node_name: str) -> np.ndarray:
+        """Waveforms of a named node across all trials: ``(trials, steps + 1)``."""
+        index = self.circuit.node_index(node_name)
+        if index < 0:
+            return np.zeros(self.solutions.shape[:2])
+        return self.solutions[:, :, index].copy()
+
+    def trial(self, trial: int) -> TransientResult:
+        """One trial's waveforms as an ordinary :class:`TransientResult`."""
+        steps = self.time_s.size - 1
+        return TransientResult(
+            circuit=self.circuit,
+            time_s=self.time_s.copy(),
+            solutions=self.solutions[trial].copy(),
+            converged=bool(self.converged[trial]),
+            convergence_info=TransientConvergenceInfo(
+                strategy=self.strategies[trial],
+                newton_iterations=int(self.newton_iterations[trial]),
+                max_newton_residual_v=float(self.max_residuals[trial]),
+                accepted_steps=steps,
+                rejected_steps=0,
+                min_step_s=float(self.time_s[1] - self.time_s[0]) if steps else 0.0,
+                max_step_s=float(self.time_s[1] - self.time_s[0]) if steps else 0.0,
+            ),
+        )
+
+
 def transient_analysis(
     circuit: Circuit,
     stop_time_s: float,

@@ -7,6 +7,8 @@ from repro.analysis.iv_metrics import on_resistance_from_curve, summarize_transf
 from repro.analysis.reporting import Table, format_engineering, format_table
 from repro.analysis.waveform_metrics import (
     LogicLevels,
+    delay_crossing,
+    edge_and_level_metrics,
     edge_times,
     fall_time,
     rise_time,
@@ -63,6 +65,41 @@ class TestWaveformMetrics:
         rises, falls = edge_times(t, v)
         assert rises == [] and falls == []
         assert np.isnan(rise_time(t, v))
+
+    def test_edge_and_level_metrics_hook(self):
+        t, v = self._square_ish_waveform()
+        metrics = edge_and_level_metrics(t, v)
+        assert set(metrics) == {
+            "rise_time_s", "fall_time_s", "low_v", "high_v", "swing_v",
+        }
+        assert metrics["rise_time_s"] == pytest.approx(rise_time(t, v))
+        assert metrics["fall_time_s"] == pytest.approx(fall_time(t, v))
+        assert metrics["swing_v"] == pytest.approx(
+            metrics["high_v"] - metrics["low_v"]
+        )
+
+    def test_delay_crossing_measures_from_reference(self):
+        t, v = self._square_ish_waveform()
+        metrics = delay_crossing(t, v, reference_time_s=20e-9)
+        assert metrics["crossing_time_s"] > 20e-9
+        assert metrics["crossing_delay_s"] == pytest.approx(
+            metrics["crossing_time_s"] - 20e-9
+        )
+
+    def test_delay_crossing_never_reports_negative_delay(self):
+        # The reference falls inside the segment that carries the only
+        # crossing: the interpolated crossing before the reference must be
+        # skipped, never reported as a negative delay.
+        t = np.array([0.0, 1e-9, 2e-9, 3e-9])
+        v = np.array([0.0, 1.0, 1.0, 1.0])
+        metrics = delay_crossing(t, v, reference_time_s=0.9e-9)
+        assert np.isnan(metrics["crossing_delay_s"]) or metrics["crossing_delay_s"] >= 0.0
+
+    def test_delay_crossing_flat_waveform_is_nan(self):
+        t = np.linspace(0, 1e-9, 10)
+        metrics = delay_crossing(t, np.zeros_like(t))
+        assert np.isnan(metrics["crossing_time_s"])
+        assert np.isnan(metrics["crossing_delay_s"])
 
     def test_settled_value_window(self):
         t = np.linspace(0, 100e-9, 101)
