@@ -55,10 +55,17 @@ def canonical(value: Any) -> Any:
     if isinstance(value, np.ndarray):
         return {"__array__": [canonical(item) for item in value.tolist()]}
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        fields = {
-            field.name: canonical(getattr(value, field.name))
-            for field in dataclasses.fields(value)
-        }
+        fields = {}
+        for field in dataclasses.fields(value):
+            item = getattr(value, field.name)
+            # Hash stability across the solver-default change: "auto" (the
+            # current spec default) canonicalizes like the old default None,
+            # so a default-constructed spec hashes the same today as before
+            # the default moved — the selection policy is a performance
+            # choice, not part of the analysis identity.
+            if field.name == "solver" and item == "auto":
+                item = None
+            fields[field.name] = canonical(item)
         return {"__dataclass__": type(value).__qualname__, "fields": fields}
     if isinstance(value, Mapping):
         items = {}

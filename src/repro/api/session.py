@@ -549,7 +549,12 @@ class Session:
         base = spec.base
         circuit = circuit_of(built)
         stop_time_s = self._resolve_stop_time(base, built)
-        solver = spec.solver if spec.solver is not None else base.solver
+        # The MC spec's solver wins when set to a concrete backend; the
+        # default "auto" (like the legacy default None) defers to whatever
+        # the base transient spec asked for.
+        solver = spec.solver
+        if solver in (None, "auto") and base.solver not in (None, "auto"):
+            solver = base.solver
 
         controls = dict(
             integration=base.integration,

@@ -137,9 +137,10 @@ class AnalysisSpec:
 def _check_solver(solver: Any) -> None:
     if solver is not None and not isinstance(solver, str):
         raise TypeError(
-            "spec solver must be a backend name (e.g. 'dense', 'sparse', "
-            "'batched') or None; solver *instances* are not content-hashable — "
-            "use the legacy entry points for one-off instances"
+            "spec solver must be a backend name (e.g. 'auto', 'dense', "
+            "'sparse', 'batched', 'sparse-batched') or None; solver "
+            "*instances* are not content-hashable — use the legacy entry "
+            "points for one-off instances"
         )
 
 
@@ -155,7 +156,7 @@ class DCOp(AnalysisSpec):
     gmin: float = 1e-9
     damping_v: float = 0.6
     time_s: float = 0.0
-    solver: Optional[str] = None
+    solver: Optional[str] = "auto"
 
     def __post_init__(self) -> None:
         _check_solver(self.solver)
@@ -172,7 +173,7 @@ class DCSweep(AnalysisSpec):
     values: Tuple[float, ...] = ()
     gmin: float = 1e-12
     max_iterations: int = 200
-    solver: Optional[str] = None
+    solver: Optional[str] = "auto"
 
     def __post_init__(self) -> None:
         _check_solver(self.solver)
@@ -207,7 +208,7 @@ class Transient(AnalysisSpec):
     lte_tolerance_v: float = 2e-3
     min_timestep_s: Optional[float] = None
     max_timestep_s: Optional[float] = None
-    solver: Optional[str] = None
+    solver: Optional[str] = "auto"
 
     def __post_init__(self) -> None:
         _check_solver(self.solver)
@@ -260,7 +261,7 @@ class MonteCarlo(AnalysisSpec):
     gmin: float = 1e-9
     damping_v: float = 0.6
     time_s: float = 0.0
-    solver: Optional[str] = None
+    solver: Optional[str] = "auto"
 
     def __post_init__(self) -> None:
         _check_solver(self.solver)

@@ -27,6 +27,7 @@ from repro.circuits.lattice_netlist import (
     LatticeCircuit,
     build_lattice_circuit,
     build_scalability_bench,
+    scalability_grid_for_unknowns,
 )
 from repro.circuits.complementary import (
     ComplementaryLatticeCircuit,
@@ -55,6 +56,7 @@ __all__ = [
     "LatticeCircuit",
     "build_lattice_circuit",
     "build_scalability_bench",
+    "scalability_grid_for_unknowns",
     "ComplementaryLatticeCircuit",
     "build_complementary_lattice_circuit",
     "complement_lattice",

@@ -24,6 +24,8 @@ Node naming: the four terminals of the switch at lattice cell (r, c) map to
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -342,6 +344,32 @@ def build_scalability_bench(
         title=f"scalability_{rows}x{cols}",
         **kwargs,
     )
+
+
+def scalability_grid_for_unknowns(
+    min_unknowns: int,
+    model: Optional[FourTerminalSwitchModel] = None,
+    **kwargs,
+) -> int:
+    """Smallest square grid whose scalability bench has >= ``min_unknowns``.
+
+    The identity-lattice construction contributes two MNA unknowns per cell
+    (a drain-chain node and a source-chain node) plus a handful of rail and
+    branch rows, so the closed form ``2 * grid**2`` lands within a few
+    unknowns of the true system size.  This helper seeds the search with
+    that estimate and then verifies against the actual built circuit, so
+    callers asking for "a 10k-unknown lattice" get exactly the smallest
+    grid that delivers one whatever the construction overhead is.
+    """
+    if min_unknowns < 1:
+        raise ValueError("min_unknowns must be positive")
+    grid = max(1, math.isqrt(min_unknowns // 2))
+    while (
+        build_scalability_bench(grid, model=model, **kwargs).circuit.system_size
+        < min_unknowns
+    ):
+        grid += 1
+    return grid
 
 
 def _gate_node_name(literal_text: str) -> str:

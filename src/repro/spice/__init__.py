@@ -20,7 +20,8 @@ analysis engine:
   iteration's linear solve — dense LAPACK (default), sparse SuperLU reusing
   the compiled sparsity pattern (large lattices; optional scipy), and a
   batched dense backend solving stacked ``(trials, n, n)`` systems in one
-  call.  Every analysis accepts ``solver="dense" | "sparse" | "batched"``
+  call.  Every analysis accepts ``solver="auto" | "dense" | "sparse" |
+  "batched" | "sparse-batched"``
   (or an instance);
 * :mod:`repro.spice.waveforms` — DC, pulse and piecewise-linear stimuli
   (with breakpoint reporting for the adaptive transient controller);
@@ -85,11 +86,14 @@ from repro.spice.engine import (
     AnalysisEngine,
     CompiledCircuit,
     PERTURBABLE_PARAMETERS,
+    SparsityPattern,
     get_engine,
     sweep_many,
 )
 from repro.spice.solvers import (
+    AutoSolver,
     BatchedDenseSolver,
+    BatchedSparseSolver,
     DenseSolver,
     LinearSolver,
     SparseSolver,
@@ -140,10 +144,13 @@ __all__ = [
     "PERTURBABLE_PARAMETERS",
     "get_engine",
     "sweep_many",
+    "SparsityPattern",
     "LinearSolver",
     "DenseSolver",
     "SparseSolver",
     "BatchedDenseSolver",
+    "BatchedSparseSolver",
+    "AutoSolver",
     "get_solver",
     "available_backends",
     "Distribution",

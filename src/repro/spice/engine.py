@@ -82,6 +82,111 @@ def _same_optional(a: Optional[np.ndarray], b: Optional[np.ndarray]) -> bool:
     return np.array_equal(a, b)
 
 
+class SparsityPattern:
+    """The CSC structure shared by every assembly of one compiled topology.
+
+    Walks the compiled index arrays once and records every matrix entry any
+    compiled stamp can touch — the node diagonal (gmin), the static resistor
+    and voltage-source-branch entries, the capacitor companion entries and
+    the MOSFET conductance positions of *both* channel orientations — as a
+    canonical (column-major, deduplicated) CSC pattern.  On top of the raw
+    structure (:attr:`indices`/:attr:`indptr`) it precomputes the CSC data
+    position of each stamp group, so :meth:`CompiledCircuit.assemble_sparse`
+    scatters values straight into a ``(nnz,)`` data array with no dense
+    intermediate and no per-iteration structure analysis.
+
+    Ghost (ground) entries map to a trash slot at position :attr:`nnz`; the
+    assembly routines allocate data arrays of length ``nnz + 1`` and return
+    the ``[:nnz]`` prefix, mirroring how the dense path trims the ghost
+    row/column before the solve.
+    """
+
+    def __init__(self, compiled: "CompiledCircuit"):
+        size = compiled.size
+        self.size = size
+        diag = np.arange(size)
+        rows = [diag, compiled._static_rows, compiled._static_cols]
+        cols = [diag, compiled._static_cols, compiled._static_rows]
+        if compiled.num_capacitors:
+            a, b = compiled.cap_a, compiled.cap_b
+            rows.append(np.concatenate((a, b, a, b)))
+            cols.append(np.concatenate((a, b, b, a)))
+        if compiled.num_mosfets:
+            d, g, s = compiled.mos_d, compiled.mos_g, compiled.mos_s
+            rows.append(np.concatenate((d, s, d, s, d, s)))
+            cols.append(np.concatenate((d, s, s, d, g, g)))
+        all_rows = np.concatenate(rows).astype(np.int64)
+        all_cols = np.concatenate(cols).astype(np.int64)
+        keep = (all_rows < size) & (all_cols < size)
+        all_rows, all_cols = all_rows[keep], all_cols[keep]
+        order = np.lexsort((all_rows, all_cols))
+        all_rows, all_cols = all_rows[order], all_cols[order]
+        unique = np.ones(all_rows.size, dtype=bool)
+        unique[1:] = (all_rows[1:] != all_rows[:-1]) | (all_cols[1:] != all_cols[:-1])
+        #: COO view of the pattern (also the gather indices for turning a
+        #: dense assembled matrix into this pattern's data array).
+        self.rows = all_rows[unique]
+        self.cols = all_cols[unique]
+        self.nnz = int(self.rows.size)
+        #: CSC structure, int32 so SuperLU takes it without a per-solve cast.
+        self.indices = self.rows.astype(np.int32)
+        indptr = np.zeros(size + 1, dtype=np.int64)
+        np.cumsum(np.bincount(self.cols, minlength=size), out=indptr[1:])
+        self.indptr = indptr.astype(np.int32)
+        self._keys = self.cols * size + self.rows  # ascending by construction
+
+        # Per-stamp-group position maps into the CSC data array.
+        self.static_pos = self.positions(compiled._static_rows, compiled._static_cols)
+        node_diag = np.arange(compiled.num_nodes)
+        self.gmin_diag_pos = self.positions(node_diag, node_diag)
+        if compiled.num_capacitors:
+            a, b = compiled.cap_a, compiled.cap_b
+            self.cap_pos = self.positions(
+                np.concatenate((a, b, a, b)), np.concatenate((a, b, b, a))
+            )
+        else:
+            self.cap_pos = None
+        if compiled.num_mosfets:
+            d, g, s = compiled.mos_d, compiled.mos_g, compiled.mos_s
+            # The channel orientation (which diffusion terminal acts as the
+            # drain) is decided per device per Newton iterate, so both
+            # orientations' eight stamp positions are precomputed and the
+            # assembly selects rows with np.where(forward, ...).
+            self.mos_pos_forward = self._mos_positions(d, s, g)
+            self.mos_pos_reverse = self._mos_positions(s, d, g)
+        else:
+            self.mos_pos_forward = None
+            self.mos_pos_reverse = None
+
+    def _mos_positions(self, drain: np.ndarray, source: np.ndarray, gate: np.ndarray) -> np.ndarray:
+        """``(8, M)`` data positions of one orientation's stamp entries."""
+        rows8 = np.stack((drain, source, drain, source, drain, drain, source, source))
+        cols8 = np.stack((drain, source, source, drain, gate, source, gate, source))
+        return self.positions(rows8, cols8)
+
+    def positions(self, rows, cols) -> np.ndarray:
+        """CSC data positions of ``(rows, cols)`` entries.
+
+        Ghost (ground) entries map to the trash slot ``nnz``; a non-ghost
+        entry missing from the pattern raises — that would mean the pattern
+        no longer covers the compiled stamps.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        ghost = (rows >= self.size) | (cols >= self.size)
+        keys = cols * self.size + rows
+        pos = np.searchsorted(self._keys, keys)
+        pos = np.where(ghost, self.nnz, pos)
+        clipped = np.minimum(pos, self.nnz - 1) if self.nnz else pos
+        hit = ghost | ((pos < self.nnz) & (self._keys[clipped] == keys))
+        if not bool(np.all(hit)):
+            raise RuntimeError(
+                "sparsity pattern does not cover a compiled stamp entry; "
+                "the compiled structure changed without a recompile"
+            )
+        return pos
+
+
 class CompiledCircuit:
     """Precomputed index arrays for vectorized MNA assembly.
 
@@ -181,6 +286,8 @@ class CompiledCircuit:
         self.num_capacitors = len(capacitors)
         self._ghost = ghost
         self._base_cache: Dict[Hashable, np.ndarray] = {}
+        self._base_data_cache: Dict[Hashable, np.ndarray] = {}
+        self._pattern: Optional[SparsityPattern] = None
         self._source_value_cache = None
         #: Per-source waveform multipliers (``None`` means all-ones).
         self.vs_scale: Optional[np.ndarray] = None
@@ -265,6 +372,8 @@ class CompiledCircuit:
         # pool workers is pure dead weight, so pickling drops them.
         state = self.__dict__.copy()
         state["_base_cache"] = {}
+        state["_base_data_cache"] = {}
+        state["_pattern"] = None
         state["_source_value_cache"] = None
         return state
 
@@ -299,6 +408,7 @@ class CompiledCircuit:
             if not np.array_equal(new_vals, self._static_vals[:n4]):
                 self._static_vals = np.concatenate((new_vals, self._static_vals[n4:]))
                 self._base_cache.clear()
+                self._base_data_cache.clear()
         if self.capacitors:
             new_c = overlay.get("cap_c")
             if new_c is None:
@@ -306,6 +416,7 @@ class CompiledCircuit:
             if not np.array_equal(new_c, self.cap_c):
                 self.cap_c = new_c
                 self._base_cache.clear()
+                self._base_data_cache.clear()
             if not overlay:
                 self.cap_v0 = np.array(
                     [c.initial_voltage_v for c in self.capacitors], dtype=float
@@ -411,6 +522,56 @@ class CompiledCircuit:
                 self._base_cache[key] = base
         return base
 
+    def sparsity_pattern(self) -> Optional["SparsityPattern"]:
+        """The shared CSC pattern of this topology, built once and cached.
+
+        ``None`` for circuits with custom (compatibility-path) elements —
+        their ``stamp()`` can touch arbitrary entries, so no static pattern
+        is safe and the sparse assembly path is unavailable.
+        """
+        if self.custom_elements:
+            return None
+        if self._pattern is None:
+            self._pattern = SparsityPattern(self)
+        return self._pattern
+
+    def _base_data(
+        self,
+        gmin: float,
+        timestep_s: Optional[float],
+        integration: str,
+        cache: bool = True,
+    ) -> np.ndarray:
+        """The cached linear part of the Jacobian as CSC pattern data.
+
+        The sparse twin of :meth:`_base_matrix`: a ``(nnz + 1,)`` array
+        (trailing trash slot for ghost entries) whose stamp accumulation
+        order — static entries, then the gmin diagonal, then the capacitor
+        companions — mirrors the dense base matrix operation for operation,
+        so each entry is bit-identical to the dense base gathered at the
+        pattern's (row, col) position.
+        """
+        pattern = self.sparsity_pattern()
+        key = (gmin, timestep_s, integration if timestep_s is not None else "dc")
+        data = self._base_data_cache.get(key)
+        if data is not None:
+            self._base_data_cache.pop(key)
+            self._base_data_cache[key] = data
+        else:
+            data = np.zeros(pattern.nnz + 1)
+            if self._static_rows.size:
+                np.add.at(data, pattern.static_pos, self._static_vals)
+            data[pattern.gmin_diag_pos] += gmin
+            if timestep_s is not None and self.num_capacitors:
+                g = self._capacitor_conductance(timestep_s, integration)
+                np.add.at(data, pattern.cap_pos, np.concatenate((g, g, -g, -g)))
+            data[pattern.nnz] = 0.0
+            if cache:
+                if len(self._base_data_cache) >= self.BASE_CACHE_LIMIT:
+                    self._base_data_cache.pop(next(iter(self._base_data_cache)))
+                self._base_data_cache[key] = data
+        return data
+
     def _source_values(
         self, time_s: float, source_scale: float
     ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
@@ -505,11 +666,39 @@ class CompiledCircuit:
         matrix = self._base_matrix(
             state.gmin, state.timestep_s, state.integration, cache=cache_base
         ).copy()
-        rhs = np.zeros(self._ghost)
+        rhs = self._linear_rhs(state, source_scale, cap_history, source_values, cap_g)
 
-        time_s = state.time_s
+        if self.num_mosfets:
+            self._stamp_mosfets(matrix, rhs, self._pad(state.solution))
+
+        if self.custom_elements:
+            system = MNASystem(
+                self.num_nodes,
+                self.size - self.num_nodes,
+                matrix=matrix[: self.size, : self.size],
+                rhs=rhs[: self.size],
+            )
+            for element in self.custom_elements:
+                element.stamp(system, state)
+
+        return matrix[: self.size, : self.size], rhs[: self.size]
+
+    def _linear_rhs(
+        self,
+        state: AnalysisState,
+        source_scale: float,
+        cap_history: Optional[np.ndarray],
+        source_values: Optional[Tuple[Optional[np.ndarray], Optional[np.ndarray]]],
+        cap_g: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """The linear right-hand side at ``state`` (sources + cap history).
+
+        Shared by the dense and the sparse serial assembly — everything but
+        the MOSFET companion currents, in the serial accumulation order.
+        """
+        rhs = np.zeros(self._ghost)
         if source_values is None:
-            v_values, i_values = self._source_values(time_s, source_scale)
+            v_values, i_values = self._source_values(state.time_s, source_scale)
         else:
             v_values, i_values = source_values
         if v_values is not None:
@@ -538,29 +727,28 @@ class CompiledCircuit:
                 i_eq = i_eq + cap_history
             np.add.at(rhs, self.cap_a, i_eq)
             np.add.at(rhs, self.cap_b, -i_eq)
+        return rhs
 
-        if self.num_mosfets:
-            self._stamp_mosfets(matrix, rhs, self._pad(state.solution))
+    def _mosfet_companion(
+        self,
+        padded: np.ndarray,
+        beta: np.ndarray,
+        vth: np.ndarray,
+        lam: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-device linearized channel quantities at the padded iterate(s).
 
-        if self.custom_elements:
-            system = MNASystem(
-                self.num_nodes,
-                self.size - self.num_nodes,
-                matrix=matrix[: self.size, : self.size],
-                rhs=rhs[: self.size],
-            )
-            for element in self.custom_elements:
-                element.stamp(system, state)
-
-        return matrix[: self.size, : self.size], rhs[: self.size]
-
-    def _stamp_mosfets(self, matrix: np.ndarray, rhs: np.ndarray, solution: np.ndarray) -> None:
-        """Vectorized level-1 companion-model stamps for every MOSFET."""
+        ``padded`` is ``(size + 1,)`` serial or ``(trials, size + 1)``
+        batched; returns ``(forward, drain, source, gds, gm, i_eq)`` with
+        matching leading shape.  Every float operation is shared by all four
+        assembly paths, which is what keeps dense/sparse and serial/batched
+        results bit-identical.
+        """
         from repro.spice.elements.mosfet import evaluate_level1_arrays
 
-        vd = solution[self.mos_d]
-        vg = solution[self.mos_g]
-        vs = solution[self.mos_s]
+        vd = padded[..., self.mos_d]
+        vg = padded[..., self.mos_g]
+        vs = padded[..., self.mos_s]
         # Orient every channel so its higher diffusion terminal is the drain
         # (the element does the same; the conduction is symmetric).
         forward = vd >= vs
@@ -570,12 +758,16 @@ class CompiledCircuit:
         vgs = vg - v_source
         vds = np.abs(vd - vs)
 
-        ids, gm, gds = evaluate_level1_arrays(
-            vgs, vds, self.mos_beta, self.mos_vth, self.mos_lambda, self.mos_w
-        )
+        ids, gm, gds = evaluate_level1_arrays(vgs, vds, beta, vth, lam, self.mos_w)
         gds = gds + self.mos_gmin
         i_eq = ids - gm * vgs - gds * vds
+        return forward, drain, source, gds, gm, i_eq
 
+    def _stamp_mosfets(self, matrix: np.ndarray, rhs: np.ndarray, solution: np.ndarray) -> None:
+        """Vectorized level-1 companion-model stamps for every MOSFET."""
+        forward, drain, source, gds, gm, i_eq = self._mosfet_companion(
+            solution, self.mos_beta, self.mos_vth, self.mos_lambda
+        )
         gate = self.mos_g
         rows = np.concatenate((drain, source, drain, source, drain, drain, source, source))
         cols = np.concatenate((drain, source, source, drain, gate, source, gate, source))
@@ -590,6 +782,60 @@ class CompiledCircuit:
             weights=np.concatenate((-i_eq, i_eq)),
             minlength=ghost,
         )
+
+    # ------------------------------------------------------------------ #
+    # sparse assembly (CSC pattern data, no dense intermediate)
+    # ------------------------------------------------------------------ #
+
+    def assemble_sparse(
+        self,
+        state: AnalysisState,
+        source_scale: float = 1.0,
+        cap_history: Optional[np.ndarray] = None,
+        cache_base: bool = True,
+        source_values: Optional[Tuple[Optional[np.ndarray], Optional[np.ndarray]]] = None,
+        cap_g: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Assemble the linearized system at ``state`` as CSC pattern data.
+
+        The sparse twin of :meth:`assemble`: element stamps scatter straight
+        into the precomputed CSC positions of :meth:`sparsity_pattern`, so no
+        ``(n, n)`` matrix is ever formed.  Returns ``(data, rhs)`` where
+        ``data`` is the ``(nnz,)`` value array of the pattern — each entry
+        bit-identical to the dense assembly gathered at the pattern's
+        (row, col) position — and ``rhs`` the ghost-trimmed right-hand side.
+
+        Circuits with custom (compatibility-path) elements are rejected:
+        their ``stamp()`` needs the dense matrix view.
+        """
+        pattern = self.sparsity_pattern()
+        if pattern is None:
+            raise ValueError(
+                "sparse assembly does not support custom (stamp-path) elements; "
+                "assemble these circuits densely"
+            )
+        data = self._base_data(
+            state.gmin, state.timestep_s, state.integration, cache=cache_base
+        ).copy()
+        rhs = self._linear_rhs(state, source_scale, cap_history, source_values, cap_g)
+
+        if self.num_mosfets:
+            forward, drain, source, gds, gm, i_eq = self._mosfet_companion(
+                self._pad(state.solution), self.mos_beta, self.mos_vth, self.mos_lambda
+            )
+            pos = np.where(forward, pattern.mos_pos_forward, pattern.mos_pos_reverse)
+            vals = np.concatenate((gds, gds, -gds, -gds, gm, -gm, -gm, gm))
+            # Same bincount accumulation as the dense stamp — the (8, M)
+            # position rows ravel in the dense path's group-major entry
+            # order, so shared cells accumulate in the identical sequence.
+            data += np.bincount(pos.ravel(), weights=vals, minlength=pattern.nnz + 1)
+            rhs += np.bincount(
+                np.concatenate((drain, source)),
+                weights=np.concatenate((-i_eq, i_eq)),
+                minlength=self._ghost,
+            )
+
+        return data[: pattern.nnz], rhs[: self.size]
 
     # ------------------------------------------------------------------ #
     # batched assembly (stacked Monte-Carlo trials)
@@ -642,12 +888,7 @@ class CompiledCircuit:
                 "run these circuits through the per-trial path"
             )
         params = dict(params or {})
-        solutions = np.asarray(solutions, dtype=float)
-        if solutions.ndim != 2 or solutions.shape[1] != self.size:
-            raise ValueError(
-                f"solutions stack has shape {solutions.shape}, expected "
-                f"(trials, {self.size})"
-            )
+        solutions = self._check_solution_stack(solutions)
         trials = solutions.shape[0]
         ghost = self._ghost
         cells = ghost * ghost
@@ -660,20 +901,9 @@ class CompiledCircuit:
         # re-accumulating it per round (the lockstep-march fast path).
         resistance = params.get("resistor_ohm")
         cap_c = params.get("cap_c") if timestep_s is not None else None
-        if timestep_s is None:
-            cap_g_rows = None  # companion models are transient-only
-        if cap_g_rows is None and timestep_s is not None and self.num_capacitors:
-            # ``cap_g_rows`` is a per-march invariant the lockstep caller
-            # hands in precomputed; derive it here for one-off assemblies.
-            if cap_c is None:
-                cap_g_rows = np.broadcast_to(
-                    self._capacitor_conductance(timestep_s, integration),
-                    (trials, self.num_capacitors),
-                )
-            else:
-                cap_g_rows = self._capacitor_conductance_stacked(
-                    cap_c, timestep_s, integration
-                )
+        cap_g_rows = self._batched_cap_g_rows(
+            trials, cap_c, timestep_s, integration, cap_g_rows
+        )
         if resistance is None and cap_c is None:
             matrices = np.empty((trials, ghost, ghost))
             matrices[:] = self._base_matrix(gmin, timestep_s, integration)
@@ -727,6 +957,99 @@ class CompiledCircuit:
                     ).ravel(),
                 )
 
+        rhs = self._linear_rhs_batched(
+            trials,
+            params,
+            time_s,
+            source_scale,
+            integration,
+            previous_solutions,
+            cap_history,
+            source_values,
+            cap_g_rows,
+        )
+        rhs_flat = rhs.reshape(-1)
+
+        # MOSFET companion stamps, vectorized over (trials, devices).
+        if self.num_mosfets:
+            forward, drain, source, gds, gm, i_eq = self._mosfet_companion_batched(
+                solutions, params
+            )
+            gate = np.broadcast_to(self.mos_g, drain.shape)
+            rows = np.concatenate(
+                (drain, source, drain, source, drain, drain, source, source), axis=1
+            )
+            cols = np.concatenate(
+                (drain, source, source, drain, gate, source, gate, source), axis=1
+            )
+            vals = np.concatenate((gds, gds, -gds, -gds, gm, -gm, -gm, gm), axis=1)
+            flat_all += np.bincount(
+                (trial_offsets * cells + rows * ghost + cols).ravel(),
+                weights=vals.ravel(),
+                minlength=trials * cells,
+            )
+            rhs_rows = np.concatenate((drain, source), axis=1)
+            rhs_flat += np.bincount(
+                (trial_offsets * ghost + rhs_rows).ravel(),
+                weights=np.concatenate((-i_eq, i_eq), axis=1).ravel(),
+                minlength=trials * ghost,
+            )
+
+        return matrices[:, : self.size, : self.size], rhs[:, : self.size]
+
+    def _check_solution_stack(self, solutions: np.ndarray) -> np.ndarray:
+        solutions = np.asarray(solutions, dtype=float)
+        if solutions.ndim != 2 or solutions.shape[1] != self.size:
+            raise ValueError(
+                f"solutions stack has shape {solutions.shape}, expected "
+                f"(trials, {self.size})"
+            )
+        return solutions
+
+    def _batched_cap_g_rows(
+        self,
+        trials: int,
+        cap_c: Optional[np.ndarray],
+        timestep_s: Optional[float],
+        integration: str,
+        cap_g_rows: Optional[np.ndarray],
+    ) -> Optional[np.ndarray]:
+        """Resolve the per-trial capacitor companion conductances.
+
+        ``cap_g_rows`` is a per-march invariant the lockstep caller hands in
+        precomputed; derive it here for one-off assemblies.  ``None`` outside
+        transient assemblies (companion models are transient-only).
+        """
+        if timestep_s is None:
+            return None
+        if cap_g_rows is not None or not self.num_capacitors:
+            return cap_g_rows
+        if cap_c is None:
+            return np.broadcast_to(
+                self._capacitor_conductance(timestep_s, integration),
+                (trials, self.num_capacitors),
+            )
+        return self._capacitor_conductance_stacked(cap_c, timestep_s, integration)
+
+    def _linear_rhs_batched(
+        self,
+        trials: int,
+        params: Mapping[str, np.ndarray],
+        time_s: float,
+        source_scale: float,
+        integration: str,
+        previous_solutions: Optional[np.ndarray],
+        cap_history: Optional[np.ndarray],
+        source_values: Optional[Tuple[Optional[np.ndarray], Optional[np.ndarray]]],
+        cap_g_rows: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """The stacked linear right-hand side (sources + cap history).
+
+        Shared by the dense and the sparse batched assembly; the per-trial
+        arithmetic mirrors :meth:`_linear_rhs` operation for operation.
+        """
+        ghost = self._ghost
+        trial_offsets = np.arange(trials)[:, None]
         # Independent sources (per-trial scale stacks compose exactly like
         # the serial vs_scale/is_scale overlay multipliers).
         rhs = np.zeros((trials, ghost))
@@ -800,56 +1123,148 @@ class CompiledCircuit:
                 (trial_offsets * ghost + self.cap_b[None, :]).ravel(),
                 (-i_eq).ravel(),
             )
+        return rhs
 
-        # MOSFET companion stamps, vectorized over (trials, devices).
+    def _mosfet_companion_batched(
+        self, solutions: np.ndarray, params: Mapping[str, np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Stacked :meth:`_mosfet_companion` with per-trial parameter stacks."""
+        trials = solutions.shape[0]
+        padded = np.empty((trials, self.size + 1))
+        padded[:, : self.size] = solutions
+        padded[:, self.size] = 0.0
+        return self._mosfet_companion(
+            padded,
+            params.get("mos_beta", self.mos_beta),
+            params.get("mos_vth", self.mos_vth),
+            params.get("mos_lambda", self.mos_lambda),
+        )
+
+    def assemble_sparse_batched(
+        self,
+        solutions: np.ndarray,
+        params: Optional[Mapping[str, np.ndarray]] = None,
+        gmin: float = 1e-9,
+        time_s: float = 0.0,
+        source_scale: float = 1.0,
+        timestep_s: Optional[float] = None,
+        integration: str = "be",
+        previous_solutions: Optional[np.ndarray] = None,
+        cap_history: Optional[np.ndarray] = None,
+        source_values: Optional[Tuple[Optional[np.ndarray], Optional[np.ndarray]]] = None,
+        cap_g_rows: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Assemble ``(trials, nnz)`` CSC data stacks for stacked trials.
+
+        The sparse twin of :meth:`assemble_batched`: same signature, same
+        per-trial arithmetic, but element stamps scatter into the shared CSC
+        pattern of :meth:`sparsity_pattern` instead of dense ``(n, n)``
+        matrices, so the memory footprint is ``trials * nnz`` rather than
+        ``trials * n^2``.  Row ``t`` of the returned ``data`` is
+        bit-identical to :meth:`assemble_sparse` with trial ``t``'s
+        parameters — and therefore to the dense batched assembly gathered at
+        the pattern positions.
+
+        The shared-base fast path is kept: when no parameter stack perturbs
+        the linear part (no ``resistor_ohm`` rows, and no ``cap_c`` rows if
+        this is a transient assembly), every trial's linear data is a
+        broadcast copy of the cached nominal :meth:`_base_data`.
+        """
+        pattern = self.sparsity_pattern()
+        if pattern is None:
+            raise ValueError(
+                "sparse assembly does not support custom (stamp-path) elements; "
+                "assemble these circuits densely"
+            )
+        params = dict(params or {})
+        solutions = self._check_solution_stack(solutions)
+        trials = solutions.shape[0]
+        slots = pattern.nnz + 1  # trailing trash slot per trial
+        trial_offsets = np.arange(trials)[:, None]
+
+        resistance = params.get("resistor_ohm")
+        cap_c = params.get("cap_c") if timestep_s is not None else None
+        cap_g_rows = self._batched_cap_g_rows(
+            trials, cap_c, timestep_s, integration, cap_g_rows
+        )
+        if resistance is None and cap_c is None:
+            data = np.empty((trials, slots))
+            data[:] = self._base_data(gmin, timestep_s, integration)
+            data_flat = data.reshape(-1)
+        else:
+            # Static part in the serial base-data accumulation order:
+            # static entries, then the gmin diagonal, then the capacitor
+            # companions (np.add.at for the capacitors — they may share
+            # positions with the static stamps, and the serial path
+            # accumulates those sequentially).
+            data = np.zeros((trials, slots))
+            data_flat = data.reshape(-1)
+            if self._static_rows.size:
+                if resistance is None:
+                    data += np.bincount(
+                        pattern.static_pos, weights=self._static_vals, minlength=slots
+                    )
+                else:
+                    conductance = 1.0 / np.asarray(resistance, dtype=float)
+                    n4 = 4 * len(self.resistors)
+                    vals = np.broadcast_to(
+                        self._static_vals, (trials, self._static_vals.size)
+                    ).copy()
+                    vals[:, 0:n4:4] = conductance
+                    vals[:, 1:n4:4] = conductance
+                    vals[:, 2:n4:4] = -conductance
+                    vals[:, 3:n4:4] = -conductance
+                    data_flat += np.bincount(
+                        (trial_offsets * slots + pattern.static_pos[None, :]).ravel(),
+                        weights=vals.ravel(),
+                        minlength=trials * slots,
+                    )
+            data[:, pattern.gmin_diag_pos] += gmin
+            if cap_g_rows is not None:
+                np.add.at(
+                    data_flat,
+                    (trial_offsets * slots + pattern.cap_pos[None, :]).ravel(),
+                    np.concatenate(
+                        (cap_g_rows, cap_g_rows, -cap_g_rows, -cap_g_rows), axis=1
+                    ).ravel(),
+                )
+            data[:, pattern.nnz] = 0.0
+
+        rhs = self._linear_rhs_batched(
+            trials,
+            params,
+            time_s,
+            source_scale,
+            integration,
+            previous_solutions,
+            cap_history,
+            source_values,
+            cap_g_rows,
+        )
+
         if self.num_mosfets:
-            from repro.spice.elements.mosfet import evaluate_level1_arrays
-
-            padded = np.empty((trials, self.size + 1))
-            padded[:, : self.size] = solutions
-            padded[:, self.size] = 0.0
-            vd = padded[:, self.mos_d]
-            vg = padded[:, self.mos_g]
-            vs = padded[:, self.mos_s]
-            forward = vd >= vs
-            drain = np.where(forward, self.mos_d, self.mos_s)
-            source = np.where(forward, self.mos_s, self.mos_d)
-            v_source = np.where(forward, vs, vd)
-            vgs = vg - v_source
-            vds = np.abs(vd - vs)
-
-            ids, gm, gds = evaluate_level1_arrays(
-                vgs,
-                vds,
-                params.get("mos_beta", self.mos_beta),
-                params.get("mos_vth", self.mos_vth),
-                params.get("mos_lambda", self.mos_lambda),
-                self.mos_w,
+            forward, drain, source, gds, gm, i_eq = self._mosfet_companion_batched(
+                solutions, params
             )
-            gds = gds + self.mos_gmin
-            i_eq = ids - gm * vgs - gds * vds
-
-            gate = np.broadcast_to(self.mos_g, drain.shape)
-            rows = np.concatenate(
-                (drain, source, drain, source, drain, drain, source, source), axis=1
-            )
-            cols = np.concatenate(
-                (drain, source, source, drain, gate, source, gate, source), axis=1
+            pos = np.where(
+                forward[:, None, :],
+                pattern.mos_pos_forward[None, :, :],
+                pattern.mos_pos_reverse[None, :, :],
             )
             vals = np.concatenate((gds, gds, -gds, -gds, gm, -gm, -gm, gm), axis=1)
-            flat_all += np.bincount(
-                (trial_offsets * cells + rows * ghost + cols).ravel(),
+            data_flat += np.bincount(
+                (np.arange(trials)[:, None, None] * slots + pos).ravel(),
                 weights=vals.ravel(),
-                minlength=trials * cells,
+                minlength=trials * slots,
             )
             rhs_rows = np.concatenate((drain, source), axis=1)
-            rhs_flat += np.bincount(
-                (trial_offsets * ghost + rhs_rows).ravel(),
+            rhs.reshape(-1)[:] += np.bincount(
+                (trial_offsets * self._ghost + rhs_rows).ravel(),
                 weights=np.concatenate((-i_eq, i_eq), axis=1).ravel(),
-                minlength=trials * ghost,
+                minlength=trials * self._ghost,
             )
 
-        return matrices[:, : self.size, : self.size], rhs[:, : self.size]
+        return data[:, : pattern.nnz], rhs[:, : self.size]
 
 
 class AnalysisEngine:
@@ -962,7 +1377,14 @@ class AnalysisEngine:
         compiled = self.compiled
         if solver is None:
             solver = self.solver
+        solver = solver.select(compiled)
         solver.bind(compiled)
+        # Pattern-assembly backends (sparse) take CSC data straight from
+        # assemble_sparse — no dense matrix is ever formed.  Circuits with
+        # custom elements have no pattern and keep the dense assembly.
+        pattern = (
+            compiled.sparsity_pattern() if solver.wants_pattern_assembly else None
+        )
         converged = False
         max_update = float("inf")
         iteration = 0
@@ -985,16 +1407,27 @@ class AnalysisEngine:
                 integration=integration,
                 gmin=gmin,
             )
-            matrix, rhs = compiled.assemble(
-                state,
-                source_scale,
-                cap_history,
-                cache_base=not gmin_bumped,
-                source_values=source_values,
-                cap_g=cap_g,
-            )
             try:
-                new_solution = solver.solve(matrix, rhs)
+                if pattern is not None:
+                    data, rhs = compiled.assemble_sparse(
+                        state,
+                        source_scale,
+                        cap_history,
+                        cache_base=not gmin_bumped,
+                        source_values=source_values,
+                        cap_g=cap_g,
+                    )
+                    new_solution = solver.solve_pattern(data, rhs)
+                else:
+                    matrix, rhs = compiled.assemble(
+                        state,
+                        source_scale,
+                        cap_history,
+                        cache_base=not gmin_bumped,
+                        source_values=source_values,
+                        cap_g=cap_g,
+                    )
+                    new_solution = solver.solve(matrix, rhs)
             except np.linalg.LinAlgError:
                 gmin = max(gmin * 10.0, 1e-12)
                 gmin_bumped = True
@@ -1171,11 +1604,23 @@ class AnalysisEngine:
         max_updates = np.full(trials, np.inf)
         poisoned = np.zeros(trials, dtype=bool)
         active = np.ones(trials, dtype=bool)
+        solver = solver.select(compiled, trials)
         solver.bind(compiled)
+        # Pattern-assembly backends (sparse) get (trials, nnz) CSC data
+        # stacks instead of dense (trials, n, n) stacks — same per-trial
+        # arithmetic, trials * nnz memory instead of trials * n^2.
+        pattern = (
+            compiled.sparsity_pattern() if solver.wants_pattern_assembly else None
+        )
+        assemble = (
+            compiled.assemble_sparse_batched
+            if pattern is not None
+            else compiled.assemble_batched
+        )
         for iteration in range(1, max_iterations + 1):
             index = np.flatnonzero(active)
             subset = {name: stack[index] for name, stack in params.items()}
-            matrices, rhs = compiled.assemble_batched(
+            matrices, rhs = assemble(
                 solutions[index],
                 subset,
                 gmin=gmin,
@@ -1191,7 +1636,10 @@ class AnalysisEngine:
                 source_scale=source_scale,
             )
             try:
-                new_solutions = solver.solve_batched(matrices, rhs)
+                if pattern is not None:
+                    new_solutions = solver.solve_pattern_batched(matrices, rhs)
+                else:
+                    new_solutions = solver.solve_batched(matrices, rhs)
             except np.linalg.LinAlgError:
                 # A singular system anywhere raises for the whole stack.
                 # Isolate it: re-solve the round trial by trial (same
@@ -1203,7 +1651,12 @@ class AnalysisEngine:
                 bad = np.zeros(index.size, dtype=bool)
                 for row in range(index.size):
                     try:
-                        new_solutions[row] = solver.solve(matrices[row], rhs[row])
+                        if pattern is not None:
+                            new_solutions[row] = solver.solve_pattern(
+                                matrices[row], rhs[row]
+                            )
+                        else:
+                            new_solutions[row] = solver.solve(matrices[row], rhs[row])
                     except np.linalg.LinAlgError:
                         bad[row] = True
                 if bad.any():

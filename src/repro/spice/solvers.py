@@ -9,23 +9,36 @@ iteration logic:
 * :class:`DenseSolver` — ``np.linalg.solve`` on the dense assembled matrix.
   The default, and the reference the other backends are tested against.
 * :class:`SparseSolver` — SciPy sparse LU (SuperLU) on a CSC matrix whose
-  *structure* is precomputed once from the compiled circuit's index arrays
-  (:meth:`LinearSolver.bind`), so every Newton iteration and sweep point
-  only gathers the current numeric values into the fixed sparsity pattern.
-  Pays off on large lattices, where the MNA matrix is overwhelmingly empty.
-  Requires the optional ``scipy`` dependency — install it directly or
-  through this package's ``[sparse]`` extra.
+  *structure* is precomputed once from the compiled circuit's
+  :class:`~repro.spice.engine.SparsityPattern`.  A pattern-assembly backend
+  (:attr:`LinearSolver.wants_pattern_assembly`): the engine hands it the
+  ``(nnz,)`` CSC data array of ``CompiledCircuit.assemble_sparse`` directly,
+  so no dense matrix is ever formed.  Pays off on large lattices, where the
+  MNA matrix is overwhelmingly empty.  Requires the optional ``scipy``
+  dependency — install it directly or through this package's ``[sparse]``
+  extra.
 * :class:`BatchedDenseSolver` — stacks ``(trials, n, n)`` systems and
   solves them in a single vectorized LAPACK call.  The Monte-Carlo engine
   runs same-pattern trials through this backend
   (:meth:`~repro.spice.montecarlo.MonteCarloEngine.run_batched_dc`); its
   per-system results are bit-identical to :class:`DenseSolver` on the same
   matrices.
+* :class:`BatchedSparseSolver` — the sparse twin of the batched backend:
+  the CSC *structure* (canonical ordering, position maps, ghost trimming)
+  is analyzed once per topology and shared by every trial, then each trial
+  of the ``(trials, nnz)`` data stack is numerically factorized and solved
+  through SuperLU over that shared structure.  Memory scales as
+  ``trials * nnz`` instead of the dense stack's ``trials * n^2``.
+* :class:`AutoSolver` — a *policy* backend (``solver="auto"``, the default
+  spec value): picks dense vs sparse — and their batched variants — from
+  the system size, the trial count and the measured dense/sparse crossover
+  recorded in ``BENCH_solvers.json``.  Degrades gracefully to dense (with
+  an actionable warning) when SciPy is unavailable.
 
 Select a backend by name through any analysis frontend::
 
     dc_operating_point(circuit, solver="sparse")
-    transient_analysis(circuit, 1e-6, 1e-9, solver="dense")
+    transient_analysis(circuit, 1e-6, 1e-9, solver="auto")
 
 or hand a configured instance to ``get_solver`` / the engine directly.
 Backends signal a numerically singular system uniformly by raising
@@ -35,6 +48,10 @@ whichever backend is active.
 
 from __future__ import annotations
 
+import json
+import os
+import warnings
+from functools import lru_cache
 from typing import Dict, Optional, Tuple, Type, Union
 
 import numpy as np
@@ -44,10 +61,20 @@ __all__ = [
     "DenseSolver",
     "SparseSolver",
     "BatchedDenseSolver",
+    "BatchedSparseSolver",
+    "AutoSolver",
+    "DEFAULT_DENSE_SPARSE_CROSSOVER",
     "get_solver",
     "available_backends",
     "scipy_available",
+    "recorded_crossovers",
 ]
+
+#: Fallback system size above which :class:`AutoSolver` prefers the sparse
+#: backends when no measured crossover is recorded.  Calibrated on the
+#: identity-lattice scalability benches (``benchmarks/bench_solvers.py``),
+#: where sparse SuperLU first beats the dense LAPACK solve near n ≈ 300.
+DEFAULT_DENSE_SPARSE_CROSSOVER = 300
 
 
 def _import_scipy_sparse():
@@ -89,10 +116,31 @@ class LinearSolver:
     active :class:`~repro.spice.engine.CompiledCircuit` before a Newton run
     so structure-caching backends (sparse) can precompute their sparsity
     pattern once per compiled topology.
+
+    Backends that set :attr:`wants_pattern_assembly` receive CSC data
+    arrays assembled straight into the compiled circuit's
+    :class:`~repro.spice.engine.SparsityPattern`
+    (:meth:`solve_pattern`/:meth:`solve_pattern_batched`) instead of dense
+    matrices — the engine never materializes ``(n, n)`` for them.
+
+    :meth:`select` resolves *policy* backends: the engine calls it with the
+    compiled circuit (and the trial count for batched runs) right before a
+    Newton run, and the returned concrete backend does the solving.  Plain
+    backends return themselves.
     """
 
     #: Registry name of the backend (``solver="<name>"`` in the frontends).
     name = "base"
+
+    #: When True the engine assembles CSC pattern data
+    #: (``CompiledCircuit.assemble_sparse*``) and calls
+    #: :meth:`solve_pattern`/:meth:`solve_pattern_batched` instead of the
+    #: dense :meth:`solve`/:meth:`solve_batched`.
+    wants_pattern_assembly = False
+
+    def select(self, compiled, trials: Optional[int] = None) -> "LinearSolver":
+        """Resolve to the concrete backend for this run (default: self)."""
+        return self
 
     def bind(self, compiled) -> None:
         """Precompute per-topology structure (default: nothing to do)."""
@@ -108,6 +156,16 @@ class LinearSolver:
         genuinely batched kernel (dense LAPACK) override it.
         """
         return np.stack([self.solve(m, r) for m, r in zip(matrices, rhs)])
+
+    def solve_pattern(self, data: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        """Solve one system given as ``(nnz,)`` data of the bound pattern."""
+        raise NotImplementedError(
+            f"the {self.name!r} backend does not take pattern-assembled systems"
+        )
+
+    def solve_pattern_batched(self, data: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        """Solve a ``(T, nnz)`` pattern-data stack against ``(T, n)`` vectors."""
+        return np.stack([self.solve_pattern(d, r) for d, r in zip(data, rhs)])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
@@ -143,80 +201,73 @@ class BatchedDenseSolver(DenseSolver):
 
 
 class SparseSolver(LinearSolver):
-    """SciPy SuperLU backend reusing the compiled circuit's sparsity pattern.
+    """SciPy SuperLU backend over the compiled circuit's sparsity pattern.
 
-    :meth:`bind` walks the compiled index arrays once per topology and
-    emits the CSC structure (column pointers + row indices) of every entry
-    any stamp can touch: the matrix diagonal, the static resistor and
-    voltage-source-branch entries, the capacitor companion entries and all
-    MOSFET conductance positions (both channel orientations).  Each solve
-    then only gathers the dense assembly's values at those positions —
-    no per-iteration structure analysis.
+    :meth:`bind` takes the compiled circuit's shared
+    :class:`~repro.spice.engine.SparsityPattern` (built once per topology);
+    the engine then assembles straight into that pattern's CSC data array
+    (:meth:`solve_pattern`) — no dense matrix, no per-iteration structure
+    analysis.
 
     Circuits with custom (compatibility-path) elements have no precomputed
-    pattern; the solver falls back to converting the dense matrix per call,
-    which stays correct, just without the structural shortcut.
+    pattern and still assemble densely; :meth:`solve` then probes the CSC
+    structure from the first matrix it sees and reuses it for every later
+    solve (a cheap gather plus a nonzero-count guard), only re-probing when
+    a value appears outside the cached structure.
     """
 
     name = "sparse"
+    wants_pattern_assembly = True
 
     def __init__(self):
         # Fail at construction, not mid-Newton, when scipy is missing.
         _import_scipy_sparse()
         self._bound_key: Optional[Tuple[int, int]] = None
-        self._size: Optional[int] = None
-        self._rows: Optional[np.ndarray] = None  # COO of the pattern
-        self._cols: Optional[np.ndarray] = None
-        self._indices: Optional[np.ndarray] = None  # CSC row indices
-        self._indptr: Optional[np.ndarray] = None  # CSC column pointers
+        self._pattern = None  # the compiled circuit's SparsityPattern
+        # Probed CSC structure of the dense fallback path (custom-element
+        # circuits): (rows, cols, indices, indptr, n).
+        self._probed: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]] = None
 
     def bind(self, compiled) -> None:
         key = (id(compiled), compiled.revision)
         if key == self._bound_key:
             return
         self._bound_key = key
-        self._size = None
-        if compiled.custom_elements:
-            return  # unknown stamps: no safe static pattern
-        size = compiled.size
-        rows = [np.arange(size), compiled._static_rows, compiled._static_cols]
-        cols = [np.arange(size), compiled._static_cols, compiled._static_rows]
-        if compiled.num_capacitors:
-            a, b = compiled.cap_a, compiled.cap_b
-            rows.append(np.concatenate((a, b, a, b)))
-            cols.append(np.concatenate((a, b, b, a)))
-        if compiled.num_mosfets:
-            d, g, s = compiled.mos_d, compiled.mos_g, compiled.mos_s
-            # Either channel orientation stamps rows {d, s} against columns
-            # {d, s, g}; the union covers both.
-            rows.append(np.concatenate((d, s, d, s, d, s)))
-            cols.append(np.concatenate((d, s, s, d, g, g)))
-        all_rows = np.concatenate(rows)
-        all_cols = np.concatenate(cols)
-        # Ghost (ground) entries are trimmed before the solve.
-        keep = (all_rows < size) & (all_cols < size)
-        all_rows, all_cols = all_rows[keep], all_cols[keep]
-        # Canonical CSC structure: sort by column, then row, drop duplicates.
-        order = np.lexsort((all_rows, all_cols))
-        all_rows, all_cols = all_rows[order], all_cols[order]
-        unique = np.ones(all_rows.size, dtype=bool)
-        unique[1:] = (all_rows[1:] != all_rows[:-1]) | (all_cols[1:] != all_cols[:-1])
-        self._rows = all_rows[unique]
-        self._cols = all_cols[unique]
-        self._indices = self._rows
-        self._indptr = np.zeros(size + 1, dtype=np.int64)
-        np.cumsum(np.bincount(self._cols, minlength=size), out=self._indptr[1:])
-        self._size = size
+        self._pattern = compiled.sparsity_pattern()  # None for custom elements
+        self._probed = None
 
-    def solve(self, matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
-        sparse, sparse_linalg = _import_scipy_sparse()
-        if self._size == matrix.shape[0]:
-            data = matrix[self._rows, self._cols]
-            system = sparse.csc_matrix(
-                (data, self._indices, self._indptr), shape=matrix.shape
+    def _csc_from_dense(self, matrix: np.ndarray):
+        """CSC form of a dense matrix without per-call structure analysis.
+
+        Preference order: gather through the bound pattern; gather through
+        the previously probed structure (guarded by a nonzero count — any
+        value outside the cached structure forces a re-probe, so nothing is
+        ever silently dropped); full conversion as the last resort, caching
+        the structure it finds.
+        """
+        sparse, _ = _import_scipy_sparse()
+        n = matrix.shape[0]
+        pattern = self._pattern
+        if pattern is not None and pattern.size == n:
+            data = matrix[pattern.rows, pattern.cols]
+            return sparse.csc_matrix(
+                (data, pattern.indices, pattern.indptr), shape=matrix.shape
             )
-        else:
-            system = sparse.csc_matrix(matrix)
+        probed = self._probed
+        if probed is not None and probed[4] == n:
+            rows, cols, indices, indptr, _ = probed
+            data = matrix[rows, cols]
+            if np.count_nonzero(data) == np.count_nonzero(matrix):
+                return sparse.csc_matrix((data, indices, indptr), shape=matrix.shape)
+        system = sparse.csc_matrix(matrix)
+        indices = system.indices.astype(np.int32, copy=True)
+        indptr = system.indptr.astype(np.int32, copy=True)
+        cols = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        self._probed = (indices.astype(np.int64), cols, indices, indptr, n)
+        return system
+
+    def _splu_solve(self, system, rhs: np.ndarray) -> np.ndarray:
+        _, sparse_linalg = _import_scipy_sparse()
         try:
             return sparse_linalg.splu(system).solve(rhs)
         except RuntimeError as error:
@@ -225,19 +276,227 @@ class SparseSolver(LinearSolver):
             # gmin-bump retry is backend-agnostic.
             raise np.linalg.LinAlgError(str(error)) from error
 
+    def solve(self, matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        return self._splu_solve(self._csc_from_dense(matrix), rhs)
+
+    def solve_pattern(self, data: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        sparse, _ = _import_scipy_sparse()
+        pattern = self._pattern
+        if pattern is None:
+            raise RuntimeError(
+                "solve_pattern needs a bound sparsity pattern; bind() the "
+                "compiled circuit first"
+            )
+        system = sparse.csc_matrix(
+            (data, pattern.indices, pattern.indptr), shape=(pattern.size, pattern.size)
+        )
+        return self._splu_solve(system, rhs)
+
+
+class BatchedSparseSolver(SparseSolver):
+    """Sparse backend for stacked trials over one shared CSC structure.
+
+    The *symbolic* work — canonical CSC ordering, stamp-position maps,
+    ghost trimming — happens once per topology in the shared
+    :class:`~repro.spice.engine.SparsityPattern`; every trial of a
+    ``(trials, nnz)`` data stack then reuses that structure and only pays
+    the per-trial *numeric* factorization and triangular solves (SciPy's
+    SuperLU binding exposes no cross-factorization symbolic reuse, so each
+    trial runs a full ``splu`` over the shared index arrays).  A singular
+    trial anywhere in the stack raises ``LinAlgError`` for the whole stack,
+    exactly like the batched dense backend, so the engine's per-trial
+    isolation and gmin/source-stepping ladders work unchanged.
+    """
+
+    name = "sparse-batched"
+
+    def solve_pattern_batched(self, data: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        sparse, _ = _import_scipy_sparse()
+        pattern = self._pattern
+        if pattern is None:
+            raise RuntimeError(
+                "solve_pattern_batched needs a bound sparsity pattern; bind() "
+                "the compiled circuit first"
+            )
+        shape = (pattern.size, pattern.size)
+        out = np.empty_like(rhs)
+        for trial in range(data.shape[0]):
+            system = sparse.csc_matrix(
+                (data[trial], pattern.indices, pattern.indptr), shape=shape
+            )
+            out[trial] = self._splu_solve(system, rhs[trial])
+        return out
+
+
+@lru_cache(maxsize=8)
+def _load_bench_payload(path: str) -> Optional[Dict]:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def recorded_crossovers() -> Dict[str, float]:
+    """Measured solver crossovers from a recorded ``BENCH_solvers.json``.
+
+    Looked up, in order, at ``$REPRO_BENCH_SOLVERS`` (an explicit file
+    path), ``$BENCH_JSON_DIR/BENCH_solvers.json`` (the CI benchmark
+    artifact directory) and ``./BENCH_solvers.json``; the first readable
+    JSON object wins.  Returns the numeric ``*crossover_size`` entries
+    found anywhere in the payload (top level or one level down), ``{}``
+    when nothing is recorded.  File reads are memoized per path.
+    """
+    candidates = []
+    explicit = os.environ.get("REPRO_BENCH_SOLVERS")
+    if explicit:
+        candidates.append(explicit)
+    directory = os.environ.get("BENCH_JSON_DIR")
+    if directory:
+        candidates.append(os.path.join(directory, "BENCH_solvers.json"))
+    candidates.append(os.path.join(os.getcwd(), "BENCH_solvers.json"))
+    for path in candidates:
+        payload = _load_bench_payload(path)
+        if payload is None:
+            continue
+        found: Dict[str, float] = {}
+        sections = [payload] + [v for v in payload.values() if isinstance(v, dict)]
+        for section in sections:
+            for key, value in section.items():
+                if key.endswith("crossover_size") and isinstance(value, (int, float)):
+                    found.setdefault(key, float(value))
+        if found:
+            return found
+    return {}
+
+
+class AutoSolver(LinearSolver):
+    """Size/trial-aware backend selection behind the normal solver seam.
+
+    ``solver="auto"`` — the default spec value — resolves to a concrete
+    backend per Newton run through :meth:`select`:
+
+    * systems below the dense/sparse crossover use :class:`DenseSolver`
+      (serial) or :class:`BatchedDenseSolver` (stacked trials);
+    * systems at or above it use :class:`SparseSolver` /
+      :class:`BatchedSparseSolver`, assembling straight into the CSC
+      pattern (``trials * nnz`` memory instead of ``trials * n^2``).
+
+    The crossover comes from, in order: the constructor argument, the
+    ``REPRO_SOLVER_CROSSOVER`` environment variable, the measured
+    ``crossover_size``/``batched_crossover_size`` recorded in
+    ``BENCH_solvers.json`` (see :func:`recorded_crossovers`), and finally
+    :data:`DEFAULT_DENSE_SPARSE_CROSSOVER`.
+
+    Circuits with custom (compatibility-path) elements have no static
+    sparsity pattern and always select dense.  When SciPy is missing, a
+    selection that would have gone sparse falls back to dense and warns
+    once (RuntimeWarning) with the install hint — the run still completes.
+    """
+
+    name = "auto"
+
+    def __init__(
+        self,
+        crossover: Optional[int] = None,
+        batched_crossover: Optional[int] = None,
+    ):
+        env = os.environ.get("REPRO_SOLVER_CROSSOVER")
+        recorded = {}
+        if crossover is None or batched_crossover is None:
+            recorded = recorded_crossovers()
+
+        def resolve(value: Optional[int], *keys: str, fallback: int) -> int:
+            if value is not None:
+                return int(value)
+            if env:
+                try:
+                    return int(env)
+                except ValueError:
+                    pass
+            for key in keys:
+                if key in recorded:
+                    return int(recorded[key])
+            return fallback
+
+        #: Serial dense/sparse crossover (system size).
+        self.crossover = resolve(
+            crossover, "crossover_size", fallback=DEFAULT_DENSE_SPARSE_CROSSOVER
+        )
+        #: Batched crossover; falls back to the serial one when only that
+        #: was measured.
+        self.batched_crossover = resolve(
+            batched_crossover,
+            "batched_crossover_size",
+            "crossover_size",
+            fallback=self.crossover,
+        )
+        self._instances: Dict[str, LinearSolver] = {}
+        self._warned_no_scipy = False
+
+    def _backend(self, name: str) -> LinearSolver:
+        solver = self._instances.get(name)
+        if solver is None:
+            solver = _BACKENDS[name]()
+            self._instances[name] = solver
+        return solver
+
+    def select(self, compiled, trials: Optional[int] = None) -> LinearSolver:
+        batched = trials is not None
+        threshold = self.batched_crossover if batched else self.crossover
+        want_sparse = (
+            compiled.size >= threshold and compiled.sparsity_pattern() is not None
+        )
+        if want_sparse and not scipy_available():
+            if not self._warned_no_scipy:
+                warnings.warn(
+                    f"solver='auto' would use the sparse backend for this "
+                    f"{compiled.size}-unknown system, but scipy is not "
+                    "installed; falling back to the dense backend (slower and "
+                    "O(n^2) memory at this size). Install scipy — pip install "
+                    "scipy, or this package's [sparse] extra — to enable it.",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                self._warned_no_scipy = True
+            want_sparse = False
+        if want_sparse:
+            return self._backend("sparse-batched" if batched else "sparse")
+        return self._backend("batched" if batched else "dense")
+
+    # Direct solves (no engine selection step): route by matrix size so an
+    # AutoSolver instance still works wherever a plain backend would.
+    def _direct(self, n: int) -> LinearSolver:
+        if n >= self.crossover and scipy_available():
+            return self._backend("sparse")
+        return self._backend("dense")
+
+    def solve(self, matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        return self._direct(matrix.shape[0]).solve(matrix, rhs)
+
+    def solve_batched(self, matrices: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        n = matrices.shape[-1]
+        if n >= self.batched_crossover and scipy_available():
+            return self._backend("sparse-batched").solve_batched(matrices, rhs)
+        return self._backend("batched").solve_batched(matrices, rhs)
+
 
 _BACKENDS: Dict[str, Type[LinearSolver]] = {
     DenseSolver.name: DenseSolver,
     SparseSolver.name: SparseSolver,
     BatchedDenseSolver.name: BatchedDenseSolver,
+    BatchedSparseSolver.name: BatchedSparseSolver,
+    AutoSolver.name: AutoSolver,
 }
 
 
 def available_backends() -> Tuple[str, ...]:
     """Names of the backends constructible in this environment."""
-    names = [DenseSolver.name, BatchedDenseSolver.name]
+    names = [DenseSolver.name, BatchedDenseSolver.name, AutoSolver.name]
     if scipy_available():
-        names.insert(1, SparseSolver.name)
+        names[1:1] = [SparseSolver.name]
+        names.insert(3, BatchedSparseSolver.name)
     return tuple(names)
 
 

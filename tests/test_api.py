@@ -93,6 +93,17 @@ class TestSpecHashing:
         )
         assert spec_hash(implicit) == spec_hash(explicit)
 
+    def test_auto_solver_default_hashes_like_legacy_none(self, chain_spec):
+        # The spec default moved from solver=None to solver="auto"; the two
+        # spellings must hash identically so every cache entry computed
+        # before the default changed stays valid.  An explicit concrete
+        # backend is a different computation identity.
+        default = DCOp(circuit=chain_spec)
+        legacy = DCOp(circuit=chain_spec, solver=None)
+        auto = DCOp(circuit=chain_spec, solver="auto")
+        assert spec_hash(default) == spec_hash(legacy) == spec_hash(auto)
+        assert spec_hash(DCOp(circuit=chain_spec, solver="dense")) != spec_hash(default)
+
     def test_kwarg_order_cannot_matter(self, chain_spec):
         forward = dict(gmin=1e-8, tolerance_v=1e-6, max_iterations=50)
         backward = dict(max_iterations=50, tolerance_v=1e-6, gmin=1e-8)

@@ -18,7 +18,9 @@ from repro.circuits.testbench import InputSequence
 from repro.core.library import xor3_lattice_3x3
 from repro.fitting.level1 import Level1Parameters
 from repro.spice import (
+    AutoSolver,
     BatchedDenseSolver,
+    BatchedSparseSolver,
     Capacitor,
     Circuit,
     CurrentSource,
@@ -228,9 +230,154 @@ class TestSparseBackendParity:
         compiled = get_engine(circuit).compiled
         solver = SparseSolver()
         solver.bind(compiled)
-        first = solver._indptr
+        first = solver._pattern
         solver.bind(compiled)
-        assert solver._indptr is first  # unchanged topology: no rebuild
+        assert solver._pattern is first  # unchanged topology: no rebuild
+        # The pattern itself is shared with (and cached by) the compiled
+        # circuit, so a second solver binds to the identical structure.
+        other = SparseSolver()
+        other.bind(compiled)
+        assert other._pattern is first
+
+
+class TestAutoSolver:
+    def test_auto_is_registered_and_resolves(self):
+        assert isinstance(get_solver("auto"), AutoSolver)
+        assert "auto" in available_backends()
+
+    def test_small_system_selects_dense(self):
+        compiled = get_engine(common_source_circuit()).compiled
+        auto = AutoSolver(crossover=300, batched_crossover=300)
+        assert isinstance(auto.select(compiled), DenseSolver)
+        assert isinstance(auto.select(compiled, trials=4), BatchedDenseSolver)
+
+    @requires_scipy
+    def test_large_system_selects_sparse(self):
+        compiled = get_engine(common_source_circuit()).compiled
+        auto = AutoSolver(crossover=1, batched_crossover=1)
+        selected = auto.select(compiled)
+        assert isinstance(selected, SparseSolver)
+        assert not isinstance(selected, BatchedSparseSolver)
+        assert isinstance(auto.select(compiled, trials=4), BatchedSparseSolver)
+
+    def test_selection_boundary_is_at_the_crossover(self):
+        compiled = get_engine(common_source_circuit()).compiled
+        at = AutoSolver(crossover=compiled.size)
+        above = AutoSolver(crossover=compiled.size + 1)
+        if scipy_available():
+            assert isinstance(at.select(compiled), SparseSolver)
+        assert isinstance(above.select(compiled), DenseSolver)
+
+    def test_custom_elements_always_select_dense(self):
+        class Probe:
+            name = "x_probe"
+
+            def __init__(self, circuit):
+                self._node = circuit.node("d")
+                circuit.add(self)
+
+            def stamp(self, system, state):
+                system.add_conductance(self._node, -1, 1e-9)
+
+        circuit = common_source_circuit()
+        Probe(circuit)
+        compiled = get_engine(circuit).compiled
+        auto = AutoSolver(crossover=1, batched_crossover=1)
+        assert isinstance(auto.select(compiled), DenseSolver)
+        assert isinstance(auto.select(compiled, trials=3), BatchedDenseSolver)
+
+    def test_env_crossover_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SOLVER_CROSSOVER", "7")
+        auto = AutoSolver()
+        assert auto.crossover == 7
+        assert auto.batched_crossover == 7
+
+    def test_recorded_crossovers_from_bench_json(self, tmp_path, monkeypatch):
+        import json
+
+        payload = {
+            "crossover_size": 120,
+            "batched": {"batched_crossover_size": 450},
+        }
+        path = tmp_path / "BENCH_solvers.json"
+        path.write_text(json.dumps(payload))
+        monkeypatch.delenv("REPRO_SOLVER_CROSSOVER", raising=False)
+        monkeypatch.setenv("REPRO_BENCH_SOLVERS", str(path))
+        solvers_module._load_bench_payload.cache_clear()
+        try:
+            recorded = solvers_module.recorded_crossovers()
+            assert recorded == {
+                "crossover_size": 120.0,
+                "batched_crossover_size": 450.0,
+            }
+            auto = AutoSolver()
+            assert auto.crossover == 120
+            assert auto.batched_crossover == 450
+        finally:
+            solvers_module._load_bench_payload.cache_clear()
+
+    def test_missing_bench_json_uses_default(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_SOLVER_CROSSOVER", raising=False)
+        monkeypatch.setenv("REPRO_BENCH_SOLVERS", str(tmp_path / "absent.json"))
+        monkeypatch.setenv("BENCH_JSON_DIR", str(tmp_path))
+        monkeypatch.chdir(tmp_path)
+        solvers_module._load_bench_payload.cache_clear()
+        try:
+            auto = AutoSolver()
+            assert auto.crossover == solvers_module.DEFAULT_DENSE_SPARSE_CROSSOVER
+        finally:
+            solvers_module._load_bench_payload.cache_clear()
+
+    def test_no_scipy_degrades_to_dense_with_warning(self, monkeypatch):
+        def no_scipy():
+            raise ImportError("pip install repro[sparse]")
+
+        monkeypatch.setattr(solvers_module, "_import_scipy_sparse", no_scipy)
+        compiled = get_engine(common_source_circuit()).compiled
+        auto = AutoSolver(crossover=1, batched_crossover=1)
+        with pytest.warns(RuntimeWarning, match="scipy"):
+            selected = auto.select(compiled)
+        assert isinstance(selected, DenseSolver)
+        # The warning fires once per AutoSolver, not once per Newton call.
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            assert isinstance(auto.select(compiled, trials=2), BatchedDenseSolver)
+
+    def test_auto_end_to_end_matches_dense(self):
+        circuit = common_source_circuit()
+        engine = get_engine(circuit)
+        auto_op = engine.solve_dc(solver="auto")
+        dense_op = engine.solve_dc(solver="dense")
+        assert auto_op.converged
+        # Below the crossover "auto" *is* the dense backend: bit-identical.
+        assert np.array_equal(auto_op.solution, dense_op.solution)
+
+    def test_auto_end_to_end_no_scipy(self, monkeypatch):
+        # The no-scipy CI leg's property: solver="auto" must complete (and
+        # agree with dense) on a NumPy-only install even above the
+        # crossover, warning instead of raising.
+        monkeypatch.setattr(solvers_module, "_import_scipy_sparse", lambda: (_ for _ in ()).throw(ImportError("no scipy")))
+        circuit = common_source_circuit()
+        engine = get_engine(circuit)
+        with pytest.warns(RuntimeWarning, match="falling back to the dense backend"):
+            op = engine.solve_dc(solver=AutoSolver(crossover=1))
+        assert op.converged
+        assert np.array_equal(op.solution, engine.solve_dc(solver="dense").solution)
+
+    @requires_scipy
+    def test_batched_dc_through_auto(self, switch_model):
+        bench = build_scalability_bench(4, model=switch_model)
+        mc = MonteCarloEngine(bench.circuit, {"mos_vth": Gaussian(0.005)}, seed=3)
+        explicit = mc.run_batched_dc(4, solver="batched")
+        auto = mc.run_batched_dc(4, solver=AutoSolver(batched_crossover=10**6))
+        # Far below the batched crossover both runs use the dense-batched
+        # backend, so the solutions are bit-identical.
+        assert np.array_equal(auto.solutions, explicit.solutions)
+        sparse_auto = mc.run_batched_dc(4, solver=AutoSolver(batched_crossover=1))
+        explicit_sparse = mc.run_batched_dc(4, solver="sparse-batched")
+        assert np.array_equal(sparse_auto.solutions, explicit_sparse.solutions)
 
 
 class TestWaveformBreakpoints:
