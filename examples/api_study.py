@@ -9,10 +9,11 @@ same three steps:
 3. read the uniform :class:`repro.api.Result` records back.
 
 The session compiles every distinct circuit once, caches each result under
-its spec's content hash (in memory here; pass ``cache_dir=`` for a
-persistent on-disk store), and fans independent specs out through the
-executor seam — the :class:`repro.api.ProcessExecutor` below runs the
-Monte-Carlo study on worker processes without changing a line of the spec.
+its spec's content hash (in memory here; pass ``store="some/dir"`` for a
+persistent on-disk store, or any :mod:`repro.api.stores` backend), and
+fans independent specs out through the executor seam — the
+:class:`repro.api.ProcessExecutor` below runs the Monte-Carlo study on
+worker processes without changing a line of the spec.
 
 Run with ``PYTHONPATH=src python examples/api_study.py``.
 """

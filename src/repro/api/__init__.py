@@ -14,13 +14,19 @@ site.  This package replaces that wiring with a *declare, then run* model:
    circuit exactly once, dispatches any spec (single, list or
    :func:`expand_grid` product) through the analysis engine, and returns
    uniform :class:`Result` records with provenance.
-3. **Cache** (:mod:`repro.api.cache`) — results are stored under the
-   spec's content hash (:func:`spec_hash`), in memory and optionally on
-   disk, so re-running a study recomputes only what changed.
+3. **Stores** (:mod:`repro.api.stores`) — results live under the spec's
+   content hash (:func:`spec_hash`) in a pluggable :class:`Store`:
+   in-memory LRU (:class:`MemoryStore`, the default), durable JSON files
+   (:class:`JSONDirectoryStore`), a multi-process SQLite database
+   (:class:`SQLiteStore`) or a memory-over-disk :class:`TieredStore`;
+   re-running a study recomputes only what changed, and the per-call
+   ``cache="use"|"refresh"|"off"`` policy controls reads and writes.
 4. **Executors** (:mod:`repro.api.executors`) — the placement seam:
-   :class:`SerialExecutor` (default) or :class:`ProcessExecutor`, which
-   fans independent specs of *any* analysis kind across worker processes
-   on pickled compiled circuits.
+   :class:`SerialExecutor` (default), :class:`ProcessExecutor` (fans
+   independent specs across worker processes on pickled compiled
+   circuits), or the queue-based :class:`DistributedExecutor`
+   (:mod:`repro.api.distributed`) whose workers dedupe through a shared
+   store and survive worker death via requeue.
 
 Quickstart::
 
@@ -30,7 +36,7 @@ Quickstart::
         "repro.experiments.fig11_xor3_transient:build_fig11_bench",
         params={"step_duration_s": 80e-9},
     )
-    session = Session(cache_dir=".study-cache")
+    session = Session(store=".study-cache")
     result = session.run(Transient(circuit=bench, timestep_s=1e-9))
     print(result.voltage("out")[-1], result.provenance["git"])
 
@@ -42,7 +48,6 @@ The legacy frontends (``dc_operating_point``, ``dc_sweep``,
 :class:`DeprecationWarning` pointing here; see the README migration table.
 """
 
-from repro.api.cache import ResultCache
 from repro.api.executors import Executor, ProcessExecutor, SerialExecutor
 from repro.api.hashing import canonical, canonical_json, content_hash, spec_hash
 from repro.api.results import Result, ResultSet
@@ -59,6 +64,13 @@ from repro.api.specs import (
     expand_grid,
     resolve_factory,
 )
+from repro.api.stores import (
+    JSONDirectoryStore,
+    MemoryStore,
+    SQLiteStore,
+    Store,
+    TieredStore,
+)
 
 __all__ = [
     "AnalysisSpec",
@@ -74,9 +86,15 @@ __all__ = [
     "Result",
     "ResultSet",
     "ResultCache",
+    "Store",
+    "MemoryStore",
+    "JSONDirectoryStore",
+    "SQLiteStore",
+    "TieredStore",
     "Executor",
     "SerialExecutor",
     "ProcessExecutor",
+    "DistributedExecutor",
     "RunStats",
     "Session",
     "default_session",
@@ -85,3 +103,18 @@ __all__ = [
     "content_hash",
     "spec_hash",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy: the distributed runner pulls in multiprocessing machinery and
+    # the ResultCache shim is deprecated — neither should tax plain
+    # ``import repro.api``.
+    if name == "DistributedExecutor":
+        from repro.api.distributed import DistributedExecutor
+
+        return DistributedExecutor
+    if name == "ResultCache":
+        from repro.api.cache import ResultCache
+
+        return ResultCache
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

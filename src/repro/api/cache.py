@@ -1,109 +1,77 @@
-"""Content-hash result cache: in-memory always, on-disk JSON optionally.
+"""Deprecated: the PR 4 result cache, now a shim over :mod:`repro.api.stores`.
 
-The cache keys on the spec's content hash
-(:func:`repro.api.hashing.spec_hash`), so re-running a study recomputes
-only the specs whose content actually changed — a knob tweak invalidates
-exactly the specs that depend on it, nothing else.
+:class:`ResultCache` predates the pluggable store seam.  It survives as a
+thin :class:`~repro.api.stores.TieredStore` subclass — an LRU-bounded
+:class:`~repro.api.stores.MemoryStore` in front of an optional
+:class:`~repro.api.stores.JSONDirectoryStore` — with its historical
+constructor and ``clear(disk=...)`` spelling, and emits a
+``DeprecationWarning`` naming the replacement (the same policy as the
+PR 4 frontend deprecations).  The on-disk format is unchanged and
+bitwise-compatible in both directions: directories written by the old
+cache read through the new stores and vice versa.
 
-With a ``directory``, every stored result is also written as
-``<hash>.json`` (the exact serialization of
-:mod:`repro.api.results`, bitwise round-trip safe), so a later process —
-or a later :class:`~repro.api.session.Session` — picks warm results up
-from disk.  Corrupt or version-mismatched files are treated as misses.
+New code should build stores directly::
+
+    from repro.api import Session
+    from repro.api.stores import JSONDirectoryStore, MemoryStore, TieredStore
+
+    Session(store="study-cache")                 # memory over JSON files
+    Session(store=TieredStore(MemoryStore(), JSONDirectoryStore("d")))
 """
 
 from __future__ import annotations
 
-import json
-import os
-import tempfile
+import warnings
 from typing import Dict, Optional
 
 from repro.api.results import Result
+from repro.api.stores import JSONDirectoryStore, MemoryStore, TieredStore
 
 
-class ResultCache:
-    """spec hash -> :class:`~repro.api.results.Result` store.
+class ResultCache(TieredStore):
+    """Deprecated spec-hash result cache (see the module docstring).
 
-    The in-memory map is LRU-bounded (``max_memory_entries``) so a
-    long-lived session running many distinct specs cannot grow without
-    limit; evicted entries remain readable from the on-disk store when a
-    ``directory`` is configured.
+    Use :class:`repro.api.stores.MemoryStore` /
+    :class:`~repro.api.stores.JSONDirectoryStore` (or just
+    ``Session(store=...)``) instead.
     """
 
     def __init__(
         self, directory: Optional[str] = None, max_memory_entries: int = 256
     ):
-        if max_memory_entries < 1:
-            raise ValueError("at least one in-memory entry is required")
-        self._memory: Dict[str, Result] = {}
-        self.max_memory_entries = max_memory_entries
-        self.directory = directory
-        if directory is not None:
-            os.makedirs(directory, exist_ok=True)
-
-    def _remember(self, spec_hash: str, result: Result) -> None:
-        # Plain-dict LRU: re-insertion moves the key to the back, the
-        # front is the least recently used entry.
-        self._memory.pop(spec_hash, None)
-        self._memory[spec_hash] = result
-        while len(self._memory) > self.max_memory_entries:
-            self._memory.pop(next(iter(self._memory)))
-
-    def _path(self, spec_hash: str) -> str:
-        return os.path.join(self.directory, f"{spec_hash}.json")
-
-    def get(self, spec_hash: str) -> Optional[Result]:
-        """The cached result for a spec hash, or ``None`` on a miss."""
-        result = self._memory.get(spec_hash)
-        if result is not None:
-            self._remember(spec_hash, result)  # LRU touch
-            return result
-        if self.directory is None:
-            return None
-        path = self._path(spec_hash)
-        try:
-            with open(path, encoding="utf-8") as handle:
-                result = Result.from_jsonable(json.load(handle))
-        except (OSError, ValueError, KeyError, json.JSONDecodeError):
-            return None
-        self._remember(spec_hash, result)
-        return result
-
-    def put(self, spec_hash: str, result: Result) -> None:
-        """Store a result under its spec hash (memory, then disk if enabled)."""
-        self._remember(spec_hash, result)
-        if self.directory is None:
-            return
-        # Atomic replace so a crashed writer never leaves a half-written
-        # JSON file that later reads would have to treat as corruption.
-        fd, temp_path = tempfile.mkstemp(
-            dir=self.directory, prefix=".tmp-", suffix=".json"
+        warnings.warn(
+            "ResultCache is deprecated; use repro.api.stores (MemoryStore, "
+            "JSONDirectoryStore, SQLiteStore, TieredStore) and pass "
+            "Session(store=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(result.to_jsonable(), handle, sort_keys=True)
-            os.replace(temp_path, self._path(spec_hash))
-        except BaseException:
-            try:
-                os.unlink(temp_path)
-            except OSError:
-                pass
-            raise
+        super().__init__(
+            MemoryStore(max_entries=max_memory_entries),
+            JSONDirectoryStore(directory) if directory is not None else None,
+        )
+        self.max_memory_entries = max_memory_entries
 
-    def __contains__(self, spec_hash: str) -> bool:
-        return self.get(spec_hash) is not None
+    @property
+    def directory(self) -> Optional[str]:
+        return self.back.directory if self.back is not None else None
+
+    @property
+    def _memory(self) -> Dict[str, object]:
+        # Historical tests and tooling reached into the memory dict (e.g.
+        # ``cache._memory.clear()``); keep that working against the
+        # fronting MemoryStore's entry dict.
+        return self.front._entries
 
     def __len__(self) -> int:
-        return len(self._memory)
+        # The historical __len__ counted in-memory entries only.
+        return len(self.front)
 
     def clear(self, disk: bool = False) -> None:
         """Drop the in-memory store (and the on-disk files with ``disk=True``)."""
-        self._memory.clear()
-        if disk and self.directory is not None:
-            for name in os.listdir(self.directory):
-                if name.endswith(".json"):
-                    try:
-                        os.unlink(os.path.join(self.directory, name))
-                    except OSError:
-                        pass
+        self.front.clear()
+        if disk and self.back is not None:
+            self.back.clear()
+
+
+__all__ = ["Result", "ResultCache"]

@@ -6,7 +6,7 @@ The seam is deliberately tiny — ``run_specs(session, specs)`` — so new
 placements (a GPU queue, a remote service) slot in without touching the
 session, the cache or the result schema.
 
-Two executors ship:
+Three executors ship:
 
 * :class:`SerialExecutor` — run in-process on the session's own circuits
   (the default; zero overhead, shares every compiled structure);
@@ -17,7 +17,11 @@ Two executors ship:
   pickled-compiled-circuit machinery the Monte-Carlo pool uses — workers
   skip netlist construction and compilation entirely), so fan-out pays
   per-spec solve time only.  Specs are deterministic, so results are
-  bit-identical to a serial run whatever the worker count.
+  bit-identical to a serial run whatever the worker count;
+* :class:`~repro.api.distributed.DistributedExecutor` (re-exported here)
+  — a coordinator sharding specs to long-lived worker processes over a
+  work queue, deduping through a shared :class:`~repro.api.stores.Store`
+  and surviving worker death via requeue.  See :mod:`repro.api.distributed`.
 """
 
 from __future__ import annotations
@@ -58,7 +62,7 @@ def _worker_run(spec: AnalysisSpec) -> Result:
     if _WORKER_SESSION is None:
         from repro.api.session import Session
 
-        _WORKER_SESSION = Session(cache=None)
+        _WORKER_SESSION = Session(store=None)
         _WORKER_SESSION.adopt_circuits(_WORKER_PREBUILT)
     return _WORKER_SESSION.compute(spec)
 
@@ -91,3 +95,13 @@ class ProcessExecutor(Executor):
             initargs=(prebuilt,),
         ) as pool:
             return list(pool.map(_worker_run, specs))
+
+
+def __getattr__(name: str):
+    # Lazy re-export: repro.api.distributed imports this module for the
+    # Executor base class, so a top-level import here would be circular.
+    if name == "DistributedExecutor":
+        from repro.api.distributed import DistributedExecutor
+
+        return DistributedExecutor
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

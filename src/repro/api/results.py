@@ -316,3 +316,35 @@ class ResultSet:
     @classmethod
     def from_json(cls, text: str) -> "ResultSet":
         return cls.from_jsonable(json.loads(text))
+
+    # ------------------------------------------------------------------ #
+    # store-backed construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        keys: Optional[Sequence[str]] = None,
+        kind: Optional[str] = None,
+    ) -> "ResultSet":
+        """Materialize stored results into an ordered set.
+
+        With ``keys``, results come back in that order and a missing key
+        raises ``KeyError`` (an explicit selection must not silently
+        shrink).  Without ``keys``, every stored result is taken in the
+        store's (sorted-key) iteration order, optionally filtered by
+        result ``kind``.  Persistent stores deserialize fresh objects; a
+        :class:`~repro.api.stores.MemoryStore` hands back its stored
+        references — ``.copy()`` before mutating those.
+        """
+        if keys is not None:
+            results = []
+            for key in keys:
+                result = store.get(key)
+                if result is None:
+                    raise KeyError(f"store has no result under key {key!r}")
+                if kind is None or result.kind == kind:
+                    results.append(result)
+            return cls(results=results)
+        return cls(results=list(store.query(kind=kind)))

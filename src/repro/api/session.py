@@ -11,14 +11,22 @@ A :class:`Session` takes :mod:`repro.api.specs` specs and returns
   :class:`~repro.spice.montecarlo.MonteCarloEngine` machinery as the
   legacy entry points, with the same defaults, so results are
   bit-identical to the calls they replace;
-* **caching** — results are stored under the spec's content hash
-  (in-memory by default, on disk with ``cache_dir``); re-running an
-  unchanged spec performs zero Newton iterations (see
-  :attr:`Session.last_stats`);
+* **caching** — results are stored under the spec's content hash in the
+  session's pluggable :class:`~repro.api.stores.Store`
+  (:class:`~repro.api.stores.MemoryStore` by default; pass
+  ``store="some/dir"`` for memory over on-disk JSON, a
+  :class:`~repro.api.stores.SQLiteStore` for a multi-process shared
+  store, or ``store=None`` to disable); re-running an unchanged spec
+  performs zero Newton iterations (see :attr:`Session.last_stats`), and
+  the per-call ``cache="use"|"refresh"|"off"`` policy controls reads and
+  writes without manual eviction;
 * **fan-out** — :meth:`Session.run_many` hands cache misses to the
-  pluggable :class:`~repro.api.executors.Executor` seam, so independent
-  specs of *any* analysis kind parallelize the same way Monte-Carlo
-  sweeps always did.
+  pluggable :class:`~repro.api.executors.Executor` seam
+  (:class:`~repro.api.executors.SerialExecutor`,
+  :class:`~repro.api.executors.ProcessExecutor`, or the queue-based
+  :class:`~repro.api.distributed.DistributedExecutor` deduping through a
+  shared store), so independent specs of *any* analysis kind parallelize
+  the same way Monte-Carlo sweeps always did.
 
 Typical use::
 
@@ -28,7 +36,7 @@ Typical use::
         "repro.circuits.series_chain:build_series_chain",
         params={"num_switches": 11},
     )
-    session = Session(cache_dir="study-cache")
+    session = Session(store="study-cache")
     point = session.run(DCOp(circuit=chain))
     print(point.source_current("v_drive"))
 
@@ -36,6 +44,7 @@ Typical use::
     study = session.run_many(specs)          # computed once ...
     study = session.run_many(specs)          # ... instant replay from cache
     assert session.last_stats.newton_iterations == 0
+    study = session.run_many(specs, cache="refresh")   # force recomputation
 """
 
 from __future__ import annotations
@@ -43,6 +52,7 @@ from __future__ import annotations
 import dataclasses
 import os
 import subprocess
+import warnings
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
@@ -50,7 +60,6 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 import numpy as np
 
 import repro
-from repro.api.cache import ResultCache
 from repro.api.executors import Executor, SerialExecutor
 from repro.api.hashing import spec_hash
 from repro.api.results import Result, ResultSet, convergence_info_to_dict
@@ -64,6 +73,7 @@ from repro.api.specs import (
     Transient,
     circuit_of,
 )
+from repro.api.stores import JSONDirectoryStore, MemoryStore, Store, TieredStore
 from repro.spice.elements.sources import VoltageSource
 from repro.spice.engine import get_engine
 from repro.spice.netlist import Circuit
@@ -146,8 +156,44 @@ class RunStats:
 
 
 # ---------------------------------------------------------------------- #
+# cache policy
+# ---------------------------------------------------------------------- #
+
+#: The per-call cache policies :meth:`Session.run`/:meth:`Session.run_many`
+#: accept: read+write / recompute+overwrite / bypass entirely.
+CACHE_POLICIES = ("use", "refresh", "off")
+
+
+def _normalize_cache_policy(cache: Any, use_cache: Optional[bool]) -> str:
+    """Resolve the (possibly legacy-spelled) per-call cache policy."""
+    if use_cache is not None:
+        warnings.warn(
+            "use_cache= is deprecated; pass cache='use' or cache='off' "
+            "(or cache='refresh' to force recomputation) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return "use" if use_cache else "off"
+    if cache is None or isinstance(cache, bool):
+        warnings.warn(
+            "a boolean cache= is deprecated; pass cache='use', "
+            "cache='refresh' or cache='off' instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return "use" if cache else "off"
+    if cache not in CACHE_POLICIES:
+        raise ValueError(
+            f"unknown cache policy {cache!r}; expected one of {CACHE_POLICIES}"
+        )
+    return cache
+
+
+# ---------------------------------------------------------------------- #
 # the session
 # ---------------------------------------------------------------------- #
+
+_UNSET = object()
 
 
 class Session:
@@ -155,35 +201,84 @@ class Session:
 
     Parameters
     ----------
-    cache:
-        ``True`` (default) uses an in-memory :class:`~repro.api.cache.ResultCache`
-        (on-disk too when ``cache_dir`` is given); ``None``/``False``
-        disables caching; an explicit cache instance is used as-is.
-    cache_dir:
-        Directory of the on-disk JSON store (implies caching).
+    store:
+        Where results live, keyed by spec content hash: a
+        :class:`~repro.api.stores.Store` instance (used as-is), a
+        directory path (memory in front of
+        :class:`~repro.api.stores.JSONDirectoryStore` — the durable
+        single-machine default), or ``None`` to disable caching.  Omitted
+        entirely, an in-memory :class:`~repro.api.stores.MemoryStore` is
+        used.
     executor:
         Default :class:`~repro.api.executors.Executor` for
         :meth:`run_many` (serial when omitted).
+    cache, cache_dir:
+        Deprecated spellings of ``store=`` (the pre-store constructor
+        knobs); they map onto the equivalent store with a
+        ``DeprecationWarning``.
     """
 
     def __init__(
         self,
-        cache: Union[bool, None, ResultCache] = True,
-        cache_dir: Optional[str] = None,
+        store: Any = _UNSET,
         executor: Optional[Executor] = None,
+        cache: Any = _UNSET,
+        cache_dir: Any = _UNSET,
     ):
-        if isinstance(cache, ResultCache):
-            self.cache: Optional[ResultCache] = cache
-        elif cache:
-            self.cache = ResultCache(directory=cache_dir)
-        else:
-            # An explicit opt-out wins even when a cache_dir is configured:
-            # cache=False/None must force recomputation.
-            self.cache = None
+        self.store: Optional[Store] = self._resolve_store(store, cache, cache_dir)
         self.executor: Executor = executor or SerialExecutor()
         self._built: Dict[str, Any] = {}
         self.last_stats = RunStats()
         self.total_stats = RunStats()
+
+    @staticmethod
+    def _resolve_store(store: Any, cache: Any, cache_dir: Any) -> Optional[Store]:
+        if cache is not _UNSET or cache_dir is not _UNSET:
+            if store is not _UNSET:
+                raise TypeError(
+                    "pass store= alone; cache=/cache_dir= are its "
+                    "deprecated spellings"
+                )
+            warnings.warn(
+                "Session(cache=..., cache_dir=...) is deprecated; pass "
+                "store=... instead — a repro.api.stores.Store instance, a "
+                "directory path, or None to disable caching",
+                DeprecationWarning,
+                stacklevel=4,
+            )
+            cache = True if cache is _UNSET else cache
+            cache_dir = None if cache_dir is _UNSET else cache_dir
+            if isinstance(cache, Store):
+                return cache
+            if not cache:
+                # An explicit opt-out wins even when a cache_dir is
+                # configured: cache=False/None must force recomputation.
+                return None
+            if cache_dir is not None:
+                return TieredStore(MemoryStore(), JSONDirectoryStore(cache_dir))
+            return MemoryStore()
+        if store is _UNSET:
+            return MemoryStore()
+        if store is None:
+            return None
+        if isinstance(store, Store):
+            return store
+        if isinstance(store, (str, os.PathLike)):
+            return TieredStore(MemoryStore(), JSONDirectoryStore(store))
+        raise TypeError(
+            "store must be a repro.api.stores.Store, a directory path, or "
+            f"None to disable caching; got {type(store).__qualname__!r}"
+        )
+
+    @property
+    def cache(self) -> Optional[Store]:
+        """Deprecated alias of :attr:`store`."""
+        warnings.warn(
+            "Session.cache is deprecated; read Session.store instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.store
 
     # ------------------------------------------------------------------ #
     # circuits
@@ -230,24 +325,41 @@ class Session:
     # running specs
     # ------------------------------------------------------------------ #
 
-    def run(self, spec: AnalysisSpec, use_cache: bool = True) -> Result:
-        """Run one spec (through the cache); returns its :class:`Result`."""
+    def run(
+        self,
+        spec: AnalysisSpec,
+        cache: str = "use",
+        use_cache: Optional[bool] = None,
+    ) -> Result:
+        """Run one spec (through the store); returns its :class:`Result`.
+
+        ``cache`` is the per-call policy: ``"use"`` (read and write the
+        store — the default), ``"refresh"`` (skip the read, recompute and
+        overwrite the stored entry) or ``"off"`` (bypass the store in both
+        directions).  ``use_cache=`` is the deprecated boolean spelling.
+        """
         self.last_stats = RunStats()
-        result = self._run_one(spec, use_cache)
+        policy = _normalize_cache_policy(cache, use_cache)
+        result = self._run_one(spec, policy)
         return result
 
     def run_many(
         self,
         specs: Sequence[AnalysisSpec],
         executor: Optional[Executor] = None,
-        use_cache: bool = True,
+        cache: str = "use",
+        use_cache: Optional[bool] = None,
     ) -> ResultSet:
-        """Run many specs; cache misses fan out through the executor seam.
+        """Run many specs; store misses fan out through the executor seam.
 
         Duplicate specs (same content hash) are computed once.  Results come
-        back in spec order whatever the executor's scheduling.
+        back in spec order whatever the executor's scheduling.  ``cache``
+        is the same per-call policy :meth:`run` takes — ``"refresh"``
+        recomputes every spec and overwrites the stored entries, so a
+        forced re-run no longer requires manually evicting hashes.
         """
         self.last_stats = RunStats()
+        policy = _normalize_cache_policy(cache, use_cache)
         executor = executor or self.executor
         hashes = [spec_hash(spec) for spec in specs]
 
@@ -257,7 +369,11 @@ class Session:
         for spec, content in zip(specs, hashes):
             if content in resolved or content in set(pending_hashes):
                 continue
-            cached = self.cache.get(content) if (self.cache and use_cache) else None
+            cached = (
+                self.store.get(content)
+                if (self.store is not None and policy == "use")
+                else None
+            )
             if cached is not None:
                 resolved[content] = dataclasses.replace(
                     cached.copy(), from_cache=True
@@ -271,10 +387,10 @@ class Session:
         if pending:
             computed = executor.run_specs(self, pending)
             for content, result in zip(pending_hashes, computed):
-                if self.cache is not None:
-                    # The cache keeps its own copy so caller-side mutation
+                if self.store is not None and policy != "off":
+                    # The store keeps its own copy so caller-side mutation
                     # of the returned result can never poison later hits.
-                    self.cache.put(content, result.copy())
+                    self.store.put(content, result.copy())
                 resolved[content] = result
                 self.last_stats.absorb_computed(result)
                 self.total_stats.absorb_computed(result)
@@ -289,19 +405,19 @@ class Session:
             seen.add(content)
         return ResultSet(results=ordered)
 
-    def _run_one(self, spec: AnalysisSpec, use_cache: bool) -> Result:
+    def _run_one(self, spec: AnalysisSpec, policy: str) -> Result:
         content = spec_hash(spec)
-        if self.cache is not None and use_cache:
-            cached = self.cache.get(content)
+        if self.store is not None and policy == "use":
+            cached = self.store.get(content)
             if cached is not None:
                 self.last_stats.absorb_cached()
                 self.total_stats.absorb_cached()
                 return dataclasses.replace(cached.copy(), from_cache=True)
         result = self.compute(spec)
-        if self.cache is not None:
-            # The cache keeps its own copy so caller-side mutation of the
+        if self.store is not None and policy != "off":
+            # The store keeps its own copy so caller-side mutation of the
             # returned result can never poison later hits.
-            self.cache.put(content, result.copy())
+            self.store.put(content, result.copy())
         self.last_stats.absorb_computed(result)
         self.total_stats.absorb_computed(result)
         return result

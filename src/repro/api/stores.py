@@ -1,0 +1,662 @@
+"""Pluggable result stores: the storage seam behind the Session cache.
+
+The PR 4 cache hard-wired one layout (an in-memory dict in front of a
+directory of ``<hash>.json`` files) into one class.  This module cuts that
+into a :class:`Store` seam — ``get``/``put``/``delete``, key iteration and
+:meth:`~Store.query` over stored :class:`~repro.api.results.Result`
+records, TTL expiry and LRU eviction hooks, and provenance-aware
+invalidation — with three backends plus a composition:
+
+* :class:`MemoryStore` — a process-local LRU-bounded dict (the session
+  default; what ``Session()`` always gave you);
+* :class:`JSONDirectoryStore` — one ``<hash>.json`` per result, the exact
+  PR 4 on-disk serialization (bitwise round-trip preserved, so cache
+  directories written before this module existed stay valid).  Corrupt
+  files are quarantined as ``<hash>.json.corrupt`` on first detection
+  instead of being re-parsed on every later read;
+* :class:`SQLiteStore` — one SQLite database file, safe for concurrent
+  multi-process access (WAL journal, per-process connections); the shared
+  store of the distributed runner (:mod:`repro.api.distributed`);
+* :class:`TieredStore` — a fast front (usually memory) over a persistent
+  back, reads populating the front; ``Session(store="some/dir")`` builds
+  ``TieredStore(MemoryStore(), JSONDirectoryStore("some/dir"))``, which is
+  exactly the old ``cache_dir=`` behaviour.
+
+Every store keys on the spec content hash
+(:func:`repro.api.hashing.spec_hash`), so the dedupe guarantee of the
+session — one solve per distinct computation — extends across processes
+and machines that share a persistent backend: a worker checks the store
+before solving, and the serialization is bitwise-exact, so a result read
+back is indistinguishable from the freshly computed one.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+import re
+import sqlite3
+import tempfile
+import threading
+import time
+import warnings
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.api.results import Result
+
+#: Keys must be safe as file names / SQL text; content hashes always are.
+_SAFE_KEY = re.compile(r"^[A-Za-z0-9._-]+$")
+
+
+def _check_key(key: str) -> str:
+    if not isinstance(key, str) or not key or not _SAFE_KEY.match(key):
+        raise ValueError(
+            f"store keys must be non-empty [A-Za-z0-9._-] strings "
+            f"(spec content hashes), got {key!r}"
+        )
+    return key
+
+
+class Store(abc.ABC):
+    """spec hash -> :class:`Result` storage seam (see the module docstring).
+
+    Subclasses implement the five primitives (``get``/``put``/``delete``/
+    ``keys``/``__len__``); iteration, membership, :meth:`query`,
+    :meth:`invalidate` and :meth:`clear` are derived.  ``get`` must return
+    ``None`` on any miss — absent, expired or unreadable — never raise for
+    a missing entry.
+
+    Eviction is cooperative: ``ttl_s`` bounds entry age (an expired entry
+    reads as a miss and is dropped), ``max_entries`` bounds the entry
+    count, and :meth:`prune` applies both bounds eagerly.  Backends where
+    a bound is cheap to hold continuously (the in-memory dict) also apply
+    it on ``put``.
+    """
+
+    #: Seconds an entry stays servable; ``None`` means forever.
+    ttl_s: Optional[float] = None
+    #: Entry-count bound applied by :meth:`prune`; ``None`` means unbounded.
+    max_entries: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # primitives
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def get(self, key: str) -> Optional[Result]:
+        """The stored result for a key, or ``None`` on any kind of miss."""
+
+    @abc.abstractmethod
+    def put(self, key: str, result: Result) -> None:
+        """Store a result under a key (last writer wins)."""
+
+    @abc.abstractmethod
+    def delete(self, key: str) -> bool:
+        """Drop a key; ``True`` if an entry was actually removed."""
+
+    @abc.abstractmethod
+    def keys(self) -> Iterator[str]:
+        """Iterate the stored keys (deterministic order per backend)."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of stored entries."""
+
+    # ------------------------------------------------------------------ #
+    # derived interface
+    # ------------------------------------------------------------------ #
+
+    def __iter__(self) -> Iterator[str]:
+        return self.keys()
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def items(self) -> Iterator[Tuple[str, Result]]:
+        """Iterate ``(key, result)`` pairs (keys snapshot up front)."""
+        for key in list(self.keys()):
+            result = self.get(key)
+            if result is not None:
+                yield key, result
+
+    def query(
+        self,
+        kind: Optional[str] = None,
+        where: Optional[Callable[[Result], bool]] = None,
+    ) -> Iterator[Result]:
+        """Iterate stored results, optionally filtered.
+
+        ``kind`` matches :attr:`Result.kind` (``"dcop"``, ``"transient"``,
+        ``"montecarlo"``, ...); ``where`` is an arbitrary predicate on the
+        loaded result.
+        """
+        for _, result in self.items():
+            if kind is not None and result.kind != kind:
+                continue
+            if where is not None and not where(result):
+                continue
+            yield result
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        for key in list(self.keys()):
+            self.delete(key)
+
+    def prune(self) -> int:
+        """Apply the TTL and entry-count bounds now; returns entries dropped."""
+        return 0
+
+    # ------------------------------------------------------------------ #
+    # invalidation
+    # ------------------------------------------------------------------ #
+
+    def invalidate(self, where: Callable[[str, Result], bool]) -> int:
+        """Delete every entry matching ``where(key, result)``; returns count."""
+        dropped = 0
+        for key, result in list(self.items()):
+            if where(key, result):
+                dropped += bool(self.delete(key))
+        return dropped
+
+    def invalidate_provenance(
+        self, reference: Optional[Mapping[str, Any]] = None
+    ) -> int:
+        """Drop entries whose provenance disagrees with ``reference``.
+
+        ``reference`` maps provenance fields to expected values and
+        defaults to the *current* environment — the source tree's
+        ``git describe`` and the library versions — so a long-lived store
+        can be swept after an upgrade: every result computed by a
+        different build is dropped, everything this build would reproduce
+        bit-identically stays.  An entry with no recorded value for a
+        referenced field counts as stale.
+        """
+        if reference is None:
+            from repro.api.session import git_describe, library_versions
+
+            reference = {
+                "git": git_describe(),
+                "versions": dict(library_versions()),
+            }
+
+        def stale(key: str, result: Result) -> bool:
+            return any(
+                result.provenance.get(field) != expected
+                for field, expected in reference.items()
+            )
+
+        return self.invalidate(stale)
+
+    # ------------------------------------------------------------------ #
+    # sharing
+    # ------------------------------------------------------------------ #
+
+    def worker_view(self) -> Optional["Store"]:
+        """A picklable handle other processes can read/write, or ``None``.
+
+        The distributed runner ships this to its workers; a purely
+        process-local store (memory) returns ``None``, a persistent store
+        returns itself.
+        """
+        return None
+
+    # ------------------------------------------------------------------ #
+    # shared helpers
+    # ------------------------------------------------------------------ #
+
+    def _expired(self, created: float) -> bool:
+        return self.ttl_s is not None and (time.time() - created) > self.ttl_s
+
+
+class MemoryStore(Store):
+    """A process-local LRU store (the default session cache).
+
+    Entries beyond ``max_entries`` are evicted least-recently-used on
+    ``put``; a ``ttl_s`` bounds entry age.  Results are stored by
+    reference — the session copies across the cache boundary, so callers
+    of the raw store must not mutate what they get back.
+    """
+
+    def __init__(
+        self, max_entries: Optional[int] = 256, ttl_s: Optional[float] = None
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("at least one in-memory entry is required")
+        self.max_entries = max_entries
+        self.ttl_s = ttl_s
+        self._entries: Dict[str, Tuple[Result, float]] = {}
+
+    def get(self, key: str) -> Optional[Result]:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        result, created = entry
+        if self._expired(created):
+            del self._entries[key]
+            return None
+        # Plain-dict LRU: re-insertion moves the key to the back, the
+        # front is the least recently used entry.
+        del self._entries[key]
+        self._entries[key] = (result, created)
+        return result
+
+    def put(self, key: str, result: Result) -> None:
+        _check_key(key)
+        self._entries.pop(key, None)
+        self._entries[key] = (result, time.time())
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.pop(next(iter(self._entries)))
+
+    def delete(self, key: str) -> bool:
+        return self._entries.pop(key, None) is not None
+
+    def keys(self) -> Iterator[str]:
+        return iter(list(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def prune(self) -> int:
+        before = len(self._entries)
+        if self.ttl_s is not None:
+            for key, (_, created) in list(self._entries.items()):
+                if self._expired(created):
+                    del self._entries[key]
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.pop(next(iter(self._entries)))
+        return before - len(self._entries)
+
+
+class JSONDirectoryStore(Store):
+    """One ``<hash>.json`` per result — the PR 4 on-disk cache format.
+
+    The serialization (``json.dump(result.to_jsonable(), sort_keys=True)``
+    behind an atomic ``os.replace``) is byte-for-byte the old
+    ``ResultCache`` layout, so existing cache directories keep working and
+    files written by either code path are interchangeable.  Atomic
+    replacement also makes concurrent writers safe: a reader sees either
+    the old complete file or the new complete file, never a torn mix.
+
+    A file that exists but does not parse is *quarantined* — renamed to
+    ``<hash>.json.corrupt`` — on first detection, with a one-time warning
+    naming the file, so later reads miss cheaply instead of re-parsing the
+    same broken bytes forever.
+
+    ``ttl_s`` reads entry age from the file mtime; :meth:`prune` drops
+    expired files and, with ``max_entries``, the oldest files beyond the
+    bound.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        ttl_s: Optional[float] = None,
+        max_entries: Optional[int] = None,
+    ):
+        self.directory = os.fspath(directory)
+        self.ttl_s = ttl_s
+        self.max_entries = max_entries
+        os.makedirs(self.directory, exist_ok=True)
+        self._warned_corrupt = False
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{_check_key(key)}.json")
+
+    def get(self, key: str) -> Optional[Result]:
+        path = self._path(key)
+        try:
+            stat = os.stat(path)
+        except OSError:
+            return None
+        if self._expired(stat.st_mtime):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        try:
+            with open(path, encoding="utf-8") as handle:
+                return Result.from_jsonable(json.load(handle))
+        except OSError:
+            return None
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
+            return None
+
+    def _quarantine(self, path: str) -> None:
+        quarantined = path + ".corrupt"
+        try:
+            os.replace(path, quarantined)
+        except OSError:
+            return  # best effort; worst case the miss repeats next read
+        if not self._warned_corrupt:
+            self._warned_corrupt = True
+            warnings.warn(
+                f"corrupt result file quarantined as {quarantined!r}; "
+                "delete it (or restore a valid file) to reclaim the entry. "
+                "Further corrupt files in this store are quarantined "
+                "without a warning.",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    def put(self, key: str, result: Result) -> None:
+        path = self._path(key)
+        # Atomic replace so a crashed writer never leaves a half-written
+        # JSON file that later reads would have to quarantine.
+        fd, temp_path = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(result.to_jsonable(), handle, sort_keys=True)
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    def delete(self, key: str) -> bool:
+        try:
+            os.unlink(self._path(key))
+        except OSError:
+            return False
+        return True
+
+    def keys(self) -> Iterator[str]:
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return iter(())
+        return iter(
+            sorted(
+                name[: -len(".json")]
+                for name in names
+                if name.endswith(".json") and not name.startswith(".tmp-")
+            )
+        )
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def prune(self) -> int:
+        aged = []
+        for key in list(self.keys()):
+            try:
+                mtime = os.stat(self._path(key)).st_mtime
+            except OSError:
+                continue
+            aged.append((mtime, key))
+        aged.sort()
+        dropped = 0
+        if self.ttl_s is not None:
+            for mtime, key in list(aged):
+                if self._expired(mtime):
+                    dropped += bool(self.delete(key))
+                    aged.remove((mtime, key))
+        if self.max_entries is not None:
+            while len(aged) > self.max_entries:
+                _, key = aged.pop(0)  # oldest first
+                dropped += bool(self.delete(key))
+        return dropped
+
+    def worker_view(self) -> "JSONDirectoryStore":
+        return self
+
+
+class SQLiteStore(Store):
+    """Results in one SQLite database file, safe for concurrent processes.
+
+    The payload column holds the exact :meth:`Result.to_json` text, so the
+    round trip is as bitwise-exact as the JSON directory layout.  The
+    database runs in WAL mode (readers never block the writer) with a busy
+    timeout, and every process/thread gets its own lazily opened
+    connection — the store object pickles freely to worker processes,
+    which is what the distributed runner relies on.
+
+    ``ttl_s`` bounds entry age from the recorded creation time.  When
+    ``max_entries`` is set, reads touch a last-access stamp and
+    :meth:`prune` evicts least-recently-accessed entries beyond the bound.
+    """
+
+    _SCHEMA = (
+        "CREATE TABLE IF NOT EXISTS results ("
+        " key TEXT PRIMARY KEY,"
+        " payload TEXT NOT NULL,"
+        " kind TEXT NOT NULL,"
+        " created REAL NOT NULL,"
+        " accessed REAL NOT NULL)"
+    )
+
+    def __init__(
+        self,
+        path: str,
+        ttl_s: Optional[float] = None,
+        max_entries: Optional[int] = None,
+        timeout_s: float = 30.0,
+    ):
+        self.path = os.fspath(path)
+        self.ttl_s = ttl_s
+        self.max_entries = max_entries
+        self.timeout_s = timeout_s
+        self._connections: Dict[Tuple[int, int], sqlite3.Connection] = {}
+        self._warned_corrupt = False
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._connection()  # create the schema eagerly; fail fast on a bad path
+
+    # -- connection management ----------------------------------------- #
+
+    def _connection(self) -> sqlite3.Connection:
+        ident = (os.getpid(), threading.get_ident())
+        connection = self._connections.get(ident)
+        if connection is None:
+            connection = sqlite3.connect(self.path, timeout=self.timeout_s)
+            try:
+                # WAL lets concurrent readers proceed under a writer; on
+                # filesystems that refuse it the default journal still
+                # works, just with coarser locking.
+                connection.execute("PRAGMA journal_mode=WAL")
+            except sqlite3.OperationalError:
+                pass
+            with connection:
+                connection.execute(self._SCHEMA)
+            self._connections[ident] = connection
+        return connection
+
+    def close(self) -> None:
+        """Close this process's connections (the file stays valid)."""
+        for connection in self._connections.values():
+            try:
+                connection.close()
+            except sqlite3.Error:
+                pass
+        self._connections.clear()
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Connections are per-process and never cross a pickle boundary;
+        # the receiving process reopens lazily.
+        state = self.__dict__.copy()
+        state["_connections"] = {}
+        return state
+
+    # -- the Store interface ------------------------------------------- #
+
+    def get(self, key: str) -> Optional[Result]:
+        connection = self._connection()
+        row = connection.execute(
+            "SELECT payload, created FROM results WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        payload, created = row
+        if self._expired(created):
+            with connection:
+                connection.execute("DELETE FROM results WHERE key = ?", (key,))
+            return None
+        try:
+            result = Result.from_json(payload)
+        except (ValueError, KeyError, TypeError):
+            with connection:
+                connection.execute("DELETE FROM results WHERE key = ?", (key,))
+            if not self._warned_corrupt:
+                self._warned_corrupt = True
+                warnings.warn(
+                    f"corrupt result row {key!r} dropped from {self.path!r}; "
+                    "further corrupt rows are dropped without a warning.",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return None
+        if self.max_entries is not None:
+            # Track recency only when an LRU bound needs it: the touch is
+            # a write, and concurrent readers should not pay for it
+            # otherwise.
+            with connection:
+                connection.execute(
+                    "UPDATE results SET accessed = ? WHERE key = ?",
+                    (time.time(), key),
+                )
+        return result
+
+    def put(self, key: str, result: Result) -> None:
+        _check_key(key)
+        now = time.time()
+        connection = self._connection()
+        with connection:
+            connection.execute(
+                "INSERT OR REPLACE INTO results"
+                " (key, payload, kind, created, accessed)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (key, result.to_json(), result.kind, now, now),
+            )
+
+    def delete(self, key: str) -> bool:
+        connection = self._connection()
+        with connection:
+            cursor = connection.execute(
+                "DELETE FROM results WHERE key = ?", (key,)
+            )
+        return cursor.rowcount > 0
+
+    def keys(self) -> Iterator[str]:
+        rows = self._connection().execute(
+            "SELECT key FROM results ORDER BY key"
+        ).fetchall()
+        return iter(row[0] for row in rows)
+
+    def __len__(self) -> int:
+        row = self._connection().execute(
+            "SELECT COUNT(*) FROM results"
+        ).fetchone()
+        return int(row[0])
+
+    def query(
+        self,
+        kind: Optional[str] = None,
+        where: Optional[Callable[[Result], bool]] = None,
+    ) -> Iterator[Result]:
+        # Push the kind filter into SQL; the predicate still needs the
+        # loaded result.
+        if kind is None:
+            yield from super().query(kind=None, where=where)
+            return
+        rows = self._connection().execute(
+            "SELECT key FROM results WHERE kind = ? ORDER BY key", (kind,)
+        ).fetchall()
+        for (key,) in rows:
+            result = self.get(key)
+            if result is None or result.kind != kind:
+                continue
+            if where is not None and not where(result):
+                continue
+            yield result
+
+    def prune(self) -> int:
+        connection = self._connection()
+        dropped = 0
+        if self.ttl_s is not None:
+            with connection:
+                cursor = connection.execute(
+                    "DELETE FROM results WHERE created < ?",
+                    (time.time() - self.ttl_s,),
+                )
+            dropped += cursor.rowcount
+        if self.max_entries is not None:
+            excess = len(self) - self.max_entries
+            if excess > 0:
+                with connection:
+                    cursor = connection.execute(
+                        "DELETE FROM results WHERE key IN ("
+                        " SELECT key FROM results"
+                        " ORDER BY accessed ASC, key ASC LIMIT ?)",
+                        (excess,),
+                    )
+                dropped += cursor.rowcount
+        return dropped
+
+    def worker_view(self) -> "SQLiteStore":
+        return self
+
+
+class TieredStore(Store):
+    """A fast front store over a persistent back store.
+
+    Reads check the front first and populate it from the back on a hit;
+    writes and deletes go to both.  ``TieredStore(MemoryStore(),
+    JSONDirectoryStore(dir))`` is exactly the old ``ResultCache`` shape:
+    LRU-bounded memory over durable JSON files.
+    """
+
+    def __init__(self, front: Store, back: Optional[Store] = None):
+        self.front = front
+        self.back = back
+
+    def get(self, key: str) -> Optional[Result]:
+        result = self.front.get(key)
+        if result is not None or self.back is None:
+            return result
+        result = self.back.get(key)
+        if result is not None:
+            self.front.put(key, result)
+        return result
+
+    def put(self, key: str, result: Result) -> None:
+        self.front.put(key, result)
+        if self.back is not None:
+            self.back.put(key, result)
+
+    def delete(self, key: str) -> bool:
+        dropped_front = self.front.delete(key)
+        dropped_back = self.back.delete(key) if self.back is not None else False
+        return dropped_front or dropped_back
+
+    def keys(self) -> Iterator[str]:
+        merged = set(self.front.keys())
+        if self.back is not None:
+            merged.update(self.back.keys())
+        return iter(sorted(merged))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> None:
+        self.front.clear()
+        if self.back is not None:
+            self.back.clear()
+
+    def prune(self) -> int:
+        dropped = self.front.prune()
+        if self.back is not None:
+            dropped += self.back.prune()
+        return dropped
+
+    def worker_view(self) -> Optional[Store]:
+        if self.back is not None:
+            return self.back.worker_view()
+        return self.front.worker_view()

@@ -187,7 +187,7 @@ class TestSpecHashing:
 
 class TestLegacyParity:
     def test_dcop_bit_identical(self, chain_spec, switch_model):
-        result = Session(cache=None).run(DCOp(circuit=chain_spec))
+        result = Session(store=None).run(DCOp(circuit=chain_spec))
         legacy = get_engine(
             build_series_chain(3, model=switch_model).circuit
         ).solve_dc()
@@ -197,7 +197,7 @@ class TestLegacyParity:
 
     def test_dcsweep_bit_identical(self, chain_spec, switch_model):
         values = np.linspace(0.0, 1.2, 7)
-        result = Session(cache=None).run(
+        result = Session(store=None).run(
             DCSweep(circuit=chain_spec, source="v_drive", values=values)
         )
         legacy = get_engine(
@@ -208,7 +208,7 @@ class TestLegacyParity:
 
     @pytest.mark.parametrize("adaptive", [False, True])
     def test_transient_bit_identical(self, bench_spec, switch_model, adaptive):
-        result = Session(cache=None).run(
+        result = Session(store=None).run(
             Transient(circuit=bench_spec, timestep_s=1e-9, adaptive=adaptive)
         )
         bench = build_variability_bench(model=switch_model, step_duration_s=20e-9)
@@ -221,7 +221,7 @@ class TestLegacyParity:
 
     def test_montecarlo_batched_bit_identical(self, chain_spec, switch_model):
         perturbations = {"mos_vth": Gaussian(sigma=0.03)}
-        result = Session(cache=None).run(
+        result = Session(store=None).run(
             MonteCarlo(
                 circuit=chain_spec, perturbations=perturbations, trials=12, seed=7
             )
@@ -235,7 +235,7 @@ class TestLegacyParity:
 
     def test_montecarlo_per_trial_matches_batched(self, chain_spec):
         perturbations = {"mos_vth": Gaussian(sigma=0.03)}
-        session = Session(cache=None)
+        session = Session(store=None)
         batched = session.run(
             MonteCarlo(
                 circuit=chain_spec, perturbations=perturbations, trials=10, seed=3
@@ -256,7 +256,7 @@ class TestLegacyParity:
         assert per_trial.spec_hash != batched.spec_hash
 
     def test_corners_bit_identical(self, chain_spec, switch_model):
-        result = Session(cache=None).run(Corners(base=DCOp(circuit=chain_spec)))
+        result = Session(store=None).run(Corners(base=DCOp(circuit=chain_spec)))
         legacy = run_corners(
             build_series_chain(3, model=switch_model).circuit,
             lambda engine, corner: engine.solve_dc(),
@@ -269,7 +269,7 @@ class TestLegacyParity:
             assert child.scalars["corner"] == name
 
     def test_corner_children_have_distinct_hashes(self, chain_spec):
-        session = Session(cache=None)
+        session = Session(store=None)
         corners = session.run(Corners(base=DCOp(circuit=chain_spec)))
         nominal = session.run(DCOp(circuit=chain_spec))
         hashes = {child.spec_hash for child in corners.children.values()}
@@ -289,7 +289,7 @@ class TestLegacyParity:
         assert result.transient.converged
 
     def test_corner_overlay_restored_after_run(self, chain_spec):
-        session = Session(cache=None)
+        session = Session(store=None)
         session.run(Corners(base=DCOp(circuit=chain_spec)))
         compiled = get_engine(session.circuit(chain_spec)).compiled
         assert compiled._overlay is None
@@ -302,7 +302,7 @@ class TestLegacyParity:
 
 class TestSessionCaching:
     def test_circuit_built_exactly_once(self, chain_spec):
-        session = Session(cache=None)
+        session = Session(store=None)
         first = session.circuit(chain_spec)
         session.run(DCOp(circuit=chain_spec))
         session.run(DCSweep(circuit=chain_spec, source="v_drive", values=[0.0, 1.0]))
@@ -336,15 +336,69 @@ class TestSessionCaching:
         np.testing.assert_array_equal(again.arrays["solution"], pristine)
         assert again.scalars["strategy"] != "tampered"
 
-    def test_cache_false_disables_caching_even_with_a_directory(
+    def test_legacy_cache_false_disables_caching_even_with_a_directory(
         self, chain_spec, tmp_path
     ):
-        session = Session(cache=False, cache_dir=str(tmp_path))
-        assert session.cache is None
+        with pytest.warns(DeprecationWarning, match="store="):
+            session = Session(cache=False, cache_dir=str(tmp_path))
+        assert session.store is None
         session.run(DCOp(circuit=chain_spec))
         rerun = session.run(DCOp(circuit=chain_spec))
         assert not rerun.from_cache
         assert not list(tmp_path.glob("*.json"))
+
+    def test_cache_off_policy_bypasses_the_store(self, chain_spec):
+        session = Session()
+        spec = DCOp(circuit=chain_spec)
+        session.run(spec, cache="off")
+        assert len(session.store) == 0
+        rerun = session.run(spec)
+        assert not rerun.from_cache
+
+    def test_cache_refresh_policy_recomputes_and_overwrites(self, chain_spec):
+        session = Session()
+        spec = DCOp(circuit=chain_spec)
+        session.run(spec)
+        refreshed = session.run(spec, cache="refresh")
+        assert not refreshed.from_cache
+        assert session.last_stats.computed == 1
+        again = session.run(spec)
+        assert again.from_cache  # the refreshed entry was written back
+
+    def test_cache_refresh_policy_in_run_many(self, chain_spec):
+        session = Session()
+        specs = [DCOp(circuit=chain_spec), DCOp(circuit=chain_spec, gmin=1e-10)]
+        session.run_many(specs)
+        session.run_many(specs, cache="refresh")
+        assert session.last_stats.computed == 2
+        assert session.last_stats.cached == 0
+
+    def test_unknown_cache_policy_is_rejected(self, chain_spec):
+        with pytest.raises(ValueError, match="cache policy"):
+            Session().run(DCOp(circuit=chain_spec), cache="sometimes")
+
+    def test_legacy_use_cache_boolean_still_works_with_warning(self, chain_spec):
+        session = Session()
+        spec = DCOp(circuit=chain_spec)
+        session.run(spec)
+        with pytest.warns(DeprecationWarning, match="use_cache"):
+            rerun = session.run(spec, use_cache=True)
+        assert rerun.from_cache
+        with pytest.warns(DeprecationWarning, match="use_cache"):
+            bypassed = session.run(spec, use_cache=False)
+        assert not bypassed.from_cache
+        with pytest.warns(DeprecationWarning, match="cache="):
+            mapped = session.run(spec, cache=True)
+        assert mapped.from_cache
+
+    def test_session_cache_attribute_is_a_deprecated_alias(self):
+        session = Session()
+        with pytest.warns(DeprecationWarning, match="Session.store"):
+            assert session.cache is session.store
+
+    def test_store_rejects_mixing_new_and_legacy_knobs(self, tmp_path):
+        with pytest.raises(TypeError, match="store= alone"):
+            Session(store=None, cache_dir=str(tmp_path))
 
     def test_changed_spec_misses_the_cache(self, chain_spec):
         session = Session()
@@ -355,9 +409,9 @@ class TestSessionCaching:
     def test_disk_cache_survives_sessions(self, chain_spec, tmp_path):
         directory = str(tmp_path / "store")
         spec = DCOp(circuit=chain_spec)
-        first = Session(cache_dir=directory).run(spec)
+        first = Session(store=directory).run(spec)
 
-        revived = Session(cache_dir=directory)
+        revived = Session(store=directory)
         again = revived.run(spec)
         assert again.from_cache
         assert revived.last_stats.newton_iterations == 0
@@ -365,15 +419,21 @@ class TestSessionCaching:
             again.arrays["solution"], first.arrays["solution"]
         )
 
-    def test_corrupt_disk_entry_is_a_miss(self, chain_spec, tmp_path):
+    def test_corrupt_disk_entry_is_a_miss_and_quarantined(
+        self, chain_spec, tmp_path
+    ):
         directory = str(tmp_path / "store")
         spec = DCOp(circuit=chain_spec)
-        Session(cache_dir=directory).run(spec)
+        Session(store=directory).run(spec)
         for name in os.listdir(directory):
             with open(os.path.join(directory, name), "w", encoding="utf-8") as handle:
                 handle.write("{not json")
-        rerun = Session(cache_dir=directory).run(spec)
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            rerun = Session(store=directory).run(spec)
         assert not rerun.from_cache
+        assert any(
+            name.endswith(".json.corrupt") for name in os.listdir(directory)
+        )
 
     def test_run_many_dedupes_identical_specs(self, chain_spec):
         session = Session()
@@ -394,7 +454,8 @@ class TestSessionCaching:
         np.testing.assert_array_equal(study[1].arrays["solution"], pristine)
 
     def test_memory_cache_is_lru_bounded(self, chain_spec):
-        cache = ResultCache(max_memory_entries=2)
+        with pytest.warns(DeprecationWarning, match="repro.api.stores"):
+            cache = ResultCache(max_memory_entries=2)
         for index in range(4):
             cache.put(f"hash-{index}", Result(kind="x", spec_hash=f"hash-{index}"))
         assert len(cache) == 2
@@ -402,20 +463,20 @@ class TestSessionCaching:
         assert cache.get("hash-3") is not None
 
     def test_unknown_node_raises_instead_of_reading_zero(self, chain_spec):
-        result = Session(cache=None).run(DCOp(circuit=chain_spec))
+        result = Session(store=None).run(DCOp(circuit=chain_spec))
         with pytest.raises(KeyError, match="no_such_node"):
             result.voltage("no_such_node")
         assert result.voltage("0") == 0.0  # ground stays readable as 0 V
 
     def test_provenance_is_attached(self, chain_spec):
-        result = Session(cache=None).run(DCOp(circuit=chain_spec))
+        result = Session(store=None).run(DCOp(circuit=chain_spec))
         assert result.provenance["spec_hash"] == result.spec_hash
         assert "git" in result.provenance
         assert "numpy" in result.provenance["versions"]
 
     def test_transient_needs_a_stop_time_without_a_sequence(self, chain_spec):
         with pytest.raises(ValueError, match="stop_time_s"):
-            Session(cache=None).run(Transient(circuit=chain_spec, timestep_s=1e-9))
+            Session(store=None).run(Transient(circuit=chain_spec, timestep_s=1e-9))
 
 
 # ---------------------------------------------------------------------- #
@@ -453,8 +514,8 @@ class TestGridsAndExecutors:
             )
         )
         specs = expand_grid(template, {"circuit.num_switches": (1, 2, 3)})
-        serial = Session(cache=None).run_many(specs)
-        pooled = Session(cache=None).run_many(
+        serial = Session(store=None).run_many(specs)
+        pooled = Session(store=None).run_many(
             specs, executor=ProcessExecutor(workers=2)
         )
         for a, b in zip(serial, pooled):
@@ -462,7 +523,7 @@ class TestGridsAndExecutors:
             assert a.scalars["iterations"] == b.scalars["iterations"]
 
     def test_single_worker_executor_degrades_to_serial(self, chain_spec):
-        study = Session(cache=None).run_many(
+        study = Session(store=None).run_many(
             [DCOp(circuit=chain_spec)], executor=ProcessExecutor(workers=4)
         )
         assert len(study) == 1 and study.all_converged
@@ -475,7 +536,7 @@ class TestGridsAndExecutors:
 
 class TestResultSerialization:
     def test_resultset_json_roundtrip_bitwise(self, chain_spec, bench_spec):
-        session = Session(cache=None)
+        session = Session(store=None)
         study = session.run_many(
             [
                 DCOp(circuit=chain_spec),
@@ -498,7 +559,7 @@ class TestResultSerialization:
                 )
 
     def test_transient_convergence_info_roundtrips(self, bench_spec):
-        original = Session(cache=None).run(
+        original = Session(store=None).run(
             Transient(circuit=bench_spec, timestep_s=1e-9, adaptive=True)
         )
         revived = Result.from_json(original.to_json())
@@ -508,7 +569,7 @@ class TestResultSerialization:
         assert info.rejected_steps >= 0 and info.strategy == "adaptive"
 
     def test_corners_children_roundtrip(self, chain_spec):
-        original = Session(cache=None).run(Corners(base=DCOp(circuit=chain_spec)))
+        original = Session(store=None).run(Corners(base=DCOp(circuit=chain_spec)))
         revived = Result.from_json(original.to_json())
         assert set(revived.children) == set(original.children)
         for name, child in original.children.items():
@@ -532,7 +593,7 @@ class TestResultSerialization:
             Result.from_jsonable(payload)
 
     def test_result_columns(self, chain_spec):
-        session = Session(cache=None)
+        session = Session(store=None)
         study = session.run_many(
             expand_grid(DCOp(circuit=chain_spec), {"circuit.num_switches": (1, 2)})
         )
@@ -541,8 +602,9 @@ class TestResultSerialization:
         assert bool(columns["converged"].all())
 
     def test_cache_roundtrip_is_exact(self, chain_spec, tmp_path):
-        cache = ResultCache(directory=str(tmp_path))
-        original = Session(cache=None).run(DCOp(circuit=chain_spec))
+        with pytest.warns(DeprecationWarning, match="Session\\(store=...\\)"):
+            cache = ResultCache(directory=str(tmp_path))
+        original = Session(store=None).run(DCOp(circuit=chain_spec))
         cache.put(original.spec_hash, original)
         cache._memory.clear()
         revived = cache.get(original.spec_hash)

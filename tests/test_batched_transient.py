@@ -312,7 +312,7 @@ def arrays_equal(a, b):
 
 class TestMonteCarloTransientSpec:
     def test_batched_and_per_trial_modes_are_bitwise_equal(self, mc_transient_spec):
-        session = Session(cache=None)
+        session = Session(store=None)
         batched = session.run(mc_transient_spec)
         per_trial = session.run(dataclasses.replace(mc_transient_spec, mode="per-trial"))
         assert set(batched.arrays) == set(per_trial.arrays)
@@ -327,7 +327,7 @@ class TestMonteCarloTransientSpec:
 
         from repro.experiments.variability_xor3 import delay_metrics_trial
 
-        session = Session(cache=None)
+        session = Session(store=None)
         result = session.run(mc_transient_spec)
         bench = build_variability_bench(model=switch_model, step_duration_s=10e-9)
         legacy = MonteCarloEngine(
@@ -347,7 +347,7 @@ class TestMonteCarloTransientSpec:
             assert arrays_equal(column, legacy_column), key
 
     def test_json_round_trip_is_exact(self, mc_transient_spec):
-        result = Session(cache=None).run(mc_transient_spec)
+        result = Session(store=None).run(mc_transient_spec)
         revived = Result.from_json(result.to_json())
         assert revived.to_json() == result.to_json()
         for key in result.arrays:
@@ -355,12 +355,12 @@ class TestMonteCarloTransientSpec:
         assert revived.meta["metric_keys"] == result.meta["metric_keys"]
 
     def test_disk_cache_revival_does_zero_newton_work(self, mc_transient_spec, tmp_path):
-        first = Session(cache_dir=str(tmp_path))
+        first = Session(store=str(tmp_path))
         computed = first.run(mc_transient_spec)
         assert first.last_stats.computed == 1
         assert first.last_stats.newton_iterations > 0
 
-        revived_session = Session(cache_dir=str(tmp_path))
+        revived_session = Session(store=str(tmp_path))
         revived = revived_session.run(mc_transient_spec)
         assert revived.from_cache
         assert revived_session.last_stats.cached == 1
@@ -384,7 +384,7 @@ class TestMonteCarloTransientSpec:
     def test_expanded_seeds_share_the_compiled_bench(self, mc_transient_spec):
         from repro.api import expand_grid
 
-        session = Session(cache=None)
+        session = Session(store=None)
         specs = expand_grid(mc_transient_spec, {"seed": (1, 2)})
         study = session.run_many(specs)
         assert len(study) == 2
