@@ -2,6 +2,9 @@
 
 import os
 
+import numpy as np
+import pytest
+
 from _bench_utils import report, write_bench_json
 
 from repro.analysis.waveform_metrics import edge_times, steady_state_levels
@@ -110,6 +113,7 @@ def test_fig11_adaptive_step_control(benchmark, switch_model):
             "step_reduction": reduction,
             "acceptance_floor": floor,
         },
+        merge=True,
     )
     report(
         "Fig. 11 toggle stimulus — adaptive vs fixed stepping (reference: "
@@ -131,3 +135,66 @@ def test_fig11_adaptive_step_control(benchmark, switch_model):
     assert errors["adaptive_rise_err"] <= max(2.0 * errors["fine_rise_err"], 0.02)
     assert errors["adaptive_fall_err"] <= max(2.0 * errors["fine_fall_err"], 0.10)
     assert reduction >= floor
+
+
+def test_fig11_factorization_reuse(switch_model):
+    """``newton="reuse"`` cuts the transient's LU-factorization count.
+
+    Runs the Fig. 11 toggle workload through the sparse backend twice —
+    full Newton vs modified Newton with factorization reuse — and records
+    both factorization counts.  The march re-assembles the Jacobian every
+    step, but between switching edges it barely moves, so the frozen
+    factorization keeps contracting and the refactorization count collapses.
+    Deterministic: the counts come from monotonic solver counters, not
+    timing.
+    """
+    pytest.importorskip("scipy")
+    sequence = InputSequence.from_assignments(
+        ("a", "b", "c"),
+        [
+            {"a": False, "b": False, "c": False},
+            {"a": True, "b": False, "c": False},
+            {"a": False, "b": False, "c": False},
+        ],
+        step_duration_s=40e-9,
+        high_level_v=1.2,
+        transition_s=1e-9,
+    )
+    bench = build_lattice_circuit(
+        xor3_lattice_3x3(), model=switch_model, input_sequence=sequence
+    )
+    engine = get_engine(bench.circuit)
+    stop = sequence.total_duration_s
+
+    full = engine.solve_transient(stop, 1e-9, solver="sparse")
+    reuse = engine.solve_transient(stop, 1e-9, solver="sparse", newton="reuse")
+    assert full.converged and reuse.converged
+
+    full_facts = full.convergence_info.factorizations
+    reuse_facts = reuse.convergence_info.factorizations
+    reuses = reuse.convergence_info.factorization_reuses
+    # The point of the mode: strictly fewer refactorizations, and the
+    # bypassed solves show up as counted reuses.
+    assert reuse_facts < full_facts
+    assert reuses > 0
+    # Per-step solves still converge to the Newton voltage tolerance, so
+    # the waveforms agree to tolerance-level accuracy (the switching edges
+    # amplify sub-tolerance differences, hence not bitwise).
+    assert float(np.max(np.abs(full.solutions - reuse.solutions))) < 1e-3
+
+    write_bench_json(
+        "BENCH_transient.json",
+        {
+            "reuse_full_factorizations": int(full_facts),
+            "reuse_factorizations": int(reuse_facts),
+            "reuse_reuses": int(reuses),
+            "reuse_factorization_reduction": full_facts / max(reuse_facts, 1),
+        },
+        merge=True,
+    )
+    report(
+        "Fig. 11 toggle transient, sparse backend, factorization reuse:\n"
+        f"  full Newton    : {full_facts:5d} factorizations\n"
+        f"  newton='reuse' : {reuse_facts:5d} factorizations, {reuses:5d} reuses\n"
+        f"  reduction      : {full_facts / max(reuse_facts, 1):5.2f}x"
+    )

@@ -27,9 +27,13 @@ perf-trajectory artifact).  Environment knobs: ``SOLVER_BENCH_GRIDS`` and
 ``SOLVER_BENCH_BATCH_GRIDS`` (comma-separated grid edge lengths),
 ``SOLVER_BENCH_TRIALS`` (batched-crossover trial count),
 ``SOLVER_BENCH_LARGE_UNKNOWNS`` / ``SOLVER_BENCH_LARGE_TRIALS`` /
-``SOLVER_BENCH_LARGE_SIGMA`` (large-study scale), and
-``SOLVERS_SPARSE_BATCHED_MIN_SPEEDUP`` (CI floor on the sparse-batched
-speedup; defaults to 0 so unconstrained local runs only record).
+``SOLVER_BENCH_LARGE_SIGMA`` (large-study scale), and the CI floors
+``SOLVERS_SPARSE_BATCHED_MIN_SPEEDUP`` / ``SOLVERS_REUSE_MIN_SPEEDUP`` /
+``SOLVERS_THREADED_MIN_SPEEDUP`` (all default to 0 so unconstrained local
+runs only record).  ``test_factorization_reuse_speedup`` and
+``test_threaded_stacked_factorization`` extend the stacked study with the
+``newton="reuse"`` modified-Newton path and the thread-parallel stacked
+factorization.
 """
 
 import os
@@ -45,7 +49,12 @@ from repro.circuits import build_scalability_bench, scalability_grid_for_unknown
 from repro.spice.engine import get_engine
 from repro.spice.montecarlo import Gaussian, MonteCarloEngine
 from repro.spice.netlist import AnalysisState
-from repro.spice.solvers import DenseSolver, SparseSolver, scipy_available
+from repro.spice.solvers import (
+    DenseSolver,
+    SparseSolver,
+    resolve_threads,
+    scipy_available,
+)
 
 #: Grid edge lengths of the identity-lattice sweep (n x n switches each).
 GRIDS = tuple(
@@ -67,6 +76,15 @@ LARGE_SIGMA = float(os.environ.get("SOLVER_BENCH_LARGE_SIGMA", "0.0005"))
 
 #: Hard floor on the sparse-batched speedup (CI sets this; 0 = record only).
 MIN_SPEEDUP = float(os.environ.get("SOLVERS_SPARSE_BATCHED_MIN_SPEEDUP", "0"))
+
+#: Hard floor on the ``newton="reuse"`` speedup over full Newton (CI sets
+#: this; 0 = record only).
+REUSE_MIN_SPEEDUP = float(os.environ.get("SOLVERS_REUSE_MIN_SPEEDUP", "0"))
+
+#: Hard floor on the ``threads="auto"`` speedup over the serial stacked
+#: factorization.  Only enforced on multi-core hosts (on 1 CPU the threaded
+#: path degrades to serial by design and the ratio is ~1.0).
+THREADED_MIN_SPEEDUP = float(os.environ.get("SOLVERS_THREADED_MIN_SPEEDUP", "0"))
 
 
 def _best_solve_s(solver, matrix, rhs, rounds=5):
@@ -270,6 +288,138 @@ def test_sparse_batched_crossover(switch_model):
     report("\n".join(lines))
 
     assert rows[-1]["speedup"] >= MIN_SPEEDUP
+
+
+def _reuse_study(engine, nominal_solution, seed_circuit, **controls):
+    """(wall_s, result) of the canonical reuse-benchmark stacked DC study."""
+    montecarlo = MonteCarloEngine(
+        seed_circuit, {"mos_vth": Gaussian(sigma=0.002)}, seed=29
+    )
+    stacks = montecarlo.sample_stacked_overlays(BATCH_TRIALS)
+    start = time.perf_counter()
+    result = engine.solve_dc_batched(
+        stacks,
+        trials=BATCH_TRIALS,
+        initial_guess=nominal_solution,
+        refresh=False,
+        solver="sparse-batched",
+        **controls,
+    )
+    wall_s = time.perf_counter() - start
+    assert bool(np.all(result.converged))
+    return wall_s, result
+
+
+@pytest.mark.skipif(not scipy_available(), reason="sparse backend needs scipy")
+def test_factorization_reuse_speedup(switch_model):
+    """Modified-Newton factorization reuse on the headline stacked DC study.
+
+    Runs the largest batched-crossover lattice's 128-trial Monte-Carlo DC
+    study twice through the sparse-batched backend — full Newton vs
+    ``newton="reuse"`` — and records the wall-clock speedup and the
+    factorization-count collapse.  The reuse solutions must agree with full
+    Newton to within the Newton voltage tolerance (both runs converge; the
+    iterates differ because reuse holds the Jacobian between refactorings).
+    """
+    grid = BATCH_GRIDS[-1]
+    bench = build_scalability_bench(grid, model=switch_model)
+    engine = get_engine(bench.circuit)
+    nominal = engine.solve_dc(solver="sparse")
+    assert nominal.converged
+
+    full_wall, full = _reuse_study(engine, nominal.solution, bench.circuit)
+    reuse_wall, reuse = _reuse_study(
+        engine, nominal.solution, bench.circuit, newton="reuse"
+    )
+
+    assert float(np.max(np.abs(full.solutions - reuse.solutions))) < 1e-5
+    # The whole point: reuse must refactor strictly less often.
+    assert reuse.factorizations < full.factorizations
+    assert reuse.factorization_reuses > 0
+    speedup = full_wall / reuse_wall
+
+    write_bench_json(
+        "BENCH_solvers.json",
+        {
+            "reuse_grid": grid,
+            "reuse_system_size": bench.circuit.system_size,
+            "reuse_trials": BATCH_TRIALS,
+            "reuse_full_wall_s": full_wall,
+            "reuse_full_factorizations": int(full.factorizations),
+            "reuse_wall_s": reuse_wall,
+            "reuse_factorizations": int(reuse.factorizations),
+            "reuse_reuses": int(reuse.factorization_reuses),
+            "reuse_speedup": speedup,
+        },
+        merge=True,
+    )
+    report(
+        f"Factorization reuse on the {grid}x{grid}"
+        f" (n={bench.circuit.system_size}) stacked DC study"
+        f" ({BATCH_TRIALS} trials, mos_vth sigma=0.002):\n"
+        f"  full Newton    : {full_wall:7.2f} s,"
+        f" {int(full.factorizations):6d} factorizations\n"
+        f"  newton='reuse' : {reuse_wall:7.2f} s,"
+        f" {int(reuse.factorizations):6d} factorizations,"
+        f" {int(reuse.factorization_reuses):6d} reuses\n"
+        f"  speedup        : {speedup:5.2f}x"
+        f" (acceptance floor: {REUSE_MIN_SPEEDUP:g}x)"
+    )
+    assert speedup >= REUSE_MIN_SPEEDUP
+
+
+@pytest.mark.skipif(not scipy_available(), reason="sparse backend needs scipy")
+def test_threaded_stacked_factorization(switch_model):
+    """Thread-parallel stacked sparse factorization: same numbers, less wall.
+
+    Runs the reuse-benchmark study serially and with ``threads="auto"``.
+    The two stacks must be bitwise identical — threading only changes who
+    factors which trial, never the arithmetic — and on a multi-core host
+    the threaded run must clear the CI floor.  On 1 CPU the pool degrades
+    to the serial path by design, so only parity is enforced there.
+    """
+    grid = BATCH_GRIDS[-1]
+    bench = build_scalability_bench(grid, model=switch_model)
+    engine = get_engine(bench.circuit)
+    nominal = engine.solve_dc(solver="sparse")
+    assert nominal.converged
+
+    serial_wall, serial = _reuse_study(engine, nominal.solution, bench.circuit)
+    threaded_wall, threaded = _reuse_study(
+        engine, nominal.solution, bench.circuit, threads="auto"
+    )
+
+    assert np.array_equal(serial.solutions, threaded.solutions)
+    effective_threads = resolve_threads("auto")
+    speedup = serial_wall / threaded_wall
+
+    write_bench_json(
+        "BENCH_solvers.json",
+        {
+            "threaded_grid": grid,
+            "threaded_system_size": bench.circuit.system_size,
+            "threaded_trials": BATCH_TRIALS,
+            "threaded_effective_threads": effective_threads,
+            "threaded_serial_wall_s": serial_wall,
+            "threaded_wall_s": threaded_wall,
+            "threaded_speedup": speedup,
+        },
+        merge=True,
+    )
+    report(
+        f"Threaded stacked factorization on the {grid}x{grid}"
+        f" (n={bench.circuit.system_size}) stacked DC study"
+        f" ({BATCH_TRIALS} trials):\n"
+        f"  serial         : {serial_wall:7.2f} s\n"
+        f"  threads='auto' : {threaded_wall:7.2f} s"
+        f" ({effective_threads or 1} worker thread(s))\n"
+        f"  speedup        : {speedup:5.2f}x"
+        f" (acceptance floor: {THREADED_MIN_SPEEDUP:g}x,"
+        f" enforced on multi-core hosts only)"
+    )
+    cpus = os.cpu_count()
+    if cpus and cpus > 1:
+        assert speedup >= THREADED_MIN_SPEEDUP
 
 
 @pytest.mark.skipif(not scipy_available(), reason="sparse backend needs scipy")

@@ -26,7 +26,16 @@ import sys
 from typing import Dict, Iterator, Tuple
 
 #: Name suffixes implying "smaller is better" / "larger is better".
-LOWER_IS_BETTER = ("_us", "_ms", "_s", "_steps", "_err", "_iterations")
+LOWER_IS_BETTER = (
+    "_us",
+    "_ms",
+    "_s",
+    "_steps",
+    "_err",
+    "_iterations",
+    "_factorizations",
+    "_peak_mb",
+)
 HIGHER_IS_BETTER = ("speedup", "_per_second", "_ratio", "_reduction", "_fraction")
 
 

@@ -81,6 +81,8 @@ def convergence_info_to_dict(
             "strategy": info.strategy,
             "iterations": int(info.iterations),
             "final_max_update_v": float(info.final_max_update_v),
+            "factorizations": int(info.factorizations),
+            "factorization_reuses": int(info.factorization_reuses),
         }
     if isinstance(info, TransientConvergenceInfo):
         return {
@@ -92,6 +94,8 @@ def convergence_info_to_dict(
             "rejected_steps": int(info.rejected_steps),
             "min_step_s": float(info.min_step_s),
             "max_step_s": float(info.max_step_s),
+            "factorizations": int(info.factorizations),
+            "factorization_reuses": int(info.factorization_reuses),
         }
     raise TypeError(f"unsupported convergence info {type(info).__qualname__}")
 
@@ -158,6 +162,20 @@ class Result:
         """Total Newton iterations performed to compute this result tree."""
         own = int(self.convergence.get("newton_iterations", 0))
         return own + sum(child.newton_iterations for child in self.children.values())
+
+    @property
+    def factorizations(self) -> int:
+        """Total numeric factorizations performed to compute this result tree."""
+        own = int(self.convergence.get("factorizations", 0))
+        return own + sum(child.factorizations for child in self.children.values())
+
+    @property
+    def factorization_reuses(self) -> int:
+        """Total solves served by an existing factorization across the tree."""
+        own = int(self.convergence.get("factorization_reuses", 0))
+        return own + sum(
+            child.factorization_reuses for child in self.children.values()
+        )
 
     @property
     def convergence_info(
@@ -271,6 +289,14 @@ class ResultSet:
     @property
     def newton_iterations(self) -> int:
         return sum(result.newton_iterations for result in self.results)
+
+    @property
+    def factorizations(self) -> int:
+        return sum(result.factorizations for result in self.results)
+
+    @property
+    def factorization_reuses(self) -> int:
+        return sum(result.factorization_reuses for result in self.results)
 
     def column(self, key: str) -> np.ndarray:
         """One scalar across all results, as an array (tidy column access)."""

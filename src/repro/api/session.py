@@ -146,10 +146,14 @@ class RunStats:
     computed: int = 0
     cached: int = 0
     newton_iterations: int = 0
+    factorizations: int = 0
+    factorization_reuses: int = 0
 
     def absorb_computed(self, result: Result) -> None:
         self.computed += 1
         self.newton_iterations += result.newton_iterations
+        self.factorizations += result.factorizations
+        self.factorization_reuses += result.factorization_reuses
 
     def absorb_cached(self) -> None:
         self.cached += 1
@@ -465,6 +469,7 @@ class Session:
             damping_v=spec.damping_v,
             time_s=spec.time_s,
             solver=spec.solver,
+            newton=spec.newton,
         )
         info = convergence_info_to_dict(point.convergence_info)
         return Result(
@@ -477,7 +482,14 @@ class Session:
                 "max_residual": float(point.max_residual),
                 "strategy": point.convergence_info.strategy,
             },
-            convergence={"newton_iterations": int(point.iterations), "info": info},
+            convergence={
+                "newton_iterations": int(point.iterations),
+                "factorizations": int(point.convergence_info.factorizations),
+                "factorization_reuses": int(
+                    point.convergence_info.factorization_reuses
+                ),
+                "info": info,
+            },
             provenance=build_provenance(spec.content_hash),
             meta=self._meta(circuit),
         )
@@ -490,6 +502,7 @@ class Session:
             gmin=spec.gmin,
             max_iterations=spec.max_iterations,
             solver=spec.solver,
+            newton=spec.newton,
         )
         iterations = np.array([point.iterations for point in sweep.points], dtype=int)
         converged = np.array([point.converged for point in sweep.points], dtype=bool)
@@ -514,6 +527,13 @@ class Session:
             },
             convergence={
                 "newton_iterations": int(iterations.sum()),
+                "factorizations": sum(
+                    point.convergence_info.factorizations for point in sweep.points
+                ),
+                "factorization_reuses": sum(
+                    point.convergence_info.factorization_reuses
+                    for point in sweep.points
+                ),
                 "per_point": per_point,
             },
             provenance=build_provenance(spec.content_hash),
@@ -547,6 +567,7 @@ class Session:
             min_timestep_s=spec.min_timestep_s,
             max_timestep_s=spec.max_timestep_s,
             solver=spec.solver,
+            newton=spec.newton,
         )
         info = transient.convergence_info
         return Result(
@@ -564,6 +585,8 @@ class Session:
             },
             convergence={
                 "newton_iterations": int(info.newton_iterations),
+                "factorizations": int(info.factorizations),
+                "factorization_reuses": int(info.factorization_reuses),
                 "info": convergence_info_to_dict(info),
             },
             provenance=build_provenance(spec.content_hash),
@@ -587,12 +610,16 @@ class Session:
                 gmin=spec.gmin,
                 damping_v=spec.damping_v,
                 time_s=spec.time_s,
+                newton=spec.newton,
+                threads=spec.threads,
             )
             solutions = batch.solutions.copy()
             iterations = batch.iterations.copy()
             converged = batch.converged.copy()
             residuals = batch.max_residuals.copy()
             strategies = list(batch.strategies)
+            factorizations = int(batch.factorizations)
+            reuses = int(batch.factorization_reuses)
         else:
             stacks = mc.sample_stacked_overlays(spec.trials)
             compiled = engine.compiled
@@ -602,6 +629,8 @@ class Session:
             converged = np.zeros(spec.trials, dtype=bool)
             residuals = np.zeros(spec.trials, dtype=float)
             strategies = []
+            factorizations = 0
+            reuses = 0
             try:
                 for trial in range(spec.trials):
                     compiled.set_parameter_overlay(
@@ -615,12 +644,15 @@ class Session:
                         time_s=spec.time_s,
                         refresh=False,
                         solver=spec.solver,
+                        newton=spec.newton,
                     )
                     solutions[trial] = point.solution
                     iterations[trial] = point.iterations
                     converged[trial] = point.converged
                     residuals[trial] = point.max_residual
                     strategies.append(point.convergence_info.strategy)
+                    factorizations += point.convergence_info.factorizations
+                    reuses += point.convergence_info.factorization_reuses
             finally:
                 if saved_overlay is not None:
                     compiled.set_parameter_overlay(saved_overlay)
@@ -643,6 +675,8 @@ class Session:
             },
             convergence={
                 "newton_iterations": int(np.sum(iterations)),
+                "factorizations": int(factorizations),
+                "factorization_reuses": int(reuses),
                 "strategies": strategies,
             },
             provenance=build_provenance(spec.content_hash),
@@ -671,6 +705,10 @@ class Session:
         solver = spec.solver
         if solver in (None, "auto") and base.solver not in (None, "auto"):
             solver = base.solver
+        # Same deferral for the Newton-reuse knob: the MC spec wins when it
+        # asks for something, otherwise the base transient spec's choice
+        # applies to every trial.
+        newton = spec.newton if spec.newton is not None else base.newton
 
         controls = dict(
             integration=base.integration,
@@ -678,6 +716,7 @@ class Session:
             tolerance_v=base.tolerance_v,
             gmin=base.gmin,
             use_initial_conditions=base.use_initial_conditions,
+            newton=newton,
         )
         if spec.mode == "batched":
             batch = mc.run_batched_transient(
@@ -685,6 +724,7 @@ class Session:
                 stop_time_s,
                 base.timestep_s,
                 solver=solver if solver is not None else "batched",
+                threads=spec.threads,
                 **controls,
             )
         else:
@@ -734,6 +774,8 @@ class Session:
             },
             convergence={
                 "newton_iterations": int(np.sum(iterations)),
+                "factorizations": int(batch.factorizations),
+                "factorization_reuses": int(batch.factorization_reuses),
                 "strategies": strategies,
             },
             provenance=build_provenance(spec.content_hash),

@@ -144,6 +144,24 @@ def _check_solver(solver: Any) -> None:
         )
 
 
+def _check_newton(newton: Any) -> None:
+    if newton not in (None, "full", "reuse"):
+        raise ValueError(
+            f"newton must be None, 'full' or 'reuse', got {newton!r}"
+        )
+
+
+def _check_threads(threads: Any) -> None:
+    if threads is None or threads == "auto":
+        return
+    if isinstance(threads, bool) or not isinstance(threads, int):
+        raise TypeError(
+            f"threads must be None, 'auto' or a positive int, got {threads!r}"
+        )
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+
+
 @dataclass(frozen=True)
 class DCOp(AnalysisSpec):
     """DC operating point (legacy: ``dc_operating_point``)."""
@@ -157,9 +175,11 @@ class DCOp(AnalysisSpec):
     damping_v: float = 0.6
     time_s: float = 0.0
     solver: Optional[str] = "auto"
+    newton: Optional[str] = None
 
     def __post_init__(self) -> None:
         _check_solver(self.solver)
+        _check_newton(self.newton)
 
 
 @dataclass(frozen=True)
@@ -174,9 +194,11 @@ class DCSweep(AnalysisSpec):
     gmin: float = 1e-12
     max_iterations: int = 200
     solver: Optional[str] = "auto"
+    newton: Optional[str] = None
 
     def __post_init__(self) -> None:
         _check_solver(self.solver)
+        _check_newton(self.newton)
         if not self.source:
             raise ValueError("DCSweep needs the name of the swept source")
         values = tuple(float(v) for v in np.asarray(self.values, dtype=float).ravel())
@@ -209,9 +231,11 @@ class Transient(AnalysisSpec):
     min_timestep_s: Optional[float] = None
     max_timestep_s: Optional[float] = None
     solver: Optional[str] = "auto"
+    newton: Optional[str] = None
 
     def __post_init__(self) -> None:
         _check_solver(self.solver)
+        _check_newton(self.newton)
         if self.integration not in ("be", "trap"):
             raise ValueError("integration must be 'be' or 'trap'")
 
@@ -262,9 +286,13 @@ class MonteCarlo(AnalysisSpec):
     damping_v: float = 0.6
     time_s: float = 0.0
     solver: Optional[str] = "auto"
+    newton: Optional[str] = None
+    threads: Union[None, int, str] = None
 
     def __post_init__(self) -> None:
         _check_solver(self.solver)
+        _check_newton(self.newton)
+        _check_threads(self.threads)
         if self.mode not in ("batched", "per-trial"):
             raise ValueError("mode must be 'batched' or 'per-trial'")
         if self.trials < 1:

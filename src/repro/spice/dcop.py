@@ -34,11 +34,18 @@ class ConvergenceInfo:
     final_max_update_v:
         Largest per-unknown update of the last Newton iteration [V]; this is
         the engine's convergence residual.
+    factorizations / factorization_reuses:
+        Numeric matrix factorizations performed during the solve, and solves
+        served by an already-computed factorization (fingerprint cache hits
+        plus ``newton="reuse"`` bypass rounds).  Zero for solver backends
+        that do not factor (dense ``lstsq``-style paths).
     """
 
     strategy: str
     iterations: int
     final_max_update_v: float
+    factorizations: int = 0
+    factorization_reuses: int = 0
 
     @property
     def used_fallback(self) -> bool:
@@ -133,6 +140,10 @@ class BatchedOperatingPoints:
     converged: np.ndarray
     max_residuals: np.ndarray
     strategies: Tuple[str, ...]
+    #: Aggregate factorization counters over the whole batch (not per trial:
+    #: stacked factorizations are shared bookkeeping across the live set).
+    factorizations: int = 0
+    factorization_reuses: int = 0
 
     def __len__(self) -> int:
         return self.solutions.shape[0]

@@ -44,6 +44,7 @@ instance); see :mod:`repro.spice.solvers`.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -53,13 +54,94 @@ from repro.spice.elements.capacitor import Capacitor
 from repro.spice.elements.mosfet import MOSFET
 from repro.spice.elements.resistor import Resistor
 from repro.spice.elements.sources import CurrentSource, VoltageSource
-from repro.spice.solvers import LinearSolver, get_solver
+from repro.spice.solvers import FactorizationCache, LinearSolver, get_solver
 
 #: gmin ladder of the gmin-stepping fallback (relaxed decade by decade).
 GMIN_LADDER: Tuple[float, ...] = (1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8)
 
 #: Source scale ladder of the source-stepping fallback (ramped to full drive).
 SOURCE_LADDER: Tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 1.0)
+
+#: Stall threshold of the modified-Newton bypass (``newton="reuse"``): a
+#: bypass round that shrinks the Newton update by less than this factor —
+#: while the update is still above tolerance — has stopped contracting
+#: usefully, and the next round refactors at the current iterate.  0.95
+#: tolerates the slow-but-steady linear contraction a frozen Jacobian
+#: typically produces near convergence (tighter thresholds flip-flop:
+#: refactor, one good quadratic round, freeze, "stall", refactor ...).
+REUSE_STALL_CONTRACTION = 0.95
+
+#: Engagement threshold of the modified-Newton bypass: the frozen LU is
+#: only worth stepping through once the iterate is already moving in small
+#: steps — within the voltage scale over which the device conductances
+#: stay roughly constant (a fraction of Vth).  While the previous round's
+#: update is larger, the Jacobian changes too fast for the bypass to
+#: contract and reuse mode refactors every round, exactly like full
+#: Newton — without the gate a cold start thrashes (bypass, stall,
+#: refactor) and ends up *slower* than the default path.
+REUSE_ENGAGE_V = 0.05
+
+
+def _wants_newton_reuse(newton: Optional[str]) -> bool:
+    """Validate a ``newton=`` knob; True when the reuse mode is requested."""
+    if newton not in (None, "full", "reuse"):
+        raise ValueError(f"newton must be None, 'full' or 'reuse', got {newton!r}")
+    return newton == "reuse"
+
+
+class _NewtonReuseState:
+    """Mutable carrier of one Newton march's frozen factorization.
+
+    ``newton="reuse"`` keeps the last LU across Newton rounds (and, for a
+    transient march, across timesteps): a bitwise-unchanged Jacobian solves
+    through it directly (bit-identical to refactorizing), a changed one
+    takes a modified-Newton bypass step through it until :meth:`observe`
+    detects a contraction stall, which marks the handle stale so the next
+    round refactors at the current iterate.
+    """
+
+    __slots__ = ("handle", "stale", "prev_max_update")
+
+    def __init__(self):
+        self.handle = None
+        self.stale = False
+        self.prev_max_update: Optional[float] = None
+
+    def invalidate(self) -> None:
+        """Drop the handle entirely (singular factorization, hard reset)."""
+        self.handle = None
+        self.stale = False
+        self.prev_max_update = None
+
+    def freeze(self, handle) -> None:
+        """Adopt a fresh factorization as the new frozen Jacobian."""
+        self.handle = handle
+        self.stale = False
+        self.prev_max_update = None
+
+    def engaged(self) -> bool:
+        """Whether the bypass is worth attempting at the current iterate.
+
+        True once the previous round's update is small enough
+        (:data:`REUSE_ENGAGE_V`) that the Jacobian is roughly constant
+        between rounds; until then every round refactors, matching full
+        Newton step for step.
+        """
+        prev = self.prev_max_update
+        return prev is not None and np.isfinite(prev) and prev <= REUSE_ENGAGE_V
+
+    def observe(self, bypassed: bool, max_update: float, tolerance_v: float) -> None:
+        """Track the contraction rate; mark the handle stale on a stall."""
+        if bypassed and (
+            not np.isfinite(max_update)
+            or (
+                self.prev_max_update is not None
+                and max_update >= REUSE_STALL_CONTRACTION * self.prev_max_update
+                and max_update >= tolerance_v
+            )
+        ):
+            self.stale = True
+        self.prev_max_update = max_update
 
 #: Parameter vectors a compiled-circuit overlay may replace (one value per
 #: element of the corresponding class; the two ``*_scale`` vectors multiply
@@ -287,6 +369,9 @@ class CompiledCircuit:
         self._ghost = ghost
         self._base_cache: Dict[Hashable, np.ndarray] = {}
         self._base_data_cache: Dict[Hashable, np.ndarray] = {}
+        #: Preallocated per-round scratch buffers of the batched assemblies
+        #: (see :meth:`_workspace`); keyed by buffer role.
+        self._workspaces: Dict[str, np.ndarray] = {}
         self._pattern: Optional[SparsityPattern] = None
         self._source_value_cache = None
         #: Per-source waveform multipliers (``None`` means all-ones).
@@ -375,7 +460,29 @@ class CompiledCircuit:
         state["_base_data_cache"] = {}
         state["_pattern"] = None
         state["_source_value_cache"] = None
+        state["_workspaces"] = {}
         return state
+
+    def _workspace(self, name: str, rows: int, cols: int, zero: bool = False) -> np.ndarray:
+        """A reusable ``(rows, cols)`` scratch view for the batched hot path.
+
+        The batched Newton loop re-assembles the stack every round; these
+        capacity-grown buffers kill the per-round allocation churn.  The
+        returned view is only valid until the next call with the same
+        ``name`` — callers that hand buffers to the outside world (the
+        public assembly entry points) must opt in explicitly.
+        """
+        buffer = self._workspaces.get(name)
+        if buffer is None or buffer.shape[0] < rows or buffer.shape[1] != cols:
+            capacity = rows
+            if buffer is not None and buffer.shape[1] == cols:
+                capacity = max(rows, buffer.shape[0])
+            buffer = np.empty((capacity, cols))
+            self._workspaces[name] = buffer
+        view = buffer[:rows]
+        if zero:
+            view.fill(0.0)
+        return view
 
     def refresh_values(self) -> None:
         """Re-read element *values* without recompiling the structure.
@@ -1042,17 +1149,24 @@ class CompiledCircuit:
         cap_history: Optional[np.ndarray],
         source_values: Optional[Tuple[Optional[np.ndarray], Optional[np.ndarray]]],
         cap_g_rows: Optional[np.ndarray],
+        reuse_workspace: bool = False,
     ) -> np.ndarray:
         """The stacked linear right-hand side (sources + cap history).
 
         Shared by the dense and the sparse batched assembly; the per-trial
         arithmetic mirrors :meth:`_linear_rhs` operation for operation.
+        With ``reuse_workspace`` the returned stack lives in a per-compiled
+        scratch buffer that the next workspace-mode assembly overwrites
+        (the Newton hot path consumes it within the round).
         """
         ghost = self._ghost
         trial_offsets = np.arange(trials)[:, None]
         # Independent sources (per-trial scale stacks compose exactly like
         # the serial vs_scale/is_scale overlay multipliers).
-        rhs = np.zeros((trials, ghost))
+        if reuse_workspace:
+            rhs = self._workspace("batched_rhs", trials, ghost, zero=True)
+        else:
+            rhs = np.zeros((trials, ghost))
         rhs_flat = rhs.reshape(-1)
         raw_v, raw_i = source_values if source_values is not None else (None, None)
         if self.voltage_sources:
@@ -1099,7 +1213,8 @@ class CompiledCircuit:
             if previous_solutions is None:
                 v_prev = np.broadcast_to(self.cap_v0, (trials, self.num_capacitors))
             else:
-                prev = np.empty((trials, self.size + 1))
+                # Scratch only: v_prev below is a gather (copy) from it.
+                prev = self._workspace("batched_prev", trials, self.size + 1)
                 prev[:, : self.size] = previous_solutions
                 prev[:, self.size] = 0.0
                 v_prev = prev[:, self.cap_a] - prev[:, self.cap_b]
@@ -1130,7 +1245,9 @@ class CompiledCircuit:
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Stacked :meth:`_mosfet_companion` with per-trial parameter stacks."""
         trials = solutions.shape[0]
-        padded = np.empty((trials, self.size + 1))
+        # Scratch only: _mosfet_companion gathers (copies) from the padded
+        # iterate, so the buffer can be recycled across Newton rounds.
+        padded = self._workspace("mos_padded", trials, self.size + 1)
         padded[:, : self.size] = solutions
         padded[:, self.size] = 0.0
         return self._mosfet_companion(
@@ -1153,6 +1270,7 @@ class CompiledCircuit:
         cap_history: Optional[np.ndarray] = None,
         source_values: Optional[Tuple[Optional[np.ndarray], Optional[np.ndarray]]] = None,
         cap_g_rows: Optional[np.ndarray] = None,
+        reuse_workspace: bool = False,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Assemble ``(trials, nnz)`` CSC data stacks for stacked trials.
 
@@ -1169,6 +1287,12 @@ class CompiledCircuit:
         the linear part (no ``resistor_ohm`` rows, and no ``cap_c`` rows if
         this is a transient assembly), every trial's linear data is a
         broadcast copy of the cached nominal :meth:`_base_data`.
+
+        ``reuse_workspace`` (the batched Newton hot path) assembles into
+        preallocated per-compiled scratch buffers instead of fresh arrays —
+        same bits, no per-round allocation churn — at the price that the
+        returned arrays are only valid until the next workspace-mode
+        assembly.  Direct callers keep the allocating default.
         """
         pattern = self.sparsity_pattern()
         if pattern is None:
@@ -1188,7 +1312,10 @@ class CompiledCircuit:
             trials, cap_c, timestep_s, integration, cap_g_rows
         )
         if resistance is None and cap_c is None:
-            data = np.empty((trials, slots))
+            if reuse_workspace:
+                data = self._workspace("sparse_data", trials, slots)
+            else:
+                data = np.empty((trials, slots))
             data[:] = self._base_data(gmin, timestep_s, integration)
             data_flat = data.reshape(-1)
         else:
@@ -1197,7 +1324,10 @@ class CompiledCircuit:
             # companions (np.add.at for the capacitors — they may share
             # positions with the static stamps, and the serial path
             # accumulates those sequentially).
-            data = np.zeros((trials, slots))
+            if reuse_workspace:
+                data = self._workspace("sparse_data", trials, slots, zero=True)
+            else:
+                data = np.zeros((trials, slots))
             data_flat = data.reshape(-1)
             if self._static_rows.size:
                 if resistance is None:
@@ -1240,6 +1370,7 @@ class CompiledCircuit:
             cap_history,
             source_values,
             cap_g_rows,
+            reuse_workspace=reuse_workspace,
         )
 
         if self.num_mosfets:
@@ -1307,8 +1438,37 @@ class AnalysisEngine:
         self.solver = get_solver(solver)
         return self.solver
 
-    def _resolve_solver(self, solver: Union[None, str, LinearSolver]) -> LinearSolver:
+    def _resolve_solver(
+        self,
+        solver: Union[None, str, LinearSolver],
+        threads: Union[None, int, str] = None,
+    ) -> LinearSolver:
+        if threads is not None:
+            return get_solver(solver, threads=threads)
         return self.solver if solver is None else get_solver(solver)
+
+    @staticmethod
+    def _solver_counts(solvers: Sequence[Optional[LinearSolver]]) -> Dict[str, int]:
+        """Summed factorization counters over distinct solver instances.
+
+        An analysis may touch more than one backend (the batched path plus
+        the engine default its serial rescue uses); deduplicating by
+        identity keeps a shared instance from being counted twice.
+        """
+        totals = {"factorizations": 0, "factorization_reuses": 0}
+        for instance in {id(s): s for s in solvers if s is not None}.values():
+            stats = instance.solver_stats()
+            for key in totals:
+                totals[key] += stats.get(key, 0)
+        return totals
+
+    @staticmethod
+    def _counts_delta(after: Dict[str, int], before: Dict[str, int]) -> Tuple[int, int]:
+        """(factorizations, reuses) performed between two counter snapshots."""
+        return (
+            after["factorizations"] - before["factorizations"],
+            after["factorization_reuses"] - before["factorization_reuses"],
+        )
 
     @property
     def compiled(self) -> CompiledCircuit:
@@ -1365,6 +1525,7 @@ class AnalysisEngine:
         source_scale: float = 1.0,
         cap_history: Optional[np.ndarray] = None,
         solver: Optional[LinearSolver] = None,
+        reuse_state: Optional[_NewtonReuseState] = None,
     ) -> Tuple[np.ndarray, int, bool, float]:
         """One Newton-Raphson run; returns (solution, iterations, converged, max_update).
 
@@ -1373,6 +1534,11 @@ class AnalysisEngine:
         ``gmin`` an order of magnitude and retries instead of raising, so
         structurally defective circuits report non-convergence rather than
         blowing up the caller.
+
+        ``reuse_state`` (``newton="reuse"``) routes every solve through
+        :meth:`_reuse_solve`, which keeps the last factorization across
+        rounds — and across calls sharing the state, e.g. the steps of a
+        transient march — instead of refactorizing each round.
         """
         compiled = self.compiled
         if solver is None:
@@ -1407,6 +1573,7 @@ class AnalysisEngine:
                 integration=integration,
                 gmin=gmin,
             )
+            bypassed = False
             try:
                 if pattern is not None:
                     data, rhs = compiled.assemble_sparse(
@@ -1417,7 +1584,12 @@ class AnalysisEngine:
                         source_values=source_values,
                         cap_g=cap_g,
                     )
-                    new_solution = solver.solve_pattern(data, rhs)
+                    if reuse_state is None:
+                        new_solution = solver.solve_pattern(data, rhs)
+                    else:
+                        new_solution, bypassed = self._reuse_solve(
+                            solver, reuse_state, solution, data, rhs, pattern
+                        )
                 else:
                     matrix, rhs = compiled.assemble(
                         state,
@@ -1427,8 +1599,15 @@ class AnalysisEngine:
                         source_values=source_values,
                         cap_g=cap_g,
                     )
-                    new_solution = solver.solve(matrix, rhs)
+                    if reuse_state is None:
+                        new_solution = solver.solve(matrix, rhs)
+                    else:
+                        new_solution, bypassed = self._reuse_solve(
+                            solver, reuse_state, solution, matrix, rhs, None
+                        )
             except np.linalg.LinAlgError:
+                if reuse_state is not None:
+                    reuse_state.invalidate()
                 gmin = max(gmin * 10.0, 1e-12)
                 gmin_bumped = True
                 continue
@@ -1439,11 +1618,60 @@ class AnalysisEngine:
             # hanging off a cut-off transistor) must not stall the rest.
             update = np.clip(update, -damping_v, damping_v)
             solution = solution + update
+            if reuse_state is not None:
+                reuse_state.observe(bypassed, max_update, tolerance_v)
 
             if max_update < tolerance_v:
                 converged = True
                 break
         return solution, iteration, converged, max_update
+
+    def _reuse_solve(
+        self,
+        solver: LinearSolver,
+        state: _NewtonReuseState,
+        solution: np.ndarray,
+        system: np.ndarray,
+        rhs: np.ndarray,
+        pattern,
+    ) -> Tuple[np.ndarray, bool]:
+        """One Newton linear solve through the march's frozen factorization.
+
+        Returns ``(new_solution, bypassed)``.  Three regimes:
+
+        * the assembled system is bitwise identical to the frozen one —
+          solving through the kept LU *is* this round's full Newton step
+          (bit-identical by construction; linear circuits and unchanged
+          transient Jacobians live here);
+        * the system changed but the frozen LU still contracts — the
+          modified-Newton bypass steps against the *current* residual
+          ``A(x) x - b(x)`` through the old factorization (same fixed
+          point, no refactorization);
+        * no usable factorization (first round, contraction stall,
+          singular drop) — refactor at the current iterate and freeze the
+          fresh handle.
+        """
+        handle = state.handle
+        if handle is not None:
+            fingerprint = FactorizationCache.fingerprint(system)
+            if fingerprint == handle.fingerprint:
+                return handle.solve(rhs), False
+            if not state.stale and state.engaged():
+                if pattern is not None:
+                    ax = np.bincount(
+                        pattern.rows,
+                        weights=system * solution[pattern.cols],
+                        minlength=pattern.size,
+                    )
+                else:
+                    ax = system @ solution
+                return solution - handle.solve(ax - rhs), True
+        if pattern is not None:
+            handle = solver.factorize_pattern(system)
+        else:
+            handle = solver.factorize(system)
+        state.freeze(handle)
+        return handle.solve(rhs), False
 
     # ------------------------------------------------------------------ #
     # DC operating point
@@ -1459,6 +1687,7 @@ class AnalysisEngine:
         time_s: float = 0.0,
         refresh: bool = True,
         solver: Union[None, str, LinearSolver] = None,
+        newton: Optional[str] = None,
     ):
         """Solve the DC operating point; returns an ``OperatingPoint``.
 
@@ -1474,6 +1703,14 @@ class AnalysisEngine:
         ``solver`` selects the linear-solver backend for this solve (name or
         :class:`~repro.spice.solvers.LinearSolver` instance; the engine's
         default backend when omitted).
+
+        ``newton`` selects the Newton flavour: ``None``/``"full"`` (the
+        bit-compatible default — refactorize every round) or ``"reuse"``
+        (modified Newton: keep the last factorization while its contraction
+        holds, refactor on stall; bit-identical for linear circuits, within
+        tolerance otherwise).  The convergence fallbacks always run full
+        Newton — a circuit that already failed to converge gets the most
+        robust iteration, not the cheapest.
 
         The returned point carries a
         :class:`~repro.spice.dcop.ConvergenceInfo` naming the strategy that
@@ -1494,15 +1731,18 @@ class AnalysisEngine:
                 f"initial guess has shape {solution.shape}, expected ({circuit.system_size},)"
             )
 
+        resolved = self._resolve_solver(solver)
+        reuse_state = _NewtonReuseState() if _wants_newton_reuse(newton) else None
+        counts_before = self._solver_counts((resolved, self.solver))
         controls = dict(
             max_iterations=max_iterations,
             tolerance_v=tolerance_v,
             damping_v=damping_v,
             time_s=time_s,
-            solver=self._resolve_solver(solver),
+            solver=resolved,
         )
         solution, iterations, converged, max_update = self._newton(
-            solution, gmin=gmin, **controls
+            solution, gmin=gmin, reuse_state=reuse_state, **controls
         )
         total_iterations = iterations
         strategy = "newton"
@@ -1540,6 +1780,9 @@ class AnalysisEngine:
         if not converged:
             strategy = "failed"
 
+        factorizations, reuses = self._counts_delta(
+            self._solver_counts((resolved, self.solver)), counts_before
+        )
         return OperatingPoint(
             circuit=circuit,
             solution=solution,
@@ -1550,6 +1793,8 @@ class AnalysisEngine:
                 strategy=strategy,
                 iterations=total_iterations,
                 final_max_update_v=max_update,
+                factorizations=factorizations,
+                factorization_reuses=reuses,
             ),
         )
 
@@ -1575,6 +1820,7 @@ class AnalysisEngine:
         cap_g_rows: Optional[np.ndarray] = None,
         source_scale: float = 1.0,
         solver: LinearSolver,
+        reuse_states: Optional[List[_NewtonReuseState]] = None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Newton iteration over stacked systems; one linear solve per round.
 
@@ -1596,6 +1842,14 @@ class AnalysisEngine:
         waveform values evaluated once for the whole step.  ``source_scale``
         scales every independent source (the batched source-stepping
         ladder).
+
+        ``reuse_states`` (one :class:`_NewtonReuseState` per stack row)
+        switches the sparse-batched path to per-trial modified Newton: each
+        trial keeps its frozen LU across rounds — and across the calls of a
+        lockstep march sharing the states — refactorizing only on a
+        contraction stall (see :meth:`_reuse_round_batched`).  Backends
+        without per-trial reuse handles (dense) ignore it and run the
+        bit-compatible default rounds.
         """
         compiled = self.compiled
         trials = solutions.shape[0]
@@ -1617,55 +1871,92 @@ class AnalysisEngine:
             if pattern is not None
             else compiled.assemble_batched
         )
+        # The hot path owns the assembled arrays for exactly one round, so
+        # the sparse assembly may recycle its scratch buffers.
+        assemble_kwargs = {"reuse_workspace": True} if pattern is not None else {}
+        use_reuse = (
+            reuse_states is not None
+            and pattern is not None
+            and hasattr(solver, "factorize_pattern_batched")
+        )
         for iteration in range(1, max_iterations + 1):
             index = np.flatnonzero(active)
-            subset = {name: stack[index] for name, stack in params.items()}
-            matrices, rhs = assemble(
-                solutions[index],
-                subset,
-                gmin=gmin,
-                time_s=time_s,
-                timestep_s=timestep_s,
-                integration=integration,
-                previous_solutions=(
-                    None if previous_solutions is None else previous_solutions[index]
-                ),
-                cap_history=None if cap_history is None else cap_history[index],
-                source_values=source_values,
-                cap_g_rows=None if cap_g_rows is None else cap_g_rows[index],
-                source_scale=source_scale,
-            )
-            try:
-                if pattern is not None:
-                    new_solutions = solver.solve_pattern_batched(matrices, rhs)
-                else:
-                    new_solutions = solver.solve_batched(matrices, rhs)
-            except np.linalg.LinAlgError:
-                # A singular system anywhere raises for the whole stack.
-                # Isolate it: re-solve the round trial by trial (same
-                # LAPACK routine, bit-identical results), flag only the
-                # genuinely singular trials for the caller's serial rescue
-                # (a serial run bumps gmin mid-iteration there) and keep
-                # everyone else marching in lockstep.
-                new_solutions = np.empty_like(rhs)
-                bad = np.zeros(index.size, dtype=bool)
-                for row in range(index.size):
-                    try:
-                        if pattern is not None:
-                            new_solutions[row] = solver.solve_pattern(
-                                matrices[row], rhs[row]
-                            )
-                        else:
-                            new_solutions[row] = solver.solve(matrices[row], rhs[row])
-                    except np.linalg.LinAlgError:
-                        bad[row] = True
-                if bad.any():
-                    poisoned[index[bad]] = True
-                    active[index[bad]] = False
-                    index = index[~bad]
-                    new_solutions = new_solutions[~bad]
-                    if index.size == 0:
-                        break
+            bypassed: Optional[np.ndarray] = None
+            if use_reuse:
+                # Reuse mode assembles the full stack (no index
+                # compression): stack row == trial identity must stay
+                # stable so every trial keeps its own frozen LU across
+                # rounds, and frozen/converged trials simply drop out of
+                # the factorization mask instead of being re-packed.
+                matrices, rhs = assemble(
+                    solutions,
+                    params,
+                    gmin=gmin,
+                    time_s=time_s,
+                    timestep_s=timestep_s,
+                    integration=integration,
+                    previous_solutions=previous_solutions,
+                    cap_history=cap_history,
+                    source_values=source_values,
+                    cap_g_rows=cap_g_rows,
+                    source_scale=source_scale,
+                    **assemble_kwargs,
+                )
+                new_solutions, index, bypassed = self._reuse_round_batched(
+                    solver, reuse_states, solutions, matrices, rhs, index,
+                    pattern, active, poisoned,
+                )
+                if index.size == 0:
+                    break
+            else:
+                subset = {name: stack[index] for name, stack in params.items()}
+                matrices, rhs = assemble(
+                    solutions[index],
+                    subset,
+                    gmin=gmin,
+                    time_s=time_s,
+                    timestep_s=timestep_s,
+                    integration=integration,
+                    previous_solutions=(
+                        None if previous_solutions is None else previous_solutions[index]
+                    ),
+                    cap_history=None if cap_history is None else cap_history[index],
+                    source_values=source_values,
+                    cap_g_rows=None if cap_g_rows is None else cap_g_rows[index],
+                    source_scale=source_scale,
+                    **assemble_kwargs,
+                )
+                try:
+                    if pattern is not None:
+                        new_solutions = solver.solve_pattern_batched(matrices, rhs)
+                    else:
+                        new_solutions = solver.solve_batched(matrices, rhs)
+                except np.linalg.LinAlgError:
+                    # A singular system anywhere raises for the whole stack.
+                    # Isolate it: re-solve the round trial by trial (same
+                    # LAPACK routine, bit-identical results), flag only the
+                    # genuinely singular trials for the caller's serial rescue
+                    # (a serial run bumps gmin mid-iteration there) and keep
+                    # everyone else marching in lockstep.
+                    new_solutions = np.empty_like(rhs)
+                    bad = np.zeros(index.size, dtype=bool)
+                    for row in range(index.size):
+                        try:
+                            if pattern is not None:
+                                new_solutions[row] = solver.solve_pattern(
+                                    matrices[row], rhs[row]
+                                )
+                            else:
+                                new_solutions[row] = solver.solve(matrices[row], rhs[row])
+                        except np.linalg.LinAlgError:
+                            bad[row] = True
+                    if bad.any():
+                        poisoned[index[bad]] = True
+                        active[index[bad]] = False
+                        index = index[~bad]
+                        new_solutions = new_solutions[~bad]
+                        if index.size == 0:
+                            break
             update = new_solutions - solutions[index]
             updates_max = (
                 np.max(np.abs(update), axis=1) if update.size else np.zeros(len(index))
@@ -1674,6 +1965,11 @@ class AnalysisEngine:
             solutions[index] = solutions[index] + update
             iterations[index] = iteration
             max_updates[index] = updates_max
+            if use_reuse:
+                for row, trial in enumerate(index):
+                    reuse_states[trial].observe(
+                        bool(bypassed[row]), float(updates_max[row]), tolerance_v
+                    )
             done = updates_max < tolerance_v
             if done.any():
                 converged[index[done]] = True
@@ -1681,6 +1977,88 @@ class AnalysisEngine:
             if not active.any():
                 break
         return solutions, iterations, converged, max_updates, poisoned
+
+    def _reuse_round_batched(
+        self,
+        solver: LinearSolver,
+        reuse_states: List[_NewtonReuseState],
+        solutions: np.ndarray,
+        matrices: np.ndarray,
+        rhs: np.ndarray,
+        index: np.ndarray,
+        pattern,
+        active: np.ndarray,
+        poisoned: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One batched modified-Newton round against per-trial frozen LUs.
+
+        For every active trial: a bitwise-unchanged Jacobian solves through
+        its frozen LU directly, a changed-but-contracting one takes the
+        modified-Newton bypass step, and first-round/stalled trials
+        refactorize together through
+        :meth:`~repro.spice.solvers.BatchedSparseSolver.factorize_pattern_batched`
+        (the threaded fan-out) with a mask over exactly the trials that
+        need fresh LUs.  Returns ``(new_solutions, index, bypassed)``
+        aligned row for row; trials whose fresh factorization is singular
+        are poisoned and dropped, mirroring the default path's isolation.
+        """
+        new_solutions = np.empty((index.size, solutions.shape[1]))
+        bypassed = np.zeros(index.size, dtype=bool)
+        refreeze: List[int] = []
+        for row, trial in enumerate(index):
+            state = reuse_states[trial]
+            handle = state.handle
+            if handle is None:
+                refreeze.append(row)
+                continue
+            fingerprint = FactorizationCache.fingerprint(matrices[trial])
+            if fingerprint == handle.fingerprint:
+                new_solutions[row] = handle.solve(rhs[trial])
+            elif state.stale or not state.engaged():
+                refreeze.append(row)
+            else:
+                residual = (
+                    np.bincount(
+                        pattern.rows,
+                        weights=matrices[trial] * solutions[trial][pattern.cols],
+                        minlength=pattern.size,
+                    )
+                    - rhs[trial]
+                )
+                new_solutions[row] = solutions[trial] - handle.solve(residual)
+                bypassed[row] = True
+        if refreeze:
+            mask = np.zeros(matrices.shape[0], dtype=bool)
+            mask[index[refreeze]] = True
+            bad_rows: List[int] = []
+            try:
+                handles = solver.factorize_pattern_batched(matrices, active=mask)
+            except np.linalg.LinAlgError:
+                # A singular trial raises for the whole fan-out; isolate it
+                # trial by trial and flag only the genuinely singular ones.
+                handles = [None] * matrices.shape[0]
+                for row in refreeze:
+                    trial = index[row]
+                    try:
+                        handles[trial] = solver.factorize_pattern(matrices[trial])
+                    except np.linalg.LinAlgError:
+                        bad_rows.append(row)
+            for row in refreeze:
+                trial = index[row]
+                handle = handles[trial]
+                if handle is None:
+                    continue
+                reuse_states[trial].freeze(handle)
+                new_solutions[row] = handle.solve(rhs[trial])
+            if bad_rows:
+                bad = np.zeros(index.size, dtype=bool)
+                bad[bad_rows] = True
+                poisoned[index[bad]] = True
+                active[index[bad]] = False
+                index = index[~bad]
+                new_solutions = new_solutions[~bad]
+                bypassed = bypassed[~bad]
+        return new_solutions, index, bypassed
 
     def _parameter_stacks(
         self,
@@ -1731,6 +2109,8 @@ class AnalysisEngine:
         time_s: float = 0.0,
         refresh: bool = True,
         solver: Union[None, str, LinearSolver] = "batched",
+        newton: Optional[str] = None,
+        threads: Union[None, int, str] = None,
     ):
         """Solve many same-pattern DC operating points in stacked batches.
 
@@ -1747,6 +2127,14 @@ class AnalysisEngine:
         converge fall back to the serial :meth:`solve_dc` — with its full
         gmin-stepping and source-stepping ladders — one by one, so the
         result quality matches the per-trial path exactly.
+
+        ``newton="reuse"`` runs per-trial modified Newton on the
+        sparse-batched path (each trial keeps its LU until its contraction
+        stalls); ``threads`` fans the per-trial sparse factorizations
+        across a thread pool (see
+        :class:`~repro.spice.solvers.BatchedSparseSolver`) and requires a
+        sparse-batched-capable ``solver`` spec (``"sparse-batched"`` or
+        ``"auto"``).
 
         Returns a :class:`~repro.spice.dcop.BatchedOperatingPoints`.
         """
@@ -1779,7 +2167,9 @@ class AnalysisEngine:
                 )
         original_guesses = solutions.copy()
 
-        resolved = self._resolve_solver(solver)
+        resolved = self._resolve_solver(solver, threads)
+        want_reuse = _wants_newton_reuse(newton)
+        counts_before = self._solver_counts((resolved, self.solver))
         solutions, iterations, converged, residuals, poisoned = self._newton_batched(
             solutions,
             stacks,
@@ -1789,6 +2179,9 @@ class AnalysisEngine:
             damping_v=damping_v,
             time_s=time_s,
             solver=resolved,
+            reuse_states=(
+                [_NewtonReuseState() for _ in range(count)] if want_reuse else None
+            ),
         )
         strategies = ["batched-newton" if ok else "failed" for ok in converged]
         # Trials caught in a singular batched solve no longer track the
@@ -1916,6 +2309,9 @@ class AnalysisEngine:
                 else:
                     compiled.clear_parameter_overlay()
 
+        factorizations, reuses = self._counts_delta(
+            self._solver_counts((resolved, self.solver)), counts_before
+        )
         return BatchedOperatingPoints(
             circuit=circuit,
             solutions=solutions,
@@ -1923,6 +2319,8 @@ class AnalysisEngine:
             converged=converged,
             max_residuals=residuals,
             strategies=tuple(strategies),
+            factorizations=factorizations,
+            factorization_reuses=reuses,
         )
 
     # ------------------------------------------------------------------ #
@@ -1938,6 +2336,7 @@ class AnalysisEngine:
         warm_start: bool = True,
         initial_guess: Optional[np.ndarray] = None,
         solver: Union[None, str, LinearSolver] = None,
+        newton: Optional[str] = None,
     ):
         """Sweep an independent source; returns a ``DCSweepResult``.
 
@@ -1967,6 +2366,7 @@ class AnalysisEngine:
                     max_iterations=max_iterations,
                     refresh=False,
                     solver=solver,
+                    newton=newton,
                 )
                 points.append(point)
                 guess = point.solution.copy() if warm_start else initial_guess
@@ -1983,6 +2383,7 @@ class AnalysisEngine:
         gmin: float = 1e-12,
         max_iterations: int = 200,
         solver: Union[None, str, LinearSolver] = None,
+        newton: Optional[str] = None,
     ) -> Dict[Hashable, object]:
         """Run a family of DC sweeps through one compiled circuit.
 
@@ -2009,6 +2410,7 @@ class AnalysisEngine:
                 max_iterations=max_iterations,
                 initial_guess=seed,
                 solver=solver,
+                newton=newton,
             )
             results[label] = sweep
             seed = sweep.points[0].solution.copy()
@@ -2039,6 +2441,7 @@ class AnalysisEngine:
         min_timestep_s: Optional[float] = None,
         max_timestep_s: Optional[float] = None,
         solver: Union[None, str, LinearSolver] = None,
+        newton: Optional[str] = None,
     ):
         """Transient analysis; returns a ``TransientResult``.
 
@@ -2058,9 +2461,17 @@ class AnalysisEngine:
         controller never steps across a source-waveform breakpoint, so
         stimulus edges cannot be skipped however large the step grows.
 
+        ``newton="reuse"`` keeps one modified-Newton factorization state
+        across the whole march — the frozen LU carries over between steps,
+        refactorizing only when its contraction stalls, which is where a
+        transient run saves most of its factorizations (the warm-start DC
+        solve shares the mode).  The default refactorizes every round,
+        bit-compatible with earlier releases.
+
         Either way the result carries a
         :class:`~repro.spice.transient.TransientConvergenceInfo` with the
-        Newton totals and the controller's step-acceptance statistics.
+        Newton totals, the controller's step-acceptance statistics and the
+        march's factorization/reuse counts.
         """
         if stop_time_s <= 0.0 or timestep_s <= 0.0:
             raise ValueError("stop time and timestep must be positive")
@@ -2082,23 +2493,30 @@ class AnalysisEngine:
             if callable(getattr(element, "reset", None)):
                 element.reset()
 
+        resolved = self._resolve_solver(solver)
+        reuse_state = _NewtonReuseState() if _wants_newton_reuse(newton) else None
+        counts_before = self._solver_counts((resolved, self.solver))
         if use_initial_conditions:
             initial_solution = self.circuit.initial_solution()
         else:
+            # The cold warm start always runs full Newton: far from the
+            # operating point the Jacobian changes too fast for a frozen
+            # factorization to contract, so reuse mode would only thrash
+            # (refactor, stall, refactor) before the march even begins.
             initial_solution = self.solve_dc(
-                gmin=gmin, time_s=0.0, refresh=False, solver=solver
+                gmin=gmin, time_s=0.0, refresh=False, solver=resolved
             ).solution.copy()
 
-        resolved = self._resolve_solver(solver)
         controls = dict(
             max_newton_iterations=max_newton_iterations,
             tolerance_v=tolerance_v,
             gmin=gmin,
             integration=integration,
             solver=resolved,
+            reuse_state=reuse_state,
         )
         if adaptive:
-            return self._transient_adaptive(
+            result = self._transient_adaptive(
                 initial_solution,
                 stop_time_s,
                 timestep_s,
@@ -2108,13 +2526,23 @@ class AnalysisEngine:
                 history_elements=history_elements,
                 **controls,
             )
-        return self._transient_fixed(
-            initial_solution,
-            stop_time_s,
-            timestep_s,
-            history_elements=history_elements,
-            **controls,
+        else:
+            result = self._transient_fixed(
+                initial_solution,
+                stop_time_s,
+                timestep_s,
+                history_elements=history_elements,
+                **controls,
+            )
+        factorizations, reuses = self._counts_delta(
+            self._solver_counts((resolved, self.solver)), counts_before
         )
+        result.convergence_info = dataclasses.replace(
+            result.convergence_info,
+            factorizations=factorizations,
+            factorization_reuses=reuses,
+        )
+        return result
 
     def _transient_fixed(
         self,
@@ -2128,6 +2556,7 @@ class AnalysisEngine:
         integration: str,
         solver: LinearSolver,
         history_elements: Sequence[object],
+        reuse_state: Optional[_NewtonReuseState] = None,
     ):
         """The historical fixed-step march (bit-compatible parity mode)."""
         from repro.spice.transient import TransientConvergenceInfo, TransientResult
@@ -2166,6 +2595,7 @@ class AnalysisEngine:
                 integration=integration,
                 cap_history=cap_history if integration == "trap" else None,
                 solver=solver,
+                reuse_state=reuse_state,
             )
             newton_total += used
             worst_residual = max(worst_residual, residual)
@@ -2232,6 +2662,7 @@ class AnalysisEngine:
         integration: str,
         solver: LinearSolver,
         history_elements: Sequence[object],
+        reuse_state: Optional[_NewtonReuseState] = None,
     ):
         """LTE-controlled adaptive march (accept/reject with step clamps).
 
@@ -2303,6 +2734,7 @@ class AnalysisEngine:
                 integration=integration,
                 cap_history=cap_history if integration == "trap" else None,
                 solver=solver,
+                reuse_state=reuse_state,
             )
             newton_total += used
             can_shrink = dt > min_step * (1.0 + 1e-12)
@@ -2409,6 +2841,8 @@ class AnalysisEngine:
         use_initial_conditions: bool = False,
         refresh: bool = True,
         solver: Union[None, str, LinearSolver] = "batched",
+        newton: Optional[str] = None,
+        threads: Union[None, int, str] = None,
     ):
         """Fixed-step transient analysis of many stacked trials in lockstep.
 
@@ -2463,7 +2897,12 @@ class AnalysisEngine:
             compiled.refresh_values()
         stacks, count = self._parameter_stacks(params, trials)
         size = circuit.system_size
-        resolved = self._resolve_solver(solver)
+        resolved = self._resolve_solver(solver, threads)
+        want_reuse = _wants_newton_reuse(newton)
+        reuse_states = (
+            [_NewtonReuseState() for _ in range(count)] if want_reuse else None
+        )
+        counts_before = self._solver_counts((resolved, self.solver))
 
         # Per-trial DC warm start at t = 0, exactly like the serial path
         # (solve_dc defaults; unconverged trials already fell back to the
@@ -2471,6 +2910,9 @@ class AnalysisEngine:
         if use_initial_conditions:
             solutions = np.tile(circuit.initial_solution(), (count, 1))
         else:
+            # Cold warm start at full Newton, exactly like solve_transient:
+            # reuse mode only pays off once the march tracks a slowly
+            # drifting Jacobian.
             solutions = self.solve_dc_batched(
                 stacks, trials=count, gmin=gmin, time_s=0.0, refresh=False,
                 solver=resolved,
@@ -2546,6 +2988,11 @@ class AnalysisEngine:
                 source_values=(raw_v, raw_i),
                 cap_g_rows=None if cap_g is None else cap_g[live],
                 solver=resolved,
+                reuse_states=(
+                    [reuse_states[t] for t in live]
+                    if reuse_states is not None
+                    else None
+                ),
             )
             newton_totals[live] += iters
             ok = live[conv]
@@ -2586,6 +3033,9 @@ class AnalysisEngine:
                     )
                     if overlay:
                         compiled.set_parameter_overlay(overlay)
+                    # Rescues always run full Newton: a trial that already
+                    # failed to converge gets the most robust iteration,
+                    # not the cheapest.
                     rescued = self.solve_transient(
                         stop_time_s,
                         timestep_s,
@@ -2608,6 +3058,9 @@ class AnalysisEngine:
                 else:
                     compiled.clear_parameter_overlay()
 
+        factorizations, reuses = self._counts_delta(
+            self._solver_counts((resolved, self.solver)), counts_before
+        )
         return BatchedTransientResult(
             circuit=circuit,
             time_s=times,
@@ -2616,6 +3069,8 @@ class AnalysisEngine:
             newton_iterations=newton_totals,
             max_residuals=worst_residuals,
             strategies=tuple(strategies),
+            factorizations=factorizations,
+            factorization_reuses=reuses,
         )
 
     def _waveform_breakpoints(self, stop_time_s: float) -> np.ndarray:
@@ -2683,6 +3138,7 @@ def sweep_many(
     gmin: float = 1e-12,
     max_iterations: int = 200,
     solver: Union[None, str, LinearSolver] = None,
+    newton: Optional[str] = None,
 ) -> Dict[Hashable, object]:
     """Run a family of DC sweeps through one compiled circuit.
 
@@ -2695,4 +3151,5 @@ def sweep_many(
         gmin=gmin,
         max_iterations=max_iterations,
         solver=solver,
+        newton=newton,
     )

@@ -462,6 +462,8 @@ class MonteCarloEngine:
         gmin: float = 1e-9,
         damping_v: float = 0.6,
         time_s: float = 0.0,
+        newton: Optional[str] = None,
+        threads: Any = None,
     ):
         """Solve all trials' DC operating points through the batched backend.
 
@@ -494,6 +496,8 @@ class MonteCarloEngine:
             time_s=time_s,
             refresh=False,
             solver=solver,
+            newton=newton,
+            threads=threads,
         )
 
     def run_batched_transient(
@@ -507,6 +511,8 @@ class MonteCarloEngine:
         gmin: float = 1e-9,
         use_initial_conditions: bool = False,
         solver: Any = "batched",
+        newton: Optional[str] = None,
+        threads: Any = None,
     ):
         """March all trials' transients in lockstep on one fixed-step grid.
 
@@ -545,6 +551,8 @@ class MonteCarloEngine:
             use_initial_conditions=use_initial_conditions,
             refresh=False,
             solver=solver,
+            newton=newton,
+            threads=threads,
         )
 
     def run_per_trial_transient(
@@ -558,6 +566,7 @@ class MonteCarloEngine:
         gmin: float = 1e-9,
         use_initial_conditions: bool = False,
         solver: Any = None,
+        newton: Optional[str] = None,
     ):
         """March each trial's transient serially, one overlay swap per trial.
 
@@ -581,6 +590,8 @@ class MonteCarloEngine:
         iterations = np.zeros(trials, dtype=int)
         residuals = np.zeros(trials, dtype=float)
         strategies = []
+        factorizations = 0
+        reuses = 0
         time_s = None
         try:
             for trial in range(trials):
@@ -596,6 +607,7 @@ class MonteCarloEngine:
                     gmin=gmin,
                     use_initial_conditions=use_initial_conditions,
                     solver=solver,
+                    newton=newton,
                 )
                 info = result.convergence_info
                 time_s = result.time_s.copy()
@@ -604,6 +616,8 @@ class MonteCarloEngine:
                 iterations[trial] = info.newton_iterations
                 residuals[trial] = info.max_newton_residual_v
                 strategies.append(info.strategy)
+                factorizations += info.factorizations
+                reuses += info.factorization_reuses
         finally:
             if saved_overlay is not None:
                 compiled.set_parameter_overlay(saved_overlay)
@@ -617,6 +631,8 @@ class MonteCarloEngine:
             newton_iterations=iterations,
             max_residuals=residuals,
             strategies=tuple(strategies),
+            factorizations=factorizations,
+            factorization_reuses=reuses,
         )
 
     def run(

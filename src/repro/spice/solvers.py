@@ -44,15 +44,35 @@ or hand a configured instance to ``get_solver`` / the engine directly.
 Backends signal a numerically singular system uniformly by raising
 ``np.linalg.LinAlgError``, so the engine's gmin-bump retry works the same
 whichever backend is active.
+
+Two cross-cutting layers ride on the seam:
+
+* a :class:`FactorizationCache` (on by default in the sparse backends)
+  that fingerprints every pattern assembly and reuses the existing LU when
+  the CSC data is bitwise unchanged — constant-Jacobian transient steps,
+  the shared-base fast path and frozen-trial re-solves stop paying
+  ``splu``, with results bit-identical by construction;
+* an optional ``threads=`` knob on the sparse-batched backend that fans
+  the per-trial factorizations of a stacked solve across a
+  ``ThreadPoolExecutor`` (SuperLU releases the GIL), with identical
+  numbers whatever the thread count.
+
+Every backend keeps monotonic ``solver_stats()`` counters
+(``factorizations`` / ``factorization_reuses``) that the engine surfaces
+in its convergence records.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import threading
 import warnings
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from functools import lru_cache
-from typing import Dict, Optional, Tuple, Type, Union
+from typing import Dict, List, Optional, Tuple, Type, Union
 
 import numpy as np
 
@@ -63,8 +83,12 @@ __all__ = [
     "BatchedDenseSolver",
     "BatchedSparseSolver",
     "AutoSolver",
+    "FactorizationCache",
+    "Factorization",
     "DEFAULT_DENSE_SPARSE_CROSSOVER",
+    "DEFAULT_FACTOR_CACHE_CAPACITY",
     "get_solver",
+    "resolve_threads",
     "available_backends",
     "scipy_available",
     "recorded_crossovers",
@@ -75,6 +99,31 @@ __all__ = [
 #: identity-lattice scalability benches (``benchmarks/bench_solvers.py``),
 #: where sparse SuperLU first beats the dense LAPACK solve near n ≈ 300.
 DEFAULT_DENSE_SPARSE_CROSSOVER = 300
+
+#: LRU capacity of the per-solver :class:`FactorizationCache`.  A handful
+#: of live LU objects covers the reuse patterns the engine actually
+#: produces (a constant Jacobian across transient steps, the shared-base
+#: fast path, an interleaved gmin rung) while bounding the memory held for
+#: large-fill factorizations.
+DEFAULT_FACTOR_CACHE_CAPACITY = 8
+
+
+def resolve_threads(threads: Union[None, int, str]) -> int:
+    """Normalize a ``threads=`` knob to a worker count (0 = serial loop).
+
+    ``None`` keeps the historical serial loop, ``"auto"`` takes
+    ``os.cpu_count()`` (degrading to the serial loop on a 1-CPU host), and
+    an explicit int is used as-is (values below 2 mean serial).
+    """
+    if threads is None:
+        return 0
+    if threads == "auto":
+        count = os.cpu_count() or 1
+        return count if count > 1 else 0
+    count = int(threads)
+    if count < 1:
+        raise ValueError(f"threads must be >= 1 or 'auto', got {threads!r}")
+    return count if count > 1 else 0
 
 
 def _import_scipy_sparse():
@@ -102,6 +151,117 @@ def scipy_available() -> bool:
     except ImportError:
         return False
     return True
+
+
+class FactorizationCache:
+    """Keyed LRU of numeric factorizations over one CSC structure.
+
+    Keys are ``(structure token, data fingerprint)`` where the fingerprint
+    is a BLAKE2b digest of the raw CSC data bytes: two assemblies hit the
+    same entry exactly when they are *bitwise* identical, and since the LU
+    is a pure function of the matrix, a cache hit returns results
+    bit-identical to refactorizing.  This is what lets the cache stay on by
+    default — constant-Jacobian transient steps, the shared-base fast path
+    and frozen-trial re-solves all reuse their LU with zero numerical
+    drift.
+
+    Thread-safe: the threaded batched backend factorizes trials
+    concurrently and publishes through :meth:`put` under a lock (a racing
+    duplicate factorization is benign — the LUs are identical and one
+    wins).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_FACTOR_CACHE_CAPACITY):
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[Tuple[int, bytes], object]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def fingerprint(data: np.ndarray) -> bytes:
+        """128-bit BLAKE2b digest of an array's raw bytes."""
+        return hashlib.blake2b(
+            np.ascontiguousarray(data).tobytes(), digest_size=16
+        ).digest()
+
+    def get(self, structure: int, fingerprint: bytes):
+        """The cached factorization for a key, or ``None`` (marks it MRU)."""
+        key = (structure, fingerprint)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def put(self, structure: int, fingerprint: bytes, factorization) -> None:
+        """Insert a factorization, evicting the LRU entry beyond capacity."""
+        key = (structure, fingerprint)
+        with self._lock:
+            self._entries[key] = factorization
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # A threading.Lock cannot be pickled; a cache travels empty.
+    def __getstate__(self):
+        return {"capacity": self.capacity}
+
+    def __setstate__(self, state):
+        self.__init__(state.get("capacity", DEFAULT_FACTOR_CACHE_CAPACITY))
+
+
+class Factorization:
+    """A held LU handle the engine keeps across Newton rounds and steps.
+
+    Returned by :meth:`LinearSolver.factorize` /
+    :meth:`SparseSolver.factorize_pattern`; the modified-Newton reuse state
+    stores these so a frozen Jacobian keeps solving without refactorizing.
+    Counting convention: the solve that *paid* for a fresh factorization is
+    free; every later solve through the handle is a reuse on the owning
+    solver's :meth:`~LinearSolver.solver_stats`.
+    """
+
+    __slots__ = ("fingerprint", "_owner", "_solve", "_free_solves")
+
+    def __init__(self, owner: "LinearSolver", solve, fingerprint: bytes, fresh: bool):
+        self.fingerprint = fingerprint
+        self._owner = owner
+        self._solve = solve
+        self._free_solves = 1 if fresh else 0
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        if self._free_solves:
+            self._free_solves -= 1
+        else:
+            self._owner._count_reuses(1)
+        return self._solve(rhs)
+
+
+class _MatrixRefactorization:
+    """Reuse handle of backends without a persistent LU (dense LAPACK).
+
+    Holds a copy of the frozen matrix and re-runs the owner's dense solve
+    against it — each solve honestly counts as a factorization (LAPACK
+    refactorizes every call), so dense ``newton="reuse"`` keeps the
+    modified-Newton *iteration* semantics without claiming LU savings.
+    """
+
+    __slots__ = ("fingerprint", "_owner", "_matrix")
+
+    def __init__(self, owner: "LinearSolver", matrix: np.ndarray, fingerprint: bytes):
+        self.fingerprint = fingerprint
+        self._owner = owner
+        self._matrix = np.array(matrix, copy=True)
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        return self._owner.solve(self._matrix, rhs)
 
 
 class LinearSolver:
@@ -138,6 +298,31 @@ class LinearSolver:
     #: dense :meth:`solve`/:meth:`solve_batched`.
     wants_pattern_assembly = False
 
+    # Monotonic work counters (class defaults; += lazily creates the
+    # instance attributes, so no backend needs an __init__ for them).
+    _n_factorizations = 0
+    _n_reuses = 0
+
+    def _count_factorizations(self, count: int) -> None:
+        self._n_factorizations = self._n_factorizations + count
+
+    def _count_reuses(self, count: int) -> None:
+        self._n_reuses = self._n_reuses + count
+
+    def solver_stats(self) -> Dict[str, int]:
+        """Monotonic work counters of this backend instance.
+
+        ``factorizations`` counts numeric matrix factorizations actually
+        performed; ``factorization_reuses`` counts linear solves served by
+        an already-computed factorization (cache hits and modified-Newton
+        bypass steps).  The engine snapshots these around each analysis to
+        surface per-run counts in the convergence records.
+        """
+        return {
+            "factorizations": self._n_factorizations,
+            "factorization_reuses": self._n_reuses,
+        }
+
     def select(self, compiled, trials: Optional[int] = None) -> "LinearSolver":
         """Resolve to the concrete backend for this run (default: self)."""
         return self
@@ -149,12 +334,36 @@ class LinearSolver:
         """Solve one ``(n, n)`` system; raises ``LinAlgError`` if singular."""
         raise NotImplementedError
 
-    def solve_batched(self, matrices: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    def factorize(self, matrix: np.ndarray) -> "_MatrixRefactorization":
+        """A reuse handle solving against this fixed (copied) matrix.
+
+        The base handle re-runs :meth:`solve` per call; backends with a
+        persistent LU (sparse) override this to return a real cached
+        factorization (:class:`Factorization`).
+        """
+        return _MatrixRefactorization(
+            self, matrix, FactorizationCache.fingerprint(matrix)
+        )
+
+    def solve_batched(
+        self,
+        matrices: np.ndarray,
+        rhs: np.ndarray,
+        active: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """Solve stacked ``(T, n, n)`` systems against ``(T, n)`` vectors.
 
-        The base implementation loops over :meth:`solve`; backends with a
-        genuinely batched kernel (dense LAPACK) override it.
+        ``active`` (an optional boolean trial mask) limits the work to the
+        flagged rows — frozen (converged) trials stop paying
+        factorizations; their output rows come back zero.  The base
+        implementation loops over :meth:`solve`; backends with a genuinely
+        batched kernel (dense LAPACK) override it.
         """
+        if active is not None:
+            out = np.zeros_like(rhs)
+            for row in np.flatnonzero(active):
+                out[row] = self.solve(matrices[row], rhs[row])
+            return out
         return np.stack([self.solve(m, r) for m, r in zip(matrices, rhs)])
 
     def solve_pattern(self, data: np.ndarray, rhs: np.ndarray) -> np.ndarray:
@@ -163,8 +372,22 @@ class LinearSolver:
             f"the {self.name!r} backend does not take pattern-assembled systems"
         )
 
-    def solve_pattern_batched(self, data: np.ndarray, rhs: np.ndarray) -> np.ndarray:
-        """Solve a ``(T, nnz)`` pattern-data stack against ``(T, n)`` vectors."""
+    def solve_pattern_batched(
+        self,
+        data: np.ndarray,
+        rhs: np.ndarray,
+        active: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Solve a ``(T, nnz)`` pattern-data stack against ``(T, n)`` vectors.
+
+        ``active`` limits the solves to the flagged trials exactly like
+        :meth:`solve_batched`.
+        """
+        if active is not None:
+            out = np.zeros_like(rhs)
+            for row in np.flatnonzero(active):
+                out[row] = self.solve_pattern(data[row], rhs[row])
+            return out
         return np.stack([self.solve_pattern(d, r) for d, r in zip(data, rhs)])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -181,6 +404,7 @@ class DenseSolver(LinearSolver):
     name = "dense"
 
     def solve(self, matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        self._count_factorizations(1)
         return np.linalg.solve(matrix, rhs)
 
 
@@ -196,7 +420,22 @@ class BatchedDenseSolver(DenseSolver):
 
     name = "batched"
 
-    def solve_batched(self, matrices: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    def solve_batched(
+        self,
+        matrices: np.ndarray,
+        rhs: np.ndarray,
+        active: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        if active is not None:
+            rows = np.flatnonzero(active)
+            out = np.zeros_like(rhs)
+            if rows.size:
+                self._count_factorizations(int(rows.size))
+                out[rows] = np.linalg.solve(
+                    matrices[rows], rhs[rows][..., np.newaxis]
+                )[..., 0]
+            return out
+        self._count_factorizations(int(matrices.shape[0]))
         return np.linalg.solve(matrices, rhs[..., np.newaxis])[..., 0]
 
 
@@ -219,7 +458,7 @@ class SparseSolver(LinearSolver):
     name = "sparse"
     wants_pattern_assembly = True
 
-    def __init__(self):
+    def __init__(self, cache_capacity: int = DEFAULT_FACTOR_CACHE_CAPACITY):
         # Fail at construction, not mid-Newton, when scipy is missing.
         _import_scipy_sparse()
         self._bound_key: Optional[Tuple[int, int]] = None
@@ -227,6 +466,10 @@ class SparseSolver(LinearSolver):
         # Probed CSC structure of the dense fallback path (custom-element
         # circuits): (rows, cols, indices, indptr, n).
         self._probed: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]] = None
+        #: LU cache over the bound pattern (cleared on every rebind).
+        self.factorization_cache = FactorizationCache(cache_capacity)
+        self._custom_types: Tuple[str, ...] = ()
+        self._warned_reprobe = False
 
     def bind(self, compiled) -> None:
         key = (id(compiled), compiled.revision)
@@ -235,6 +478,10 @@ class SparseSolver(LinearSolver):
         self._bound_key = key
         self._pattern = compiled.sparsity_pattern()  # None for custom elements
         self._probed = None
+        self.factorization_cache.clear()
+        self._custom_types = tuple(
+            sorted({type(e).__name__ for e in compiled.custom_elements})
+        )
 
     def _csc_from_dense(self, matrix: np.ndarray):
         """CSC form of a dense matrix without per-call structure analysis.
@@ -259,6 +506,28 @@ class SparseSolver(LinearSolver):
             data = matrix[rows, cols]
             if np.count_nonzero(data) == np.count_nonzero(matrix):
                 return sparse.csc_matrix((data, indices, indptr), shape=matrix.shape)
+            if not self._warned_reprobe:
+                # A value appeared outside the cached structure: some stamp
+                # wanders across matrix positions between iterations, so
+                # every mismatch re-pays a full structure probe.  Say so
+                # once, naming the elements that keep the circuit off the
+                # pattern fast path.
+                offenders = (
+                    ", ".join(self._custom_types)
+                    if self._custom_types
+                    else "unknown (no compiled circuit bound)"
+                )
+                warnings.warn(
+                    "sparse solve is re-probing the CSC structure because a "
+                    "matrix entry appeared outside the previously probed "
+                    "pattern; custom (stamp-path) elements keep this circuit "
+                    f"off the pattern fast path [offending element types: "
+                    f"{offenders}]. Each such mismatch pays a full structure "
+                    "analysis.",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                self._warned_reprobe = True
         system = sparse.csc_matrix(matrix)
         indices = system.indices.astype(np.int32, copy=True)
         indptr = system.indptr.astype(np.int32, copy=True)
@@ -269,28 +538,71 @@ class SparseSolver(LinearSolver):
     def _splu_solve(self, system, rhs: np.ndarray) -> np.ndarray:
         _, sparse_linalg = _import_scipy_sparse()
         try:
-            return sparse_linalg.splu(system).solve(rhs)
+            lu = sparse_linalg.splu(system)
         except RuntimeError as error:
             # SuperLU reports an exactly singular factor as RuntimeError;
             # normalize to the dense backend's exception so the engine's
             # gmin-bump retry is backend-agnostic.
             raise np.linalg.LinAlgError(str(error)) from error
+        self._count_factorizations(1)
+        return lu.solve(rhs)
 
     def solve(self, matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
         return self._splu_solve(self._csc_from_dense(matrix), rhs)
 
-    def solve_pattern(self, data: np.ndarray, rhs: np.ndarray) -> np.ndarray:
-        sparse, _ = _import_scipy_sparse()
+    def _require_pattern(self, caller: str):
         pattern = self._pattern
         if pattern is None:
             raise RuntimeError(
-                "solve_pattern needs a bound sparsity pattern; bind() the "
+                f"{caller} needs a bound sparsity pattern; bind() the "
                 "compiled circuit first"
             )
+        return pattern
+
+    def _factorize(self, data: np.ndarray, count: bool = True):
+        """The LU for one pattern assembly: ``(lu, fingerprint, cache_hit)``.
+
+        Consults the :class:`FactorizationCache` first — a bitwise-unchanged
+        data array reuses the existing LU, which is bit-identical to
+        refactorizing.  ``count=False`` defers the counter updates to the
+        caller (the threaded batched path tallies in the main thread).
+        """
+        pattern = self._require_pattern("solve_pattern")
+        fingerprint = FactorizationCache.fingerprint(data)
+        structure = id(pattern)
+        lu = self.factorization_cache.get(structure, fingerprint)
+        if lu is not None:
+            if count:
+                self._count_reuses(1)
+            return lu, fingerprint, True
+        sparse, sparse_linalg = _import_scipy_sparse()
         system = sparse.csc_matrix(
             (data, pattern.indices, pattern.indptr), shape=(pattern.size, pattern.size)
         )
-        return self._splu_solve(system, rhs)
+        try:
+            lu = sparse_linalg.splu(system)
+        except RuntimeError as error:
+            raise np.linalg.LinAlgError(str(error)) from error
+        if count:
+            self._count_factorizations(1)
+        self.factorization_cache.put(structure, fingerprint, lu)
+        return lu, fingerprint, False
+
+    def solve_pattern(self, data: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        lu, _, _ = self._factorize(data)
+        return lu.solve(rhs)
+
+    def factorize_pattern(self, data: np.ndarray) -> Factorization:
+        """A reuse handle over one pattern assembly (modified-Newton state).
+
+        The handle keeps a strong reference to its LU, so it stays valid
+        after the cache evicts the entry; its solves count as reuses on
+        this solver (see :class:`Factorization`).
+        """
+        lu, fingerprint, hit = self._factorize(data, count=False)
+        if not hit:
+            self._count_factorizations(1)
+        return Factorization(self, lu.solve, fingerprint, fresh=not hit)
 
 
 class BatchedSparseSolver(SparseSolver):
@@ -310,22 +622,89 @@ class BatchedSparseSolver(SparseSolver):
 
     name = "sparse-batched"
 
-    def solve_pattern_batched(self, data: np.ndarray, rhs: np.ndarray) -> np.ndarray:
-        sparse, _ = _import_scipy_sparse()
-        pattern = self._pattern
-        if pattern is None:
-            raise RuntimeError(
-                "solve_pattern_batched needs a bound sparsity pattern; bind() "
-                "the compiled circuit first"
-            )
-        shape = (pattern.size, pattern.size)
-        out = np.empty_like(rhs)
-        for trial in range(data.shape[0]):
-            system = sparse.csc_matrix(
-                (data[trial], pattern.indices, pattern.indptr), shape=shape
-            )
-            out[trial] = self._splu_solve(system, rhs[trial])
+    def __init__(
+        self,
+        threads: Union[None, int, str] = None,
+        cache_capacity: int = DEFAULT_FACTOR_CACHE_CAPACITY,
+    ):
+        super().__init__(cache_capacity=cache_capacity)
+        #: Worker-thread count for per-trial factorizations (0 = the
+        #: historical serial loop; see :func:`resolve_threads`).
+        self.threads = resolve_threads(threads)
+
+    def _map_trials(self, rows: np.ndarray, worker) -> List:
+        """Run ``worker(trial)`` over the rows, threaded when configured.
+
+        SuperLU releases the GIL during factorization and the triangular
+        solves, so a ThreadPoolExecutor fans the per-trial numeric work
+        across cores; each trial's result is bitwise independent of the
+        thread count (the trials share no mutable state beyond the
+        lock-protected cache).  A singular trial's ``LinAlgError``
+        propagates for the whole stack, exactly like the serial loop.
+        """
+        if self.threads > 1 and rows.size > 1:
+            with ThreadPoolExecutor(max_workers=self.threads) as pool:
+                return list(pool.map(worker, rows))
+        return [worker(trial) for trial in rows]
+
+    def solve_pattern_batched(
+        self,
+        data: np.ndarray,
+        rhs: np.ndarray,
+        active: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        self._require_pattern("solve_pattern_batched")
+        if active is not None:
+            rows = np.flatnonzero(np.asarray(active, dtype=bool))
+            out = np.zeros_like(rhs)
+        else:
+            rows = np.arange(data.shape[0])
+            out = np.empty_like(rhs)
+
+        def worker(trial):
+            lu, _, hit = self._factorize(data[trial], count=False)
+            return trial, lu.solve(rhs[trial]), hit
+
+        results = self._map_trials(rows, worker)
+        hits = 0
+        for trial, solution, hit in results:
+            out[trial] = solution
+            hits += hit
+        # Tally in the calling thread so the counters never race.
+        self._count_reuses(hits)
+        self._count_factorizations(len(results) - hits)
         return out
+
+    def factorize_pattern_batched(
+        self,
+        data: np.ndarray,
+        active: Optional[np.ndarray] = None,
+    ) -> List[Optional[Factorization]]:
+        """Per-trial reuse handles over a ``(T, nnz)`` stack (threaded).
+
+        Returns a list of length ``T`` with a :class:`Factorization` per
+        active trial (``None`` at inactive rows).  The engine's batched
+        modified-Newton state holds these across rounds and steps, so a
+        frozen trial keeps its LU without refactorizing.
+        """
+        self._require_pattern("factorize_pattern_batched")
+        if active is not None:
+            rows = np.flatnonzero(np.asarray(active, dtype=bool))
+        else:
+            rows = np.arange(data.shape[0])
+        handles: List[Optional[Factorization]] = [None] * data.shape[0]
+
+        def worker(trial):
+            lu, fingerprint, hit = self._factorize(data[trial], count=False)
+            return trial, lu, fingerprint, hit
+
+        results = self._map_trials(rows, worker)
+        fresh = 0
+        for trial, lu, fingerprint, hit in results:
+            handles[trial] = Factorization(self, lu.solve, fingerprint, fresh=not hit)
+            fresh += not hit
+        self._count_factorizations(fresh)
+        return handles
 
 
 @lru_cache(maxsize=8)
@@ -401,6 +780,7 @@ class AutoSolver(LinearSolver):
         self,
         crossover: Optional[int] = None,
         batched_crossover: Optional[int] = None,
+        threads: Union[None, int, str] = None,
     ):
         env = os.environ.get("REPRO_SOLVER_CROSSOVER")
         recorded = {}
@@ -434,13 +814,26 @@ class AutoSolver(LinearSolver):
         )
         self._instances: Dict[str, LinearSolver] = {}
         self._warned_no_scipy = False
+        #: Worker threads handed to the sparse-batched backend it selects.
+        self.threads = resolve_threads(threads)
 
     def _backend(self, name: str) -> LinearSolver:
         solver = self._instances.get(name)
         if solver is None:
-            solver = _BACKENDS[name]()
+            if name == BatchedSparseSolver.name and self.threads:
+                solver = BatchedSparseSolver(threads=self.threads)
+            else:
+                solver = _BACKENDS[name]()
             self._instances[name] = solver
         return solver
+
+    def solver_stats(self) -> Dict[str, int]:
+        """Counters summed over every concrete backend selected so far."""
+        stats = {"factorizations": 0, "factorization_reuses": 0}
+        for solver in self._instances.values():
+            for key, value in solver.solver_stats().items():
+                stats[key] += value
+        return stats
 
     def select(self, compiled, trials: Optional[int] = None) -> LinearSolver:
         batched = trials is not None
@@ -475,11 +868,18 @@ class AutoSolver(LinearSolver):
     def solve(self, matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
         return self._direct(matrix.shape[0]).solve(matrix, rhs)
 
-    def solve_batched(self, matrices: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    def solve_batched(
+        self,
+        matrices: np.ndarray,
+        rhs: np.ndarray,
+        active: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         n = matrices.shape[-1]
         if n >= self.batched_crossover and scipy_available():
-            return self._backend("sparse-batched").solve_batched(matrices, rhs)
-        return self._backend("batched").solve_batched(matrices, rhs)
+            return self._backend("sparse-batched").solve_batched(
+                matrices, rhs, active=active
+            )
+        return self._backend("batched").solve_batched(matrices, rhs, active=active)
 
 
 _BACKENDS: Dict[str, Type[LinearSolver]] = {
@@ -500,8 +900,40 @@ def available_backends() -> Tuple[str, ...]:
     return tuple(names)
 
 
-def get_solver(spec: Union[None, str, LinearSolver] = None) -> LinearSolver:
-    """Resolve a solver spec: ``None`` (dense default), a name, or an instance."""
+def get_solver(
+    spec: Union[None, str, LinearSolver] = None,
+    threads: Union[None, int, str] = None,
+) -> LinearSolver:
+    """Resolve a solver spec: ``None`` (dense default), a name, or an instance.
+
+    ``threads`` fans the per-trial sparse factorizations of stacked solves
+    across a thread pool; it is only meaningful for the ``"sparse-batched"``
+    backend (or ``"auto"``, which forwards it to the sparse-batched backend
+    it selects), and therefore needs SciPy.
+    """
+    if threads is not None:
+        if not scipy_available():
+            raise RuntimeError(
+                "threads= fans per-trial SuperLU factorizations across a "
+                "thread pool, which needs the sparse-batched backend and "
+                "therefore scipy; install scipy (pip install scipy, or this "
+                "package's [sparse] extra) or drop the threads= argument"
+            )
+        if isinstance(spec, LinearSolver):
+            raise ValueError(
+                "threads= cannot reconfigure an existing solver instance; "
+                "construct it with threads directly, e.g. "
+                "BatchedSparseSolver(threads=...) or AutoSolver(threads=...)"
+            )
+        name = spec.lower() if isinstance(spec, str) else spec
+        if name == AutoSolver.name:
+            return AutoSolver(threads=threads)
+        if name == BatchedSparseSolver.name:
+            return BatchedSparseSolver(threads=threads)
+        raise ValueError(
+            f"threads= applies to the 'sparse-batched' (or 'auto') backend, "
+            f"not {spec!r}; pick solver='sparse-batched'/'auto' or drop threads="
+        )
     if spec is None:
         return DenseSolver()
     if isinstance(spec, LinearSolver):

@@ -50,6 +50,11 @@ class TransientConvergenceInfo:
         accepts every step by construction).
     min_step_s / max_step_s:
         Smallest and largest accepted step size [s].
+    factorizations / factorization_reuses:
+        Numeric matrix factorizations performed over the whole march
+        (warm start included), and solves served by an already-computed
+        factorization (fingerprint cache hits plus ``newton="reuse"``
+        bypass rounds).  Zero for non-factoring solver backends.
     """
 
     strategy: str
@@ -59,6 +64,8 @@ class TransientConvergenceInfo:
     rejected_steps: int
     min_step_s: float
     max_step_s: float
+    factorizations: int = 0
+    factorization_reuses: int = 0
 
     @property
     def total_steps(self) -> int:
@@ -165,6 +172,10 @@ class BatchedTransientResult:
     newton_iterations: np.ndarray
     max_residuals: np.ndarray
     strategies: tuple
+    #: Aggregate factorization counters over the whole batched march (not
+    #: per trial: stacked factorizations are shared across the live set).
+    factorizations: int = 0
+    factorization_reuses: int = 0
 
     def __len__(self) -> int:
         return self.solutions.shape[0]

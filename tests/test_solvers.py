@@ -702,3 +702,141 @@ class TestBatchedMonteCarlo:
         batched = mc.run_batched_dc(8, initial_guess=nominal.solution)
         serial_v = [record["out_v"] for record in serial.records]
         assert list(batched.solutions[:, index]) == serial_v
+
+
+class TestThreadsSelection:
+    """The ``threads=`` knob: resolution, degradation, parity, rejection.
+
+    The resolution and rejection cases run without scipy (the no-scipy CI
+    leg exercises them natively); the parity cases need the sparse-batched
+    backend and skip otherwise.
+    """
+
+    def test_resolve_threads_values(self):
+        from repro.spice.solvers import resolve_threads
+
+        assert resolve_threads(None) == 0
+        assert resolve_threads(1) == 0  # one worker == the serial loop
+        assert resolve_threads(4) == 4
+        with pytest.raises(ValueError, match="threads"):
+            resolve_threads(0)
+        with pytest.raises(ValueError, match="threads"):
+            resolve_threads(-2)
+
+    def test_auto_degrades_to_serial_on_one_cpu(self, monkeypatch):
+        from repro.spice.solvers import resolve_threads
+
+        monkeypatch.setattr(solvers_module.os, "cpu_count", lambda: 1)
+        assert resolve_threads("auto") == 0
+        monkeypatch.setattr(solvers_module.os, "cpu_count", lambda: 8)
+        assert resolve_threads("auto") == 8
+        # cpu_count may return None on exotic platforms: degrade, not crash.
+        monkeypatch.setattr(solvers_module.os, "cpu_count", lambda: None)
+        assert resolve_threads("auto") == 0
+
+    def test_threads_without_scipy_fails_actionably(self, monkeypatch):
+        # Runs natively on the no-scipy CI leg; with scipy installed the
+        # import hook is stubbed out so the failure path is still real.
+        if scipy_available():
+
+            def no_scipy():
+                raise ImportError("pip install repro[sparse]")
+
+            monkeypatch.setattr(solvers_module, "_import_scipy_sparse", no_scipy)
+        with pytest.raises(RuntimeError, match="scipy"):
+            get_solver("sparse-batched", threads=2)
+
+    @requires_scipy
+    def test_threads_with_wrong_backend_rejected(self):
+        with pytest.raises(ValueError, match="sparse-batched"):
+            get_solver("dense", threads=2)
+        with pytest.raises(ValueError, match="instance"):
+            get_solver(DenseSolver(), threads=2)
+
+    @requires_scipy
+    def test_threads_constructor_resolution(self):
+        assert BatchedSparseSolver().threads == 0
+        assert BatchedSparseSolver(threads=1).threads == 0
+        assert BatchedSparseSolver(threads=4).threads == 4
+        assert isinstance(get_solver("sparse-batched", threads=4), BatchedSparseSolver)
+        assert get_solver("sparse-batched", threads=4).threads == 4
+        assert get_solver("auto", threads=4).threads == 4
+
+    @requires_scipy
+    def test_threaded_dc_stack_bitwise_matches_serial(self, switch_model):
+        # Threading only redistributes which worker factors which trial;
+        # the arithmetic per trial is untouched, so the stacked DC results
+        # must agree bit for bit.
+        bench = build_scalability_bench(6, model=switch_model)
+        engine = get_engine(bench.circuit)
+        nominal = engine.solve_dc(solver="sparse")
+        assert nominal.converged
+        mc = MonteCarloEngine(bench.circuit, {"mos_vth": Gaussian(0.002)}, seed=29)
+        stacks = mc.sample_stacked_overlays(8)
+        serial = engine.solve_dc_batched(
+            stacks, trials=8, initial_guess=nominal.solution, refresh=False,
+            solver="sparse-batched", threads=1,
+        )
+        threaded = engine.solve_dc_batched(
+            stacks, trials=8, initial_guess=nominal.solution, refresh=False,
+            solver="sparse-batched", threads=4,
+        )
+        assert bool(np.all(serial.converged)) and bool(np.all(threaded.converged))
+        assert np.array_equal(serial.solutions, threaded.solutions)
+
+    @requires_scipy
+    def test_threaded_transient_stack_bitwise_matches_serial(self, switch_model):
+        bench = toggle_bench(switch_model, step_duration_s=10e-9)
+        engine = get_engine(bench.circuit)
+        mc = MonteCarloEngine(bench.circuit, {"mos_vth": Gaussian(0.01)}, seed=5)
+        stacks = mc.sample_stacked_overlays(3)
+        stop = 30e-9
+        serial = engine.solve_transient_batched(
+            stop, 1e-9, stacks, solver="sparse-batched", threads=1
+        )
+        threaded = engine.solve_transient_batched(
+            stop, 1e-9, stacks, solver="sparse-batched", threads=4
+        )
+        assert bool(np.all(serial.converged)) and bool(np.all(threaded.converged))
+        assert np.array_equal(serial.solutions, threaded.solutions)
+
+
+@requires_scipy
+class TestActiveTrialMask:
+    """``active=`` restricts stacked pattern solves to the flagged trials."""
+
+    def _stacked_systems(self, trials=4):
+        circuit = common_source_circuit()
+        engine = get_engine(circuit)
+        compiled = engine.compiled
+        mc = MonteCarloEngine(circuit, {"mos_vth": Gaussian(0.03)}, seed=13)
+        stacks = mc.sample_stacked_overlays(trials)
+        op = engine.solve_dc()
+        solutions = np.tile(op.solution, (trials, 1))
+        data, rhs = compiled.assemble_sparse_batched(solutions, stacks)
+        return compiled, data, rhs
+
+    def test_solve_pattern_batched_active_subset(self):
+        compiled, data, rhs = self._stacked_systems()
+        solver = BatchedSparseSolver()
+        solver.bind(compiled)
+        full = solver.solve_pattern_batched(data, rhs)
+        mask = np.array([True, False, True, False])
+        partial = solver.solve_pattern_batched(data, rhs, active=mask)
+        # Active rows match the full solve bit for bit; frozen rows are
+        # left exactly zero (the caller scatters results by index).
+        assert np.array_equal(partial[mask], full[mask])
+        assert not partial[~mask].any()
+
+    def test_factorize_pattern_batched_active_subset(self):
+        compiled, data, rhs = self._stacked_systems()
+        solver = BatchedSparseSolver(threads=2)
+        solver.bind(compiled)
+        handles = solver.factorize_pattern_batched(
+            data, active=np.array([False, True, False, True])
+        )
+        assert len(handles) == 4
+        assert handles[0] is None and handles[2] is None
+        reference = solver.solve_pattern_batched(data, rhs)
+        for trial in (1, 3):
+            assert np.array_equal(handles[trial].solve(rhs[trial]), reference[trial])
