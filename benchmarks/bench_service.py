@@ -1,0 +1,152 @@
+"""Benchmark: the HTTP front door under load — dedupe is the product.
+
+The service's claim is that the spec-hash cache makes the *second* copy of
+any study nearly free: a cold ``POST /studies`` pays the full solve, a
+warm one is a store lookup behind a socket.  This benchmark stands up a
+real :class:`~repro.service.app.StudyServer` (loopback, ephemeral port)
+and measures:
+
+* ``service_cold_submit_latency_ms`` — submit-to-result wall time for a
+  never-seen spec (HTTP overhead + queue + solve);
+* ``service_warm_hit_latency_ms`` / ``service_warm_hit_p95_ms`` — the
+  full POST round trip for an identical resubmission (mean / p95 over
+  ``SERVICE_WARM_ROUNDS`` requests), with a hard ceiling enforced via
+  ``SERVICE_WARM_HIT_MAX_MS`` (default 250 ms: a warm hit that costs a
+  quarter second has stopped being a cache);
+* ``service_concurrent_throughput_per_second`` — duplicate submissions
+  from ``SERVICE_CLIENTS`` threads hammering one spec, which must
+  collapse onto a single compute (asserted via ``/metrics``).
+
+Run with ``pytest benchmarks/bench_service.py -s``.  Figures land in
+``BENCH_service.json`` when ``BENCH_JSON_DIR`` is set; ``compare_bench``
+treats the latency metrics as lower-is-better.
+"""
+
+import json
+import os
+import threading
+import time
+import urllib.request
+
+from _bench_utils import report, write_bench_json
+
+from repro.api import CircuitSpec, DCOp
+from repro.api.codec import spec_to_dict
+from repro.service import ServiceClient, serve
+
+WARM_ROUNDS = int(os.environ.get("SERVICE_WARM_ROUNDS", "60"))
+CLIENTS = int(os.environ.get("SERVICE_CLIENTS", "8"))
+REQUESTS_PER_CLIENT = int(os.environ.get("SERVICE_REQUESTS_PER_CLIENT", "25"))
+WARM_HIT_MAX_MS = float(os.environ.get("SERVICE_WARM_HIT_MAX_MS", "250"))
+
+CHAIN_FACTORY = "repro.circuits.series_chain:build_series_chain"
+
+
+def _spec(gmin: float) -> DCOp:
+    # Distinct gmin values give distinct spec hashes over the same circuit,
+    # so "cold" submissions stay cold without varying the solve's size.
+    return DCOp(
+        circuit=CircuitSpec(CHAIN_FACTORY, params={"num_switches": 4}),
+        gmin=gmin,
+    )
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def test_service_load():
+    with serve(workers=4) as server:
+        client = ServiceClient(server.url)
+
+        # -- cold path: never-seen specs, submit-to-result ------------- #
+        cold_ms = []
+        for round_index in range(3):
+            spec = _spec(gmin=1e-12 * (round_index + 1))
+            start = time.perf_counter()
+            client.run(spec, timeout_s=120)
+            cold_ms.append((time.perf_counter() - start) * 1e3)
+        cold_submit_ms = min(cold_ms)
+        report(f"cold submit->result: {cold_submit_ms:.1f} ms (best of 3)")
+
+        # -- warm path: identical resubmissions ------------------------ #
+        warm_spec = _spec(gmin=1e-12)
+        warm_wire = json.dumps(spec_to_dict(warm_spec)).encode("utf-8")
+        warm_url = server.url + "/studies"
+        warm_ms = []
+        for _ in range(WARM_ROUNDS):
+            request = urllib.request.Request(
+                warm_url,
+                data=warm_wire,
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            start = time.perf_counter()
+            with urllib.request.urlopen(request, timeout=30) as response:
+                payload = json.loads(response.read())
+            warm_ms.append((time.perf_counter() - start) * 1e3)
+            assert payload["cached"] is True
+        warm_mean_ms = sum(warm_ms) / len(warm_ms)
+        warm_p95_ms = _percentile(warm_ms, 0.95)
+        report(
+            f"warm hit: mean {warm_mean_ms:.2f} ms, p95 {warm_p95_ms:.2f} ms "
+            f"over {WARM_ROUNDS} requests"
+        )
+
+        # -- concurrent duplicates: one compute, many clients ----------- #
+        computed_before = client.metrics()["jobs"]["computed"]
+        hammer_spec = spec_to_dict(_spec(gmin=7e-12))
+        errors = []
+
+        def hammer():
+            local = ServiceClient(server.url)
+            try:
+                for _ in range(REQUESTS_PER_CLIENT):
+                    local.submit(dict(hammer_spec))
+            except Exception as error:  # noqa: BLE001 — surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(CLIENTS)]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed_s = time.perf_counter() - start
+        assert not errors, errors[:3]
+        client.wait(client.submit(dict(hammer_spec))["id"], timeout_s=120)
+        total_requests = CLIENTS * REQUESTS_PER_CLIENT
+        throughput = total_requests / elapsed_s
+        jobs = client.metrics()["jobs"]
+        computed_delta = jobs["computed"] - computed_before
+        report(
+            f"concurrent: {CLIENTS} clients x {REQUESTS_PER_CLIENT} dup "
+            f"submissions in {elapsed_s:.2f} s -> {throughput:.0f} req/s, "
+            f"{computed_delta} solve(s)"
+        )
+
+        # The load test's whole point: duplicates collapse to one compute.
+        assert computed_delta == 1, f"dedupe broke: {computed_delta} computes"
+        # The warm-hit floor (a cache that costs a solve is not a cache).
+        assert warm_p95_ms <= WARM_HIT_MAX_MS, (
+            f"warm-hit p95 {warm_p95_ms:.1f} ms exceeds the "
+            f"{WARM_HIT_MAX_MS:g} ms ceiling (SERVICE_WARM_HIT_MAX_MS)"
+        )
+        assert warm_mean_ms < cold_submit_ms, "warm hits no faster than cold solves"
+
+        write_bench_json(
+            "BENCH_service.json",
+            {
+                "workers": 4,
+                "warm_rounds": WARM_ROUNDS,
+                "clients": CLIENTS,
+                "requests_per_client": REQUESTS_PER_CLIENT,
+                "service_cold_submit_latency_ms": cold_submit_ms,
+                "service_warm_hit_latency_ms": warm_mean_ms,
+                "service_warm_hit_p95_ms": warm_p95_ms,
+                "service_concurrent_throughput_per_second": throughput,
+                "computed_under_concurrent_duplicates": computed_delta,
+            },
+        )

@@ -35,6 +35,11 @@ LOWER_IS_BETTER = (
     "_iterations",
     "_factorizations",
     "_peak_mb",
+    # Service-latency classes (BENCH_service.json).  Already covered by the
+    # bare "_ms" suffix, but named explicitly so the latency/percentile
+    # families keep their direction if they ever move to other units.
+    "_latency_ms",
+    "_p95_ms",
 )
 HIGHER_IS_BETTER = ("speedup", "_per_second", "_ratio", "_reduction", "_fraction")
 

@@ -1,0 +1,90 @@
+"""The service front door end to end: submit studies as JSON over HTTP.
+
+This example stands up the study-submission server from
+:mod:`repro.service` on a loopback port and drives it the way an external
+client (a queue runner, a notebook on another machine, a curl script)
+would:
+
+1. submit a DC sweep as a plain JSON payload — no Python objects cross
+   the wire;
+2. poll the job to completion and fetch the Result, asserting it is
+   *bitwise identical* to running the same spec in-process through
+   ``Session.run``;
+3. resubmit the identical study and watch the spec-hash dedupe turn it
+   into a cache hit (zero new Newton iterations, confirmed via
+   ``GET /metrics``);
+4. page through the result listing and pull a sparse projection
+   (``?fields=scalars``) — the cheap way to scan a big store.
+
+Run with ``PYTHONPATH=src python examples/service_study.py``.
+"""
+
+import os
+
+from repro.api import CircuitSpec, DCSweep, MemoryStore, Session
+from repro.service import ServiceClient, serve
+
+SMOKE = os.environ.get("EXAMPLES_SMOKE", "").lower() not in ("", "0", "false", "no")
+
+
+def main() -> None:
+    sweep_points = 5 if SMOKE else 13
+    wire_spec = {
+        "kind": "dcsweep",
+        "circuit": {
+            "factory": "repro.circuits.series_chain:build_series_chain",
+            "params": {"num_switches": 3},
+        },
+        "source": "v_drive",
+        "values": [round(0.1 * index, 1) for index in range(sweep_points)],
+    }
+
+    with serve(workers=2) as server:
+        print(f"serving on {server.url}")
+        client = ServiceClient(server.url)
+
+        # 1. submit JSON, poll, fetch ---------------------------------- #
+        submission = client.submit(wire_spec)
+        print(
+            f"submitted {submission['id'][:16]}…: state={submission['state']}, "
+            f"cached={submission['cached']}"
+        )
+        status = client.wait(submission["id"], timeout_s=120)
+        print(
+            f"finished: computed={status['stats']['computed']}, "
+            f"newton={status['stats']['newton_iterations']}, "
+            f"wall={status['wall_s'] * 1e3:.1f} ms"
+        )
+        over_http = client.result(submission["id"])
+
+        # 2. parity with the in-process API ---------------------------- #
+        from repro.api import spec_from_dict
+
+        in_process = Session(store=MemoryStore()).run(spec_from_dict(wire_spec))
+        identical = over_http.to_json() == in_process.to_json()
+        print(f"bitwise identical to Session.run: {identical}")
+        assert identical
+
+        # 3. dedupe: the second submission is free --------------------- #
+        again = client.submit(wire_spec)
+        print(f"resubmission: cached={again['cached']} (same id: "
+              f"{again['id'] == submission['id']})")
+        assert again["cached"] and again["id"] == submission["id"]
+        jobs = client.metrics()["jobs"]
+        print(
+            f"metrics: computed={jobs['computed']}, "
+            f"cache_hits={jobs['cache_hits']}, "
+            f"newton_iterations={jobs['newton_iterations']}"
+        )
+        assert jobs["computed"] == 1
+
+        # 4. listing + sparse projection ------------------------------- #
+        listing = client.results(kind="dcsweep", limit=10, fields=["scalars"])
+        print(f"store listing: {len(listing)} dcsweep result(s); "
+              f"first keys: {sorted(listing[0])}")
+        assert "arrays" not in listing[0]
+    print("server drained and closed")
+
+
+if __name__ == "__main__":
+    main()

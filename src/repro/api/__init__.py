@@ -48,10 +48,11 @@ The legacy frontends (``dc_operating_point``, ``dc_sweep``,
 :class:`DeprecationWarning` pointing here; see the README migration table.
 """
 
+from repro.api.codec import SpecDecodeError, spec_from_dict, spec_to_dict
 from repro.api.executors import Executor, ProcessExecutor, SerialExecutor
 from repro.api.hashing import canonical, canonical_json, content_hash, spec_hash
 from repro.api.results import Result, ResultSet
-from repro.api.session import RunStats, Session, default_session
+from repro.api.session import RunStats, RunStatsSnapshot, Session, default_session
 from repro.api.specs import (
     AnalysisSpec,
     CircuitSpec,
@@ -96,12 +97,16 @@ __all__ = [
     "ProcessExecutor",
     "DistributedExecutor",
     "RunStats",
+    "RunStatsSnapshot",
     "Session",
     "default_session",
     "canonical",
     "canonical_json",
     "content_hash",
     "spec_hash",
+    "SpecDecodeError",
+    "spec_to_dict",
+    "spec_from_dict",
 ]
 
 

@@ -353,24 +353,64 @@ class ResultSet:
         store,
         keys: Optional[Sequence[str]] = None,
         kind: Optional[str] = None,
+        limit: Optional[int] = None,
+        offset: int = 0,
     ) -> "ResultSet":
         """Materialize stored results into an ordered set.
 
         With ``keys``, results come back in that order and a missing key
         raises ``KeyError`` (an explicit selection must not silently
-        shrink).  Without ``keys``, every stored result is taken in the
-        store's (sorted-key) iteration order, optionally filtered by
-        result ``kind``.  Persistent stores deserialize fresh objects; a
+        shrink).  Without ``keys``, stored results are taken in *sorted key
+        order* — deterministic whatever the backend's own iteration order
+        (the in-memory store iterates LRU order, for instance) — optionally
+        filtered by result ``kind``.
+
+        ``offset``/``limit`` paginate the (kind-filtered) sequence: skip
+        the first ``offset`` matches, return at most ``limit``.  This is
+        the single pagination code path shared by library users and the
+        service front door's ``GET /results`` endpoint; because the
+        ordering is the sorted key sequence, page N+1 continues exactly
+        where page N stopped even across processes.
+
+        Persistent stores deserialize fresh objects; a
         :class:`~repro.api.stores.MemoryStore` hands back its stored
         references — ``.copy()`` before mutating those.
         """
+        if limit is not None and limit < 0:
+            raise ValueError(f"limit must be >= 0, got {limit}")
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        results: List[Result] = []
         if keys is not None:
-            results = []
+            matched = 0
             for key in keys:
                 result = store.get(key)
                 if result is None:
                     raise KeyError(f"store has no result under key {key!r}")
-                if kind is None or result.kind == kind:
-                    results.append(result)
+                if kind is not None and result.kind != kind:
+                    continue
+                matched += 1
+                if matched <= offset:
+                    continue
+                if limit is not None and len(results) >= limit:
+                    # Keep validating the remaining keys (missing keys must
+                    # still raise) but collect nothing past the page.
+                    continue
+                results.append(result)
             return cls(results=results)
-        return cls(results=list(store.query(kind=kind)))
+        if limit == 0:
+            return cls(results=[])
+        matched = 0
+        for key in sorted(store.keys()):
+            result = store.get(key)
+            if result is None:  # evicted/expired between keys() and get()
+                continue
+            if kind is not None and result.kind != kind:
+                continue
+            matched += 1
+            if matched <= offset:
+                continue
+            results.append(result)
+            if limit is not None and len(results) >= limit:
+                break
+        return cls(results=results)

@@ -134,6 +134,26 @@ def build_provenance(content_hash: str) -> Dict[str, Any]:
 # ---------------------------------------------------------------------- #
 
 
+@dataclass(frozen=True)
+class RunStatsSnapshot:
+    """A read-only copy of :class:`RunStats` at one point in time.
+
+    This is what code handing stats *out* (the service layer's
+    ``GET /studies/{id}``, log lines, job records) should expose: the frozen
+    dataclass cannot be used to corrupt the session's live counters, and it
+    renders as plain JSON via :meth:`to_dict`.
+    """
+
+    computed: int = 0
+    cached: int = 0
+    newton_iterations: int = 0
+    factorizations: int = 0
+    factorization_reuses: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
 @dataclass
 class RunStats:
     """What one ``run``/``run_many`` call actually did.
@@ -157,6 +177,10 @@ class RunStats:
 
     def absorb_cached(self) -> None:
         self.cached += 1
+
+    def snapshot(self) -> RunStatsSnapshot:
+        """An immutable copy of the current counters."""
+        return RunStatsSnapshot(**dataclasses.asdict(self))
 
 
 # ---------------------------------------------------------------------- #
@@ -273,6 +297,20 @@ class Session:
             "store must be a repro.api.stores.Store, a directory path, or "
             f"None to disable caching; got {type(store).__qualname__!r}"
         )
+
+    def last_stats_snapshot(self) -> RunStatsSnapshot:
+        """A read-only copy of :attr:`last_stats`.
+
+        Services and other long-lived observers must hand this out instead
+        of the live :class:`RunStats` — a caller mutating the returned
+        object cannot corrupt the session's counters, and the next
+        ``run``/``run_many`` cannot mutate what the caller holds.
+        """
+        return self.last_stats.snapshot()
+
+    def total_stats_snapshot(self) -> RunStatsSnapshot:
+        """A read-only copy of :attr:`total_stats` (lifetime counters)."""
+        return self.total_stats.snapshot()
 
     @property
     def cache(self) -> Optional[Store]:

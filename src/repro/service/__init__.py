@@ -1,0 +1,64 @@
+"""repro.service — the HTTP front door over the declarative API.
+
+The layers below this package (PRs 4-8) already provide everything a
+service needs: content-hashed specs, a shared
+:class:`~repro.api.stores.Store` seam, bit-exact Result JSON and per-run
+:class:`~repro.api.session.RunStats`.  This package adds the subsystem
+that lets a client who does not write Python use them over HTTP:
+
+* **wire format** — :func:`repro.api.spec_to_dict` /
+  :func:`repro.api.spec_from_dict` (in :mod:`repro.api.codec`): every
+  analysis spec as JSON, hash-identical across the round trip, with
+  strict, path-annotated :class:`~repro.api.codec.SpecDecodeError`\\ s;
+* **jobs** (:mod:`repro.service.jobs`) — :class:`JobManager` maps
+  submissions to spec-hash job ids, dedupes through the store (a million
+  identical submissions cost one solve), and runs misses on a bounded
+  worker pool with per-job timeout, bounded retry and graceful drain;
+* **HTTP** (:mod:`repro.service.app`) — a stdlib
+  ``ThreadingHTTPServer`` app: ``POST /studies``, ``GET /studies/{id}``,
+  ``GET /studies/{id}/result`` (sparse ``?fields=``), paginated
+  ``GET /results``, ``GET /healthz`` and ``GET /metrics``;
+* **client** (:mod:`repro.service.client`) — :class:`ServiceClient`,
+  whose :meth:`~repro.service.client.ServiceClient.run` is the
+  over-the-wire twin of ``Session.run`` (bitwise-identical Result JSON,
+  pinned in the test-suite).
+
+Quickstart::
+
+    from repro.service import serve, ServiceClient
+    from repro.api import CircuitSpec, DCOp
+
+    server = serve(store="study-cache", workers=4)
+    client = ServiceClient(server.url)
+    result = client.run(DCOp(circuit=CircuitSpec(
+        "repro.circuits.series_chain:build_series_chain",
+        params={"num_switches": 5},
+    )))
+    server.close()
+"""
+
+from repro.service.app import RESULT_SECTIONS, StudyServer, StudyService, serve
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import (
+    JOB_STATES,
+    JobManager,
+    JobNotDone,
+    JobView,
+    ServiceClosed,
+    UnknownJob,
+)
+
+__all__ = [
+    "JOB_STATES",
+    "JobManager",
+    "JobNotDone",
+    "JobView",
+    "RESULT_SECTIONS",
+    "ServiceClient",
+    "ServiceClosed",
+    "ServiceError",
+    "StudyServer",
+    "StudyService",
+    "UnknownJob",
+    "serve",
+]

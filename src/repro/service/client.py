@@ -1,0 +1,169 @@
+"""A stdlib HTTP client for the study-submission service.
+
+:class:`ServiceClient` wraps the :mod:`repro.service.app` endpoints in the
+vocabulary of the Python API: it encodes specs through
+:func:`repro.api.spec_to_dict`, polls job status, and decodes returned
+payloads back into :class:`~repro.api.results.Result` records — so
+
+    client = ServiceClient(server.url)
+    result = client.run(DCOp(circuit=chain))
+
+is the over-the-wire equivalent of ``Session(...).run(spec)`` and returns a
+bitwise-JSON-identical result (pinned in the test-suite).  Everything rides
+on :mod:`urllib.request`; no third-party HTTP stack is required.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.api.codec import spec_to_dict
+from repro.api.results import Result
+from repro.api.specs import AnalysisSpec
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx service response, carrying the status and server message."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        self.message = message
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class ServiceClient:
+    """Talk to a running study service (see the module docstring).
+
+    Parameters
+    ----------
+    base_url:
+        The server root, e.g. ``"http://127.0.0.1:8080"``.
+    timeout_s:
+        Socket timeout per request.
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------ #
+    # raw HTTP
+    # ------------------------------------------------------------------ #
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        query: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """One JSON round trip; raises :class:`ServiceError` on non-2xx."""
+        url = self.base_url + path
+        if query:
+            filtered = {k: v for k, v in query.items() if v is not None}
+            if filtered:
+                url += "?" + urllib.parse.urlencode(filtered)
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=body, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            detail = error.read().decode("utf-8", errors="replace")
+            try:
+                message = json.loads(detail).get("error", detail)
+            except json.JSONDecodeError:
+                message = detail or error.reason
+            raise ServiceError(error.code, message) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(0, f"cannot reach {url}: {error.reason}") from None
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+    # ------------------------------------------------------------------ #
+
+    def submit(self, spec: Union[AnalysisSpec, Dict[str, Any]]) -> Dict[str, Any]:
+        """POST a spec (object or ready wire dict); returns the submission."""
+        payload = spec_to_dict(spec) if isinstance(spec, AnalysisSpec) else spec
+        return self.request("POST", "/studies", payload=payload)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self.request("GET", f"/studies/{job_id}")
+
+    def wait(
+        self, job_id: str, timeout_s: float = 120.0, poll_s: float = 0.05
+    ) -> Dict[str, Any]:
+        """Poll until the job settles; returns the final status payload.
+
+        Raises :class:`ServiceError` (status 0) on timeout and leaves
+        failed jobs to the caller — inspect ``payload["state"]``.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    0,
+                    f"job {job_id} still {status['state']} after {timeout_s:g}s",
+                )
+            time.sleep(poll_s)
+
+    def result_json(
+        self, job_id: str, fields: Optional[Sequence[str]] = None
+    ) -> Dict[str, Any]:
+        """The raw Result payload, optionally restricted to some sections."""
+        query = {"fields": ",".join(fields)} if fields else None
+        return self.request("GET", f"/studies/{job_id}/result", query=query)
+
+    def result(self, job_id: str) -> Result:
+        """The finished job's result as a :class:`~repro.api.results.Result`."""
+        return Result.from_jsonable(self.result_json(job_id))
+
+    def run(
+        self,
+        spec: Union[AnalysisSpec, Dict[str, Any]],
+        timeout_s: float = 120.0,
+        poll_s: float = 0.05,
+    ) -> Result:
+        """Submit, wait, fetch: the over-the-wire ``Session.run``.
+
+        Raises :class:`ServiceError` if the job fails, carrying the
+        server-side error message.
+        """
+        submission = self.submit(spec)
+        status = self.wait(submission["id"], timeout_s=timeout_s, poll_s=poll_s)
+        if status["state"] != "done":
+            raise ServiceError(0, f"job failed: {status.get('error')}")
+        return self.result(submission["id"])
+
+    def results(
+        self,
+        kind: Optional[str] = None,
+        limit: Optional[int] = None,
+        offset: Optional[int] = None,
+        fields: Optional[Sequence[str]] = None,
+    ) -> List[Dict[str, Any]]:
+        """One page of the store listing (raw payloads, newest API page)."""
+        query: Dict[str, Any] = {"kind": kind, "limit": limit, "offset": offset}
+        if fields:
+            query["fields"] = ",".join(fields)
+        return self.request("GET", "/results", query=query)["results"]
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.request("GET", "/metrics")
+
+    def health(self) -> Dict[str, Any]:
+        return self.request("GET", "/healthz")

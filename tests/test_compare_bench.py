@@ -61,6 +61,65 @@ class TestSchemaStamp:
         assert metrics == {"solve_ms": 2.0}
 
 
+class TestMetricDirection:
+    """Direction inference, pinned for the service latency metric classes."""
+
+    @pytest.mark.parametrize(
+        "metric",
+        [
+            "service_cold_submit_latency_ms",
+            "service_warm_hit_latency_ms",
+            "service_warm_hit_p95_ms",
+            "nested.path.service_warm_hit_p95_ms",
+        ],
+    )
+    def test_service_latency_metrics_are_lower_is_better(self, compare_bench, metric):
+        assert compare_bench.direction(metric) == -1
+
+    def test_throughput_is_higher_is_better(self, compare_bench):
+        assert (
+            compare_bench.direction("service_concurrent_throughput_per_second") == 1
+        )
+
+    def test_counts_are_informational(self, compare_bench):
+        assert compare_bench.direction("warm_rounds") == 0
+        assert compare_bench.direction("workers") == 0
+
+    def test_latency_regression_fires_warning(self, compare_bench, tmp_path, capsys):
+        current = tmp_path / "current"
+        previous = tmp_path / "previous"
+        _write(
+            current,
+            "BENCH_service.json",
+            {"schema_version": 1, "service_warm_hit_p95_ms": 10.0},
+        )
+        _write(
+            previous,
+            "BENCH_service.json",
+            {"schema_version": 1, "service_warm_hit_p95_ms": 1.0},
+        )
+        assert compare_bench.main([str(current), str(previous)]) == 0
+        assert "WARNING: regression" in capsys.readouterr().out
+
+    def test_latency_improvement_is_not_a_warning(
+        self, compare_bench, tmp_path, capsys
+    ):
+        current = tmp_path / "current"
+        previous = tmp_path / "previous"
+        _write(
+            current,
+            "BENCH_service.json",
+            {"schema_version": 1, "service_warm_hit_latency_ms": 1.0},
+        )
+        _write(
+            previous,
+            "BENCH_service.json",
+            {"schema_version": 1, "service_warm_hit_latency_ms": 10.0},
+        )
+        assert compare_bench.main([str(current), str(previous)]) == 0
+        assert "WARNING" not in capsys.readouterr().out
+
+
 class TestTrendDiff:
     def test_added_and_removed_metrics_are_reported(
         self, compare_bench, tmp_path, capsys

@@ -475,6 +475,60 @@ class TestComposition:
         assert len(ResultSet.from_store(store)) == 3
 
 
+class TestFromStorePagination:
+    """`from_store(limit=, offset=)` — the seam GET /results pages through."""
+
+    def fill(self, store, count=7):
+        for index in range(count):
+            kind = "dcop" if index % 2 == 0 else "transient"
+            store.put(f"k{index}", make_result(kind=kind, tag=f"t{index}"))
+        return store
+
+    def test_pages_follow_sorted_key_order(self, tmp_path):
+        store = self.fill(JSONDirectoryStore(str(tmp_path)))
+        first = ResultSet.from_store(store, limit=3)
+        second = ResultSet.from_store(store, limit=3, offset=3)
+        third = ResultSet.from_store(store, limit=3, offset=6)
+        tags = [r.scalars["tag"] for page in (first, second, third) for r in page]
+        assert tags == [f"t{i}" for i in range(7)]
+        assert [len(first), len(second), len(third)] == [3, 3, 1]
+
+    def test_memory_store_pages_sorted_not_lru(self):
+        store = self.fill(MemoryStore())
+        store.get("k5")  # touch: changes LRU order, must not change pages
+        store.get("k0")
+        page = ResultSet.from_store(store, limit=4)
+        assert [r.scalars["tag"] for r in page] == ["t0", "t1", "t2", "t3"]
+
+    def test_kind_filter_composes_with_paging(self, tmp_path):
+        store = self.fill(SQLiteStore(str(tmp_path / "r.db")))
+        page = ResultSet.from_store(store, kind="dcop", limit=2, offset=1)
+        assert [r.scalars["tag"] for r in page] == ["t2", "t4"]
+
+    def test_offset_past_end_and_zero_limit(self, tmp_path):
+        store = self.fill(JSONDirectoryStore(str(tmp_path)))
+        assert len(ResultSet.from_store(store, offset=100)) == 0
+        assert len(ResultSet.from_store(store, limit=0)) == 0
+
+    def test_explicit_keys_page_but_still_validate(self, tmp_path):
+        store = self.fill(JSONDirectoryStore(str(tmp_path)))
+        page = ResultSet.from_store(
+            store, keys=["k6", "k3", "k0"], limit=1, offset=1
+        )
+        assert [r.scalars["tag"] for r in page] == ["t3"]
+        with pytest.raises(KeyError, match="missing"):
+            # The missing key sits beyond the requested page; paging must
+            # not mask it.
+            ResultSet.from_store(store, keys=["k0", "k1", "missing"], limit=1)
+
+    def test_negative_paging_rejected(self, tmp_path):
+        store = JSONDirectoryStore(str(tmp_path))
+        with pytest.raises(ValueError, match="limit"):
+            ResultSet.from_store(store, limit=-1)
+        with pytest.raises(ValueError, match="offset"):
+            ResultSet.from_store(store, offset=-1)
+
+
 # ---------------------------------------------------------------------- #
 # the deprecated ResultCache shim
 # ---------------------------------------------------------------------- #
