@@ -24,6 +24,11 @@ submissions cost one solve.  That works because
   (sorted params, coerced sweep values), so the decoder only has to deliver
   equal *values*, not equal spellings.
 
+The codec speaks *strict* JSON: non-finite floats (NaN/Infinity) are
+rejected on both sides — ``json`` would render them as non-standard tokens
+that non-Python parsers refuse, and a NaN-valued spec can never hash
+cache-equal to itself, so they have no place on the wire.
+
 Decoding is strict: unknown spec kinds, unknown fields, malformed nesting
 and unresolvable circuit-factory paths raise :class:`SpecDecodeError` with
 the JSON-path of the offending value and what would have been accepted —
@@ -40,6 +45,7 @@ attempted.
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.api.specs import (
@@ -94,6 +100,14 @@ class SpecDecodeError(ValueError):
 
 def _encode_value(value: Any, path: str) -> Any:
     """A JSON-safe rendering of one (possibly nested) spec field value."""
+    if isinstance(value, float) and not math.isfinite(value):
+        # json.dumps would emit the non-standard NaN/Infinity tokens,
+        # which strict parsers reject — and NaN never hashes cache-equal
+        # to itself, so a NaN-bearing spec could never dedupe anyway.
+        raise TypeError(
+            f"{path}: non-finite float {value!r} has no strict-JSON wire "
+            "form; replace NaN/Infinity spec values with a finite sentinel"
+        )
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     # NumPy scalars sneak into params through array-derived knobs.
@@ -208,6 +222,15 @@ def _decode_param(value: Any, path: str) -> Any:
         }
     if isinstance(value, list):
         return tuple(_decode_param(item, f"{path}[{i}]") for i, item in enumerate(value))
+    if isinstance(value, float) and not math.isfinite(value):
+        # Python's json.loads accepts the non-standard NaN/Infinity tokens;
+        # mirror the encoder and refuse them — a NaN spec value can never
+        # hash cache-equal, so it would silently defeat the dedupe layer.
+        raise SpecDecodeError(
+            f"non-finite float {value!r} is not valid strict JSON; "
+            "NaN/Infinity spec values are rejected",
+            path,
+        )
     return value
 
 
@@ -281,7 +304,11 @@ def _decode_distribution(payload: Any, path: str) -> Distribution:
             f"{sorted(field_names)}",
             path,
         )
-    kwargs = {key: value for key, value in payload.items() if key != "dist"}
+    kwargs = {
+        key: _decode_param(value, f"{path}.{key}")
+        for key, value in payload.items()
+        if key != "dist"
+    }
     try:
         return cls(**kwargs)
     except (TypeError, ValueError) as error:
@@ -359,7 +386,7 @@ def spec_from_dict(
                 f"field {name!r} does not take a JSON object", field_path
             )
         else:
-            kwargs[name] = value
+            kwargs[name] = _decode_param(value, field_path)
 
     try:
         return cls(**kwargs)

@@ -138,6 +138,19 @@ class Store(abc.ABC):
                 continue
             yield result
 
+    def count(self, kind: Optional[str] = None) -> int:
+        """Number of stored entries, optionally restricted to one result kind.
+
+        ``count()`` (no kind) is always cheap — it is :func:`len`.  The
+        default kind-filtered count walks :meth:`query`, which loads every
+        result; backends that can count a kind without deserializing
+        (memory, SQLite) override this.  The paginated service listing
+        reports its ``total`` through this seam.
+        """
+        if kind is None:
+            return len(self)
+        return sum(1 for _ in self.query(kind=kind))
+
     def clear(self) -> None:
         """Drop every entry."""
         for key in list(self.keys()):
@@ -216,6 +229,11 @@ class MemoryStore(Store):
     ``put``; a ``ttl_s`` bounds entry age.  Results are stored by
     reference — the session copies across the cache boundary, so callers
     of the raw store must not mutate what they get back.
+
+    Thread-safe: the LRU bookkeeping (``get`` re-inserts the key, ``put``
+    evicts) is a non-atomic dict dance, and the service layer shares one
+    store across worker and HTTP handler threads, so every primitive runs
+    under one lock.
     """
 
     def __init__(
@@ -226,48 +244,65 @@ class MemoryStore(Store):
         self.max_entries = max_entries
         self.ttl_s = ttl_s
         self._entries: Dict[str, Tuple[Result, float]] = {}
+        self._lock = threading.RLock()
 
     def get(self, key: str) -> Optional[Result]:
-        entry = self._entries.get(key)
-        if entry is None:
-            return None
-        result, created = entry
-        if self._expired(created):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            result, created = entry
+            if self._expired(created):
+                del self._entries[key]
+                return None
+            # Plain-dict LRU: re-insertion moves the key to the back, the
+            # front is the least recently used entry.
             del self._entries[key]
-            return None
-        # Plain-dict LRU: re-insertion moves the key to the back, the
-        # front is the least recently used entry.
-        del self._entries[key]
-        self._entries[key] = (result, created)
-        return result
+            self._entries[key] = (result, created)
+            return result
 
     def put(self, key: str, result: Result) -> None:
         _check_key(key)
-        self._entries.pop(key, None)
-        self._entries[key] = (result, time.time())
-        if self.max_entries is not None:
-            while len(self._entries) > self.max_entries:
-                self._entries.pop(next(iter(self._entries)))
+        with self._lock:
+            self._entries.pop(key, None)
+            self._entries[key] = (result, time.time())
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.pop(next(iter(self._entries)))
 
     def delete(self, key: str) -> bool:
-        return self._entries.pop(key, None) is not None
+        with self._lock:
+            return self._entries.pop(key, None) is not None
 
     def keys(self) -> Iterator[str]:
-        return iter(list(self._entries))
+        with self._lock:
+            return iter(list(self._entries))
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
+
+    def count(self, kind: Optional[str] = None) -> int:
+        with self._lock:
+            if kind is None:
+                return len(self._entries)
+            return sum(
+                1
+                for result, _ in self._entries.values()
+                if result.kind == kind
+            )
 
     def prune(self) -> int:
-        before = len(self._entries)
-        if self.ttl_s is not None:
-            for key, (_, created) in list(self._entries.items()):
-                if self._expired(created):
-                    del self._entries[key]
-        if self.max_entries is not None:
-            while len(self._entries) > self.max_entries:
-                self._entries.pop(next(iter(self._entries)))
-        return before - len(self._entries)
+        with self._lock:
+            before = len(self._entries)
+            if self.ttl_s is not None:
+                for key, (_, created) in list(self._entries.items()):
+                    if self._expired(created):
+                        del self._entries[key]
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.pop(next(iter(self._entries)))
+            return before - len(self._entries)
 
 
 class JSONDirectoryStore(Store):
@@ -556,6 +591,14 @@ class SQLiteStore(Store):
         ).fetchone()
         return int(row[0])
 
+    def count(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return len(self)
+        row = self._connection().execute(
+            "SELECT COUNT(*) FROM results WHERE kind = ?", (kind,)
+        ).fetchone()
+        return int(row[0])
+
     def query(
         self,
         kind: Optional[str] = None,
@@ -644,6 +687,14 @@ class TieredStore(Store):
 
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
+
+    def count(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return len(self)
+        # Writes and deletes hit both tiers, so the persistent back is the
+        # authoritative census; a front-only store counts itself.
+        backend = self.back if self.back is not None else self.front
+        return backend.count(kind)
 
     def clear(self) -> None:
         self.front.clear()

@@ -128,29 +128,38 @@ class StudyService:
     def _dispatch(
         self, method: str, path: str, query: Dict[str, str], body: bytes
     ) -> Tuple[str, int, Dict[str, Any]]:
+        # Resolve the route *template* before handling: the request
+        # counters must key on '/studies/{id}', never the raw path, or a
+        # long-running server leaks one counter entry per distinct path
+        # probed (404 scans, per-job polling).  Unmatched paths share one
+        # 'unknown' bucket.
         parts = [part for part in path.split("/") if part]
+        route = "unknown"
         try:
             if parts == ["studies"]:
+                route = "/studies"
                 self._require_method(method, "POST")
-                return ("/studies", *self._post_study(body))
+                return (route, *self._post_study(body))
             if len(parts) == 2 and parts[0] == "studies":
+                route = "/studies/{id}"
                 self._require_method(method, "GET")
-                return ("/studies/{id}", *self._get_study(parts[1]))
+                return (route, *self._get_study(parts[1]))
             if len(parts) == 3 and parts[0] == "studies" and parts[2] == "result":
+                route = "/studies/{id}/result"
                 self._require_method(method, "GET")
-                return (
-                    "/studies/{id}/result",
-                    *self._get_study_result(parts[1], query),
-                )
+                return (route, *self._get_study_result(parts[1], query))
             if parts == ["results"]:
+                route = "/results"
                 self._require_method(method, "GET")
-                return ("/results", *self._get_results(query))
+                return (route, *self._get_results(query))
             if parts == ["healthz"]:
+                route = "/healthz"
                 self._require_method(method, "GET")
-                return ("/healthz", *self._get_healthz())
+                return (route, *self._get_healthz())
             if parts == ["metrics"]:
+                route = "/metrics"
                 self._require_method(method, "GET")
-                return ("/metrics", *self._get_metrics())
+                return (route, *self._get_metrics())
             raise _HTTPError(
                 404,
                 f"unknown route {path!r}; see POST /studies, GET /studies/{{id}}, "
@@ -158,9 +167,9 @@ class StudyService:
                 "GET /metrics",
             )
         except _HTTPError as error:
-            return path, error.status, {"error": error.message}
+            return route, error.status, {"error": error.message}
         except Exception as error:  # noqa: BLE001 — no tracebacks on the wire
-            return path, 500, {"error": f"internal error: {type(error).__name__}: {error}"}
+            return route, 500, {"error": f"internal error: {type(error).__name__}: {error}"}
 
     @staticmethod
     def _require_method(method: str, expected: str) -> None:
@@ -251,7 +260,10 @@ class StudyService:
         page = ResultSet.from_store(
             self.manager.store, kind=kind, limit=limit, offset=offset
         )
-        total = sum(1 for _ in self.manager.store.query(kind=kind))
+        # Store.count never deserializes what it doesn't have to (len()
+        # when unfiltered, SQL/in-memory kind counts where available) —
+        # 'total' must not cost O(store) JSON parses per page.
+        total = self.manager.store.count(kind=kind)
         return 200, {
             "results": [
                 self._render_result(result.to_jsonable(), fields) for result in page

@@ -252,10 +252,10 @@ class JobManager:
             self._counters["submitted"] += 1
             job = self._jobs.get(job_id)
             if job is not None and job.state != "failed":
-                if job.state == "done":
-                    self._counters["cache_hits"] += 1
-                    return job.view(cached=True)
-                # queued/running: the submission joins the live job.
+                # done: served from the finished record; queued/running:
+                # the submission joins the live job.  Both are dedupe hits
+                # (no new work enqueued), so both count in cache_hits.
+                self._counters["cache_hits"] += 1
                 return job.view(cached=True)
             cached_result = self.store.get(job_id)
             if cached_result is not None:

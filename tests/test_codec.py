@@ -262,3 +262,38 @@ class TestDecodeErrors:
     def test_encode_rejects_non_spec(self):
         with pytest.raises(TypeError, match="CircuitSpec"):
             spec_to_dict({"kind": "dcop"})
+
+    def test_encode_rejects_non_finite_floats(self):
+        # json.dumps would emit the non-standard NaN/Infinity tokens that
+        # strict parsers reject; the codec refuses them up front.
+        spec = DCOp(
+            circuit=CircuitSpec(CHAIN_FACTORY, params={"knob": math.nan})
+        )
+        with pytest.raises(TypeError, match="non-finite"):
+            spec_to_dict(spec)
+
+    def test_decode_rejects_non_finite_floats(self):
+        # Python's json.loads *accepts* NaN/Infinity tokens, so the decoder
+        # must reject them itself — in circuit params, scalar spec fields
+        # and distribution fields alike, with the JSON-path of the value.
+        payload = spec_to_dict(DCOp(circuit=CHAIN))
+        payload["circuit"]["params"]["bad"] = math.inf
+        with pytest.raises(SpecDecodeError, match=r"non-finite") as excinfo:
+            spec_from_dict(payload, resolve=False)
+        assert "$.circuit.params.bad" in str(excinfo.value)
+
+        payload = spec_to_dict(DCOp(circuit=CHAIN))
+        payload["gmin"] = math.nan
+        with pytest.raises(SpecDecodeError, match=r"\$\.gmin.*non-finite"):
+            spec_from_dict(payload, resolve=False)
+
+        payload = spec_to_dict(
+            MonteCarlo(
+                circuit=CHAIN,
+                perturbations={"mos_vth": Gaussian(sigma=0.03)},
+                trials=4,
+            )
+        )
+        payload["perturbations"]["mos_vth"]["sigma"] = math.inf
+        with pytest.raises(SpecDecodeError, match="non-finite"):
+            spec_from_dict(payload, resolve=False)

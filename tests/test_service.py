@@ -148,6 +148,34 @@ class TestJobManager:
         assert metrics["computed"] == 1
         assert sum(not view.cached for view in views) == 1
 
+    def test_live_join_counts_as_cache_hit(self):
+        # A submission joining a queued/running job is a dedupe hit just
+        # like a done-join or a store hit; /metrics must count it so
+        # cache_hits tracks 'submitted' during concurrent duplicate bursts.
+        from repro.api.session import RunStatsSnapshot
+
+        started = threading.Event()
+        release = threading.Event()
+
+        class BlockingSession:
+            def run(self, spec):
+                started.set()
+                assert release.wait(timeout=30)
+
+            def last_stats_snapshot(self):
+                return RunStatsSnapshot(computed=1, newton_iterations=1)
+
+        spec = chain_spec()
+        with JobManager(workers=1, session_factory=BlockingSession) as manager:
+            first = manager.submit(spec)
+            assert not first.cached
+            assert started.wait(timeout=30)
+            joined = manager.submit(spec)  # joins the running job
+            assert joined.cached and joined.id == first.id
+            assert manager.metrics()["cache_hits"] == 1
+            release.set()
+            assert manager.join(timeout_s=30)
+
     def test_warm_store_turns_restart_into_cache_hit(self):
         spec = chain_spec()
         store = MemoryStore()
@@ -534,6 +562,24 @@ class TestServiceRoutes:
         assert metrics["requests"]["POST /studies"]["202"] == 1
         assert metrics["jobs"]["computed"] == 1
         json.dumps(metrics)
+
+    def test_error_requests_count_under_route_templates(self, service):
+        # Error responses must never key the request counters on the raw
+        # path — a 404 scan or per-job 409 polling would otherwise grow
+        # one counter entry per distinct path for the server's lifetime.
+        for path in ("/nope", "/nope/deeper", "/studies/a/b/c"):
+            service.handle("GET", path)
+        service.handle("GET", "/studies/deadbeef")         # 404, unknown id
+        service.handle("GET", "/studies/feedface/result")  # 404, unknown id
+        service.handle("POST", "/results")                 # 405
+        _, metrics = service.handle("GET", "/metrics")
+        requests = metrics["requests"]
+        assert requests["GET unknown"]["404"] == 3
+        assert requests["GET /studies/{id}"]["404"] == 1
+        assert requests["GET /studies/{id}/result"]["404"] == 1
+        assert requests["POST /results"]["405"] == 1
+        for raw in ("nope", "deadbeef", "feedface", "/a/b/c"):
+            assert not any(raw in route for route in requests)
 
 
 # ---------------------------------------------------------------------- #

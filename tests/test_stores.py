@@ -23,6 +23,7 @@ import json
 import multiprocessing
 import os
 import sqlite3
+import threading
 import time
 import warnings
 
@@ -107,6 +108,17 @@ class TestStoreContract:
         if backend != "memory":  # persistent backends sort
             assert list(store.keys()) == ["key-a", "key-b", "key-c"]
         assert set(store) == {"key-a", "key-b", "key-c"}
+
+    def test_count_by_kind(self, backend, tmp_path):
+        store = build_store(backend, tmp_path)
+        assert store.count() == 0
+        store.put("k1", make_result(kind="dcop", tag="a"))
+        store.put("k2", make_result(kind="dcop", tag="b"))
+        store.put("k3", make_result(kind="transient", tag="c"))
+        assert store.count() == len(store) == 3
+        assert store.count(kind="dcop") == 2
+        assert store.count(kind="transient") == 1
+        assert store.count(kind="montecarlo") == 0
 
     def test_query_by_kind_and_predicate(self, backend, tmp_path):
         store = build_store(backend, tmp_path)
@@ -421,6 +433,49 @@ def test_concurrent_writers_same_key_no_torn_reads(backend, tmp_path):
         assert not any(
             name.endswith(".corrupt") for name in os.listdir(location)
         )
+
+
+def test_memory_store_is_thread_safe_under_contention():
+    """Threads racing get/put on one key must never see a KeyError.
+
+    The LRU bookkeeping (``get`` re-inserts the key, ``put`` evicts) is a
+    non-atomic dict dance; the service layer shares one MemoryStore across
+    worker and HTTP handler threads, so the primitives must lock.  Without
+    the lock this reliably raises within a few thousand iterations.
+    """
+    store = MemoryStore(max_entries=4)
+    shared = make_result(tag="hot")
+    store.put("hot", shared)
+    errors = []
+
+    def reader():
+        try:
+            for _ in range(4000):
+                store.get("hot")
+                store.get("cold-miss")
+        except Exception as error:  # pragma: no cover — the regression
+            errors.append(error)
+
+    def writer(writer_id):
+        try:
+            for index in range(4000):
+                store.put("hot", shared)
+                # Churn distinct keys so put's eviction loop runs.
+                store.put(f"churn-{writer_id}-{index % 8}", shared)
+        except Exception as error:  # pragma: no cover — the regression
+            errors.append(error)
+
+    threads = [threading.Thread(target=reader) for _ in range(2)] + [
+        threading.Thread(target=writer, args=(writer_id,))
+        for writer_id in (1, 2)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    assert store.get("hot") is shared
+    assert len(store) <= 4
 
 
 # ---------------------------------------------------------------------- #
