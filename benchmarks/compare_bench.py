@@ -40,6 +40,9 @@ LOWER_IS_BETTER = (
     # families keep their direction if they ever move to other units.
     "_latency_ms",
     "_p95_ms",
+    # Fault-tolerance wrapper cost (BENCH_resilience.json): percentage
+    # overhead of a resilient warm hit over the raw backend.
+    "overhead_pct",
 )
 HIGHER_IS_BETTER = ("speedup", "_per_second", "_ratio", "_reduction", "_fraction")
 

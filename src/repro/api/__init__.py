@@ -68,6 +68,7 @@ from repro.api.specs import (
 from repro.api.stores import (
     JSONDirectoryStore,
     MemoryStore,
+    ResilientStore,
     SQLiteStore,
     Store,
     TieredStore,
@@ -90,6 +91,7 @@ __all__ = [
     "Store",
     "MemoryStore",
     "JSONDirectoryStore",
+    "ResilientStore",
     "SQLiteStore",
     "TieredStore",
     "Executor",

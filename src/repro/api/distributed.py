@@ -57,7 +57,10 @@ from repro.api.specs import AnalysisSpec
 from repro.api.stores import SQLiteStore, Store
 
 #: Message kinds a worker posts on the shared message queue.
-_READY, _DONE, _ERROR = "ready", "done", "error"
+_READY, _DONE, _ERROR, _BEAT = "ready", "done", "error", "beat"
+
+#: Ceiling on one respawn-backoff sleep, however storm-y the deaths get.
+_MAX_RESPAWN_BACKOFF_S = 5.0
 
 
 @dataclasses.dataclass
@@ -66,8 +69,12 @@ class DistributedReport:
 
     ``computed`` + ``store_hits`` equals ``tasks``; ``requeued`` counts
     tasks re-dispatched after a worker death, ``worker_deaths``/
-    ``respawned`` the process churn, and ``errors`` the per-task failure
-    messages that exhausted their retry budget (empty on success).
+    ``respawned`` the process churn (``hung_workers`` the subset killed by
+    an expired lease rather than found dead), and ``errors`` the per-task
+    failure messages that exhausted their retry budget (empty on success).
+    Under ``on_error="quarantine"`` exhausted tasks land in
+    ``quarantined`` (spec hash -> failure message) instead of ``errors``
+    and the run completes.
     """
 
     tasks: int = 0
@@ -75,8 +82,26 @@ class DistributedReport:
     store_hits: int = 0
     requeued: int = 0
     worker_deaths: int = 0
+    hung_workers: int = 0
     respawned: int = 0
     errors: List[str] = dataclasses.field(default_factory=list)
+    quarantined: Dict[str, str] = dataclasses.field(default_factory=dict)
+
+
+def _quarantined_result(spec: AnalysisSpec, content: str, message: str) -> Result:
+    """The placeholder a quarantined spec gets in the returned study.
+
+    Deliberately unmistakable for a real solve — ``meta["quarantined"]``
+    is the marker (the session refuses to cache it), and the failure
+    message rides along so the study report is self-explaining.
+    """
+    return Result(
+        kind=spec.kind,
+        spec_hash=content,
+        scalars={"quarantined": True},
+        convergence={"converged": False, "quarantined": True},
+        meta={"quarantined": True, "error": message},
+    )
 
 
 def _worker_main(
@@ -86,6 +111,7 @@ def _worker_main(
     store: Optional[Store],
     prebuilt_blob: bytes,
     chaos: Optional[Mapping[str, Any]],
+    beat_s: float = 0.0,
 ) -> None:
     """One worker process: pull tasks, dedupe through the store, solve.
 
@@ -95,13 +121,41 @@ def _worker_main(
     check and its output channel: results travel to the coordinator by
     content hash through the store, only control messages ride the
     worker's private pipe.
+
+    With ``beat_s > 0`` a daemon thread heartbeats on the pipe.  The
+    beats prove the *process* is alive; they deliberately say nothing
+    about task progress — that is what the coordinator's per-task lease
+    is for, and the combination is how a hung worker (beating, never
+    finishing) is told apart from a dead one.
     """
+    import threading
+
     from repro.api.session import Session
+
+    send_lock = threading.Lock()
+
+    def send(message: Tuple[str, int, Any, Any]) -> None:
+        # Two senders (main loop + heartbeat thread) share the pipe; a
+        # pipe write is only atomic under a lock.  A closed pipe means the
+        # coordinator is gone — nothing useful left to do but exit.
+        try:
+            with send_lock:
+                message_conn.send(message)
+        except (BrokenPipeError, OSError):
+            os._exit(0)
+
+    if beat_s and beat_s > 0:
+        def _beat() -> None:
+            while True:
+                time.sleep(beat_s)
+                send((_BEAT, worker_id, None, None))
+
+        threading.Thread(target=_beat, daemon=True).start()
 
     session = Session(store=None)
     session.adopt_circuits(pickle.loads(prebuilt_blob))
     claims = 0
-    message_conn.send((_READY, worker_id, None, None))
+    send((_READY, worker_id, None, None))
     while True:
         task = task_queue.get()
         if task is None:  # shutdown sentinel
@@ -113,17 +167,23 @@ def _worker_main(
                 # Simulated hard crash for the requeue tests: no cleanup,
                 # no message — exactly what a SIGKILL'd worker looks like.
                 os._exit(1)
+        if chaos and chaos.get("stall_worker") == worker_id:
+            if claims >= int(chaos.get("on_claim", 1)):
+                # Simulated hang for the lease tests: the process stays
+                # alive (heartbeats keep flowing) but the claimed task
+                # never finishes — only a lease timeout can catch this.
+                time.sleep(float(chaos.get("stall_s", 3600.0)))
         try:
             cached = store.get(content) if store is not None else None
             if cached is not None:
-                message_conn.send((_DONE, worker_id, task_id, True))
+                send((_DONE, worker_id, task_id, True))
                 continue
             result = session.compute(spec)
             if store is not None:
                 store.put(content, result)
-            message_conn.send((_DONE, worker_id, task_id, False))
+            send((_DONE, worker_id, task_id, False))
         except Exception as exc:  # surface, don't kill the worker
-            message_conn.send((_ERROR, worker_id, task_id, repr(exc)))
+            send((_ERROR, worker_id, task_id, repr(exc)))
 
 
 class StudyCoordinator:
@@ -145,7 +205,29 @@ class StudyCoordinator:
         Fallback liveness-sweep period.  Deaths normally surface
         immediately through the process sentinels the coordinator waits
         on; the sweep only catches a process that is gone without its
-        sentinel firing.
+        sentinel firing.  Workers also heartbeat on their pipes at this
+        period (process-aliveness only).
+    lease_timeout_s:
+        Per-task lease: a dispatched task not finished within this budget
+        means its worker is *hung* (alive but stuck — a wedged BLAS call,
+        an NFS stall), which no sentinel or heartbeat can reveal.  The
+        coordinator kills the worker, requeues its claims (counted in
+        ``requeued``/``hung_workers``) and respawns within the usual
+        budget.  ``None`` (default): no lease — a legitimately long solve
+        is indistinguishable from a hang, so pick a budget comfortably
+        above your slowest spec before enabling.
+    respawn_backoff_s:
+        First respawn delay after a worker death, doubling per respawn
+        (capped at 5 s).  Default 0: immediate respawn, as before.  A
+        poisoned spec that crashes every worker it touches otherwise
+        burns the whole respawn budget in milliseconds.
+    on_error:
+        ``"raise"`` (default): a task that exhausts its retry budget
+        fails the run.  ``"quarantine"``: the run *completes*, the
+        poisoned spec gets a placeholder result
+        (``meta["quarantined"]`` set, never cached) and the spec-hash ->
+        failure-message map lands in ``report.quarantined`` — one bad
+        spec no longer discards a million good solves.
     """
 
     def __init__(
@@ -154,6 +236,9 @@ class StudyCoordinator:
         store: Store,
         max_task_retries: int = 2,
         heartbeat_s: float = 0.2,
+        lease_timeout_s: Optional[float] = None,
+        respawn_backoff_s: float = 0.0,
+        on_error: str = "raise",
         _chaos: Optional[Mapping[str, Any]] = None,
     ):
         if workers < 1:
@@ -164,10 +249,25 @@ class StudyCoordinator:
                 "store (SQLiteStore / JSONDirectoryStore); "
                 f"{type(store).__qualname__} is process-local"
             )
+        if lease_timeout_s is not None and lease_timeout_s <= 0:
+            raise ValueError(
+                f"lease_timeout_s must be positive, got {lease_timeout_s}"
+            )
+        if respawn_backoff_s < 0:
+            raise ValueError(
+                f"respawn_backoff_s must be >= 0, got {respawn_backoff_s}"
+            )
+        if on_error not in ("raise", "quarantine"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'quarantine', got {on_error!r}"
+            )
         self.workers = workers
         self.store = store
         self.max_task_retries = max_task_retries
         self.heartbeat_s = heartbeat_s
+        self.lease_timeout_s = lease_timeout_s
+        self.respawn_backoff_s = respawn_backoff_s
+        self.on_error = on_error
         self._chaos = _chaos
         self.report = DistributedReport()
 
@@ -190,6 +290,7 @@ class StudyCoordinator:
                 self.store.worker_view(),
                 prebuilt_blob,
                 self._chaos,
+                self.heartbeat_s,
             ),
             daemon=True,
         )
@@ -227,13 +328,29 @@ class StudyCoordinator:
         readers: Dict[int, Any] = {}
         assigned: Dict[int, int] = {}  # task_id -> worker_id
         attempts: Dict[int, int] = {task_id: 0 for task_id in tasks}
+        leases: Dict[int, float] = {}  # task_id -> monotonic deadline
+        last_beat: Dict[int, float] = {}  # worker_id -> monotonic timestamp
         pending: List[int] = list(tasks)
         done: set = set()
+        quarantined_ids: set = set()
         idle: List[int] = []
         respawn_budget = self.workers  # replacements, not a license to leak
         next_worker_id = 0
 
         width = min(self.workers, len(tasks))
+
+        def settled() -> int:
+            return len(done) + len(quarantined_ids)
+
+        def exhaust(task_id: int, reason: str) -> None:
+            # The task is out of retries: fail the run or quarantine the
+            # spec, per on_error.
+            if self.on_error == "quarantine":
+                content, _ = tasks[task_id]
+                quarantined_ids.add(task_id)
+                self.report.quarantined[content] = reason
+            else:
+                self.report.errors.append(reason)
 
         def spawn_worker() -> None:
             nonlocal next_worker_id
@@ -254,6 +371,8 @@ class StudyCoordinator:
             # so the death handler requeues it.
             assigned[task_id] = worker_id
             attempts[task_id] += 1
+            if self.lease_timeout_s is not None:
+                leases[task_id] = time.monotonic() + self.lease_timeout_s
             content, spec = tasks[task_id]
             task_queues[worker_id].put((task_id, content, spec))
 
@@ -261,10 +380,12 @@ class StudyCoordinator:
             for task_id, owner in list(assigned.items()):
                 if owner == worker_id and task_id not in done:
                     del assigned[task_id]
+                    leases.pop(task_id, None)
                     if attempts[task_id] > self.max_task_retries:
-                        self.report.errors.append(
+                        exhaust(
+                            task_id,
                             f"task {task_id} exceeded {self.max_task_retries} "
-                            "retries (worker death)"
+                            "retries (worker death)",
                         )
                     else:
                         pending.insert(0, task_id)
@@ -272,7 +393,9 @@ class StudyCoordinator:
 
         def handle_message(worker_id: int, message) -> None:
             kind, _, task_id, detail = message
-            if kind == _READY:
+            if kind == _BEAT:
+                last_beat[worker_id] = time.monotonic()
+            elif kind == _READY:
                 if worker_id in processes:
                     idle.append(worker_id)
             elif kind == _DONE:
@@ -283,14 +406,14 @@ class StudyCoordinator:
                     else:
                         self.report.computed += 1
                 assigned.pop(task_id, None)
+                leases.pop(task_id, None)
                 if worker_id in processes:
                     idle.append(worker_id)
             elif kind == _ERROR:
                 assigned.pop(task_id, None)
+                leases.pop(task_id, None)
                 if attempts[task_id] > self.max_task_retries:
-                    self.report.errors.append(
-                        f"task {task_id} failed: {detail}"
-                    )
+                    exhaust(task_id, f"task {task_id} failed: {detail}")
                 else:
                     pending.insert(0, task_id)
                     self.report.requeued += 1
@@ -318,15 +441,47 @@ class StudyCoordinator:
                     break
             reader.close()
             requeue_from(worker_id)
+            last_beat.pop(worker_id, None)
             process.join(timeout=1.0)  # reap; it is already dead
-            live_needed = bool(pending) or len(done) < len(tasks)
+            live_needed = bool(pending) or settled() < len(tasks)
             if live_needed and respawn_budget > 0 and len(processes) < width:
                 respawn_budget -= 1
                 self.report.respawned += 1
+                if self.respawn_backoff_s > 0:
+                    # Exponential: a spec that kills every worker it
+                    # touches must not chew through the respawn budget at
+                    # process-spawn speed.
+                    time.sleep(
+                        min(
+                            _MAX_RESPAWN_BACKOFF_S,
+                            self.respawn_backoff_s
+                            * (2.0 ** (self.report.respawned - 1)),
+                        )
+                    )
                 spawn_worker()
 
+        def expire_leases() -> None:
+            if self.lease_timeout_s is None:
+                return
+            now = time.monotonic()
+            for task_id, deadline in list(leases.items()):
+                if deadline > now or task_id in done:
+                    continue
+                worker_id = assigned.get(task_id)
+                if worker_id is None or worker_id not in processes:
+                    leases.pop(task_id, None)
+                    continue
+                # The worker holds an expired lease: it is hung (its
+                # sentinel and heartbeats say alive, its task says stuck).
+                # Kill it — requeue and respawn ride the ordinary death
+                # path, so a lease expiry and a crash behave identically
+                # downstream.
+                self.report.hung_workers += 1
+                processes[worker_id].kill()
+                handle_death(worker_id)
+
         try:
-            while len(done) < len(tasks):
+            while settled() < len(tasks):
                 if self.report.errors:
                     break
                 # Hand work to every idle worker first.
@@ -346,9 +501,14 @@ class StudyCoordinator:
                     source_of[reader] = worker_id
                 for worker_id, process in processes.items():
                     source_of[process.sentinel] = worker_id
-                ready = mp_connection.wait(
-                    list(source_of), timeout=self.heartbeat_s
-                )
+                timeout = self.heartbeat_s
+                if leases:
+                    # Wake no later than the soonest lease deadline, so a
+                    # hang is caught within its lease, not a sweep later.
+                    soonest = min(leases.values()) - time.monotonic()
+                    timeout = max(0.0, min(timeout, soonest))
+                ready = mp_connection.wait(list(source_of), timeout=timeout)
+                expire_leases()
                 if not ready:
                     # Fallback sweep for a process gone without its
                     # sentinel firing (should not happen; cheap to check).
@@ -391,9 +551,15 @@ class StudyCoordinator:
                 "distributed run failed: " + "; ".join(self.report.errors)
             )
 
-        # Results come home through the store, keyed by content hash.
+        # Results come home through the store, keyed by content hash;
+        # quarantined specs get their placeholder instead.
         results: Dict[str, Result] = {}
-        for content, _ in tasks.values():
+        for task_id, (content, spec) in tasks.items():
+            if task_id in quarantined_ids:
+                results[content] = _quarantined_result(
+                    spec, content, self.report.quarantined[content]
+                )
+                continue
             result = self.store.get(content)
             if result is None:
                 raise RuntimeError(
@@ -424,6 +590,9 @@ class DistributedExecutor(Executor):
         store: Optional[Store] = None,
         max_task_retries: int = 2,
         heartbeat_s: float = 0.2,
+        lease_timeout_s: Optional[float] = None,
+        respawn_backoff_s: float = 0.0,
+        on_error: str = "raise",
         _chaos: Optional[Mapping[str, Any]] = None,
     ):
         if workers < 1:
@@ -432,6 +601,9 @@ class DistributedExecutor(Executor):
         self.store = store
         self.max_task_retries = max_task_retries
         self.heartbeat_s = heartbeat_s
+        self.lease_timeout_s = lease_timeout_s
+        self.respawn_backoff_s = respawn_backoff_s
+        self.on_error = on_error
         self._chaos = _chaos
         self.last_report: Optional[DistributedReport] = None
 
@@ -456,6 +628,9 @@ class DistributedExecutor(Executor):
                 store=store,
                 max_task_retries=self.max_task_retries,
                 heartbeat_s=self.heartbeat_s,
+                lease_timeout_s=self.lease_timeout_s,
+                respawn_backoff_s=self.respawn_backoff_s,
+                on_error=self.on_error,
                 _chaos=self._chaos,
             )
             results = coordinator.run(session, specs)

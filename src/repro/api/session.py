@@ -429,9 +429,16 @@ class Session:
         if pending:
             computed = executor.run_specs(self, pending)
             for content, result in zip(pending_hashes, computed):
-                if self.store is not None and policy != "off":
+                if (
+                    self.store is not None
+                    and policy != "off"
+                    and not result.meta.get("quarantined")
+                ):
                     # The store keeps its own copy so caller-side mutation
                     # of the returned result can never poison later hits.
+                    # Quarantine placeholders (a distributed run's
+                    # on_error="quarantine") never land in the store — a
+                    # cached failure would mask the real result forever.
                     self.store.put(content, result.copy())
                 resolved[content] = result
                 self.last_stats.absorb_computed(result)
@@ -456,9 +463,14 @@ class Session:
                 self.total_stats.absorb_cached()
                 return dataclasses.replace(cached.copy(), from_cache=True)
         result = self.compute(spec)
-        if self.store is not None and policy != "off":
+        if (
+            self.store is not None
+            and policy != "off"
+            and not result.meta.get("quarantined")
+        ):
             # The store keeps its own copy so caller-side mutation of the
-            # returned result can never poison later hits.
+            # returned result can never poison later hits (and quarantine
+            # placeholders must never mask a future real solve).
             self.store.put(content, result.copy())
         self.last_stats.absorb_computed(result)
         self.total_stats.absorb_computed(result)

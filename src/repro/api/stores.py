@@ -35,6 +35,7 @@ from __future__ import annotations
 import abc
 import json
 import os
+import random
 import re
 import sqlite3
 import tempfile
@@ -72,6 +73,22 @@ class Store(abc.ABC):
     count, and :meth:`prune` applies both bounds eagerly.  Backends where
     a bound is cheap to hold continuously (the in-memory dict) also apply
     it on ``put``.
+
+    **Durability contract.**  A ``put`` that returns must never leave an
+    entry that a later ``get`` reads *partially* — readers see the old
+    complete entry, the new complete entry, or a miss, even under
+    concurrent writers or a crashed writer (torn entries found on disk are
+    quarantined/dropped as a miss, never returned).  How far "returned"
+    reaches is backend-specific: :class:`MemoryStore` entries die with the
+    process; :class:`JSONDirectoryStore` survives process death as soon as
+    ``put`` returns and, with the default ``fsync=True``, survives power
+    loss too (``fsync=False`` trades that for write latency — an
+    OS-buffered rename can land an empty or truncated file after a power
+    cut); :class:`SQLiteStore` inherits SQLite's WAL durability.  Callers
+    that must not die with their storage wrap any backend in
+    :class:`ResilientStore`, which converts backend exceptions into
+    degraded (miss/dropped) behaviour behind retries and a circuit
+    breaker.
     """
 
     #: Seconds an entry stays servable; ``None`` means forever.
@@ -323,6 +340,14 @@ class JSONDirectoryStore(Store):
     ``ttl_s`` reads entry age from the file mtime; :meth:`prune` drops
     expired files and, with ``max_entries``, the oldest files beyond the
     bound.
+
+    ``fsync=True`` (the default) flushes the temp file to stable storage
+    *before* the ``os.replace``: without it, a power loss shortly after
+    ``put`` returns can leave the rename on disk but not the data — a
+    present-looking ``<hash>.json`` that is empty or truncated, surfacing
+    much later as a quarantine.  Pass ``fsync=False`` to trade that
+    durability for put latency (a scratch cache that a re-run rebuilds
+    anyway loses nothing that matters).
     """
 
     def __init__(
@@ -330,10 +355,12 @@ class JSONDirectoryStore(Store):
         directory: str,
         ttl_s: Optional[float] = None,
         max_entries: Optional[int] = None,
+        fsync: bool = True,
     ):
         self.directory = os.fspath(directory)
         self.ttl_s = ttl_s
         self.max_entries = max_entries
+        self.fsync = fsync
         os.makedirs(self.directory, exist_ok=True)
         self._warned_corrupt = False
 
@@ -388,6 +415,13 @@ class JSONDirectoryStore(Store):
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(result.to_jsonable(), handle, sort_keys=True)
+                if self.fsync:
+                    # The data must be on stable storage before the rename
+                    # is: a power loss between an unsynced write and the
+                    # (journaled, often earlier-persisted) rename lands a
+                    # truncated or empty <hash>.json.
+                    handle.flush()
+                    os.fsync(handle.fileno())
             os.replace(temp_path, path)
         except BaseException:
             try:
@@ -711,3 +745,322 @@ class TieredStore(Store):
         if self.back is not None:
             return self.back.worker_view()
         return self.front.worker_view()
+
+
+class ResilientStore(Store):
+    """A fault-absorbing wrapper over any :class:`Store`.
+
+    The session, the service job manager and the distributed runner all
+    use their store as a *cache* — losing it costs recomputation, never
+    correctness.  A raw backend does not honour that contract: a full
+    disk, an NFS hiccup or SQLite's ``database is locked`` raises out of
+    ``get``/``put`` and aborts the study that was only caching through it.
+    This wrapper restores the contract:
+
+    * every operation is retried up to ``retries`` times with exponential
+      backoff (``backoff_s * multiplier**attempt``) plus seeded jitter;
+    * ``deadline_s`` (when set) bounds one operation's *total* wall clock,
+      retries included — a hung backend call is abandoned in a helper
+      thread and counted as a failure;
+    * a circuit breaker opens after ``breaker_threshold`` consecutive
+      failed attempts: while open, operations never touch the backend —
+      ``get`` degrades to an instant miss, ``put`` is dropped and counted
+      — until ``breaker_reset_s`` elapses and a single half-open probe is
+      let through (success closes the breaker, failure re-opens it);
+    * nothing ever raises out of the wrapper: the caller sees misses and
+      dropped writes, and :meth:`metrics` reports exactly how degraded
+      the store is (the service exposes this through ``/metrics``).
+
+    The wrapper is bitwise-transparent when healthy — it adds no
+    serialization of its own — and thread-safe.  ``worker_view()`` wraps
+    the inner view in a fresh ``ResilientStore`` with the same policy, so
+    distributed workers inherit the degradation behaviour (with their own
+    process-local counters).
+
+    All knobs default to values that change nothing for a healthy
+    backend; wrap only where an unavailable cache must not be fatal.
+    """
+
+    def __init__(
+        self,
+        inner: Store,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+        backoff_multiplier: float = 2.0,
+        jitter: float = 0.25,
+        deadline_s: Optional[float] = None,
+        breaker_threshold: int = 5,
+        breaker_reset_s: float = 5.0,
+        seed: int = 0,
+        _sleep: Callable[[float], None] = time.sleep,
+        _clock: Callable[[], float] = time.monotonic,
+    ):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff_s < 0 or backoff_multiplier < 1.0 or jitter < 0:
+            raise ValueError(
+                "backoff_s/jitter must be >= 0 and backoff_multiplier >= 1"
+            )
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {deadline_s}")
+        if breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {breaker_threshold}"
+            )
+        if breaker_reset_s <= 0:
+            raise ValueError(
+                f"breaker_reset_s must be positive, got {breaker_reset_s}"
+            )
+        self.inner = inner
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_multiplier = backoff_multiplier
+        self.jitter = jitter
+        self.deadline_s = deadline_s
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset_s = breaker_reset_s
+        self.ttl_s = inner.ttl_s
+        self.max_entries = inner.max_entries
+        self._sleep = _sleep
+        self._clock = _clock
+        self._random = random.Random(seed)
+        self._lock = threading.Lock()
+        self._state = "closed"  # closed | open | half-open
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self._consecutive_failures = 0
+        self._counters: Dict[str, int] = {
+            "failures": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "degraded_gets": 0,
+            "dropped_puts": 0,
+            "degraded_other": 0,
+            "breaker_opens": 0,
+            "probes": 0,
+            "short_circuited": 0,
+        }
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Locks never cross a pickle boundary, injected sleep/clock
+        # test hooks may not either, and breaker state plus counters are
+        # process-local observations — the receiving process starts with
+        # a closed breaker over the same policy.
+        state = self.__dict__.copy()
+        for name in ("_lock", "_sleep", "_clock", "_random"):
+            state.pop(name, None)
+        state["_state"] = "closed"
+        state["_probe_in_flight"] = False
+        state["_consecutive_failures"] = 0
+        state["_counters"] = {key: 0 for key in self._counters}
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+        self._sleep = time.sleep
+        self._clock = time.monotonic
+        self._random = random.Random(0)
+
+    # -- breaker state -------------------------------------------------- #
+
+    @property
+    def breaker_state(self) -> str:
+        """``"closed"`` (healthy), ``"open"`` (degrading) or ``"half-open"``."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            return self._state
+
+    def _maybe_half_open_locked(self) -> None:
+        if (
+            self._state == "open"
+            and self._clock() - self._opened_at >= self.breaker_reset_s
+        ):
+            self._state = "half-open"
+            self._probe_in_flight = False
+
+    def _admit(self) -> bool:
+        """Whether this operation may touch the backend right now."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            if self._state == "closed":
+                return True
+            if self._state == "half-open" and not self._probe_in_flight:
+                # Exactly one probe at a time; everyone else keeps
+                # degrading until it reports back.
+                self._probe_in_flight = True
+                self._counters["probes"] += 1
+                return True
+            self._counters["short_circuited"] += 1
+            return False
+
+    def _record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            self._state = "closed"
+
+    def _record_failure(self) -> bool:
+        """Count one failed attempt; returns ``True`` if the breaker is open."""
+        with self._lock:
+            self._counters["failures"] += 1
+            self._consecutive_failures += 1
+            if self._state == "half-open":
+                # The probe failed: straight back to open, timer restarted.
+                self._probe_in_flight = False
+                self._state = "open"
+                self._opened_at = self._clock()
+                return True
+            if (
+                self._state == "closed"
+                and self._consecutive_failures >= self.breaker_threshold
+            ):
+                self._state = "open"
+                self._opened_at = self._clock()
+                self._counters["breaker_opens"] += 1
+                return True
+            return self._state == "open"
+
+    # -- the guarded call ----------------------------------------------- #
+
+    def _bounded(self, func: Callable[[], Any], remaining: float) -> Any:
+        """Run one attempt with a wall-clock bound (helper thread).
+
+        The abandoned call cannot be interrupted; it finishes (or hangs)
+        in a daemon thread without touching this operation again — the
+        same walk-away discipline the service applies to timed-out solves.
+        """
+        box: Dict[str, Any] = {}
+        done = threading.Event()
+
+        def attempt() -> None:
+            try:
+                box["value"] = func()
+            except BaseException as error:  # noqa: BLE001 — relayed below
+                box["error"] = error
+            done.set()
+
+        thread = threading.Thread(
+            target=attempt, name="repro-store-bounded-call", daemon=True
+        )
+        thread.start()
+        if not done.wait(timeout=max(0.0, remaining)):
+            with self._lock:
+                self._counters["timeouts"] += 1
+            raise TimeoutError(
+                f"store operation exceeded the {self.deadline_s:g}s deadline"
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["value"]
+
+    def _call(self, op: str, func: Callable[[], Any], fallback: Any) -> Any:
+        if not self._admit():
+            self._count_degraded(op)
+            return fallback
+        start = self._clock()
+        attempt = 0
+        while True:
+            try:
+                if self.deadline_s is None:
+                    value = func()
+                else:
+                    value = self._bounded(
+                        func, self.deadline_s - (self._clock() - start)
+                    )
+            except Exception:  # noqa: BLE001 — a cache must not be fatal
+                opened = self._record_failure()
+                out_of_time = (
+                    self.deadline_s is not None
+                    and self._clock() - start >= self.deadline_s
+                )
+                if opened or attempt >= self.retries or out_of_time:
+                    self._count_degraded(op)
+                    return fallback
+                with self._lock:
+                    self._counters["retries"] += 1
+                    pause = (
+                        self.backoff_s
+                        * self.backoff_multiplier**attempt
+                        * (1.0 + self.jitter * self._random.random())
+                    )
+                attempt += 1
+                self._sleep(pause)
+                continue
+            self._record_success()
+            return value
+
+    def _count_degraded(self, op: str) -> None:
+        with self._lock:
+            if op == "get":
+                self._counters["degraded_gets"] += 1
+            elif op == "put":
+                self._counters["dropped_puts"] += 1
+            else:
+                self._counters["degraded_other"] += 1
+
+    # -- metrics -------------------------------------------------------- #
+
+    def metrics(self) -> Dict[str, Any]:
+        """A JSON-safe snapshot: breaker state plus degradation counters.
+
+        ``degraded`` aggregates every operation served without the
+        backend (missed gets, dropped puts, everything else); a nonzero
+        value means results were recomputed instead of read, never that a
+        wrong result was returned.
+        """
+        with self._lock:
+            self._maybe_half_open_locked()
+            snapshot: Dict[str, Any] = dict(self._counters)
+            snapshot["state"] = self._state
+            snapshot["consecutive_failures"] = self._consecutive_failures
+            snapshot["degraded"] = (
+                self._counters["degraded_gets"]
+                + self._counters["dropped_puts"]
+                + self._counters["degraded_other"]
+            )
+        return snapshot
+
+    # -- the Store interface, each op degrading to a safe fallback ------ #
+
+    def get(self, key: str) -> Optional[Result]:
+        return self._call("get", lambda: self.inner.get(key), None)
+
+    def put(self, key: str, result: Result) -> None:
+        self._call("put", lambda: self.inner.put(key, result), None)
+
+    def delete(self, key: str) -> bool:
+        return bool(self._call("delete", lambda: self.inner.delete(key), False))
+
+    def keys(self) -> Iterator[str]:
+        keys = self._call("keys", lambda: list(self.inner.keys()), [])
+        return iter(keys)
+
+    def __len__(self) -> int:
+        return int(self._call("len", lambda: len(self.inner), 0))
+
+    def count(self, kind: Optional[str] = None) -> int:
+        return int(self._call("count", lambda: self.inner.count(kind), 0))
+
+    def prune(self) -> int:
+        return int(self._call("prune", lambda: self.inner.prune(), 0))
+
+    def clear(self) -> None:
+        self._call("clear", lambda: self.inner.clear(), None)
+
+    def worker_view(self) -> Optional[Store]:
+        view = self.inner.worker_view()
+        if view is None:
+            return None
+        if view is self.inner:
+            return self
+        return ResilientStore(
+            view,
+            retries=self.retries,
+            backoff_s=self.backoff_s,
+            backoff_multiplier=self.backoff_multiplier,
+            jitter=self.jitter,
+            deadline_s=self.deadline_s,
+            breaker_threshold=self.breaker_threshold,
+            breaker_reset_s=self.breaker_reset_s,
+        )

@@ -14,6 +14,10 @@ that lets a client who does not write Python use them over HTTP:
   submissions to spec-hash job ids, dedupes through the store (a million
   identical submissions cost one solve), and runs misses on a bounded
   worker pool with per-job timeout, bounded retry and graceful drain;
+* **journal** (:mod:`repro.service.journal`) — an append-only JSONL
+  :class:`JobJournal` making acknowledged jobs durable: a manager
+  restarted over the same journal replays every non-terminal job, so a
+  ``kill -9`` mid-queue loses nothing;
 * **HTTP** (:mod:`repro.service.app`) — a stdlib
   ``ThreadingHTTPServer`` app: ``POST /studies``, ``GET /studies/{id}``,
   ``GET /studies/{id}/result`` (sparse ``?fields=``), paginated
@@ -39,6 +43,7 @@ Quickstart::
 
 from repro.service.app import RESULT_SECTIONS, StudyServer, StudyService, serve
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.journal import JobJournal
 from repro.service.jobs import (
     JOB_STATES,
     JobManager,
@@ -50,6 +55,7 @@ from repro.service.jobs import (
 
 __all__ = [
     "JOB_STATES",
+    "JobJournal",
     "JobManager",
     "JobNotDone",
     "JobView",

@@ -68,9 +68,15 @@ MAX_PAGE_LIMIT = 500
 class _HTTPError(Exception):
     """Internal control flow: abort the request with a status + message."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        headers: Optional[Dict[str, str]] = None,
+    ):
         self.status = status
         self.message = message
+        self.headers = dict(headers or {})
         super().__init__(message)
 
 
@@ -88,6 +94,13 @@ class StudyService:
         ``None`` to disable the check entirely (trusted clients only).
     max_body_bytes:
         Request-body ceiling; larger submissions get a 413.
+    max_queue_depth:
+        Load shedding: when this many jobs are already waiting for a
+        worker, ``POST /studies`` is refused up front with a 503 carrying
+        a ``Retry-After`` header (``retry_after_s``) instead of letting
+        the backlog grow without bound.  ``None`` (default): never shed.
+    retry_after_s:
+        The ``Retry-After`` value (seconds) a shed submission receives.
     """
 
     def __init__(
@@ -95,12 +108,25 @@ class StudyService:
         manager: JobManager,
         allowed_factory_prefixes: Optional[Sequence[str]] = ("repro.",),
         max_body_bytes: int = MAX_BODY_BYTES,
+        max_queue_depth: Optional[int] = None,
+        retry_after_s: float = 1.0,
     ):
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        if retry_after_s <= 0:
+            raise ValueError(
+                f"retry_after_s must be positive, got {retry_after_s}"
+            )
         self.manager = manager
         self.allowed_factory_prefixes = allowed_factory_prefixes
         self.max_body_bytes = max_body_bytes
+        self.max_queue_depth = max_queue_depth
+        self.retry_after_s = retry_after_s
         self._lock = threading.Lock()
         self._requests: Dict[str, Dict[str, int]] = {}
+        self._shed_count = 0
 
     # ------------------------------------------------------------------ #
     # dispatch
@@ -115,19 +141,31 @@ class StudyService:
         string).  Never raises: every failure maps to a status code and an
         ``{"error": ...}`` payload.
         """
+        status, payload, _headers = self.handle_request(method, target, body)
+        return status, payload
+
+    def handle_request(
+        self, method: str, target: str, body: bytes = b""
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """Like :meth:`handle`, plus the extra response headers.
+
+        The third element carries response headers beyond Content-Type —
+        today that is ``Retry-After`` on shed submissions (503 when the
+        queue is past ``max_queue_depth``).
+        """
         split = urlsplit(target)
         path = split.path.rstrip("/") or "/"
         query = {
             key: values[-1]
             for key, values in parse_qs(split.query, keep_blank_values=True).items()
         }
-        route, status, payload = self._dispatch(method, path, query, body)
+        route, status, payload, headers = self._dispatch(method, path, query, body)
         self._count_request(method, route, status)
-        return status, payload
+        return status, payload, headers
 
     def _dispatch(
         self, method: str, path: str, query: Dict[str, str], body: bytes
-    ) -> Tuple[str, int, Dict[str, Any]]:
+    ) -> Tuple[str, int, Dict[str, Any], Dict[str, str]]:
         # Resolve the route *template* before handling: the request
         # counters must key on '/studies/{id}', never the raw path, or a
         # long-running server leaks one counter entry per distinct path
@@ -139,27 +177,27 @@ class StudyService:
             if parts == ["studies"]:
                 route = "/studies"
                 self._require_method(method, "POST")
-                return (route, *self._post_study(body))
+                return (route, *self._post_study(body), {})
             if len(parts) == 2 and parts[0] == "studies":
                 route = "/studies/{id}"
                 self._require_method(method, "GET")
-                return (route, *self._get_study(parts[1]))
+                return (route, *self._get_study(parts[1]), {})
             if len(parts) == 3 and parts[0] == "studies" and parts[2] == "result":
                 route = "/studies/{id}/result"
                 self._require_method(method, "GET")
-                return (route, *self._get_study_result(parts[1], query))
+                return (route, *self._get_study_result(parts[1], query), {})
             if parts == ["results"]:
                 route = "/results"
                 self._require_method(method, "GET")
-                return (route, *self._get_results(query))
+                return (route, *self._get_results(query), {})
             if parts == ["healthz"]:
                 route = "/healthz"
                 self._require_method(method, "GET")
-                return (route, *self._get_healthz())
+                return (route, *self._get_healthz(), {})
             if parts == ["metrics"]:
                 route = "/metrics"
                 self._require_method(method, "GET")
-                return (route, *self._get_metrics())
+                return (route, *self._get_metrics(), {})
             raise _HTTPError(
                 404,
                 f"unknown route {path!r}; see POST /studies, GET /studies/{{id}}, "
@@ -167,9 +205,14 @@ class StudyService:
                 "GET /metrics",
             )
         except _HTTPError as error:
-            return route, error.status, {"error": error.message}
+            return route, error.status, {"error": error.message}, error.headers
         except Exception as error:  # noqa: BLE001 — no tracebacks on the wire
-            return route, 500, {"error": f"internal error: {type(error).__name__}: {error}"}
+            return (
+                route,
+                500,
+                {"error": f"internal error: {type(error).__name__}: {error}"},
+                {},
+            )
 
     @staticmethod
     def _require_method(method: str, expected: str) -> None:
@@ -189,6 +232,23 @@ class StudyService:
     # ------------------------------------------------------------------ #
 
     def _post_study(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        if (
+            self.max_queue_depth is not None
+            and self.manager.queue_depth >= self.max_queue_depth
+        ):
+            # Shed before parsing anything: a saturated service should
+            # spend no cycles on work it is about to refuse.  Honest
+            # clients back off by the Retry-After header (ServiceClient
+            # honors it automatically).
+            with self._lock:
+                self._shed_count += 1
+            raise _HTTPError(
+                503,
+                f"queue depth {self.manager.queue_depth} is at the "
+                f"{self.max_queue_depth}-job limit; retry after "
+                f"{self.retry_after_s:g}s",
+                headers={"Retry-After": f"{self.retry_after_s:g}"},
+            )
         if len(body) > self.max_body_bytes:
             raise _HTTPError(
                 413,
@@ -287,7 +347,21 @@ class StudyService:
             requests = {
                 route: dict(statuses) for route, statuses in self._requests.items()
             }
-        return 200, {"requests": requests, "jobs": self.manager.metrics()}
+            shed = self._shed_count
+        payload: Dict[str, Any] = {
+            "requests": requests,
+            "shed_submissions": shed,
+            "jobs": self.manager.metrics(),
+        }
+        # A resilience-wrapped store (ResilientStore) exposes breaker state
+        # and degradation counters; surface them so operators can see
+        # store trouble from the same endpoint as everything else.
+        store_metrics = getattr(self.manager.store, "metrics", None)
+        if callable(store_metrics):
+            store_payload = store_metrics()
+            payload["store"] = store_payload
+            payload["store_degraded"] = store_payload.get("degraded", 0)
+        return 200, payload
 
     # ------------------------------------------------------------------ #
     # helpers
@@ -365,17 +439,24 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         pass  # route/status counters live in /metrics; stay quiet on stderr
 
-    def _respond(self, status: int, payload: Dict[str, Any]) -> None:
+    def _respond(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
-        status, payload = self.service.handle("GET", self.path)
-        self._respond(status, payload)
+        status, payload, headers = self.service.handle_request("GET", self.path)
+        self._respond(status, payload, headers)
 
     def do_POST(self) -> None:  # noqa: N802
         length_header = self.headers.get("Content-Length")
@@ -401,8 +482,10 @@ class _Handler(BaseHTTPRequestHandler):
             self.close_connection = True
             return
         body = self.rfile.read(length)
-        status, payload = self.service.handle("POST", self.path, body)
-        self._respond(status, payload)
+        status, payload, headers = self.service.handle_request(
+            "POST", self.path, body
+        )
+        self._respond(status, payload, headers)
 
 
 class StudyServer:
@@ -459,17 +542,30 @@ def serve(
     port: int = 0,
     workers: int = 2,
     allowed_factory_prefixes: Optional[Sequence[str]] = ("repro.",),
+    max_queue_depth: Optional[int] = None,
+    retry_after_s: float = 1.0,
+    resilient: bool = False,
     **manager_kwargs: Any,
 ) -> StudyServer:
     """One-call server: build the manager + service + HTTP listener.
 
     ``store`` is anything :class:`~repro.api.session.Session` accepts
     (a Store instance, a directory path, or None for in-memory);
-    ``manager_kwargs`` pass through to
+    ``resilient=True`` wraps it in a default-policy
+    :class:`~repro.api.stores.ResilientStore` so storage trouble degrades
+    the cache instead of failing studies; ``max_queue_depth`` /
+    ``retry_after_s`` configure submission shedding (see
+    :class:`StudyService`); ``manager_kwargs`` pass through to
     :class:`~repro.service.jobs.JobManager` (``job_timeout_s``,
-    ``max_retries``, ...).
+    ``max_retries``, ``journal``, ...).
     """
-    from repro.api.stores import JSONDirectoryStore, MemoryStore, Store, TieredStore
+    from repro.api.stores import (
+        JSONDirectoryStore,
+        MemoryStore,
+        ResilientStore,
+        Store,
+        TieredStore,
+    )
 
     if store is None:
         resolved: Store = MemoryStore()
@@ -481,8 +577,13 @@ def serve(
         raise TypeError(
             "store must be a repro.api.stores.Store, a directory path, or None"
         )
+    if resilient and not isinstance(resolved, ResilientStore):
+        resolved = ResilientStore(resolved)
     manager = JobManager(store=resolved, workers=workers, **manager_kwargs)
     service = StudyService(
-        manager, allowed_factory_prefixes=allowed_factory_prefixes
+        manager,
+        allowed_factory_prefixes=allowed_factory_prefixes,
+        max_queue_depth=max_queue_depth,
+        retry_after_s=retry_after_s,
     )
     return StudyServer(service, host=host, port=port)

@@ -47,11 +47,34 @@ class ServiceClient:
         The server root, e.g. ``"http://127.0.0.1:8080"``.
     timeout_s:
         Socket timeout per request.
+    retries:
+        How many times a *transient* failure — a connection error, or a
+        503 from an overloaded/shutting-down server — is retried before
+        :class:`ServiceError` escapes (default 2, so up to three
+        attempts).  Every service request is safe to retry: job ids are
+        spec content hashes, so a resubmitted ``POST /studies`` dedupes
+        onto the same job.  Permanent errors (4xx) never retry.
+    backoff_s:
+        First retry delay; doubles per retry.  A 503 carrying a
+        ``Retry-After`` header uses the server's number instead — the
+        server knows its queue better than any client-side guess.
     """
 
-    def __init__(self, base_url: str, timeout_s: float = 30.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 30.0,
+        retries: int = 2,
+        backoff_s: float = 0.2,
+        _sleep: Any = time.sleep,
+    ):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self._sleep = _sleep
 
     # ------------------------------------------------------------------ #
     # raw HTTP
@@ -64,7 +87,8 @@ class ServiceClient:
         payload: Optional[Dict[str, Any]] = None,
         query: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
-        """One JSON round trip; raises :class:`ServiceError` on non-2xx."""
+        """One JSON exchange (with transient-failure retry, see the class
+        docstring); raises :class:`ServiceError` on non-2xx."""
         url = self.base_url + path
         if query:
             filtered = {k: v for k, v in query.items() if v is not None}
@@ -75,19 +99,45 @@ class ServiceClient:
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=body, headers=headers, method=method)
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as error:
-            detail = error.read().decode("utf-8", errors="replace")
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(
+                url, data=body, headers=headers, method=method
+            )
+            retry_after: Optional[float] = None
             try:
-                message = json.loads(detail).get("error", detail)
-            except json.JSONDecodeError:
-                message = detail or error.reason
-            raise ServiceError(error.code, message) from None
-        except urllib.error.URLError as error:
-            raise ServiceError(0, f"cannot reach {url}: {error.reason}") from None
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout_s
+                ) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as error:
+                detail = error.read().decode("utf-8", errors="replace")
+                try:
+                    message = json.loads(detail).get("error", detail)
+                except json.JSONDecodeError:
+                    message = detail or error.reason
+                failure = ServiceError(error.code, message)
+                if error.code != 503:
+                    raise failure from None
+                retry_after = self._parse_retry_after(error.headers)
+            except urllib.error.URLError as error:
+                failure = ServiceError(0, f"cannot reach {url}: {error.reason}")
+            if attempt >= self.retries:
+                raise failure from None
+            if retry_after is None:
+                retry_after = self.backoff_s * (2.0 ** attempt)
+            self._sleep(retry_after)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    @staticmethod
+    def _parse_retry_after(headers: Any) -> Optional[float]:
+        raw = headers.get("Retry-After") if headers is not None else None
+        if raw is None:
+            return None
+        try:
+            value = float(raw)
+        except (TypeError, ValueError):
+            return None
+        return max(0.0, value)
 
     # ------------------------------------------------------------------ #
     # endpoints

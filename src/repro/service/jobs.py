@@ -34,17 +34,24 @@ front of it, but it is equally usable in-process::
 from __future__ import annotations
 
 import dataclasses
+import os
 import queue
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.api.hashing import spec_hash
 from repro.api.results import Result
 from repro.api.session import RunStatsSnapshot, Session
 from repro.api.specs import AnalysisSpec
 from repro.api.stores import MemoryStore, Store
+from repro.service.journal import (
+    JobJournal,
+    decode_spec_payload,
+    encode_spec_payload,
+)
 
 __all__ = [
     "JOB_STATES",
@@ -180,6 +187,21 @@ class JobManager:
     session_factory:
         Override how worker sessions are built (tests inject stat
         spies); defaults to ``Session(store=<shared store>)``.
+    journal:
+        A :class:`~repro.service.journal.JobJournal` (or a path to one)
+        making acknowledged jobs durable: every submission is journaled
+        before ``submit()`` returns, and a fresh manager over the same
+        journal *replays* it — each job whose journal history is not
+        terminal is re-queued idempotently (the shared store is consulted
+        first, so already-finished work becomes an instant ``done``).
+        ``None`` (default): no journal, the pre-existing in-memory
+        behaviour.  A journal write failure never fails the job — it is
+        counted in ``journal_errors`` and warned about once; durability
+        degrades, availability does not.
+    journal_fsync:
+        When ``journal`` is a path: fsync every journal append (survives
+        power loss, costs ~1 ms/record).  Off by default — the plain
+        flush already survives ``kill -9``.
     """
 
     def __init__(
@@ -189,6 +211,8 @@ class JobManager:
         job_timeout_s: Optional[float] = None,
         max_retries: int = 0,
         session_factory: Optional[Callable[[], Session]] = None,
+        journal: Optional[Union[str, os.PathLike, JobJournal]] = None,
+        journal_fsync: bool = False,
     ):
         if workers < 1:
             raise ValueError(f"at least one worker is required, got {workers}")
@@ -202,6 +226,11 @@ class JobManager:
         self._session_factory = session_factory or (
             lambda: Session(store=self.store)
         )
+        if journal is None or isinstance(journal, JobJournal):
+            self.journal: Optional[JobJournal] = journal
+        else:
+            self.journal = JobJournal(os.fspath(journal), fsync=journal_fsync)
+        self._warned_journal = False
         self._lock = threading.Lock()
         self._jobs: Dict[str, _Job] = {}
         self._queue: "queue.Queue[Any]" = queue.Queue()
@@ -215,6 +244,8 @@ class JobManager:
             "retries": 0,
             "timeouts": 0,
             "newton_iterations": 0,
+            "recovered": 0,
+            "journal_errors": 0,
         }
         self._wall_histogram: List[int] = [0] * (len(WALL_MS_BUCKETS) + 1)
         self._workers = [
@@ -225,6 +256,8 @@ class JobManager:
             )
             for index in range(workers)
         ]
+        if self.journal is not None:
+            self._recover()
         for thread in self._workers:
             thread.start()
 
@@ -275,6 +308,7 @@ class JobManager:
             else:
                 job = _Job(id=job_id, spec=spec)
                 self._jobs[job_id] = job
+            self._append_journal("submit", job_id, spec=spec)
             self._queue.put(job)
             return job.view()
 
@@ -338,6 +372,86 @@ class JobManager:
         }
 
     # ------------------------------------------------------------------ #
+    # durability (the job journal)
+    # ------------------------------------------------------------------ #
+
+    def _append_journal(
+        self,
+        event: str,
+        job_id: str,
+        spec: Optional[AnalysisSpec] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        """Journal a transition; a failed append degrades, never raises."""
+        if self.journal is None:
+            return
+        try:
+            payload = None if spec is None else encode_spec_payload(spec)
+            self.journal.append(event, job_id, spec=payload, error=error)
+        except OSError as journal_error:
+            self._counters["journal_errors"] += 1
+            if not self._warned_journal:
+                self._warned_journal = True
+                warnings.warn(
+                    f"job journal append failed ({journal_error}); jobs keep "
+                    "running but are no longer durable across a restart",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+
+    def _recover(self) -> None:
+        """Re-queue every journaled job whose history is not terminal.
+
+        Runs once, from ``__init__``, before the workers start.  Recovery
+        is idempotent by construction: job ids are spec hashes, so a
+        recovered job dedupes against the store exactly like a live
+        submission — work that finished before the crash (or between
+        crash and restart) becomes an instant ``done`` with zero Newton
+        work, and only genuinely unfinished specs re-enter the queue.
+        """
+        assert self.journal is not None
+        for job_id, record in self.journal.replay().items():
+            try:
+                spec = decode_spec_payload(record.spec or {})
+                actual = spec_hash(spec)
+                if actual != job_id:
+                    raise ValueError(
+                        f"journaled spec hashes to {actual!r}, not the "
+                        f"journaled id {job_id!r}"
+                    )
+            except Exception as error:  # noqa: BLE001 — quarantine, don't die
+                warnings.warn(
+                    f"job journal: cannot recover job {job_id!r} "
+                    f"({type(error).__name__}: {error}); marking it failed",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self._append_journal(
+                    "fail", job_id, error=f"unrecoverable journal record: {error}"
+                )
+                continue
+            with self._lock:
+                if job_id in self._jobs:
+                    continue
+                self._counters["recovered"] += 1
+                cached_result = self.store.get(job_id)
+                if cached_result is not None:
+                    job = _Job(id=job_id, spec=spec, state="done", cached=True)
+                    job.started_s = job.finished_s = job.created_s
+                    job.stats = RunStatsSnapshot(cached=1)
+                    self._jobs[job_id] = job
+                    self._append_journal("finish", job_id)
+                    self._settled.notify_all()
+                    continue
+                job = _Job(id=job_id, spec=spec)
+                self._jobs[job_id] = job
+                self._queue.put(job)
+        try:
+            self.journal.compact()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------ #
     # waiting and shutdown
     # ------------------------------------------------------------------ #
 
@@ -379,11 +493,18 @@ class JobManager:
                         job.error = "cancelled at shutdown"
                         job.finished_s = time.time()
                         self._counters["failed"] += 1
+                        self._append_journal("cancel", job.id)
                 self._settled.notify_all()
         for _ in self._workers:
             self._queue.put(_Stop)
         for thread in self._workers:
             thread.join(timeout=timeout_s)
+        if self.journal is not None:
+            try:
+                self.journal.compact()
+            except OSError:
+                pass
+            self.journal.close()
 
     def __enter__(self) -> "JobManager":
         return self
@@ -408,6 +529,7 @@ class JobManager:
                 job.state = "running"
                 job.started_s = time.time()
                 job.attempts += 1
+                self._append_journal("start", job.id)
             try:
                 stats = self._run_attempt(session, job)
                 poisoned = False
@@ -433,6 +555,7 @@ class JobManager:
                     self._counters["cache_hits"] += stats.cached
                     self._counters["newton_iterations"] += stats.newton_iterations
                     self._observe_wall_ms((job.finished_s - job.started_s) * 1e3)
+                    self._append_journal("finish", job.id)
                     self._settled.notify_all()
                     continue
                 if job.attempts <= self.max_retries and not self._closed:
@@ -445,6 +568,7 @@ class JobManager:
                 job.error = failure
                 job.finished_s = time.time()
                 self._counters["failed"] += 1
+                self._append_journal("fail", job.id, error=failure)
                 self._settled.notify_all()
 
     def _run_attempt(self, session: Session, job: _Job) -> RunStatsSnapshot:

@@ -1,0 +1,336 @@
+"""A durable, append-only job journal for the service job manager.
+
+The :class:`~repro.service.jobs.JobManager` acknowledges a submission the
+moment ``submit()`` returns — from then on the client polls a job id and
+expects a terminal answer.  Without a journal that acknowledgement lives
+only in process memory: a ``kill -9`` (OOM kill, node loss, deploy) throws
+away every queued and running job silently, and clients poll a 404
+forever.  :class:`JobJournal` makes the acknowledgement durable:
+
+* the manager appends one JSONL record per job state transition —
+  ``submit`` (carrying the spec's wire form), ``start``, ``finish``,
+  ``fail``, ``cancel`` — each record a single atomic ``O_APPEND`` write
+  of one complete line, flushed to the OS before ``submit()`` returns
+  (so process death loses nothing; ``fsync=True`` extends that to power
+  loss);
+* a restarted manager *replays* the journal: every job whose last record
+  is not terminal is re-queued idempotently by its spec-hash id — the
+  shared store is checked first, so work that finished between the crash
+  and the restart becomes an instant ``done`` rather than a recompute,
+  and duplicates collapse exactly as live submissions do;
+* :meth:`JobJournal.compact` rewrites the file keeping only the
+  ``submit`` records of still-pending jobs (terminal histories add
+  nothing a restart needs — finished results live in the store), so the
+  journal stays proportional to the backlog, not to service lifetime.
+  The manager compacts automatically after recovery and on clean
+  shutdown, and the journal self-compacts after ``auto_compact_records``
+  appends.
+
+A torn trailing line (power loss mid-append) is skipped with a one-time
+warning — the record being appended was by definition not yet
+acknowledged under ``fsync``, and under buffered appends it is exactly
+the sub-line tail the durability knob warns about.
+
+Specs travel in the journal as their :func:`repro.api.spec_to_dict` wire
+form when they have one; specs carrying rich Python objects (an in-memory
+switch model in the params) fall back to a pickle blob.  The journal is
+written and read only by the service that owns it — the pickle fallback
+never crosses a trust boundary a submitted spec has not already crossed.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import tempfile
+import threading
+import time
+import warnings
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.api.codec import spec_from_dict, spec_to_dict
+from repro.api.specs import AnalysisSpec
+
+__all__ = ["JobJournal", "JournalRecord", "decode_spec_payload", "encode_spec_payload"]
+
+#: Journal record schema version.
+JOURNAL_VERSION = 1
+
+#: The job lifecycle events a journal records, in no particular order.
+JOURNAL_EVENTS = ("submit", "start", "finish", "fail", "cancel")
+
+#: Events after which a job needs nothing from a restart.
+TERMINAL_EVENTS = frozenset({"finish", "fail", "cancel"})
+
+
+def encode_spec_payload(spec: AnalysisSpec) -> Dict[str, Any]:
+    """The journal's spec payload: codec wire form, or a pickle fallback."""
+    try:
+        return {"codec": spec_to_dict(spec)}
+    except TypeError:
+        blob = base64.b64encode(pickle.dumps(spec)).decode("ascii")
+        return {"pickle": blob}
+
+
+def decode_spec_payload(payload: Dict[str, Any]) -> AnalysisSpec:
+    """Inverse of :func:`encode_spec_payload`.
+
+    Codec payloads decode without a factory allowlist: the journal replays
+    only specs this same service already accepted (and allowlist-checked)
+    at submission time.
+    """
+    if "codec" in payload:
+        return spec_from_dict(payload["codec"], allowed_factory_prefixes=None)
+    if "pickle" in payload:
+        return pickle.loads(base64.b64decode(payload["pickle"]))
+    raise ValueError(
+        f"journal spec payload carries neither 'codec' nor 'pickle': "
+        f"{sorted(payload)}"
+    )
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One parsed journal line."""
+
+    event: str
+    job_id: str
+    ts: float
+    spec: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+
+class JobJournal:
+    """Append-only JSONL job journal (see the module docstring).
+
+    Parameters
+    ----------
+    path:
+        The journal file; created (with its parent directory) on first
+        append.
+    fsync:
+        ``False`` (default): each record is flushed to the OS — durable
+        against process death, not against power loss.  ``True``: every
+        append is fsynced — durable, at ~1 ms/record on most disks.
+    auto_compact_records:
+        Compact automatically once this many records have been appended
+        since the journal was opened or last compacted (``None`` disables
+        self-compaction).
+
+    The journal expects a single writing process (the job manager that
+    owns it); appends are thread-safe within that process.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        fsync: bool = False,
+        auto_compact_records: Optional[int] = 10_000,
+    ):
+        if auto_compact_records is not None and auto_compact_records < 1:
+            raise ValueError(
+                f"auto_compact_records must be >= 1, got {auto_compact_records}"
+            )
+        self.path = os.fspath(path)
+        self.fsync = fsync
+        self.auto_compact_records = auto_compact_records
+        self._lock = threading.Lock()
+        self._fd: Optional[int] = None
+        self._appended_since_compact = 0
+        self._warned_torn = False
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+
+    def _file(self) -> int:
+        if self._fd is None:
+            parent = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(parent, exist_ok=True)
+            self._fd = os.open(
+                self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+            )
+        return self._fd
+
+    def append(
+        self,
+        event: str,
+        job_id: str,
+        spec: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        """Append one record; the write is a single complete line."""
+        if event not in JOURNAL_EVENTS:
+            raise ValueError(
+                f"unknown journal event {event!r}; expected one of "
+                f"{JOURNAL_EVENTS}"
+            )
+        record: Dict[str, Any] = {
+            "v": JOURNAL_VERSION,
+            "event": event,
+            "id": job_id,
+            "ts": time.time(),
+        }
+        if spec is not None:
+            record["spec"] = spec
+        if error is not None:
+            record["error"] = error
+        line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        data = line.encode("utf-8")
+        with self._lock:
+            fd = self._file()
+            # One write() of one complete line through O_APPEND: a reader
+            # (or the replaying restart) never sees an interleaved or
+            # partial record from a *completed* append.
+            os.write(fd, data)
+            if self.fsync:
+                os.fsync(fd)
+            self._appended_since_compact += 1
+            should_compact = (
+                self.auto_compact_records is not None
+                and self._appended_since_compact >= self.auto_compact_records
+            )
+        if should_compact:
+            self.compact()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+
+    def records(self) -> Iterator[JournalRecord]:
+        """Parse the journal, skipping (and warning once about) torn lines."""
+        try:
+            with open(self.path, "rb") as handle:
+                lines = handle.read().split(b"\n")
+        except OSError:
+            return
+        for index, raw in enumerate(lines):
+            if not raw.strip():
+                continue
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+                record = JournalRecord(
+                    event=payload["event"],
+                    job_id=payload["id"],
+                    ts=float(payload["ts"]),
+                    spec=payload.get("spec"),
+                    error=payload.get("error"),
+                )
+            except (ValueError, KeyError, TypeError):
+                if not self._warned_torn:
+                    self._warned_torn = True
+                    warnings.warn(
+                        f"journal {self.path!r}: skipping unparseable record "
+                        f"on line {index + 1} (torn write at a crash; the "
+                        "append it belonged to was never acknowledged)",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                continue
+            yield record
+
+    def replay(self) -> Dict[str, JournalRecord]:
+        """Jobs a restart must re-queue: ``job id -> its submit record``.
+
+        Folds the journal in order; a job is *pending* when its latest
+        event is not terminal.  Pending jobs come back in first-submission
+        order, each carrying the spec payload of its most recent
+        ``submit`` record.
+        """
+        submits: Dict[str, JournalRecord] = {}
+        terminal: Dict[str, bool] = {}
+        for record in self.records():
+            if record.event == "submit":
+                if record.job_id not in submits:
+                    submits[record.job_id] = record
+                elif record.spec is not None:
+                    # A re-armed job: keep the first-submission slot (for
+                    # ordering) but the freshest spec payload.
+                    first = submits[record.job_id]
+                    submits[record.job_id] = JournalRecord(
+                        event="submit",
+                        job_id=record.job_id,
+                        ts=first.ts,
+                        spec=record.spec,
+                    )
+                terminal[record.job_id] = False
+            elif record.event in TERMINAL_EVENTS:
+                terminal[record.job_id] = True
+            else:  # start: the job is live again
+                terminal.setdefault(record.job_id, False)
+        return {
+            job_id: record
+            for job_id, record in submits.items()
+            if not terminal.get(job_id, False)
+        }
+
+    # ------------------------------------------------------------------ #
+    # compaction
+    # ------------------------------------------------------------------ #
+
+    def compact(self) -> int:
+        """Drop terminal histories; returns the number of records removed.
+
+        Rewrites the file atomically (temp file + ``os.replace``), keeping
+        one ``submit`` record per still-pending job.  Safe to call at any
+        time from the owning process; concurrent appends are serialized
+        against the rewrite.
+        """
+        with self._lock:
+            all_records = list(self.records())
+            pending = self.replay()
+            keep: List[JournalRecord] = list(pending.values())
+            if len(keep) == len(all_records):
+                self._appended_since_compact = 0
+                return 0
+            parent = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(parent, exist_ok=True)
+            fd, temp_path = tempfile.mkstemp(
+                dir=parent, prefix=".journal-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    for record in keep:
+                        payload: Dict[str, Any] = {
+                            "v": JOURNAL_VERSION,
+                            "event": record.event,
+                            "id": record.job_id,
+                            "ts": record.ts,
+                        }
+                        if record.spec is not None:
+                            payload["spec"] = record.spec
+                        handle.write(
+                            json.dumps(payload, sort_keys=True, separators=(",", ":"))
+                            + "\n"
+                        )
+                    if self.fsync:
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                os.replace(temp_path, self.path)
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+            # The old fd appends to the unlinked inode; reopen on demand.
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+            self._appended_since_compact = 0
+            return len(all_records) - len(keep)

@@ -223,3 +223,108 @@ class TestFailureModes:
         assert coordinator.run(Session(store=None), []) == []
         assert coordinator.report == DistributedReport()
         store.close()
+
+
+# ---------------------------------------------------------------------- #
+# fault tolerance: leases, respawn backoff, quarantine
+# ---------------------------------------------------------------------- #
+
+
+class TestFaultTolerance:
+    def test_hung_worker_lease_expires_requeues_and_completes(
+        self, chain_grid, tmp_path
+    ):
+        from repro.testing import stall_worker
+
+        serial = Session(store=None).run_many(
+            chain_grid, executor=SerialExecutor()
+        )
+        store = SQLiteStore(str(tmp_path / "shared.db"))
+        executor = DistributedExecutor(
+            workers=2,
+            store=store,
+            lease_timeout_s=1.0,
+            # worker 0 stalls forever on its first claim; its heartbeat
+            # keeps beating, so only the lease can catch it
+            _chaos=stall_worker(worker_id=0, on_claim=1),
+        )
+        distributed = Session(store=None).run_many(
+            chain_grid, executor=executor
+        )
+        assert_bitwise_equal(serial, distributed)
+        report = executor.last_report
+        assert report.hung_workers >= 1
+        assert report.requeued >= 1
+        assert report.worker_deaths >= 1  # the stalled worker was killed
+        assert report.errors == []
+        store.close()
+
+    def test_respawn_backoff_still_reaches_parity(self, chain_grid, tmp_path):
+        from repro.testing import kill_worker
+
+        serial = Session(store=None).run_many(
+            chain_grid, executor=SerialExecutor()
+        )
+        store = SQLiteStore(str(tmp_path / "shared.db"))
+        executor = DistributedExecutor(
+            workers=2,
+            store=store,
+            respawn_backoff_s=0.05,
+            _chaos=kill_worker(worker_id=0, on_claim=1),
+        )
+        distributed = Session(store=None).run_many(
+            chain_grid, executor=executor
+        )
+        assert_bitwise_equal(serial, distributed)
+        report = executor.last_report
+        assert report.worker_deaths >= 1 and report.respawned >= 1
+        store.close()
+
+    def test_quarantine_completes_study_around_a_poisoned_spec(
+        self, chain_grid, switch_model, tmp_path
+    ):
+        # A worker-side failure: the chain bench has no input sequence, so
+        # a stop-time-less Transient raises on every attempt.
+        bad = Transient(
+            circuit=CircuitSpec(
+                CHAIN_FACTORY, params={"num_switches": 1, "model": switch_model}
+            ),
+            timestep_s=1e-9,
+        )
+        specs = list(chain_grid) + [bad]
+        serial_good = Session(store=None).run_many(
+            chain_grid, executor=SerialExecutor()
+        )
+        store = SQLiteStore(str(tmp_path / "shared.db"))
+        executor = DistributedExecutor(
+            workers=2, store=store, max_task_retries=1, on_error="quarantine"
+        )
+        study = Session(store=None).run_many(specs, executor=executor)
+        report = executor.last_report
+
+        # the healthy specs are untouched by the poison
+        for index in range(len(chain_grid)):
+            assert study[index].to_json() == serial_good[index].to_json()
+
+        # the poisoned spec came back as a marked placeholder ...
+        placeholder = study[-1]
+        assert placeholder.meta["quarantined"] is True
+        assert "stop_time_s" in placeholder.meta["error"]
+        assert placeholder.convergence["converged"] is False
+
+        # ... recorded in the report, not in errors, and never cached
+        assert list(report.quarantined) == [spec_hash(bad)]
+        assert "stop_time_s" in report.quarantined[spec_hash(bad)]
+        assert report.errors == []
+        assert store.get(spec_hash(bad)) is None
+        store.close()
+
+    def test_fault_knob_validation(self, tmp_path):
+        store = SQLiteStore(str(tmp_path / "shared.db"))
+        with pytest.raises(ValueError, match="lease_timeout_s"):
+            StudyCoordinator(workers=1, store=store, lease_timeout_s=0)
+        with pytest.raises(ValueError, match="respawn_backoff_s"):
+            StudyCoordinator(workers=1, store=store, respawn_backoff_s=-1)
+        with pytest.raises(ValueError, match="on_error"):
+            StudyCoordinator(workers=1, store=store, on_error="ignore")
+        store.close()

@@ -676,3 +676,129 @@ class TestHTTPEndToEnd:
             assert response.status == 411
         finally:
             connection.close()
+
+
+# ---------------------------------------------------------------------- #
+# overload shedding and client retry (the fault-tolerance satellites)
+# ---------------------------------------------------------------------- #
+
+
+class TestOverloadShedding:
+    def test_queue_bound_sheds_with_retry_after(self):
+        manager = JobManager(workers=1)
+        service = StudyService(
+            manager,
+            allowed_factory_prefixes=("repro.", "test_service"),
+            max_queue_depth=1,
+            retry_after_s=0.5,
+        )
+        try:
+            occupied = post_json(service, spec_to_dict(slow_spec(sleep_s=2.0)))
+            assert occupied[0] == 202
+            deadline = time.monotonic() + 10
+            while manager.status(occupied[1]["id"]).state != "running":
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            queued = post_json(service, spec_to_dict(chain_spec(num_switches=2)))
+            assert queued[0] == 202
+
+            body = json.dumps(spec_to_dict(chain_spec(num_switches=3)))
+            status, payload, headers = service.handle_request(
+                "POST", "/studies", body.encode("utf-8")
+            )
+            assert status == 503
+            assert headers["Retry-After"] == "0.5"
+            assert "queue depth" in payload["error"]
+            # Nothing was enqueued for the shed submission.
+            with pytest.raises(UnknownJob):
+                manager.status(spec_hash(chain_spec(num_switches=3)))
+            _, metrics = service.handle("GET", "/metrics")
+            assert metrics["shed_submissions"] == 1
+        finally:
+            manager.close(drain=False, timeout_s=15)
+
+    def test_shedding_knob_validation(self):
+        manager = JobManager(workers=1)
+        try:
+            with pytest.raises(ValueError, match="max_queue_depth"):
+                StudyService(manager, max_queue_depth=0)
+            with pytest.raises(ValueError, match="retry_after_s"):
+                StudyService(manager, max_queue_depth=1, retry_after_s=0)
+        finally:
+            manager.close(drain=False, timeout_s=10)
+
+
+class TestClientRetry:
+    def test_parse_retry_after(self):
+        parse = ServiceClient._parse_retry_after
+        assert parse(None) is None
+        assert parse({}) is None
+        assert parse({"Retry-After": "1.5"}) == 1.5
+        assert parse({"Retry-After": "nonsense"}) is None
+        assert parse({"Retry-After": "-3"}) == 0.0
+
+    def test_connection_errors_retry_with_backoff(self):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listens here any more
+        sleeps = []
+        client = ServiceClient(
+            f"http://127.0.0.1:{port}",
+            timeout_s=2.0,
+            retries=2,
+            backoff_s=0.01,
+            _sleep=sleeps.append,
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            client.health()
+        assert excinfo.value.status == 0
+        assert "cannot reach" in excinfo.value.message
+        assert sleeps == [0.01, 0.02]
+
+    def test_permanent_errors_never_retry(self):
+        manager = JobManager(workers=1)
+        service = StudyService(manager)
+        try:
+            status, payload = post_json(service, {"kind": "acsweep"})
+            assert status == 400  # transport-agnostic sanity
+        finally:
+            manager.close(drain=False, timeout_s=10)
+
+    def test_client_rides_out_saturation_via_retry_after(self):
+        server = serve(
+            workers=1,
+            allowed_factory_prefixes=("repro.", "test_service"),
+            max_queue_depth=1,
+            retry_after_s=0.2,
+        )
+        sleeps = []
+
+        def sleeping(seconds):
+            sleeps.append(seconds)
+            time.sleep(seconds)
+
+        try:
+            fast = ServiceClient(server.url, retries=0)
+            occupied = fast.submit(slow_spec(sleep_s=1.5, tag="saturate"))
+            deadline = time.monotonic() + 10
+            while fast.status(occupied["id"])["state"] != "running":
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            fast.submit(chain_spec(num_switches=2))  # fills the queue
+
+            patient = ServiceClient(
+                server.url, retries=30, backoff_s=0.05, _sleep=sleeping
+            )
+            result = patient.run(chain_spec(num_switches=3), timeout_s=60)
+            reference = Session(store=MemoryStore()).run(
+                chain_spec(num_switches=3)
+            )
+            assert result.to_json() == reference.to_json()
+            # At least one attempt was shed and the client slept the
+            # server-advertised interval, not its own backoff guess.
+            assert sleeps and all(s == 0.2 for s in sleeps)
+        finally:
+            server.close(drain=False)

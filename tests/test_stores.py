@@ -624,3 +624,33 @@ class TestResultCacheShim:
             on_disk = handle.read()
         assert on_disk == json.dumps(result.to_jsonable(), sort_keys=True)
         assert direct.get("k").to_json() == result.to_json()
+
+
+# ---------------------------------------------------------------------- #
+# durability knobs
+# ---------------------------------------------------------------------- #
+
+
+class TestDurability:
+    def test_jsondir_fsyncs_before_replace_by_default(self, tmp_path, monkeypatch):
+        real_fsync = os.fsync
+        synced = []
+
+        def spying_fsync(fd):
+            synced.append(fd)
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", spying_fsync)
+        durable = JSONDirectoryStore(os.path.join(str(tmp_path), "durable"))
+        assert durable.fsync is True
+        durable.put("k", make_result(tag="flushed"))
+        assert synced  # bytes reached stable storage before os.replace
+
+        synced.clear()
+        relaxed = JSONDirectoryStore(
+            os.path.join(str(tmp_path), "relaxed"), fsync=False
+        )
+        relaxed.put("k", make_result(tag="flushed"))
+        assert synced == []  # the knob trades durability for latency
+        # either way the round trip is bitwise-identical
+        assert relaxed.get("k").to_json() == durable.get("k").to_json()
